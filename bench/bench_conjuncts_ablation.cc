@@ -1,0 +1,111 @@
+// Experiment E7 — predicate decomposition: the predicate-wise classes
+// (Section 4.2/4.3) gain freedom from every extra conjunct of the database
+// consistency constraint. Two measurements on the same transactions:
+//
+//  (a) offline: the fraction of random interleavings admitted by PWCSR/CPC
+//      as the constraint splits into more objects (CSR shown as the
+//      decomposition-independent floor);
+//  (b) online: predicate-wise 2PL throughput against strict 2PL as the
+//      lock groups follow the conjuncts.
+
+#include <cstdio>
+
+#include "classes/recognizers.h"
+#include "common/random.h"
+#include "core/database.h"
+#include "workload/generators.h"
+#include "workload/schedule_gen.h"
+
+namespace nonserial {
+namespace {
+
+int Run() {
+  std::printf("Part A: admitted interleavings vs number of conjuncts\n");
+  std::printf("(4 txs x 4 ops over 8 entities, 3000 random interleavings "
+              "per row)\n\n");
+  std::printf("%10s | %8s %8s %8s %8s\n", "conjuncts", "CSR", "PWCSR", "CPC",
+              "MVCSR");
+
+  Rng rng(5150);
+  ScheduleGenParams params;
+  params.num_txs = 4;
+  params.num_entities = 8;
+  params.ops_per_tx = 4;
+  params.write_fraction = 0.5;
+
+  bool monotone = true;
+  int64_t prev_pwcsr = -1, prev_cpc = -1;
+  for (int k : {1, 2, 4, 8}) {
+    ObjectSetList objects = PartitionObjects(params.num_entities, k);
+    int64_t csr = 0, pwcsr = 0, cpc = 0, mvcsr = 0;
+    Rng local(rng.Next64());
+    for (int i = 0; i < 3000; ++i) {
+      Schedule s = RandomSchedule(params, &local);
+      csr += IsConflictSerializable(s);
+      pwcsr += IsPredicatewiseConflictSerializable(s, objects);
+      cpc += IsConflictPredicateCorrect(s, objects);
+      mvcsr += IsMVConflictSerializable(s);
+    }
+    std::printf("%10d | %8lld %8lld %8lld %8lld\n", k,
+                static_cast<long long>(csr), static_cast<long long>(pwcsr),
+                static_cast<long long>(cpc), static_cast<long long>(mvcsr));
+    if (prev_pwcsr >= 0 && (pwcsr < prev_pwcsr || cpc < prev_cpc)) {
+      monotone = false;
+    }
+    prev_pwcsr = pwcsr;
+    prev_cpc = cpc;
+  }
+  std::printf("\n(admission grows with decomposition; CSR is decomposition-"
+              "independent)\n\n");
+
+  std::printf("Part B: predicate-wise 2PL vs strict 2PL as conjuncts grow\n");
+  std::printf("(16 long transactions, think=300, 24 entities)\n\n");
+  std::printf("%10s %-8s | %9s %10s %8s\n", "conjuncts", "proto", "makespan",
+              "blocked", "aborts");
+
+  bool pw_wins = true;
+  for (int k : {1, 2, 4, 8}) {
+    DesignWorkloadParams wl;
+    wl.num_txs = 16;
+    wl.num_entities = 24;
+    wl.num_conjuncts = k;
+    wl.reads_per_tx = 4;
+    wl.think_time = 300;
+    wl.cross_group_fraction = 0.25;
+    wl.arrival_spacing = 10;
+    wl.seed = 31;
+    SimWorkload workload = MakeDesignWorkload(wl);
+    Predicate constraint = WorkloadConstraint(workload);
+
+    SimTime blocked_s2pl = 0, blocked_pw = 0;
+    for (ProtocolKind kind :
+         {ProtocolKind::kStrict2pl, ProtocolKind::kPredicatewise2pl,
+          ProtocolKind::kMvto, ProtocolKind::kPwMvto}) {
+      RunReport report = RunWorkload(workload, kind, constraint);
+      const SimResult& r = report.result;
+      std::printf("%10d %-8s | %9lld %10lld %8lld\n", k,
+                  report.protocol.c_str(),
+                  static_cast<long long>(r.makespan),
+                  static_cast<long long>(r.total_blocked),
+                  static_cast<long long>(r.total_aborts));
+      if (kind == ProtocolKind::kStrict2pl) blocked_s2pl = r.total_blocked;
+      if (kind == ProtocolKind::kPredicatewise2pl) {
+        blocked_pw = r.total_blocked;
+      }
+    }
+    if (blocked_pw > blocked_s2pl) pw_wins = false;
+    std::printf("\n");
+  }
+
+  bool ok = monotone && pw_wins;
+  std::printf("RESULT: %s — per-conjunct admission is monotone in the "
+              "decomposition, and\npredicate-wise lock release never waits "
+              "longer than strict 2PL.\n",
+              ok ? "shape reproduced" : "SHAPE NOT REPRODUCED");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace nonserial
+
+int main() { return nonserial::Run(); }

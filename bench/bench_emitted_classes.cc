@@ -1,0 +1,118 @@
+// Experiment E13 — closing the loop between Sections 4 and 5: classify the
+// histories each protocol actually *emits* against the correctness classes
+// and the recovery hierarchy. Strict 2PL must land inside CSR (and strict);
+// the Correct Execution Protocol routinely leaves CSR — the measurable face
+// of "correctness without serializability".
+//
+// 8 transactions per run (small enough for the exact SR/MVSR recognizers),
+// 40 random workloads per protocol.
+
+#include <cstdio>
+
+#include "classes/recognizers.h"
+#include "classes/recoverability.h"
+#include "core/database.h"
+#include "workload/generators.h"
+
+namespace nonserial {
+namespace {
+
+struct Tally {
+  int runs = 0;
+  int csr = 0, vsr = 0, mvcsr = 0, mvsr = 0, cpc = 0;
+  int rc = 0, aca = 0, strict = 0;
+  int verified = 0;  // CEP only.
+};
+
+int Run() {
+  std::printf("Classification of emitted histories (40 workloads x 8 long "
+              "transactions each):\n\n");
+  std::printf("%-8s | %5s %5s %6s %5s %5s | %5s %5s %5s | %s\n", "proto",
+              "CSR", "SR", "MVCSR", "MVSR", "CPC", "RC", "ACA", "ST",
+              "Thm2-ok");
+
+  bool ok = true;
+  for (ProtocolKind kind :
+       {ProtocolKind::kCep, ProtocolKind::kStrict2pl,
+        ProtocolKind::kPredicatewise2pl, ProtocolKind::kMvto}) {
+    Tally tally;
+    for (int seed = 1; seed <= 40; ++seed) {
+      DesignWorkloadParams params;
+      params.num_txs = 8;
+      params.num_entities = 8;
+      params.num_conjuncts = 2;
+      params.reads_per_tx = 3;
+      params.think_time = 120;
+      params.cross_group_fraction = 0.3;
+      params.precedence_prob = 0.25;
+      params.arrival_spacing = 10;
+      params.seed = static_cast<uint64_t>(seed) * 7919;
+      SimWorkload workload = MakeDesignWorkload(params);
+      RunReport report =
+          RunWorkload(workload, kind, WorkloadConstraint(workload));
+      if (!report.result.all_committed) continue;
+      ++tally.runs;
+      const EmittedHistory& history = report.result.history;
+      ClassMembership m =
+          ClassifyAll(history.schedule, workload.objects);
+      tally.csr += m.csr;
+      tally.vsr += m.vsr;
+      tally.mvcsr += m.mvcsr;
+      tally.mvsr += m.mvsr;
+      tally.cpc += m.cpc;
+      RecoveryClassification r =
+          ClassifyRecovery(history.schedule, history.commits);
+      tally.rc += r.recoverable;
+      tally.aca += r.cascadeless;
+      tally.strict += r.strict;
+      if (kind == ProtocolKind::kCep) {
+        tally.verified += report.verification.ok();
+      }
+    }
+    std::printf("%-8s | %2d/%-2d %2d/%-2d %3d/%-2d %2d/%-2d %2d/%-2d | "
+                "%2d/%-2d %2d/%-2d %2d/%-2d | %s\n",
+                ProtocolKindName(kind), tally.csr, tally.runs, tally.vsr,
+                tally.runs, tally.mvcsr, tally.runs, tally.mvsr, tally.runs,
+                tally.cpc, tally.runs, tally.rc, tally.runs, tally.aca,
+                tally.runs, tally.strict, tally.runs,
+                kind == ProtocolKind::kCep
+                    ? (tally.verified == tally.runs ? "all" : "SOME FAIL")
+                    : "-");
+    // Expected shapes.
+    if (kind == ProtocolKind::kStrict2pl ||
+        kind == ProtocolKind::kMvto) {
+      // Serializable protocols stay serializable.
+      if (tally.vsr != tally.runs) {
+        std::printf("    !! a serializable protocol emitted a "
+                    "non-serializable history\n");
+        ok = false;
+      }
+    }
+    if (kind == ProtocolKind::kCep) {
+      if (tally.csr == tally.runs) {
+        std::printf("    !! CEP never left CSR — the extra freedom did not "
+                    "materialize\n");
+        ok = false;
+      }
+      if (tally.verified != tally.runs) ok = false;
+      // Recoverability by construction of the strengthened commit rule.
+      if (tally.rc != tally.runs) {
+        std::printf("    !! CEP emitted a non-recoverable history\n");
+        ok = false;
+      }
+    }
+  }
+
+  std::printf(
+      "\nReading: the locking/timestamp baselines pay for serializability;\n"
+      "CEP histories regularly fall outside CSR (and even MVSR) yet every\n"
+      "one re-verifies as a correct execution — and the strengthened commit\n"
+      "rule keeps them recoverable for free.\n");
+  std::printf("\nRESULT: %s\n", ok ? "reproduced" : "NOT REPRODUCED");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace nonserial
+
+int main() { return nonserial::Run(); }

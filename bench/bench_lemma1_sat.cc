@@ -1,0 +1,82 @@
+// Experiment E3 — Lemma 1: one-transaction version correctness is
+// NP-complete, shown constructively. Random 3-SAT formulas are pushed
+// through the paper's reduction (entities = variables, database state
+// S = {all-zeros, all-ones}, I_t = the formula with literals as equality
+// atoms); a DPLL solver on the formula and the version-assignment search on
+// the reduced instance must agree on every instance.
+//
+// The sweep crosses the 3-SAT phase transition (clause/variable ratio
+// ~4.27), where both solvers do real search.
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/random.h"
+#include "model/state.h"
+#include "model/version_search.h"
+#include "predicate/sat.h"
+
+namespace nonserial {
+namespace {
+
+int Run() {
+  std::printf("Lemma 1 reproduction: SAT <-> one-transaction version "
+              "correctness.\n\n");
+  std::printf("%6s %8s %6s | %6s %6s %8s | %10s %10s | %s\n", "vars",
+              "clauses", "ratio", "sat", "unsat", "agree", "dpll(us)",
+              "search(us)", "verdict");
+
+  Rng rng(42);
+  bool all_agree = true;
+  for (int vars : {8, 12, 16, 20}) {
+    for (double ratio : {2.0, 3.0, 4.27, 5.5, 7.0}) {
+      int clauses = static_cast<int>(vars * ratio);
+      int sat_count = 0, unsat_count = 0, agree = 0;
+      const int kTrials = 40;
+      int64_t dpll_us = 0, search_us = 0;
+      for (int trial = 0; trial < kTrials; ++trial) {
+        BoolFormula f = RandomKSat(vars, clauses, 3, &rng);
+
+        auto t0 = std::chrono::steady_clock::now();
+        bool sat = SolveSat(f).has_value();
+        auto t1 = std::chrono::steady_clock::now();
+
+        // The reduction: E = U, S = {all-0, all-1}, I_t = C.
+        DatabaseState db(vars);
+        db.Add(UniqueState(vars, 0));
+        db.Add(UniqueState(vars, 1));
+        Predicate reduced = FormulaToPredicate(f);
+        auto t2 = std::chrono::steady_clock::now();
+        bool version_correct = OneTransactionVersionCorrectness(db, reduced);
+        auto t3 = std::chrono::steady_clock::now();
+
+        dpll_us += std::chrono::duration_cast<std::chrono::microseconds>(
+                       t1 - t0)
+                       .count();
+        search_us += std::chrono::duration_cast<std::chrono::microseconds>(
+                         t3 - t2)
+                         .count();
+        sat_count += sat;
+        unsat_count += !sat;
+        agree += (sat == version_correct);
+      }
+      bool ok = agree == kTrials;
+      all_agree &= ok;
+      std::printf("%6d %8d %6.2f | %6d %6d %7d/%d | %10lld %10lld | %s\n",
+                  vars, clauses, ratio, sat_count, unsat_count, agree,
+                  kTrials, static_cast<long long>(dpll_us),
+                  static_cast<long long>(search_us),
+                  ok ? "agree" : "DISAGREE");
+    }
+  }
+
+  std::printf("\nRESULT: %s — the version-assignment search decides exactly "
+              "the satisfiable instances,\nas Lemma 1's reduction demands.\n",
+              all_agree ? "100% agreement" : "DISAGREEMENT FOUND");
+  return all_agree ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace nonserial
+
+int main() { return nonserial::Run(); }

@@ -1,0 +1,117 @@
+// Experiment E9 — google-benchmark micro-benchmarks of the protocol hot
+// paths: the Figure 3 lock manager (Rv/R/W), the classical S/X table, and
+// the version store operations that back every simulated access.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "protocol/ks_lock_manager.h"
+#include "protocol/sx_lock_table.h"
+#include "storage/version_store.h"
+
+namespace nonserial {
+namespace {
+
+void BM_KsLock_RvAcquireRelease(benchmark::State& state) {
+  KsLockManager locks(1024);
+  int tx = 0;
+  for (auto _ : state) {
+    EntityId e = tx % 1024;
+    benchmark::DoNotOptimize(locks.Acquire(tx, e, KsLockMode::kRv));
+    locks.ReleaseAll(tx);
+    ++tx;
+  }
+}
+BENCHMARK(BM_KsLock_RvAcquireRelease);
+
+void BM_KsLock_WriteReEvalPath(benchmark::State& state) {
+  // `readers` transactions hold Rv locks; each W acquisition returns
+  // kReEval and must enumerate them (the Figure 4 audience).
+  const int readers = static_cast<int>(state.range(0));
+  KsLockManager locks(16);
+  for (int r = 0; r < readers; ++r) {
+    locks.Acquire(r + 1000, 0, KsLockMode::kRv);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(locks.Acquire(1, 0, KsLockMode::kW));
+    benchmark::DoNotOptimize(locks.Readers(0));
+    locks.ReleaseWrite(1, 0);
+  }
+}
+BENCHMARK(BM_KsLock_WriteReEvalPath)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_KsLock_UpgradeToRead(benchmark::State& state) {
+  KsLockManager locks(1);
+  locks.Acquire(1, 0, KsLockMode::kRv);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(locks.UpgradeToRead(1, 0));
+  }
+}
+BENCHMARK(BM_KsLock_UpgradeToRead);
+
+void BM_SxLock_SharedAcquireRelease(benchmark::State& state) {
+  SxLockTable table(1024);
+  std::vector<int> conflicts;
+  int tx = 0;
+  for (auto _ : state) {
+    int key = tx % 1024;
+    benchmark::DoNotOptimize(
+        table.TryAcquire(tx, key, SxLockTable::Mode::kShared, &conflicts));
+    table.Release(tx, key);
+    ++tx;
+  }
+}
+BENCHMARK(BM_SxLock_SharedAcquireRelease);
+
+void BM_SxLock_ConflictDetection(benchmark::State& state) {
+  const int holders = static_cast<int>(state.range(0));
+  SxLockTable table(1);
+  std::vector<int> conflicts;
+  for (int h = 0; h < holders; ++h) {
+    table.TryAcquire(h + 100, 0, SxLockTable::Mode::kShared, &conflicts);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        table.TryAcquire(1, 0, SxLockTable::Mode::kExclusive, &conflicts));
+  }
+}
+BENCHMARK(BM_SxLock_ConflictDetection)->Arg(1)->Arg(16)->Arg(128);
+
+void BM_VersionStore_Append(benchmark::State& state) {
+  VersionStore store(ValueVector(64, 0));
+  int writer = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Append(writer % 64, writer, writer));
+    ++writer;
+  }
+}
+BENCHMARK(BM_VersionStore_Append);
+
+void BM_VersionStore_LatestIndexBy(benchmark::State& state) {
+  const int chain_length = static_cast<int>(state.range(0));
+  VersionStore store(ValueVector(1, 0));
+  for (int i = 0; i < chain_length; ++i) store.Append(0, i, i % 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.LatestIndexBy(0, 3));
+  }
+}
+BENCHMARK(BM_VersionStore_LatestIndexBy)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_VersionStore_CommitWriter(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    VersionStore store(ValueVector(64, 0));
+    for (int i = 0; i < 256; ++i) {
+      store.Append(static_cast<EntityId>(rng.Uniform(64)), i, i % 16);
+    }
+    state.ResumeTiming();
+    store.CommitWriter(7);
+  }
+}
+BENCHMARK(BM_VersionStore_CommitWriter);
+
+}  // namespace
+}  // namespace nonserial
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Experiment E4 — Theorem 1 and Section 4.3: recognizing the rich classes
+// (SR, MVSR, PC) is NP-complete, while CSR/MVCSR/CPC have polynomial
+// recognizers. We time both recognizer families on the same random
+// schedules as the transaction count grows: the exact recognizers blow up
+// factorially (they enumerate serial orders), the graph-based ones stay
+// flat. This is the practical argument for CPC as the protocol target.
+
+#include <chrono>
+#include <cstdio>
+
+#include "classes/recognizers.h"
+#include "common/random.h"
+#include "workload/schedule_gen.h"
+
+namespace nonserial {
+namespace {
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int Run() {
+  std::printf("Recognizer scaling: exponential exact classes vs polynomial "
+              "conflict classes.\n");
+  std::printf("(mean microseconds per schedule, 20 random schedules per "
+              "row)\n\n");
+  std::printf("%4s | %10s %10s %10s | %10s %10s %10s\n", "txs", "SR",
+              "MVSR", "PC", "CSR", "MVCSR", "CPC");
+
+  Rng rng(7);
+  double last_exact = 0.0;
+  double first_exact = 0.0;
+  double poly_max = 0.0;
+  for (int txs : {2, 4, 6, 8, 9}) {
+    ScheduleGenParams params;
+    params.num_txs = txs;
+    params.num_entities = 4;
+    params.ops_per_tx = 3;
+    ObjectSetList objects = PartitionObjects(params.num_entities, 2);
+
+    const int kTrials = 20;
+    int64_t vsr_us = 0, mvsr_us = 0, pc_us = 0;
+    int64_t csr_us = 0, mvcsr_us = 0, cpc_us = 0;
+    for (int i = 0; i < kTrials; ++i) {
+      Schedule s = RandomSchedule(params, &rng);
+      int64_t t0 = NowUs();
+      (void)IsViewSerializable(s);
+      int64_t t1 = NowUs();
+      (void)IsMVViewSerializable(s);
+      int64_t t2 = NowUs();
+      (void)IsPredicateCorrect(s, objects);
+      int64_t t3 = NowUs();
+      (void)IsConflictSerializable(s);
+      int64_t t4 = NowUs();
+      (void)IsMVConflictSerializable(s);
+      int64_t t5 = NowUs();
+      (void)IsConflictPredicateCorrect(s, objects);
+      int64_t t6 = NowUs();
+      vsr_us += t1 - t0;
+      mvsr_us += t2 - t1;
+      pc_us += t3 - t2;
+      csr_us += t4 - t3;
+      mvcsr_us += t5 - t4;
+      cpc_us += t6 - t5;
+    }
+    auto mean = [&](int64_t total) {
+      return static_cast<double>(total) / kTrials;
+    };
+    std::printf("%4d | %10.1f %10.1f %10.1f | %10.2f %10.2f %10.2f\n", txs,
+                mean(vsr_us), mean(mvsr_us), mean(pc_us), mean(csr_us),
+                mean(mvcsr_us), mean(cpc_us));
+    if (txs == 2) first_exact = mean(vsr_us) + mean(mvsr_us) + mean(pc_us);
+    last_exact = mean(vsr_us) + mean(mvsr_us) + mean(pc_us);
+    poly_max = std::max(poly_max,
+                        mean(csr_us) + mean(mvcsr_us) + mean(cpc_us));
+  }
+
+  double blowup = first_exact > 0 ? last_exact / first_exact : 0.0;
+  std::printf("\nExact-recognizer blowup 2->9 txs: %.0fx; polynomial "
+              "recognizers stay <= %.1f us total.\n",
+              blowup, poly_max);
+  bool shape_ok = blowup > 50.0;
+  std::printf("RESULT: %s — testing the rich classes explodes with "
+              "transaction count while the\nconflict-based classes (the "
+              "protocol-enforceable ones) stay constant-time.\n",
+              shape_ok ? "shape reproduced" : "UNEXPECTED SHAPE");
+  return shape_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace nonserial
+
+int main() { return nonserial::Run(); }

@@ -1,0 +1,96 @@
+// Experiment E12 — partial-order serializability (<SR / <CSR, Section 4.2):
+// "the increased concurrency from such a structure is obvious when a
+// locking protocol is used … if partial orders are used, the transaction
+// can access a different, available data item."
+//
+// Quantified two ways on the same transaction bodies:
+//  (a) scheduling freedom: the number of legal interleavings (and of
+//      CSR-acceptable ones) when intra-transaction order is total vs
+//      partial — the <CSR class admits every extra member;
+//  (b) intra-transaction freedom: linear extensions per program.
+
+#include <cstdio>
+#include <vector>
+
+#include "classes/recognizers.h"
+#include "schedule/po_program.h"
+
+namespace nonserial {
+namespace {
+
+Op R(TxId tx, EntityId e) { return Op{tx, OpKind::kRead, e}; }
+Op W(TxId tx, EntityId e) { return Op{tx, OpKind::kWrite, e}; }
+
+struct Row {
+  const char* label;
+  std::vector<PoProgram> programs;
+};
+
+int Run() {
+  // Two designers each touching two independent items: reads then writes,
+  // with the per-item pairs ordered but the items mutually unordered in the
+  // partial-order variant.
+  auto chain_pair = [](TxId tx, EntityId a, EntityId b) {
+    return ChainProgram(tx, {R(tx, a), W(tx, a), R(tx, b), W(tx, b)});
+  };
+  auto loose_pair = [](TxId tx, EntityId a, EntityId b) {
+    PoProgram p;
+    p.tx = tx;
+    p.ops = {R(tx, a), W(tx, a), R(tx, b), W(tx, b)};
+    p.order = {{0, 1}, {2, 3}};  // Only within-item order.
+    return p;
+  };
+
+  std::vector<Row> rows = {
+      {"total order (chains)", {chain_pair(0, 0, 1), chain_pair(1, 1, 0)}},
+      {"partial order (items free)",
+       {loose_pair(0, 0, 1), loose_pair(1, 1, 0)}},
+  };
+
+  std::printf("Scheduling freedom from partial orders "
+              "(2 txs x 4 ops over items x, y):\n\n");
+  std::printf("%-28s %14s %10s %10s %10s\n", "programs", "interleavings",
+              "CSR-ok", "MVCSR-ok", "CPC-ok");
+
+  int64_t totals[2] = {0, 0};
+  int64_t csr_ok[2] = {0, 0};
+  ObjectSetList objects = {{0}, {1}};
+  for (size_t i = 0; i < rows.size(); ++i) {
+    int64_t total = 0, csr = 0, mvcsr = 0, cpc = 0;
+    ForEachPoInterleaving(rows[i].programs, 2, [&](const Schedule& s) {
+      ++total;
+      csr += IsConflictSerializable(s);
+      mvcsr += IsMVConflictSerializable(s);
+      cpc += IsConflictPredicateCorrect(s, objects);
+      return true;
+    });
+    totals[i] = total;
+    csr_ok[i] = csr;
+    std::printf("%-28s %14lld %10lld %10lld %10lld\n", rows[i].label,
+                static_cast<long long>(total), static_cast<long long>(csr),
+                static_cast<long long>(mvcsr), static_cast<long long>(cpc));
+  }
+
+  std::printf("\nLinear extensions per program: chain = %lld, "
+              "partially ordered = %lld\n",
+              static_cast<long long>(
+                  CountLinearExtensions(rows[0].programs[0])),
+              static_cast<long long>(
+                  CountLinearExtensions(rows[1].programs[0])));
+
+  bool ok = totals[1] > totals[0] && csr_ok[1] > csr_ok[0];
+  std::printf("\nRESULT: %s — the partial order multiplies both the legal "
+              "interleavings (%lld -> %lld)\nand the serializable ones "
+              "(%lld -> %lld): exactly the <CSR gain of Section 4.2.\n",
+              ok ? "reproduced" : "NOT REPRODUCED",
+              static_cast<long long>(totals[0]),
+              static_cast<long long>(totals[1]),
+              static_cast<long long>(csr_ok[0]),
+              static_cast<long long>(csr_ok[1]));
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace nonserial
+
+int main() { return nonserial::Run(); }

@@ -1,0 +1,83 @@
+// Experiment E6 — contention behaviour: fixed long transactions, shrinking
+// database (and optional hot-spot skew) to raise the conflict rate. The
+// baselines degrade (waits for 2PL, aborted work for MVTO) much faster than
+// CEP, whose multiversion reads tolerate concurrent writers.
+
+#include <cstdio>
+
+#include "core/database.h"
+#include "workload/generators.h"
+
+namespace nonserial {
+namespace {
+
+int Run() {
+  std::printf("Contention sweep: 16 long transactions (think=400) over a "
+              "shrinking database.\n\n");
+  std::printf("%9s %6s %-8s | %9s %10s %8s %10s | %s\n", "entities", "zipf",
+              "proto", "makespan", "blocked", "aborts", "wasted-ops",
+              "verified");
+
+  bool ok = true;
+  struct Point {
+    int entities;
+    double theta;
+  };
+  for (const Point& point : {Point{64, 0.0}, Point{24, 0.0}, Point{12, 0.0},
+                             Point{12, 0.9}, Point{8, 0.9}}) {
+    DesignWorkloadParams params;
+    params.num_txs = 16;
+    params.num_entities = point.entities;
+    params.num_conjuncts = 4;
+    params.reads_per_tx = 4;
+    params.think_time = 400;
+    params.cross_group_fraction = 0.2;
+    params.precedence_prob = 0.2;
+    params.hot_theta = point.theta;
+    params.arrival_spacing = 10;
+    params.seed = 1234;
+    SimWorkload workload = MakeDesignWorkload(params);
+    Predicate constraint = WorkloadConstraint(workload);
+
+    SimTime cep_blocked = 0, s2pl_blocked = 0;
+    for (ProtocolKind kind :
+         {ProtocolKind::kCep, ProtocolKind::kStrict2pl,
+          ProtocolKind::kPredicatewise2pl, ProtocolKind::kMvto}) {
+      RunReport report = RunWorkload(workload, kind, constraint);
+      const SimResult& r = report.result;
+      const char* verified = "-";
+      if (kind == ProtocolKind::kCep) {
+        verified = report.verification.ok() ? "ok" : "FAILED";
+        ok &= report.verification.ok();
+        cep_blocked = r.total_blocked;
+      }
+      if (kind == ProtocolKind::kStrict2pl) s2pl_blocked = r.total_blocked;
+      std::printf("%9d %6.1f %-8s | %9lld %10lld %8lld %10lld | %s\n",
+                  point.entities, point.theta, report.protocol.c_str(),
+                  static_cast<long long>(r.makespan),
+                  static_cast<long long>(r.total_blocked),
+                  static_cast<long long>(r.total_aborts),
+                  static_cast<long long>(r.total_wasted_ops), verified);
+      if (!r.all_committed) {
+        std::printf("    !! %s committed only %d/%zu\n",
+                    report.protocol.c_str(), r.committed_count, r.tx.size());
+        ok = false;
+      }
+    }
+    if (cep_blocked > s2pl_blocked) {
+      std::printf("    !! CEP blocked more than S2PL under contention\n");
+      ok = false;
+    }
+    std::printf("\n");
+  }
+
+  std::printf("RESULT: %s — CEP's waiting stays bounded by the short write "
+              "locks while 2PL's grows\nwith contention x duration.\n",
+              ok ? "shape reproduced" : "SHAPE NOT REPRODUCED");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace nonserial
+
+int main() { return nonserial::Run(); }

@@ -1,0 +1,94 @@
+// Experiment E5 (+ E11) — the paper's motivating claim (Sections 1, 2.4, 5):
+// for long-duration transactions, serializability-enforcing protocols
+// impose long waits (2PL) or abort expensive work (timestamp ordering),
+// while the Correct Execution Protocol admits non-serializable but correct
+// executions with little waiting and little wasted work.
+//
+// Sweep: transaction think time (the "long duration" knob) on a cooperative
+// design workload with a partial order among designers. For every run of
+// CEP the emitted history is re-verified against the Section 3 model
+// (Theorem 2); the "verified" column must read "ok".
+
+#include <cstdio>
+
+#include "core/database.h"
+#include "workload/generators.h"
+
+namespace nonserial {
+namespace {
+
+int Run() {
+  std::printf("Long-duration transactions: CEP vs serializable baselines.\n");
+  std::printf("Workload: 16 designers, 24 entities, 4 conjuncts, "
+              "cooperation edges p=0.3.\n\n");
+  std::printf("%10s %-8s | %9s %10s %8s %10s %11s | %s\n", "think", "proto",
+              "makespan", "blocked", "aborts", "wasted-ops", "throughput",
+              "verified");
+
+  bool all_verified = true;
+  bool shape_ok = true;
+  for (SimTime think : {0, 50, 200, 800, 3200}) {
+    DesignWorkloadParams params;
+    params.num_txs = 16;
+    params.num_entities = 24;
+    params.num_conjuncts = 4;
+    params.reads_per_tx = 4;
+    params.think_time = think;
+    params.cross_group_fraction = 0.15;
+    params.precedence_prob = 0.3;
+    params.relational_clause_prob = 0.3;
+    params.arrival_spacing = 10;
+    params.seed = 99;
+    SimWorkload workload = MakeDesignWorkload(params);
+    Predicate constraint = WorkloadConstraint(workload);
+
+    SimTime cep_blocked = 0, s2pl_blocked = 0;
+    for (ProtocolKind kind :
+         {ProtocolKind::kCep, ProtocolKind::kStrict2pl,
+          ProtocolKind::kPredicatewise2pl, ProtocolKind::kMvto}) {
+      RunReport report = RunWorkload(workload, kind, constraint);
+      const SimResult& r = report.result;
+      const char* verified = "-";
+      if (kind == ProtocolKind::kCep) {
+        verified = report.verification.ok() ? "ok" : "FAILED";
+        all_verified &= report.verification.ok();
+        cep_blocked = r.total_blocked;
+      }
+      if (kind == ProtocolKind::kStrict2pl) s2pl_blocked = r.total_blocked;
+      std::printf("%10lld %-8s | %9lld %10lld %8lld %10lld %11.3f | %s\n",
+                  static_cast<long long>(think), report.protocol.c_str(),
+                  static_cast<long long>(r.makespan),
+                  static_cast<long long>(r.total_blocked),
+                  static_cast<long long>(r.total_aborts),
+                  static_cast<long long>(r.total_wasted_ops), r.Throughput(),
+                  verified);
+      if (!r.all_committed) {
+        std::printf("    !! %s left transactions uncommitted\n",
+                    report.protocol.c_str());
+        shape_ok = false;
+      }
+    }
+    // The headline shape: once transactions are long, CEP's total waiting is
+    // far below strict 2PL's.
+    if (think >= 200 && cep_blocked * 2 > s2pl_blocked) {
+      std::printf("    !! expected CEP blocked << S2PL blocked at think=%lld"
+                  " (got %lld vs %lld)\n",
+                  static_cast<long long>(think),
+                  static_cast<long long>(cep_blocked),
+                  static_cast<long long>(s2pl_blocked));
+      shape_ok = false;
+    }
+    std::printf("\n");
+  }
+
+  std::printf("RESULT: %s; CEP histories %s the Theorem 2 check.\n",
+              shape_ok ? "long-transaction waiting shape reproduced"
+                       : "SHAPE NOT REPRODUCED",
+              all_verified ? "all pass" : "FAIL");
+  return (shape_ok && all_verified) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace nonserial
+
+int main() { return nonserial::Run(); }

@@ -1,0 +1,85 @@
+// CAD design session: the paper's motivating scenario. A chief designer
+// decomposes a chip-layout change into cooperating subtasks (Figure 1
+// style); designers work for hours (large think times), hand work to each
+// other through the partial order, and the Correct Execution Protocol keeps
+// everyone busy — re-assigning versions instead of blocking, aborting only
+// on genuine partial-order invalidations.
+//
+//   ./build/examples/cad_design_session [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/database.h"
+#include "workload/generators.h"
+
+using namespace nonserial;
+
+int main(int argc, char** argv) {
+  uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2026;
+
+  // A design project: 12 designers over 20 layout parameters grouped into
+  // 4 modules (the conjuncts of the consistency constraint). 30% of
+  // designers continue the work of an earlier one (cooperation edges).
+  DesignWorkloadParams params;
+  params.num_txs = 12;
+  params.num_entities = 20;
+  params.num_conjuncts = 4;
+  params.reads_per_tx = 4;
+  params.think_time = 600;  // "Hours" at the workstation.
+  params.cross_group_fraction = 0.15;
+  params.precedence_prob = 0.3;
+  params.relational_clause_prob = 0.4;
+  params.arrival_spacing = 50;
+  params.seed = seed;
+  SimWorkload workload = MakeDesignWorkload(params);
+  Predicate constraint = WorkloadConstraint(workload);
+
+  std::printf("Design project: %zu designers, %zu parameters, %zu modules "
+              "(seed %llu)\n",
+              workload.txs.size(), workload.initial.size(),
+              workload.objects.size(),
+              static_cast<unsigned long long>(seed));
+  for (size_t i = 0; i < workload.txs.size(); ++i) {
+    const SimTx& tx = workload.txs[i];
+    int reads = 0, writes = 0;
+    for (const SimStep& s : tx.steps) {
+      reads += s.kind == SimStep::Kind::kRead;
+      writes += s.kind == SimStep::Kind::kWrite;
+    }
+    std::printf("  %-11s arrives t=%-5lld  %d reads, %d writes",
+                tx.name.c_str(), static_cast<long long>(tx.arrival), reads,
+                writes);
+    if (!tx.predecessors.empty()) {
+      std::printf("  (continues designer%d's work)", tx.predecessors[0]);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n%-8s | %9s %10s %8s %11s | %s\n", "proto", "makespan",
+              "blocked", "aborts", "wasted-ops", "history check");
+  for (ProtocolKind kind :
+       {ProtocolKind::kCep, ProtocolKind::kPredicatewise2pl,
+        ProtocolKind::kStrict2pl, ProtocolKind::kMvto}) {
+    RunReport report = RunWorkload(workload, kind, constraint);
+    std::printf("%-8s | %9lld %10lld %8lld %11lld | %s\n",
+                report.protocol.c_str(),
+                static_cast<long long>(report.result.makespan),
+                static_cast<long long>(report.result.total_blocked),
+                static_cast<long long>(report.result.total_aborts),
+                static_cast<long long>(report.result.total_wasted_ops),
+                kind == ProtocolKind::kCep
+                    ? (report.verification.ok() ? "correct execution (ok)"
+                                                : "FAILED")
+                    : "serializable");
+    if (kind == ProtocolKind::kCep) {
+      std::printf("         | protocol internals: %s\n",
+                  report.stats_summary.c_str());
+    }
+  }
+
+  std::printf("\nThe serializable baselines make designers wait out each "
+              "other's think time\n(or redo hours of work); CEP's waits are "
+              "bounded by the short write locks.\n");
+  return 0;
+}

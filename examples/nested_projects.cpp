@@ -1,0 +1,77 @@
+// Nested design projects: the full hierarchy of the paper in one run.
+// Projects are top-level transactions of a hierarchical Correct Execution
+// Protocol; designers are their subtransactions. Designers' work is
+// visible to project-mates immediately, invisible outside the project
+// until the project commits, and a designer's commit is only *relative* to
+// the project — exactly Section 5.1's nested semantics.
+//
+//   ./build/examples/nested_projects [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "workload/nested_gen.h"
+
+using namespace nonserial;
+
+int main(int argc, char** argv) {
+  NestedWorkloadParams params;
+  params.num_projects = 4;
+  params.members_per_project = 4;
+  params.entities_per_project = 5;
+  params.think_time = 150;
+  params.project_chain_prob = 0.5;
+  params.member_chain_prob = 0.4;
+  params.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  NestedWorkload nw = MakeNestedDesignWorkload(params);
+
+  std::printf("Hierarchy: %zu projects x %d designers over %zu parameters "
+              "(seed %llu)\n\n",
+              nw.nested.groups.size(), params.members_per_project,
+              nw.workload.initial.size(),
+              static_cast<unsigned long long>(params.seed));
+  for (size_t g = 0; g < nw.nested.groups.size(); ++g) {
+    const NestedGroup& group = nw.nested.groups[g];
+    std::printf("  %-10s", group.name.c_str());
+    if (!group.predecessors.empty()) {
+      std::printf(" (follows project%d)", group.predecessors[0]);
+    }
+    std::printf("\n");
+    for (size_t t = 0; t < nw.workload.txs.size(); ++t) {
+      if (nw.nested.group_of_tx[t] != static_cast<int>(g)) continue;
+      const SimTx& tx = nw.workload.txs[t];
+      std::printf("    %-8s arrives t=%-5lld", tx.name.c_str(),
+                  static_cast<long long>(tx.arrival));
+      if (!tx.predecessors.empty()) {
+        std::printf("  (continues %s)",
+                    nw.workload.txs[tx.predecessors[0]].name.c_str());
+      }
+      std::printf("\n");
+    }
+  }
+
+  Simulator sim;
+  std::shared_ptr<VersionStore> store;
+  std::shared_ptr<ConcurrencyController> controller;
+  SimResult result = sim.Run(nw.workload, MakeNestedCepFactory(nw.nested),
+                             &store, &controller);
+  const auto* nested =
+      dynamic_cast<const NestedCepController*>(controller.get());
+
+  std::printf("\nmakespan=%lld  blocked=%lld  member-aborts=%lld  "
+              "all-committed=%s\n",
+              static_cast<long long>(result.makespan),
+              static_cast<long long>(result.total_blocked),
+              static_cast<long long>(result.total_aborts),
+              result.all_committed ? "yes" : "NO");
+  std::printf("group commits=%lld  group resets=%lld\n",
+              static_cast<long long>(nested->stats().group_commits),
+              static_cast<long long>(nested->stats().group_resets));
+
+  std::printf("\nEvery project committed atomically at the top level; "
+              "within each project the\ndesigners ran under their own "
+              "Correct Execution Protocol instance, multiversion\nreads "
+              "and all, without ever leaking uncommitted state across "
+              "project boundaries.\n");
+  return result.all_committed ? 0 : 1;
+}

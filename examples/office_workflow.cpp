@@ -1,0 +1,125 @@
+// Office information system: the paper's second motivating domain. A
+// purchase-requisition document flows through clerks who each hold it for a
+// long time; budget counters must respect explicit constraints, and two
+// requisitions in flight may interleave freely as long as every step's
+// input and output predicates hold.
+//
+// The interesting twist: clerk approvals form a chain (a partial order),
+// and the budget check of a later step depends on values an earlier step
+// writes — the Correct Execution Protocol re-assigns versions across the
+// chain instead of blocking the office.
+//
+//   ./build/examples/office_workflow
+
+#include <cstdio>
+
+#include "core/database.h"
+
+using namespace nonserial;
+
+namespace {
+
+bool Check(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n", status.ToString().c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  // Budget state: department budget, spent-so-far, and two requisition
+  // amounts awaiting approval. Constraint: spending never exceeds budget
+  // and amounts are non-negative.
+  if (!db.AddEntity("budget", 1000).ok()) return 1;
+  if (!db.AddEntity("spent", 200).ok()) return 1;
+  if (!db.AddEntity("req_a", 0).ok()) return 1;
+  if (!db.AddEntity("req_b", 0).ok()) return 1;
+  if (!Check(db.SetConstraint("(spent <= budget) & (spent >= 0) & "
+                              "(req_a >= 0) & (req_b >= 0)"))) {
+    return 1;
+  }
+
+  // Requisition A: clerk enters the amount (long data-entry session) ...
+  int enter_a = db.NewTransaction("enter-req-a", /*arrival=*/0,
+                                  /*think=*/100);
+  (void)db.Read(enter_a, "req_a");
+  (void)db.Write(enter_a, "req_a", Expr::Const(300));
+
+  // ... then the manager approves and books it. The approval must follow
+  // the entry (partial order) and needs a state where the booking keeps
+  // spent <= budget.
+  int approve_a = db.NewTransaction("approve-req-a", /*arrival=*/10,
+                                    /*think=*/150);
+  (void)db.Read(approve_a, "req_a");
+  (void)db.Read(approve_a, "spent");
+  (void)db.Read(approve_a, "budget");
+  (void)db.Write(approve_a, "spent",
+                 Expr::Min(Expr::Add(*db.Var("spent"), *db.Var("req_a")),
+                           *db.Var("budget")));
+  (void)db.Write(approve_a, "req_a", Expr::Const(0));
+  Check(db.SetInput(approve_a, "(req_a >= 0) & (spent >= 0) & "
+                               "(spent <= budget)"));
+  Check(db.SetOutput(approve_a, "(spent <= budget) & (req_a = 0)"));
+  Check(db.After(approve_a, enter_a));
+
+  // Requisition B runs concurrently through a different clerk.
+  int enter_b = db.NewTransaction("enter-req-b", /*arrival=*/5,
+                                  /*think=*/100);
+  (void)db.Read(enter_b, "req_b");
+  (void)db.Write(enter_b, "req_b", Expr::Const(450));
+
+  int approve_b = db.NewTransaction("approve-req-b", /*arrival=*/15,
+                                    /*think=*/150);
+  (void)db.Read(approve_b, "req_b");
+  (void)db.Read(approve_b, "spent");
+  (void)db.Read(approve_b, "budget");
+  (void)db.Write(approve_b, "spent",
+                 Expr::Min(Expr::Add(*db.Var("spent"), *db.Var("req_b")),
+                           *db.Var("budget")));
+  (void)db.Write(approve_b, "req_b", Expr::Const(0));
+  Check(db.SetInput(approve_b, "(req_b >= 0) & (spent >= 0) & "
+                               "(spent <= budget)"));
+  Check(db.SetOutput(approve_b, "(spent <= budget) & (req_b = 0)"));
+  Check(db.After(approve_b, enter_b));
+
+  std::printf("Two purchase requisitions in flight; budget constraint "
+              "spent <= budget.\n\n");
+  std::printf("%-8s | %9s %9s %8s | %-28s | %s\n", "proto", "makespan",
+              "blocked", "aborts", "final (budget,spent,a,b)", "check");
+  for (ProtocolKind kind :
+       {ProtocolKind::kCep, ProtocolKind::kStrict2pl, ProtocolKind::kMvto}) {
+    auto report = db.Run(kind);
+    if (!report.ok()) {
+      std::fprintf(stderr, "run failed: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    const ValueVector& fs = report->result.final_state;
+    char finals[64];
+    std::snprintf(finals, sizeof(finals), "(%lld, %lld, %lld, %lld)",
+                  static_cast<long long>(fs[0]),
+                  static_cast<long long>(fs[1]),
+                  static_cast<long long>(fs[2]),
+                  static_cast<long long>(fs[3]));
+    bool consistent = db.constraint().Eval(fs);
+    std::printf("%-8s | %9lld %9lld %8lld | %-28s | %s%s\n",
+                report->protocol.c_str(),
+                static_cast<long long>(report->result.makespan),
+                static_cast<long long>(report->result.total_blocked),
+                static_cast<long long>(report->result.total_aborts), finals,
+                consistent ? "consistent" : "INCONSISTENT",
+                kind == ProtocolKind::kCep
+                    ? (report->verification.ok() ? ", verified" : ", FAILED")
+                    : "");
+  }
+
+  std::printf("\nEvery protocol preserves the budget constraint; CEP does "
+              "it without making\nclerk B wait for clerk A's session, and "
+              "its history is formally re-verified\nas a correct execution "
+              "of the Section 3 model.\n");
+  return 0;
+}

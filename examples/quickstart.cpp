@@ -1,0 +1,76 @@
+// Quickstart: two long-duration transactions that a serializable system
+// would order (or block), executing concurrently — and *correctly* — under
+// the paper's Correct Execution Protocol.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/database.h"
+
+using nonserial::Database;
+using nonserial::Expr;
+using nonserial::ProtocolKind;
+using nonserial::RunReport;
+
+int main() {
+  // 1. A tiny design database: two parameters with an explicit CNF
+  //    consistency constraint.
+  Database db;
+  if (!db.AddEntity("width", 50).ok() || !db.AddEntity("height", 50).ok()) {
+    return 1;
+  }
+  if (!db.SetConstraint("(width >= 0) & (width <= 100) & "
+                        "(height >= 0) & (height <= 100)")
+           .ok()) {
+    return 1;
+  }
+
+  // 2. Two designers. Each reads both parameters, thinks for a long time
+  //    (think_time = 50 ticks between operations), and updates one of them
+  //    based on what they saw.
+  int alice = db.NewTransaction("alice", /*arrival=*/0, /*think_time=*/50);
+  (void)db.Read(alice, "width");
+  (void)db.Read(alice, "height");
+  (void)db.Write(alice, "width",
+                 Expr::Add(*db.Var("height"), Expr::Const(1)));
+
+  int bob = db.NewTransaction("bob", /*arrival=*/1, /*think_time=*/50);
+  (void)db.Read(bob, "width");
+  (void)db.Read(bob, "height");
+  (void)db.Write(bob, "height", Expr::Add(*db.Var("width"), Expr::Const(1)));
+
+  // 3. Run under every protocol and compare.
+  std::printf("%-8s %9s %9s %8s  final(width,height)  notes\n", "proto",
+              "makespan", "blocked", "aborts");
+  for (ProtocolKind kind :
+       {ProtocolKind::kCep, ProtocolKind::kStrict2pl, ProtocolKind::kMvto}) {
+    auto report = db.Run(kind);
+    if (!report.ok()) {
+      std::printf("run failed: %s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    const RunReport& r = *report;
+    std::printf("%-8s %9lld %9lld %8lld  (%lld, %lld)          %s\n",
+                r.protocol.c_str(),
+                static_cast<long long>(r.result.makespan),
+                static_cast<long long>(r.result.total_blocked),
+                static_cast<long long>(r.result.total_aborts),
+                static_cast<long long>(r.result.final_state[0]),
+                static_cast<long long>(r.result.final_state[1]),
+                kind == ProtocolKind::kCep
+                    ? (r.verification.ok()
+                           ? "verified correct execution (Theorem 2)"
+                           : "VERIFICATION FAILED")
+                    : "serializable execution");
+  }
+
+  std::printf(
+      "\nUnder CEP both designers read the *original* state (51, 51):\n"
+      "no serial order produces that outcome, yet the execution satisfies\n"
+      "every input and output predicate — correctness without "
+      "serializability.\n");
+  return 0;
+}

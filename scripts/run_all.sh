@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite and every experiment binary,
+# and records the outputs at the repository root (test_output.txt,
+# bench_output.txt) — the EXPERIMENTS.md regeneration entry point.
+set -u
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    echo "===================================================================="
+    echo "== $(basename "$b")"
+    echo "===================================================================="
+    "$b"
+    echo
+  done
+} 2>&1 | tee bench_output.txt
+
+echo "== examples =="
+for e in build/examples/*; do
+  [ -f "$e" ] && [ -x "$e" ] || continue
+  echo "--- $(basename "$e") ---"
+  "$e" > /dev/null 2>&1 && echo "ok" || echo "EXIT $?"
+done

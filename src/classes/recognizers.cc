@@ -1,0 +1,226 @@
+#include "classes/recognizers.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace nonserial {
+namespace {
+
+/// Per-transaction view profile: the write step feeding each of the
+/// transaction's reads, in program order. Step-level (writer plus the
+/// write's index within the writer's program) — writer-level profiles are
+/// too coarse when a transaction writes an entity more than once.
+using ReadsProfile = std::vector<std::vector<Schedule::ReadSource>>;
+
+ReadsProfile ComputeReadsProfile(const Schedule& schedule) {
+  ReadsProfile profile(schedule.num_txs());
+  std::vector<Schedule::ReadSource> sources = schedule.ReadSources();
+  const std::vector<Op>& ops = schedule.ops();
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].kind == OpKind::kRead) {
+      profile[ops[i].tx].push_back(sources[i]);
+    }
+  }
+  return profile;
+}
+
+/// View equivalence of two schedules over the same transactions/programs:
+/// identical reads-from profiles and identical final writers.
+bool ViewEquivalent(const Schedule& a, const Schedule& b) {
+  return ComputeReadsProfile(a) == ComputeReadsProfile(b) &&
+         a.FinalWriters() == b.FinalWriters();
+}
+
+std::vector<TxId> ActiveTxList(const Schedule& schedule) {
+  std::set<TxId> active = schedule.ActiveTxs();
+  return std::vector<TxId>(active.begin(), active.end());
+}
+
+}  // namespace
+
+Digraph ConflictGraph(const Schedule& schedule) {
+  Digraph graph(schedule.num_txs());
+  const std::vector<Op>& ops = schedule.ops();
+  for (size_t i = 0; i < ops.size(); ++i) {
+    for (size_t j = i + 1; j < ops.size(); ++j) {
+      if (ops[i].tx == ops[j].tx) continue;
+      if (ops[i].entity != ops[j].entity) continue;
+      if (ops[i].kind == OpKind::kWrite || ops[j].kind == OpKind::kWrite) {
+        graph.AddEdge(ops[i].tx, ops[j].tx);
+      }
+    }
+  }
+  return graph;
+}
+
+Digraph ReadWriteGraph(const Schedule& schedule,
+                       const std::set<EntityId>* entities) {
+  Digraph graph(schedule.num_txs());
+  const std::vector<Op>& ops = schedule.ops();
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].kind != OpKind::kRead) continue;
+    if (entities != nullptr && !entities->contains(ops[i].entity)) continue;
+    for (size_t j = i + 1; j < ops.size(); ++j) {
+      if (ops[j].kind != OpKind::kWrite) continue;
+      if (ops[j].entity != ops[i].entity) continue;
+      if (ops[j].tx == ops[i].tx) continue;
+      graph.AddEdge(ops[i].tx, ops[j].tx);
+    }
+  }
+  return graph;
+}
+
+bool IsConflictSerializable(const Schedule& schedule,
+                            std::vector<TxId>* witness_order) {
+  Digraph graph = ConflictGraph(schedule);
+  graph.EnsureNodes(schedule.num_txs());
+  std::optional<std::vector<int>> topo = graph.TopologicalOrder();
+  if (!topo.has_value()) return false;
+  if (witness_order != nullptr) *witness_order = *topo;
+  return true;
+}
+
+bool IsViewSerializable(const Schedule& schedule,
+                        std::vector<TxId>* witness_order) {
+  std::vector<TxId> active = ActiveTxList(schedule);
+  NONSERIAL_CHECK_LE(static_cast<int>(active.size()), kMaxExactTxs)
+      << "view-serializability testing is NP-complete; exact recognizer "
+         "limited to small inputs";
+  bool found = ForEachPermutation(
+      static_cast<int>(active.size()), [&](const std::vector<int>& perm) {
+        std::vector<TxId> order;
+        order.reserve(perm.size());
+        for (int p : perm) order.push_back(active[p]);
+        if (ViewEquivalent(schedule, schedule.Serialize(order))) {
+          if (witness_order != nullptr) *witness_order = order;
+          return true;
+        }
+        return false;
+      });
+  return found;
+}
+
+bool IsMVConflictSerializable(const Schedule& schedule) {
+  return !ReadWriteGraph(schedule).HasCycle();
+}
+
+bool IsMVViewSerializable(const Schedule& schedule,
+                          std::vector<TxId>* witness_order) {
+  std::vector<TxId> active = ActiveTxList(schedule);
+  NONSERIAL_CHECK_LE(static_cast<int>(active.size()), kMaxExactTxs)
+      << "MVSR testing is NP-complete; exact recognizer limited to small "
+         "inputs";
+  const std::vector<Op>& ops = schedule.ops();
+
+  // Read positions per transaction, program order (aligned with profiles),
+  // and per-transaction op positions (for locating specific write steps).
+  std::vector<std::vector<int>> read_positions(schedule.num_txs());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].kind == OpKind::kRead) {
+      read_positions[ops[i].tx].push_back(static_cast<int>(i));
+    }
+  }
+  std::vector<std::vector<int>> ops_of(schedule.num_txs());
+  for (TxId tx = 0; tx < schedule.num_txs(); ++tx) {
+    ops_of[tx] = schedule.OpsOf(tx);
+  }
+
+  bool found = ForEachPermutation(
+      static_cast<int>(active.size()), [&](const std::vector<int>& perm) {
+        std::vector<TxId> order;
+        order.reserve(perm.size());
+        for (int p : perm) order.push_back(active[p]);
+        // The write step each read would see in the serial execution.
+        ReadsProfile serial_profile =
+            ComputeReadsProfile(schedule.Serialize(order));
+        // A version function can realize this serial view iff every needed
+        // version already exists when the actual read happens.
+        for (TxId tx = 0; tx < schedule.num_txs(); ++tx) {
+          const std::vector<int>& positions = read_positions[tx];
+          for (size_t k = 0; k < positions.size(); ++k) {
+            const Schedule::ReadSource& source = serial_profile[tx][k];
+            if (source.writer == kInitialTx || source.writer == tx) continue;
+            // Position of the producing write step in the actual schedule.
+            int write_pos = ops_of[source.writer][source.writer_op];
+            if (write_pos > positions[k]) return false;  // Future version.
+          }
+        }
+        if (witness_order != nullptr) *witness_order = order;
+        return true;
+      });
+  return found;
+}
+
+namespace {
+
+bool ForEachObjectProjection(
+    const Schedule& schedule, const ObjectSetList& objects,
+    const std::function<bool(const Schedule&)>& is_member) {
+  for (const std::set<EntityId>& object : objects) {
+    if (!is_member(schedule.ProjectEntities(object))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool IsPredicatewiseConflictSerializable(const Schedule& schedule,
+                                         const ObjectSetList& objects) {
+  return ForEachObjectProjection(
+      schedule, objects,
+      [](const Schedule& s) { return IsConflictSerializable(s); });
+}
+
+bool IsPredicatewiseViewSerializable(const Schedule& schedule,
+                                     const ObjectSetList& objects) {
+  return ForEachObjectProjection(
+      schedule, objects,
+      [](const Schedule& s) { return IsViewSerializable(s); });
+}
+
+bool IsConflictPredicateCorrect(const Schedule& schedule,
+                                const ObjectSetList& objects) {
+  for (const std::set<EntityId>& object : objects) {
+    if (ReadWriteGraph(schedule, &object).HasCycle()) return false;
+  }
+  return true;
+}
+
+bool IsPredicateCorrect(const Schedule& schedule,
+                        const ObjectSetList& objects) {
+  return ForEachObjectProjection(
+      schedule, objects,
+      [](const Schedule& s) { return IsMVViewSerializable(s); });
+}
+
+std::string ClassMembership::ToString() const {
+  std::ostringstream os;
+  os << (csr ? "CSR" : "-") << " " << (vsr ? "SR" : "-") << " "
+     << (mvcsr ? "MVCSR" : "-") << " " << (mvsr ? "MVSR" : "-") << " "
+     << (pwcsr ? "PWCSR" : "-") << " " << (pwsr ? "PWSR" : "-") << " "
+     << (cpc ? "CPC" : "-") << " " << (pc ? "PC" : "-");
+  return os.str();
+}
+
+ClassMembership ClassifyAll(const Schedule& schedule,
+                            const ObjectSetList& objects, bool* exact) {
+  ClassMembership m;
+  m.csr = IsConflictSerializable(schedule);
+  m.mvcsr = IsMVConflictSerializable(schedule);
+  m.pwcsr = IsPredicatewiseConflictSerializable(schedule, objects);
+  m.cpc = IsConflictPredicateCorrect(schedule, objects);
+  bool small = static_cast<int>(schedule.ActiveTxs().size()) <= kMaxExactTxs;
+  if (exact != nullptr) *exact = small;
+  if (small) {
+    m.vsr = IsViewSerializable(schedule);
+    m.mvsr = IsMVViewSerializable(schedule);
+    m.pwsr = IsPredicatewiseViewSerializable(schedule, objects);
+    m.pc = IsPredicateCorrect(schedule, objects);
+  }
+  return m;
+}
+
+}  // namespace nonserial

@@ -1,0 +1,96 @@
+#ifndef NONSERIAL_CLASSES_RECOGNIZERS_H_
+#define NONSERIAL_CLASSES_RECOGNIZERS_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "predicate/predicate.h"
+#include "schedule/schedule.h"
+
+namespace nonserial {
+
+/// Maximum transaction count accepted by the exponential (permutation-
+/// enumerating) recognizers: SR, MVSR, PWSR, PC. Testing these classes is
+/// NP-complete (Papadimitriou 1979; Theorem 1 of the paper), so the exact
+/// recognizers enumerate serial orders and must be kept small.
+inline constexpr int kMaxExactTxs = 10;
+
+/// Conflict graph of the standard model: edge a -> b when a step of `a`
+/// precedes a conflicting step of `b` (same entity, at least one write).
+Digraph ConflictGraph(const Schedule& schedule);
+
+/// The paper's multiversion conflict graph (Section 4.3): edge a -> b when
+/// `a` reads an entity and `b` later writes that entity. When `entities` is
+/// non-null only steps on those entities contribute (the per-conjunct
+/// restriction used by CPC).
+Digraph ReadWriteGraph(const Schedule& schedule,
+                       const std::set<EntityId>* entities = nullptr);
+
+/// CSR: conflict serializability — conflict graph acyclicity. Polynomial.
+bool IsConflictSerializable(const Schedule& schedule,
+                            std::vector<TxId>* witness_order = nullptr);
+
+/// SR: view serializability (Lemma 3's class). Exponential: enumerates
+/// serial orders of the active transactions; requires at most kMaxExactTxs.
+bool IsViewSerializable(const Schedule& schedule,
+                        std::vector<TxId>* witness_order = nullptr);
+
+/// MVCSR: multiversion conflict serializability via the paper's
+/// read-before-write graph. Polynomial.
+bool IsMVConflictSerializable(const Schedule& schedule);
+
+/// MVSR: multiversion (view) serializability — some serial order can be
+/// served by a version function that only hands out versions already
+/// written. Exponential; requires at most kMaxExactTxs active transactions.
+bool IsMVViewSerializable(const Schedule& schedule,
+                          std::vector<TxId>* witness_order = nullptr);
+
+/// PWCSR: every projection of the schedule onto an object is CSR.
+bool IsPredicatewiseConflictSerializable(const Schedule& schedule,
+                                         const ObjectSetList& objects);
+
+/// PWSR: every projection onto an object is view serializable. Exponential.
+bool IsPredicatewiseViewSerializable(const Schedule& schedule,
+                                     const ObjectSetList& objects);
+
+/// CPC: conflict predicate correct — the per-object read-before-write
+/// graphs are all acyclic (Section 4.3). Polynomial: this is the class the
+/// paper advertises as efficiently recognizable.
+bool IsConflictPredicateCorrect(const Schedule& schedule,
+                                const ObjectSetList& objects);
+
+/// PC: predicate correct — every projection onto an object is MVSR.
+/// Exponential.
+bool IsPredicateCorrect(const Schedule& schedule,
+                        const ObjectSetList& objects);
+
+/// Membership vector across every implemented class.
+struct ClassMembership {
+  bool csr = false;
+  bool vsr = false;
+  bool mvcsr = false;
+  bool mvsr = false;
+  bool pwcsr = false;
+  bool pwsr = false;
+  bool cpc = false;
+  bool pc = false;
+
+  bool operator==(const ClassMembership& other) const = default;
+
+  /// Compact rendering like "CSR SR MVCSR MVSR PWCSR PWSR CPC PC" with
+  /// absent classes rendered as '-'.
+  std::string ToString() const;
+};
+
+/// Classifies a schedule against all eight classes. The exponential
+/// recognizers are skipped (reported false) when the schedule has more than
+/// kMaxExactTxs active transactions and `*exact` is set to false.
+ClassMembership ClassifyAll(const Schedule& schedule,
+                            const ObjectSetList& objects,
+                            bool* exact = nullptr);
+
+}  // namespace nonserial
+
+#endif  // NONSERIAL_CLASSES_RECOGNIZERS_H_

@@ -1,0 +1,143 @@
+#include "classes/recoverability.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace nonserial {
+
+CommitPoints CommitsAtEnd(const Schedule& schedule,
+                          const std::vector<TxId>& order) {
+  CommitPoints out;
+  int total = static_cast<int>(schedule.ops().size());
+  out.position.assign(schedule.num_txs(), total);
+  // Encode the order by nudging the conceptual commit sequence: since all
+  // commits sit at `total`, we spread them as total, total+1, … so that
+  // earlier entries in `order` commit first.
+  int offset = 0;
+  out.sequence.assign(schedule.num_txs(), schedule.num_txs());
+  for (TxId tx : order) {
+    out.position[tx] = total + offset;
+    out.sequence[tx] = offset;
+    ++offset;
+  }
+  return out;
+}
+
+CommitPoints CommitsAfterLastOp(const Schedule& schedule) {
+  CommitPoints out;
+  out.position.assign(schedule.num_txs(),
+                      static_cast<int>(schedule.ops().size()));
+  for (TxId tx = 0; tx < schedule.num_txs(); ++tx) {
+    std::vector<int> ops = schedule.OpsOf(tx);
+    if (!ops.empty()) out.position[tx] = ops.back() + 1;
+  }
+  return out;
+}
+
+Status ValidateCommitPoints(const Schedule& schedule,
+                            const CommitPoints& commits) {
+  if (static_cast<int>(commits.position.size()) < schedule.num_txs()) {
+    return Status::InvalidArgument("missing commit points");
+  }
+  for (TxId tx = 0; tx < schedule.num_txs(); ++tx) {
+    std::vector<int> ops = schedule.OpsOf(tx);
+    if (!ops.empty() && commits.position[tx] <= ops.back()) {
+      return Status::InvalidArgument(
+          StrCat("transaction t", tx + 1, " commits before its last op"));
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// For each op index: the writer whose value a read observes (kInitialTx if
+/// none), and for each write: the previous writer it overwrites.
+struct Provenance {
+  std::vector<TxId> read_from;       // Per op; valid for reads.
+  std::vector<TxId> overwrites;      // Per op; valid for writes.
+};
+
+Provenance ComputeProvenance(const Schedule& schedule) {
+  Provenance out;
+  const std::vector<Op>& ops = schedule.ops();
+  out.read_from.assign(ops.size(), kInitialTx);
+  out.overwrites.assign(ops.size(), kInitialTx);
+  std::vector<TxId> last_writer(schedule.num_entities(), kInitialTx);
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].kind == OpKind::kRead) {
+      out.read_from[i] = last_writer[ops[i].entity];
+    } else {
+      out.overwrites[i] = last_writer[ops[i].entity];
+      last_writer[ops[i].entity] = ops[i].tx;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool IsRecoverable(const Schedule& schedule, const CommitPoints& commits) {
+  NONSERIAL_CHECK(ValidateCommitPoints(schedule, commits).ok());
+  Provenance prov = ComputeProvenance(schedule);
+  const std::vector<Op>& ops = schedule.ops();
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].kind != OpKind::kRead) continue;
+    TxId writer = prov.read_from[i];
+    if (writer == kInitialTx || writer == ops[i].tx) continue;
+    if (!commits.CommitsBefore(writer, ops[i].tx)) {
+      return false;  // Reader commits before (or with) its source.
+    }
+  }
+  return true;
+}
+
+bool IsCascadeless(const Schedule& schedule, const CommitPoints& commits) {
+  NONSERIAL_CHECK(ValidateCommitPoints(schedule, commits).ok());
+  Provenance prov = ComputeProvenance(schedule);
+  const std::vector<Op>& ops = schedule.ops();
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].kind != OpKind::kRead) continue;
+    TxId writer = prov.read_from[i];
+    if (writer == kInitialTx || writer == ops[i].tx) continue;
+    if (commits.position[writer] > static_cast<int>(i)) {
+      return false;  // Dirty read.
+    }
+  }
+  return true;
+}
+
+bool IsStrict(const Schedule& schedule, const CommitPoints& commits) {
+  NONSERIAL_CHECK(ValidateCommitPoints(schedule, commits).ok());
+  Provenance prov = ComputeProvenance(schedule);
+  const std::vector<Op>& ops = schedule.ops();
+  for (size_t i = 0; i < ops.size(); ++i) {
+    TxId source = ops[i].kind == OpKind::kRead ? prov.read_from[i]
+                                               : prov.overwrites[i];
+    if (source == kInitialTx || source == ops[i].tx) continue;
+    if (commits.position[source] > static_cast<int>(i)) {
+      return false;  // Reads or overwrites an uncommitted value.
+    }
+  }
+  return true;
+}
+
+std::string RecoveryClassification::ToString() const {
+  std::ostringstream os;
+  os << (recoverable ? "RC" : "-") << " " << (cascadeless ? "ACA" : "-")
+     << " " << (strict ? "ST" : "-");
+  return os.str();
+}
+
+RecoveryClassification ClassifyRecovery(const Schedule& schedule,
+                                        const CommitPoints& commits) {
+  RecoveryClassification out;
+  out.recoverable = IsRecoverable(schedule, commits);
+  out.cascadeless = IsCascadeless(schedule, commits);
+  out.strict = IsStrict(schedule, commits);
+  return out;
+}
+
+}  // namespace nonserial

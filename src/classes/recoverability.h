@@ -1,0 +1,76 @@
+#ifndef NONSERIAL_CLASSES_RECOVERABILITY_H_
+#define NONSERIAL_CLASSES_RECOVERABILITY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "schedule/schedule.h"
+
+namespace nonserial {
+
+/// Commit points for a schedule: commit_points[tx] is the number of
+/// operations that precede transaction tx's commit (so tx commits "between"
+/// op commit_points[tx]-1 and op commit_points[tx]). Every transaction's
+/// commit must follow its last operation.
+///
+/// The paper motivates its model partly by noting that the class of
+/// serializable schedules "present[s] several obstacles to crash recovery
+/// (allowance of cascading rollbacks and non-recoverable schedules)"; these
+/// analyzers make the standard recovery hierarchy checkable:
+///
+///   strict (ST) ⊆ avoids-cascading-aborts (ACA) ⊆ recoverable (RC).
+struct CommitPoints {
+  std::vector<int> position;  ///< Indexed by TxId.
+  /// Optional strict commit order (serial numbers). When two transactions
+  /// commit between the same pair of operations their `position` ties;
+  /// `sequence`, when non-empty, disambiguates the recoverability check.
+  std::vector<int> sequence;
+
+  /// True iff tx a commits strictly before tx b.
+  bool CommitsBefore(TxId a, TxId b) const {
+    if (!sequence.empty()) return sequence[a] < sequence[b];
+    return position[a] < position[b];
+  }
+};
+
+/// Commit points with every transaction committing right after the last
+/// operation of the whole schedule, in the given transaction order.
+CommitPoints CommitsAtEnd(const Schedule& schedule,
+                          const std::vector<TxId>& order);
+
+/// Commit points with each transaction committing immediately after its own
+/// last operation.
+CommitPoints CommitsAfterLastOp(const Schedule& schedule);
+
+/// Validates shape: one commit point per transaction, each after the
+/// transaction's last operation.
+Status ValidateCommitPoints(const Schedule& schedule,
+                            const CommitPoints& commits);
+
+/// RC: whenever t reads from t', t' commits before t does.
+bool IsRecoverable(const Schedule& schedule, const CommitPoints& commits);
+
+/// ACA: every read observes a committed write (no dirty reads), so an abort
+/// never cascades.
+bool IsCascadeless(const Schedule& schedule, const CommitPoints& commits);
+
+/// ST: no entity is read *or overwritten* while its latest writer is
+/// uncommitted — the class that makes before-image UNDO logging sound.
+bool IsStrict(const Schedule& schedule, const CommitPoints& commits);
+
+/// Summary of the recovery hierarchy for one schedule + commit order.
+struct RecoveryClassification {
+  bool recoverable = false;
+  bool cascadeless = false;
+  bool strict = false;
+
+  std::string ToString() const;
+};
+
+RecoveryClassification ClassifyRecovery(const Schedule& schedule,
+                                        const CommitPoints& commits);
+
+}  // namespace nonserial
+
+#endif  // NONSERIAL_CLASSES_RECOVERABILITY_H_

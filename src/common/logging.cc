@@ -1,0 +1,58 @@
+#include "common/logging.h"
+
+#include <atomic>
+
+namespace nonserial {
+namespace {
+
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
+    : level_(level), fatal_(fatal) {
+  enabled_ = fatal_ || static_cast<int>(level) >=
+                           static_cast<int>(GetLogLevel());
+  if (enabled_) {
+    const char* basename = file;
+    for (const char* p = file; *p != '\0'; ++p) {
+      if (*p == '/') basename = p + 1;
+    }
+    stream_ << "[" << LevelName(level_) << " " << basename << ":" << line
+            << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (fatal_) std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace nonserial

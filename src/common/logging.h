@@ -1,0 +1,59 @@
+#ifndef NONSERIAL_COMMON_LOGGING_H_
+#define NONSERIAL_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace nonserial {
+
+/// Log severities, increasing order.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global threshold: messages below this level are discarded. Defaults to
+/// kWarning so that tests and benchmarks stay quiet unless asked.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace nonserial
+
+#define NONSERIAL_LOG(level)                                      \
+  ::nonserial::internal_logging::LogMessage(                      \
+      ::nonserial::LogLevel::k##level, __FILE__, __LINE__)        \
+      .stream()
+
+/// CHECK-style invariant assertions: enabled in all build types. A failed
+/// check logs the expression and aborts; these guard internal invariants,
+/// not user input (user input errors are reported via Status).
+#define NONSERIAL_CHECK(cond)                                              \
+  if (!(cond))                                                             \
+  ::nonserial::internal_logging::LogMessage(                               \
+      ::nonserial::LogLevel::kError, __FILE__, __LINE__, /*fatal=*/true)   \
+          .stream()                                                        \
+      << "Check failed: " #cond " "
+
+#define NONSERIAL_CHECK_EQ(a, b) NONSERIAL_CHECK((a) == (b))
+#define NONSERIAL_CHECK_NE(a, b) NONSERIAL_CHECK((a) != (b))
+#define NONSERIAL_CHECK_LT(a, b) NONSERIAL_CHECK((a) < (b))
+#define NONSERIAL_CHECK_LE(a, b) NONSERIAL_CHECK((a) <= (b))
+#define NONSERIAL_CHECK_GT(a, b) NONSERIAL_CHECK((a) > (b))
+#define NONSERIAL_CHECK_GE(a, b) NONSERIAL_CHECK((a) >= (b))
+
+#endif  // NONSERIAL_COMMON_LOGGING_H_

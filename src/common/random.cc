@@ -1,0 +1,76 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace nonserial {
+
+void Rng::Seed(uint64_t seed) {
+  state_ = 0;
+  Next();
+  state_ += seed;
+  Next();
+  zipf_n_ = 0;
+  zipf_theta_ = -1.0;
+}
+
+uint32_t Rng::Next() {
+  uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+}
+
+uint64_t Rng::Next64() {
+  return (static_cast<uint64_t>(Next()) << 32) | Next();
+}
+
+uint32_t Rng::Uniform(uint32_t bound) {
+  // Lemire-style rejection-free-ish bounded draw; bias is negligible for the
+  // bounds used here but we keep the classic threshold rejection for
+  // exactness.
+  uint32_t threshold = (-bound) % bound;
+  for (;;) {
+    uint32_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next64());  // Full 64-bit range.
+  return lo + static_cast<int64_t>(Next64() % span);
+}
+
+double Rng::NextDouble() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(Next64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+uint32_t Rng::Zipf(uint32_t n, double theta) {
+  if (n <= 1) return 0;
+  if (theta <= 0.0) return Uniform(n);
+  if (zipf_n_ != n || zipf_theta_ != theta) {
+    zipf_n_ = n;
+    zipf_theta_ = theta;
+    zipf_zeta_ = 0.0;
+    for (uint32_t i = 1; i <= n; ++i) zipf_zeta_ += 1.0 / std::pow(i, theta);
+  }
+  // Inverse-CDF by linear scan is O(n) but n is small in our experiments; a
+  // precomputed alias table would be overkill.
+  double u = NextDouble() * zipf_zeta_;
+  double sum = 0.0;
+  for (uint32_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(i, theta);
+    if (sum >= u) return i - 1;
+  }
+  return n - 1;
+}
+
+}  // namespace nonserial

@@ -1,0 +1,71 @@
+#ifndef NONSERIAL_COMMON_RANDOM_H_
+#define NONSERIAL_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace nonserial {
+
+/// Deterministic PCG32 pseudo-random generator. All randomized components in
+/// the library (workload generation, schedule sampling, search tie-breaking)
+/// take an explicit Rng so experiments are reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) { Seed(seed); }
+
+  /// Re-seeds the generator; the same seed yields the same stream.
+  void Seed(uint64_t seed);
+
+  /// Uniform 32-bit value.
+  uint32_t Next();
+
+  /// Uniform 64-bit value.
+  uint64_t Next64();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint32_t Uniform(uint32_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Returns true with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Zipf-distributed value in [0, n) with skew theta in [0, 1). theta = 0 is
+  /// uniform; values near 1 are highly skewed. Used to model hot-spot access
+  /// patterns in contention experiments.
+  uint32_t Zipf(uint32_t n, double theta);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = Uniform(static_cast<uint32_t>(i));
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  /// Picks a uniformly random element index; container must be non-empty.
+  template <typename T>
+  const T& Choice(const std::vector<T>& items) {
+    return items[Uniform(static_cast<uint32_t>(items.size()))];
+  }
+
+ private:
+  uint64_t state_ = 0;
+  uint64_t inc_ = 0xda3e39cb94b95bdbULL;
+
+  // Cached Zipf normalization (recomputed when (n, theta) changes).
+  uint32_t zipf_n_ = 0;
+  double zipf_theta_ = -1.0;
+  double zipf_zeta_ = 0.0;
+};
+
+}  // namespace nonserial
+
+#endif  // NONSERIAL_COMMON_RANDOM_H_

@@ -1,0 +1,168 @@
+#ifndef NONSERIAL_COMMON_STATUS_H_
+#define NONSERIAL_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace nonserial {
+
+/// Canonical error codes, modeled after the usual database-style Status
+/// vocabulary (RocksDB / Arrow). Kept deliberately small; modules should
+/// prefer the most specific code that applies.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kFailedPrecondition = 4,
+  kOutOfRange = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kAborted = 8,        ///< Transaction aborted by the concurrency control.
+  kDeadlock = 9,       ///< Aborted specifically to break a deadlock.
+  kUnsatisfiable = 10  ///< No version assignment satisfies a predicate.
+};
+
+/// Returns the canonical lower-case name of a code ("ok", "aborted", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight error-or-success result. The library does not use
+/// exceptions across API boundaries; fallible functions return Status or
+/// StatusOr<T>.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Deadlock(std::string msg) {
+    return Status(StatusCode::kDeadlock, std::move(msg));
+  }
+  static Status Unsatisfiable(std::string msg) {
+    return Status(StatusCode::kUnsatisfiable, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Either a value of type T or an error Status. Accessing the value of a
+/// non-OK StatusOr aborts the process (programming error).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value or from an error status keeps call
+  /// sites terse: `return value;` / `return Status::NotFound(...)`.
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  StatusOr(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfError();
+    return *value_;
+  }
+  T& value() & {
+    AbortIfError();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value, or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void AbortIfError() const;
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal_status {
+[[noreturn]] void DieOnBadStatusAccess(const Status& status);
+}  // namespace internal_status
+
+template <typename T>
+void StatusOr<T>::AbortIfError() const {
+  if (!status_.ok()) internal_status::DieOnBadStatusAccess(status_);
+}
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define NONSERIAL_RETURN_IF_ERROR(expr)                   \
+  do {                                                    \
+    ::nonserial::Status _status = (expr);                 \
+    if (!_status.ok()) return _status;                    \
+  } while (false)
+
+/// Assigns the value of a StatusOr expression or propagates its error.
+#define NONSERIAL_ASSIGN_OR_RETURN(lhs, expr)             \
+  auto NONSERIAL_CONCAT_(_status_or_, __LINE__) = (expr); \
+  if (!NONSERIAL_CONCAT_(_status_or_, __LINE__).ok())     \
+    return NONSERIAL_CONCAT_(_status_or_, __LINE__).status(); \
+  lhs = std::move(NONSERIAL_CONCAT_(_status_or_, __LINE__)).value()
+
+#define NONSERIAL_CONCAT_IMPL_(a, b) a##b
+#define NONSERIAL_CONCAT_(a, b) NONSERIAL_CONCAT_IMPL_(a, b)
+
+}  // namespace nonserial
+
+#endif  // NONSERIAL_COMMON_STATUS_H_

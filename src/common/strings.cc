@@ -1,0 +1,61 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace nonserial {
+
+std::string_view StripWhitespace(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::vector<std::string> SplitAndTrim(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) pos = text.size();
+    std::string_view piece = StripWhitespace(text.substr(start, pos - start));
+    if (!piece.empty()) out.emplace_back(piece);
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool ParseInt64(std::string_view text, int64_t* out) {
+  text = StripWhitespace(text);
+  if (text.empty()) return false;
+  std::string buf(text);
+  char* end = nullptr;
+  errno = 0;
+  long long value = std::strtoll(buf.c_str(), &end, 10);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  *out = static_cast<int64_t>(value);
+  return true;
+}
+
+}  // namespace nonserial

@@ -1,0 +1,38 @@
+#ifndef NONSERIAL_COMMON_STRINGS_H_
+#define NONSERIAL_COMMON_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nonserial {
+
+/// Concatenates the string representations of the arguments via ostream
+/// formatting. `StrCat("x", 3, '!')` -> "x3!".
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+/// Splits `text` on `sep`, trimming ASCII whitespace from each piece.
+/// Empty pieces are dropped.
+std::vector<std::string> SplitAndTrim(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// Joins the elements of `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Parses a signed 64-bit integer; returns false on any non-integer input.
+bool ParseInt64(std::string_view text, int64_t* out);
+
+}  // namespace nonserial
+
+#endif  // NONSERIAL_COMMON_STRINGS_H_

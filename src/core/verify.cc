@@ -1,0 +1,106 @@
+#include "core/verify.h"
+
+#include <map>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace nonserial {
+
+Status VerifyCepHistory(const SimWorkload& workload,
+                        const CorrectExecutionProtocol& cep,
+                        const VersionStore& store,
+                        const Predicate& constraint) {
+  const std::vector<CorrectExecutionProtocol::TxRecord>& records =
+      cep.records();
+
+  // Committed transactions, in registration order; map tx id -> child
+  // position within the root.
+  std::vector<int> committed;
+  std::map<int, int> position_of;
+  for (size_t tx = 0; tx < records.size(); ++tx) {
+    if (records[tx].committed) {
+      position_of[static_cast<int>(tx)] = static_cast<int>(committed.size());
+      committed.push_back(static_cast<int>(tx));
+    }
+  }
+
+  TransactionTree tree;
+  std::vector<int> child_nodes;
+  for (int tx : committed) {
+    const CorrectExecutionProtocol::TxRecord& record = records[tx];
+    LeafProgram program;
+    // Replay the committed writes as constant effects: the transaction's
+    // mapping applied to X(t) reproduces exactly the values it wrote.
+    for (const auto& [entity, value] : record.writes) {
+      program.AddWrite(entity, Expr::Const(value));
+    }
+    Specification spec;
+    spec.input = workload.txs[tx].input;
+    spec.output = workload.txs[tx].output;
+    child_nodes.push_back(tree.AddLeaf(record.name, std::move(program),
+                                       std::move(spec)));
+  }
+
+  // t_f: reads the final database; its input condition is the database
+  // consistency constraint (the root's output condition, per Lemma 3's
+  // standard-model encoding).
+  LeafProgram tf_program;
+  for (EntityId e = 0; e < store.num_entities(); ++e) tf_program.AddRead(e);
+  Specification tf_spec;
+  tf_spec.input = constraint;
+  int tf_node = tree.AddLeaf("t_f", std::move(tf_program), tf_spec);
+  child_nodes.push_back(tf_node);
+  int tf_position = static_cast<int>(child_nodes.size()) - 1;
+
+  // Partial order P: workload precedence edges restricted to committed
+  // transactions, plus everyone-before-t_f.
+  std::vector<std::pair<int, int>> partial_order;
+  for (int tx : committed) {
+    for (int pred : workload.txs[tx].predecessors) {
+      auto it = position_of.find(pred);
+      if (it != position_of.end()) {
+        partial_order.push_back({it->second, position_of[tx]});
+      }
+    }
+    partial_order.push_back({position_of[tx], tf_position});
+  }
+
+  Specification root_spec;
+  root_spec.output = constraint;
+  int root = tree.AddInternal("root", child_nodes, partial_order, root_spec,
+                              /*final_child=*/tf_position);
+  tree.SetRoot(root);
+  NONSERIAL_RETURN_IF_ERROR(tree.Validate());
+
+  // The execution (R, X): X from the protocol's recorded input states and
+  // the final snapshot; R from the recorded version authors.
+  TreeExecution exec;
+  exec.root_input = workload.initial;
+  NodeExecution ne;
+  ne.inputs.assign(child_nodes.size(), ValueVector());
+  for (int tx : committed) {
+    const CorrectExecutionProtocol::TxRecord& record = records[tx];
+    ne.inputs[position_of[tx]] = record.input_state;
+    for (int feeder : record.feeder_txs) {
+      auto it = position_of.find(feeder);
+      if (it == position_of.end()) {
+        return Status::Internal(StrCat(
+            "committed transaction '", record.name,
+            "' was assigned a version authored by uncommitted transaction ",
+            feeder, " — commit rule 2 violated"));
+      }
+      ne.reads_from.push_back({it->second, position_of[tx]});
+    }
+  }
+  // t_f observes the final committed database; it may read from anyone.
+  ne.inputs[tf_position] = store.LatestCommittedSnapshot();
+  for (int tx : committed) {
+    ne.reads_from.push_back({position_of[tx], tf_position});
+  }
+  exec.node_executions[root] = std::move(ne);
+
+  return CheckCorrectExecution(tree, exec);
+}
+
+}  // namespace nonserial

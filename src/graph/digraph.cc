@@ -1,0 +1,228 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace nonserial {
+
+void Digraph::EnsureNodes(int n) {
+  if (n > num_nodes()) adjacency_.resize(n);
+}
+
+void Digraph::AddEdge(int from, int to) {
+  NONSERIAL_CHECK_GE(from, 0);
+  NONSERIAL_CHECK_GE(to, 0);
+  EnsureNodes(std::max(from, to) + 1);
+  std::vector<int>& out = adjacency_[from];
+  if (std::find(out.begin(), out.end(), to) == out.end()) {
+    out.push_back(to);
+    ++num_edges_;
+  }
+}
+
+bool Digraph::HasEdge(int from, int to) const {
+  if (from < 0 || from >= num_nodes()) return false;
+  const std::vector<int>& out = adjacency_[from];
+  return std::find(out.begin(), out.end(), to) != out.end();
+}
+
+namespace {
+
+enum class Color : uint8_t { kWhite, kGray, kBlack };
+
+// DFS that records a cycle in `cycle` when found. Returns true on cycle.
+bool DfsCycle(const std::vector<std::vector<int>>& adj, int node,
+              std::vector<Color>* color, std::vector<int>* stack,
+              std::vector<int>* cycle) {
+  (*color)[node] = Color::kGray;
+  stack->push_back(node);
+  for (int next : adj[node]) {
+    if ((*color)[next] == Color::kGray) {
+      // Found a back edge; extract the cycle from the stack.
+      auto it = std::find(stack->begin(), stack->end(), next);
+      cycle->assign(it, stack->end());
+      return true;
+    }
+    if ((*color)[next] == Color::kWhite &&
+        DfsCycle(adj, next, color, stack, cycle)) {
+      return true;
+    }
+  }
+  stack->pop_back();
+  (*color)[node] = Color::kBlack;
+  return false;
+}
+
+}  // namespace
+
+std::vector<int> Digraph::FindCycle() const {
+  std::vector<Color> color(num_nodes(), Color::kWhite);
+  std::vector<int> stack;
+  std::vector<int> cycle;
+  for (int i = 0; i < num_nodes(); ++i) {
+    if (color[i] == Color::kWhite &&
+        DfsCycle(adjacency_, i, &color, &stack, &cycle)) {
+      return cycle;
+    }
+  }
+  return {};
+}
+
+bool Digraph::HasCycle() const { return !FindCycle().empty(); }
+
+std::optional<std::vector<int>> Digraph::TopologicalOrder() const {
+  std::vector<int> indegree(num_nodes(), 0);
+  for (int i = 0; i < num_nodes(); ++i) {
+    for (int j : adjacency_[i]) ++indegree[j];
+  }
+  std::vector<int> queue;
+  for (int i = 0; i < num_nodes(); ++i) {
+    if (indegree[i] == 0) queue.push_back(i);
+  }
+  std::vector<int> order;
+  order.reserve(num_nodes());
+  for (size_t head = 0; head < queue.size(); ++head) {
+    int node = queue[head];
+    order.push_back(node);
+    for (int next : adjacency_[node]) {
+      if (--indegree[next] == 0) queue.push_back(next);
+    }
+  }
+  if (static_cast<int>(order.size()) != num_nodes()) return std::nullopt;
+  return order;
+}
+
+bool Digraph::Reaches(int from, int to) const {
+  if (from < 0 || from >= num_nodes()) return false;
+  if (from == to) return true;
+  std::vector<bool> seen(num_nodes(), false);
+  std::vector<int> stack = {from};
+  seen[from] = true;
+  while (!stack.empty()) {
+    int node = stack.back();
+    stack.pop_back();
+    for (int next : adjacency_[node]) {
+      if (next == to) return true;
+      if (!seen[next]) {
+        seen[next] = true;
+        stack.push_back(next);
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<std::vector<bool>> Digraph::TransitiveClosure() const {
+  int n = num_nodes();
+  std::vector<std::vector<bool>> closure(n, std::vector<bool>(n, false));
+  // BFS from every node; fine for the graph sizes we handle (transactions,
+  // not tuples).
+  for (int s = 0; s < n; ++s) {
+    std::vector<int> stack = {s};
+    std::vector<bool> seen(n, false);
+    while (!stack.empty()) {
+      int node = stack.back();
+      stack.pop_back();
+      for (int next : adjacency_[node]) {
+        if (!seen[next]) {
+          seen[next] = true;
+          closure[s][next] = true;
+          stack.push_back(next);
+        }
+      }
+    }
+  }
+  return closure;
+}
+
+namespace {
+
+struct TarjanState {
+  const std::vector<std::vector<int>>* adj;
+  std::vector<int> index, lowlink, component;
+  std::vector<bool> on_stack;
+  std::vector<int> stack;
+  int next_index = 0;
+  int num_components = 0;
+
+  void Visit(int v) {
+    index[v] = lowlink[v] = next_index++;
+    stack.push_back(v);
+    on_stack[v] = true;
+    for (int w : (*adj)[v]) {
+      if (index[w] < 0) {
+        Visit(w);
+        lowlink[v] = std::min(lowlink[v], lowlink[w]);
+      } else if (on_stack[w]) {
+        lowlink[v] = std::min(lowlink[v], index[w]);
+      }
+    }
+    if (lowlink[v] == index[v]) {
+      for (;;) {
+        int w = stack.back();
+        stack.pop_back();
+        on_stack[w] = false;
+        component[w] = num_components;
+        if (w == v) break;
+      }
+      ++num_components;
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<int> Digraph::StronglyConnectedComponents(
+    int* num_components) const {
+  TarjanState state;
+  state.adj = &adjacency_;
+  state.index.assign(num_nodes(), -1);
+  state.lowlink.assign(num_nodes(), 0);
+  state.component.assign(num_nodes(), -1);
+  state.on_stack.assign(num_nodes(), false);
+  for (int i = 0; i < num_nodes(); ++i) {
+    if (state.index[i] < 0) state.Visit(i);
+  }
+  if (num_components != nullptr) *num_components = state.num_components;
+  return state.component;
+}
+
+std::string Digraph::ToString() const {
+  std::ostringstream os;
+  os << "Digraph(" << num_nodes() << " nodes):";
+  for (int i = 0; i < num_nodes(); ++i) {
+    for (int j : adjacency_[i]) os << " " << i << "->" << j;
+  }
+  return os.str();
+}
+
+std::string Digraph::ToDot(
+    const std::function<std::string(int)>& name_of) const {
+  std::ostringstream os;
+  os << "digraph G {\n";
+  for (int i = 0; i < num_nodes(); ++i) {
+    os << "  n" << i << " [label=\""
+       << (name_of ? name_of(i) : std::to_string(i)) << "\"];\n";
+  }
+  for (int i = 0; i < num_nodes(); ++i) {
+    for (int j : adjacency_[i]) {
+      os << "  n" << i << " -> n" << j << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+bool ForEachPermutation(
+    int n, const std::function<bool(const std::vector<int>&)>& fn) {
+  std::vector<int> perm(n);
+  for (int i = 0; i < n; ++i) perm[i] = i;
+  do {
+    if (fn(perm)) return true;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return false;
+}
+
+}  // namespace nonserial

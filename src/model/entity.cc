@@ -1,0 +1,56 @@
+#include "model/entity.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace nonserial {
+
+StatusOr<EntityId> EntityCatalog::Register(const std::string& name,
+                                           Domain domain) {
+  if (by_name_.contains(name)) {
+    return Status::AlreadyExists(StrCat("entity '", name, "' already exists"));
+  }
+  if (domain.lo > domain.hi) {
+    return Status::InvalidArgument(
+        StrCat("empty domain for entity '", name, "'"));
+  }
+  EntityId id = static_cast<EntityId>(names_.size());
+  names_.push_back(name);
+  domains_.push_back(domain);
+  by_name_.emplace(name, id);
+  return id;
+}
+
+std::vector<EntityId> EntityCatalog::RegisterMany(const std::string& prefix,
+                                                  int count, Domain domain) {
+  std::vector<EntityId> ids;
+  ids.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    auto id = Register(StrCat(prefix, i), domain);
+    NONSERIAL_CHECK(id.ok()) << id.status();
+    ids.push_back(id.value());
+  }
+  return ids;
+}
+
+StatusOr<EntityId> EntityCatalog::Resolve(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound(StrCat("unknown entity '", name, "'"));
+  }
+  return it->second;
+}
+
+const std::string& EntityCatalog::Name(EntityId id) const {
+  NONSERIAL_CHECK_GE(id, 0);
+  NONSERIAL_CHECK_LT(id, size());
+  return names_[id];
+}
+
+const Domain& EntityCatalog::domain(EntityId id) const {
+  NONSERIAL_CHECK_GE(id, 0);
+  NONSERIAL_CHECK_LT(id, size());
+  return domains_[id];
+}
+
+}  // namespace nonserial

@@ -1,0 +1,52 @@
+#ifndef NONSERIAL_MODEL_ENTITY_H_
+#define NONSERIAL_MODEL_ENTITY_H_
+
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "predicate/value.h"
+
+namespace nonserial {
+
+/// Closed integer domain for an entity. dom(e) = [lo, hi].
+struct Domain {
+  Value lo = std::numeric_limits<Value>::min();
+  Value hi = std::numeric_limits<Value>::max();
+
+  bool Contains(Value v) const { return v >= lo && v <= hi; }
+};
+
+/// The set E of database entities: names, dense ids, and domains.
+/// Shared (by const reference) across states, predicates, schedules, and the
+/// protocol; append-only.
+class EntityCatalog {
+ public:
+  EntityCatalog() = default;
+
+  /// Registers a new entity; names must be unique.
+  StatusOr<EntityId> Register(const std::string& name,
+                              Domain domain = Domain());
+
+  /// Registers `count` entities named <prefix>0 … <prefix>(count-1).
+  std::vector<EntityId> RegisterMany(const std::string& prefix, int count,
+                                     Domain domain = Domain());
+
+  StatusOr<EntityId> Resolve(const std::string& name) const;
+
+  const std::string& Name(EntityId id) const;
+  const Domain& domain(EntityId id) const;
+
+  int size() const { return static_cast<int>(names_.size()); }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<Domain> domains_;
+  std::unordered_map<std::string, EntityId> by_name_;
+};
+
+}  // namespace nonserial
+
+#endif  // NONSERIAL_MODEL_ENTITY_H_

@@ -1,0 +1,302 @@
+#include "model/execution.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "graph/digraph.h"
+
+namespace nonserial {
+namespace {
+
+// Builds parent/position maps for the tree.
+void BuildParentMaps(const TransactionTree& tree, std::vector<int>* parent,
+                     std::vector<int>* position) {
+  parent->assign(tree.size(), -1);
+  position->assign(tree.size(), -1);
+  for (int id = 0; id < tree.size(); ++id) {
+    const TransactionNode& node = tree.node(id);
+    for (size_t pos = 0; pos < node.children.size(); ++pos) {
+      (*parent)[node.children[pos]] = id;
+      (*position)[node.children[pos]] = static_cast<int>(pos);
+    }
+  }
+}
+
+// Digraph over child positions from a (from, to) pair list.
+Digraph EdgesToDigraph(int n, const std::vector<std::pair<int, int>>& edges) {
+  Digraph g(n);
+  for (auto [a, b] : edges) g.AddEdge(a, b);
+  return g;
+}
+
+}  // namespace
+
+ExecutionEvaluator::ExecutionEvaluator(const TransactionTree& tree,
+                                       const TreeExecution& exec)
+    : tree_(tree), exec_(exec) {
+  BuildParentMaps(tree_, &parent_, &position_);
+}
+
+StatusOr<ValueVector> ExecutionEvaluator::InputOf(int node_id) {
+  if (node_id == tree_.root()) return exec_.root_input;
+  int parent = parent_[node_id];
+  if (parent < 0) {
+    return Status::InvalidArgument(
+        StrCat("node ", node_id, " is not attached to the tree"));
+  }
+  auto it = exec_.node_executions.find(parent);
+  if (it == exec_.node_executions.end()) {
+    return Status::FailedPrecondition(
+        StrCat("no execution recorded for internal node ", parent));
+  }
+  int pos = position_[node_id];
+  if (pos < 0 || pos >= static_cast<int>(it->second.inputs.size())) {
+    return Status::FailedPrecondition(
+        StrCat("execution of node ", parent, " lacks input for child ", pos));
+  }
+  return it->second.inputs[pos];
+}
+
+StatusOr<UniqueState> ExecutionEvaluator::OutputOf(int node_id) {
+  auto memo = memo_.find(node_id);
+  if (memo != memo_.end()) return memo->second;
+
+  const TransactionNode& node = tree_.node(node_id);
+  NONSERIAL_ASSIGN_OR_RETURN(ValueVector input, InputOf(node_id));
+  UniqueState output;
+  if (node.is_leaf) {
+    output = node.program.Apply(input);
+  } else {
+    if (node.final_child < 0) {
+      return Status::FailedPrecondition(
+          StrCat("internal node ", node_id, " ('", node.name,
+                 "') has no designated final child; its result is undefined"));
+    }
+    auto it = exec_.node_executions.find(node_id);
+    if (it == exec_.node_executions.end()) {
+      return Status::FailedPrecondition(
+          StrCat("no execution recorded for internal node ", node_id));
+    }
+    if (node.final_child >= static_cast<int>(it->second.inputs.size())) {
+      return Status::FailedPrecondition(
+          StrCat("execution of node ", node_id, " lacks final-child input"));
+    }
+    // X(t_f): the version state the final pseudo-transaction observes. A
+    // leaf t_f applies its (normally empty) program for uniformity; an
+    // internal final child contributes its own recursively defined result.
+    int final_id = node.children[node.final_child];
+    const TransactionNode& final_node = tree_.node(final_id);
+    if (final_node.is_leaf) {
+      output = final_node.program.Apply(it->second.inputs[node.final_child]);
+    } else {
+      NONSERIAL_ASSIGN_OR_RETURN(output, OutputOf(final_id));
+    }
+  }
+  memo_.emplace(node_id, output);
+  return output;
+}
+
+Status ValidateExecutionStructure(const TransactionTree& tree,
+                                  const TreeExecution& exec) {
+  NONSERIAL_RETURN_IF_ERROR(tree.Validate());
+  for (int id = 0; id < tree.size(); ++id) {
+    const TransactionNode& node = tree.node(id);
+    if (node.is_leaf) continue;
+    auto it = exec.node_executions.find(id);
+    if (it == exec.node_executions.end()) {
+      return Status::FailedPrecondition(
+          StrCat("internal node ", id, " ('", node.name,
+                 "') has no recorded execution"));
+    }
+    const NodeExecution& ne = it->second;
+    int n = static_cast<int>(node.children.size());
+    if (static_cast<int>(ne.inputs.size()) != n) {
+      return Status::InvalidArgument(
+          StrCat("execution of node ", id, " has ", ne.inputs.size(),
+                 " inputs for ", n, " children"));
+    }
+    for (auto [a, b] : ne.reads_from) {
+      if (a < 0 || a >= n || b < 0 || b >= n) {
+        return Status::InvalidArgument(
+            StrCat("execution of node ", id, " has R edge out of range"));
+      }
+    }
+    // (t_i, t_j) ∈ P+  =>  (t_j, t_i) ∉ R+.
+    Digraph p = EdgesToDigraph(n, node.partial_order);
+    Digraph r = EdgesToDigraph(n, ne.reads_from);
+    std::vector<std::vector<bool>> p_closure = p.TransitiveClosure();
+    std::vector<std::vector<bool>> r_closure = r.TransitiveClosure();
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (p_closure[i][j] && r_closure[j][i]) {
+          return Status::FailedPrecondition(StrCat(
+              "partial order invalidation at node ", id, ": children ", i,
+              " -> ", j, " ordered by P but R+ orders ", j, " -> ", i));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckParentBased(const TransactionTree& tree,
+                        const TreeExecution& exec) {
+  ExecutionEvaluator eval(tree, exec);
+  for (int id = 0; id < tree.size(); ++id) {
+    const TransactionNode& node = tree.node(id);
+    if (node.is_leaf) continue;
+    auto it = exec.node_executions.find(id);
+    if (it == exec.node_executions.end()) {
+      return Status::FailedPrecondition(
+          StrCat("internal node ", id, " has no recorded execution"));
+    }
+    const NodeExecution& ne = it->second;
+    NONSERIAL_ASSIGN_OR_RETURN(ValueVector parent_input, eval.InputOf(id));
+    int n = static_cast<int>(node.children.size());
+    // Pre-compute sibling outputs feeding each child.
+    std::vector<std::vector<int>> feeders(n);
+    for (auto [from, to] : ne.reads_from) feeders[to].push_back(from);
+    for (int i = 0; i < n; ++i) {
+      const ValueVector& x_i = ne.inputs[i];
+      if (x_i.size() != parent_input.size()) {
+        return Status::InvalidArgument(
+            StrCat("input of child ", i, " of node ", id, " has wrong size"));
+      }
+      for (size_t e = 0; e < x_i.size(); ++e) {
+        if (x_i[e] == parent_input[e]) continue;
+        bool justified = false;
+        for (int j : feeders[i]) {
+          NONSERIAL_ASSIGN_OR_RETURN(UniqueState out_j,
+                                     eval.OutputOf(node.children[j]));
+          if (out_j[e] == x_i[e]) {
+            justified = true;
+            break;
+          }
+        }
+        if (!justified) {
+          return Status::FailedPrecondition(StrCat(
+              "child ", i, " of node ", id, " reads entity ", e,
+              " = ", x_i[e],
+              " which comes neither from the parent input nor from any "
+              "sibling it reads from"));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckCorrectness(const TransactionTree& tree,
+                        const TreeExecution& exec) {
+  ExecutionEvaluator eval(tree, exec);
+  for (int id = 0; id < tree.size(); ++id) {
+    const TransactionNode& node = tree.node(id);
+    // Input condition: I_t(X(t)).
+    NONSERIAL_ASSIGN_OR_RETURN(ValueVector input, eval.InputOf(id));
+    if (!node.spec.input.Eval(input)) {
+      return Status::FailedPrecondition(
+          StrCat("input predicate of node ", id, " ('", node.name,
+                 "') does not hold on its assigned version state"));
+    }
+    // Output condition: O_t(X(t_f)) for internal nodes; for leaves, O_t is
+    // checked on the produced unique state t(X(t)).
+    if (node.spec.output.IsTrue()) continue;
+    NONSERIAL_ASSIGN_OR_RETURN(UniqueState output, eval.OutputOf(id));
+    if (!node.spec.output.Eval(output)) {
+      return Status::FailedPrecondition(
+          StrCat("output predicate of node ", id, " ('", node.name,
+                 "') does not hold on its final state"));
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckCorrectExecution(const TransactionTree& tree,
+                             const TreeExecution& exec) {
+  NONSERIAL_RETURN_IF_ERROR(ValidateExecutionStructure(tree, exec));
+  NONSERIAL_RETURN_IF_ERROR(CheckParentBased(tree, exec));
+  return CheckCorrectness(tree, exec);
+}
+
+namespace {
+
+// Recursively fills `exec` with a serial execution of `node_id` starting
+// from `input`; returns the node's output state.
+StatusOr<UniqueState> SerializeNode(
+    const TransactionTree& tree, int node_id, const ValueVector& input,
+    const std::map<int, std::vector<int>>* orders, TreeExecution* exec) {
+  const TransactionNode& node = tree.node(node_id);
+  if (node.is_leaf) return node.program.Apply(input);
+
+  int n = static_cast<int>(node.children.size());
+  std::vector<int> order;
+  if (orders != nullptr) {
+    auto it = orders->find(node_id);
+    if (it != orders->end()) order = it->second;
+  }
+  if (order.empty()) {
+    // Default: a topological order of P (positions ascending as tiebreak).
+    Digraph p = EdgesToDigraph(n, node.partial_order);
+    p.EnsureNodes(n);
+    auto topo = p.TopologicalOrder();
+    if (!topo.has_value()) {
+      return Status::InvalidArgument(
+          StrCat("node ", node_id, " has cyclic partial order"));
+    }
+    order = *topo;
+  } else {
+    // Verify the requested order respects P.
+    std::vector<int> rank(n, 0);
+    for (int i = 0; i < n; ++i) rank[order[i]] = i;
+    for (auto [a, b] : node.partial_order) {
+      if (rank[a] > rank[b]) {
+        return Status::InvalidArgument(
+            StrCat("requested order for node ", node_id,
+                   " violates its partial order"));
+      }
+    }
+  }
+  if (static_cast<int>(order.size()) != n) {
+    return Status::InvalidArgument(
+        StrCat("order for node ", node_id, " must cover all children"));
+  }
+
+  NodeExecution ne;
+  ne.inputs.assign(n, ValueVector());
+  std::vector<UniqueState> child_outputs(n);
+  ValueVector current = input;
+  int prev = -1;
+  for (int pos : order) {
+    ne.inputs[pos] = current;
+    if (prev >= 0) ne.reads_from.push_back({prev, pos});
+    NONSERIAL_ASSIGN_OR_RETURN(
+        UniqueState out,
+        SerializeNode(tree, node.children[pos], current, orders, exec));
+    child_outputs[pos] = out;
+    current = std::move(out);
+    prev = pos;
+  }
+  exec->node_executions[node_id] = std::move(ne);
+  // The node's result: X(t_f)'s product if a final child is designated,
+  // else the last child's output.
+  if (node.final_child >= 0) return child_outputs[node.final_child];
+  return current;
+}
+
+}  // namespace
+
+StatusOr<TreeExecution> MakeSerialExecution(
+    const TransactionTree& tree, ValueVector root_input,
+    const std::map<int, std::vector<int>>* orders) {
+  NONSERIAL_RETURN_IF_ERROR(tree.Validate());
+  TreeExecution exec;
+  exec.root_input = std::move(root_input);
+  NONSERIAL_ASSIGN_OR_RETURN(
+      UniqueState out,
+      SerializeNode(tree, tree.root(), exec.root_input, orders, &exec));
+  (void)out;
+  return exec;
+}
+
+}  // namespace nonserial

@@ -1,0 +1,61 @@
+#include "model/state.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace nonserial {
+
+void DatabaseState::Add(UniqueState state) {
+  NONSERIAL_CHECK_EQ(static_cast<int>(state.size()), num_entities_);
+  states_.push_back(std::move(state));
+}
+
+std::vector<Value> DatabaseState::CandidateValues(EntityId e) const {
+  std::vector<Value> out;
+  for (const UniqueState& s : states_) {
+    if (std::find(out.begin(), out.end(), s[e]) == out.end()) {
+      out.push_back(s[e]);
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<Value>> DatabaseState::AllCandidateValues() const {
+  std::vector<std::vector<Value>> out;
+  out.reserve(num_entities_);
+  for (EntityId e = 0; e < num_entities_; ++e) {
+    out.push_back(CandidateValues(e));
+  }
+  return out;
+}
+
+bool DatabaseState::IsVersionState(const ValueVector& assignment) const {
+  if (static_cast<int>(assignment.size()) != num_entities_) return false;
+  for (EntityId e = 0; e < num_entities_; ++e) {
+    bool found = false;
+    for (const UniqueState& s : states_) {
+      if (s[e] == assignment[e]) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+std::string StateToString(const EntityCatalog& catalog,
+                          const ValueVector& state) {
+  std::ostringstream os;
+  os << "{";
+  for (size_t i = 0; i < state.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << catalog.Name(static_cast<EntityId>(i)) << "=" << state[i];
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace nonserial

@@ -1,0 +1,63 @@
+#ifndef NONSERIAL_MODEL_STATE_H_
+#define NONSERIAL_MODEL_STATE_H_
+
+#include <string>
+#include <vector>
+
+#include "model/entity.h"
+#include "predicate/value.h"
+
+namespace nonserial {
+
+/// A unique state S^U: one value per entity (paper, Section 3.1). Simply a
+/// dense ValueVector of catalog size; this alias documents intent.
+using UniqueState = ValueVector;
+
+/// A database state S: a *set* of unique states. This is how the model
+/// represents multiple versions — every retained version of the database
+/// contributes one unique state.
+///
+/// The version state V_S is the set of all mix-and-match value assignments
+/// drawn per-entity from members of S; it is exponential in size and is
+/// never materialized. Instead, CandidateValues() exposes, per entity, the
+/// distinct values available — exactly what the version-assignment search
+/// consumes.
+class DatabaseState {
+ public:
+  explicit DatabaseState(int num_entities) : num_entities_(num_entities) {}
+
+  /// Adds one unique state (must have exactly num_entities values).
+  void Add(UniqueState state);
+
+  int num_entities() const { return num_entities_; }
+  int size() const { return static_cast<int>(states_.size()); }
+  bool empty() const { return states_.empty(); }
+  const std::vector<UniqueState>& states() const { return states_; }
+
+  /// Distinct values available for entity `e` across all unique states,
+  /// in first-seen order.
+  std::vector<Value> CandidateValues(EntityId e) const;
+
+  /// Per-entity candidate lists for all entities (the search input).
+  std::vector<std::vector<Value>> AllCandidateValues() const;
+
+  /// True iff `assignment` is a member of the version state V_S: each value
+  /// is drawn from some unique state in S.
+  bool IsVersionState(const ValueVector& assignment) const;
+
+  /// The result of a transaction applied to this state per the paper:
+  /// S := S ∪ {t(S)}.
+  void Union(UniqueState produced) { Add(std::move(produced)); }
+
+ private:
+  int num_entities_;
+  std::vector<UniqueState> states_;
+};
+
+/// Renders a state as "{e0=1, e1=2, ...}" using catalog names.
+std::string StateToString(const EntityCatalog& catalog,
+                          const ValueVector& state);
+
+}  // namespace nonserial
+
+#endif  // NONSERIAL_MODEL_STATE_H_

@@ -1,0 +1,38 @@
+#include "model/version_search.h"
+
+#include "common/logging.h"
+
+namespace nonserial {
+
+StatusOr<VersionAssignment> AssignVersions(const DatabaseState& db,
+                                           const Predicate& input,
+                                           SearchMode mode,
+                                           SearchStats* stats) {
+  if (db.empty()) {
+    return Status::FailedPrecondition("database state is empty");
+  }
+  std::vector<std::vector<Value>> candidates = db.AllCandidateValues();
+  std::optional<std::vector<int>> choices =
+      FindSatisfyingAssignment(input, candidates, mode, stats);
+  if (!choices.has_value()) {
+    return Status::Unsatisfiable(
+        "no version state satisfies the input predicate");
+  }
+  VersionAssignment out;
+  out.choices = std::move(*choices);
+  out.values.resize(db.num_entities());
+  for (EntityId e = 0; e < db.num_entities(); ++e) {
+    out.values[e] = candidates[e][out.choices[e]];
+  }
+  NONSERIAL_CHECK(db.IsVersionState(out.values));
+  NONSERIAL_CHECK(input.Eval(out.values));
+  return out;
+}
+
+bool OneTransactionVersionCorrectness(const DatabaseState& db,
+                                      const Predicate& input,
+                                      SearchMode mode) {
+  return AssignVersions(db, input, mode).ok();
+}
+
+}  // namespace nonserial

@@ -1,0 +1,38 @@
+#ifndef NONSERIAL_MODEL_VERSION_SEARCH_H_
+#define NONSERIAL_MODEL_VERSION_SEARCH_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "model/state.h"
+#include "predicate/assignment_search.h"
+#include "predicate/predicate.h"
+
+namespace nonserial {
+
+/// A solved version assignment: the chosen version state plus, per entity,
+/// the index of the chosen candidate within the database state's
+/// CandidateValues list.
+struct VersionAssignment {
+  ValueVector values;
+  std::vector<int> choices;
+};
+
+/// The paper's *one transaction version correctness* problem (Lemma 1):
+/// given database state S and input predicate I_t, find X(t) ∈ V_S with
+/// I_t(X(t)). NP-complete in general; practical sizes solve quickly with the
+/// pruned search.
+///
+/// Returns kUnsatisfiable when no version state satisfies the predicate.
+StatusOr<VersionAssignment> AssignVersions(
+    const DatabaseState& db, const Predicate& input,
+    SearchMode mode = SearchMode::kPruned, SearchStats* stats = nullptr);
+
+/// Decision form of the problem.
+bool OneTransactionVersionCorrectness(const DatabaseState& db,
+                                      const Predicate& input,
+                                      SearchMode mode = SearchMode::kPruned);
+
+}  // namespace nonserial
+
+#endif  // NONSERIAL_MODEL_VERSION_SEARCH_H_

@@ -1,0 +1,208 @@
+#include "predicate/assignment_search.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace nonserial {
+namespace {
+
+/// Shared search context. Works over the entities that the predicate
+/// mentions ("constrained" entities); all others keep candidate 0.
+struct SearchContext {
+  const Predicate* predicate;
+  const std::vector<std::vector<Value>>* candidates;
+  SearchStats* stats;
+
+  std::vector<EntityId> constrained;        // Search variable order.
+  std::vector<int> position_of;             // entity -> index in constrained.
+  std::vector<int> choice;                  // entity -> candidate index.
+  std::vector<bool> assigned;               // entity -> assigned?
+  ValueVector values;                       // entity -> current value.
+  // clauses_of[e]: indices of clauses mentioning entity e.
+  std::vector<std::vector<int>> clauses_of;
+
+  bool AtomDefinitelyFalse(const Atom& atom) const {
+    if (atom.lhs.is_entity && !assigned[atom.lhs.entity]) return false;
+    if (atom.rhs.is_entity && !assigned[atom.rhs.entity]) return false;
+    return !atom.Eval(values);
+  }
+
+  /// True iff the clause can still be satisfied given the partial
+  /// assignment (some atom true or undetermined).
+  bool ClauseViable(const Clause& clause) {
+    ++stats->evaluations;
+    for (const Atom& atom : clause.atoms()) {
+      if (!AtomDefinitelyFalse(atom)) return true;
+    }
+    return false;
+  }
+};
+
+bool PrunedSearch(SearchContext* ctx, size_t depth) {
+  ++ctx->stats->nodes_visited;
+  if (depth == ctx->constrained.size()) return true;
+  EntityId entity = ctx->constrained[depth];
+  const std::vector<Value>& options = (*ctx->candidates)[entity];
+  for (size_t i = 0; i < options.size(); ++i) {
+    ctx->choice[entity] = static_cast<int>(i);
+    ctx->values[entity] = options[i];
+    ctx->assigned[entity] = true;
+    bool viable = true;
+    for (int clause_index : ctx->clauses_of[entity]) {
+      if (!ctx->ClauseViable(ctx->predicate->clauses()[clause_index])) {
+        viable = false;
+        break;
+      }
+    }
+    if (viable && PrunedSearch(ctx, depth + 1)) return true;
+  }
+  ctx->assigned[entity] = false;
+  return false;
+}
+
+bool ExhaustiveSearch(SearchContext* ctx, size_t depth) {
+  if (depth == ctx->constrained.size()) {
+    ++ctx->stats->nodes_visited;
+    ++ctx->stats->evaluations;
+    return ctx->predicate->Eval(ctx->values);
+  }
+  EntityId entity = ctx->constrained[depth];
+  const std::vector<Value>& options = (*ctx->candidates)[entity];
+  for (size_t i = 0; i < options.size(); ++i) {
+    ctx->choice[entity] = static_cast<int>(i);
+    ctx->values[entity] = options[i];
+    if (ExhaustiveSearch(ctx, depth + 1)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+namespace {
+
+/// Index-style pre-filter: for every unit clause `e θ c`, drop candidates
+/// of `e` that fail the comparison. Returns per-entity surviving candidate
+/// *indices* into the original lists (nullopt when some constrained entity
+/// is left without candidates — the predicate is unsatisfiable).
+std::optional<std::vector<std::vector<int>>> IndexFilter(
+    const Predicate& predicate,
+    const std::vector<std::vector<Value>>& candidates) {
+  int n = static_cast<int>(candidates.size());
+  std::vector<std::vector<int>> surviving(n);
+  for (int e = 0; e < n; ++e) {
+    surviving[e].resize(candidates[e].size());
+    for (size_t i = 0; i < candidates[e].size(); ++i) {
+      surviving[e][i] = static_cast<int>(i);
+    }
+  }
+  for (const Clause& clause : predicate.clauses()) {
+    const std::vector<Atom>& atoms = clause.atoms();
+    if (atoms.size() != 1) continue;
+    const Atom& atom = atoms[0];
+    // Normalize to entity-vs-constant.
+    EntityId entity = kInvalidEntity;
+    bool entity_on_left = true;
+    if (atom.lhs.is_entity && !atom.rhs.is_entity) {
+      entity = atom.lhs.entity;
+    } else if (!atom.lhs.is_entity && atom.rhs.is_entity) {
+      entity = atom.rhs.entity;
+      entity_on_left = false;
+    } else {
+      continue;
+    }
+    if (entity < 0 || entity >= n) return std::nullopt;
+    std::vector<int> kept;
+    for (int index : surviving[entity]) {
+      Value v = candidates[entity][index];
+      bool holds = entity_on_left
+                       ? EvalCompare(v, atom.op, atom.rhs.constant)
+                       : EvalCompare(atom.lhs.constant, atom.op, v);
+      if (holds) kept.push_back(index);
+    }
+    if (kept.empty()) return std::nullopt;
+    surviving[entity] = std::move(kept);
+  }
+  return surviving;
+}
+
+}  // namespace
+
+std::optional<std::vector<int>> FindSatisfyingAssignment(
+    const Predicate& predicate,
+    const std::vector<std::vector<Value>>& candidates, SearchMode mode,
+    SearchStats* stats) {
+  if (mode == SearchMode::kIndexed) {
+    // Filter candidate lists through the unit-clause "indices", run the
+    // pruned search on the reduced lists, then map choices back.
+    std::optional<std::vector<std::vector<int>>> surviving =
+        IndexFilter(predicate, candidates);
+    if (!surviving.has_value()) return std::nullopt;
+    std::vector<std::vector<Value>> reduced(candidates.size());
+    for (size_t e = 0; e < candidates.size(); ++e) {
+      for (int index : (*surviving)[e]) {
+        reduced[e].push_back(candidates[e][index]);
+      }
+    }
+    std::optional<std::vector<int>> choice = FindSatisfyingAssignment(
+        predicate, reduced, SearchMode::kPruned, stats);
+    if (!choice.has_value()) return std::nullopt;
+    for (size_t e = 0; e < candidates.size(); ++e) {
+      (*choice)[e] = (*surviving)[e][(*choice)[e]];
+    }
+    return choice;
+  }
+
+  SearchStats local_stats;
+  SearchContext ctx;
+  ctx.predicate = &predicate;
+  ctx.candidates = &candidates;
+  ctx.stats = stats != nullptr ? stats : &local_stats;
+
+  int num_entities = static_cast<int>(candidates.size());
+  ctx.choice.assign(num_entities, 0);
+  ctx.assigned.assign(num_entities, false);
+  ctx.values.assign(num_entities, 0);
+  // Unconstrained entities (and constrained ones, before assignment) default
+  // to their first candidate where one exists.
+  for (int e = 0; e < num_entities; ++e) {
+    if (!candidates[e].empty()) ctx.values[e] = candidates[e][0];
+  }
+
+  std::set<EntityId> mentioned = predicate.Entities();
+  for (EntityId e : mentioned) {
+    if (e < 0 || e >= num_entities) {
+      return std::nullopt;  // Predicate mentions an unknown entity.
+    }
+    if (candidates[e].empty()) return std::nullopt;  // No version available.
+    ctx.constrained.push_back(e);
+  }
+  // MRV static ordering: fewest candidates first (ties by id for
+  // determinism).
+  std::sort(ctx.constrained.begin(), ctx.constrained.end(),
+            [&](EntityId a, EntityId b) {
+              size_t ca = candidates[a].size(), cb = candidates[b].size();
+              if (ca != cb) return ca < cb;
+              return a < b;
+            });
+
+  ctx.clauses_of.assign(num_entities, {});
+  const std::vector<Clause>& clauses = predicate.clauses();
+  for (size_t c = 0; c < clauses.size(); ++c) {
+    for (EntityId e : clauses[c].Object()) {
+      ctx.clauses_of[e].push_back(static_cast<int>(c));
+    }
+  }
+
+  bool found = mode == SearchMode::kPruned ? PrunedSearch(&ctx, 0)
+                                           : ExhaustiveSearch(&ctx, 0);
+  if (!found) return std::nullopt;
+  // Re-resolve values from choices and double-check the full predicate.
+  for (EntityId e : ctx.constrained) {
+    ctx.values[e] = candidates[e][ctx.choice[e]];
+  }
+  NONSERIAL_CHECK(predicate.Eval(ctx.values));
+  return ctx.choice;
+}
+
+}  // namespace nonserial

@@ -1,0 +1,51 @@
+#ifndef NONSERIAL_PREDICATE_ASSIGNMENT_SEARCH_H_
+#define NONSERIAL_PREDICATE_ASSIGNMENT_SEARCH_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "predicate/predicate.h"
+#include "predicate/value.h"
+
+namespace nonserial {
+
+/// Strategy for the version-selection search. Section 5.1 of the paper notes
+/// that exhaustive search over version combinations is exponential and
+/// recommends "a heuristic based scheme"; we provide both so that the
+/// validation-cost experiment (E8) can quantify the difference.
+enum class SearchMode {
+  kExhaustive,  ///< Plain cartesian-product scan with leaf evaluation.
+  kPruned,      ///< MRV-ordered backtracking with partial clause pruning.
+  kIndexed      ///< kPruned after index-style candidate filtering: unit
+                ///< clauses (single-atom, entity-vs-constant) are applied
+                ///< to each entity's candidate list up front — the paper's
+                ///< "treat the version selection process as a query …
+                ///< typical database optimizations, like indices".
+};
+
+/// Counters reported by the search.
+struct SearchStats {
+  int64_t nodes_visited = 0;   ///< Assignments (partial or full) explored.
+  int64_t evaluations = 0;     ///< Full predicate/clause evaluations.
+};
+
+/// The core of the paper's transaction-validation phase: given, for each
+/// entity, the list of candidate values (one per allowable version), find a
+/// choice of one candidate per entity such that `predicate` holds.
+///
+/// `candidates[e]` lists the values of the allowable versions of entity e;
+/// every entity mentioned by the predicate must have at least one candidate.
+/// Entities not mentioned by the predicate keep choice 0.
+///
+/// Returns the per-entity choice indices (into `candidates[e]`), or nullopt
+/// if no combination satisfies the predicate. Deciding this is NP-complete
+/// in general (Lemma 1 of the paper).
+std::optional<std::vector<int>> FindSatisfyingAssignment(
+    const Predicate& predicate,
+    const std::vector<std::vector<Value>>& candidates,
+    SearchMode mode = SearchMode::kPruned, SearchStats* stats = nullptr);
+
+}  // namespace nonserial
+
+#endif  // NONSERIAL_PREDICATE_ASSIGNMENT_SEARCH_H_

@@ -1,0 +1,366 @@
+#include "predicate/formula.h"
+
+#include <cctype>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace nonserial {
+
+Atom NegateAtom(const Atom& atom) {
+  Atom out = atom;
+  switch (atom.op) {
+    case CompareOp::kEq:
+      out.op = CompareOp::kNe;
+      break;
+    case CompareOp::kNe:
+      out.op = CompareOp::kEq;
+      break;
+    case CompareOp::kLt:
+      out.op = CompareOp::kGe;
+      break;
+    case CompareOp::kLe:
+      out.op = CompareOp::kGt;
+      break;
+    case CompareOp::kGt:
+      out.op = CompareOp::kLe;
+      break;
+    case CompareOp::kGe:
+      out.op = CompareOp::kLt;
+      break;
+  }
+  return out;
+}
+
+Formula Formula::MakeAtom(Atom atom) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kAtom;
+  node->atom = std::move(atom);
+  return Formula(node);
+}
+
+Formula Formula::And(std::vector<Formula> children) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kAnd;
+  for (Formula& child : children) node->children.push_back(child.node_);
+  return Formula(node);
+}
+
+Formula Formula::Or(std::vector<Formula> children) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kOr;
+  for (Formula& child : children) node->children.push_back(child.node_);
+  return Formula(node);
+}
+
+Formula Formula::Not(Formula child) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kNot;
+  node->children.push_back(child.node_);
+  return Formula(node);
+}
+
+bool Formula::Eval(const ValueVector& values) const {
+  // Small explicit recursion over the node graph.
+  struct Evaluator {
+    const ValueVector& values;
+    bool Visit(const NodePtr& node) const {
+      switch (node->kind) {
+        case Kind::kAtom:
+          return node->atom.Eval(values);
+        case Kind::kAnd:
+          for (const NodePtr& child : node->children) {
+            if (!Visit(child)) return false;
+          }
+          return true;
+        case Kind::kOr:
+          for (const NodePtr& child : node->children) {
+            if (Visit(child)) return true;
+          }
+          return false;
+        case Kind::kNot:
+          return !Visit(node->children[0]);
+      }
+      return false;
+    }
+  };
+  return Evaluator{values}.Visit(node_);
+}
+
+Formula::NodePtr Formula::ToNnf(const NodePtr& node, bool negated) {
+  auto out = std::make_shared<Node>();
+  switch (node->kind) {
+    case Kind::kAtom:
+      out->kind = Kind::kAtom;
+      out->atom = negated ? NegateAtom(node->atom) : node->atom;
+      return out;
+    case Kind::kNot:
+      return ToNnf(node->children[0], !negated);
+    case Kind::kAnd:
+    case Kind::kOr: {
+      bool is_and = (node->kind == Kind::kAnd) != negated;  // De Morgan.
+      out->kind = is_and ? Kind::kAnd : Kind::kOr;
+      for (const NodePtr& child : node->children) {
+        out->children.push_back(ToNnf(child, negated));
+      }
+      return out;
+    }
+  }
+  return out;
+}
+
+std::vector<Clause> Formula::NnfToClauses(const NodePtr& node) {
+  switch (node->kind) {
+    case Kind::kAtom:
+      return {Clause({node->atom})};
+    case Kind::kAnd: {
+      std::vector<Clause> out;
+      for (const NodePtr& child : node->children) {
+        std::vector<Clause> sub = NnfToClauses(child);
+        out.insert(out.end(), sub.begin(), sub.end());
+      }
+      return out;
+    }
+    case Kind::kOr: {
+      // Distribute: clauses(c1 | c2 | …) = cross-union of the children's
+      // clause sets. Or() of nothing is `false`: one empty clause.
+      std::vector<Clause> acc = {Clause()};
+      for (const NodePtr& child : node->children) {
+        std::vector<Clause> sub = NnfToClauses(child);
+        std::vector<Clause> next;
+        next.reserve(acc.size() * sub.size());
+        for (const Clause& a : acc) {
+          for (const Clause& b : sub) {
+            std::vector<Atom> atoms = a.atoms();
+            atoms.insert(atoms.end(), b.atoms().begin(), b.atoms().end());
+            next.push_back(Clause(std::move(atoms)));
+          }
+        }
+        acc = std::move(next);
+      }
+      return acc;
+    }
+    case Kind::kNot:
+      NONSERIAL_CHECK(false) << "negation survived NNF conversion";
+      return {};
+  }
+  return {};
+}
+
+Predicate Formula::ToCnf() const {
+  NodePtr nnf = ToNnf(node_, /*negated=*/false);
+  return Predicate(NnfToClauses(nnf));
+}
+
+std::string Formula::ToString(
+    const std::function<std::string(EntityId)>& name_of) const {
+  struct Printer {
+    const std::function<std::string(EntityId)>& name_of;
+    std::string Visit(const NodePtr& node) const {
+      switch (node->kind) {
+        case Kind::kAtom: {
+          auto term = [&](const Term& t) {
+            return t.is_entity ? name_of(t.entity)
+                               : std::to_string(t.constant);
+          };
+          return StrCat(term(node->atom.lhs), " ",
+                        CompareOpName(node->atom.op), " ",
+                        term(node->atom.rhs));
+        }
+        case Kind::kAnd:
+        case Kind::kOr: {
+          if (node->children.empty()) {
+            return node->kind == Kind::kAnd ? "true" : "false";
+          }
+          std::string sep = node->kind == Kind::kAnd ? " & " : " | ";
+          std::string out = "(";
+          for (size_t i = 0; i < node->children.size(); ++i) {
+            if (i > 0) out += sep;
+            out += Visit(node->children[i]);
+          }
+          return out + ")";
+        }
+        case Kind::kNot:
+          return StrCat("!", Visit(node->children[0]));
+      }
+      return "?";
+    }
+  };
+  return Printer{name_of}.Visit(node_);
+}
+
+std::string Formula::ToString() const {
+  return ToString([](EntityId e) { return StrCat("e", e); });
+}
+
+namespace {
+
+/// Recursive-descent parser for the full boolean grammar.
+class FormulaParser {
+ public:
+  FormulaParser(
+      const std::string& text,
+      const std::function<StatusOr<EntityId>(const std::string&)>& resolve)
+      : text_(text), resolve_(resolve) {}
+
+  StatusOr<Formula> Parse() {
+    auto f = ParseOr();
+    if (!f.ok()) return f;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument(
+          StrCat("trailing input at offset ", pos_, " in formula"));
+    }
+    return f;
+  }
+
+ private:
+  StatusOr<Formula> ParseOr() {
+    auto lhs = ParseAnd();
+    if (!lhs.ok()) return lhs;
+    std::vector<Formula> parts = {std::move(lhs).value()};
+    while (Consume('|')) {
+      auto rhs = ParseAnd();
+      if (!rhs.ok()) return rhs;
+      parts.push_back(std::move(rhs).value());
+    }
+    return parts.size() == 1 ? std::move(parts[0])
+                             : Formula::Or(std::move(parts));
+  }
+
+  StatusOr<Formula> ParseAnd() {
+    auto lhs = ParseFactor();
+    if (!lhs.ok()) return lhs;
+    std::vector<Formula> parts = {std::move(lhs).value()};
+    while (Consume('&')) {
+      auto rhs = ParseFactor();
+      if (!rhs.ok()) return rhs;
+      parts.push_back(std::move(rhs).value());
+    }
+    return parts.size() == 1 ? std::move(parts[0])
+                             : Formula::And(std::move(parts));
+  }
+
+  StatusOr<Formula> ParseFactor() {
+    SkipSpace();
+    if (Consume('!')) {
+      auto inner = ParseFactor();
+      if (!inner.ok()) return inner;
+      return Formula::Not(std::move(inner).value());
+    }
+    // A '(' may open a sub-formula; distinguish from the start of nothing.
+    size_t saved = pos_;
+    if (Consume('(')) {
+      auto inner = ParseOr();
+      if (inner.ok() && Consume(')')) return inner;
+      pos_ = saved;  // Not a sub-formula (or malformed): fall through.
+      if (!inner.ok()) return inner.status();
+      return Status::InvalidArgument(StrCat("expected ')' at offset ", pos_));
+    }
+    auto atom = ParseAtom();
+    if (!atom.ok()) return atom.status();
+    return Formula::MakeAtom(std::move(atom).value());
+  }
+
+  StatusOr<Atom> ParseAtom() {
+    auto lhs = ParseTerm();
+    if (!lhs.ok()) return lhs.status();
+    auto op = ParseOp();
+    if (!op.ok()) return op.status();
+    auto rhs = ParseTerm();
+    if (!rhs.ok()) return rhs.status();
+    return nonserial::MakeAtom(lhs.value(), op.value(), rhs.value());
+  }
+
+  StatusOr<Term> ParseTerm() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("unexpected end of formula");
+    }
+    char c = text_[pos_];
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = pos_++;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      int64_t value = 0;
+      if (!ParseInt64(text_.substr(start, pos_ - start), &value)) {
+        return Status::InvalidArgument(StrCat("bad integer at ", start));
+      }
+      return Term::Constant(value);
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_' || text_[pos_] == '.')) {
+        ++pos_;
+      }
+      auto id = resolve_(text_.substr(start, pos_ - start));
+      if (!id.ok()) return id.status();
+      return Term::Entity(id.value());
+    }
+    return Status::InvalidArgument(
+        StrCat("unexpected character '", c, "' at offset ", pos_));
+  }
+
+  StatusOr<CompareOp> ParseOp() {
+    SkipSpace();
+    auto take2 = [&](char a, char b,
+                     CompareOp op) -> std::optional<CompareOp> {
+      if (pos_ + 1 < text_.size() && text_[pos_] == a &&
+          text_[pos_ + 1] == b) {
+        pos_ += 2;
+        return op;
+      }
+      return std::nullopt;
+    };
+    if (auto op = take2('!', '=', CompareOp::kNe)) return *op;
+    if (auto op = take2('<', '=', CompareOp::kLe)) return *op;
+    if (auto op = take2('>', '=', CompareOp::kGe)) return *op;
+    if (Consume('=')) return CompareOp::kEq;
+    if (Consume('<')) return CompareOp::kLt;
+    if (Consume('>')) return CompareOp::kGt;
+    return Status::InvalidArgument(
+        StrCat("expected comparison operator at offset ", pos_));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  const std::string& text_;
+  const std::function<StatusOr<EntityId>(const std::string&)>& resolve_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Formula> ParseFormula(
+    const std::string& text,
+    const std::function<StatusOr<EntityId>(const std::string&)>& resolve) {
+  std::string_view stripped = StripWhitespace(text);
+  if (stripped.empty() || stripped == "true") {
+    return Formula::And({});
+  }
+  if (stripped == "false") {
+    return Formula::Or({});
+  }
+  FormulaParser parser(text, resolve);
+  return parser.Parse();
+}
+
+}  // namespace nonserial

@@ -1,0 +1,82 @@
+#ifndef NONSERIAL_PREDICATE_FORMULA_H_
+#define NONSERIAL_PREDICATE_FORMULA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "predicate/predicate.h"
+
+namespace nonserial {
+
+/// An arbitrary boolean combination of comparison atoms — the general form
+/// in which users state consistency constraints. The paper's model works
+/// over conjunctive normal form and notes that "it is easy to show that all
+/// predicates can be expressed in conjunctive normal form"; ToCnf() makes
+/// that constructive.
+///
+/// Negation never survives conversion: the atom language is closed under
+/// complement (¬(x < y) ≡ x ≥ y), so NNF pushes ¬ into the atoms and the
+/// distribution step produces plain clauses.
+class Formula {
+ public:
+  /// Leaf: a comparison atom.
+  static Formula MakeAtom(Atom atom);
+  /// Conjunction; And of zero children is `true`.
+  static Formula And(std::vector<Formula> children);
+  /// Disjunction; Or of zero children is `false`.
+  static Formula Or(std::vector<Formula> children);
+  /// Negation.
+  static Formula Not(Formula child);
+
+  /// Evaluates under a complete assignment.
+  bool Eval(const ValueVector& values) const;
+
+  /// Converts to an equivalent CNF predicate (negation-normal form followed
+  /// by distribution of Or over And). Worst-case exponential in formula
+  /// size, as CNF conversion without auxiliary variables must be; intended
+  /// for the hand-written constraints of this domain.
+  Predicate ToCnf() const;
+
+  std::string ToString(
+      const std::function<std::string(EntityId)>& name_of) const;
+  std::string ToString() const;
+
+ private:
+  enum class Kind : uint8_t { kAtom, kAnd, kOr, kNot };
+
+  struct Node;
+  using NodePtr = std::shared_ptr<const Node>;
+  struct Node {
+    Kind kind = Kind::kAtom;
+    Atom atom;
+    std::vector<NodePtr> children;
+  };
+
+  explicit Formula(NodePtr node) : node_(std::move(node)) {}
+
+  static NodePtr ToNnf(const NodePtr& node, bool negated);
+  /// Converts an NNF node into clause sets (a conjunction of clauses).
+  static std::vector<Clause> NnfToClauses(const NodePtr& node);
+
+  NodePtr node_;
+};
+
+/// Complements an atom: ¬(x θ y) as the opposite comparison.
+Atom NegateAtom(const Atom& atom);
+
+/// Parses a full boolean formula. Grammar (precedence: ! > & > |):
+///
+///   formula := term ('|' term)*
+///   term    := factor ('&' factor)*
+///   factor  := '!' factor | '(' formula ')' | atom
+///   atom    := operand op operand          (as in ParsePredicate)
+///
+StatusOr<Formula> ParseFormula(
+    const std::string& text,
+    const std::function<StatusOr<EntityId>(const std::string&)>& resolve);
+
+}  // namespace nonserial
+
+#endif  // NONSERIAL_PREDICATE_FORMULA_H_

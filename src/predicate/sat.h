@@ -1,0 +1,65 @@
+#ifndef NONSERIAL_PREDICATE_SAT_H_
+#define NONSERIAL_PREDICATE_SAT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "predicate/predicate.h"
+
+namespace nonserial {
+
+/// A boolean literal: variable index plus sign. Variable indices are dense
+/// [0, num_vars).
+struct BoolLiteral {
+  int var = 0;
+  bool negated = false;
+};
+
+/// A boolean CNF formula. This is the substrate for the paper's Lemma 1:
+/// satisfiability reduces to one-transaction version correctness.
+struct BoolFormula {
+  int num_vars = 0;
+  std::vector<std::vector<BoolLiteral>> clauses;
+
+  /// Evaluates under a complete assignment (assignment[v] is the truth
+  /// value of variable v).
+  bool Eval(const std::vector<bool>& assignment) const;
+
+  /// DIMACS-like rendering for diagnostics.
+  std::string ToString() const;
+};
+
+/// Statistics from a DPLL run.
+struct SatStats {
+  int64_t decisions = 0;
+  int64_t unit_propagations = 0;
+  int64_t backtracks = 0;
+};
+
+/// Davis-Putnam-Logemann-Loveland SAT solver with unit propagation and
+/// pure-literal elimination. Returns a satisfying assignment or nullopt if
+/// the formula is unsatisfiable.
+std::optional<std::vector<bool>> SolveSat(const BoolFormula& formula,
+                                          SatStats* stats = nullptr);
+
+/// Generates a uniformly random k-SAT formula with `num_clauses` clauses
+/// over `num_vars` variables (distinct variables within a clause).
+BoolFormula RandomKSat(int num_vars, int num_clauses, int k, Rng* rng);
+
+/// The Lemma 1 reduction, forward direction: transforms a boolean CNF
+/// formula C over variables U into a predicate I_t over entities E = U such
+/// that I_t is satisfiable by some version state of S = {all-zeros, all-ones}
+/// iff C is satisfiable. Literal u becomes atom (e_u = 1); literal ¬u
+/// becomes (e_u = 0).
+Predicate FormulaToPredicate(const BoolFormula& formula);
+
+/// The candidate version sets induced by the Lemma 1 database state
+/// S = {S^U_0, S^U_1}: every entity has exactly the two versions {0, 1}.
+std::vector<std::vector<Value>> Lemma1CandidateSets(int num_vars);
+
+}  // namespace nonserial
+
+#endif  // NONSERIAL_PREDICATE_SAT_H_

@@ -1,0 +1,51 @@
+#ifndef NONSERIAL_PREDICATE_VALUE_H_
+#define NONSERIAL_PREDICATE_VALUE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace nonserial {
+
+/// Database entities hold 64-bit integer values. The paper's model allows
+/// arbitrary domains dom(e); integers exercise every comparison operator the
+/// predicate language defines, which is all the structure the model uses.
+using Value = int64_t;
+
+/// Dense entity identifier, indexing into the entity catalog. Entities are
+/// the smallest lockable/versionable units ("data items" in the paper).
+using EntityId = int32_t;
+
+constexpr EntityId kInvalidEntity = -1;
+
+/// A full assignment of one value per entity (a unique state, or a version
+/// state once provenance is tracked separately). Indexed by EntityId.
+using ValueVector = std::vector<Value>;
+
+/// The six comparison operators the paper admits in atoms.
+enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Applies `op` to (lhs, rhs).
+inline bool EvalCompare(Value lhs, CompareOp op, Value rhs) {
+  switch (op) {
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNe:
+      return lhs != rhs;
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs <= rhs;
+    case CompareOp::kGt:
+      return lhs > rhs;
+    case CompareOp::kGe:
+      return lhs >= rhs;
+  }
+  return false;
+}
+
+/// Symbolic name of a comparison operator ("=", "!=", "<", "<=", ">", ">=").
+const char* CompareOpName(CompareOp op);
+
+}  // namespace nonserial
+
+#endif  // NONSERIAL_PREDICATE_VALUE_H_

@@ -1,0 +1,467 @@
+#include "protocol/cep.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace nonserial {
+
+CorrectExecutionProtocol::CorrectExecutionProtocol(VersionStore* store)
+    : CorrectExecutionProtocol(store, Options()) {}
+
+CorrectExecutionProtocol::CorrectExecutionProtocol(VersionStore* store,
+                                                   Options options)
+    : store_(store), options_(options), locks_(store->num_entities()) {
+  initial_snapshot_.resize(store->num_entities());
+  for (EntityId e = 0; e < store->num_entities(); ++e) {
+    initial_snapshot_[e] = store->Chain(e)[0].value;
+  }
+}
+
+void CorrectExecutionProtocol::Register(int tx, TxProfile profile) {
+  if (tx >= static_cast<int>(txs_.size())) {
+    txs_.resize(tx + 1);
+    records_.resize(tx + 1);
+  }
+  precedence_.EnsureNodes(tx + 1);
+  for (int pred : profile.predecessors) {
+    precedence_.AddEdge(pred, tx);
+  }
+  TxState& state = txs_[tx];
+  state.profile = std::move(profile);
+  state.input_entities = state.profile.input.Entities();
+  records_[tx].name = state.profile.name;
+}
+
+bool CorrectExecutionProtocol::Reaches(int from, int to) const {
+  if (from == to) return false;
+  return precedence_.Reaches(from, to);
+}
+
+std::vector<VersionRef> CorrectExecutionProtocol::AllowableVersions(
+    int tx, EntityId e) const {
+  // The set D of Section 5.1: a sibling t_j contributes its latest version
+  // of e unless (1) it is a successor of tx, (2) it has not written e, or
+  // (3) another writer of e lies between t_j and tx in P+.
+  std::vector<int> writers;
+  for (int s = 0; s < static_cast<int>(txs_.size()); ++s) {
+    if (s == tx) continue;
+    if (Reaches(tx, s)) continue;  // Rule 1: successor.
+    if (!store_->LatestIndexBy(e, s).has_value()) continue;  // Rule 2.
+    writers.push_back(s);
+  }
+  std::vector<int> surviving;
+  for (int s : writers) {
+    bool shadowed = false;
+    for (int k : writers) {
+      if (k != s && Reaches(s, k) && Reaches(k, tx)) {  // Rule 3.
+        shadowed = true;
+        break;
+      }
+    }
+    if (!shadowed) surviving.push_back(s);
+  }
+  // Predecessor domination: if any surviving writer precedes tx in P+, the
+  // transaction may only read predecessor versions.
+  std::vector<int> preds;
+  for (int s : surviving) {
+    if (Reaches(s, tx)) preds.push_back(s);
+  }
+  // Candidate order biases the assignment search: committed versions first
+  // (reading them never delays commit or risks a cascade), then the
+  // parent's version, then optimistic uncommitted versions.
+  std::vector<VersionRef> out;
+  const std::vector<int>& chosen = preds.empty() ? surviving : preds;
+  for (int s : chosen) {
+    if (txs_[s].phase == Phase::kCommitted) {
+      out.push_back(VersionRef{e, *store_->LatestIndexBy(e, s)});
+    }
+  }
+  if (preds.empty()) {
+    // The version assigned to the parent: at the root scope, the initial
+    // database (version 0).
+    out.push_back(VersionRef{e, 0});
+  }
+  for (int s : chosen) {
+    if (txs_[s].phase != Phase::kCommitted) {
+      out.push_back(VersionRef{e, *store_->LatestIndexBy(e, s)});
+    }
+  }
+  return out;
+}
+
+bool CorrectExecutionProtocol::SolveAssignment(
+    int tx, const std::map<EntityId, VersionRef>& pinned) {
+  TxState& state = txs_[tx];
+  int n = store_->num_entities();
+  std::vector<std::vector<Value>> values(n);
+  std::vector<std::vector<VersionRef>> refs(n);
+  for (EntityId e = 0; e < n; ++e) {
+    auto pin = pinned.find(e);
+    if (pin != pinned.end()) {
+      refs[e] = {pin->second};
+    } else if (state.input_entities.contains(e)) {
+      refs[e] = AllowableVersions(tx, e);
+    } else {
+      refs[e] = {VersionRef{e, 0}};
+    }
+    values[e].reserve(refs[e].size());
+    for (const VersionRef& ref : refs[e]) {
+      values[e].push_back(store_->Read(ref));
+    }
+  }
+  std::optional<std::vector<int>> choice = FindSatisfyingAssignment(
+      state.profile.input, values, options_.search_mode, &stats_.search);
+  if (!choice.has_value()) return false;
+  state.assigned.clear();
+  for (EntityId e : state.input_entities) {
+    state.assigned[e] = refs[e][(*choice)[e]];
+  }
+  state.input_view = initial_snapshot_;
+  for (const auto& [e, ref] : state.assigned) {
+    state.input_view[e] = store_->Read(ref);
+  }
+  state.local_view = state.input_view;
+  for (const auto& [e, idx] : state.own_latest) {
+    state.local_view[e] = store_->Chain(e)[idx].value;
+  }
+  return true;
+}
+
+ReqResult CorrectExecutionProtocol::Begin(int tx) {
+  TxState& state = txs_[tx];
+  NONSERIAL_CHECK(state.phase == Phase::kIdle ||
+                  state.phase == Phase::kValidating)
+      << "Begin on transaction in phase "
+      << static_cast<int>(state.phase);
+  state.phase = Phase::kValidating;
+  // Validation, part 0: Rv locks protect the version assignment.
+  for (EntityId e : state.input_entities) {
+    if (locks_.HoldsRv(tx, e)) continue;
+    if (locks_.Acquire(tx, e, KsLockMode::kRv) == KsLockOutcome::kBlocked) {
+      read_waiters_[e].insert(tx);
+      Emit(CepEvent::Kind::kValidationWait, tx, -1, e);
+      return ReqResult::kBlocked;
+    }
+  }
+  // Validation, parts 1 + 2: allowable-version sets, then the (NP-complete
+  // in general) satisfying-assignment search.
+  if (!SolveAssignment(tx, {})) {
+    ++stats_.validation_retries;
+    validation_waiters_[tx] = state.input_entities;
+    Emit(CepEvent::Kind::kValidationWait, tx);
+    return ReqResult::kBlocked;
+  }
+  ++stats_.validations;
+  state.phase = Phase::kExecuting;
+  Emit(CepEvent::Kind::kValidated, tx);
+  return ReqResult::kGranted;
+}
+
+ReqResult CorrectExecutionProtocol::Read(int tx, EntityId e, Value* out) {
+  TxState& state = txs_[tx];
+  NONSERIAL_CHECK(state.phase == Phase::kExecuting);
+  NONSERIAL_CHECK(state.input_entities.contains(e))
+      << "transaction '" << state.profile.name << "' reads entity " << e
+      << " which is not in its input constraint (the protocol rejects reads "
+         "without an Rv lock)";
+  if (locks_.UpgradeToRead(tx, e) == KsLockOutcome::kBlocked) {
+    read_waiters_[e].insert(tx);
+    return ReqResult::kBlocked;
+  }
+  *out = state.local_view[e];
+  state.reads_done.insert(e);
+  Emit(CepEvent::Kind::kRead, tx, -1, e, *out);
+  return ReqResult::kGranted;
+}
+
+ReqResult CorrectExecutionProtocol::Write(int tx, EntityId e, Value value) {
+  TxState& state = txs_[tx];
+  NONSERIAL_CHECK(state.phase == Phase::kExecuting);
+  KsLockOutcome outcome = locks_.Acquire(tx, e, KsLockMode::kW);
+  int index = store_->Append(e, value, tx);
+  state.own_latest[e] = index;
+  state.write_log.push_back({e, value});
+  state.local_view[e] = value;
+  Emit(CepEvent::Kind::kWrite, tx, -1, e, value);
+  if (outcome == KsLockOutcome::kReEval) ReEvaluate(tx, e);
+  return ReqResult::kGranted;
+}
+
+void CorrectExecutionProtocol::WriteDone(int tx, EntityId e) {
+  locks_.ReleaseWrite(tx, e);
+  if (!locks_.HasActiveWriter(e)) {
+    auto it = read_waiters_.find(e);
+    if (it != read_waiters_.end()) {
+      for (int waiter : it->second) Wake(waiter);
+      read_waiters_.erase(it);
+    }
+  }
+  WakeValidationWaiters(e);
+}
+
+void CorrectExecutionProtocol::ReEvaluate(int writer, EntityId e) {
+  ++stats_.reevals;
+  Emit(CepEvent::Kind::kReEval, writer, -1, e);
+  for (int reader : locks_.Readers(e)) {
+    if (reader == writer) continue;
+    TxState& r = txs_[reader];
+    if (r.phase == Phase::kValidating) {
+      // Not yet assigned: simply retry validation with the new version.
+      Wake(reader);
+      continue;
+    }
+    if (r.phase != Phase::kExecuting) continue;
+    if (!Reaches(writer, reader)) continue;  // Figure 4: path(P, W, R[i]).
+    auto it = r.assigned.find(e);
+    if (it == r.assigned.end()) continue;
+    int author = store_->At(it->second).writer;
+    if (author == writer) continue;
+    bool author_precedes_writer =
+        author == kInitialWriter || Reaches(author, writer);
+    if (!author_precedes_writer) continue;  // Figure 4: path(P, V, W).
+    if (r.reads_done.contains(e)) {
+      // Already read the stale version: partial-order invalidation.
+      ForceAbort(reader, &stats_.po_aborts, CepEvent::Kind::kPoAbort);
+    } else {
+      ReAssign(reader, writer, e);
+    }
+  }
+}
+
+void CorrectExecutionProtocol::ReAssign(int reader, int writer, EntityId e) {
+  ++stats_.reassigns;
+  TxState& r = txs_[reader];
+  std::map<EntityId, VersionRef> pinned;
+  for (EntityId read_entity : r.reads_done) {
+    pinned[read_entity] = r.assigned.at(read_entity);
+  }
+  pinned[e] = VersionRef{e, *store_->LatestIndexBy(e, writer)};
+  if (!SolveAssignment(reader, pinned)) {
+    ++stats_.reassign_failures;
+    ForceAbort(reader, &stats_.cascade_aborts,
+               CepEvent::Kind::kCascadeAbort);
+    return;
+  }
+  Emit(CepEvent::Kind::kReAssign, reader, writer, e);
+}
+
+ReqResult CorrectExecutionProtocol::Commit(int tx) {
+  TxState& state = txs_[tx];
+  NONSERIAL_CHECK(state.phase == Phase::kExecuting);
+  // Termination rule 1: all P-predecessors have committed.
+  for (int pred : state.profile.predecessors) {
+    if (txs_[pred].phase != Phase::kCommitted) {
+      commit_waiters_[pred].insert(tx);
+      Emit(CepEvent::Kind::kCommitWait, tx, pred);
+      return ReqResult::kBlocked;
+    }
+  }
+  // Termination rule 2 (recoverability): the authors of every version in
+  // this transaction's assignment have committed, so X(t) can never refer
+  // to a rolled-back version after commit. Wait-cycles among mutually
+  // assigned transactions are broken by aborting the requester.
+  for (const auto& [e, ref] : state.assigned) {
+    int author = store_->At(ref).writer;
+    if (author == kInitialWriter || author == tx) continue;
+    if (txs_[author].phase == Phase::kCommitted) continue;
+    if (WouldDeadlock(tx, author)) return ReqResult::kAborted;
+    commit_waiters_[author].insert(tx);
+    Emit(CepEvent::Kind::kCommitWait, tx, author);
+    return ReqResult::kBlocked;
+  }
+  // Termination rule 3: the output condition holds on the final state.
+  if (!state.profile.output.Eval(state.local_view)) {
+    return ReqResult::kAborted;
+  }
+  store_->CommitWriter(tx);
+  locks_.ReleaseAll(tx);
+  state.phase = Phase::kCommitted;
+
+  TxRecord& record = records_[tx];
+  record.name = state.profile.name;
+  record.input_state = state.input_view;
+  record.feeder_txs.clear();
+  for (const auto& [e, ref] : state.assigned) {
+    int author = store_->At(ref).writer;
+    if (author != kInitialWriter && author != tx) {
+      record.feeder_txs.insert(author);
+    }
+  }
+  record.writes = state.write_log;
+  record.committed = true;
+
+  auto waiters = commit_waiters_.find(tx);
+  if (waiters != commit_waiters_.end()) {
+    for (int waiter : waiters->second) Wake(waiter);
+    commit_waiters_.erase(waiters);
+  }
+  Emit(CepEvent::Kind::kCommitted, tx);
+  return ReqResult::kGranted;
+}
+
+bool CorrectExecutionProtocol::WouldDeadlock(int tx, int target) const {
+  // DFS through the commit-wait edges: does `target` (transitively) wait
+  // for `tx`?
+  std::vector<int> stack = {target};
+  std::set<int> seen = {target};
+  while (!stack.empty()) {
+    int current = stack.back();
+    stack.pop_back();
+    if (current == tx) return true;
+    for (const auto& [waited_on, waiters] : commit_waiters_) {
+      if (waiters.contains(current) && !seen.contains(waited_on)) {
+        seen.insert(waited_on);
+        stack.push_back(waited_on);
+      }
+    }
+  }
+  return false;
+}
+
+void CorrectExecutionProtocol::Abort(int tx) {
+  TxState& state = txs_[tx];
+  if (state.phase == Phase::kIdle) return;
+  Emit(CepEvent::Kind::kAborted, tx);
+  NONSERIAL_CHECK(state.phase != Phase::kCommitted)
+      << "cannot abort committed transaction " << tx;
+  std::vector<EntityId> written;
+  for (const auto& entry : state.own_latest) written.push_back(entry.first);
+
+  store_->RollbackWriter(tx);
+  locks_.ReleaseAll(tx);
+
+  // Readers assigned one of this transaction's (now dead) versions must be
+  // re-assigned, or cascade-aborted if they already consumed the value.
+  for (int other = 0; other < static_cast<int>(txs_.size()); ++other) {
+    if (other == tx) continue;
+    TxState& o = txs_[other];
+    if (o.phase != Phase::kExecuting) continue;
+    for (const auto& [e, ref] : o.assigned) {
+      if (store_->At(ref).writer != tx) continue;
+      if (o.reads_done.contains(e)) {
+        ForceAbort(other, &stats_.cascade_aborts,
+                   CepEvent::Kind::kCascadeAbort);
+      } else {
+        std::map<EntityId, VersionRef> pinned;
+        for (EntityId read_entity : o.reads_done) {
+          pinned[read_entity] = o.assigned.at(read_entity);
+        }
+        if (!SolveAssignment(other, pinned)) {
+          ForceAbort(other, &stats_.cascade_aborts,
+                     CepEvent::Kind::kCascadeAbort);
+        }
+      }
+      break;  // o.assigned was rebuilt or o is doomed; stop iterating it.
+    }
+  }
+
+  // Reset the attempt, keeping the registered profile.
+  TxProfile profile = std::move(state.profile);
+  state = TxState();
+  state.profile = std::move(profile);
+  state.input_entities = state.profile.input.Entities();
+  state.phase = Phase::kIdle;
+
+  // Drop waiter registrations held by tx.
+  validation_waiters_.erase(tx);
+  for (auto& [e, waiters] : read_waiters_) waiters.erase(tx);
+  for (auto& [target, waiters] : commit_waiters_) waiters.erase(tx);
+
+  // Transactions waiting on this commit must re-decide against the
+  // (re-assigned) state rather than wait for a commit that won't come.
+  auto commit_waiters = commit_waiters_.find(tx);
+  if (commit_waiters != commit_waiters_.end()) {
+    for (int waiter : commit_waiters->second) Wake(waiter);
+    commit_waiters_.erase(commit_waiters);
+  }
+
+  // Entities this transaction was writing may now be writer-free.
+  for (EntityId e : written) {
+    if (!locks_.HasActiveWriter(e)) {
+      auto it = read_waiters_.find(e);
+      if (it != read_waiters_.end()) {
+        for (int waiter : it->second) Wake(waiter);
+        read_waiters_.erase(it);
+      }
+    }
+    WakeValidationWaiters(e);
+  }
+}
+
+void CorrectExecutionProtocol::WakeValidationWaiters(EntityId e) {
+  for (auto it = validation_waiters_.begin();
+       it != validation_waiters_.end();) {
+    if (it->second.contains(e)) {
+      Wake(it->first);
+      it = validation_waiters_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<VersionRef> CorrectExecutionProtocol::PinnedVersions() const {
+  std::vector<VersionRef> out;
+  for (const TxState& state : txs_) {
+    if (state.phase != Phase::kValidating &&
+        state.phase != Phase::kExecuting) {
+      continue;
+    }
+    for (const auto& [e, ref] : state.assigned) out.push_back(ref);
+  }
+  return out;
+}
+
+const ValueVector* CorrectExecutionProtocol::InputView(int tx) const {
+  if (tx < 0 || tx >= static_cast<int>(txs_.size())) return nullptr;
+  const TxState& state = txs_[tx];
+  if (state.phase != Phase::kExecuting &&
+      state.phase != Phase::kCommitted) {
+    return nullptr;
+  }
+  return &state.input_view;
+}
+
+bool CorrectExecutionProtocol::IsCommitted(int tx) const {
+  return tx >= 0 && tx < static_cast<int>(txs_.size()) &&
+         txs_[tx].phase == Phase::kCommitted;
+}
+
+void CorrectExecutionProtocol::Wake(int tx) { wakeups_.insert(tx); }
+
+void CorrectExecutionProtocol::ForceAbort(int tx, int64_t* counter,
+                                          CepEvent::Kind reason) {
+  TxState& state = txs_[tx];
+  if (state.phase == Phase::kIdle || state.phase == Phase::kCommitted) return;
+  if (forced_aborts_.contains(tx)) return;
+  ++*counter;
+  forced_aborts_.insert(tx);
+  Emit(reason, tx);
+}
+
+void CorrectExecutionProtocol::Emit(CepEvent::Kind kind, int tx, int other,
+                                    EntityId entity, Value value) {
+  if (observer_ == nullptr) return;
+  CepEvent event;
+  event.kind = kind;
+  event.tx = tx;
+  event.other = other;
+  event.entity = entity;
+  event.value = value;
+  observer_->OnEvent(event);
+}
+
+std::vector<int> CorrectExecutionProtocol::TakeWakeups() {
+  std::vector<int> out(wakeups_.begin(), wakeups_.end());
+  wakeups_.clear();
+  return out;
+}
+
+std::vector<int> CorrectExecutionProtocol::TakeForcedAborts() {
+  std::vector<int> out(forced_aborts_.begin(), forced_aborts_.end());
+  forced_aborts_.clear();
+  return out;
+}
+
+}  // namespace nonserial

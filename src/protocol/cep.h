@@ -1,0 +1,176 @@
+#ifndef NONSERIAL_PROTOCOL_CEP_H_
+#define NONSERIAL_PROTOCOL_CEP_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "predicate/assignment_search.h"
+#include "protocol/controller.h"
+#include "protocol/ks_lock_manager.h"
+#include "protocol/trace.h"
+#include "storage/version_store.h"
+
+namespace nonserial {
+
+/// The paper's Correct Execution Protocol (Section 5.1): an optimistic
+/// multiversion protocol with four phases —
+///
+///  1. *definition*: the transaction's specification (I_t, O_t) and its
+///     place in the partial order are registered;
+///  2. *validation*: Rv (read-for-validation) locks are placed on every
+///     entity of the input constraint and a version assignment X(t)
+///     satisfying I_t is searched over the allowable-version sets D;
+///  3. *execution*: reads upgrade Rv -> R and observe the assigned version;
+///     writes are never blocked — each creates a new version under a short
+///     W lock and triggers the Figure 4 re-evaluation of current readers;
+///  4. *termination*: a transaction commits only when its P-predecessors
+///     and the authors of every version it actually read have committed and
+///     its output condition O_t holds.
+///
+/// Re-evaluation (Figure 4): when a predecessor W of a reader writes a
+/// version the reader should have observed, the reader is re-assigned if it
+/// has not yet read the entity (Rv lock), and aborted for partial-order
+/// invalidation if it has (R lock). Aborts cascade to transactions that
+/// read versions of a rolled-back writer.
+///
+/// Theorem 2 of the paper: every history this protocol admits is a correct
+/// execution; the simulator re-verifies this with the Section 3 checker.
+class CorrectExecutionProtocol : public ConcurrencyController {
+ public:
+  struct Options {
+    SearchMode search_mode = SearchMode::kPruned;
+  };
+
+  /// Per-transaction outcome record used to rebuild a model-layer
+  /// TreeExecution for formal verification.
+  struct TxRecord {
+    std::string name;
+    ValueVector input_state;   ///< X(t): parent input overlaid with assigned versions.
+    std::set<int> feeder_txs;  ///< Authors of assigned versions (excluding t_0).
+    std::vector<std::pair<EntityId, Value>> writes;  ///< In program order.
+    bool committed = false;
+  };
+
+  struct Stats {
+    int64_t validations = 0;          ///< Successful version assignments.
+    int64_t validation_retries = 0;   ///< Unsatisfiable or lock-blocked.
+    int64_t reassigns = 0;            ///< Figure 4 re-assign invocations.
+    int64_t reassign_failures = 0;    ///< Re-assign found no assignment.
+    int64_t reevals = 0;              ///< Figure 4 routine invocations.
+    int64_t po_aborts = 0;            ///< Partial-order invalidation aborts.
+    int64_t cascade_aborts = 0;       ///< Aborts of readers of dead versions.
+    SearchStats search;               ///< Aggregate search effort.
+  };
+
+  explicit CorrectExecutionProtocol(VersionStore* store);
+  CorrectExecutionProtocol(VersionStore* store, Options options);
+
+  std::string name() const override { return "CEP"; }
+  void Register(int tx, TxProfile profile) override;
+  ReqResult Begin(int tx) override;
+  ReqResult Read(int tx, EntityId e, Value* out) override;
+  ReqResult Write(int tx, EntityId e, Value value) override;
+  void WriteDone(int tx, EntityId e) override;
+  ReqResult Commit(int tx) override;
+  void Abort(int tx) override;
+  std::vector<int> TakeWakeups() override;
+  std::vector<int> TakeForcedAborts() override;
+
+  const Stats& stats() const { return stats_; }
+
+  /// Records for committed transactions (indexed by tx id; uncommitted
+  /// transactions have committed == false).
+  const std::vector<TxRecord>& records() const { return records_; }
+
+  /// Attaches an observer receiving every protocol decision (see trace.h).
+  /// Not owned; must outlive the protocol or be detached with nullptr.
+  void SetObserver(CepObserver* observer) { observer_ = observer; }
+
+  /// The input version state X(t) currently assigned to an executing
+  /// transaction (nullptr before validation or after termination). Used by
+  /// the hierarchical protocol to seed a child scope.
+  const ValueVector* InputView(int tx) const;
+
+  /// True iff the transaction has committed.
+  bool IsCommitted(int tx) const;
+
+  /// Version references currently assigned to validating or executing
+  /// transactions — the pin set for VersionStore::CollectObsolete.
+  std::vector<VersionRef> PinnedVersions() const;
+
+ private:
+  enum class Phase {
+    kIdle,        ///< Registered, no active attempt.
+    kValidating,  ///< Begin in progress (Rv locks / searching versions).
+    kExecuting,   ///< Version assignment done; reads/writes flowing.
+    kCommitted,
+  };
+
+  struct TxState {
+    TxProfile profile;
+    Phase phase = Phase::kIdle;
+    std::set<EntityId> input_entities;        ///< N_t.
+    std::map<EntityId, VersionRef> assigned;  ///< X(t) over N_t.
+    std::set<EntityId> reads_done;            ///< Entities actually read.
+    std::map<EntityId, int> own_latest;       ///< Own latest version index.
+    std::vector<std::pair<EntityId, Value>> write_log;
+    ValueVector input_view;  ///< X(t) as a full vector.
+    ValueVector local_view;  ///< input_view overlaid with own writes.
+  };
+
+  bool Reaches(int from, int to) const;  ///< P+ over registered txs.
+
+  /// Computes the allowable-version candidates for entity `e` as seen by
+  /// `tx` (the set D of Section 5.1), optionally pinning the candidate set
+  /// to a specific version (re-assign) via `pin`.
+  std::vector<VersionRef> AllowableVersions(int tx, EntityId e) const;
+
+  /// Runs the version-assignment search for `tx` with per-entity pinned
+  /// refs (entities already read, or the re-assign target). Returns true
+  /// and installs the assignment on success.
+  bool SolveAssignment(int tx, const std::map<EntityId, VersionRef>& pinned);
+
+  /// Figure 4: reacts to `writer` creating a new version of `e`.
+  void ReEvaluate(int writer, EntityId e);
+
+  /// Re-assign of Figure 4: `reader` must adopt `writer`'s latest version
+  /// of `e`; unread entities may be re-chosen. On failure the reader is
+  /// force-aborted.
+  void ReAssign(int reader, int writer, EntityId e);
+
+  void WakeValidationWaiters(EntityId e);
+  void Wake(int tx);
+  void ForceAbort(int tx, int64_t* counter, CepEvent::Kind reason);
+  void Emit(CepEvent::Kind kind, int tx, int other = -1,
+            EntityId entity = kInvalidEntity, Value value = 0);
+
+  /// True iff making `tx` wait for `target`'s commit closes a wait cycle.
+  bool WouldDeadlock(int tx, int target) const;
+
+  VersionStore* store_;
+  Options options_;
+  KsLockManager locks_;
+  std::vector<TxState> txs_;
+  std::vector<TxRecord> records_;
+  Digraph precedence_;  ///< P over transaction ids.
+  ValueVector initial_snapshot_;
+
+  /// Entities each blocked-in-validation transaction is waiting on.
+  std::map<int, std::set<EntityId>> validation_waiters_;
+  /// Readers blocked on an active W lock, per entity.
+  std::map<EntityId, std::set<int>> read_waiters_;
+  /// Transactions waiting for another transaction's commit.
+  std::map<int, std::set<int>> commit_waiters_;
+
+  std::set<int> wakeups_;
+  std::set<int> forced_aborts_;
+  Stats stats_;
+  CepObserver* observer_ = nullptr;
+};
+
+}  // namespace nonserial
+
+#endif  // NONSERIAL_PROTOCOL_CEP_H_

@@ -1,0 +1,82 @@
+#ifndef NONSERIAL_PROTOCOL_CONTROLLER_H_
+#define NONSERIAL_PROTOCOL_CONTROLLER_H_
+
+#include <string>
+#include <vector>
+
+#include "predicate/predicate.h"
+#include "predicate/value.h"
+
+namespace nonserial {
+
+/// Static description of a transaction handed to a concurrency controller
+/// at registration: its specification (I_t, O_t) and its position in the
+/// parent's partial order P (predecessor transaction ids).
+struct TxProfile {
+  std::string name;
+  Predicate input;   ///< I_t; every entity the transaction reads appears here.
+  Predicate output;  ///< O_t; checked at commit.
+  std::vector<int> predecessors;  ///< Direct P-edges into this transaction.
+};
+
+/// Result of a concurrency-control request.
+enum class ReqResult {
+  kGranted,  ///< The operation was performed.
+  kBlocked,  ///< Not performed; the caller will be woken (TakeWakeups) and
+             ///< must retry the same request.
+  kAborted   ///< The controller aborted this transaction; the caller must
+             ///< call Abort() and restart the attempt.
+};
+
+/// A pluggable concurrency-control protocol driven by the discrete-event
+/// simulator. Implementations: the paper's Correct Execution Protocol,
+/// strict two-phase locking, multiversion timestamp ordering, and
+/// predicate-wise two-phase locking.
+///
+/// Contract: requests are issued by one logical thread (the simulator); a
+/// kBlocked result parks the transaction until its id is surfaced by
+/// TakeWakeups(), after which the *same* request is retried. Controllers
+/// may unilaterally kill transactions (re-evaluation, deadlock victims,
+/// cascades) by surfacing their ids in TakeForcedAborts().
+class ConcurrencyController {
+ public:
+  virtual ~ConcurrencyController() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Registers transaction `tx` (dense runtime id). Called once, before the
+  /// first Begin.
+  virtual void Register(int tx, TxProfile profile) = 0;
+
+  /// Starts (or, after an abort, restarts) an attempt. For the Correct
+  /// Execution Protocol this is the definition + validation phase.
+  virtual ReqResult Begin(int tx) = 0;
+
+  /// Reads an entity; on kGranted, *out holds the value observed.
+  virtual ReqResult Read(int tx, EntityId e, Value* out) = 0;
+
+  /// Writes an entity. Granted writes hold their write lock until the
+  /// simulator calls WriteDone (models the write duration).
+  virtual ReqResult Write(int tx, EntityId e, Value value) = 0;
+
+  /// Signals completion of a granted write (releases short write locks).
+  virtual void WriteDone(int tx, EntityId e) = 0;
+
+  /// Attempts to commit. kBlocked means "not yet" (e.g. predecessors still
+  /// running); kAborted means the attempt is doomed (failed postcondition).
+  virtual ReqResult Commit(int tx) = 0;
+
+  /// Cleans up an aborted attempt (rollback, lock release). The transaction
+  /// may be registered and begun again afterwards.
+  virtual void Abort(int tx) = 0;
+
+  /// Drains transaction ids that became runnable since the last drain.
+  virtual std::vector<int> TakeWakeups() = 0;
+
+  /// Drains transaction ids the controller requires the simulator to abort.
+  virtual std::vector<int> TakeForcedAborts() = 0;
+};
+
+}  // namespace nonserial
+
+#endif  // NONSERIAL_PROTOCOL_CONTROLLER_H_

@@ -1,0 +1,87 @@
+#include "protocol/ks_lock_manager.h"
+
+#include "common/logging.h"
+
+namespace nonserial {
+
+KsLockManager::KsLockManager(int num_entities)
+    : rv_holders_(num_entities),
+      r_holders_(num_entities),
+      w_holders_(num_entities) {}
+
+KsLockOutcome KsLockManager::Acquire(int tx, EntityId e, KsLockMode mode) {
+  NONSERIAL_CHECK_GE(e, 0);
+  NONSERIAL_CHECK_LT(e, num_entities());
+  switch (mode) {
+    case KsLockMode::kRv:
+    case KsLockMode::kR: {
+      if (HasActiveWriter(e, /*other_than=*/tx)) return KsLockOutcome::kBlocked;
+      if (mode == KsLockMode::kRv) {
+        rv_holders_[e].insert(tx);
+      } else {
+        r_holders_[e].insert(tx);
+      }
+      return KsLockOutcome::kGranted;
+    }
+    case KsLockMode::kW: {
+      bool readers_present = false;
+      for (int holder : rv_holders_[e]) {
+        if (holder != tx) readers_present = true;
+      }
+      for (int holder : r_holders_[e]) {
+        if (holder != tx) readers_present = true;
+      }
+      w_holders_[e].insert(tx);
+      return readers_present ? KsLockOutcome::kReEval
+                             : KsLockOutcome::kGranted;
+    }
+  }
+  return KsLockOutcome::kBlocked;
+}
+
+KsLockOutcome KsLockManager::UpgradeToRead(int tx, EntityId e) {
+  NONSERIAL_CHECK(HoldsRv(tx, e))
+      << "read request without a validation lock (tx " << tx << ", entity "
+      << e << ")";
+  if (HasActiveWriter(e, /*other_than=*/tx)) return KsLockOutcome::kBlocked;
+  r_holders_[e].insert(tx);
+  return KsLockOutcome::kGranted;
+}
+
+void KsLockManager::ReleaseWrite(int tx, EntityId e) {
+  auto it = w_holders_[e].find(tx);
+  NONSERIAL_CHECK(it != w_holders_[e].end());
+  w_holders_[e].erase(it);
+}
+
+void KsLockManager::ReleaseAll(int tx) {
+  for (EntityId e = 0; e < num_entities(); ++e) {
+    rv_holders_[e].erase(tx);
+    r_holders_[e].erase(tx);
+    auto range = w_holders_[e].equal_range(tx);
+    w_holders_[e].erase(range.first, range.second);
+  }
+}
+
+bool KsLockManager::HoldsRv(int tx, EntityId e) const {
+  return rv_holders_[e].contains(tx);
+}
+
+bool KsLockManager::HoldsR(int tx, EntityId e) const {
+  return r_holders_[e].contains(tx);
+}
+
+bool KsLockManager::HasActiveWriter(EntityId e, int other_than) const {
+  for (int holder : w_holders_[e]) {
+    if (holder != other_than) return true;
+  }
+  return false;
+}
+
+std::vector<int> KsLockManager::Readers(EntityId e) const {
+  std::set<int> readers = rv_holders_[e];
+  readers.insert(r_holders_[e].begin(), r_holders_[e].end());
+  return std::vector<int>(readers.begin(), readers.end());
+}
+
+}  // namespace nonserial

@@ -1,0 +1,69 @@
+#ifndef NONSERIAL_PROTOCOL_KS_LOCK_MANAGER_H_
+#define NONSERIAL_PROTOCOL_KS_LOCK_MANAGER_H_
+
+#include <set>
+#include <vector>
+
+#include "predicate/value.h"
+
+namespace nonserial {
+
+/// The lock modes of the paper's protocol (Figure 3): Rv (read for
+/// validation), R (read), and W (write).
+enum class KsLockMode : uint8_t { kRv, kR, kW };
+
+/// Outcome of a lock request per the Figure 3 compatibility matrix.
+enum class KsLockOutcome {
+  kGranted,  ///< "true": lock granted.
+  kBlocked,  ///< "false": requester blocks (only Rv/R vs an active W).
+  kReEval    ///< "re-eval": granted, but existing readers must re-evaluate.
+};
+
+/// Lock table implementing the paper's unconventional compatibility matrix:
+///
+///            held:   Rv      R       W
+///   requested Rv     true    true    false
+///             R      true    true    false
+///             W      re-eval re-eval true
+///
+/// Locks are placed on the entity (type), not on a version. W locks are
+/// short — held only for the duration of one write — and never block on
+/// anything; instead a W acquisition returns kReEval when readers hold
+/// Rv/R locks so the protocol can run the Figure 4 re-evaluation routine.
+class KsLockManager {
+ public:
+  explicit KsLockManager(int num_entities);
+
+  /// Requests a lock in `mode` for `tx` on entity `e`, per the matrix.
+  /// kGranted/kReEval record the lock; kBlocked records nothing.
+  KsLockOutcome Acquire(int tx, EntityId e, KsLockMode mode);
+
+  /// Upgrades an Rv lock to R (a read request). Returns kBlocked if a
+  /// different transaction holds an active W on `e`; kGranted otherwise.
+  /// The Rv lock must be held.
+  KsLockOutcome UpgradeToRead(int tx, EntityId e);
+
+  /// Releases one W hold of `tx` on `e` (end of the write operation).
+  void ReleaseWrite(int tx, EntityId e);
+
+  /// Releases every lock `tx` holds (termination).
+  void ReleaseAll(int tx);
+
+  bool HoldsRv(int tx, EntityId e) const;
+  bool HoldsR(int tx, EntityId e) const;
+  bool HasActiveWriter(EntityId e, int other_than = -1) const;
+
+  /// Current Rv and R holders of `e` (the re-evaluation audience).
+  std::vector<int> Readers(EntityId e) const;
+
+  int num_entities() const { return static_cast<int>(rv_holders_.size()); }
+
+ private:
+  std::vector<std::set<int>> rv_holders_;
+  std::vector<std::set<int>> r_holders_;
+  std::vector<std::multiset<int>> w_holders_;
+};
+
+}  // namespace nonserial
+
+#endif  // NONSERIAL_PROTOCOL_KS_LOCK_MANAGER_H_

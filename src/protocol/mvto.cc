@@ -1,0 +1,151 @@
+#include "protocol/mvto.h"
+
+#include "common/logging.h"
+
+namespace nonserial {
+
+MvtoController::MvtoController(VersionStore* store) : store_(store) {
+  versions_.resize(store_->num_entities());
+  for (EntityId e = 0; e < store_->num_entities(); ++e) {
+    VersionMeta initial;
+    initial.store_index = 0;
+    initial.writer = kInitialWriter;
+    initial.committed = true;
+    versions_[e].emplace(0, initial);
+  }
+}
+
+void MvtoController::Register(int tx, TxProfile profile) {
+  if (tx >= static_cast<int>(txs_.size())) txs_.resize(tx + 1);
+  txs_[tx].profile = std::move(profile);
+}
+
+ReqResult MvtoController::Begin(int tx) {
+  TxState& state = txs_[tx];
+  for (int pred : state.profile.predecessors) {
+    if (!txs_[pred].committed) {
+      commit_waiters_[pred].insert(tx);
+      return ReqResult::kBlocked;
+    }
+  }
+  state.ts = ++clock_;
+  state.own_writes.clear();
+  state.reads.clear();
+  return ReqResult::kGranted;
+}
+
+std::map<int64_t, MvtoController::VersionMeta>::iterator
+MvtoController::VisibleVersion(EntityId e, int64_t ts) {
+  auto it = versions_[e].upper_bound(ts);
+  NONSERIAL_CHECK(it != versions_[e].begin());
+  return std::prev(it);
+}
+
+ReqResult MvtoController::Read(int tx, EntityId e, Value* out) {
+  TxState& state = txs_[tx];
+  NONSERIAL_CHECK_GE(state.ts, 0);
+  auto it = VisibleVersion(e, state.ts);
+  VersionMeta& meta = it->second;
+  if (!meta.committed && meta.writer != tx) {
+    // Wait for the writer to resolve rather than reading dirty data.
+    ++stats_.commit_waits;
+    commit_waiters_[meta.writer].insert(tx);
+    return ReqResult::kBlocked;
+  }
+  meta.max_read_ts = std::max(meta.max_read_ts, state.ts);
+  *out = store_->Read(VersionRef{e, meta.store_index});
+  state.reads[e] = *out;
+  return ReqResult::kGranted;
+}
+
+ReqResult MvtoController::Write(int tx, EntityId e, Value value) {
+  TxState& state = txs_[tx];
+  NONSERIAL_CHECK_GE(state.ts, 0);
+  auto it = VisibleVersion(e, state.ts);
+  if (it->first != state.ts && it->second.max_read_ts > state.ts) {
+    // A younger reader already observed the predecessor version: this write
+    // arrives too late in timestamp order.
+    ++stats_.late_write_aborts;
+    return ReqResult::kAborted;
+  }
+  int index = store_->Append(e, value, tx);
+  VersionMeta meta;
+  meta.store_index = index;
+  meta.writer = tx;
+  versions_[e][state.ts] = meta;  // A rewrite by the same tx supersedes.
+  state.own_writes[e] = value;
+  return ReqResult::kGranted;
+}
+
+void MvtoController::WriteDone(int /*tx*/, EntityId /*e*/) {}
+
+ReqResult MvtoController::Commit(int tx) {
+  TxState& state = txs_[tx];
+  NONSERIAL_CHECK_GE(state.ts, 0);
+  // Evaluate O_t over the transaction's timestamp-consistent view.
+  ValueVector view(store_->num_entities());
+  for (EntityId e = 0; e < store_->num_entities(); ++e) {
+    auto own = state.own_writes.find(e);
+    if (own != state.own_writes.end()) {
+      view[e] = own->second;
+      continue;
+    }
+    // Latest committed version visible at our timestamp.
+    auto it = VisibleVersion(e, state.ts);
+    while (!it->second.committed && it != versions_[e].begin()) {
+      it = std::prev(it);
+    }
+    view[e] = store_->Read(VersionRef{e, it->second.store_index});
+  }
+  if (!state.profile.output.Eval(view)) return ReqResult::kAborted;
+  store_->CommitWriter(tx);
+  for (EntityId e = 0; e < store_->num_entities(); ++e) {
+    for (auto& [wts, meta] : versions_[e]) {
+      if (meta.writer == tx) meta.committed = true;
+    }
+  }
+  state.committed = true;
+  state.ts = -1;
+  auto waiters = commit_waiters_.find(tx);
+  if (waiters != commit_waiters_.end()) {
+    for (int waiter : waiters->second) Wake(waiter);
+    commit_waiters_.erase(waiters);
+  }
+  return ReqResult::kGranted;
+}
+
+void MvtoController::Abort(int tx) {
+  TxState& state = txs_[tx];
+  store_->RollbackWriter(tx);
+  for (EntityId e = 0; e < store_->num_entities(); ++e) {
+    for (auto it = versions_[e].begin(); it != versions_[e].end();) {
+      if (it->second.writer == tx && !it->second.committed) {
+        it = versions_[e].erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  state.ts = -1;
+  state.own_writes.clear();
+  state.reads.clear();
+  for (auto& [target, waiters] : commit_waiters_) waiters.erase(tx);
+  // Readers waiting on this writer may now proceed to an older version.
+  auto waiters = commit_waiters_.find(tx);
+  if (waiters != commit_waiters_.end()) {
+    for (int waiter : waiters->second) Wake(waiter);
+    commit_waiters_.erase(waiters);
+  }
+}
+
+void MvtoController::Wake(int tx) { wakeups_.insert(tx); }
+
+std::vector<int> MvtoController::TakeWakeups() {
+  std::vector<int> out(wakeups_.begin(), wakeups_.end());
+  wakeups_.clear();
+  return out;
+}
+
+std::vector<int> MvtoController::TakeForcedAborts() { return {}; }
+
+}  // namespace nonserial

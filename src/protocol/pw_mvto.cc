@@ -1,0 +1,176 @@
+#include "protocol/pw_mvto.h"
+
+#include "common/logging.h"
+
+namespace nonserial {
+
+PwMvtoController::PwMvtoController(VersionStore* store, ObjectSetList objects)
+    : store_(store), objects_(std::move(objects)) {
+  num_groups_ = static_cast<int>(objects_.size()) + 1;  // + catch-all.
+  group_of_entity_.assign(store_->num_entities(), num_groups_ - 1);
+  for (size_t g = 0; g < objects_.size(); ++g) {
+    for (EntityId e : objects_[g]) {
+      if (e >= 0 && e < store_->num_entities()) {
+        group_of_entity_[e] = static_cast<int>(g);
+      }
+    }
+  }
+  clocks_.assign(num_groups_, 0);
+  versions_.resize(store_->num_entities());
+  for (EntityId e = 0; e < store_->num_entities(); ++e) {
+    VersionMeta initial;
+    initial.store_index = 0;
+    initial.writer = kInitialWriter;
+    initial.committed = true;
+    versions_[e].emplace(0, initial);
+  }
+}
+
+void PwMvtoController::Register(int tx, TxProfile profile) {
+  if (tx >= static_cast<int>(txs_.size())) txs_.resize(tx + 1);
+  txs_[tx].profile = std::move(profile);
+}
+
+ReqResult PwMvtoController::Begin(int tx) {
+  TxState& state = txs_[tx];
+  for (int pred : state.profile.predecessors) {
+    if (!txs_[pred].committed) {
+      commit_waiters_[pred].insert(tx);
+      return ReqResult::kBlocked;
+    }
+  }
+  state.running = true;
+  state.group_ts.clear();
+  state.own_writes.clear();
+  return ReqResult::kGranted;
+}
+
+int64_t PwMvtoController::EnsureTimestamp(int tx, int group) {
+  TxState& state = txs_[tx];
+  auto it = state.group_ts.find(group);
+  if (it != state.group_ts.end()) return it->second;
+  int64_t ts = ++clocks_[group];
+  state.group_ts.emplace(group, ts);
+  ++stats_.timestamps_drawn;
+  return ts;
+}
+
+int64_t PwMvtoController::GroupTimestamp(int tx, int group) const {
+  auto it = txs_[tx].group_ts.find(group);
+  return it == txs_[tx].group_ts.end() ? -1 : it->second;
+}
+
+std::map<int64_t, PwMvtoController::VersionMeta>::iterator
+PwMvtoController::VisibleVersion(EntityId e, int64_t ts) {
+  auto it = versions_[e].upper_bound(ts);
+  NONSERIAL_CHECK(it != versions_[e].begin());
+  return std::prev(it);
+}
+
+ReqResult PwMvtoController::Read(int tx, EntityId e, Value* out) {
+  TxState& state = txs_[tx];
+  NONSERIAL_CHECK(state.running);
+  int64_t ts = EnsureTimestamp(tx, GroupOf(e));
+  auto it = VisibleVersion(e, ts);
+  VersionMeta& meta = it->second;
+  if (!meta.committed && meta.writer != tx) {
+    ++stats_.commit_waits;
+    commit_waiters_[meta.writer].insert(tx);
+    return ReqResult::kBlocked;
+  }
+  meta.max_read_ts = std::max(meta.max_read_ts, ts);
+  *out = store_->Read(VersionRef{e, meta.store_index});
+  return ReqResult::kGranted;
+}
+
+ReqResult PwMvtoController::Write(int tx, EntityId e, Value value) {
+  TxState& state = txs_[tx];
+  NONSERIAL_CHECK(state.running);
+  int64_t ts = EnsureTimestamp(tx, GroupOf(e));
+  auto it = VisibleVersion(e, ts);
+  if (it->first != ts && it->second.max_read_ts > ts) {
+    ++stats_.late_write_aborts;  // Late within this object's order only.
+    return ReqResult::kAborted;
+  }
+  int index = store_->Append(e, value, tx);
+  VersionMeta meta;
+  meta.store_index = index;
+  meta.writer = tx;
+  versions_[e][ts] = meta;
+  state.own_writes[e] = value;
+  return ReqResult::kGranted;
+}
+
+void PwMvtoController::WriteDone(int /*tx*/, EntityId /*e*/) {}
+
+ReqResult PwMvtoController::Commit(int tx) {
+  TxState& state = txs_[tx];
+  NONSERIAL_CHECK(state.running);
+  // O_t over the per-object timestamp-consistent view.
+  ValueVector view(store_->num_entities());
+  for (EntityId e = 0; e < store_->num_entities(); ++e) {
+    auto own = state.own_writes.find(e);
+    if (own != state.own_writes.end()) {
+      view[e] = own->second;
+      continue;
+    }
+    auto ts_it = state.group_ts.find(GroupOf(e));
+    int64_t ts = ts_it == state.group_ts.end() ? clocks_[GroupOf(e)]
+                                               : ts_it->second;
+    auto it = VisibleVersion(e, ts);
+    while (!it->second.committed && it != versions_[e].begin()) {
+      it = std::prev(it);
+    }
+    view[e] = store_->Read(VersionRef{e, it->second.store_index});
+  }
+  if (!state.profile.output.Eval(view)) return ReqResult::kAborted;
+  store_->CommitWriter(tx);
+  for (EntityId e = 0; e < store_->num_entities(); ++e) {
+    for (auto& [wts, meta] : versions_[e]) {
+      if (meta.writer == tx) meta.committed = true;
+    }
+  }
+  state.running = false;
+  state.committed = true;
+  auto waiters = commit_waiters_.find(tx);
+  if (waiters != commit_waiters_.end()) {
+    for (int waiter : waiters->second) Wake(waiter);
+    commit_waiters_.erase(waiters);
+  }
+  return ReqResult::kGranted;
+}
+
+void PwMvtoController::Abort(int tx) {
+  TxState& state = txs_[tx];
+  store_->RollbackWriter(tx);
+  for (EntityId e = 0; e < store_->num_entities(); ++e) {
+    for (auto it = versions_[e].begin(); it != versions_[e].end();) {
+      if (it->second.writer == tx && !it->second.committed) {
+        it = versions_[e].erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  state.running = false;
+  state.group_ts.clear();
+  state.own_writes.clear();
+  for (auto& [target, waiters] : commit_waiters_) waiters.erase(tx);
+  auto waiters = commit_waiters_.find(tx);
+  if (waiters != commit_waiters_.end()) {
+    for (int waiter : waiters->second) Wake(waiter);
+    commit_waiters_.erase(waiters);
+  }
+}
+
+void PwMvtoController::Wake(int tx) { wakeups_.insert(tx); }
+
+std::vector<int> PwMvtoController::TakeWakeups() {
+  std::vector<int> out(wakeups_.begin(), wakeups_.end());
+  wakeups_.clear();
+  return out;
+}
+
+std::vector<int> PwMvtoController::TakeForcedAborts() { return {}; }
+
+}  // namespace nonserial

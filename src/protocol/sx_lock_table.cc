@@ -1,0 +1,74 @@
+#include "protocol/sx_lock_table.h"
+
+#include "common/logging.h"
+
+namespace nonserial {
+
+SxLockTable::SxLockTable(int num_keys) : locks_(num_keys) {}
+
+bool SxLockTable::TryAcquire(int tx, int key, Mode mode,
+                             std::vector<int>* conflicts) {
+  NONSERIAL_CHECK_GE(key, 0);
+  NONSERIAL_CHECK_LT(key, num_keys());
+  conflicts->clear();
+  KeyLocks& kl = locks_[key];
+  if (mode == Mode::kShared) {
+    if (kl.exclusive != -1 && kl.exclusive != tx) {
+      conflicts->push_back(kl.exclusive);
+      return false;
+    }
+    kl.shared.insert(tx);
+    by_tx_[tx].insert(key);
+    return true;
+  }
+  // Exclusive request.
+  if (kl.exclusive != -1 && kl.exclusive != tx) {
+    conflicts->push_back(kl.exclusive);
+    return false;
+  }
+  for (int holder : kl.shared) {
+    if (holder != tx) conflicts->push_back(holder);
+  }
+  if (!conflicts->empty()) return false;
+  kl.exclusive = tx;
+  by_tx_[tx].insert(key);
+  return true;
+}
+
+bool SxLockTable::HoldsShared(int tx, int key) const {
+  return locks_[key].shared.contains(tx);
+}
+
+bool SxLockTable::HoldsExclusive(int tx, int key) const {
+  return locks_[key].exclusive == tx;
+}
+
+void SxLockTable::Release(int tx, int key) {
+  KeyLocks& kl = locks_[key];
+  kl.shared.erase(tx);
+  if (kl.exclusive == tx) kl.exclusive = -1;
+  auto it = by_tx_.find(tx);
+  if (it != by_tx_.end()) it->second.erase(key);
+}
+
+std::vector<int> SxLockTable::ReleaseAll(int tx) {
+  std::vector<int> affected;
+  auto it = by_tx_.find(tx);
+  if (it == by_tx_.end()) return affected;
+  for (int key : it->second) {
+    KeyLocks& kl = locks_[key];
+    kl.shared.erase(tx);
+    if (kl.exclusive == tx) kl.exclusive = -1;
+    affected.push_back(key);
+  }
+  by_tx_.erase(it);
+  return affected;
+}
+
+std::vector<int> SxLockTable::KeysHeldBy(int tx) const {
+  auto it = by_tx_.find(tx);
+  if (it == by_tx_.end()) return {};
+  return std::vector<int>(it->second.begin(), it->second.end());
+}
+
+}  // namespace nonserial

@@ -1,0 +1,56 @@
+#ifndef NONSERIAL_PROTOCOL_SX_LOCK_TABLE_H_
+#define NONSERIAL_PROTOCOL_SX_LOCK_TABLE_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "predicate/value.h"
+
+namespace nonserial {
+
+/// Classic shared/exclusive lock table used by the two-phase-locking
+/// baselines. Keys are opaque ints (plain entities for strict 2PL;
+/// entity-times-conjunct composites for predicate-wise 2PL).
+///
+/// The table has no internal queueing: a failed acquisition reports the
+/// conflicting holders so the caller can build waits-for edges and block
+/// the requester.
+class SxLockTable {
+ public:
+  enum class Mode { kShared, kExclusive };
+
+  explicit SxLockTable(int num_keys);
+
+  /// Attempts to acquire; on failure returns false and fills `conflicts`
+  /// with the holders in the way. Shared-to-exclusive upgrades succeed when
+  /// the requester is the sole shared holder.
+  bool TryAcquire(int tx, int key, Mode mode, std::vector<int>* conflicts);
+
+  bool HoldsShared(int tx, int key) const;
+  bool HoldsExclusive(int tx, int key) const;
+
+  /// Releases whatever `tx` holds on `key`.
+  void Release(int tx, int key);
+
+  /// Releases everything `tx` holds; returns the affected keys.
+  std::vector<int> ReleaseAll(int tx);
+
+  /// Keys on which `tx` currently holds any lock.
+  std::vector<int> KeysHeldBy(int tx) const;
+
+  int num_keys() const { return static_cast<int>(locks_.size()); }
+
+ private:
+  struct KeyLocks {
+    std::set<int> shared;
+    int exclusive = -1;
+  };
+
+  std::vector<KeyLocks> locks_;
+  std::map<int, std::set<int>> by_tx_;
+};
+
+}  // namespace nonserial
+
+#endif  // NONSERIAL_PROTOCOL_SX_LOCK_TABLE_H_

@@ -1,0 +1,56 @@
+#include "protocol/trace.h"
+
+#include "common/strings.h"
+
+namespace nonserial {
+namespace {
+
+const char* KindName(CepEvent::Kind kind) {
+  switch (kind) {
+    case CepEvent::Kind::kValidated:
+      return "validated";
+    case CepEvent::Kind::kValidationWait:
+      return "validation-wait";
+    case CepEvent::Kind::kRead:
+      return "read";
+    case CepEvent::Kind::kWrite:
+      return "write";
+    case CepEvent::Kind::kReEval:
+      return "re-eval";
+    case CepEvent::Kind::kReAssign:
+      return "re-assign";
+    case CepEvent::Kind::kPoAbort:
+      return "po-abort";
+    case CepEvent::Kind::kCascadeAbort:
+      return "cascade-abort";
+    case CepEvent::Kind::kCommitWait:
+      return "commit-wait";
+    case CepEvent::Kind::kCommitted:
+      return "committed";
+    case CepEvent::Kind::kAborted:
+      return "aborted";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string CepEvent::ToString() const {
+  std::string out = StrCat(KindName(kind), " tx=", tx);
+  if (other >= 0) out += StrCat(" peer=", other);
+  if (entity != kInvalidEntity) out += StrCat(" entity=", entity);
+  if (kind == Kind::kRead || kind == Kind::kWrite) {
+    out += StrCat(" value=", value);
+  }
+  return out;
+}
+
+std::vector<CepEvent> CepTraceRecorder::OfKind(CepEvent::Kind kind) const {
+  std::vector<CepEvent> out;
+  for (const CepEvent& event : events_) {
+    if (event.kind == kind) out.push_back(event);
+  }
+  return out;
+}
+
+}  // namespace nonserial

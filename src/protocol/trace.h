@@ -1,0 +1,65 @@
+#ifndef NONSERIAL_PROTOCOL_TRACE_H_
+#define NONSERIAL_PROTOCOL_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "predicate/value.h"
+
+namespace nonserial {
+
+/// One observable decision of the Correct Execution Protocol. The event
+/// stream is the protocol's explanation of itself: which versions each
+/// validation chose, which writes triggered Figure 4 re-evaluations, who
+/// was re-assigned and who was aborted for partial-order invalidation.
+struct CepEvent {
+  enum class Kind : uint8_t {
+    kValidated,        ///< Version assignment succeeded (Begin granted).
+    kValidationWait,   ///< No satisfying assignment yet / Rv blocked.
+    kRead,             ///< Granted read; `value` observed.
+    kWrite,            ///< New version created; `value` written.
+    kReEval,           ///< Figure 4 entered for (writer=tx, entity).
+    kReAssign,         ///< `tx` re-assigned because of `other`'s write.
+    kPoAbort,          ///< `tx` aborted: partial-order invalidation.
+    kCascadeAbort,     ///< `tx` aborted: read a rolled-back version.
+    kCommitWait,       ///< `tx` waiting for `other`'s commit.
+    kCommitted,
+    kAborted           ///< Abort processed (rollback done).
+  };
+
+  Kind kind = Kind::kValidated;
+  int tx = -1;
+  int other = -1;                    ///< Peer transaction, where relevant.
+  EntityId entity = kInvalidEntity;  ///< Where relevant.
+  Value value = 0;                   ///< Reads/writes.
+
+  std::string ToString() const;
+};
+
+/// Observer interface; implementations must not call back into the
+/// protocol. The default recorder below suffices for tests and tools.
+class CepObserver {
+ public:
+  virtual ~CepObserver() = default;
+  virtual void OnEvent(const CepEvent& event) = 0;
+};
+
+/// Records every event in order.
+class CepTraceRecorder : public CepObserver {
+ public:
+  void OnEvent(const CepEvent& event) override { events_.push_back(event); }
+
+  const std::vector<CepEvent>& events() const { return events_; }
+  void Clear() { events_.clear(); }
+
+  /// Events of one kind, in order.
+  std::vector<CepEvent> OfKind(CepEvent::Kind kind) const;
+
+ private:
+  std::vector<CepEvent> events_;
+};
+
+}  // namespace nonserial
+
+#endif  // NONSERIAL_PROTOCOL_TRACE_H_

@@ -1,0 +1,186 @@
+#include "schedule/po_program.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "graph/digraph.h"
+
+namespace nonserial {
+
+PoProgram ChainProgram(TxId tx, std::vector<Op> ops) {
+  PoProgram program;
+  program.tx = tx;
+  program.ops = std::move(ops);
+  for (size_t i = 0; i + 1 < program.ops.size(); ++i) {
+    program.order.push_back({static_cast<int>(i), static_cast<int>(i) + 1});
+  }
+  for (Op& op : program.ops) op.tx = tx;
+  return program;
+}
+
+Status ValidatePoProgram(const PoProgram& program) {
+  int n = static_cast<int>(program.ops.size());
+  for (const Op& op : program.ops) {
+    if (op.tx != program.tx) {
+      return Status::InvalidArgument(
+          StrCat("program for t", program.tx + 1, " contains op of t",
+                 op.tx + 1));
+    }
+  }
+  Digraph dag(n);
+  for (auto [a, b] : program.order) {
+    if (a < 0 || a >= n || b < 0 || b >= n) {
+      return Status::InvalidArgument("order edge out of range");
+    }
+    dag.AddEdge(a, b);
+  }
+  if (dag.HasCycle()) {
+    return Status::InvalidArgument("program order is cyclic");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+struct ProgramState {
+  const PoProgram* program;
+  std::vector<std::vector<int>> preds;  // Per op: prerequisite op indices.
+  std::vector<bool> consumed;
+
+  explicit ProgramState(const PoProgram& p) : program(&p) {
+    preds.resize(p.ops.size());
+    consumed.assign(p.ops.size(), false);
+    for (auto [a, b] : p.order) preds[b].push_back(a);
+  }
+
+  bool Ready(int i) const {
+    if (consumed[i]) return false;
+    for (int p : preds[i]) {
+      if (!consumed[p]) return false;
+    }
+    return true;
+  }
+};
+
+// Backtracking match: can the remaining observed ops (from `pos`) be
+// explained as a linear extension?
+bool MatchRemaining(const std::vector<Op>& observed, size_t pos,
+                    ProgramState* state) {
+  if (pos == observed.size()) return true;
+  const Op& want = observed[pos];
+  for (size_t i = 0; i < state->program->ops.size(); ++i) {
+    if (!state->Ready(static_cast<int>(i))) continue;
+    const Op& have = state->program->ops[i];
+    if (have.kind != want.kind || have.entity != want.entity) continue;
+    state->consumed[i] = true;
+    if (MatchRemaining(observed, pos + 1, state)) return true;
+    state->consumed[i] = false;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsLegalInterleaving(const Schedule& schedule,
+                         const std::vector<PoProgram>& programs) {
+  // Group observed ops per transaction.
+  std::vector<std::vector<Op>> observed(schedule.num_txs());
+  for (const Op& op : schedule.ops()) observed[op.tx].push_back(op);
+
+  std::vector<bool> covered(schedule.num_txs(), false);
+  for (const PoProgram& program : programs) {
+    NONSERIAL_CHECK(ValidatePoProgram(program).ok());
+    if (program.tx >= schedule.num_txs()) {
+      if (!program.ops.empty()) return false;
+      continue;
+    }
+    covered[program.tx] = true;
+    if (observed[program.tx].size() != program.ops.size()) return false;
+    ProgramState state(program);
+    if (!MatchRemaining(observed[program.tx], 0, &state)) return false;
+  }
+  for (TxId tx = 0; tx < schedule.num_txs(); ++tx) {
+    if (!observed[tx].empty() && !covered[tx]) return false;
+  }
+  return true;
+}
+
+namespace {
+
+int64_t EnumerateRec(const std::vector<PoProgram>& programs,
+                     std::vector<ProgramState>* states, int num_entities,
+                     std::vector<Op>* merged, size_t total,
+                     const std::function<bool(const Schedule&)>& fn,
+                     bool* stop) {
+  if (*stop) return 0;
+  if (merged->size() == total) {
+    Schedule schedule;
+    for (int e = 0; e < num_entities; ++e) {
+      schedule.InternEntity(StrCat("x", e));
+    }
+    for (const Op& op : *merged) {
+      schedule.Append(op.tx, op.kind, op.entity);
+    }
+    if (!fn(schedule)) *stop = true;
+    return 1;
+  }
+  int64_t count = 0;
+  for (size_t t = 0; t < programs.size(); ++t) {
+    ProgramState& state = (*states)[t];
+    for (size_t i = 0; i < programs[t].ops.size(); ++i) {
+      if (!state.Ready(static_cast<int>(i))) continue;
+      state.consumed[i] = true;
+      merged->push_back(programs[t].ops[i]);
+      count += EnumerateRec(programs, states, num_entities, merged, total,
+                            fn, stop);
+      merged->pop_back();
+      state.consumed[i] = false;
+      if (*stop) return count;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+int64_t ForEachPoInterleaving(
+    const std::vector<PoProgram>& programs, int num_entities,
+    const std::function<bool(const Schedule&)>& fn) {
+  std::vector<ProgramState> states;
+  size_t total = 0;
+  for (const PoProgram& program : programs) {
+    NONSERIAL_CHECK(ValidatePoProgram(program).ok());
+    states.emplace_back(program);
+    total += program.ops.size();
+  }
+  std::vector<Op> merged;
+  bool stop = false;
+  return EnumerateRec(programs, &states, num_entities, &merged, total, fn,
+                      &stop);
+}
+
+namespace {
+
+int64_t CountExtensionsRec(ProgramState* state, int remaining) {
+  if (remaining == 0) return 1;
+  int64_t count = 0;
+  for (size_t i = 0; i < state->program->ops.size(); ++i) {
+    if (!state->Ready(static_cast<int>(i))) continue;
+    state->consumed[i] = true;
+    count += CountExtensionsRec(state, remaining - 1);
+    state->consumed[i] = false;
+  }
+  return count;
+}
+
+}  // namespace
+
+int64_t CountLinearExtensions(const PoProgram& program) {
+  NONSERIAL_CHECK(ValidatePoProgram(program).ok());
+  ProgramState state(program);
+  return CountExtensionsRec(&state,
+                            static_cast<int>(program.ops.size()));
+}
+
+}  // namespace nonserial

@@ -1,0 +1,57 @@
+#ifndef NONSERIAL_SCHEDULE_PO_PROGRAM_H_
+#define NONSERIAL_SCHEDULE_PO_PROGRAM_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "schedule/schedule.h"
+
+namespace nonserial {
+
+/// A transaction program whose operations are only *partially* ordered —
+/// the basis of the paper's partial-order serializability classes <SR and
+/// <CSR (Section 4.2): "a transaction is assumed to execute correctly if
+/// its operations are executed in any total order consistent with the
+/// partial order given in its implementation (T, P)."
+///
+/// Operationally the gain is scheduling freedom: an operation whose target
+/// is busy can be deferred while another ready operation proceeds. The
+/// enumeration helpers below quantify that freedom.
+struct PoProgram {
+  TxId tx = 0;
+  std::vector<Op> ops;                          ///< All ops carry `tx`.
+  std::vector<std::pair<int, int>> order;       ///< DAG edges over op indices.
+};
+
+/// Builds a totally ordered program (a chain) from an op list.
+PoProgram ChainProgram(TxId tx, std::vector<Op> ops);
+
+/// Validates: ops carry the program's tx and the order is an acyclic DAG
+/// over valid indices.
+Status ValidatePoProgram(const PoProgram& program);
+
+/// True iff `schedule` is a legal interleaving of the programs: each
+/// transaction's observed operation sequence is a linear extension of its
+/// program DAG (exact matching with backtracking, so duplicate identical
+/// operations are handled).
+bool IsLegalInterleaving(const Schedule& schedule,
+                         const std::vector<PoProgram>& programs);
+
+/// Enumerates every schedule obtainable by interleaving the programs with
+/// each transaction's ops in any linear extension of its DAG. `fn` returns
+/// false to stop early. Returns the number of schedules visited (identical
+/// schedules arising from permuting equal ready ops are visited once per
+/// derivation).
+int64_t ForEachPoInterleaving(const std::vector<PoProgram>& programs,
+                              int num_entities,
+                              const std::function<bool(const Schedule&)>& fn);
+
+/// Number of linear extensions of one program's DAG (the intra-transaction
+/// freedom the partial order buys).
+int64_t CountLinearExtensions(const PoProgram& program);
+
+}  // namespace nonserial
+
+#endif  // NONSERIAL_SCHEDULE_PO_PROGRAM_H_

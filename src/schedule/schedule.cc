@@ -1,0 +1,182 @@
+#include "schedule/schedule.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace nonserial {
+
+EntityId Schedule::InternEntity(const std::string& name) {
+  auto it = entity_by_name_.find(name);
+  if (it != entity_by_name_.end()) return it->second;
+  EntityId id = static_cast<EntityId>(entity_names_.size());
+  entity_names_.push_back(name);
+  entity_by_name_.emplace(name, id);
+  return id;
+}
+
+void Schedule::Append(TxId tx, OpKind kind, EntityId entity) {
+  NONSERIAL_CHECK_GE(tx, 0);
+  NONSERIAL_CHECK_GE(entity, 0);
+  NONSERIAL_CHECK_LT(entity, num_entities());
+  ops_.push_back(Op{tx, kind, entity});
+  num_txs_ = std::max(num_txs_, tx + 1);
+}
+
+void Schedule::AppendRead(TxId tx, const std::string& entity) {
+  Append(tx, OpKind::kRead, InternEntity(entity));
+}
+
+void Schedule::AppendWrite(TxId tx, const std::string& entity) {
+  Append(tx, OpKind::kWrite, InternEntity(entity));
+}
+
+std::set<TxId> Schedule::ActiveTxs() const {
+  std::set<TxId> out;
+  for (const Op& op : ops_) out.insert(op.tx);
+  return out;
+}
+
+std::vector<int> Schedule::OpsOf(TxId tx) const {
+  std::vector<int> out;
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    if (ops_[i].tx == tx) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+std::vector<TxId> Schedule::SingleVersionReadsFrom() const {
+  std::vector<TxId> last_writer(num_entities(), kInitialTx);
+  std::vector<TxId> out(ops_.size(), kInitialTx - 1);
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    const Op& op = ops_[i];
+    if (op.kind == OpKind::kRead) {
+      out[i] = last_writer[op.entity];
+    } else {
+      last_writer[op.entity] = op.tx;
+    }
+  }
+  return out;
+}
+
+std::vector<Schedule::ReadSource> Schedule::ReadSources() const {
+  std::vector<ReadSource> last_write(num_entities());
+  std::vector<int> ops_seen(num_txs(), 0);
+  std::vector<ReadSource> out(ops_.size());
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    const Op& op = ops_[i];
+    if (op.kind == OpKind::kRead) {
+      out[i] = last_write[op.entity];
+    } else {
+      last_write[op.entity] = ReadSource{op.tx, ops_seen[op.tx]};
+    }
+    ++ops_seen[op.tx];
+  }
+  return out;
+}
+
+std::vector<TxId> Schedule::FinalWriters() const {
+  std::vector<TxId> out(num_entities(), kInitialTx);
+  for (const Op& op : ops_) {
+    if (op.kind == OpKind::kWrite) out[op.entity] = op.tx;
+  }
+  return out;
+}
+
+Schedule Schedule::ProjectEntities(const std::set<EntityId>& entities) const {
+  Schedule out;
+  out.entity_names_ = entity_names_;
+  out.entity_by_name_ = entity_by_name_;
+  for (const Op& op : ops_) {
+    if (entities.contains(op.entity)) {
+      out.ops_.push_back(op);
+      out.num_txs_ = std::max(out.num_txs_, op.tx + 1);
+    }
+  }
+  // Keep the transaction-count envelope of the original so projections and
+  // originals index transactions identically.
+  out.num_txs_ = num_txs_;
+  return out;
+}
+
+Schedule Schedule::Serialize(const std::vector<TxId>& order) const {
+  Schedule out;
+  out.entity_names_ = entity_names_;
+  out.entity_by_name_ = entity_by_name_;
+  out.num_txs_ = num_txs_;
+  for (TxId tx : order) {
+    for (int i : OpsOf(tx)) out.ops_.push_back(ops_[i]);
+  }
+  return out;
+}
+
+std::string Schedule::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    if (i > 0) os << " ";
+    os << (ops_[i].kind == OpKind::kRead ? "R" : "W") << (ops_[i].tx + 1)
+       << "(" << entity_names_[ops_[i].entity] << ")";
+  }
+  return os.str();
+}
+
+std::string Schedule::ToGrid() const {
+  std::ostringstream os;
+  for (TxId tx = 0; tx < num_txs_; ++tx) {
+    os << "t" << (tx + 1) << ":";
+    for (const Op& op : ops_) {
+      std::string cell;
+      if (op.tx == tx) {
+        cell = StrCat(op.kind == OpKind::kRead ? "R(" : "W(",
+                      entity_names_[op.entity], ")");
+      }
+      os << " " << cell << std::string(cell.size() < 6 ? 6 - cell.size() : 0,
+                                       ' ');
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+StatusOr<Schedule> ParseSchedule(const std::string& text) {
+  Schedule schedule;
+  std::istringstream is(text);
+  std::string token;
+  while (is >> token) {
+    if (token.size() < 4) {
+      return Status::InvalidArgument(StrCat("bad step '", token, "'"));
+    }
+    OpKind kind;
+    if (token[0] == 'R' || token[0] == 'r') {
+      kind = OpKind::kRead;
+    } else if (token[0] == 'W' || token[0] == 'w') {
+      kind = OpKind::kWrite;
+    } else {
+      return Status::InvalidArgument(
+          StrCat("step '", token, "' must start with R or W"));
+    }
+    size_t paren = token.find('(');
+    if (paren == std::string::npos || token.back() != ')' || paren < 2) {
+      return Status::InvalidArgument(
+          StrCat("step '", token, "' must look like R1(x)"));
+    }
+    int64_t tx_number = 0;
+    if (!ParseInt64(token.substr(1, paren - 1), &tx_number) ||
+        tx_number < 1) {
+      return Status::InvalidArgument(
+          StrCat("bad transaction number in step '", token, "'"));
+    }
+    std::string entity = token.substr(paren + 1, token.size() - paren - 2);
+    if (entity.empty()) {
+      return Status::InvalidArgument(StrCat("empty entity in '", token, "'"));
+    }
+    schedule.Append(static_cast<TxId>(tx_number - 1), kind,
+                    schedule.InternEntity(entity));
+  }
+  return schedule;
+}
+
+}  // namespace nonserial

@@ -1,0 +1,113 @@
+#ifndef NONSERIAL_SCHEDULE_SCHEDULE_H_
+#define NONSERIAL_SCHEDULE_SCHEDULE_H_
+
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "predicate/value.h"
+
+namespace nonserial {
+
+/// Dense transaction identifier within a schedule, 0-based. Displayed as
+/// t1, t2, … to match the paper's examples.
+using TxId = int;
+
+constexpr TxId kInitialTx = -1;  ///< The pseudo-transaction t_0.
+
+enum class OpKind : uint8_t { kRead, kWrite };
+
+/// One step of a classical schedule.
+struct Op {
+  TxId tx = 0;
+  OpKind kind = OpKind::kRead;
+  EntityId entity = kInvalidEntity;
+
+  bool operator==(const Op& other) const {
+    return tx == other.tx && kind == other.kind && entity == other.entity;
+  }
+};
+
+/// A classical interleaved schedule: a totally ordered sequence of read and
+/// write steps from a set of transactions over a set of entities (the
+/// standard model of Section 4.1). The schedule owns a small entity-name
+/// table so the paper's examples can be written textually.
+class Schedule {
+ public:
+  Schedule() = default;
+
+  /// Registers (or looks up) an entity by name.
+  EntityId InternEntity(const std::string& name);
+
+  /// Appends a step. Grows the transaction count as needed.
+  void Append(TxId tx, OpKind kind, EntityId entity);
+  void AppendRead(TxId tx, const std::string& entity);
+  void AppendWrite(TxId tx, const std::string& entity);
+
+  const std::vector<Op>& ops() const { return ops_; }
+  int num_txs() const { return num_txs_; }
+  int num_entities() const { return static_cast<int>(entity_names_.size()); }
+  const std::string& EntityName(EntityId e) const { return entity_names_[e]; }
+
+  /// Transactions that issue at least one op.
+  std::set<TxId> ActiveTxs() const;
+
+  /// Program order: op indices of one transaction, in temporal order.
+  std::vector<int> OpsOf(TxId tx) const;
+
+  /// For each op index that is a read: the transaction whose write it reads
+  /// under single-version semantics (the last write of the entity strictly
+  /// before it), or kInitialTx. Non-read positions hold kInitialTx - 1.
+  std::vector<TxId> SingleVersionReadsFrom() const;
+
+  /// Step-level read source: which *write step* (writer transaction plus
+  /// the write's index in the writer's program) each read observes under
+  /// single-version semantics. This granularity matters when a transaction
+  /// writes the same entity more than once — view equivalence is defined on
+  /// write steps, not writers.
+  struct ReadSource {
+    TxId writer = kInitialTx;
+    int writer_op = -1;  ///< Program-order op index within the writer.
+
+    bool operator==(const ReadSource& other) const = default;
+  };
+
+  /// One entry per op; non-read positions hold the default ReadSource.
+  std::vector<ReadSource> ReadSources() const;
+
+  /// The last writer of each entity, or kInitialTx if never written.
+  std::vector<TxId> FinalWriters() const;
+
+  /// Projection onto an entity set: steps touching those entities only,
+  /// preserving order, transaction ids, and the entity table (paper,
+  /// Section 4.2, decomposition by conjuncts).
+  Schedule ProjectEntities(const std::set<EntityId>& entities) const;
+
+  /// The serial schedule obtained by concatenating each transaction's
+  /// program (in the given transaction order).
+  Schedule Serialize(const std::vector<TxId>& order) const;
+
+  /// Renders as "R1(x) W1(x) R2(y) …".
+  std::string ToString() const;
+
+  /// Renders as the paper's per-transaction rows, one line per transaction.
+  std::string ToGrid() const;
+
+ private:
+  std::vector<Op> ops_;
+  int num_txs_ = 0;
+  std::vector<std::string> entity_names_;
+  std::unordered_map<std::string, EntityId> entity_by_name_;
+};
+
+/// Parses a schedule from compact text: whitespace-separated steps of the
+/// form `R<tx>(<entity>)` or `W<tx>(<entity>)`, 1-based transaction numbers,
+/// e.g. "R1(x) W1(x) R2(x) R2(y) W2(y) R1(y) W1(y)" (Example 1 of the
+/// paper).
+StatusOr<Schedule> ParseSchedule(const std::string& text);
+
+}  // namespace nonserial
+
+#endif  // NONSERIAL_SCHEDULE_SCHEDULE_H_

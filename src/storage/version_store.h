@@ -1,0 +1,103 @@
+#ifndef NONSERIAL_STORAGE_VERSION_STORE_H_
+#define NONSERIAL_STORAGE_VERSION_STORE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "model/state.h"
+#include "predicate/value.h"
+
+namespace nonserial {
+
+/// Writer id for the initial version of every entity (the paper's pseudo-
+/// transaction t_0).
+constexpr int kInitialWriter = -1;
+
+/// One retained version of an entity. Versions are never physically removed
+/// (the history of every data item is preserved — Section 2.4); rollback
+/// marks a version dead instead so outstanding references stay valid.
+struct Version {
+  Value value = 0;
+  int writer = kInitialWriter;  ///< Runtime transaction id that created it.
+  int64_t seq = 0;              ///< Global creation sequence number.
+  bool committed = false;       ///< Writer has committed.
+  bool dead = false;            ///< Rolled back; invisible to new requests.
+};
+
+/// A reference to a specific version: entity plus index in its chain.
+struct VersionRef {
+  EntityId entity = kInvalidEntity;
+  int index = -1;
+
+  bool valid() const { return entity != kInvalidEntity && index >= 0; }
+  bool operator==(const VersionRef& other) const = default;
+};
+
+/// Multiversion storage: one append-only version chain per entity. This is
+/// the concrete realization of the model's database state S (a set of
+/// unique states): every prefix of committed versions corresponds to the
+/// unique state a serial history would have produced, and mix-and-match
+/// reads across chains realize version states.
+class VersionStore {
+ public:
+  /// Creates the store with one committed initial version per entity,
+  /// authored by kInitialWriter.
+  explicit VersionStore(ValueVector initial_values);
+
+  int num_entities() const { return static_cast<int>(chains_.size()); }
+
+  const std::vector<Version>& Chain(EntityId e) const;
+
+  /// Appends a new (uncommitted, live) version; returns its index.
+  int Append(EntityId e, Value value, int writer);
+
+  const Version& At(VersionRef ref) const;
+  Value Read(VersionRef ref) const;
+
+  /// Index of the latest live version of `e` (committed or not).
+  int LatestLiveIndex(EntityId e) const;
+
+  /// Index of the latest committed live version of `e`.
+  int LatestCommittedIndex(EntityId e) const;
+
+  /// Latest live version of `e` authored by `writer`, if any.
+  std::optional<int> LatestIndexBy(EntityId e, int writer) const;
+
+  /// Marks all live versions authored by `writer` committed.
+  void CommitWriter(int writer);
+
+  /// Marks all uncommitted versions authored by `writer` dead (rollback).
+  void RollbackWriter(int writer);
+
+  /// Latest committed value per entity — the conventional notion of "the
+  /// current database".
+  ValueVector LatestCommittedSnapshot() const;
+
+  /// The model-layer database state: one unique state per global sequence
+  /// point of committed versions. For verification we expose the simpler
+  /// set: all committed values per entity (mix-and-match candidates).
+  DatabaseState AsDatabaseState() const;
+
+  /// Total number of live versions across all chains.
+  int64_t TotalLiveVersions() const;
+
+  /// Garbage collection: marks dead every *committed* version that is
+  /// neither the latest committed version of its entity nor pinned.
+  /// Uncommitted versions are never collected (their writers are alive).
+  /// `pinned` lists version references still assigned to active
+  /// transactions (the protocol's X assignments); indices stay stable, so
+  /// outstanding references to collected versions keep resolving — they
+  /// are just no longer handed out. Returns the number collected.
+  int64_t CollectObsolete(const std::vector<VersionRef>& pinned);
+
+ private:
+  std::vector<std::vector<Version>> chains_;
+  int64_t next_seq_ = 0;
+};
+
+}  // namespace nonserial
+
+#endif  // NONSERIAL_STORAGE_VERSION_STORE_H_

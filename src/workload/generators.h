@@ -1,0 +1,51 @@
+#ifndef NONSERIAL_WORKLOAD_GENERATORS_H_
+#define NONSERIAL_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "sim/simulator.h"
+
+namespace nonserial {
+
+/// Parameters for the long-duration design workload — the CAD-style
+/// environment the paper motivates. Entities live in [0, 100] (initial
+/// value 50) and are partitioned into `num_conjuncts` groups; the database
+/// consistency constraint bounds every entity and, within each group,
+/// loosely orders neighbouring entities. Transactions are designer
+/// sessions: they read a working set from (mostly) one group, think for a
+/// long time between operations, and write back clamped updates, so every
+/// transaction preserves the constraint when run on a consistent input.
+struct DesignWorkloadParams {
+  int num_txs = 16;
+  int num_entities = 32;
+  int num_conjuncts = 4;
+  int reads_per_tx = 4;            ///< Entities read (each written back with
+                                   ///< probability write_fraction).
+  double write_fraction = 0.75;
+  SimTime think_time = 200;        ///< Human latency between operations.
+  double cross_group_fraction = 0.1;  ///< Ops straying outside the home group.
+  double precedence_prob = 0.0;    ///< P(edge from a random earlier tx).
+  double hot_theta = 0.0;          ///< Zipf skew of entity choice in a group.
+  double relational_clause_prob = 0.3;  ///< I_t clauses relating two reads.
+  SimTime arrival_spacing = 20;
+  uint64_t seed = 1;
+};
+
+/// Builds the long-duration design workload described above.
+SimWorkload MakeDesignWorkload(const DesignWorkloadParams& params);
+
+/// Short-transaction variant: identical structure with no think time and a
+/// small working set — the data-processing-style workload for which the
+/// paper concedes classical techniques are adequate.
+SimWorkload MakeOltpWorkload(int num_txs, int num_entities, int num_conjuncts,
+                             uint64_t seed);
+
+/// The database consistency constraint of a generated workload (bounds for
+/// every entity plus in-group ordering clauses); its conjuncts induce
+/// exactly the workload's object list.
+Predicate WorkloadConstraint(const SimWorkload& workload);
+
+}  // namespace nonserial
+
+#endif  // NONSERIAL_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,127 @@
+#include "workload/schedule_gen.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace nonserial {
+namespace {
+
+Schedule FromOps(const std::vector<Op>& ops, int num_entities, int num_txs) {
+  Schedule schedule;
+  // Intern entity names first so ids match op.entity values.
+  for (int e = 0; e < num_entities; ++e) {
+    schedule.InternEntity(StrCat("x", e));
+  }
+  for (const Op& op : ops) schedule.Append(op.tx, op.kind, op.entity);
+  // Pad the tx envelope: transactions with no ops still count.
+  (void)num_txs;
+  return schedule;
+}
+
+}  // namespace
+
+std::vector<std::vector<Op>> RandomPrograms(const ScheduleGenParams& params,
+                                            Rng* rng) {
+  std::vector<std::vector<Op>> programs(params.num_txs);
+  for (int t = 0; t < params.num_txs; ++t) {
+    for (int k = 0; k < params.ops_per_tx; ++k) {
+      Op op;
+      op.tx = t;
+      op.kind = rng->Bernoulli(params.write_fraction) ? OpKind::kWrite
+                                                      : OpKind::kRead;
+      op.entity = static_cast<EntityId>(
+          rng->Uniform(static_cast<uint32_t>(params.num_entities)));
+      programs[t].push_back(op);
+    }
+  }
+  return programs;
+}
+
+Schedule RandomInterleaving(const std::vector<std::vector<Op>>& programs,
+                            int num_entities, Rng* rng) {
+  std::vector<size_t> cursor(programs.size(), 0);
+  std::vector<Op> merged;
+  size_t total = 0;
+  for (const std::vector<Op>& p : programs) total += p.size();
+  while (merged.size() < total) {
+    // Choose the next program proportionally to its remaining length so
+    // every merge is equally likely.
+    size_t remaining_total = total - merged.size();
+    uint64_t pick = rng->Next64() % remaining_total;
+    for (size_t t = 0; t < programs.size(); ++t) {
+      size_t remaining = programs[t].size() - cursor[t];
+      if (pick < remaining) {
+        merged.push_back(programs[t][cursor[t]++]);
+        break;
+      }
+      pick -= remaining;
+    }
+  }
+  return FromOps(merged, num_entities, static_cast<int>(programs.size()));
+}
+
+Schedule RandomSchedule(const ScheduleGenParams& params, Rng* rng) {
+  return RandomInterleaving(RandomPrograms(params, rng), params.num_entities,
+                            rng);
+}
+
+namespace {
+
+int64_t EnumerateRec(const std::vector<std::vector<Op>>& programs,
+                     int num_entities, std::vector<size_t>* cursor,
+                     std::vector<Op>* merged, size_t total,
+                     const std::function<bool(const Schedule&)>& fn,
+                     bool* stop) {
+  if (*stop) return 0;
+  if (merged->size() == total) {
+    Schedule schedule =
+        FromOps(*merged, num_entities, static_cast<int>(programs.size()));
+    if (!fn(schedule)) *stop = true;
+    return 1;
+  }
+  int64_t count = 0;
+  for (size_t t = 0; t < programs.size(); ++t) {
+    if ((*cursor)[t] >= programs[t].size()) continue;
+    merged->push_back(programs[t][(*cursor)[t]]);
+    ++(*cursor)[t];
+    count += EnumerateRec(programs, num_entities, cursor, merged, total, fn,
+                          stop);
+    --(*cursor)[t];
+    merged->pop_back();
+    if (*stop) break;
+  }
+  return count;
+}
+
+}  // namespace
+
+int64_t ForEachInterleaving(const std::vector<std::vector<Op>>& programs,
+                            int num_entities,
+                            const std::function<bool(const Schedule&)>& fn) {
+  std::vector<size_t> cursor(programs.size(), 0);
+  std::vector<Op> merged;
+  size_t total = 0;
+  for (const std::vector<Op>& p : programs) total += p.size();
+  bool stop = false;
+  return EnumerateRec(programs, num_entities, &cursor, &merged, total, fn,
+                      &stop);
+}
+
+ObjectSetList PartitionObjects(int num_entities, int k) {
+  ObjectSetList out;
+  k = std::max(1, k);
+  int block = (num_entities + k - 1) / k;
+  for (int g = 0; g < k; ++g) {
+    std::set<EntityId> object;
+    for (int e = g * block; e < std::min(num_entities, (g + 1) * block);
+         ++e) {
+      object.insert(e);
+    }
+    if (!object.empty()) out.push_back(std::move(object));
+  }
+  return out;
+}
+
+}  // namespace nonserial

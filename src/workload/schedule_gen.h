@@ -1,0 +1,49 @@
+#ifndef NONSERIAL_WORKLOAD_SCHEDULE_GEN_H_
+#define NONSERIAL_WORKLOAD_SCHEDULE_GEN_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/random.h"
+#include "predicate/predicate.h"
+#include "schedule/schedule.h"
+
+namespace nonserial {
+
+/// Parameters for random classical-schedule generation (the raw material of
+/// the class-containment experiment, E2).
+struct ScheduleGenParams {
+  int num_txs = 2;
+  int num_entities = 2;
+  int ops_per_tx = 3;
+  double write_fraction = 0.5;
+};
+
+/// Random per-transaction programs, interleaved uniformly at random.
+Schedule RandomSchedule(const ScheduleGenParams& params, Rng* rng);
+
+/// Generates random per-transaction programs only (no interleaving); each
+/// program is a sequence of (kind, entity) steps.
+std::vector<std::vector<Op>> RandomPrograms(const ScheduleGenParams& params,
+                                            Rng* rng);
+
+/// Interleaves fixed programs uniformly at random (each distinct merge
+/// equally likely).
+Schedule RandomInterleaving(const std::vector<std::vector<Op>>& programs,
+                            int num_entities, Rng* rng);
+
+/// Enumerates every interleaving of the given programs, invoking `fn` for
+/// each; stops early when `fn` returns false. Returns the number of
+/// interleavings visited. The number of merges is multinomial in the
+/// program lengths — keep inputs small.
+int64_t ForEachInterleaving(const std::vector<std::vector<Op>>& programs,
+                            int num_entities,
+                            const std::function<bool(const Schedule&)>& fn);
+
+/// Partition of [0, num_entities) into `k` contiguous objects — the
+/// canonical conjunct decomposition used across experiments.
+ObjectSetList PartitionObjects(int num_entities, int k);
+
+}  // namespace nonserial
+
+#endif  // NONSERIAL_WORKLOAD_SCHEDULE_GEN_H_

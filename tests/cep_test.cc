@@ -1,0 +1,349 @@
+#include <gtest/gtest.h>
+
+#include "protocol/cep.h"
+
+namespace nonserial {
+namespace {
+
+// Entities x=0, y=1 with initial value 50 and domain constraint [0, 100].
+Predicate Range(EntityId e, Value lo, Value hi) {
+  Predicate p;
+  p.AddClause(Clause({EntityVsConst(e, CompareOp::kGe, lo)}));
+  p.AddClause(Clause({EntityVsConst(e, CompareOp::kLe, hi)}));
+  return p;
+}
+
+TxProfile Profile(const std::string& name, Predicate input,
+                  Predicate output = Predicate::True(),
+                  std::vector<int> preds = {}) {
+  TxProfile profile;
+  profile.name = name;
+  profile.input = std::move(input);
+  profile.output = std::move(output);
+  profile.predecessors = std::move(preds);
+  return profile;
+}
+
+class CepTest : public ::testing::Test {
+ protected:
+  CepTest() : store_({50, 50}), cep_(&store_) {}
+
+  VersionStore store_;
+  CorrectExecutionProtocol cep_;
+};
+
+TEST_F(CepTest, SingleTransactionLifecycle) {
+  cep_.Register(0, Profile("t0", Range(0, 0, 100), Range(0, 0, 100)));
+  EXPECT_EQ(cep_.Begin(0), ReqResult::kGranted);
+  Value v = 0;
+  EXPECT_EQ(cep_.Read(0, 0, &v), ReqResult::kGranted);
+  EXPECT_EQ(v, 50);
+  EXPECT_EQ(cep_.Write(0, 0, 60), ReqResult::kGranted);
+  cep_.WriteDone(0, 0);
+  EXPECT_EQ(cep_.Commit(0), ReqResult::kGranted);
+  ASSERT_TRUE(cep_.records()[0].committed);
+  EXPECT_EQ(cep_.records()[0].writes,
+            (std::vector<std::pair<EntityId, Value>>{{0, 60}}));
+  EXPECT_EQ(cep_.records()[0].input_state, (ValueVector{50, 50}));
+  EXPECT_EQ(store_.LatestCommittedSnapshot(), (ValueVector{60, 50}));
+}
+
+TEST_F(CepTest, OwnWriteVisibleToOwnRead) {
+  cep_.Register(0, Profile("t0", Range(0, 0, 100)));
+  ASSERT_EQ(cep_.Begin(0), ReqResult::kGranted);
+  ASSERT_EQ(cep_.Write(0, 0, 75), ReqResult::kGranted);
+  cep_.WriteDone(0, 0);
+  Value v = 0;
+  ASSERT_EQ(cep_.Read(0, 0, &v), ReqResult::kGranted);
+  EXPECT_EQ(v, 75);
+}
+
+TEST_F(CepTest, WritersNeverBlock) {
+  cep_.Register(0, Profile("t0", Range(0, 0, 100)));
+  cep_.Register(1, Profile("t1", Range(0, 0, 100)));
+  ASSERT_EQ(cep_.Begin(0), ReqResult::kGranted);
+  ASSERT_EQ(cep_.Begin(1), ReqResult::kGranted);
+  // Both write x concurrently; each creates its own version.
+  EXPECT_EQ(cep_.Write(0, 0, 60), ReqResult::kGranted);
+  EXPECT_EQ(cep_.Write(1, 0, 70), ReqResult::kGranted);
+  EXPECT_EQ(store_.Chain(0).size(), 3u);
+}
+
+TEST_F(CepTest, ReaderBlocksOnActiveWriteOnly) {
+  cep_.Register(0, Profile("writer", Predicate::True()));
+  cep_.Register(1, Profile("reader", Range(0, 0, 100)));
+  ASSERT_EQ(cep_.Begin(0), ReqResult::kGranted);
+  ASSERT_EQ(cep_.Begin(1), ReqResult::kGranted);
+  ASSERT_EQ(cep_.Write(0, 0, 60), ReqResult::kGranted);
+  // Write in progress: the read blocks (Figure 3 "false" entry).
+  Value v = 0;
+  EXPECT_EQ(cep_.Read(1, 0, &v), ReqResult::kBlocked);
+  cep_.WriteDone(0, 0);
+  std::vector<int> wakeups = cep_.TakeWakeups();
+  EXPECT_EQ(wakeups, (std::vector<int>{1}));
+  EXPECT_EQ(cep_.Read(1, 0, &v), ReqResult::kGranted);
+  EXPECT_EQ(v, 50);  // Still the assigned (initial) version.
+}
+
+TEST_F(CepTest, ValidationBlockedOnActiveWriter) {
+  cep_.Register(0, Profile("writer", Predicate::True()));
+  cep_.Register(1, Profile("reader", Range(0, 0, 100)));
+  ASSERT_EQ(cep_.Begin(0), ReqResult::kGranted);
+  ASSERT_EQ(cep_.Write(0, 0, 60), ReqResult::kGranted);
+  EXPECT_EQ(cep_.Begin(1), ReqResult::kBlocked);  // Rv lock vs active W.
+  cep_.WriteDone(0, 0);
+  EXPECT_EQ(cep_.TakeWakeups(), (std::vector<int>{1}));
+  EXPECT_EQ(cep_.Begin(1), ReqResult::kGranted);
+}
+
+TEST_F(CepTest, UnsatisfiableValidationWaitsForNewVersions) {
+  // Reader needs x >= 90; only 50 exists.
+  cep_.Register(0, Profile("reader", Range(0, 90, 100)));
+  cep_.Register(1, Profile("writer", Predicate::True()));
+  EXPECT_EQ(cep_.Begin(0), ReqResult::kBlocked);
+  EXPECT_GT(cep_.stats().validation_retries, 0);
+  // A sibling writes a satisfying version.
+  ASSERT_EQ(cep_.Begin(1), ReqResult::kGranted);
+  ASSERT_EQ(cep_.Write(1, 0, 95), ReqResult::kGranted);
+  cep_.WriteDone(1, 0);
+  EXPECT_EQ(cep_.TakeWakeups(), (std::vector<int>{0}));
+  EXPECT_EQ(cep_.Begin(0), ReqResult::kGranted);
+  Value v = 0;
+  ASSERT_EQ(cep_.Read(0, 0, &v), ReqResult::kGranted);
+  EXPECT_EQ(v, 95);
+}
+
+TEST_F(CepTest, MixedVersionStateIsAssignable) {
+  // t0 writes x=60, t1 writes y=70; t2 requires (x >= 60) & (y >= 70):
+  // only the mix of both new versions satisfies it.
+  cep_.Register(0, Profile("tx", Predicate::True()));
+  cep_.Register(1, Profile("ty", Predicate::True()));
+  Predicate mix = Predicate::And(Range(0, 60, 100), Range(1, 70, 100));
+  cep_.Register(2, Profile("mix", mix));
+  ASSERT_EQ(cep_.Begin(0), ReqResult::kGranted);
+  ASSERT_EQ(cep_.Begin(1), ReqResult::kGranted);
+  ASSERT_EQ(cep_.Write(0, 0, 60), ReqResult::kGranted);
+  cep_.WriteDone(0, 0);
+  ASSERT_EQ(cep_.Write(1, 1, 70), ReqResult::kGranted);
+  cep_.WriteDone(1, 1);
+  ASSERT_EQ(cep_.Begin(2), ReqResult::kGranted);
+  Value x = 0, y = 0;
+  ASSERT_EQ(cep_.Read(2, 0, &x), ReqResult::kGranted);
+  ASSERT_EQ(cep_.Read(2, 1, &y), ReqResult::kGranted);
+  EXPECT_EQ(x, 60);
+  EXPECT_EQ(y, 70);
+}
+
+TEST_F(CepTest, ReEvalReassignsUnreadValidatedReader) {
+  // t1 precedes t2 in P. t2 validates against the initial version; when t1
+  // then writes x, t2 (Rv only, nothing read) is silently re-assigned.
+  cep_.Register(0, Profile("t1", Predicate::True()));
+  cep_.Register(1, Profile("t2", Range(0, 0, 100), Predicate::True(), {0}));
+  ASSERT_EQ(cep_.Begin(1), ReqResult::kGranted);
+  ASSERT_EQ(cep_.Begin(0), ReqResult::kGranted);
+  ASSERT_EQ(cep_.Write(0, 0, 77), ReqResult::kGranted);
+  cep_.WriteDone(0, 0);
+  EXPECT_EQ(cep_.stats().reassigns, 1);
+  EXPECT_EQ(cep_.stats().po_aborts, 0);
+  Value v = 0;
+  ASSERT_EQ(cep_.Read(1, 0, &v), ReqResult::kGranted);
+  EXPECT_EQ(v, 77);  // The predecessor's version, as the partial order demands.
+}
+
+TEST_F(CepTest, ReEvalAbortsReaderThatReadStaleVersion) {
+  // Same setup, but t2 reads x before t1 writes: partial-order
+  // invalidation, Figure 4's abort branch.
+  cep_.Register(0, Profile("t1", Predicate::True()));
+  cep_.Register(1, Profile("t2", Range(0, 0, 100), Predicate::True(), {0}));
+  ASSERT_EQ(cep_.Begin(1), ReqResult::kGranted);
+  Value v = 0;
+  ASSERT_EQ(cep_.Read(1, 0, &v), ReqResult::kGranted);
+  EXPECT_EQ(v, 50);
+  ASSERT_EQ(cep_.Begin(0), ReqResult::kGranted);
+  ASSERT_EQ(cep_.Write(0, 0, 77), ReqResult::kGranted);
+  EXPECT_EQ(cep_.stats().po_aborts, 1);
+  EXPECT_EQ(cep_.TakeForcedAborts(), (std::vector<int>{1}));
+  cep_.WriteDone(0, 0);
+  cep_.Abort(1);
+  // t2 restarts and now sees the predecessor's version.
+  ASSERT_EQ(cep_.Begin(1), ReqResult::kGranted);
+  ASSERT_EQ(cep_.Read(1, 0, &v), ReqResult::kGranted);
+  EXPECT_EQ(v, 77);
+}
+
+TEST_F(CepTest, NonPredecessorWriteDoesNotDisturbReader) {
+  // No partial order: a concurrent write leaves the reader on its old
+  // version (multiversion tolerance — the paper's key concurrency win).
+  cep_.Register(0, Profile("reader", Range(0, 0, 100)));
+  cep_.Register(1, Profile("writer", Predicate::True()));
+  ASSERT_EQ(cep_.Begin(0), ReqResult::kGranted);
+  Value v = 0;
+  ASSERT_EQ(cep_.Read(0, 0, &v), ReqResult::kGranted);
+  ASSERT_EQ(cep_.Begin(1), ReqResult::kGranted);
+  ASSERT_EQ(cep_.Write(1, 0, 99), ReqResult::kGranted);
+  cep_.WriteDone(1, 0);
+  EXPECT_EQ(cep_.stats().po_aborts, 0);
+  EXPECT_TRUE(cep_.TakeForcedAborts().empty());
+  EXPECT_EQ(cep_.Commit(0), ReqResult::kGranted);
+}
+
+TEST_F(CepTest, CommitWaitsForPredecessor) {
+  cep_.Register(0, Profile("t1", Predicate::True()));
+  cep_.Register(1, Profile("t2", Predicate::True(), Predicate::True(), {0}));
+  ASSERT_EQ(cep_.Begin(0), ReqResult::kGranted);
+  ASSERT_EQ(cep_.Begin(1), ReqResult::kGranted);
+  EXPECT_EQ(cep_.Commit(1), ReqResult::kBlocked);
+  EXPECT_EQ(cep_.Commit(0), ReqResult::kGranted);
+  EXPECT_EQ(cep_.TakeWakeups(), (std::vector<int>{1}));
+  EXPECT_EQ(cep_.Commit(1), ReqResult::kGranted);
+}
+
+TEST_F(CepTest, CommitWaitsForAssignedAuthor) {
+  // t1 writes x=95; t2's input constraint is only satisfiable by that
+  // version, so t2's commit waits for t1's.
+  cep_.Register(0, Profile("t1", Predicate::True()));
+  cep_.Register(1, Profile("t2", Range(0, 90, 100)));
+  ASSERT_EQ(cep_.Begin(0), ReqResult::kGranted);
+  ASSERT_EQ(cep_.Write(0, 0, 95), ReqResult::kGranted);
+  cep_.WriteDone(0, 0);
+  ASSERT_EQ(cep_.Begin(1), ReqResult::kGranted);
+  EXPECT_EQ(cep_.Commit(1), ReqResult::kBlocked);
+  EXPECT_EQ(cep_.Commit(0), ReqResult::kGranted);
+  EXPECT_EQ(cep_.TakeWakeups(), (std::vector<int>{1}));
+  EXPECT_EQ(cep_.Commit(1), ReqResult::kGranted);
+  EXPECT_EQ(cep_.records()[1].feeder_txs, (std::set<int>{0}));
+}
+
+TEST_F(CepTest, AbortCascadesToReaderOfDeadVersion) {
+  cep_.Register(0, Profile("t1", Predicate::True()));
+  cep_.Register(1, Profile("t2", Range(0, 90, 100)));
+  ASSERT_EQ(cep_.Begin(0), ReqResult::kGranted);
+  ASSERT_EQ(cep_.Write(0, 0, 95), ReqResult::kGranted);
+  cep_.WriteDone(0, 0);
+  ASSERT_EQ(cep_.Begin(1), ReqResult::kGranted);
+  Value v = 0;
+  ASSERT_EQ(cep_.Read(1, 0, &v), ReqResult::kGranted);
+  EXPECT_EQ(v, 95);
+  cep_.Abort(0);  // t1 dies; t2 consumed its version.
+  EXPECT_EQ(cep_.stats().cascade_aborts, 1);
+  EXPECT_EQ(cep_.TakeForcedAborts(), (std::vector<int>{1}));
+}
+
+TEST_F(CepTest, AbortReassignsUnreadDependant) {
+  cep_.Register(0, Profile("t1", Predicate::True()));
+  cep_.Register(1, Profile("t2", Range(0, 0, 100)));
+  ASSERT_EQ(cep_.Begin(0), ReqResult::kGranted);
+  ASSERT_EQ(cep_.Write(0, 0, 95), ReqResult::kGranted);
+  cep_.WriteDone(0, 0);
+  ASSERT_EQ(cep_.Begin(1), ReqResult::kGranted);
+  cep_.Abort(0);
+  EXPECT_TRUE(cep_.TakeForcedAborts().empty());
+  Value v = 0;
+  ASSERT_EQ(cep_.Read(1, 0, &v), ReqResult::kGranted);
+  EXPECT_EQ(v, 50);  // Back on a live version.
+  EXPECT_EQ(cep_.Commit(1), ReqResult::kGranted);
+}
+
+TEST_F(CepTest, FailedOutputConditionAborts) {
+  Predicate impossible = Range(0, 200, 300);
+  cep_.Register(0, Profile("t0", Predicate::True(), impossible));
+  ASSERT_EQ(cep_.Begin(0), ReqResult::kGranted);
+  ASSERT_EQ(cep_.Write(0, 0, 60), ReqResult::kGranted);
+  cep_.WriteDone(0, 0);
+  EXPECT_EQ(cep_.Commit(0), ReqResult::kAborted);
+  cep_.Abort(0);
+  EXPECT_EQ(store_.LatestCommittedSnapshot(), (ValueVector{50, 50}));
+}
+
+TEST_F(CepTest, CommitWaitsResolveAfterAuthorsCommit) {
+  // Two consumers each validated against a different producer's version;
+  // both commits block until their producers commit, then proceed.
+  cep_.Register(0, Profile("t0", Range(1, 90, 100)));
+  cep_.Register(1, Profile("t1", Range(0, 90, 100)));
+  ASSERT_EQ(cep_.Begin(0), ReqResult::kBlocked);  // y=90 not yet written.
+  ASSERT_EQ(cep_.Begin(1), ReqResult::kBlocked);
+  // Each writes what the other needs.
+  // (Writes require kExecuting; use fresh writers instead.)
+  cep_.Register(2, Profile("wx", Predicate::True()));
+  cep_.Register(3, Profile("wy", Predicate::True()));
+  ASSERT_EQ(cep_.Begin(2), ReqResult::kGranted);
+  ASSERT_EQ(cep_.Begin(3), ReqResult::kGranted);
+  ASSERT_EQ(cep_.Write(2, 0, 95), ReqResult::kGranted);
+  cep_.WriteDone(2, 0);
+  ASSERT_EQ(cep_.Write(3, 1, 95), ReqResult::kGranted);
+  cep_.WriteDone(3, 1);
+  (void)cep_.TakeWakeups();
+  ASSERT_EQ(cep_.Begin(0), ReqResult::kGranted);
+  ASSERT_EQ(cep_.Begin(1), ReqResult::kGranted);
+  // t0 waits on writer 3; t1 waits on writer 2 — no cycle here; both
+  // proceed once the writers commit.
+  EXPECT_EQ(cep_.Commit(0), ReqResult::kBlocked);
+  EXPECT_EQ(cep_.Commit(1), ReqResult::kBlocked);
+  EXPECT_EQ(cep_.Commit(2), ReqResult::kGranted);
+  EXPECT_EQ(cep_.Commit(3), ReqResult::kGranted);
+  (void)cep_.TakeWakeups();
+  EXPECT_EQ(cep_.Commit(0), ReqResult::kGranted);
+  EXPECT_EQ(cep_.Commit(1), ReqResult::kGranted);
+}
+
+TEST_F(CepTest, StatsTrackValidations) {
+  cep_.Register(0, Profile("t0", Range(0, 0, 100)));
+  ASSERT_EQ(cep_.Begin(0), ReqResult::kGranted);
+  EXPECT_EQ(cep_.stats().validations, 1);
+}
+
+TEST_F(CepTest, ReassignFailureAbortsReader) {
+  // t2 follows t1 in P, needs (x <= y), and has already read y = 50
+  // (pinned). When t1 writes x = 90, the Figure 4 re-assign must pin
+  // x to 90 — but 90 <= 50 fails and nothing else can move: the reader
+  // is force-aborted.
+  Predicate rel = Range(0, 0, 100);
+  rel = Predicate::And(rel, Range(1, 0, 100));
+  rel.AddClause(Clause({EntityVsEntity(0, CompareOp::kLe, 1)}));
+  cep_.Register(0, Profile("t1", Predicate::True()));
+  cep_.Register(1, Profile("t2", rel, Predicate::True(), {0}));
+  ASSERT_EQ(cep_.Begin(1), ReqResult::kGranted);
+  Value v = 0;
+  ASSERT_EQ(cep_.Read(1, 1, &v), ReqResult::kGranted);  // y pinned at 50.
+  ASSERT_EQ(cep_.Begin(0), ReqResult::kGranted);
+  ASSERT_EQ(cep_.Write(0, 0, 90), ReqResult::kGranted);
+  EXPECT_EQ(cep_.stats().reassigns, 1);
+  EXPECT_EQ(cep_.stats().reassign_failures, 1);
+  EXPECT_EQ(cep_.TakeForcedAborts(), (std::vector<int>{1}));
+}
+
+TEST_F(CepTest, PinnedVersionsProtectAssignmentsFromGc) {
+  // t1 commits a new version of x; t2 validates against the *old* initial
+  // version (its constraint demands a small x). GC must not collect the
+  // version t2 is assigned.
+  cep_.Register(0, Profile("writer", Predicate::True()));
+  cep_.Register(1, Profile("reader", Range(0, 0, 55)));
+  ASSERT_EQ(cep_.Begin(0), ReqResult::kGranted);
+  ASSERT_EQ(cep_.Write(0, 0, 90), ReqResult::kGranted);
+  cep_.WriteDone(0, 0);
+  ASSERT_EQ(cep_.Commit(0), ReqResult::kGranted);
+  ASSERT_EQ(cep_.Begin(1), ReqResult::kGranted);  // Assigned initial x=50.
+  std::vector<VersionRef> pinned = cep_.PinnedVersions();
+  ASSERT_FALSE(pinned.empty());
+  // Without pins the initial version of x would be obsolete (90 is the
+  // latest committed); the pin keeps it.
+  store_.CollectObsolete(pinned);
+  Value v = 0;
+  ASSERT_EQ(cep_.Read(1, 0, &v), ReqResult::kGranted);
+  EXPECT_EQ(v, 50);
+  EXPECT_EQ(cep_.Commit(1), ReqResult::kGranted);
+}
+
+using CepDeathTest = CepTest;
+
+TEST_F(CepDeathTest, ReadOutsideInputConstraintRejected) {
+  // The paper: "If the transaction does not have a Rv-lock on the data
+  // item, then the read is rejected."
+  cep_.Register(0, Profile("t0", Range(0, 0, 100)));
+  ASSERT_EQ(cep_.Begin(0), ReqResult::kGranted);
+  Value v = 0;
+  EXPECT_DEATH((void)cep_.Read(0, 1, &v), "input constraint");
+}
+
+}  // namespace
+}  // namespace nonserial

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "model/execution.h"
+
+namespace nonserial {
+namespace {
+
+// A two-leaf tree over entities {x=0, y=1, z=2}: t.0 writes x := x + 1;
+// t.1 writes y := x * 2 (reading x); t_f reads everything.
+struct SimpleTree {
+  TransactionTree tree;
+  int leaf0, leaf1, tf, root;
+
+  explicit SimpleTree(std::vector<std::pair<int, int>> partial_order = {}) {
+    LeafProgram p0;
+    p0.AddWrite(0, Expr::Add(Expr::Var(0), Expr::Const(1)));
+    LeafProgram p1;
+    p1.AddWrite(1, Expr::Mul(Expr::Var(0), Expr::Const(2)));
+    LeafProgram pf;
+    pf.AddRead(0);
+    pf.AddRead(1);
+    pf.AddRead(2);
+    leaf0 = tree.AddLeaf("t.0", p0);
+    leaf1 = tree.AddLeaf("t.1", p1);
+    tf = tree.AddLeaf("t.f", pf);
+    if (partial_order.empty()) {
+      partial_order = {{0, 2}, {1, 2}};  // Both before t_f.
+    }
+    root = tree.AddInternal("t", {leaf0, leaf1, tf}, partial_order,
+                            Specification(), /*final_child=*/2);
+    tree.SetRoot(root);
+  }
+};
+
+TEST(SerialExecutionTest, DefaultOrderComputesSequentially) {
+  SimpleTree t;
+  auto exec = MakeSerialExecution(t.tree, {10, 0, 7});
+  ASSERT_TRUE(exec.ok());
+  // Serial t.0 then t.1: x = 11, y = 22, z = 7.
+  ExecutionEvaluator eval(t.tree, *exec);
+  auto out = eval.OutputOf(t.root);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, (UniqueState{11, 22, 7}));
+}
+
+TEST(SerialExecutionTest, ExplicitOrderRespected) {
+  SimpleTree t;
+  std::map<int, std::vector<int>> orders = {{t.root, {1, 0, 2}}};
+  auto exec = MakeSerialExecution(t.tree, {10, 0, 7}, &orders);
+  ASSERT_TRUE(exec.ok());
+  // t.1 first: y = 20; then t.0: x = 11.
+  ExecutionEvaluator eval(t.tree, *exec);
+  auto out = eval.OutputOf(t.root);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, (UniqueState{11, 20, 7}));
+}
+
+TEST(SerialExecutionTest, OrderViolatingPartialOrderRejected) {
+  SimpleTree t({{0, 1}, {0, 2}, {1, 2}});  // t.0 before t.1.
+  std::map<int, std::vector<int>> orders = {{t.root, {1, 0, 2}}};
+  EXPECT_FALSE(MakeSerialExecution(t.tree, {10, 0, 7}, &orders).ok());
+}
+
+TEST(SerialExecutionTest, SerialExecutionPassesAllChecks) {
+  SimpleTree t;
+  auto exec = MakeSerialExecution(t.tree, {10, 0, 7});
+  ASSERT_TRUE(exec.ok());
+  EXPECT_TRUE(ValidateExecutionStructure(t.tree, *exec).ok());
+  EXPECT_TRUE(CheckParentBased(t.tree, *exec).ok());
+  EXPECT_TRUE(CheckCorrectness(t.tree, *exec).ok());
+  EXPECT_TRUE(CheckCorrectExecution(t.tree, *exec).ok());
+}
+
+TEST(ExecutionCheckTest, MissingNodeExecutionRejected) {
+  SimpleTree t;
+  TreeExecution exec;
+  exec.root_input = {10, 0, 7};
+  EXPECT_FALSE(ValidateExecutionStructure(t.tree, exec).ok());
+}
+
+TEST(ExecutionCheckTest, PartialOrderInvalidationDetected) {
+  // P: t.0 before t.1; R: t.1 before t.0 — violates the execution rule.
+  SimpleTree t({{0, 1}, {0, 2}, {1, 2}});
+  auto exec = MakeSerialExecution(t.tree, {10, 0, 7});
+  ASSERT_TRUE(exec.ok());
+  NodeExecution& ne = exec->node_executions[t.root];
+  ne.reads_from.push_back({1, 0});  // (t.1, t.0) ∈ R against P.
+  Status status = ValidateExecutionStructure(t.tree, *exec);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("partial order invalidation"),
+            std::string::npos);
+}
+
+TEST(ExecutionCheckTest, ParentBasedViolationDetected) {
+  SimpleTree t;
+  auto exec = MakeSerialExecution(t.tree, {10, 0, 7});
+  ASSERT_TRUE(exec.ok());
+  // Corrupt t.1's input: value 999 comes from nobody.
+  exec->node_executions[t.root].inputs[1][0] = 999;
+  EXPECT_TRUE(ValidateExecutionStructure(t.tree, *exec).ok());
+  EXPECT_FALSE(CheckParentBased(t.tree, *exec).ok());
+}
+
+TEST(ExecutionCheckTest, MultiversionReadIsParentBased) {
+  // t.1 reads the *parent's* x although t.0 wrote x first — legal in the
+  // model (multiple versions), impossible in a single-version serial run.
+  SimpleTree t;
+  auto exec = MakeSerialExecution(t.tree, {10, 0, 7});
+  ASSERT_TRUE(exec.ok());
+  NodeExecution& ne = exec->node_executions[t.root];
+  ne.inputs[1][0] = 10;  // Parent's version of x, not t.0's 11.
+  // t_f now observes y = 20 from t.1 and x = 11 from t.0 directly.
+  ne.reads_from.push_back({0, 2});
+  ne.inputs[2] = {11, 20, 7};
+  EXPECT_TRUE(CheckParentBased(t.tree, *exec).ok());
+}
+
+TEST(ExecutionCheckTest, InputPredicateViolationDetected) {
+  SimpleTree t;
+  t.tree.mutable_node(t.leaf1).spec.input.AddClause(
+      Clause({EntityVsConst(0, CompareOp::kGe, 100)}));
+  auto exec = MakeSerialExecution(t.tree, {10, 0, 7});
+  ASSERT_TRUE(exec.ok());
+  Status status = CheckCorrectness(t.tree, *exec);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("input predicate"), std::string::npos);
+}
+
+TEST(ExecutionCheckTest, OutputPredicateViolationDetected) {
+  SimpleTree t;
+  t.tree.mutable_node(t.root).spec.output.AddClause(
+      Clause({EntityVsConst(1, CompareOp::kGe, 1000)}));
+  auto exec = MakeSerialExecution(t.tree, {10, 0, 7});
+  ASSERT_TRUE(exec.ok());
+  Status status = CheckCorrectness(t.tree, *exec);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("output predicate"), std::string::npos);
+}
+
+TEST(ExecutionCheckTest, SatisfiedSpecificationsPass) {
+  SimpleTree t;
+  t.tree.mutable_node(t.leaf1).spec.input.AddClause(
+      Clause({EntityVsConst(0, CompareOp::kGe, 10)}));
+  t.tree.mutable_node(t.root).spec.output.AddClause(
+      Clause({EntityVsConst(1, CompareOp::kGe, 20)}));
+  auto exec = MakeSerialExecution(t.tree, {10, 0, 7});
+  ASSERT_TRUE(exec.ok());
+  EXPECT_TRUE(CheckCorrectExecution(t.tree, *exec).ok());
+}
+
+// The Figure 1 tree: t with children t.0, t.1, t.2; t.0 has leaves
+// t.0.0..t.0.2; t.1 has t.1.0 (itself nested: t.1.0.0, t.1.0.1) and t.1.1
+// (t.1.1.0..t.1.1.2); t.2 has t.2.0. We realize it with counter bumps.
+TEST(NestedExecutionTest, Figure1TreeSerialExecutionIsCorrect) {
+  TransactionTree tree;
+  auto bump = [&](const std::string& name, EntityId e) {
+    LeafProgram p;
+    p.AddWrite(e, Expr::Add(Expr::Var(e), Expr::Const(1)));
+    return tree.AddLeaf(name, p);
+  };
+  // t.0: three leaves, sequential.
+  int t00 = bump("t.0.0", 0);
+  int t01 = bump("t.0.1", 0);
+  int t02 = bump("t.0.2", 1);
+  int t0 = tree.AddInternal("t.0", {t00, t01, t02}, {{0, 1}, {1, 2}},
+                            Specification(), 2);
+  // t.1.0: two leaves.
+  int t100 = bump("t.1.0.0", 1);
+  int t101 = bump("t.1.0.1", 2);
+  int t10 = tree.AddInternal("t.1.0", {t100, t101}, {{0, 1}},
+                             Specification(), 1);
+  // t.1.1: three leaves, unordered.
+  int t110 = bump("t.1.1.0", 0);
+  int t111 = bump("t.1.1.1", 1);
+  int t112 = bump("t.1.1.2", 2);
+  int t11 = tree.AddInternal("t.1.1", {t110, t111, t112}, {},
+                             Specification(), 2);
+  int t1 = tree.AddInternal("t.1", {t10, t11}, {}, Specification(), 1);
+  // t.2: one leaf.
+  int t20 = bump("t.2.0", 2);
+  int t2 = tree.AddInternal("t.2", {t20}, {}, Specification(), 0);
+  int root = tree.AddInternal("t", {t0, t1, t2}, {{0, 1}, {1, 2}},
+                              Specification(), 2);
+  tree.SetRoot(root);
+  ASSERT_TRUE(tree.Validate().ok());
+
+  auto exec = MakeSerialExecution(tree, {0, 0, 0});
+  ASSERT_TRUE(exec.ok());
+  EXPECT_TRUE(CheckCorrectExecution(tree, *exec).ok());
+
+  ExecutionEvaluator eval(tree, *exec);
+  auto out = eval.OutputOf(root);
+  ASSERT_TRUE(out.ok());
+  // Writes: e0 bumped by t.0.0, t.0.1, t.1.1.0 = 3;
+  // e1 by t.0.2, t.1.0.0, t.1.1.1 = 3; e2 by t.1.0.1, t.1.1.2, t.2.0 = 3.
+  EXPECT_EQ(*out, (UniqueState{3, 3, 3}));
+  (void)t1;
+  (void)t2;
+}
+
+TEST(EvaluatorTest, InputOfRootIsRootInput) {
+  SimpleTree t;
+  auto exec = MakeSerialExecution(t.tree, {10, 0, 7});
+  ASSERT_TRUE(exec.ok());
+  ExecutionEvaluator eval(t.tree, *exec);
+  auto input = eval.InputOf(t.root);
+  ASSERT_TRUE(input.ok());
+  EXPECT_EQ(*input, (ValueVector{10, 0, 7}));
+}
+
+TEST(EvaluatorTest, NodeWithoutFinalChildHasNoOutput) {
+  TransactionTree tree;
+  int leaf = tree.AddLeaf("t.0", LeafProgram());
+  int root = tree.AddInternal("t", {leaf}, {}, Specification(), -1);
+  tree.SetRoot(root);
+  TreeExecution exec;
+  exec.root_input = {};
+  NodeExecution ne;
+  ne.inputs = {ValueVector{}};
+  exec.node_executions[root] = ne;
+  ExecutionEvaluator eval(tree, exec);
+  EXPECT_FALSE(eval.OutputOf(root).ok());
+}
+
+}  // namespace
+}  // namespace nonserial

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "predicate/formula.h"
+
+namespace nonserial {
+namespace {
+
+StatusOr<EntityId> TestResolve(const std::string& name) {
+  if (name.size() == 1 && name[0] >= 'a' && name[0] <= 'd') {
+    return static_cast<EntityId>(name[0] - 'a');
+  }
+  return Status::NotFound("unknown " + name);
+}
+
+TEST(NegateAtomTest, AllOperatorsComplement) {
+  for (Value lhs : {Value{0}, Value{1}, Value{2}}) {
+    for (Value rhs : {Value{0}, Value{1}, Value{2}}) {
+      for (int op = 0; op < 6; ++op) {
+        Atom atom = EntityVsConst(0, static_cast<CompareOp>(op), rhs);
+        Atom negated = NegateAtom(atom);
+        ValueVector values = {lhs};
+        EXPECT_NE(atom.Eval(values), negated.Eval(values))
+            << "op " << op << " lhs " << lhs << " rhs " << rhs;
+      }
+    }
+  }
+}
+
+TEST(FormulaTest, AtomEval) {
+  Formula f = Formula::MakeAtom(EntityVsConst(0, CompareOp::kLt, 5));
+  EXPECT_TRUE(f.Eval({4}));
+  EXPECT_FALSE(f.Eval({5}));
+}
+
+TEST(FormulaTest, AndOrNotEval) {
+  Formula a = Formula::MakeAtom(EntityVsConst(0, CompareOp::kGe, 0));
+  Formula b = Formula::MakeAtom(EntityVsConst(0, CompareOp::kLe, 10));
+  Formula in_range = Formula::And({a, b});
+  EXPECT_TRUE(in_range.Eval({5}));
+  EXPECT_FALSE(in_range.Eval({11}));
+  Formula out_of_range = Formula::Not(in_range);
+  EXPECT_TRUE(out_of_range.Eval({11}));
+  EXPECT_FALSE(out_of_range.Eval({5}));
+  EXPECT_TRUE(Formula::And({}).Eval({}));   // Empty And = true.
+  EXPECT_FALSE(Formula::Or({}).Eval({}));   // Empty Or = false.
+}
+
+TEST(FormulaTest, CnfOfAtomIsSingleClause) {
+  Formula f = Formula::MakeAtom(EntityVsConst(0, CompareOp::kEq, 1));
+  Predicate cnf = f.ToCnf();
+  ASSERT_EQ(cnf.clauses().size(), 1u);
+  EXPECT_EQ(cnf.clauses()[0].atoms().size(), 1u);
+}
+
+TEST(FormulaTest, CnfDistributesOrOverAnd) {
+  // (a=1 & b=1) | c=1  ->  (a=1 | c=1) & (b=1 | c=1).
+  Formula f = Formula::Or(
+      {Formula::And({Formula::MakeAtom(EntityVsConst(0, CompareOp::kEq, 1)),
+                     Formula::MakeAtom(EntityVsConst(1, CompareOp::kEq, 1))}),
+       Formula::MakeAtom(EntityVsConst(2, CompareOp::kEq, 1))});
+  Predicate cnf = f.ToCnf();
+  EXPECT_EQ(cnf.clauses().size(), 2u);
+  for (const Clause& clause : cnf.clauses()) {
+    EXPECT_EQ(clause.atoms().size(), 2u);
+  }
+}
+
+TEST(FormulaTest, NotPushedIntoAtoms) {
+  // !(a < 1 | b >= 2) -> (a >= 1) & (b < 2): two unit clauses, no Not.
+  Formula f = Formula::Not(
+      Formula::Or({Formula::MakeAtom(EntityVsConst(0, CompareOp::kLt, 1)),
+                   Formula::MakeAtom(EntityVsConst(1, CompareOp::kGe, 2))}));
+  Predicate cnf = f.ToCnf();
+  ASSERT_EQ(cnf.clauses().size(), 2u);
+  ValueVector ok = {1, 1};
+  ValueVector bad = {0, 1};
+  EXPECT_TRUE(cnf.Eval(ok));
+  EXPECT_FALSE(cnf.Eval(bad));
+}
+
+TEST(FormulaTest, RandomFormulasCnfEquivalent) {
+  // Property: ToCnf preserves the truth table over a small domain.
+  Rng rng(31337);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Build a random formula of depth <= 3 over entities {0,1,2} and
+    // constants {0,1,2}.
+    std::function<Formula(int)> build = [&](int depth) -> Formula {
+      if (depth == 0 || rng.Bernoulli(0.4)) {
+        EntityId lhs = static_cast<EntityId>(rng.Uniform(3));
+        CompareOp op = static_cast<CompareOp>(rng.Uniform(6));
+        if (rng.Bernoulli(0.5)) {
+          return Formula::MakeAtom(
+              EntityVsConst(lhs, op, rng.UniformInt(0, 2)));
+        }
+        return Formula::MakeAtom(
+            EntityVsEntity(lhs, op, static_cast<EntityId>(rng.Uniform(3))));
+      }
+      switch (rng.Uniform(3)) {
+        case 0:
+          return Formula::And({build(depth - 1), build(depth - 1)});
+        case 1:
+          return Formula::Or({build(depth - 1), build(depth - 1)});
+        default:
+          return Formula::Not(build(depth - 1));
+      }
+    };
+    Formula f = build(3);
+    Predicate cnf = f.ToCnf();
+    for (Value a = 0; a <= 2; ++a) {
+      for (Value b = 0; b <= 2; ++b) {
+        for (Value c = 0; c <= 2; ++c) {
+          ValueVector values = {a, b, c};
+          EXPECT_EQ(f.Eval(values), cnf.Eval(values))
+              << f.ToString() << " vs " << cnf.ToString() << " at (" << a
+              << "," << b << "," << c << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(ParseFormulaTest, PrecedenceBangOverAndOverOr) {
+  // !a=1 & b=1 | c=1 parses as ((!(a=1)) & (b=1)) | (c=1).
+  auto f = ParseFormula("!a = 1 & b = 1 | c = 1", TestResolve);
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE(f->Eval({0, 1, 0}));   // !(a=1) & b=1.
+  EXPECT_TRUE(f->Eval({1, 0, 1}));   // c=1.
+  EXPECT_FALSE(f->Eval({1, 1, 0}));  // a=1 kills the left, c!=1.
+}
+
+TEST(ParseFormulaTest, ParenthesesOverride) {
+  auto f = ParseFormula("!(a = 1 & b = 1)", TestResolve);
+  ASSERT_TRUE(f.ok());
+  EXPECT_FALSE(f->Eval({1, 1}));
+  EXPECT_TRUE(f->Eval({1, 0}));
+}
+
+TEST(ParseFormulaTest, TrueFalseLiterals) {
+  EXPECT_TRUE(ParseFormula("true", TestResolve)->Eval({}));
+  EXPECT_FALSE(ParseFormula("false", TestResolve)->Eval({}));
+  EXPECT_TRUE(ParseFormula("", TestResolve)->Eval({}));
+}
+
+TEST(ParseFormulaTest, ErrorsSurface) {
+  EXPECT_FALSE(ParseFormula("a <", TestResolve).ok());
+  EXPECT_FALSE(ParseFormula("(a < 1", TestResolve).ok());
+  EXPECT_FALSE(ParseFormula("zz < 1", TestResolve).ok());
+  EXPECT_FALSE(ParseFormula("a < 1 extra", TestResolve).ok());
+}
+
+TEST(ParseFormulaTest, ParsedFormulaToCnfUsable) {
+  auto f = ParseFormula("!(a > 10) | (b >= 1 & b <= 3)", TestResolve);
+  ASSERT_TRUE(f.ok());
+  Predicate cnf = f->ToCnf();
+  // a <= 10 holds -> true regardless of b.
+  EXPECT_TRUE(cnf.Eval({5, 99}));
+  // a > 10 but b in [1,3] -> true.
+  EXPECT_TRUE(cnf.Eval({11, 2}));
+  // a > 10 and b out of range -> false.
+  EXPECT_FALSE(cnf.Eval({11, 9}));
+}
+
+TEST(FormulaTest, ToStringReadable) {
+  Formula f = Formula::Not(
+      Formula::And({Formula::MakeAtom(EntityVsConst(0, CompareOp::kLt, 1)),
+                    Formula::MakeAtom(EntityVsConst(1, CompareOp::kGe, 2))}));
+  std::string s = f.ToString();
+  EXPECT_NE(s.find("!"), std::string::npos);
+  EXPECT_NE(s.find("&"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nonserial

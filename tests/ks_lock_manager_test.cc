@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "protocol/ks_lock_manager.h"
+
+namespace nonserial {
+namespace {
+
+// Figure 3, row by row: Rv/R requests against Rv/R holders are compatible.
+TEST(KsLockManagerTest, ReadersAreMutuallyCompatible) {
+  KsLockManager locks(1);
+  EXPECT_EQ(locks.Acquire(1, 0, KsLockMode::kRv), KsLockOutcome::kGranted);
+  EXPECT_EQ(locks.Acquire(2, 0, KsLockMode::kRv), KsLockOutcome::kGranted);
+  EXPECT_EQ(locks.Acquire(3, 0, KsLockMode::kR), KsLockOutcome::kGranted);
+  EXPECT_TRUE(locks.HoldsRv(1, 0));
+  EXPECT_TRUE(locks.HoldsRv(2, 0));
+  EXPECT_TRUE(locks.HoldsR(3, 0));
+}
+
+// Figure 3: Rv/R against an active W is "false" — the requester blocks.
+TEST(KsLockManagerTest, ReadersBlockOnActiveWriter) {
+  KsLockManager locks(1);
+  EXPECT_EQ(locks.Acquire(1, 0, KsLockMode::kW), KsLockOutcome::kGranted);
+  EXPECT_EQ(locks.Acquire(2, 0, KsLockMode::kRv), KsLockOutcome::kBlocked);
+  EXPECT_EQ(locks.Acquire(2, 0, KsLockMode::kR), KsLockOutcome::kBlocked);
+  EXPECT_FALSE(locks.HoldsRv(2, 0));
+}
+
+// Figure 3: W against W is "true" — concurrent writers each make their own
+// version and never block.
+TEST(KsLockManagerTest, WritersNeverBlockEachOther) {
+  KsLockManager locks(1);
+  EXPECT_EQ(locks.Acquire(1, 0, KsLockMode::kW), KsLockOutcome::kGranted);
+  EXPECT_EQ(locks.Acquire(2, 0, KsLockMode::kW), KsLockOutcome::kGranted);
+}
+
+// Figure 3: W against Rv/R is "re-eval" — granted, but readers must be
+// re-evaluated.
+TEST(KsLockManagerTest, WriteAgainstReadersIsReEval) {
+  KsLockManager locks(1);
+  EXPECT_EQ(locks.Acquire(1, 0, KsLockMode::kRv), KsLockOutcome::kGranted);
+  EXPECT_EQ(locks.Acquire(2, 0, KsLockMode::kW), KsLockOutcome::kReEval);
+  // The readers to re-evaluate.
+  EXPECT_EQ(locks.Readers(0), (std::vector<int>{1}));
+}
+
+TEST(KsLockManagerTest, OwnLocksDoNotConflict) {
+  KsLockManager locks(1);
+  EXPECT_EQ(locks.Acquire(1, 0, KsLockMode::kRv), KsLockOutcome::kGranted);
+  EXPECT_EQ(locks.Acquire(1, 0, KsLockMode::kW), KsLockOutcome::kGranted);
+  // Own W lock does not block own read upgrade.
+  EXPECT_EQ(locks.UpgradeToRead(1, 0), KsLockOutcome::kGranted);
+}
+
+TEST(KsLockManagerTest, UpgradeBlockedByForeignWriter) {
+  KsLockManager locks(1);
+  EXPECT_EQ(locks.Acquire(1, 0, KsLockMode::kRv), KsLockOutcome::kGranted);
+  EXPECT_EQ(locks.Acquire(2, 0, KsLockMode::kW), KsLockOutcome::kReEval);
+  EXPECT_EQ(locks.UpgradeToRead(1, 0), KsLockOutcome::kBlocked);
+  locks.ReleaseWrite(2, 0);
+  EXPECT_EQ(locks.UpgradeToRead(1, 0), KsLockOutcome::kGranted);
+}
+
+TEST(KsLockManagerTest, ReleaseWriteIsPerHold) {
+  KsLockManager locks(1);
+  locks.Acquire(1, 0, KsLockMode::kW);
+  locks.Acquire(1, 0, KsLockMode::kW);  // Two write ops in flight.
+  locks.ReleaseWrite(1, 0);
+  EXPECT_TRUE(locks.HasActiveWriter(0));
+  locks.ReleaseWrite(1, 0);
+  EXPECT_FALSE(locks.HasActiveWriter(0));
+}
+
+TEST(KsLockManagerTest, ReleaseAllClearsEveryMode) {
+  KsLockManager locks(2);
+  locks.Acquire(1, 0, KsLockMode::kRv);
+  locks.UpgradeToRead(1, 0);
+  locks.Acquire(1, 1, KsLockMode::kW);
+  locks.ReleaseAll(1);
+  EXPECT_FALSE(locks.HoldsRv(1, 0));
+  EXPECT_FALSE(locks.HoldsR(1, 0));
+  EXPECT_FALSE(locks.HasActiveWriter(1));
+}
+
+TEST(KsLockManagerTest, HasActiveWriterExcludesSelf) {
+  KsLockManager locks(1);
+  locks.Acquire(1, 0, KsLockMode::kW);
+  EXPECT_TRUE(locks.HasActiveWriter(0));
+  EXPECT_FALSE(locks.HasActiveWriter(0, /*other_than=*/1));
+}
+
+TEST(KsLockManagerTest, ReadersListsRvAndRHoldersOnce) {
+  KsLockManager locks(1);
+  locks.Acquire(1, 0, KsLockMode::kRv);
+  locks.UpgradeToRead(1, 0);  // Holds both Rv and R.
+  locks.Acquire(2, 0, KsLockMode::kRv);
+  EXPECT_EQ(locks.Readers(0), (std::vector<int>{1, 2}));
+}
+
+}  // namespace
+}  // namespace nonserial

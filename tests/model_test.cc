@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include "model/entity.h"
+#include "model/state.h"
+#include "model/transaction.h"
+#include "model/version_search.h"
+
+namespace nonserial {
+namespace {
+
+TEST(EntityCatalogTest, RegisterAndResolve) {
+  EntityCatalog catalog;
+  auto x = catalog.Register("x");
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(*x, 0);
+  EXPECT_EQ(catalog.size(), 1);
+  EXPECT_EQ(catalog.Name(0), "x");
+  EXPECT_EQ(*catalog.Resolve("x"), 0);
+}
+
+TEST(EntityCatalogTest, DuplicateRejected) {
+  EntityCatalog catalog;
+  ASSERT_TRUE(catalog.Register("x").ok());
+  EXPECT_EQ(catalog.Register("x").status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(EntityCatalogTest, UnknownNameNotFound) {
+  EntityCatalog catalog;
+  EXPECT_EQ(catalog.Resolve("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(EntityCatalogTest, RegisterMany) {
+  EntityCatalog catalog;
+  std::vector<EntityId> ids = catalog.RegisterMany("e", 5);
+  EXPECT_EQ(ids.size(), 5u);
+  EXPECT_EQ(catalog.Name(3), "e3");
+}
+
+TEST(EntityCatalogTest, DomainsStored) {
+  EntityCatalog catalog;
+  auto x = catalog.Register("x", Domain{0, 10});
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE(catalog.domain(*x).Contains(5));
+  EXPECT_FALSE(catalog.domain(*x).Contains(11));
+}
+
+TEST(EntityCatalogTest, EmptyDomainRejected) {
+  EntityCatalog catalog;
+  EXPECT_FALSE(catalog.Register("x", Domain{5, 4}).ok());
+}
+
+TEST(DatabaseStateTest, CandidatesAreDistinctValues) {
+  DatabaseState db(2);
+  db.Add({1, 10});
+  db.Add({2, 10});
+  db.Add({1, 20});
+  EXPECT_EQ(db.CandidateValues(0), (std::vector<Value>{1, 2}));
+  EXPECT_EQ(db.CandidateValues(1), (std::vector<Value>{10, 20}));
+  EXPECT_EQ(db.size(), 3);
+}
+
+TEST(DatabaseStateTest, VersionStateMembership) {
+  DatabaseState db(2);
+  db.Add({1, 10});
+  db.Add({2, 20});
+  // Mix-and-match across unique states is a version state.
+  EXPECT_TRUE(db.IsVersionState({1, 20}));
+  EXPECT_TRUE(db.IsVersionState({2, 10}));
+  EXPECT_TRUE(db.IsVersionState({1, 10}));
+  EXPECT_FALSE(db.IsVersionState({3, 10}));
+  EXPECT_FALSE(db.IsVersionState({1}));
+}
+
+TEST(DatabaseStateTest, SingletonStateHasOneVersionState) {
+  // |S| = 1 implies V_S = {S^U} (noted in the paper).
+  DatabaseState db(2);
+  db.Add({1, 2});
+  EXPECT_TRUE(db.IsVersionState({1, 2}));
+  EXPECT_FALSE(db.IsVersionState({1, 3}));
+  EXPECT_EQ(db.CandidateValues(0).size(), 1u);
+}
+
+TEST(DatabaseStateTest, UnionAddsProducedState) {
+  DatabaseState db(1);
+  db.Add({1});
+  db.Union({2});
+  EXPECT_EQ(db.size(), 2);
+  EXPECT_TRUE(db.IsVersionState({2}));
+}
+
+TEST(ExprTest, ConstAndVar) {
+  EXPECT_EQ(Expr::Const(7).Eval({}), 7);
+  EXPECT_EQ(Expr::Var(1).Eval({10, 20}), 20);
+}
+
+TEST(ExprTest, Arithmetic) {
+  ValueVector v = {10, 3};
+  EXPECT_EQ(Expr::Add(Expr::Var(0), Expr::Var(1)).Eval(v), 13);
+  EXPECT_EQ(Expr::Sub(Expr::Var(0), Expr::Var(1)).Eval(v), 7);
+  EXPECT_EQ(Expr::Mul(Expr::Var(0), Expr::Var(1)).Eval(v), 30);
+  EXPECT_EQ(Expr::Min(Expr::Var(0), Expr::Var(1)).Eval(v), 3);
+  EXPECT_EQ(Expr::Max(Expr::Var(0), Expr::Var(1)).Eval(v), 10);
+}
+
+TEST(ExprTest, NestedExpression) {
+  // clamp(x + 5, 0, 10) with x = 8 -> 10.
+  Expr clamp = Expr::Min(
+      Expr::Max(Expr::Add(Expr::Var(0), Expr::Const(5)), Expr::Const(0)),
+      Expr::Const(10));
+  EXPECT_EQ(clamp.Eval({8}), 10);
+  EXPECT_EQ(clamp.Eval({-20}), 0);
+  EXPECT_EQ(clamp.Eval({2}), 7);
+}
+
+TEST(ExprTest, CollectReads) {
+  std::set<EntityId> reads;
+  Expr::Add(Expr::Var(2), Expr::Mul(Expr::Var(0), Expr::Const(3)))
+      .CollectReads(&reads);
+  EXPECT_EQ(reads, (std::set<EntityId>{0, 2}));
+}
+
+TEST(ExprTest, ToStringReadable) {
+  EntityCatalog catalog;
+  catalog.RegisterMany("v", 2);
+  EXPECT_EQ(Expr::Add(Expr::Var(0), Expr::Const(1)).ToString(catalog),
+            "(v0 + 1)");
+}
+
+TEST(LeafProgramTest, ApplyOverlaysWrites) {
+  LeafProgram program;
+  program.AddWrite(0, Expr::Const(99));
+  UniqueState out = program.Apply({1, 2, 3});
+  EXPECT_EQ(out, (UniqueState{99, 2, 3}));
+}
+
+TEST(LeafProgramTest, SimultaneousAssignmentSemantics) {
+  // Swap x and y: both expressions read the *input* state.
+  LeafProgram program;
+  program.AddWrite(0, Expr::Var(1));
+  program.AddWrite(1, Expr::Var(0));
+  UniqueState out = program.Apply({1, 2});
+  EXPECT_EQ(out, (UniqueState{2, 1}));
+}
+
+TEST(LeafProgramTest, ReadsIncludeExprOperandsAndDeclared) {
+  LeafProgram program;
+  program.AddRead(5);
+  program.AddWrite(0, Expr::Var(3));
+  EXPECT_EQ(program.reads(), (std::set<EntityId>{3, 5}));
+  EXPECT_EQ(program.WriteSet(), (std::set<EntityId>{0}));
+}
+
+TEST(TransactionTreeTest, ValidateGoodTree) {
+  TransactionTree tree;
+  int leaf0 = tree.AddLeaf("t.0", LeafProgram());
+  int leaf1 = tree.AddLeaf("t.1", LeafProgram());
+  int root = tree.AddInternal("t", {leaf0, leaf1}, {{0, 1}});
+  tree.SetRoot(root);
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST(TransactionTreeTest, MissingRootRejected) {
+  TransactionTree tree;
+  tree.AddLeaf("t.0", LeafProgram());
+  EXPECT_FALSE(tree.Validate().ok());
+}
+
+TEST(TransactionTreeTest, DoubleParentRejected) {
+  TransactionTree tree;
+  int leaf = tree.AddLeaf("t.0", LeafProgram());
+  int a = tree.AddInternal("a", {leaf}, {});
+  int root = tree.AddInternal("t", {a, leaf}, {});
+  tree.SetRoot(root);
+  EXPECT_FALSE(tree.Validate().ok());
+}
+
+TEST(TransactionTreeTest, CyclicPartialOrderRejected) {
+  TransactionTree tree;
+  int leaf0 = tree.AddLeaf("t.0", LeafProgram());
+  int leaf1 = tree.AddLeaf("t.1", LeafProgram());
+  int root = tree.AddInternal("t", {leaf0, leaf1}, {{0, 1}, {1, 0}});
+  tree.SetRoot(root);
+  EXPECT_FALSE(tree.Validate().ok());
+}
+
+TEST(TransactionTreeTest, SetsComputedOverSubtree) {
+  TransactionTree tree;
+  LeafProgram p0;
+  p0.AddWrite(0, Expr::Var(1));
+  LeafProgram p1;
+  p1.AddWrite(2, Expr::Const(5));
+  Specification spec0;
+  spec0.input.AddClause(Clause({EntityVsConst(1, CompareOp::kGe, 0)}));
+  int leaf0 = tree.AddLeaf("t.0", p0, spec0);
+  int leaf1 = tree.AddLeaf("t.1", p1);
+  int root = tree.AddInternal("t", {leaf0, leaf1}, {});
+  tree.SetRoot(root);
+  EXPECT_EQ(tree.UpdateSet(root), (std::set<EntityId>{0, 2}));
+  EXPECT_EQ(tree.ReadSet(root), (std::set<EntityId>{1}));
+  EXPECT_EQ(tree.InputSet(leaf0), (std::set<EntityId>{1}));
+}
+
+TEST(VersionSearchTest, FindsAssignmentOverDatabaseState) {
+  DatabaseState db(2);
+  db.Add({5, 50});
+  db.Add({15, 5});
+  Predicate p;
+  p.AddClause(Clause({EntityVsConst(0, CompareOp::kGe, 10)}));
+  p.AddClause(Clause({EntityVsConst(1, CompareOp::kGe, 10)}));
+  auto result = AssignVersions(db, p);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->values[0], 15);  // From second unique state.
+  EXPECT_EQ(result->values[1], 50);  // From first: a true mix.
+  EXPECT_TRUE(OneTransactionVersionCorrectness(db, p));
+}
+
+TEST(VersionSearchTest, UnsatisfiableReported) {
+  DatabaseState db(1);
+  db.Add({5});
+  Predicate p;
+  p.AddClause(Clause({EntityVsConst(0, CompareOp::kGe, 10)}));
+  EXPECT_EQ(AssignVersions(db, p).status().code(),
+            StatusCode::kUnsatisfiable);
+  EXPECT_FALSE(OneTransactionVersionCorrectness(db, p));
+}
+
+TEST(VersionSearchTest, EmptyDatabaseRejected) {
+  DatabaseState db(1);
+  EXPECT_EQ(AssignVersions(db, Predicate::True()).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace nonserial

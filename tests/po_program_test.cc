@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "schedule/po_program.h"
+
+namespace nonserial {
+namespace {
+
+Op R(TxId tx, EntityId e) { return Op{tx, OpKind::kRead, e}; }
+Op W(TxId tx, EntityId e) { return Op{tx, OpKind::kWrite, e}; }
+
+Schedule Parse(const std::string& text) {
+  auto s = ParseSchedule(text);
+  EXPECT_TRUE(s.ok()) << text;
+  return std::move(s).value();
+}
+
+TEST(PoProgramTest, ChainProgramIsTotalOrder) {
+  PoProgram p = ChainProgram(0, {R(0, 0), W(0, 0), R(0, 1)});
+  EXPECT_TRUE(ValidatePoProgram(p).ok());
+  EXPECT_EQ(p.order.size(), 2u);
+  EXPECT_EQ(CountLinearExtensions(p), 1);
+}
+
+TEST(PoProgramTest, UnorderedOpsHaveFactorialExtensions) {
+  PoProgram p;
+  p.tx = 0;
+  p.ops = {R(0, 0), R(0, 1), R(0, 2)};
+  EXPECT_EQ(CountLinearExtensions(p), 6);
+}
+
+TEST(PoProgramTest, DiamondOrderExtensions) {
+  // 0 before {1,2} before 3: two extensions.
+  PoProgram p;
+  p.tx = 0;
+  p.ops = {R(0, 0), W(0, 0), W(0, 1), R(0, 1)};
+  p.order = {{0, 1}, {0, 2}, {1, 3}, {2, 3}};
+  EXPECT_EQ(CountLinearExtensions(p), 2);
+}
+
+TEST(PoProgramTest, CyclicOrderRejected) {
+  PoProgram p;
+  p.tx = 0;
+  p.ops = {R(0, 0), W(0, 0)};
+  p.order = {{0, 1}, {1, 0}};
+  EXPECT_FALSE(ValidatePoProgram(p).ok());
+}
+
+TEST(PoProgramTest, WrongTxRejected) {
+  PoProgram p;
+  p.tx = 0;
+  p.ops = {R(1, 0)};
+  EXPECT_FALSE(ValidatePoProgram(p).ok());
+}
+
+TEST(LegalInterleavingTest, ChainProgramsMatchExactOrder) {
+  std::vector<PoProgram> programs = {
+      ChainProgram(0, {R(0, 0), W(0, 0)}),
+      ChainProgram(1, {R(1, 1), W(1, 1)})};
+  EXPECT_TRUE(IsLegalInterleaving(Parse("R1(x) R2(y) W1(x) W2(y)"),
+                                  programs));
+  // W1 before R1 violates t1's chain.
+  EXPECT_FALSE(IsLegalInterleaving(Parse("W1(x) R1(x) R2(y) W2(y)"),
+                                   programs));
+}
+
+TEST(LegalInterleavingTest, PartialOrderAdmitsReordering) {
+  // t1's two reads are unordered: both observed orders are legal.
+  PoProgram p;
+  p.tx = 0;
+  p.ops = {R(0, 0), R(0, 1)};
+  EXPECT_TRUE(IsLegalInterleaving(Parse("R1(x) R1(y)"), {p}));
+  EXPECT_TRUE(IsLegalInterleaving(Parse("R1(y) R1(x)"), {p}));
+}
+
+TEST(LegalInterleavingTest, MissingOrExtraOpsRejected) {
+  std::vector<PoProgram> programs = {ChainProgram(0, {R(0, 0), W(0, 0)})};
+  EXPECT_FALSE(IsLegalInterleaving(Parse("R1(x)"), programs));
+  EXPECT_FALSE(IsLegalInterleaving(Parse("R1(x) W1(x) R1(x)"), programs));
+  // A transaction with no program at all.
+  EXPECT_FALSE(IsLegalInterleaving(Parse("R1(x) W1(x) R2(x)"), programs));
+}
+
+TEST(LegalInterleavingTest, DuplicateOpsNeedBacktracking) {
+  // Two identical writes with a read between them in the DAG: W a, then R,
+  // then W. Greedy matching of the first observed W to the "later" W would
+  // fail; exact matching succeeds.
+  PoProgram p;
+  p.tx = 0;
+  p.ops = {W(0, 0), R(0, 0), W(0, 0)};
+  p.order = {{0, 1}, {1, 2}};
+  EXPECT_TRUE(IsLegalInterleaving(Parse("W1(x) R1(x) W1(x)"), {p}));
+  EXPECT_FALSE(IsLegalInterleaving(Parse("W1(x) W1(x) R1(x)"), {p}));
+}
+
+TEST(PoInterleavingTest, TotalOrdersGiveMultinomialCount) {
+  std::vector<PoProgram> programs = {
+      ChainProgram(0, {R(0, 0), W(0, 0)}),
+      ChainProgram(1, {R(1, 1), W(1, 1)})};
+  int64_t count = ForEachPoInterleaving(programs, 2,
+                                        [](const Schedule&) { return true; });
+  EXPECT_EQ(count, 6);  // C(4,2).
+}
+
+TEST(PoInterleavingTest, PartialOrderMultipliesInterleavings) {
+  // Same ops but t1's two ops unordered: every merge of 2+2 ops times the
+  // 2 linear extensions = 12.
+  PoProgram loose;
+  loose.tx = 0;
+  loose.ops = {R(0, 0), W(0, 0)};  // No order edges.
+  std::vector<PoProgram> programs = {loose,
+                                     ChainProgram(1, {R(1, 1), W(1, 1)})};
+  int64_t count = ForEachPoInterleaving(programs, 2,
+                                        [](const Schedule&) { return true; });
+  EXPECT_EQ(count, 12);
+}
+
+TEST(PoInterleavingTest, EveryEmittedScheduleIsLegal) {
+  PoProgram p0;
+  p0.tx = 0;
+  p0.ops = {R(0, 0), W(0, 0), R(0, 1)};
+  p0.order = {{0, 1}};  // Read x before write x; R(y) free.
+  std::vector<PoProgram> programs = {p0,
+                                     ChainProgram(1, {W(1, 1)})};
+  int64_t count =
+      ForEachPoInterleaving(programs, 2, [&](const Schedule& s) {
+        EXPECT_TRUE(IsLegalInterleaving(s, programs)) << s.ToString();
+        return true;
+      });
+  EXPECT_GT(count, 0);
+}
+
+TEST(PoInterleavingTest, StopsEarly) {
+  std::vector<PoProgram> programs = {ChainProgram(0, {R(0, 0), W(0, 0)}),
+                                     ChainProgram(1, {R(1, 0)})};
+  int visited = 0;
+  ForEachPoInterleaving(programs, 1, [&](const Schedule&) {
+    ++visited;
+    return false;
+  });
+  EXPECT_EQ(visited, 1);
+}
+
+}  // namespace
+}  // namespace nonserial

@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include "classes/recognizers.h"
+#include "common/random.h"
+#include "workload/schedule_gen.h"
+
+namespace nonserial {
+namespace {
+
+Schedule Parse(const std::string& text) {
+  auto s = ParseSchedule(text);
+  EXPECT_TRUE(s.ok()) << text;
+  return std::move(s).value();
+}
+
+// Objects "x and y in different conjuncts".
+ObjectSetList SplitXY(const Schedule& s) {
+  ObjectSetList objects;
+  for (EntityId e = 0; e < s.num_entities(); ++e) objects.push_back({e});
+  return objects;
+}
+
+// One object covering every entity.
+ObjectSetList OneObject(const Schedule& s) {
+  std::set<EntityId> all;
+  for (EntityId e = 0; e < s.num_entities(); ++e) all.insert(e);
+  return {all};
+}
+
+// --- Serial and trivially serializable schedules -----------------------
+
+TEST(RecognizersTest, SerialScheduleInEveryClass) {
+  Schedule s = Parse("R1(x) W1(x) R2(x) W2(x)");
+  ClassMembership m = ClassifyAll(s, SplitXY(s));
+  EXPECT_TRUE(m.csr && m.vsr && m.mvcsr && m.mvsr && m.pwcsr && m.pwsr &&
+              m.cpc && m.pc);
+}
+
+TEST(RecognizersTest, EmptyScheduleInEveryClass) {
+  Schedule s;
+  ClassMembership m = ClassifyAll(s, {});
+  EXPECT_TRUE(m.csr && m.vsr && m.mvcsr && m.mvsr && m.pwcsr && m.pwsr &&
+              m.cpc && m.pc);
+}
+
+// --- The paper's Figure 2 regions --------------------------------------
+
+// Region 1: fully interleaved read-write pair — in no class at all.
+TEST(Figure2Test, Region1NonCpc) {
+  Schedule s = Parse("R1(x) R2(x) W1(x) W2(x)");
+  ClassMembership m = ClassifyAll(s, SplitXY(s));
+  EXPECT_FALSE(m.csr);
+  EXPECT_FALSE(m.vsr);
+  EXPECT_FALSE(m.mvcsr);
+  EXPECT_FALSE(m.mvsr);
+  EXPECT_FALSE(m.pwcsr);
+  EXPECT_FALSE(m.pwsr);
+  EXPECT_FALSE(m.cpc);
+  EXPECT_FALSE(m.pc);
+}
+
+// Region 2: in CPC (per-conjunct read-before-write graphs acyclic) but in
+// none of PWCSR, MVCSR, SR.
+TEST(Figure2Test, Region2CpcOnly) {
+  Schedule s = Parse("R1(y) R2(x) W1(x) W2(x) W2(y) W1(y)");
+  ObjectSetList objects = SplitXY(s);
+  ClassMembership m = ClassifyAll(s, objects);
+  EXPECT_TRUE(m.cpc);
+  EXPECT_TRUE(m.pc);
+  EXPECT_FALSE(m.pwcsr);
+  EXPECT_FALSE(m.mvcsr);
+  EXPECT_FALSE(m.csr);
+  EXPECT_FALSE(m.vsr);
+  EXPECT_FALSE(m.mvsr);
+  EXPECT_FALSE(m.pwsr);
+}
+
+// Region 3: per-conjunct serializable with *different* serialization orders
+// (x: t1 then t2; y: t2 then t1) — PWCSR but neither SR nor MVCSR.
+TEST(Figure2Test, Region3PwcsrNotSrNotMvcsr) {
+  Schedule s = Parse("R1(x) W1(x) R2(y) W2(y) R2(x) W2(x) R1(y) W1(y)");
+  ClassMembership m = ClassifyAll(s, SplitXY(s));
+  EXPECT_TRUE(m.pwcsr);
+  EXPECT_TRUE(m.pwsr);
+  EXPECT_TRUE(m.cpc);
+  EXPECT_TRUE(m.pc);
+  EXPECT_FALSE(m.csr);
+  EXPECT_FALSE(m.vsr);
+  EXPECT_FALSE(m.mvcsr);
+  EXPECT_FALSE(m.mvsr);
+}
+
+// Region 4 = the paper's Example 1: in PWCSR ∩ MVCSR (hence MVSR) but not
+// SR — t2 reads x from t1 while t1 reads y "around" t2 via an old version.
+TEST(Figure2Test, Region4Example1) {
+  Schedule s = Parse("R1(x) W1(x) R2(x) R2(y) W2(y) R1(y) W1(y)");
+  ClassMembership m = ClassifyAll(s, SplitXY(s));
+  EXPECT_TRUE(m.mvcsr);
+  EXPECT_TRUE(m.mvsr);
+  EXPECT_TRUE(m.pwcsr);
+  EXPECT_TRUE(m.pwsr);
+  EXPECT_TRUE(m.cpc);
+  EXPECT_TRUE(m.pc);
+  EXPECT_FALSE(m.csr);
+  EXPECT_FALSE(m.vsr);
+}
+
+// Region 5: view serializable thanks to a dead write, but not conflict
+// serializable, and (single object) not PWCSR.
+TEST(Figure2Test, Region5SrNotPwcsr) {
+  Schedule s = Parse("R1(x) W2(x) W1(x) W3(x)");
+  ClassMembership m = ClassifyAll(s, OneObject(s));
+  EXPECT_TRUE(m.vsr);
+  EXPECT_TRUE(m.mvsr);
+  EXPECT_TRUE(m.mvcsr);
+  EXPECT_TRUE(m.cpc);  // Single-object CPC = MVCSR here.
+  EXPECT_TRUE(m.pwsr);
+  EXPECT_TRUE(m.pc);
+  EXPECT_FALSE(m.csr);
+  EXPECT_FALSE(m.pwcsr);
+}
+
+// Region 6: view serializable but outside MVCSR — a read-before-write cycle
+// between t1 and t3 that view equivalence (via the dead write of t2)
+// tolerates. Objects: one conjunct covering both x and y.
+TEST(Figure2Test, Region6SrNotMvcsr) {
+  Schedule s = Parse("R3(y) W2(x) R1(x) W3(x) W1(y) W1(x)");
+  ClassMembership m = ClassifyAll(s, OneObject(s));
+  EXPECT_TRUE(m.vsr);
+  EXPECT_TRUE(m.mvsr);
+  EXPECT_TRUE(m.pwsr);
+  EXPECT_TRUE(m.pc);
+  EXPECT_FALSE(m.mvcsr);
+  EXPECT_FALSE(m.cpc);
+  EXPECT_FALSE(m.csr);
+  EXPECT_FALSE(m.pwcsr);
+}
+
+// Region 7: a write slipped between a read and the reader's own write — in
+// MVCSR (the old version serves the reader) but in neither SR nor PWCSR.
+TEST(Figure2Test, Region7MvcsrNotPwcsrNotSr) {
+  Schedule s = Parse("R1(x) W2(x) W1(x)");
+  ClassMembership m = ClassifyAll(s, OneObject(s));
+  EXPECT_TRUE(m.mvcsr);
+  EXPECT_TRUE(m.mvsr);
+  EXPECT_TRUE(m.cpc);
+  EXPECT_TRUE(m.pc);
+  EXPECT_FALSE(m.csr);
+  EXPECT_FALSE(m.vsr);
+  EXPECT_FALSE(m.pwcsr);
+  EXPECT_FALSE(m.pwsr);
+}
+
+// Region 8: multiversion serializable and MV conflict serializable — the
+// final read of y may take t2's version — but not conflict serializable
+// (and here not view serializable either, since single-version final state
+// pins y to t1).
+TEST(Figure2Test, Region8MvsrAndMvcsrNotCsr) {
+  Schedule s = Parse("R1(x) R2(x) W1(x) W1(y) W2(y) W3(x)");
+  ClassMembership m = ClassifyAll(s, SplitXY(s));
+  EXPECT_TRUE(m.mvsr);
+  EXPECT_TRUE(m.mvcsr);
+  EXPECT_TRUE(m.cpc);
+  EXPECT_TRUE(m.pc);
+  EXPECT_FALSE(m.csr);
+  EXPECT_FALSE(m.vsr);
+}
+
+// Region 9: all conflicts resolved in the same order — plain CSR, hence in
+// every class.
+TEST(Figure2Test, Region9Csr) {
+  Schedule s = Parse("R1(x) W1(x) R2(x) R1(y) W1(y) R2(y) W2(y)");
+  ClassMembership m = ClassifyAll(s, SplitXY(s));
+  EXPECT_TRUE(m.csr && m.vsr && m.mvcsr && m.mvsr && m.pwcsr && m.pwsr &&
+              m.cpc && m.pc);
+}
+
+// Examples 3a / 3b: the per-conjunct decompositions of Example 2 are serial
+// schedules.
+TEST(Figure2Test, Example3DecompositionsAreSerial) {
+  Schedule s = Parse("R1(x) W1(x) R2(x) R2(y) W2(y) R1(y) W1(y)");
+  EntityId x = 0, y = 1;
+  Schedule sx = s.ProjectEntities({x});
+  Schedule sy = s.ProjectEntities({y});
+  EXPECT_TRUE(IsConflictSerializable(sx));
+  EXPECT_TRUE(IsConflictSerializable(sy));
+  EXPECT_TRUE(IsViewSerializable(sx));
+  EXPECT_TRUE(IsViewSerializable(sy));
+}
+
+// --- Witness orders ------------------------------------------------------
+
+TEST(RecognizersTest, CsrWitnessIsTopologicalOrder) {
+  Schedule s = Parse("R1(x) W1(x) R2(x)");
+  std::vector<TxId> witness;
+  ASSERT_TRUE(IsConflictSerializable(s, &witness));
+  EXPECT_EQ(witness, (std::vector<TxId>{0, 1}));
+}
+
+TEST(RecognizersTest, MvsrWitnessServesAllReads) {
+  Schedule s = Parse("R1(x) W1(x) R2(x) R2(y) W2(y) R1(y) W1(y)");
+  std::vector<TxId> witness;
+  ASSERT_TRUE(IsMVViewSerializable(s, &witness));
+  EXPECT_EQ(witness, (std::vector<TxId>{1, 0}));  // t2 then t1.
+}
+
+// --- Containment properties over random schedules ------------------------
+
+class ContainmentTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ContainmentTest, ClassContainmentsHoldOnRandomSchedules) {
+  Rng rng(GetParam());
+  ScheduleGenParams params;
+  params.num_txs = 3;
+  params.num_entities = 3;
+  params.ops_per_tx = 3;
+  for (int i = 0; i < 60; ++i) {
+    Schedule s = RandomSchedule(params, &rng);
+    ObjectSetList objects = PartitionObjects(s.num_entities(), 2);
+    ClassMembership m = ClassifyAll(s, objects);
+    // The containment lattice of Figure 2.
+    EXPECT_TRUE(!m.csr || m.vsr) << s.ToString();      // CSR ⊆ SR.
+    EXPECT_TRUE(!m.vsr || m.mvsr) << s.ToString();     // SR ⊆ MVSR.
+    EXPECT_TRUE(!m.csr || m.mvcsr) << s.ToString();    // CSR ⊆ MVCSR.
+    EXPECT_TRUE(!m.mvcsr || m.mvsr) << s.ToString();   // MVCSR ⊆ MVSR.
+    EXPECT_TRUE(!m.csr || m.pwcsr) << s.ToString();    // CSR ⊆ PWCSR.
+    EXPECT_TRUE(!m.vsr || m.pwsr) << s.ToString();     // SR ⊆ PWSR.
+    EXPECT_TRUE(!m.pwcsr || m.pwsr) << s.ToString();   // PWCSR ⊆ PWSR.
+    EXPECT_TRUE(!m.mvcsr || m.cpc) << s.ToString();    // MVCSR ⊆ CPC.
+    EXPECT_TRUE(!m.pwcsr || m.cpc) << s.ToString();    // PWCSR ⊆ CPC.
+    EXPECT_TRUE(!m.cpc || m.pc) << s.ToString();       // CPC ⊆ PC.
+    EXPECT_TRUE(!m.mvsr || m.pc) << s.ToString();      // MVSR ⊆ PC.
+    EXPECT_TRUE(!m.pwsr || m.pc) << s.ToString();      // PWSR ⊆ PC.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContainmentTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+TEST(ContainmentTest, SingletonObjectsMakeEverythingCpcWithoutWwOnly) {
+  // With per-entity objects, CPC admits any schedule whose per-entity
+  // read-before-write graph is acyclic — strictly more than CSR.
+  Schedule s = Parse("R1(x) W1(x) R2(y) W2(y) R2(x) W2(x) R1(y) W1(y)");
+  EXPECT_TRUE(IsConflictPredicateCorrect(s, SplitXY(s)));
+  EXPECT_FALSE(IsConflictSerializable(s));
+}
+
+TEST(RecognizersTest, MembershipToString) {
+  ClassMembership m;
+  m.csr = true;
+  m.cpc = true;
+  std::string text = m.ToString();
+  EXPECT_NE(text.find("CSR"), std::string::npos);
+  EXPECT_NE(text.find("CPC"), std::string::npos);
+}
+
+TEST(RecognizersTest, ClassifyAllReportsExactness) {
+  Schedule s = Parse("R1(x) W1(x)");
+  bool exact = false;
+  ClassifyAll(s, OneObject(s), &exact);
+  EXPECT_TRUE(exact);
+}
+
+TEST(RecognizersTest, ClassifyAllSkipsExactClassesAboveLimit) {
+  // 12 active transactions exceed kMaxExactTxs: polynomial classes are
+  // still reported, the exponential ones are skipped (false, exact=false).
+  Schedule s;
+  for (TxId tx = 0; tx < 12; ++tx) {
+    s.AppendRead(tx, "x");
+  }
+  bool exact = true;
+  ClassMembership m = ClassifyAll(s, {{0}}, &exact);
+  EXPECT_FALSE(exact);
+  EXPECT_TRUE(m.csr);    // Reads only: trivially conflict serializable.
+  EXPECT_TRUE(m.mvcsr);
+  EXPECT_TRUE(m.cpc);
+  EXPECT_FALSE(m.vsr);   // Skipped, not computed.
+}
+
+// The graphs the recognizers are built on.
+TEST(RecognizersTest, ConflictGraphEdges) {
+  Schedule s = Parse("R1(x) W2(x) W1(y) R2(y)");
+  Digraph g = ConflictGraph(s);
+  EXPECT_TRUE(g.HasEdge(0, 1));  // R1(x) before W2(x) and W1(y) before R2(y).
+  EXPECT_FALSE(g.HasEdge(1, 0));
+}
+
+TEST(RecognizersTest, ReadWriteGraphIgnoresWwAndWr) {
+  Schedule s = Parse("W1(x) R2(x) W1(y) W2(y)");
+  Digraph g = ReadWriteGraph(s);
+  // Only reads-before-writes count; R2(x) has no later write of x.
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(RecognizersTest, ReadWriteGraphRestrictedByEntitySet) {
+  Schedule s = Parse("R1(x) W2(x) R2(y) W1(y)");
+  std::set<EntityId> x_only = {0};
+  std::set<EntityId> y_only = {1};
+  EXPECT_TRUE(ReadWriteGraph(s, &x_only).HasEdge(0, 1));
+  EXPECT_FALSE(ReadWriteGraph(s, &x_only).HasEdge(1, 0));
+  EXPECT_TRUE(ReadWriteGraph(s, &y_only).HasEdge(1, 0));
+  EXPECT_TRUE(ReadWriteGraph(s).HasCycle());
+}
+
+}  // namespace
+}  // namespace nonserial

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "classes/recoverability.h"
+#include "common/random.h"
+#include "workload/schedule_gen.h"
+
+namespace nonserial {
+namespace {
+
+Schedule Parse(const std::string& text) {
+  auto s = ParseSchedule(text);
+  EXPECT_TRUE(s.ok()) << text;
+  return std::move(s).value();
+}
+
+TEST(CommitPointsTest, AfterLastOpShape) {
+  Schedule s = Parse("R1(x) W2(x) W1(x)");
+  CommitPoints commits = CommitsAfterLastOp(s);
+  EXPECT_EQ(commits.position[0], 3);  // t1's last op at index 2.
+  EXPECT_EQ(commits.position[1], 2);  // t2's last op at index 1.
+  EXPECT_TRUE(ValidateCommitPoints(s, commits).ok());
+}
+
+TEST(CommitPointsTest, AtEndRespectsOrder) {
+  Schedule s = Parse("W1(x) W2(x)");
+  CommitPoints commits = CommitsAtEnd(s, {1, 0});  // t2 commits first.
+  EXPECT_LT(commits.position[1], commits.position[0]);
+  EXPECT_TRUE(ValidateCommitPoints(s, commits).ok());
+}
+
+TEST(CommitPointsTest, PrematureCommitRejected) {
+  Schedule s = Parse("R1(x) W1(x)");
+  CommitPoints commits;
+  commits.position = {1};  // Before t1's last op.
+  EXPECT_FALSE(ValidateCommitPoints(s, commits).ok());
+}
+
+TEST(RecoverabilityTest, CleanScheduleIsStrict) {
+  // t1 finishes and commits before t2 touches x.
+  Schedule s = Parse("R1(x) W1(x) R2(x) W2(x)");
+  CommitPoints commits = CommitsAfterLastOp(s);
+  RecoveryClassification r = ClassifyRecovery(s, commits);
+  EXPECT_TRUE(r.recoverable);
+  EXPECT_TRUE(r.cascadeless);
+  EXPECT_TRUE(r.strict);
+}
+
+TEST(RecoverabilityTest, DirtyReadWithLateSourceCommitIsRcOnly) {
+  // t2 reads t1's uncommitted write, but t1 commits before t2 does:
+  // recoverable, not cascadeless.
+  Schedule s = Parse("W1(x) R2(x) W2(y)");
+  CommitPoints commits;
+  commits.position = {3, 4};  // t1 commits at 3, t2 at 4.
+  RecoveryClassification r = ClassifyRecovery(s, commits);
+  EXPECT_TRUE(r.recoverable);
+  EXPECT_FALSE(r.cascadeless);
+  EXPECT_FALSE(r.strict);
+}
+
+TEST(RecoverabilityTest, ReaderCommittingFirstIsNotRecoverable) {
+  // t2 reads from t1 and commits before t1: if t1 aborts, t2's committed
+  // result is based on a value that never existed.
+  Schedule s = Parse("W1(x) R2(x)");
+  CommitPoints commits;
+  commits.position = {4, 3};  // t2 commits before t1.
+  RecoveryClassification r = ClassifyRecovery(s, commits);
+  EXPECT_FALSE(r.recoverable);
+  EXPECT_FALSE(r.cascadeless);
+  EXPECT_FALSE(r.strict);
+}
+
+TEST(RecoverabilityTest, DirtyOverwriteBreaksStrictnessOnly) {
+  // t2 overwrites t1's uncommitted value but reads nothing from it.
+  Schedule s = Parse("W1(x) W2(x)");
+  CommitPoints commits;
+  commits.position = {3, 4};
+  RecoveryClassification r = ClassifyRecovery(s, commits);
+  EXPECT_TRUE(r.recoverable);   // No reads-from at all.
+  EXPECT_TRUE(r.cascadeless);
+  EXPECT_FALSE(r.strict);       // Before-image UNDO would be wrong.
+}
+
+TEST(RecoverabilityTest, OwnWritesNeverDirty) {
+  Schedule s = Parse("W1(x) R1(x) W1(x)");
+  CommitPoints commits = CommitsAfterLastOp(s);
+  RecoveryClassification r = ClassifyRecovery(s, commits);
+  EXPECT_TRUE(r.strict);
+}
+
+TEST(RecoverabilityTest, InitialReadsAlwaysClean) {
+  Schedule s = Parse("R1(x) R2(x)");
+  CommitPoints commits = CommitsAfterLastOp(s);
+  EXPECT_TRUE(ClassifyRecovery(s, commits).strict);
+}
+
+// Property: ST => ACA => RC on random schedules and random commit points.
+class RecoveryHierarchyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RecoveryHierarchyTest, HierarchyHolds) {
+  Rng rng(GetParam());
+  ScheduleGenParams params;
+  params.num_txs = 3;
+  params.num_entities = 2;
+  params.ops_per_tx = 3;
+  for (int i = 0; i < 200; ++i) {
+    Schedule s = RandomSchedule(params, &rng);
+    // Random commit order at the end.
+    std::vector<TxId> order = {0, 1, 2};
+    rng.Shuffle(&order);
+    CommitPoints commits = CommitsAtEnd(s, order);
+    RecoveryClassification r = ClassifyRecovery(s, commits);
+    EXPECT_TRUE(!r.strict || r.cascadeless) << s.ToString();
+    EXPECT_TRUE(!r.cascadeless || r.recoverable) << s.ToString();
+    // With commits immediately after the last op, the hierarchy holds too.
+    RecoveryClassification r2 =
+        ClassifyRecovery(s, CommitsAfterLastOp(s));
+    EXPECT_TRUE(!r2.strict || r2.cascadeless) << s.ToString();
+    EXPECT_TRUE(!r2.cascadeless || r2.recoverable) << s.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecoveryHierarchyTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(RecoverabilityTest, PaperMotivation_SerializableButNotRecoverable) {
+  // The paper's intro: serializable schedules include non-recoverable ones.
+  // W1(x) R2(x) W2(y) with t2 committing first is view-serializable
+  // (t1, t2) yet not recoverable.
+  Schedule s = Parse("W1(x) R2(x) W2(y)");
+  CommitPoints commits;
+  commits.position = {5, 4};  // t2 first.
+  EXPECT_FALSE(IsRecoverable(s, commits));
+}
+
+TEST(RecoverabilityTest, ToStringRendersFlags) {
+  RecoveryClassification r;
+  r.recoverable = true;
+  EXPECT_EQ(r.ToString(), "RC - -");
+}
+
+}  // namespace
+}  // namespace nonserial

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "predicate/assignment_search.h"
+#include "predicate/sat.h"
+
+namespace nonserial {
+namespace {
+
+BoolLiteral Pos(int v) { return BoolLiteral{v, false}; }
+BoolLiteral Neg(int v) { return BoolLiteral{v, true}; }
+
+TEST(BoolFormulaTest, EvalRespectsLiterals) {
+  BoolFormula f;
+  f.num_vars = 2;
+  f.clauses = {{Pos(0), Neg(1)}};
+  EXPECT_TRUE(f.Eval({true, true}));
+  EXPECT_TRUE(f.Eval({false, false}));
+  EXPECT_FALSE(f.Eval({false, true}));
+}
+
+TEST(BoolFormulaTest, ToStringDimacsLike) {
+  BoolFormula f;
+  f.num_vars = 2;
+  f.clauses = {{Pos(0), Neg(1)}};
+  std::string s = f.ToString();
+  EXPECT_NE(s.find("p cnf 2 1"), std::string::npos);
+  EXPECT_NE(s.find("1 -2 0"), std::string::npos);
+}
+
+TEST(SolveSatTest, EmptyFormulaSatisfiable) {
+  BoolFormula f;
+  f.num_vars = 3;
+  auto result = SolveSat(f);
+  ASSERT_TRUE(result.has_value());
+}
+
+TEST(SolveSatTest, SimpleSatisfiable) {
+  BoolFormula f;
+  f.num_vars = 2;
+  f.clauses = {{Pos(0)}, {Neg(1)}};
+  auto result = SolveSat(f);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE((*result)[0]);
+  EXPECT_FALSE((*result)[1]);
+}
+
+TEST(SolveSatTest, ContradictionUnsatisfiable) {
+  BoolFormula f;
+  f.num_vars = 1;
+  f.clauses = {{Pos(0)}, {Neg(0)}};
+  EXPECT_FALSE(SolveSat(f).has_value());
+}
+
+TEST(SolveSatTest, EmptyClauseUnsatisfiable) {
+  BoolFormula f;
+  f.num_vars = 1;
+  f.clauses = {{}};
+  EXPECT_FALSE(SolveSat(f).has_value());
+}
+
+TEST(SolveSatTest, PigeonholeStyleUnsat) {
+  // x0 XOR-ish contradiction across three clauses:
+  // (x0 | x1) & (!x0 | x1) & (!x1).
+  BoolFormula f;
+  f.num_vars = 2;
+  f.clauses = {{Pos(0), Pos(1)}, {Neg(0), Pos(1)}, {Neg(1)}};
+  EXPECT_FALSE(SolveSat(f).has_value());
+}
+
+TEST(SolveSatTest, StatsPopulated) {
+  BoolFormula f;
+  f.num_vars = 4;
+  f.clauses = {{Pos(0), Pos(1)}, {Neg(0), Pos(2)}, {Neg(2), Pos(3)}};
+  SatStats stats;
+  ASSERT_TRUE(SolveSat(f, &stats).has_value());
+  EXPECT_GE(stats.decisions + stats.unit_propagations, 0);
+}
+
+// Brute-force reference.
+bool BruteForceSat(const BoolFormula& f) {
+  int n = f.num_vars;
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    std::vector<bool> assignment(n);
+    for (int v = 0; v < n; ++v) assignment[v] = (mask >> v) & 1;
+    if (f.Eval(assignment)) return true;
+  }
+  return false;
+}
+
+class RandomSatTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomSatTest, AgreesWithBruteForce) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 40; ++i) {
+    int vars = 3 + static_cast<int>(rng.Uniform(6));  // 3..8
+    int clauses = 1 + static_cast<int>(rng.Uniform(30));
+    BoolFormula f = RandomKSat(vars, clauses, 3, &rng);
+    auto result = SolveSat(f);
+    EXPECT_EQ(result.has_value(), BruteForceSat(f))
+        << "mismatch on:\n"
+        << f.ToString();
+    if (result.has_value()) EXPECT_TRUE(f.Eval(*result));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSatTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(RandomKSatTest, ShapeRespected) {
+  Rng rng(99);
+  BoolFormula f = RandomKSat(10, 20, 3, &rng);
+  EXPECT_EQ(f.num_vars, 10);
+  EXPECT_EQ(f.clauses.size(), 20u);
+  for (const auto& clause : f.clauses) {
+    EXPECT_EQ(clause.size(), 3u);
+    // Distinct variables within a clause.
+    EXPECT_NE(clause[0].var, clause[1].var);
+    EXPECT_NE(clause[1].var, clause[2].var);
+    EXPECT_NE(clause[0].var, clause[2].var);
+  }
+}
+
+// --- Lemma 1: the SAT reduction ---------------------------------------
+
+TEST(Lemma1Test, ReductionShape) {
+  BoolFormula f;
+  f.num_vars = 3;
+  f.clauses = {{Pos(0), Neg(2)}};
+  Predicate p = FormulaToPredicate(f);
+  ASSERT_EQ(p.clauses().size(), 1u);
+  EXPECT_EQ(p.clauses()[0].atoms().size(), 2u);
+  // Version candidates: every entity has versions {0, 1}.
+  auto candidates = Lemma1CandidateSets(3);
+  ASSERT_EQ(candidates.size(), 3u);
+  EXPECT_EQ(candidates[0], (std::vector<Value>{0, 1}));
+}
+
+class Lemma1EquivalenceTest : public ::testing::TestWithParam<int> {};
+
+// The heart of Lemma 1: C is satisfiable iff there is a version state of
+// S = {all-0, all-1} satisfying I_t = reduction(C).
+TEST_P(Lemma1EquivalenceTest, SatAgreesWithVersionCorrectness) {
+  Rng rng(GetParam() * 1000 + 17);
+  for (int i = 0; i < 30; ++i) {
+    int vars = 3 + static_cast<int>(rng.Uniform(5));
+    int clauses = 1 + static_cast<int>(rng.Uniform(25));
+    BoolFormula f = RandomKSat(vars, clauses, 3, &rng);
+    bool sat = SolveSat(f).has_value();
+    Predicate reduced = FormulaToPredicate(f);
+    auto assignment =
+        FindSatisfyingAssignment(reduced, Lemma1CandidateSets(vars));
+    EXPECT_EQ(sat, assignment.has_value()) << f.ToString();
+    if (assignment.has_value()) {
+      // The version choice is a satisfying truth assignment.
+      std::vector<bool> truth(vars);
+      for (int v = 0; v < vars; ++v) truth[v] = (*assignment)[v] == 1;
+      EXPECT_TRUE(f.Eval(truth));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma1EquivalenceTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace nonserial

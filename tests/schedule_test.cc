@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "schedule/schedule.h"
+
+namespace nonserial {
+namespace {
+
+TEST(ScheduleParseTest, ParsesCompactSteps) {
+  auto s = ParseSchedule("R1(x) W1(x) R2(y)");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->ops().size(), 3u);
+  EXPECT_EQ(s->num_txs(), 2);
+  EXPECT_EQ(s->num_entities(), 2);
+  EXPECT_EQ(s->ops()[0], (Op{0, OpKind::kRead, 0}));
+  EXPECT_EQ(s->ops()[1], (Op{0, OpKind::kWrite, 0}));
+  EXPECT_EQ(s->ops()[2], (Op{1, OpKind::kRead, 1}));
+}
+
+TEST(ScheduleParseTest, MultiDigitTxAndLongNames) {
+  auto s = ParseSchedule("R12(alpha) W3(beta_2)");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_txs(), 12);
+  EXPECT_EQ(s->EntityName(0), "alpha");
+  EXPECT_EQ(s->EntityName(1), "beta_2");
+}
+
+TEST(ScheduleParseTest, RejectsMalformedSteps) {
+  EXPECT_FALSE(ParseSchedule("X1(x)").ok());
+  EXPECT_FALSE(ParseSchedule("R1x").ok());
+  EXPECT_FALSE(ParseSchedule("R0(x)").ok());   // 1-based tx numbers.
+  EXPECT_FALSE(ParseSchedule("R1()").ok());
+  EXPECT_FALSE(ParseSchedule("Rx(x)").ok());
+}
+
+TEST(ScheduleTest, ToStringRoundTrips) {
+  const std::string text = "R1(x) W1(x) R2(x) R2(y) W2(y) R1(y) W1(y)";
+  auto s = ParseSchedule(text);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->ToString(), text);
+}
+
+TEST(ScheduleTest, ActiveTxsAndOpsOf) {
+  auto s = ParseSchedule("R1(x) R3(y) W1(x)");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->ActiveTxs(), (std::set<TxId>{0, 2}));
+  EXPECT_EQ(s->OpsOf(0), (std::vector<int>{0, 2}));
+  EXPECT_TRUE(s->OpsOf(1).empty());
+}
+
+TEST(ScheduleTest, SingleVersionReadsFrom) {
+  auto s = ParseSchedule("R1(x) W2(x) R1(x) W1(x) R2(x)");
+  ASSERT_TRUE(s.ok());
+  std::vector<TxId> rf = s->SingleVersionReadsFrom();
+  EXPECT_EQ(rf[0], kInitialTx);  // First read: initial.
+  EXPECT_EQ(rf[2], 1);           // After W2: reads t2.
+  EXPECT_EQ(rf[4], 0);           // After W1: reads t1.
+}
+
+TEST(ScheduleTest, FinalWriters) {
+  auto s = ParseSchedule("W1(x) W2(x) W1(y)");
+  ASSERT_TRUE(s.ok());
+  std::vector<TxId> fw = s->FinalWriters();
+  EXPECT_EQ(fw[0], 1);  // x last written by t2.
+  EXPECT_EQ(fw[1], 0);  // y last written by t1.
+}
+
+TEST(ScheduleTest, FinalWriterInitialWhenNeverWritten) {
+  auto s = ParseSchedule("R1(x) R1(y) W1(y)");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->FinalWriters()[0], kInitialTx);
+}
+
+TEST(ScheduleTest, ProjectEntitiesKeepsOrderAndIds) {
+  auto s = ParseSchedule("R1(x) W2(y) W1(x) R2(x)");
+  ASSERT_TRUE(s.ok());
+  EntityId x = 0;
+  Schedule proj = s->ProjectEntities({x});
+  EXPECT_EQ(proj.ToString(), "R1(x) W1(x) R2(x)");
+  EXPECT_EQ(proj.num_txs(), s->num_txs());
+}
+
+TEST(ScheduleTest, SerializeConcatenatesPrograms) {
+  auto s = ParseSchedule("R1(x) R2(y) W1(x) W2(y)");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->Serialize({1, 0}).ToString(), "R2(y) W2(y) R1(x) W1(x)");
+}
+
+TEST(ScheduleTest, GridShowsPerTransactionRows) {
+  auto s = ParseSchedule("R1(x) W2(y)");
+  ASSERT_TRUE(s.ok());
+  std::string grid = s->ToGrid();
+  EXPECT_NE(grid.find("t1:"), std::string::npos);
+  EXPECT_NE(grid.find("t2:"), std::string::npos);
+  EXPECT_NE(grid.find("R(x)"), std::string::npos);
+  EXPECT_NE(grid.find("W(y)"), std::string::npos);
+}
+
+TEST(ScheduleTest, AppendByNameInternsEntities) {
+  Schedule s;
+  s.AppendRead(0, "x");
+  s.AppendWrite(1, "x");
+  s.AppendWrite(0, "y");
+  EXPECT_EQ(s.num_entities(), 2);
+  EXPECT_EQ(s.num_txs(), 2);
+  EXPECT_EQ(s.ToString(), "R1(x) W2(x) W1(y)");
+}
+
+}  // namespace
+}  // namespace nonserial

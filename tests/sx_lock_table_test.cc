@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "protocol/sx_lock_table.h"
+
+namespace nonserial {
+namespace {
+
+TEST(SxLockTableTest, SharedLocksCompatible) {
+  SxLockTable table(1);
+  std::vector<int> conflicts;
+  EXPECT_TRUE(table.TryAcquire(1, 0, SxLockTable::Mode::kShared, &conflicts));
+  EXPECT_TRUE(table.TryAcquire(2, 0, SxLockTable::Mode::kShared, &conflicts));
+  EXPECT_TRUE(table.HoldsShared(1, 0));
+  EXPECT_TRUE(table.HoldsShared(2, 0));
+}
+
+TEST(SxLockTableTest, ExclusiveBlocksShared) {
+  SxLockTable table(1);
+  std::vector<int> conflicts;
+  ASSERT_TRUE(
+      table.TryAcquire(1, 0, SxLockTable::Mode::kExclusive, &conflicts));
+  EXPECT_FALSE(table.TryAcquire(2, 0, SxLockTable::Mode::kShared, &conflicts));
+  EXPECT_EQ(conflicts, (std::vector<int>{1}));
+}
+
+TEST(SxLockTableTest, SharedBlocksExclusive) {
+  SxLockTable table(1);
+  std::vector<int> conflicts;
+  ASSERT_TRUE(table.TryAcquire(1, 0, SxLockTable::Mode::kShared, &conflicts));
+  ASSERT_TRUE(table.TryAcquire(2, 0, SxLockTable::Mode::kShared, &conflicts));
+  EXPECT_FALSE(
+      table.TryAcquire(3, 0, SxLockTable::Mode::kExclusive, &conflicts));
+  EXPECT_EQ(conflicts.size(), 2u);
+}
+
+TEST(SxLockTableTest, UpgradeSucceedsForSoleSharedHolder) {
+  SxLockTable table(1);
+  std::vector<int> conflicts;
+  ASSERT_TRUE(table.TryAcquire(1, 0, SxLockTable::Mode::kShared, &conflicts));
+  EXPECT_TRUE(
+      table.TryAcquire(1, 0, SxLockTable::Mode::kExclusive, &conflicts));
+  EXPECT_TRUE(table.HoldsExclusive(1, 0));
+}
+
+TEST(SxLockTableTest, UpgradeFailsWithOtherSharedHolders) {
+  SxLockTable table(1);
+  std::vector<int> conflicts;
+  ASSERT_TRUE(table.TryAcquire(1, 0, SxLockTable::Mode::kShared, &conflicts));
+  ASSERT_TRUE(table.TryAcquire(2, 0, SxLockTable::Mode::kShared, &conflicts));
+  EXPECT_FALSE(
+      table.TryAcquire(1, 0, SxLockTable::Mode::kExclusive, &conflicts));
+  EXPECT_EQ(conflicts, (std::vector<int>{2}));
+}
+
+TEST(SxLockTableTest, ReacquireIsIdempotent) {
+  SxLockTable table(1);
+  std::vector<int> conflicts;
+  ASSERT_TRUE(
+      table.TryAcquire(1, 0, SxLockTable::Mode::kExclusive, &conflicts));
+  EXPECT_TRUE(
+      table.TryAcquire(1, 0, SxLockTable::Mode::kExclusive, &conflicts));
+  EXPECT_TRUE(table.TryAcquire(1, 0, SxLockTable::Mode::kShared, &conflicts));
+}
+
+TEST(SxLockTableTest, ReleaseFreesKey) {
+  SxLockTable table(1);
+  std::vector<int> conflicts;
+  ASSERT_TRUE(
+      table.TryAcquire(1, 0, SxLockTable::Mode::kExclusive, &conflicts));
+  table.Release(1, 0);
+  EXPECT_FALSE(table.HoldsExclusive(1, 0));
+  EXPECT_TRUE(table.TryAcquire(2, 0, SxLockTable::Mode::kShared, &conflicts));
+}
+
+TEST(SxLockTableTest, ReleaseAllReturnsAffectedKeys) {
+  SxLockTable table(3);
+  std::vector<int> conflicts;
+  table.TryAcquire(1, 0, SxLockTable::Mode::kShared, &conflicts);
+  table.TryAcquire(1, 2, SxLockTable::Mode::kExclusive, &conflicts);
+  std::vector<int> affected = table.ReleaseAll(1);
+  EXPECT_EQ(affected.size(), 2u);
+  EXPECT_FALSE(table.HoldsShared(1, 0));
+  EXPECT_FALSE(table.HoldsExclusive(1, 2));
+  EXPECT_TRUE(table.ReleaseAll(1).empty());
+}
+
+TEST(SxLockTableTest, KeysHeldByTracksBothModes) {
+  SxLockTable table(3);
+  std::vector<int> conflicts;
+  table.TryAcquire(1, 0, SxLockTable::Mode::kShared, &conflicts);
+  table.TryAcquire(1, 1, SxLockTable::Mode::kExclusive, &conflicts);
+  EXPECT_EQ(table.KeysHeldBy(1), (std::vector<int>{0, 1}));
+  EXPECT_TRUE(table.KeysHeldBy(2).empty());
+}
+
+}  // namespace
+}  // namespace nonserial

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "protocol/cep.h"
+#include "protocol/trace.h"
+
+namespace nonserial {
+namespace {
+
+Predicate Range(EntityId e, Value lo, Value hi) {
+  Predicate p;
+  p.AddClause(Clause({EntityVsConst(e, CompareOp::kGe, lo)}));
+  p.AddClause(Clause({EntityVsConst(e, CompareOp::kLe, hi)}));
+  return p;
+}
+
+TxProfile Profile(const std::string& name, Predicate input,
+                  std::vector<int> preds = {}) {
+  TxProfile profile;
+  profile.name = name;
+  profile.input = std::move(input);
+  profile.predecessors = std::move(preds);
+  return profile;
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  TraceTest() : store_({50}), cep_(&store_) {
+    cep_.SetObserver(&trace_);
+  }
+
+  VersionStore store_;
+  CorrectExecutionProtocol cep_;
+  CepTraceRecorder trace_;
+};
+
+TEST_F(TraceTest, LifecycleEventsInOrder) {
+  cep_.Register(0, Profile("t0", Range(0, 0, 100)));
+  ASSERT_EQ(cep_.Begin(0), ReqResult::kGranted);
+  Value v = 0;
+  ASSERT_EQ(cep_.Read(0, 0, &v), ReqResult::kGranted);
+  ASSERT_EQ(cep_.Write(0, 0, 60), ReqResult::kGranted);
+  cep_.WriteDone(0, 0);
+  ASSERT_EQ(cep_.Commit(0), ReqResult::kGranted);
+
+  ASSERT_EQ(trace_.events().size(), 4u);
+  EXPECT_EQ(trace_.events()[0].kind, CepEvent::Kind::kValidated);
+  EXPECT_EQ(trace_.events()[1].kind, CepEvent::Kind::kRead);
+  EXPECT_EQ(trace_.events()[1].value, 50);
+  EXPECT_EQ(trace_.events()[2].kind, CepEvent::Kind::kWrite);
+  EXPECT_EQ(trace_.events()[2].value, 60);
+  EXPECT_EQ(trace_.events()[3].kind, CepEvent::Kind::kCommitted);
+}
+
+TEST_F(TraceTest, ReassignEventCarriesPeer) {
+  cep_.Register(0, Profile("pred", Predicate::True()));
+  cep_.Register(1, Profile("succ", Range(0, 0, 100), {0}));
+  ASSERT_EQ(cep_.Begin(1), ReqResult::kGranted);
+  ASSERT_EQ(cep_.Begin(0), ReqResult::kGranted);
+  ASSERT_EQ(cep_.Write(0, 0, 70), ReqResult::kGranted);
+  cep_.WriteDone(0, 0);
+
+  std::vector<CepEvent> reassigns =
+      trace_.OfKind(CepEvent::Kind::kReAssign);
+  ASSERT_EQ(reassigns.size(), 1u);
+  EXPECT_EQ(reassigns[0].tx, 1);
+  EXPECT_EQ(reassigns[0].other, 0);
+  EXPECT_EQ(reassigns[0].entity, 0);
+  EXPECT_EQ(trace_.OfKind(CepEvent::Kind::kReEval).size(), 1u);
+}
+
+TEST_F(TraceTest, PoAbortEventEmitted) {
+  cep_.Register(0, Profile("pred", Predicate::True()));
+  cep_.Register(1, Profile("succ", Range(0, 0, 100), {0}));
+  ASSERT_EQ(cep_.Begin(1), ReqResult::kGranted);
+  Value v = 0;
+  ASSERT_EQ(cep_.Read(1, 0, &v), ReqResult::kGranted);
+  ASSERT_EQ(cep_.Begin(0), ReqResult::kGranted);
+  ASSERT_EQ(cep_.Write(0, 0, 70), ReqResult::kGranted);
+
+  std::vector<CepEvent> po = trace_.OfKind(CepEvent::Kind::kPoAbort);
+  ASSERT_EQ(po.size(), 1u);
+  EXPECT_EQ(po[0].tx, 1);
+  (void)cep_.TakeForcedAborts();
+}
+
+TEST_F(TraceTest, CommitWaitNamesTarget) {
+  cep_.Register(0, Profile("a", Predicate::True()));
+  cep_.Register(1, Profile("b", Predicate::True(), {0}));
+  ASSERT_EQ(cep_.Begin(0), ReqResult::kGranted);
+  ASSERT_EQ(cep_.Begin(1), ReqResult::kGranted);
+  ASSERT_EQ(cep_.Commit(1), ReqResult::kBlocked);
+  std::vector<CepEvent> waits = trace_.OfKind(CepEvent::Kind::kCommitWait);
+  ASSERT_EQ(waits.size(), 1u);
+  EXPECT_EQ(waits[0].tx, 1);
+  EXPECT_EQ(waits[0].other, 0);
+}
+
+TEST_F(TraceTest, ValidationWaitOnUnsatisfiable) {
+  cep_.Register(0, Profile("picky", Range(0, 90, 100)));
+  EXPECT_EQ(cep_.Begin(0), ReqResult::kBlocked);
+  EXPECT_EQ(trace_.OfKind(CepEvent::Kind::kValidationWait).size(), 1u);
+}
+
+TEST_F(TraceTest, DetachStopsEvents) {
+  cep_.Register(0, Profile("t0", Range(0, 0, 100)));
+  cep_.SetObserver(nullptr);
+  ASSERT_EQ(cep_.Begin(0), ReqResult::kGranted);
+  EXPECT_TRUE(trace_.events().empty());
+}
+
+TEST_F(TraceTest, RecorderClearAndToString) {
+  cep_.Register(0, Profile("t0", Range(0, 0, 100)));
+  ASSERT_EQ(cep_.Begin(0), ReqResult::kGranted);
+  ASSERT_FALSE(trace_.events().empty());
+  std::string text = trace_.events()[0].ToString();
+  EXPECT_NE(text.find("validated"), std::string::npos);
+  EXPECT_NE(text.find("tx=0"), std::string::npos);
+  trace_.Clear();
+  EXPECT_TRUE(trace_.events().empty());
+}
+
+}  // namespace
+}  // namespace nonserial

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "protocol/two_phase_locking.h"
+
+namespace nonserial {
+namespace {
+
+Predicate Range(EntityId e, Value lo, Value hi) {
+  Predicate p;
+  p.AddClause(Clause({EntityVsConst(e, CompareOp::kGe, lo)}));
+  p.AddClause(Clause({EntityVsConst(e, CompareOp::kLe, hi)}));
+  return p;
+}
+
+TxProfile Profile(const std::string& name,
+                  std::vector<int> preds = {},
+                  Predicate output = Predicate::True()) {
+  TxProfile profile;
+  profile.name = name;
+  profile.output = std::move(output);
+  profile.predecessors = std::move(preds);
+  return profile;
+}
+
+class S2plTest : public ::testing::Test {
+ protected:
+  S2plTest()
+      : store_({50, 50}),
+        ctrl_(&store_, TwoPhaseLockingController::Options()) {}
+
+  VersionStore store_;
+  TwoPhaseLockingController ctrl_;
+};
+
+TEST_F(S2plTest, ReadWriteCommitLifecycle) {
+  ctrl_.Register(0, Profile("t0"));
+  ASSERT_EQ(ctrl_.Begin(0), ReqResult::kGranted);
+  Value v = 0;
+  ASSERT_EQ(ctrl_.Read(0, 0, &v), ReqResult::kGranted);
+  EXPECT_EQ(v, 50);
+  ASSERT_EQ(ctrl_.Write(0, 0, 60), ReqResult::kGranted);
+  ctrl_.WriteDone(0, 0);
+  ASSERT_EQ(ctrl_.Read(0, 0, &v), ReqResult::kGranted);
+  EXPECT_EQ(v, 60);  // Own write visible.
+  EXPECT_EQ(ctrl_.Commit(0), ReqResult::kGranted);
+  EXPECT_EQ(store_.LatestCommittedSnapshot(), (ValueVector{60, 50}));
+}
+
+TEST_F(S2plTest, SharedLocksAllowConcurrentReaders) {
+  ctrl_.Register(0, Profile("t0"));
+  ctrl_.Register(1, Profile("t1"));
+  ASSERT_EQ(ctrl_.Begin(0), ReqResult::kGranted);
+  ASSERT_EQ(ctrl_.Begin(1), ReqResult::kGranted);
+  Value v = 0;
+  EXPECT_EQ(ctrl_.Read(0, 0, &v), ReqResult::kGranted);
+  EXPECT_EQ(ctrl_.Read(1, 0, &v), ReqResult::kGranted);
+}
+
+TEST_F(S2plTest, WriterBlocksReaderUntilCommit) {
+  ctrl_.Register(0, Profile("writer"));
+  ctrl_.Register(1, Profile("reader"));
+  ASSERT_EQ(ctrl_.Begin(0), ReqResult::kGranted);
+  ASSERT_EQ(ctrl_.Begin(1), ReqResult::kGranted);
+  ASSERT_EQ(ctrl_.Write(0, 0, 60), ReqResult::kGranted);
+  ctrl_.WriteDone(0, 0);
+  Value v = 0;
+  EXPECT_EQ(ctrl_.Read(1, 0, &v), ReqResult::kBlocked);
+  EXPECT_GT(ctrl_.stats().lock_waits, 0);
+  // Lock held to commit — this is the long-duration-wait pathology.
+  EXPECT_EQ(ctrl_.Commit(0), ReqResult::kGranted);
+  EXPECT_EQ(ctrl_.TakeWakeups(), (std::vector<int>{1}));
+  EXPECT_EQ(ctrl_.Read(1, 0, &v), ReqResult::kGranted);
+  EXPECT_EQ(v, 60);
+}
+
+TEST_F(S2plTest, DeadlockDetectedAndRequesterAborted) {
+  ctrl_.Register(0, Profile("t0"));
+  ctrl_.Register(1, Profile("t1"));
+  ASSERT_EQ(ctrl_.Begin(0), ReqResult::kGranted);
+  ASSERT_EQ(ctrl_.Begin(1), ReqResult::kGranted);
+  ASSERT_EQ(ctrl_.Write(0, 0, 1), ReqResult::kGranted);
+  ASSERT_EQ(ctrl_.Write(1, 1, 2), ReqResult::kGranted);
+  Value v = 0;
+  EXPECT_EQ(ctrl_.Read(0, 1, &v), ReqResult::kBlocked);
+  EXPECT_EQ(ctrl_.Read(1, 0, &v), ReqResult::kAborted);  // Would close cycle.
+  EXPECT_EQ(ctrl_.stats().deadlock_aborts, 1);
+  ctrl_.Abort(1);
+  EXPECT_EQ(ctrl_.TakeWakeups(), (std::vector<int>{0}));
+  EXPECT_EQ(ctrl_.Read(0, 1, &v), ReqResult::kGranted);
+}
+
+TEST_F(S2plTest, BeginChainsOnPredecessors) {
+  ctrl_.Register(0, Profile("t0"));
+  ctrl_.Register(1, Profile("t1", {0}));
+  EXPECT_EQ(ctrl_.Begin(1), ReqResult::kBlocked);
+  ASSERT_EQ(ctrl_.Begin(0), ReqResult::kGranted);
+  EXPECT_EQ(ctrl_.Commit(0), ReqResult::kGranted);
+  EXPECT_EQ(ctrl_.TakeWakeups(), (std::vector<int>{1}));
+  EXPECT_EQ(ctrl_.Begin(1), ReqResult::kGranted);
+}
+
+TEST_F(S2plTest, FailedOutputConditionAborts) {
+  ctrl_.Register(0, Profile("t0", {}, Range(0, 200, 300)));
+  ASSERT_EQ(ctrl_.Begin(0), ReqResult::kGranted);
+  ASSERT_EQ(ctrl_.Write(0, 0, 60), ReqResult::kGranted);
+  ctrl_.WriteDone(0, 0);
+  EXPECT_EQ(ctrl_.Commit(0), ReqResult::kAborted);
+  ctrl_.Abort(0);
+  EXPECT_EQ(store_.LatestCommittedSnapshot(), (ValueVector{50, 50}));
+}
+
+TEST_F(S2plTest, AbortRollsBackAndReleasesLocks) {
+  ctrl_.Register(0, Profile("t0"));
+  ctrl_.Register(1, Profile("t1"));
+  ASSERT_EQ(ctrl_.Begin(0), ReqResult::kGranted);
+  ASSERT_EQ(ctrl_.Write(0, 0, 60), ReqResult::kGranted);
+  ctrl_.WriteDone(0, 0);
+  ctrl_.Abort(0);
+  ASSERT_EQ(ctrl_.Begin(1), ReqResult::kGranted);
+  Value v = 0;
+  EXPECT_EQ(ctrl_.Read(1, 0, &v), ReqResult::kGranted);
+  EXPECT_EQ(v, 50);  // The write is gone.
+}
+
+class Pw2plTest : public ::testing::Test {
+ protected:
+  Pw2plTest() : store_({50, 50}) {
+    TwoPhaseLockingController::Options options;
+    options.predicatewise = true;
+    options.objects = {{0}, {1}};  // x and y in different conjuncts.
+    // t0 plans to write x then y; t1 plans to write x.
+    options.planned_ops[0] = {{true, 0}, {true, 1}};
+    options.planned_ops[1] = {{true, 0}};
+    ctrl_ = std::make_unique<TwoPhaseLockingController>(&store_,
+                                                        std::move(options));
+  }
+
+  VersionStore store_;
+  std::unique_ptr<TwoPhaseLockingController> ctrl_;
+};
+
+TEST_F(Pw2plTest, GroupLocksReleasedWhenConjunctDone) {
+  ctrl_->Register(0, Profile("t0"));
+  ctrl_->Register(1, Profile("t1"));
+  ASSERT_EQ(ctrl_->Begin(0), ReqResult::kGranted);
+  ASSERT_EQ(ctrl_->Begin(1), ReqResult::kGranted);
+  ASSERT_EQ(ctrl_->Write(0, 0, 60), ReqResult::kGranted);
+  // While the write op is still in flight, the group is not yet released.
+  EXPECT_EQ(ctrl_->Write(1, 0, 70), ReqResult::kBlocked);
+  ctrl_->WriteDone(0, 0);  // x-conjunct done: its locks drop early.
+  EXPECT_GT(ctrl_->stats().group_releases, 0);
+  EXPECT_EQ(ctrl_->TakeWakeups(), (std::vector<int>{1}));
+  // t1 can now write x even though t0 is still running (writing y).
+  EXPECT_EQ(ctrl_->Write(1, 0, 70), ReqResult::kGranted);
+  ASSERT_EQ(ctrl_->Write(0, 1, 61), ReqResult::kGranted);
+  ctrl_->WriteDone(0, 1);
+  ctrl_->WriteDone(1, 0);
+  EXPECT_EQ(ctrl_->Commit(0), ReqResult::kGranted);
+  EXPECT_EQ(ctrl_->Commit(1), ReqResult::kGranted);
+  EXPECT_EQ(store_.LatestCommittedSnapshot(), (ValueVector{70, 61}));
+}
+
+TEST_F(Pw2plTest, NameReflectsMode) {
+  EXPECT_EQ(ctrl_->name(), "PW-2PL");
+  VersionStore other({1});
+  TwoPhaseLockingController strict(&other,
+                                   TwoPhaseLockingController::Options());
+  EXPECT_EQ(strict.name(), "S2PL");
+}
+
+}  // namespace
+}  // namespace nonserial

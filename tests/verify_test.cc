@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "core/verify.h"
+#include "workload/generators.h"
+
+namespace nonserial {
+namespace {
+
+TEST(VerifyTest, CepRunOnGeneratedWorkloadVerifies) {
+  DesignWorkloadParams params;
+  params.num_txs = 12;
+  params.num_entities = 16;
+  params.num_conjuncts = 4;
+  params.think_time = 30;
+  params.precedence_prob = 0.25;
+  params.relational_clause_prob = 0.5;
+  params.seed = 3;
+  SimWorkload w = MakeDesignWorkload(params);
+  RunReport report = RunWorkload(w, ProtocolKind::kCep, WorkloadConstraint(w));
+  EXPECT_TRUE(report.result.all_committed);
+  EXPECT_TRUE(report.verification.ok()) << report.verification;
+}
+
+// Theorem 2 as a property: every CEP history across seeds and contention
+// levels re-verifies as a correct, parent-based execution.
+struct Theorem2Params {
+  uint64_t seed;
+  double precedence_prob;
+  int num_conjuncts;
+};
+
+class Theorem2Test : public ::testing::TestWithParam<Theorem2Params> {};
+
+TEST_P(Theorem2Test, EmittedHistoriesAreCorrectExecutions) {
+  DesignWorkloadParams params;
+  params.num_txs = 14;
+  params.num_entities = 12;  // Small: plenty of contention.
+  params.num_conjuncts = GetParam().num_conjuncts;
+  params.reads_per_tx = 4;
+  params.think_time = 15;
+  params.cross_group_fraction = 0.3;
+  params.precedence_prob = GetParam().precedence_prob;
+  params.relational_clause_prob = 0.4;
+  params.arrival_spacing = 5;
+  params.seed = GetParam().seed;
+  SimWorkload w = MakeDesignWorkload(params);
+  RunReport report = RunWorkload(w, ProtocolKind::kCep, WorkloadConstraint(w));
+  EXPECT_TRUE(report.verification.ok())
+      << "seed " << GetParam().seed << ": " << report.verification;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Theorem2Test,
+    ::testing::Values(Theorem2Params{1, 0.0, 1}, Theorem2Params{2, 0.0, 4},
+                      Theorem2Params{3, 0.3, 2}, Theorem2Params{4, 0.5, 4},
+                      Theorem2Params{5, 0.7, 3}, Theorem2Params{6, 0.4, 6},
+                      Theorem2Params{7, 0.9, 2}, Theorem2Params{8, 0.2, 8}));
+
+TEST(VerifyTest, DoctoredHistoryFailsVerification) {
+  // Run a healthy workload, then check a *corrupted* constraint: a final
+  // state violating t_f's input predicate must be rejected.
+  DesignWorkloadParams params;
+  params.num_txs = 6;
+  params.num_entities = 8;
+  params.seed = 11;
+  SimWorkload w = MakeDesignWorkload(params);
+  Simulator sim;
+  std::shared_ptr<VersionStore> store;
+  std::shared_ptr<ConcurrencyController> controller;
+  SimResult result = sim.Run(w, MakeControllerFactory(ProtocolKind::kCep),
+                             &store, &controller);
+  ASSERT_TRUE(result.all_committed);
+  const auto* cep =
+      dynamic_cast<const CorrectExecutionProtocol*>(controller.get());
+  ASSERT_NE(cep, nullptr);
+  // Healthy constraint passes.
+  EXPECT_TRUE(VerifyCepHistory(w, *cep, *store, WorkloadConstraint(w)).ok());
+  // An impossible constraint fails at t_f / the root's output condition.
+  Predicate impossible;
+  impossible.AddClause(Clause({EntityVsConst(0, CompareOp::kGe, 1000)}));
+  EXPECT_FALSE(VerifyCepHistory(w, *cep, *store, impossible).ok());
+}
+
+TEST(VerifyTest, EmittedHistoryClassMembershipConsistent) {
+  // One concrete seed of the E13 experiment as a regression test: the CEP
+  // history verifies as a correct execution and, when non-serializable,
+  // demonstrates the paper's thesis directly.
+  DesignWorkloadParams params;
+  params.num_txs = 8;
+  params.num_entities = 8;
+  params.num_conjuncts = 2;
+  params.reads_per_tx = 3;
+  params.think_time = 120;
+  params.cross_group_fraction = 0.3;
+  params.precedence_prob = 0.25;
+  params.arrival_spacing = 10;
+  params.seed = 7919;
+  SimWorkload w = MakeDesignWorkload(params);
+  RunReport report = RunWorkload(w, ProtocolKind::kCep, WorkloadConstraint(w));
+  ASSERT_TRUE(report.result.all_committed);
+  ASSERT_TRUE(report.verification.ok()) << report.verification;
+  // The history is well-formed for analysis.
+  const EmittedHistory& history = report.result.history;
+  EXPECT_TRUE(
+      ValidateCommitPoints(history.schedule, history.commits).ok());
+  EXPECT_EQ(history.committed.size(), w.txs.size());
+  // The strengthened commit rule guarantees recoverability.
+  EXPECT_TRUE(IsRecoverable(history.schedule, history.commits));
+}
+
+TEST(VerifyTest, EmptyHistoryVerifies) {
+  SimWorkload w;
+  w.initial = {50};
+  Simulator sim;
+  std::shared_ptr<VersionStore> store;
+  std::shared_ptr<ConcurrencyController> controller;
+  sim.Run(w, MakeControllerFactory(ProtocolKind::kCep), &store, &controller);
+  const auto* cep =
+      dynamic_cast<const CorrectExecutionProtocol*>(controller.get());
+  Predicate constraint;
+  constraint.AddClause(Clause({EntityVsConst(0, CompareOp::kEq, 50)}));
+  EXPECT_TRUE(VerifyCepHistory(w, *cep, *store, constraint).ok());
+}
+
+}  // namespace
+}  // namespace nonserial

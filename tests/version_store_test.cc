@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "storage/version_store.h"
+
+namespace nonserial {
+namespace {
+
+TEST(VersionStoreTest, InitialVersionsCommitted) {
+  VersionStore store({10, 20});
+  EXPECT_EQ(store.num_entities(), 2);
+  ASSERT_EQ(store.Chain(0).size(), 1u);
+  EXPECT_TRUE(store.Chain(0)[0].committed);
+  EXPECT_EQ(store.Chain(0)[0].writer, kInitialWriter);
+  EXPECT_EQ(store.Read(VersionRef{0, 0}), 10);
+  EXPECT_EQ(store.Read(VersionRef{1, 0}), 20);
+}
+
+TEST(VersionStoreTest, AppendCreatesUncommittedVersion) {
+  VersionStore store({10});
+  int idx = store.Append(0, 11, /*writer=*/3);
+  EXPECT_EQ(idx, 1);
+  EXPECT_FALSE(store.Chain(0)[1].committed);
+  EXPECT_EQ(store.LatestLiveIndex(0), 1);
+  EXPECT_EQ(store.LatestCommittedIndex(0), 0);
+}
+
+TEST(VersionStoreTest, CommitWriterFlipsAllItsVersions) {
+  VersionStore store({10, 20});
+  store.Append(0, 11, 3);
+  store.Append(1, 21, 3);
+  store.Append(0, 12, 4);
+  store.CommitWriter(3);
+  EXPECT_TRUE(store.Chain(0)[1].committed);
+  EXPECT_TRUE(store.Chain(1)[1].committed);
+  EXPECT_FALSE(store.Chain(0)[2].committed);
+  EXPECT_EQ(store.LatestCommittedIndex(0), 1);
+}
+
+TEST(VersionStoreTest, RollbackMarksDeadAndPreservesIndices) {
+  VersionStore store({10});
+  int a = store.Append(0, 11, 3);
+  int b = store.Append(0, 12, 4);
+  store.RollbackWriter(3);
+  EXPECT_TRUE(store.Chain(0)[a].dead);
+  EXPECT_FALSE(store.Chain(0)[b].dead);
+  EXPECT_EQ(store.LatestLiveIndex(0), b);
+  // References to the dead version still resolve (never dangles).
+  EXPECT_EQ(store.Read(VersionRef{0, a}), 11);
+}
+
+TEST(VersionStoreTest, RollbackDoesNotKillCommittedVersions) {
+  VersionStore store({10});
+  store.Append(0, 11, 3);
+  store.CommitWriter(3);
+  store.RollbackWriter(3);
+  EXPECT_FALSE(store.Chain(0)[1].dead);
+}
+
+TEST(VersionStoreTest, LatestIndexByWriter) {
+  VersionStore store({10});
+  store.Append(0, 11, 3);
+  store.Append(0, 12, 3);
+  store.Append(0, 13, 4);
+  auto idx = store.LatestIndexBy(0, 3);
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(store.Read(VersionRef{0, *idx}), 12);
+  EXPECT_FALSE(store.LatestIndexBy(0, 99).has_value());
+  // Rolled-back versions are invisible.
+  store.RollbackWriter(3);
+  EXPECT_FALSE(store.LatestIndexBy(0, 3).has_value());
+}
+
+TEST(VersionStoreTest, LatestCommittedSnapshot) {
+  VersionStore store({10, 20});
+  store.Append(0, 11, 3);
+  store.Append(1, 21, 4);
+  store.CommitWriter(3);
+  EXPECT_EQ(store.LatestCommittedSnapshot(), (ValueVector{11, 20}));
+  store.CommitWriter(4);
+  EXPECT_EQ(store.LatestCommittedSnapshot(), (ValueVector{11, 21}));
+}
+
+TEST(VersionStoreTest, AsDatabaseStateContainsAllCommittedValues) {
+  VersionStore store({10});
+  store.Append(0, 11, 3);
+  store.CommitWriter(3);
+  DatabaseState db = store.AsDatabaseState();
+  EXPECT_TRUE(db.IsVersionState({10}));
+  EXPECT_TRUE(db.IsVersionState({11}));
+  EXPECT_FALSE(db.IsVersionState({12}));
+}
+
+TEST(VersionStoreGcTest, CollectsObsoleteCommittedVersions) {
+  VersionStore store({10});
+  store.Append(0, 11, 3);
+  store.Append(0, 12, 4);
+  store.CommitWriter(3);
+  store.CommitWriter(4);
+  // Initial (10) and 11 are obsolete; 12 is the latest committed.
+  EXPECT_EQ(store.CollectObsolete({}), 2);
+  EXPECT_TRUE(store.Chain(0)[0].dead);
+  EXPECT_TRUE(store.Chain(0)[1].dead);
+  EXPECT_FALSE(store.Chain(0)[2].dead);
+  EXPECT_EQ(store.LatestCommittedIndex(0), 2);
+  // Idempotent.
+  EXPECT_EQ(store.CollectObsolete({}), 0);
+}
+
+TEST(VersionStoreGcTest, PinnedVersionsSurvive) {
+  VersionStore store({10});
+  store.Append(0, 11, 3);
+  store.Append(0, 12, 4);
+  store.CommitWriter(3);
+  store.CommitWriter(4);
+  EXPECT_EQ(store.CollectObsolete({VersionRef{0, 1}}), 1);  // Only initial.
+  EXPECT_FALSE(store.Chain(0)[1].dead);
+}
+
+TEST(VersionStoreGcTest, UncommittedVersionsNeverCollected) {
+  VersionStore store({10});
+  store.Append(0, 11, 3);  // Uncommitted.
+  EXPECT_EQ(store.CollectObsolete({}), 0);
+  EXPECT_FALSE(store.Chain(0)[1].dead);
+}
+
+TEST(VersionStoreGcTest, CollectedReferencesStillResolve) {
+  VersionStore store({10});
+  store.Append(0, 11, 3);
+  store.CommitWriter(3);
+  ASSERT_EQ(store.CollectObsolete({}), 1);
+  EXPECT_EQ(store.Read(VersionRef{0, 0}), 10);  // Dead but addressable.
+}
+
+TEST(VersionStoreTest, TotalLiveVersions) {
+  VersionStore store({10, 20});
+  EXPECT_EQ(store.TotalLiveVersions(), 2);
+  store.Append(0, 11, 3);
+  EXPECT_EQ(store.TotalLiveVersions(), 3);
+  store.RollbackWriter(3);
+  EXPECT_EQ(store.TotalLiveVersions(), 2);
+}
+
+}  // namespace
+}  // namespace nonserial

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/generators.h"
+#include "workload/nested_gen.h"
+#include "workload/schedule_gen.h"
+
+namespace nonserial {
+namespace {
+
+TEST(DesignWorkloadTest, DeterministicFromSeed) {
+  DesignWorkloadParams params;
+  params.seed = 42;
+  SimWorkload a = MakeDesignWorkload(params);
+  SimWorkload b = MakeDesignWorkload(params);
+  ASSERT_EQ(a.txs.size(), b.txs.size());
+  for (size_t i = 0; i < a.txs.size(); ++i) {
+    EXPECT_EQ(a.txs[i].steps.size(), b.txs[i].steps.size());
+    EXPECT_EQ(a.txs[i].predecessors, b.txs[i].predecessors);
+  }
+}
+
+TEST(DesignWorkloadTest, StructuralInvariants) {
+  DesignWorkloadParams params;
+  params.num_txs = 20;
+  params.num_entities = 24;
+  params.num_conjuncts = 4;
+  params.precedence_prob = 0.5;
+  params.seed = 9;
+  SimWorkload w = MakeDesignWorkload(params);
+  ASSERT_EQ(w.txs.size(), 20u);
+  EXPECT_EQ(w.initial.size(), 24u);
+  EXPECT_EQ(w.objects.size(), 4u);
+
+  for (size_t i = 0; i < w.txs.size(); ++i) {
+    const SimTx& tx = w.txs[i];
+    std::set<EntityId> read_so_far;
+    std::set<EntityId> written;
+    std::set<EntityId> input_entities = tx.input.Entities();
+    for (const SimStep& step : tx.steps) {
+      if (step.kind == SimStep::Kind::kRead) {
+        // Every read entity appears in I_t (the model's requirement).
+        EXPECT_TRUE(input_entities.contains(step.entity));
+        read_so_far.insert(step.entity);
+      } else if (step.kind == SimStep::Kind::kWrite) {
+        // Write expressions only use previously read entities.
+        std::set<EntityId> operands;
+        step.write_expr.CollectReads(&operands);
+        for (EntityId operand : operands) {
+          EXPECT_TRUE(read_so_far.contains(operand));
+        }
+        // Each entity written at most once per transaction.
+        EXPECT_FALSE(written.contains(step.entity));
+        written.insert(step.entity);
+      }
+    }
+    // Predecessors point backwards (the partial order is a DAG).
+    for (int pred : tx.predecessors) {
+      EXPECT_GE(pred, 0);
+      EXPECT_LT(pred, static_cast<int>(i));
+    }
+  }
+}
+
+TEST(DesignWorkloadTest, WritesPreserveBounds) {
+  // Apply every write expression to boundary inputs: results stay in
+  // [0, 100], so transactions always satisfy their output predicates.
+  DesignWorkloadParams params;
+  params.num_txs = 10;
+  params.seed = 13;
+  SimWorkload w = MakeDesignWorkload(params);
+  for (const SimTx& tx : w.txs) {
+    for (const SimStep& step : tx.steps) {
+      if (step.kind != SimStep::Kind::kWrite) continue;
+      for (Value boundary : {Value{0}, Value{50}, Value{100}}) {
+        ValueVector all(w.initial.size(), boundary);
+        Value produced = step.write_expr.Eval(all);
+        EXPECT_GE(produced, 0);
+        EXPECT_LE(produced, 100);
+      }
+    }
+  }
+}
+
+TEST(DesignWorkloadTest, ConstraintHoldsInitially) {
+  DesignWorkloadParams params;
+  params.seed = 17;
+  SimWorkload w = MakeDesignWorkload(params);
+  EXPECT_TRUE(WorkloadConstraint(w).Eval(w.initial));
+}
+
+TEST(OltpWorkloadTest, ShortTransactions) {
+  SimWorkload w = MakeOltpWorkload(8, 16, 2, 5);
+  EXPECT_EQ(w.txs.size(), 8u);
+  for (const SimTx& tx : w.txs) {
+    EXPECT_EQ(tx.think_between_ops, 0);
+    EXPECT_LE(tx.steps.size(), 4u);
+  }
+}
+
+TEST(NestedGenTest, StructureInvariants) {
+  NestedWorkloadParams params;
+  params.num_projects = 3;
+  params.members_per_project = 4;
+  params.entities_per_project = 5;
+  params.member_chain_prob = 0.8;
+  params.project_chain_prob = 0.8;
+  params.seed = 77;
+  NestedWorkload nw = MakeNestedDesignWorkload(params);
+  ASSERT_EQ(nw.nested.groups.size(), 3u);
+  ASSERT_EQ(nw.workload.txs.size(), 12u);
+  ASSERT_EQ(nw.nested.group_of_tx.size(), 12u);
+  EXPECT_EQ(nw.workload.initial.size(), 15u);
+  for (size_t t = 0; t < nw.workload.txs.size(); ++t) {
+    int g = nw.nested.group_of_tx[t];
+    // Members read only their project's slice.
+    const std::set<EntityId>& slice = nw.workload.objects[g];
+    for (EntityId e : nw.workload.txs[t].input.Entities()) {
+      EXPECT_TRUE(slice.contains(e));
+    }
+    // Member predecessors stay within the group.
+    for (int pred : nw.workload.txs[t].predecessors) {
+      EXPECT_EQ(nw.nested.group_of_tx[pred], g);
+    }
+  }
+  // Group predecessors point backwards.
+  for (size_t g = 0; g < nw.nested.groups.size(); ++g) {
+    for (int pred : nw.nested.groups[g].predecessors) {
+      EXPECT_LT(pred, static_cast<int>(g));
+    }
+  }
+}
+
+TEST(NestedGenTest, DeterministicFromSeed) {
+  NestedWorkloadParams params;
+  params.seed = 31;
+  NestedWorkload a = MakeNestedDesignWorkload(params);
+  NestedWorkload b = MakeNestedDesignWorkload(params);
+  ASSERT_EQ(a.workload.txs.size(), b.workload.txs.size());
+  for (size_t i = 0; i < a.workload.txs.size(); ++i) {
+    EXPECT_EQ(a.workload.txs[i].steps.size(), b.workload.txs[i].steps.size());
+  }
+  EXPECT_EQ(a.nested.group_of_tx, b.nested.group_of_tx);
+}
+
+TEST(ScheduleGenTest, RandomProgramsShape) {
+  Rng rng(3);
+  ScheduleGenParams params;
+  params.num_txs = 3;
+  params.ops_per_tx = 4;
+  params.num_entities = 2;
+  auto programs = RandomPrograms(params, &rng);
+  ASSERT_EQ(programs.size(), 3u);
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_EQ(programs[t].size(), 4u);
+    for (const Op& op : programs[t]) {
+      EXPECT_EQ(op.tx, t);
+      EXPECT_LT(op.entity, 2);
+    }
+  }
+}
+
+TEST(ScheduleGenTest, InterleavingPreservesProgramOrder) {
+  Rng rng(5);
+  ScheduleGenParams params;
+  params.num_txs = 3;
+  params.ops_per_tx = 3;
+  auto programs = RandomPrograms(params, &rng);
+  Schedule s = RandomInterleaving(programs, params.num_entities, &rng);
+  EXPECT_EQ(s.ops().size(), 9u);
+  for (int t = 0; t < 3; ++t) {
+    std::vector<int> positions = s.OpsOf(t);
+    ASSERT_EQ(positions.size(), 3u);
+    for (int k = 0; k < 3; ++k) {
+      EXPECT_EQ(s.ops()[positions[k]], programs[t][k]);
+    }
+  }
+}
+
+TEST(ScheduleGenTest, ForEachInterleavingCountsMultinomial) {
+  // Two programs of lengths 2 and 2: C(4,2) = 6 merges.
+  std::vector<std::vector<Op>> programs = {
+      {{0, OpKind::kRead, 0}, {0, OpKind::kWrite, 0}},
+      {{1, OpKind::kRead, 1}, {1, OpKind::kWrite, 1}}};
+  int64_t count = ForEachInterleaving(programs, 2,
+                                      [](const Schedule&) { return true; });
+  EXPECT_EQ(count, 6);
+}
+
+TEST(ScheduleGenTest, ForEachInterleavingStopsEarly) {
+  std::vector<std::vector<Op>> programs = {
+      {{0, OpKind::kRead, 0}, {0, OpKind::kWrite, 0}},
+      {{1, OpKind::kRead, 1}, {1, OpKind::kWrite, 1}}};
+  int visited = 0;
+  ForEachInterleaving(programs, 2, [&](const Schedule&) {
+    ++visited;
+    return visited < 2;  // Stop after two.
+  });
+  EXPECT_EQ(visited, 2);
+}
+
+TEST(ScheduleGenTest, PartitionObjectsCoversAllEntities) {
+  ObjectSetList objects = PartitionObjects(10, 3);
+  std::set<EntityId> all;
+  for (const auto& object : objects) all.insert(object.begin(), object.end());
+  EXPECT_EQ(all.size(), 10u);
+  EXPECT_LE(objects.size(), 3u);
+}
+
+TEST(ScheduleGenTest, PartitionSingleObject) {
+  ObjectSetList objects = PartitionObjects(5, 1);
+  ASSERT_EQ(objects.size(), 1u);
+  EXPECT_EQ(objects[0].size(), 5u);
+}
+
+}  // namespace
+}  // namespace nonserial
