@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_class_containment.dir/bench_class_containment.cc.o"
+  "CMakeFiles/bench_class_containment.dir/bench_class_containment.cc.o.d"
+  "bench_class_containment"
+  "bench_class_containment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_class_containment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

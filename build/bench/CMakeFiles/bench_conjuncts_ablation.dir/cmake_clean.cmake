@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_conjuncts_ablation.dir/bench_conjuncts_ablation.cc.o"
+  "CMakeFiles/bench_conjuncts_ablation.dir/bench_conjuncts_ablation.cc.o.d"
+  "bench_conjuncts_ablation"
+  "bench_conjuncts_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conjuncts_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_conjuncts_ablation.
+# This may be replaced when dependencies are built.

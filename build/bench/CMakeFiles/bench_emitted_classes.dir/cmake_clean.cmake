@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_emitted_classes.dir/bench_emitted_classes.cc.o"
+  "CMakeFiles/bench_emitted_classes.dir/bench_emitted_classes.cc.o.d"
+  "bench_emitted_classes"
+  "bench_emitted_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_emitted_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

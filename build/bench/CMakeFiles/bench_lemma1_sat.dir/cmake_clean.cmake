@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma1_sat.dir/bench_lemma1_sat.cc.o"
+  "CMakeFiles/bench_lemma1_sat.dir/bench_lemma1_sat.cc.o.d"
+  "bench_lemma1_sat"
+  "bench_lemma1_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma1_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

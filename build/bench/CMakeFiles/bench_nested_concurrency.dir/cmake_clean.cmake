@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nested_concurrency.dir/bench_nested_concurrency.cc.o"
+  "CMakeFiles/bench_nested_concurrency.dir/bench_nested_concurrency.cc.o.d"
+  "bench_nested_concurrency"
+  "bench_nested_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nested_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_np_scaling.dir/bench_np_scaling.cc.o"
+  "CMakeFiles/bench_np_scaling.dir/bench_np_scaling.cc.o.d"
+  "bench_np_scaling"
+  "bench_np_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_np_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_protocol_contention.dir/bench_protocol_contention.cc.o"
+  "CMakeFiles/bench_protocol_contention.dir/bench_protocol_contention.cc.o.d"
+  "bench_protocol_contention"
+  "bench_protocol_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_protocol_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

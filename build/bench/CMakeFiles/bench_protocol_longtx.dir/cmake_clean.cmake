@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_protocol_longtx.dir/bench_protocol_longtx.cc.o"
+  "CMakeFiles/bench_protocol_longtx.dir/bench_protocol_longtx.cc.o.d"
+  "bench_protocol_longtx"
+  "bench_protocol_longtx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_protocol_longtx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cad_design_session.dir/cad_design_session.cpp.o"
+  "CMakeFiles/cad_design_session.dir/cad_design_session.cpp.o.d"
+  "cad_design_session"
+  "cad_design_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cad_design_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nested_projects.dir/nested_projects.cpp.o"
+  "CMakeFiles/nested_projects.dir/nested_projects.cpp.o.d"
+  "nested_projects"
+  "nested_projects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nested_projects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

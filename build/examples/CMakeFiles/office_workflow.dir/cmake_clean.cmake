@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/office_workflow.dir/office_workflow.cpp.o"
+  "CMakeFiles/office_workflow.dir/office_workflow.cpp.o.d"
+  "office_workflow"
+  "office_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/office_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

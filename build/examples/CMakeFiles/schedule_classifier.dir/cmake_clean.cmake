@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_classifier.dir/schedule_classifier.cpp.o"
+  "CMakeFiles/schedule_classifier.dir/schedule_classifier.cpp.o.d"
+  "schedule_classifier"
+  "schedule_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

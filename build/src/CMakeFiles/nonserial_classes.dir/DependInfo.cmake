@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/classes/recognizers.cc" "src/CMakeFiles/nonserial_classes.dir/classes/recognizers.cc.o" "gcc" "src/CMakeFiles/nonserial_classes.dir/classes/recognizers.cc.o.d"
+  "/root/repo/src/classes/recoverability.cc" "src/CMakeFiles/nonserial_classes.dir/classes/recoverability.cc.o" "gcc" "src/CMakeFiles/nonserial_classes.dir/classes/recoverability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nonserial_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nonserial_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nonserial_predicate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nonserial_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nonserial_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nonserial_classes.dir/classes/recognizers.cc.o"
+  "CMakeFiles/nonserial_classes.dir/classes/recognizers.cc.o.d"
+  "CMakeFiles/nonserial_classes.dir/classes/recoverability.cc.o"
+  "CMakeFiles/nonserial_classes.dir/classes/recoverability.cc.o.d"
+  "libnonserial_classes.a"
+  "libnonserial_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nonserial_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

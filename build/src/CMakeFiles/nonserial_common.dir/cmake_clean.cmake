@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nonserial_common.dir/common/logging.cc.o"
+  "CMakeFiles/nonserial_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/nonserial_common.dir/common/random.cc.o"
+  "CMakeFiles/nonserial_common.dir/common/random.cc.o.d"
+  "CMakeFiles/nonserial_common.dir/common/status.cc.o"
+  "CMakeFiles/nonserial_common.dir/common/status.cc.o.d"
+  "CMakeFiles/nonserial_common.dir/common/strings.cc.o"
+  "CMakeFiles/nonserial_common.dir/common/strings.cc.o.d"
+  "libnonserial_common.a"
+  "libnonserial_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nonserial_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nonserial_core.dir/core/database.cc.o"
+  "CMakeFiles/nonserial_core.dir/core/database.cc.o.d"
+  "CMakeFiles/nonserial_core.dir/core/verify.cc.o"
+  "CMakeFiles/nonserial_core.dir/core/verify.cc.o.d"
+  "libnonserial_core.a"
+  "libnonserial_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nonserial_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

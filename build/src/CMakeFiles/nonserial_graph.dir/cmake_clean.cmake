@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nonserial_graph.dir/graph/digraph.cc.o"
+  "CMakeFiles/nonserial_graph.dir/graph/digraph.cc.o.d"
+  "libnonserial_graph.a"
+  "libnonserial_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nonserial_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/entity.cc" "src/CMakeFiles/nonserial_model.dir/model/entity.cc.o" "gcc" "src/CMakeFiles/nonserial_model.dir/model/entity.cc.o.d"
+  "/root/repo/src/model/execution.cc" "src/CMakeFiles/nonserial_model.dir/model/execution.cc.o" "gcc" "src/CMakeFiles/nonserial_model.dir/model/execution.cc.o.d"
+  "/root/repo/src/model/state.cc" "src/CMakeFiles/nonserial_model.dir/model/state.cc.o" "gcc" "src/CMakeFiles/nonserial_model.dir/model/state.cc.o.d"
+  "/root/repo/src/model/transaction.cc" "src/CMakeFiles/nonserial_model.dir/model/transaction.cc.o" "gcc" "src/CMakeFiles/nonserial_model.dir/model/transaction.cc.o.d"
+  "/root/repo/src/model/version_search.cc" "src/CMakeFiles/nonserial_model.dir/model/version_search.cc.o" "gcc" "src/CMakeFiles/nonserial_model.dir/model/version_search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nonserial_predicate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nonserial_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nonserial_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nonserial_model.dir/model/entity.cc.o"
+  "CMakeFiles/nonserial_model.dir/model/entity.cc.o.d"
+  "CMakeFiles/nonserial_model.dir/model/execution.cc.o"
+  "CMakeFiles/nonserial_model.dir/model/execution.cc.o.d"
+  "CMakeFiles/nonserial_model.dir/model/state.cc.o"
+  "CMakeFiles/nonserial_model.dir/model/state.cc.o.d"
+  "CMakeFiles/nonserial_model.dir/model/transaction.cc.o"
+  "CMakeFiles/nonserial_model.dir/model/transaction.cc.o.d"
+  "CMakeFiles/nonserial_model.dir/model/version_search.cc.o"
+  "CMakeFiles/nonserial_model.dir/model/version_search.cc.o.d"
+  "libnonserial_model.a"
+  "libnonserial_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nonserial_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnonserial_model.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predicate/assignment_search.cc" "src/CMakeFiles/nonserial_predicate.dir/predicate/assignment_search.cc.o" "gcc" "src/CMakeFiles/nonserial_predicate.dir/predicate/assignment_search.cc.o.d"
+  "/root/repo/src/predicate/formula.cc" "src/CMakeFiles/nonserial_predicate.dir/predicate/formula.cc.o" "gcc" "src/CMakeFiles/nonserial_predicate.dir/predicate/formula.cc.o.d"
+  "/root/repo/src/predicate/predicate.cc" "src/CMakeFiles/nonserial_predicate.dir/predicate/predicate.cc.o" "gcc" "src/CMakeFiles/nonserial_predicate.dir/predicate/predicate.cc.o.d"
+  "/root/repo/src/predicate/sat.cc" "src/CMakeFiles/nonserial_predicate.dir/predicate/sat.cc.o" "gcc" "src/CMakeFiles/nonserial_predicate.dir/predicate/sat.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nonserial_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

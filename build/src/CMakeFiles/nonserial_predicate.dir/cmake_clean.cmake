@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nonserial_predicate.dir/predicate/assignment_search.cc.o"
+  "CMakeFiles/nonserial_predicate.dir/predicate/assignment_search.cc.o.d"
+  "CMakeFiles/nonserial_predicate.dir/predicate/formula.cc.o"
+  "CMakeFiles/nonserial_predicate.dir/predicate/formula.cc.o.d"
+  "CMakeFiles/nonserial_predicate.dir/predicate/predicate.cc.o"
+  "CMakeFiles/nonserial_predicate.dir/predicate/predicate.cc.o.d"
+  "CMakeFiles/nonserial_predicate.dir/predicate/sat.cc.o"
+  "CMakeFiles/nonserial_predicate.dir/predicate/sat.cc.o.d"
+  "libnonserial_predicate.a"
+  "libnonserial_predicate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nonserial_predicate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

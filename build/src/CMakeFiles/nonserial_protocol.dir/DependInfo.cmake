@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocol/cep.cc" "src/CMakeFiles/nonserial_protocol.dir/protocol/cep.cc.o" "gcc" "src/CMakeFiles/nonserial_protocol.dir/protocol/cep.cc.o.d"
+  "/root/repo/src/protocol/ks_lock_manager.cc" "src/CMakeFiles/nonserial_protocol.dir/protocol/ks_lock_manager.cc.o" "gcc" "src/CMakeFiles/nonserial_protocol.dir/protocol/ks_lock_manager.cc.o.d"
+  "/root/repo/src/protocol/mvto.cc" "src/CMakeFiles/nonserial_protocol.dir/protocol/mvto.cc.o" "gcc" "src/CMakeFiles/nonserial_protocol.dir/protocol/mvto.cc.o.d"
+  "/root/repo/src/protocol/nested_cep.cc" "src/CMakeFiles/nonserial_protocol.dir/protocol/nested_cep.cc.o" "gcc" "src/CMakeFiles/nonserial_protocol.dir/protocol/nested_cep.cc.o.d"
+  "/root/repo/src/protocol/pw_mvto.cc" "src/CMakeFiles/nonserial_protocol.dir/protocol/pw_mvto.cc.o" "gcc" "src/CMakeFiles/nonserial_protocol.dir/protocol/pw_mvto.cc.o.d"
+  "/root/repo/src/protocol/sx_lock_table.cc" "src/CMakeFiles/nonserial_protocol.dir/protocol/sx_lock_table.cc.o" "gcc" "src/CMakeFiles/nonserial_protocol.dir/protocol/sx_lock_table.cc.o.d"
+  "/root/repo/src/protocol/trace.cc" "src/CMakeFiles/nonserial_protocol.dir/protocol/trace.cc.o" "gcc" "src/CMakeFiles/nonserial_protocol.dir/protocol/trace.cc.o.d"
+  "/root/repo/src/protocol/two_phase_locking.cc" "src/CMakeFiles/nonserial_protocol.dir/protocol/two_phase_locking.cc.o" "gcc" "src/CMakeFiles/nonserial_protocol.dir/protocol/two_phase_locking.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nonserial_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nonserial_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nonserial_predicate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nonserial_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nonserial_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nonserial_protocol.dir/protocol/cep.cc.o"
+  "CMakeFiles/nonserial_protocol.dir/protocol/cep.cc.o.d"
+  "CMakeFiles/nonserial_protocol.dir/protocol/ks_lock_manager.cc.o"
+  "CMakeFiles/nonserial_protocol.dir/protocol/ks_lock_manager.cc.o.d"
+  "CMakeFiles/nonserial_protocol.dir/protocol/mvto.cc.o"
+  "CMakeFiles/nonserial_protocol.dir/protocol/mvto.cc.o.d"
+  "CMakeFiles/nonserial_protocol.dir/protocol/nested_cep.cc.o"
+  "CMakeFiles/nonserial_protocol.dir/protocol/nested_cep.cc.o.d"
+  "CMakeFiles/nonserial_protocol.dir/protocol/pw_mvto.cc.o"
+  "CMakeFiles/nonserial_protocol.dir/protocol/pw_mvto.cc.o.d"
+  "CMakeFiles/nonserial_protocol.dir/protocol/sx_lock_table.cc.o"
+  "CMakeFiles/nonserial_protocol.dir/protocol/sx_lock_table.cc.o.d"
+  "CMakeFiles/nonserial_protocol.dir/protocol/trace.cc.o"
+  "CMakeFiles/nonserial_protocol.dir/protocol/trace.cc.o.d"
+  "CMakeFiles/nonserial_protocol.dir/protocol/two_phase_locking.cc.o"
+  "CMakeFiles/nonserial_protocol.dir/protocol/two_phase_locking.cc.o.d"
+  "libnonserial_protocol.a"
+  "libnonserial_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nonserial_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

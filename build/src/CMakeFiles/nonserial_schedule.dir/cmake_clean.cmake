@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nonserial_schedule.dir/schedule/po_program.cc.o"
+  "CMakeFiles/nonserial_schedule.dir/schedule/po_program.cc.o.d"
+  "CMakeFiles/nonserial_schedule.dir/schedule/schedule.cc.o"
+  "CMakeFiles/nonserial_schedule.dir/schedule/schedule.cc.o.d"
+  "libnonserial_schedule.a"
+  "libnonserial_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nonserial_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

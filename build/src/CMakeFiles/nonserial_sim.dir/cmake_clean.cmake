@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nonserial_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/nonserial_sim.dir/sim/simulator.cc.o.d"
+  "libnonserial_sim.a"
+  "libnonserial_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nonserial_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

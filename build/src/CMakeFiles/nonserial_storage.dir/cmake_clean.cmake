@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nonserial_storage.dir/storage/version_store.cc.o"
+  "CMakeFiles/nonserial_storage.dir/storage/version_store.cc.o.d"
+  "libnonserial_storage.a"
+  "libnonserial_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nonserial_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nonserial_workload.dir/workload/generators.cc.o"
+  "CMakeFiles/nonserial_workload.dir/workload/generators.cc.o.d"
+  "CMakeFiles/nonserial_workload.dir/workload/nested_gen.cc.o"
+  "CMakeFiles/nonserial_workload.dir/workload/nested_gen.cc.o.d"
+  "CMakeFiles/nonserial_workload.dir/workload/schedule_gen.cc.o"
+  "CMakeFiles/nonserial_workload.dir/workload/schedule_gen.cc.o.d"
+  "libnonserial_workload.a"
+  "libnonserial_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nonserial_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

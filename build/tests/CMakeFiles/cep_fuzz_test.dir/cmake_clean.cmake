@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cep_fuzz_test.dir/cep_fuzz_test.cc.o"
+  "CMakeFiles/cep_fuzz_test.dir/cep_fuzz_test.cc.o.d"
+  "cep_fuzz_test"
+  "cep_fuzz_test.pdb"
+  "cep_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cep_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ks_lock_manager_test.dir/ks_lock_manager_test.cc.o"
+  "CMakeFiles/ks_lock_manager_test.dir/ks_lock_manager_test.cc.o.d"
+  "ks_lock_manager_test"
+  "ks_lock_manager_test.pdb"
+  "ks_lock_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ks_lock_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

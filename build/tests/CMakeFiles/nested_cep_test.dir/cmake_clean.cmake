@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nested_cep_test.dir/nested_cep_test.cc.o"
+  "CMakeFiles/nested_cep_test.dir/nested_cep_test.cc.o.d"
+  "nested_cep_test"
+  "nested_cep_test.pdb"
+  "nested_cep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nested_cep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

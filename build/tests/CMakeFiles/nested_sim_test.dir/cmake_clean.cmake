@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nested_sim_test.dir/nested_sim_test.cc.o"
+  "CMakeFiles/nested_sim_test.dir/nested_sim_test.cc.o.d"
+  "nested_sim_test"
+  "nested_sim_test.pdb"
+  "nested_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nested_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/po_program_test.dir/po_program_test.cc.o"
+  "CMakeFiles/po_program_test.dir/po_program_test.cc.o.d"
+  "po_program_test"
+  "po_program_test.pdb"
+  "po_program_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/po_program_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pw_mvto_test.dir/pw_mvto_test.cc.o"
+  "CMakeFiles/pw_mvto_test.dir/pw_mvto_test.cc.o.d"
+  "pw_mvto_test"
+  "pw_mvto_test.pdb"
+  "pw_mvto_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pw_mvto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pw_mvto_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recognizers_test.dir/recognizers_test.cc.o"
+  "CMakeFiles/recognizers_test.dir/recognizers_test.cc.o.d"
+  "recognizers_test"
+  "recognizers_test.pdb"
+  "recognizers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recognizers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recoverability_test.dir/recoverability_test.cc.o"
+  "CMakeFiles/recoverability_test.dir/recoverability_test.cc.o.d"
+  "recoverability_test"
+  "recoverability_test.pdb"
+  "recoverability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recoverability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sx_lock_table_test.dir/sx_lock_table_test.cc.o"
+  "CMakeFiles/sx_lock_table_test.dir/sx_lock_table_test.cc.o.d"
+  "sx_lock_table_test"
+  "sx_lock_table_test.pdb"
+  "sx_lock_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sx_lock_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

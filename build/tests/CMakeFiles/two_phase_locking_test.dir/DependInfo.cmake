@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/two_phase_locking_test.cc" "tests/CMakeFiles/two_phase_locking_test.dir/two_phase_locking_test.cc.o" "gcc" "tests/CMakeFiles/two_phase_locking_test.dir/two_phase_locking_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nonserial_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nonserial_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nonserial_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nonserial_predicate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nonserial_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nonserial_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_phase_locking_test.dir/two_phase_locking_test.cc.o"
+  "CMakeFiles/two_phase_locking_test.dir/two_phase_locking_test.cc.o.d"
+  "two_phase_locking_test"
+  "two_phase_locking_test.pdb"
+  "two_phase_locking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_phase_locking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/predicate_test[1]_include.cmake")
+include("/root/repo/build/tests/sat_test[1]_include.cmake")
+include("/root/repo/build/tests/assignment_search_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/execution_test[1]_include.cmake")
+include("/root/repo/build/tests/schedule_test[1]_include.cmake")
+include("/root/repo/build/tests/recognizers_test[1]_include.cmake")
+include("/root/repo/build/tests/version_store_test[1]_include.cmake")
+include("/root/repo/build/tests/ks_lock_manager_test[1]_include.cmake")
+include("/root/repo/build/tests/sx_lock_table_test[1]_include.cmake")
+include("/root/repo/build/tests/cep_test[1]_include.cmake")
+include("/root/repo/build/tests/two_phase_locking_test[1]_include.cmake")
+include("/root/repo/build/tests/mvto_test[1]_include.cmake")
+include("/root/repo/build/tests/simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/verify_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/database_test[1]_include.cmake")
+include("/root/repo/build/tests/formula_test[1]_include.cmake")
+include("/root/repo/build/tests/recoverability_test[1]_include.cmake")
+include("/root/repo/build/tests/po_program_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/pw_mvto_test[1]_include.cmake")
+include("/root/repo/build/tests/nested_cep_test[1]_include.cmake")
+include("/root/repo/build/tests/nested_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/cep_fuzz_test[1]_include.cmake")
