@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI entry point: build + test twice — once plain, once under
+# ThreadSanitizer. The TSan pass is what keeps the concurrent protocol
+# engine honest: the multi-threaded driver, storage, and lock-manager
+# tests must come back data-race-free.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== [1/2] normal build =="
+cmake -B build -S . -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+echo "== [2/2] ThreadSanitizer build =="
+cmake -B build-tsan -S . -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+cmake --build build-tsan -j
+# TSan halts the process on the first race, so a green ctest run means
+# race-free executions of every test, including the parallel driver.
+TSAN_OPTIONS="halt_on_error=1" \
+  ctest --test-dir build-tsan --output-on-failure -j "$(nproc)"
+
+echo "CI OK"

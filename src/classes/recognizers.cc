@@ -1,10 +1,12 @@
 #include "classes/recognizers.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <sstream>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace nonserial {
 namespace {
@@ -183,10 +185,24 @@ bool IsPredicatewiseViewSerializable(const Schedule& schedule,
 
 bool IsConflictPredicateCorrect(const Schedule& schedule,
                                 const ObjectSetList& objects) {
-  for (const std::set<EntityId>& object : objects) {
-    if (ReadWriteGraph(schedule, &object).HasCycle()) return false;
-  }
-  return true;
+  // Constraints routinely share conjuncts (hot entities appear in many),
+  // and the read-before-write graph depends only on the entity set — so
+  // evaluate each distinct set once and fan the checks out across the
+  // shared pool. The atomic flag lets remaining conjuncts short-circuit
+  // once any cycle is found.
+  std::set<std::set<EntityId>> unique(objects.begin(), objects.end());
+  std::vector<const std::set<EntityId>*> work;
+  work.reserve(unique.size());
+  for (const std::set<EntityId>& object : unique) work.push_back(&object);
+  std::atomic<bool> cyclic{false};
+  ThreadPool::Shared().ParallelFor(
+      static_cast<int>(work.size()), [&](int i) {
+        if (cyclic.load(std::memory_order_relaxed)) return;
+        if (ReadWriteGraph(schedule, work[i]).HasCycle()) {
+          cyclic.store(true, std::memory_order_relaxed);
+        }
+      });
+  return !cyclic.load(std::memory_order_relaxed);
 }
 
 bool IsPredicateCorrect(const Schedule& schedule,

@@ -1,0 +1,107 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace nonserial {
+
+namespace {
+
+int BucketOf(int64_t value) {
+  if (value <= 0) return 0;
+  int bucket = 1;
+  while (bucket < Histogram::kNumBuckets - 1 &&
+         value >= (int64_t{1} << bucket)) {
+    ++bucket;
+  }
+  return bucket;
+}
+
+}  // namespace
+
+void Histogram::Record(int64_t value) {
+  if (value < 0) value = 0;
+  buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  int64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::mean() const {
+  int64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+int64_t Histogram::ApproxPercentile(double p) const {
+  int64_t n = count();
+  if (n == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  int64_t rank = static_cast<int64_t>(p * static_cast<double>(n - 1)) + 1;
+  int64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      return b == 0 ? 0 : (int64_t{1} << b) - 1;  // Bucket upper bound.
+    }
+  }
+  return max();
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  os << "n=" << count() << " mean=" << mean() << " p50<=" << ApproxPercentile(0.5)
+     << " p99<=" << ApproxPercentile(0.99) << " max=" << max();
+  return os.str();
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+std::string ProtocolMetrics::Summary() const {
+  std::ostringstream os;
+  os << "locks: grants=" << lock_grants.value()
+     << " blocks=" << lock_blocks.value()
+     << " re-evals=" << lock_reevals.value() << "\n";
+  os << "figure-4: routines=" << reevals.value()
+     << " re-assigns=" << reassigns.value() << "\n";
+  os << "aborts: partial-order=" << po_aborts.value()
+     << " cascade=" << cascade_aborts.value()
+     << " output=" << output_aborts.value() << "\n";
+  os << "validation: ok=" << validations.value()
+     << " fail=" << validation_fails.value()
+     << " rescans=" << validation_rescans.value() << "\n";
+  if (search_nodes.count() > 0) {
+    os << "search nodes: " << search_nodes.ToString() << "\n";
+  }
+  os << "commit waits: " << commit_waits.value() << "\n";
+  if (wait_micros.count() > 0) {
+    os << "blocked episodes (us): " << wait_micros.ToString() << "\n";
+  }
+  return os.str();
+}
+
+void ProtocolMetrics::Reset() {
+  lock_grants.Reset();
+  lock_blocks.Reset();
+  lock_reevals.Reset();
+  reevals.Reset();
+  reassigns.Reset();
+  po_aborts.Reset();
+  cascade_aborts.Reset();
+  output_aborts.Reset();
+  validations.Reset();
+  validation_fails.Reset();
+  validation_rescans.Reset();
+  search_nodes.Reset();
+  commit_waits.Reset();
+  wait_micros.Reset();
+}
+
+}  // namespace nonserial

@@ -1,0 +1,91 @@
+#ifndef NONSERIAL_COMMON_METRICS_H_
+#define NONSERIAL_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace nonserial {
+
+/// A monotonically increasing event counter. Thread-safe; increments use
+/// relaxed atomics (counters are statistics, not synchronization).
+class Counter {
+ public:
+  void Add(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A histogram over non-negative integer samples with power-of-two buckets:
+/// bucket b counts samples v with 2^(b-1) <= v < 2^b (bucket 0 counts v==0).
+/// Thread-safe via relaxed atomics; totals are maintained so mean() needs no
+/// bucket walk.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 33;
+
+  void Record(int64_t value);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t max() const { return max_.load(std::memory_order_relaxed); }
+  double mean() const;
+
+  /// Upper bound of the bucket containing the p-quantile (p in [0, 1]).
+  int64_t ApproxPercentile(double p) const;
+
+  /// Compact one-line rendering: "n=… mean=… p50≤… p99≤… max=…".
+  std::string ToString() const;
+
+  void Reset();
+
+ private:
+  std::atomic<int64_t> buckets_[kNumBuckets] = {};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+/// The stats layer shared by the protocol engine, the lock manager, and the
+/// drivers. One instance per run; every member is individually thread-safe,
+/// so components update it concurrently without coordination.
+struct ProtocolMetrics {
+  // Lock-manager outcomes (Figure 3 matrix results).
+  Counter lock_grants;      ///< Requests answered "true" immediately.
+  Counter lock_blocks;      ///< Rv/R requests refused by an active W.
+  Counter lock_reevals;     ///< W grants that triggered re-evaluation.
+
+  // Figure 4 re-evaluation routine.
+  Counter reevals;          ///< Routine invocations (one per conflicted W).
+  Counter reassigns;        ///< Readers re-assigned to the new version.
+
+  // Aborts by cause.
+  Counter po_aborts;        ///< Partial-order invalidation (read too early).
+  Counter cascade_aborts;   ///< Readers of rolled-back versions.
+  Counter output_aborts;    ///< Output condition failed at commit.
+
+  // Validation phase.
+  Counter validations;        ///< Successful version assignments.
+  Counter validation_fails;   ///< Searches that found no assignment.
+  Counter validation_rescans; ///< Optimistic searches retried because the
+                              ///< store changed while searching unlocked.
+  Histogram search_nodes;     ///< Assignment-search nodes per validation.
+
+  // Driver-level waiting.
+  Counter commit_waits;     ///< Commit attempts parked on a predecessor.
+  Histogram wait_micros;    ///< Wall-clock µs per blocked episode (parallel
+                            ///< driver only; the tick simulator has no wall
+                            ///< clock).
+
+  /// Multi-line human-readable dump (omits never-touched members).
+  std::string Summary() const;
+
+  void Reset();
+};
+
+}  // namespace nonserial
+
+#endif  // NONSERIAL_COMMON_METRICS_H_

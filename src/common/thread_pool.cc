@@ -1,0 +1,100 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace nonserial {
+
+ThreadPool::ThreadPool(int num_threads) {
+  num_threads = std::max(num_threads, 0);
+  threads_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  if (threads_.empty()) {
+    fn();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained.
+      fn = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    fn();
+  }
+}
+
+void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  int helpers = std::min(size(), n - 1);
+  if (helpers <= 0) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Shared dynamic-index state; helpers may outlive this stack frame only
+  // until done_cv fires, so everything lives in a shared_ptr.
+  struct Work {
+    std::atomic<int> next{0};
+    std::atomic<int> completed{0};
+    std::mutex mu;
+    std::condition_variable done_cv;
+    int total = 0;
+  };
+  auto work = std::make_shared<Work>();
+  work->total = n;
+  auto run_chunk = [work, &fn]() {
+    for (;;) {
+      int i = work->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= work->total) break;
+      fn(i);
+      if (work->completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          work->total) {
+        std::lock_guard<std::mutex> lock(work->mu);
+        work->done_cv.notify_all();
+      }
+    }
+  };
+  // Helpers share `fn` by reference: safe because the caller blocks below
+  // until every index completed, and helpers touch fn only before that.
+  for (int h = 0; h < helpers; ++h) Submit(run_chunk);
+  run_chunk();
+  std::unique_lock<std::mutex> lock(work->mu);
+  work->done_cv.wait(lock, [&] {
+    return work->completed.load(std::memory_order_acquire) == work->total;
+  });
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = [] {
+    int hw = static_cast<int>(std::thread::hardware_concurrency());
+    return new ThreadPool(std::clamp(hw, 1, 8));
+  }();
+  return *pool;
+}
+
+}  // namespace nonserial

@@ -67,7 +67,8 @@ std::string SummarizeStats(const ConcurrencyController& controller) {
           dynamic_cast<const CorrectExecutionProtocol*>(&controller)) {
     const CorrectExecutionProtocol::Stats& s = cep->stats();
     os << "validations=" << s.validations
-       << " retries=" << s.validation_retries << " reevals=" << s.reevals
+       << " retries=" << s.validation_retries
+       << " rescans=" << s.validation_rescans << " reevals=" << s.reevals
        << " reassigns=" << s.reassigns << " po_aborts=" << s.po_aborts
        << " cascade_aborts=" << s.cascade_aborts
        << " search_nodes=" << s.search.nodes_visited;

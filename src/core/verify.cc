@@ -1,9 +1,11 @@
 #include "core/verify.h"
 
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "common/strings.h"
+#include "common/thread_pool.h"
 
 namespace nonserial {
 
@@ -25,21 +27,27 @@ Status VerifyCepHistory(const SimWorkload& workload,
     }
   }
 
+  // Replay each committed transaction's writes as constant effects (the
+  // transaction's mapping applied to X(t) reproduces exactly the values it
+  // wrote). Leaf construction is independent per transaction, so it fans
+  // out over the shared pool; insertion into the tree stays ordered.
+  std::vector<std::pair<LeafProgram, Specification>> leaves(committed.size());
+  ThreadPool::Shared().ParallelFor(
+      static_cast<int>(committed.size()), [&](int i) {
+        int tx = committed[i];
+        const CorrectExecutionProtocol::TxRecord& record = records[tx];
+        for (const auto& [entity, value] : record.writes) {
+          leaves[i].first.AddWrite(entity, Expr::Const(value));
+        }
+        leaves[i].second.input = workload.txs[tx].input;
+        leaves[i].second.output = workload.txs[tx].output;
+      });
   TransactionTree tree;
   std::vector<int> child_nodes;
-  for (int tx : committed) {
-    const CorrectExecutionProtocol::TxRecord& record = records[tx];
-    LeafProgram program;
-    // Replay the committed writes as constant effects: the transaction's
-    // mapping applied to X(t) reproduces exactly the values it wrote.
-    for (const auto& [entity, value] : record.writes) {
-      program.AddWrite(entity, Expr::Const(value));
-    }
-    Specification spec;
-    spec.input = workload.txs[tx].input;
-    spec.output = workload.txs[tx].output;
-    child_nodes.push_back(tree.AddLeaf(record.name, std::move(program),
-                                       std::move(spec)));
+  for (size_t i = 0; i < committed.size(); ++i) {
+    child_nodes.push_back(tree.AddLeaf(records[committed[i]].name,
+                                       std::move(leaves[i].first),
+                                       std::move(leaves[i].second)));
   }
 
   // t_f: reads the final database; its input condition is the database
@@ -71,34 +79,46 @@ Status VerifyCepHistory(const SimWorkload& workload,
   int root = tree.AddInternal("root", child_nodes, partial_order, root_spec,
                               /*final_child=*/tf_position);
   tree.SetRoot(root);
-  NONSERIAL_RETURN_IF_ERROR(tree.Validate());
 
-  // The execution (R, X): X from the protocol's recorded input states and
-  // the final snapshot; R from the recorded version authors.
+  // Structural validation of the tree and assembly of the execution (R, X)
+  // are independent; overlap them. X comes from the protocol's recorded
+  // input states and the final snapshot; R from the recorded version
+  // authors.
+  Status validate_status;
+  Status exec_status;
   TreeExecution exec;
-  exec.root_input = workload.initial;
-  NodeExecution ne;
-  ne.inputs.assign(child_nodes.size(), ValueVector());
-  for (int tx : committed) {
-    const CorrectExecutionProtocol::TxRecord& record = records[tx];
-    ne.inputs[position_of[tx]] = record.input_state;
-    for (int feeder : record.feeder_txs) {
-      auto it = position_of.find(feeder);
-      if (it == position_of.end()) {
-        return Status::Internal(StrCat(
-            "committed transaction '", record.name,
-            "' was assigned a version authored by uncommitted transaction ",
-            feeder, " — commit rule 2 violated"));
-      }
-      ne.reads_from.push_back({it->second, position_of[tx]});
+  ThreadPool::Shared().ParallelFor(2, [&](int task) {
+    if (task == 0) {
+      validate_status = tree.Validate();
+      return;
     }
-  }
-  // t_f observes the final committed database; it may read from anyone.
-  ne.inputs[tf_position] = store.LatestCommittedSnapshot();
-  for (int tx : committed) {
-    ne.reads_from.push_back({position_of[tx], tf_position});
-  }
-  exec.node_executions[root] = std::move(ne);
+    exec.root_input = workload.initial;
+    NodeExecution ne;
+    ne.inputs.assign(child_nodes.size(), ValueVector());
+    for (int tx : committed) {
+      const CorrectExecutionProtocol::TxRecord& record = records[tx];
+      ne.inputs[position_of[tx]] = record.input_state;
+      for (int feeder : record.feeder_txs) {
+        auto it = position_of.find(feeder);
+        if (it == position_of.end()) {
+          exec_status = Status::Internal(StrCat(
+              "committed transaction '", record.name,
+              "' was assigned a version authored by uncommitted transaction ",
+              feeder, " — commit rule 2 violated"));
+          return;
+        }
+        ne.reads_from.push_back({it->second, position_of[tx]});
+      }
+    }
+    // t_f observes the final committed database; it may read from anyone.
+    ne.inputs[tf_position] = store.LatestCommittedSnapshot();
+    for (int tx : committed) {
+      ne.reads_from.push_back({position_of[tx], tf_position});
+    }
+    exec.node_executions[root] = std::move(ne);
+  });
+  NONSERIAL_RETURN_IF_ERROR(validate_status);
+  NONSERIAL_RETURN_IF_ERROR(exec_status);
 
   return CheckCorrectExecution(tree, exec);
 }

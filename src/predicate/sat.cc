@@ -86,11 +86,49 @@ struct DpllState {
     return true;
   }
 
+  // Assigns every pure literal (a variable occurring with one polarity
+  // among the not-yet-satisfied clauses) the value that satisfies its
+  // occurrences. Never conflicts, but may create fresh units, so callers
+  // alternate with Propagate until fixpoint. Returns true iff anything was
+  // assigned.
+  bool EliminatePureLiterals(std::vector<int>* trail) {
+    // Bit 0: positive occurrence; bit 1: negated occurrence.
+    std::vector<uint8_t> polarity(formula->num_vars, 0);
+    for (const std::vector<BoolLiteral>& clause : formula->clauses) {
+      bool satisfied = false;
+      for (const BoolLiteral& lit : clause) {
+        if (LitTrue(lit)) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (satisfied) continue;
+      for (const BoolLiteral& lit : clause) {
+        if (assignment[lit.var] == Truth::kUnassigned) {
+          polarity[lit.var] |= lit.negated ? 2 : 1;
+        }
+      }
+    }
+    bool assigned = false;
+    for (int v = 0; v < formula->num_vars; ++v) {
+      if (assignment[v] != Truth::kUnassigned) continue;
+      if (polarity[v] != 1 && polarity[v] != 2) continue;
+      assignment[v] = polarity[v] == 1 ? Truth::kTrue : Truth::kFalse;
+      trail->push_back(v);
+      if (stats != nullptr) ++stats->pure_eliminations;
+      assigned = true;
+    }
+    return assigned;
+  }
+
   bool Solve() {
     std::vector<int> trail;
-    if (!Propagate(&trail)) {
-      Undo(trail);
-      return false;
+    for (;;) {
+      if (!Propagate(&trail)) {
+        Undo(trail);
+        return false;
+      }
+      if (!EliminatePureLiterals(&trail)) break;
     }
     int var = PickBranchVariable();
     if (var < 0) return true;  // All assigned, no conflict: satisfiable.

@@ -36,6 +36,7 @@ struct BoolFormula {
 struct SatStats {
   int64_t decisions = 0;
   int64_t unit_propagations = 0;
+  int64_t pure_eliminations = 0;
   int64_t backtracks = 0;
 };
 

@@ -11,14 +11,17 @@ CorrectExecutionProtocol::CorrectExecutionProtocol(VersionStore* store)
 
 CorrectExecutionProtocol::CorrectExecutionProtocol(VersionStore* store,
                                                    Options options)
-    : store_(store), options_(options), locks_(store->num_entities()) {
+    : store_(store),
+      options_(options),
+      locks_(store->num_entities(), options.metrics) {
   initial_snapshot_.resize(store->num_entities());
   for (EntityId e = 0; e < store->num_entities(); ++e) {
-    initial_snapshot_[e] = store->Chain(e)[0].value;
+    initial_snapshot_[e] = store->VersionAt(e, 0).value;
   }
 }
 
 void CorrectExecutionProtocol::Register(int tx, TxProfile profile) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (tx >= static_cast<int>(txs_.size())) {
     txs_.resize(tx + 1);
     records_.resize(tx + 1);
@@ -90,32 +93,50 @@ std::vector<VersionRef> CorrectExecutionProtocol::AllowableVersions(
   return out;
 }
 
-bool CorrectExecutionProtocol::SolveAssignment(
-    int tx, const std::map<EntityId, VersionRef>& pinned) {
-  TxState& state = txs_[tx];
+CorrectExecutionProtocol::CandidateSnapshot
+CorrectExecutionProtocol::GatherCandidates(
+    int tx, const std::map<EntityId, VersionRef>& pinned) const {
+  const TxState& state = txs_[tx];
   int n = store_->num_entities();
-  std::vector<std::vector<Value>> values(n);
-  std::vector<std::vector<VersionRef>> refs(n);
+  CandidateSnapshot snapshot;
+  snapshot.refs.resize(n);
+  snapshot.values.resize(n);
   for (EntityId e = 0; e < n; ++e) {
     auto pin = pinned.find(e);
     if (pin != pinned.end()) {
-      refs[e] = {pin->second};
+      snapshot.refs[e] = {pin->second};
     } else if (state.input_entities.contains(e)) {
-      refs[e] = AllowableVersions(tx, e);
+      snapshot.refs[e] = AllowableVersions(tx, e);
     } else {
-      refs[e] = {VersionRef{e, 0}};
+      snapshot.refs[e] = {VersionRef{e, 0}};
     }
-    values[e].reserve(refs[e].size());
-    for (const VersionRef& ref : refs[e]) {
-      values[e].push_back(store_->Read(ref));
+    snapshot.values[e].reserve(snapshot.refs[e].size());
+    for (const VersionRef& ref : snapshot.refs[e]) {
+      snapshot.values[e].push_back(store_->Read(ref));
     }
   }
-  std::optional<std::vector<int>> choice = FindSatisfyingAssignment(
-      state.profile.input, values, options_.search_mode, &stats_.search);
-  if (!choice.has_value()) return false;
+  for (EntityId e : state.input_entities) {
+    snapshot.stamps[e] = store_->ChainSize(e);
+  }
+  return snapshot;
+}
+
+bool CorrectExecutionProtocol::SnapshotStillValid(
+    const CandidateSnapshot& snapshot, const std::vector<int>& choice) const {
+  for (const auto& [e, size] : snapshot.stamps) {
+    if (store_->ChainSize(e) != size) return false;
+    const VersionRef& ref = snapshot.refs[e][choice[e]];
+    if (store_->At(ref).dead) return false;
+  }
+  return true;
+}
+
+void CorrectExecutionProtocol::InstallAssignment(
+    int tx, const CandidateSnapshot& snapshot, const std::vector<int>& choice) {
+  TxState& state = txs_[tx];
   state.assigned.clear();
   for (EntityId e : state.input_entities) {
-    state.assigned[e] = refs[e][(*choice)[e]];
+    state.assigned[e] = snapshot.refs[e][choice[e]];
   }
   state.input_view = initial_snapshot_;
   for (const auto& [e, ref] : state.assigned) {
@@ -123,20 +144,30 @@ bool CorrectExecutionProtocol::SolveAssignment(
   }
   state.local_view = state.input_view;
   for (const auto& [e, idx] : state.own_latest) {
-    state.local_view[e] = store_->Chain(e)[idx].value;
+    state.local_view[e] = store_->VersionAt(e, idx).value;
   }
+}
+
+bool CorrectExecutionProtocol::SolveAssignment(
+    int tx, const std::map<EntityId, VersionRef>& pinned) {
+  CandidateSnapshot snapshot = GatherCandidates(tx, pinned);
+  std::optional<std::vector<int>> choice = FindSatisfyingAssignment(
+      txs_[tx].profile.input, snapshot.values, options_.search_mode,
+      &stats_.search);
+  if (!choice.has_value()) return false;
+  InstallAssignment(tx, snapshot, *choice);
   return true;
 }
 
 ReqResult CorrectExecutionProtocol::Begin(int tx) {
-  TxState& state = txs_[tx];
-  NONSERIAL_CHECK(state.phase == Phase::kIdle ||
-                  state.phase == Phase::kValidating)
+  std::unique_lock<std::mutex> lock(mu_);
+  NONSERIAL_CHECK(txs_[tx].phase == Phase::kIdle ||
+                  txs_[tx].phase == Phase::kValidating)
       << "Begin on transaction in phase "
-      << static_cast<int>(state.phase);
-  state.phase = Phase::kValidating;
+      << static_cast<int>(txs_[tx].phase);
+  txs_[tx].phase = Phase::kValidating;
   // Validation, part 0: Rv locks protect the version assignment.
-  for (EntityId e : state.input_entities) {
+  for (EntityId e : txs_[tx].input_entities) {
     if (locks_.HoldsRv(tx, e)) continue;
     if (locks_.Acquire(tx, e, KsLockMode::kRv) == KsLockOutcome::kBlocked) {
       read_waiters_[e].insert(tx);
@@ -145,20 +176,52 @@ ReqResult CorrectExecutionProtocol::Begin(int tx) {
     }
   }
   // Validation, parts 1 + 2: allowable-version sets, then the (NP-complete
-  // in general) satisfying-assignment search.
-  if (!SolveAssignment(tx, {})) {
-    ++stats_.validation_retries;
-    validation_waiters_[tx] = state.input_entities;
-    Emit(CepEvent::Kind::kValidationWait, tx);
-    return ReqResult::kBlocked;
+  // in general) satisfying-assignment search. The search runs outside the
+  // engine lock — candidates and chain stamps are snapshotted under the
+  // lock, and the assignment only installs if the stamps still hold. The
+  // Rv locks held across the window turn any concurrent write into a
+  // Figure 4 re-evaluation, so nothing is admitted that the fully locked
+  // protocol would reject; a failed revalidation just rescans.
+  for (;;) {
+    CandidateSnapshot snapshot = GatherCandidates(tx, {});
+    // The profile is immutable while an attempt is in flight (Register
+    // precedes driving; Abort runs on this transaction's own thread).
+    const Predicate& input = txs_[tx].profile.input;
+    lock.unlock();
+    SearchStats search;
+    std::optional<std::vector<int>> choice = FindSatisfyingAssignment(
+        input, snapshot.values, options_.search_mode, &search);
+    lock.lock();
+    stats_.search.nodes_visited += search.nodes_visited;
+    stats_.search.evaluations += search.evaluations;
+    if (options_.metrics != nullptr) {
+      options_.metrics->search_nodes.Record(search.nodes_visited);
+    }
+    if (!choice.has_value()) {
+      ++stats_.validation_retries;
+      if (options_.metrics != nullptr) options_.metrics->validation_fails.Add();
+      validation_waiters_[tx] = txs_[tx].input_entities;
+      Emit(CepEvent::Kind::kValidationWait, tx);
+      return ReqResult::kBlocked;
+    }
+    if (!SnapshotStillValid(snapshot, *choice)) {
+      ++stats_.validation_rescans;
+      if (options_.metrics != nullptr) {
+        options_.metrics->validation_rescans.Add();
+      }
+      continue;
+    }
+    InstallAssignment(tx, snapshot, *choice);
+    ++stats_.validations;
+    if (options_.metrics != nullptr) options_.metrics->validations.Add();
+    txs_[tx].phase = Phase::kExecuting;
+    Emit(CepEvent::Kind::kValidated, tx);
+    return ReqResult::kGranted;
   }
-  ++stats_.validations;
-  state.phase = Phase::kExecuting;
-  Emit(CepEvent::Kind::kValidated, tx);
-  return ReqResult::kGranted;
 }
 
 ReqResult CorrectExecutionProtocol::Read(int tx, EntityId e, Value* out) {
+  std::lock_guard<std::mutex> lock(mu_);
   TxState& state = txs_[tx];
   NONSERIAL_CHECK(state.phase == Phase::kExecuting);
   NONSERIAL_CHECK(state.input_entities.contains(e))
@@ -176,6 +239,7 @@ ReqResult CorrectExecutionProtocol::Read(int tx, EntityId e, Value* out) {
 }
 
 ReqResult CorrectExecutionProtocol::Write(int tx, EntityId e, Value value) {
+  std::lock_guard<std::mutex> lock(mu_);
   TxState& state = txs_[tx];
   NONSERIAL_CHECK(state.phase == Phase::kExecuting);
   KsLockOutcome outcome = locks_.Acquire(tx, e, KsLockMode::kW);
@@ -189,6 +253,7 @@ ReqResult CorrectExecutionProtocol::Write(int tx, EntityId e, Value value) {
 }
 
 void CorrectExecutionProtocol::WriteDone(int tx, EntityId e) {
+  std::lock_guard<std::mutex> lock(mu_);
   locks_.ReleaseWrite(tx, e);
   if (!locks_.HasActiveWriter(e)) {
     auto it = read_waiters_.find(e);
@@ -202,12 +267,15 @@ void CorrectExecutionProtocol::WriteDone(int tx, EntityId e) {
 
 void CorrectExecutionProtocol::ReEvaluate(int writer, EntityId e) {
   ++stats_.reevals;
+  if (options_.metrics != nullptr) options_.metrics->reevals.Add();
   Emit(CepEvent::Kind::kReEval, writer, -1, e);
   for (int reader : locks_.Readers(e)) {
     if (reader == writer) continue;
     TxState& r = txs_[reader];
     if (r.phase == Phase::kValidating) {
       // Not yet assigned: simply retry validation with the new version.
+      // (A reader mid-optimistic-search also lands here; its chain stamp
+      // for `e` changed, so the pending install rescans on its own.)
       Wake(reader);
       continue;
     }
@@ -231,6 +299,7 @@ void CorrectExecutionProtocol::ReEvaluate(int writer, EntityId e) {
 
 void CorrectExecutionProtocol::ReAssign(int reader, int writer, EntityId e) {
   ++stats_.reassigns;
+  if (options_.metrics != nullptr) options_.metrics->reassigns.Add();
   TxState& r = txs_[reader];
   std::map<EntityId, VersionRef> pinned;
   for (EntityId read_entity : r.reads_done) {
@@ -247,12 +316,18 @@ void CorrectExecutionProtocol::ReAssign(int reader, int writer, EntityId e) {
 }
 
 ReqResult CorrectExecutionProtocol::Commit(int tx) {
+  std::lock_guard<std::mutex> lock(mu_);
   TxState& state = txs_[tx];
   NONSERIAL_CHECK(state.phase == Phase::kExecuting);
+  // A pending forced abort (Figure 4 partial-order invalidation or a
+  // cascade) kills the attempt even if the owner races it to Commit: both
+  // run under the engine lock, so exactly one of {doom, commit} wins.
+  if (state.doomed) return ReqResult::kAborted;
   // Termination rule 1: all P-predecessors have committed.
   for (int pred : state.profile.predecessors) {
     if (txs_[pred].phase != Phase::kCommitted) {
       commit_waiters_[pred].insert(tx);
+      if (options_.metrics != nullptr) options_.metrics->commit_waits.Add();
       Emit(CepEvent::Kind::kCommitWait, tx, pred);
       return ReqResult::kBlocked;
     }
@@ -262,16 +337,28 @@ ReqResult CorrectExecutionProtocol::Commit(int tx) {
   // to a rolled-back version after commit. Wait-cycles among mutually
   // assigned transactions are broken by aborting the requester.
   for (const auto& [e, ref] : state.assigned) {
-    int author = store_->At(ref).writer;
-    if (author == kInitialWriter || author == tx) continue;
-    if (txs_[author].phase == Phase::kCommitted) continue;
-    if (WouldDeadlock(tx, author)) return ReqResult::kAborted;
-    commit_waiters_[author].insert(tx);
-    Emit(CepEvent::Kind::kCommitWait, tx, author);
+    Version v = store_->At(ref);
+    if (v.writer == kInitialWriter || v.writer == tx) continue;
+    if (v.dead) {
+      // The assigned version was rolled back and the re-assignment pass
+      // missed it or was impossible: committing would publish a read of a
+      // version that never existed. Abort instead — the author's *phase*
+      // may even be committed (a later attempt of the same runtime id),
+      // which is exactly why the version itself must be checked.
+      ++stats_.cascade_aborts;
+      if (options_.metrics != nullptr) options_.metrics->cascade_aborts.Add();
+      return ReqResult::kAborted;
+    }
+    if (txs_[v.writer].phase == Phase::kCommitted) continue;
+    if (WouldDeadlock(tx, v.writer)) return ReqResult::kAborted;
+    commit_waiters_[v.writer].insert(tx);
+    if (options_.metrics != nullptr) options_.metrics->commit_waits.Add();
+    Emit(CepEvent::Kind::kCommitWait, tx, v.writer);
     return ReqResult::kBlocked;
   }
   // Termination rule 3: the output condition holds on the final state.
   if (!state.profile.output.Eval(state.local_view)) {
+    if (options_.metrics != nullptr) options_.metrics->output_aborts.Add();
     return ReqResult::kAborted;
   }
   store_->CommitWriter(tx);
@@ -320,6 +407,7 @@ bool CorrectExecutionProtocol::WouldDeadlock(int tx, int target) const {
 }
 
 void CorrectExecutionProtocol::Abort(int tx) {
+  std::lock_guard<std::mutex> lock(mu_);
   TxState& state = txs_[tx];
   if (state.phase == Phase::kIdle) return;
   Emit(CepEvent::Kind::kAborted, tx);
@@ -332,27 +420,38 @@ void CorrectExecutionProtocol::Abort(int tx) {
   locks_.ReleaseAll(tx);
 
   // Readers assigned one of this transaction's (now dead) versions must be
-  // re-assigned, or cascade-aborted if they already consumed the value.
+  // re-assigned, or cascade-aborted if they already consumed a dead value.
+  // The whole assignment is scanned before deciding: a reader that consumed
+  // *any* dead version is doomed even when a different entity's dead
+  // version is still unread (re-solving with the consumed version pinned
+  // would smuggle the rolled-back value into a committed history).
   for (int other = 0; other < static_cast<int>(txs_.size()); ++other) {
     if (other == tx) continue;
     TxState& o = txs_[other];
     if (o.phase != Phase::kExecuting) continue;
+    bool uses_victim = false;
+    bool read_victim = false;
     for (const auto& [e, ref] : o.assigned) {
       if (store_->At(ref).writer != tx) continue;
+      uses_victim = true;
       if (o.reads_done.contains(e)) {
-        ForceAbort(other, &stats_.cascade_aborts,
-                   CepEvent::Kind::kCascadeAbort);
-      } else {
-        std::map<EntityId, VersionRef> pinned;
-        for (EntityId read_entity : o.reads_done) {
-          pinned[read_entity] = o.assigned.at(read_entity);
-        }
-        if (!SolveAssignment(other, pinned)) {
-          ForceAbort(other, &stats_.cascade_aborts,
-                     CepEvent::Kind::kCascadeAbort);
-        }
+        read_victim = true;
+        break;
       }
-      break;  // o.assigned was rebuilt or o is doomed; stop iterating it.
+    }
+    if (!uses_victim) continue;
+    if (read_victim) {
+      ForceAbort(other, &stats_.cascade_aborts, CepEvent::Kind::kCascadeAbort);
+      continue;
+    }
+    // Every use is still unread; the pins (entities already read) therefore
+    // reference other authors' live versions only.
+    std::map<EntityId, VersionRef> pinned;
+    for (EntityId read_entity : o.reads_done) {
+      pinned[read_entity] = o.assigned.at(read_entity);
+    }
+    if (!SolveAssignment(other, pinned)) {
+      ForceAbort(other, &stats_.cascade_aborts, CepEvent::Kind::kCascadeAbort);
     }
   }
 
@@ -402,6 +501,7 @@ void CorrectExecutionProtocol::WakeValidationWaiters(EntityId e) {
 }
 
 std::vector<VersionRef> CorrectExecutionProtocol::PinnedVersions() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<VersionRef> out;
   for (const TxState& state : txs_) {
     if (state.phase != Phase::kValidating &&
@@ -414,6 +514,7 @@ std::vector<VersionRef> CorrectExecutionProtocol::PinnedVersions() const {
 }
 
 const ValueVector* CorrectExecutionProtocol::InputView(int tx) const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (tx < 0 || tx >= static_cast<int>(txs_.size())) return nullptr;
   const TxState& state = txs_[tx];
   if (state.phase != Phase::kExecuting &&
@@ -424,8 +525,14 @@ const ValueVector* CorrectExecutionProtocol::InputView(int tx) const {
 }
 
 bool CorrectExecutionProtocol::IsCommitted(int tx) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return tx >= 0 && tx < static_cast<int>(txs_.size()) &&
          txs_[tx].phase == Phase::kCommitted;
+}
+
+CorrectExecutionProtocol::Stats CorrectExecutionProtocol::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
 }
 
 void CorrectExecutionProtocol::Wake(int tx) { wakeups_.insert(tx); }
@@ -434,8 +541,14 @@ void CorrectExecutionProtocol::ForceAbort(int tx, int64_t* counter,
                                           CepEvent::Kind reason) {
   TxState& state = txs_[tx];
   if (state.phase == Phase::kIdle || state.phase == Phase::kCommitted) return;
-  if (forced_aborts_.contains(tx)) return;
+  if (state.doomed) return;  // Already condemned (signal may be drained).
   ++*counter;
+  if (options_.metrics != nullptr) {
+    (reason == CepEvent::Kind::kPoAbort ? options_.metrics->po_aborts
+                                        : options_.metrics->cascade_aborts)
+        .Add();
+  }
+  state.doomed = true;
   forced_aborts_.insert(tx);
   Emit(reason, tx);
 }
@@ -453,12 +566,14 @@ void CorrectExecutionProtocol::Emit(CepEvent::Kind kind, int tx, int other,
 }
 
 std::vector<int> CorrectExecutionProtocol::TakeWakeups() {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<int> out(wakeups_.begin(), wakeups_.end());
   wakeups_.clear();
   return out;
 }
 
 std::vector<int> CorrectExecutionProtocol::TakeForcedAborts() {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<int> out(forced_aborts_.begin(), forced_aborts_.end());
   forced_aborts_.clear();
   return out;

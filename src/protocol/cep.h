@@ -2,10 +2,12 @@
 #define NONSERIAL_PROTOCOL_CEP_H_
 
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "graph/digraph.h"
 #include "predicate/assignment_search.h"
 #include "protocol/controller.h"
@@ -38,10 +40,29 @@ namespace nonserial {
 ///
 /// Theorem 2 of the paper: every history this protocol admits is a correct
 /// execution; the simulator re-verifies this with the Section 3 checker.
+///
+/// Thread safety: the engine is a monitor — one internal mutex guards the
+/// per-transaction state, the precedence graph, and the waiter maps, so any
+/// number of client threads may drive different transactions concurrently.
+/// The expensive part of validation (the NP-complete satisfying-assignment
+/// search) deliberately runs *outside* the monitor: Begin snapshots the
+/// allowable-version candidates plus per-entity chain-size stamps under the
+/// lock, searches unlocked, then revalidates the stamps before installing
+/// the assignment (a changed stamp or a dead chosen version forces a
+/// rescan, counted in metrics as validation_rescans). The Rv locks held
+/// throughout make concurrent writes trigger Figure 4 re-evaluation, so the
+/// optimistic window never admits an assignment the locked protocol would
+/// have rejected.
+///
+/// Per-transaction calls (Begin/Read/Write/WriteDone/Commit/Abort for one
+/// tx id) must stay on a single thread at a time — that thread owns the
+/// transaction's phase transitions; the engine protects everything else.
 class CorrectExecutionProtocol : public ConcurrencyController {
  public:
   struct Options {
     SearchMode search_mode = SearchMode::kPruned;
+    /// Sink for lock/validation/abort counters; not owned, may be null.
+    ProtocolMetrics* metrics = nullptr;
   };
 
   /// Per-transaction outcome record used to rebuild a model-layer
@@ -57,6 +78,7 @@ class CorrectExecutionProtocol : public ConcurrencyController {
   struct Stats {
     int64_t validations = 0;          ///< Successful version assignments.
     int64_t validation_retries = 0;   ///< Unsatisfiable or lock-blocked.
+    int64_t validation_rescans = 0;   ///< Optimistic search invalidated.
     int64_t reassigns = 0;            ///< Figure 4 re-assign invocations.
     int64_t reassign_failures = 0;    ///< Re-assign found no assignment.
     int64_t reevals = 0;              ///< Figure 4 routine invocations.
@@ -79,19 +101,24 @@ class CorrectExecutionProtocol : public ConcurrencyController {
   std::vector<int> TakeWakeups() override;
   std::vector<int> TakeForcedAborts() override;
 
-  const Stats& stats() const { return stats_; }
+  /// Snapshot of the counters (copies under the engine lock).
+  Stats stats() const;
 
   /// Records for committed transactions (indexed by tx id; uncommitted
-  /// transactions have committed == false).
+  /// transactions have committed == false). Only safe once driving threads
+  /// have quiesced — the verifier runs after the drivers join.
   const std::vector<TxRecord>& records() const { return records_; }
 
   /// Attaches an observer receiving every protocol decision (see trace.h).
   /// Not owned; must outlive the protocol or be detached with nullptr.
+  /// Call before driving threads start; events are emitted under the engine
+  /// lock, so the observer needs no synchronization of its own.
   void SetObserver(CepObserver* observer) { observer_ = observer; }
 
   /// The input version state X(t) currently assigned to an executing
   /// transaction (nullptr before validation or after termination). Used by
-  /// the hierarchical protocol to seed a child scope.
+  /// the hierarchical protocol to seed a child scope. Single-threaded use
+  /// only (returns a pointer into engine state).
   const ValueVector* InputView(int tx) const;
 
   /// True iff the transaction has committed.
@@ -112,6 +139,12 @@ class CorrectExecutionProtocol : public ConcurrencyController {
   struct TxState {
     TxProfile profile;
     Phase phase = Phase::kIdle;
+    /// Set by ForceAbort (Figure 4 invalidation or cascade): the attempt
+    /// must not commit. Commit checks this under the engine lock, so a
+    /// forced abort and a racing Commit from the owning thread serialize
+    /// correctly even after the driver drained the signal. Cleared when the
+    /// owner processes the Abort.
+    bool doomed = false;
     std::set<EntityId> input_entities;        ///< N_t.
     std::map<EntityId, VersionRef> assigned;  ///< X(t) over N_t.
     std::set<EntityId> reads_done;            ///< Entities actually read.
@@ -121,6 +154,14 @@ class CorrectExecutionProtocol : public ConcurrencyController {
     ValueVector local_view;  ///< input_view overlaid with own writes.
   };
 
+  /// Candidate snapshot for one optimistic validation attempt: per-entity
+  /// refs/values plus the chain-size stamps they were gathered under.
+  struct CandidateSnapshot {
+    std::vector<std::vector<VersionRef>> refs;    ///< Per entity.
+    std::vector<std::vector<Value>> values;       ///< Parallel to refs.
+    std::map<EntityId, int> stamps;               ///< ChainSize per N_t entity.
+  };
+
   bool Reaches(int from, int to) const;  ///< P+ over registered txs.
 
   /// Computes the allowable-version candidates for entity `e` as seen by
@@ -128,9 +169,22 @@ class CorrectExecutionProtocol : public ConcurrencyController {
   /// to a specific version (re-assign) via `pin`.
   std::vector<VersionRef> AllowableVersions(int tx, EntityId e) const;
 
+  /// Gathers the candidate sets for `tx` under the engine lock.
+  CandidateSnapshot GatherCandidates(
+      int tx, const std::map<EntityId, VersionRef>& pinned) const;
+
+  /// True iff the snapshot still reflects the store: stamps unchanged and
+  /// the chosen refs alive. Caller holds the engine lock.
+  bool SnapshotStillValid(const CandidateSnapshot& snapshot,
+                          const std::vector<int>& choice) const;
+
+  /// Installs a found assignment into `tx`'s state. Caller holds the lock.
+  void InstallAssignment(int tx, const CandidateSnapshot& snapshot,
+                         const std::vector<int>& choice);
+
   /// Runs the version-assignment search for `tx` with per-entity pinned
-  /// refs (entities already read, or the re-assign target). Returns true
-  /// and installs the assignment on success.
+  /// refs (entities already read, or the re-assign target) synchronously
+  /// under the engine lock. Returns true and installs on success.
   bool SolveAssignment(int tx, const std::map<EntityId, VersionRef>& pinned);
 
   /// Figure 4: reacts to `writer` creating a new version of `e`.
@@ -153,6 +207,12 @@ class CorrectExecutionProtocol : public ConcurrencyController {
   VersionStore* store_;
   Options options_;
   KsLockManager locks_;
+
+  /// Engine lock (monitor). Ordering: mu_ may be held while taking the
+  /// store's shard locks or the lock manager's shard mutexes, never the
+  /// other way around (neither component calls back into the engine).
+  mutable std::mutex mu_;
+
   std::vector<TxState> txs_;
   std::vector<TxRecord> records_;
   Digraph precedence_;  ///< P over transaction ids.

@@ -4,34 +4,51 @@
 
 namespace nonserial {
 
-KsLockManager::KsLockManager(int num_entities)
-    : rv_holders_(num_entities),
-      r_holders_(num_entities),
-      w_holders_(num_entities) {}
+KsLockManager::KsLockManager(int num_entities, ProtocolMetrics* metrics)
+    : entities_(num_entities),
+      shards_(new Shard[kNumShards]),
+      metrics_(metrics) {}
+
+bool KsLockManager::HasActiveWriterLocked(EntityId e, int other_than) const {
+  for (int holder : entities_[e].w) {
+    if (holder != other_than) return true;
+  }
+  return false;
+}
 
 KsLockOutcome KsLockManager::Acquire(int tx, EntityId e, KsLockMode mode) {
   NONSERIAL_CHECK_GE(e, 0);
   NONSERIAL_CHECK_LT(e, num_entities());
+  std::lock_guard<std::mutex> lock(ShardOf(e));
+  EntityLocks& locks = entities_[e];
   switch (mode) {
     case KsLockMode::kRv:
     case KsLockMode::kR: {
-      if (HasActiveWriter(e, /*other_than=*/tx)) return KsLockOutcome::kBlocked;
-      if (mode == KsLockMode::kRv) {
-        rv_holders_[e].insert(tx);
-      } else {
-        r_holders_[e].insert(tx);
+      if (HasActiveWriterLocked(e, /*other_than=*/tx)) {
+        if (metrics_ != nullptr) metrics_->lock_blocks.Add();
+        return KsLockOutcome::kBlocked;
       }
+      if (mode == KsLockMode::kRv) {
+        locks.rv.insert(tx);
+      } else {
+        locks.r.insert(tx);
+      }
+      if (metrics_ != nullptr) metrics_->lock_grants.Add();
       return KsLockOutcome::kGranted;
     }
     case KsLockMode::kW: {
       bool readers_present = false;
-      for (int holder : rv_holders_[e]) {
+      for (int holder : locks.rv) {
         if (holder != tx) readers_present = true;
       }
-      for (int holder : r_holders_[e]) {
+      for (int holder : locks.r) {
         if (holder != tx) readers_present = true;
       }
-      w_holders_[e].insert(tx);
+      locks.w.insert(tx);
+      if (metrics_ != nullptr) {
+        (readers_present ? metrics_->lock_reevals : metrics_->lock_grants)
+            .Add();
+      }
       return readers_present ? KsLockOutcome::kReEval
                              : KsLockOutcome::kGranted;
     }
@@ -40,47 +57,67 @@ KsLockOutcome KsLockManager::Acquire(int tx, EntityId e, KsLockMode mode) {
 }
 
 KsLockOutcome KsLockManager::UpgradeToRead(int tx, EntityId e) {
-  NONSERIAL_CHECK(HoldsRv(tx, e))
+  NONSERIAL_CHECK_GE(e, 0);
+  NONSERIAL_CHECK_LT(e, num_entities());
+  std::lock_guard<std::mutex> lock(ShardOf(e));
+  EntityLocks& locks = entities_[e];
+  NONSERIAL_CHECK(locks.rv.contains(tx))
       << "read request without a validation lock (tx " << tx << ", entity "
       << e << ")";
-  if (HasActiveWriter(e, /*other_than=*/tx)) return KsLockOutcome::kBlocked;
-  r_holders_[e].insert(tx);
+  if (HasActiveWriterLocked(e, /*other_than=*/tx)) {
+    if (metrics_ != nullptr) metrics_->lock_blocks.Add();
+    return KsLockOutcome::kBlocked;
+  }
+  locks.r.insert(tx);
+  if (metrics_ != nullptr) metrics_->lock_grants.Add();
   return KsLockOutcome::kGranted;
 }
 
 void KsLockManager::ReleaseWrite(int tx, EntityId e) {
-  auto it = w_holders_[e].find(tx);
-  NONSERIAL_CHECK(it != w_holders_[e].end());
-  w_holders_[e].erase(it);
+  NONSERIAL_CHECK_GE(e, 0);
+  NONSERIAL_CHECK_LT(e, num_entities());
+  std::lock_guard<std::mutex> lock(ShardOf(e));
+  std::multiset<int>& w = entities_[e].w;
+  auto it = w.find(tx);
+  NONSERIAL_CHECK(it != w.end());
+  w.erase(it);  // Exactly one hold: tx may have other writes in flight.
 }
 
 void KsLockManager::ReleaseAll(int tx) {
   for (EntityId e = 0; e < num_entities(); ++e) {
-    rv_holders_[e].erase(tx);
-    r_holders_[e].erase(tx);
-    auto range = w_holders_[e].equal_range(tx);
-    w_holders_[e].erase(range.first, range.second);
+    std::lock_guard<std::mutex> lock(ShardOf(e));
+    EntityLocks& locks = entities_[e];
+    locks.rv.erase(tx);
+    locks.r.erase(tx);
+    auto range = locks.w.equal_range(tx);
+    locks.w.erase(range.first, range.second);
   }
 }
 
 bool KsLockManager::HoldsRv(int tx, EntityId e) const {
-  return rv_holders_[e].contains(tx);
+  std::lock_guard<std::mutex> lock(ShardOf(e));
+  return entities_[e].rv.contains(tx);
 }
 
 bool KsLockManager::HoldsR(int tx, EntityId e) const {
-  return r_holders_[e].contains(tx);
+  std::lock_guard<std::mutex> lock(ShardOf(e));
+  return entities_[e].r.contains(tx);
 }
 
 bool KsLockManager::HasActiveWriter(EntityId e, int other_than) const {
-  for (int holder : w_holders_[e]) {
-    if (holder != other_than) return true;
-  }
-  return false;
+  std::lock_guard<std::mutex> lock(ShardOf(e));
+  return HasActiveWriterLocked(e, other_than);
+}
+
+int KsLockManager::WriteHolds(int tx, EntityId e) const {
+  std::lock_guard<std::mutex> lock(ShardOf(e));
+  return static_cast<int>(entities_[e].w.count(tx));
 }
 
 std::vector<int> KsLockManager::Readers(EntityId e) const {
-  std::set<int> readers = rv_holders_[e];
-  readers.insert(r_holders_[e].begin(), r_holders_[e].end());
+  std::lock_guard<std::mutex> lock(ShardOf(e));
+  std::set<int> readers = entities_[e].rv;
+  readers.insert(entities_[e].r.begin(), entities_[e].r.end());
   return std::vector<int>(readers.begin(), readers.end());
 }
 

@@ -1,9 +1,12 @@
 #ifndef NONSERIAL_PROTOCOL_KS_LOCK_MANAGER_H_
 #define NONSERIAL_PROTOCOL_KS_LOCK_MANAGER_H_
 
+#include <memory>
+#include <mutex>
 #include <set>
 #include <vector>
 
+#include "common/metrics.h"
 #include "predicate/value.h"
 
 namespace nonserial {
@@ -30,9 +33,18 @@ enum class KsLockOutcome {
 /// short — held only for the duration of one write — and never block on
 /// anything; instead a W acquisition returns kReEval when readers hold
 /// Rv/R locks so the protocol can run the Figure 4 re-evaluation routine.
+///
+/// Thread safety: the table is sharded by entity with one mutex per shard,
+/// so Figure-3 acquisitions on different entities never touch the same
+/// lock word. Single-entity operations lock exactly one shard; ReleaseAll
+/// walks the shards one at a time (each entity's state changes atomically,
+/// the cross-entity sweep is not an atomic cut — the protocol engine
+/// serializes termination itself).
 class KsLockManager {
  public:
-  explicit KsLockManager(int num_entities);
+  /// `metrics`, when non-null, receives lock outcome counters (grants,
+  /// blocks, re-evals). Not owned; must outlive the manager.
+  explicit KsLockManager(int num_entities, ProtocolMetrics* metrics = nullptr);
 
   /// Requests a lock in `mode` for `tx` on entity `e`, per the matrix.
   /// kGranted/kReEval record the lock; kBlocked records nothing.
@@ -53,15 +65,40 @@ class KsLockManager {
   bool HoldsR(int tx, EntityId e) const;
   bool HasActiveWriter(EntityId e, int other_than = -1) const;
 
+  /// Number of W holds `tx` currently has on `e` (diagnostics/tests).
+  int WriteHolds(int tx, EntityId e) const;
+
   /// Current Rv and R holders of `e` (the re-evaluation audience).
   std::vector<int> Readers(EntityId e) const;
 
-  int num_entities() const { return static_cast<int>(rv_holders_.size()); }
+  int num_entities() const { return static_cast<int>(entities_.size()); }
 
  private:
-  std::vector<std::set<int>> rv_holders_;
-  std::vector<std::set<int>> r_holders_;
-  std::vector<std::multiset<int>> w_holders_;
+  static constexpr int kNumShards = 32;
+  static constexpr int kShardMask = kNumShards - 1;
+
+  /// Per-entity lock state. rv/r are sets (one hold per transaction); w is
+  /// a per-transaction hold count — one write operation in flight per
+  /// increment, so a transaction writing the same entity twice holds two
+  /// and each WriteDone releases exactly one.
+  struct EntityLocks {
+    std::set<int> rv;
+    std::set<int> r;
+    std::multiset<int> w;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+  };
+
+  std::mutex& ShardOf(EntityId e) const { return shards_[e & kShardMask].mu; }
+
+  // Caller must hold ShardOf(e).
+  bool HasActiveWriterLocked(EntityId e, int other_than) const;
+
+  std::vector<EntityLocks> entities_;
+  std::unique_ptr<Shard[]> shards_;
+  ProtocolMetrics* metrics_;
 };
 
 }  // namespace nonserial

@@ -1,0 +1,306 @@
+#include "sim/parallel_driver.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace nonserial {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Routes protocol signals to per-transaction flags. Whichever thread
+/// makes a controller call drains the engine's signal sets afterwards and
+/// publishes them here; parked owners wait on the condition variable.
+struct SignalHub {
+  explicit SignalHub(int num_txs)
+      : woken(num_txs, 0), forced(num_txs, 0) {}
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<char> woken;
+  std::vector<char> forced;
+  bool stop = false;
+};
+
+class Driver {
+ public:
+  Driver(const SimWorkload& workload, const ParallelDriverConfig& config,
+         VersionStore* store, CorrectExecutionProtocol* cep)
+      : workload_(workload),
+        config_(config),
+        store_(store),
+        cep_(cep),
+        hub_(static_cast<int>(workload.txs.size())) {
+    result_.tx.resize(workload.txs.size());
+  }
+
+  ParallelRunResult Run() {
+    for (size_t i = 0; i < workload_.txs.size(); ++i) {
+      const SimTx& tx = workload_.txs[i];
+      for (int pred : tx.predecessors) {
+        NONSERIAL_CHECK_LT(pred, static_cast<int>(i))
+            << "parallel driver requires predecessors to precede their "
+               "successors in index order";
+      }
+      TxProfile profile;
+      profile.name = tx.name;
+      profile.input = tx.input;
+      profile.output = tx.output;
+      profile.predecessors = tx.predecessors;
+      cep_->Register(static_cast<int>(i), profile);
+    }
+    Clock::time_point start = Clock::now();
+    deadline_ = start + std::chrono::milliseconds(config_.max_wall_ms);
+
+    int threads = std::max(1, config_.num_threads);
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (int i = 0; i < threads; ++i) {
+      workers.emplace_back([this] { WorkerLoop(); });
+    }
+    for (std::thread& worker : workers) worker.join();
+
+    result_.wall_micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                              Clock::now() - start)
+                              .count();
+    result_.watchdog_expired = Expired();
+    result_.all_committed = true;
+    for (const ParallelTxOutcome& outcome : result_.tx) {
+      result_.total_aborts += outcome.aborts;
+      if (outcome.committed) {
+        ++result_.committed_count;
+      } else {
+        result_.all_committed = false;
+      }
+    }
+    return std::move(result_);
+  }
+
+ private:
+  bool Expired() const { return Clock::now() >= deadline_; }
+
+  void SleepTicks(SimTime ticks) const {
+    int64_t us = ticks * config_.us_per_tick;
+    if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+
+  /// Publishes pending engine signals. Called after every controller call.
+  void Drain() {
+    std::vector<int> forced = cep_->TakeForcedAborts();
+    std::vector<int> woken = cep_->TakeWakeups();
+    if (forced.empty() && woken.empty()) return;
+    {
+      std::lock_guard<std::mutex> lock(hub_.mu);
+      for (int tx : forced) hub_.forced[tx] = 1;
+      for (int tx : woken) hub_.woken[tx] = 1;
+    }
+    hub_.cv.notify_all();
+  }
+
+  bool ForcedPending(int tx) {
+    std::lock_guard<std::mutex> lock(hub_.mu);
+    return hub_.forced[tx] != 0;
+  }
+
+  void ClearSignals(int tx) {
+    std::lock_guard<std::mutex> lock(hub_.mu);
+    hub_.woken[tx] = 0;
+    hub_.forced[tx] = 0;
+  }
+
+  /// Parks until a wakeup or forced abort arrives for `tx` (or the poll
+  /// interval elapses — blocked requests are safe to re-issue). Returns
+  /// true iff a forced abort is pending.
+  bool AwaitSignal(int tx, ParallelTxOutcome* outcome) {
+    Clock::time_point parked = Clock::now();
+    bool forced;
+    {
+      std::unique_lock<std::mutex> lock(hub_.mu);
+      hub_.cv.wait_for(lock, std::chrono::microseconds(config_.poll_us),
+                       [&] {
+                         return hub_.woken[tx] != 0 || hub_.forced[tx] != 0 ||
+                                hub_.stop;
+                       });
+      hub_.woken[tx] = 0;
+      forced = hub_.forced[tx] != 0;
+    }
+    int64_t blocked = std::chrono::duration_cast<std::chrono::microseconds>(
+                          Clock::now() - parked)
+                          .count();
+    outcome->blocked_micros += blocked;
+    if (config_.protocol.metrics != nullptr) {
+      config_.protocol.metrics->wait_micros.Record(blocked);
+    }
+    return forced;
+  }
+
+  void WorkerLoop() {
+    for (;;) {
+      int tx = next_tx_.fetch_add(1, std::memory_order_relaxed);
+      if (tx >= static_cast<int>(workload_.txs.size())) return;
+      RunTx(tx);
+    }
+  }
+
+  void RunTx(int tx) {
+    const SimTx& script = workload_.txs[tx];
+    ParallelTxOutcome outcome;
+    ValueVector local(workload_.initial.size(), 0);
+    std::vector<bool> known(workload_.initial.size(), false);
+    int restarts = 0;
+
+    while (!outcome.committed && !outcome.gave_up) {
+      if (Expired()) {
+        outcome.gave_up = true;
+        break;
+      }
+      ClearSignals(tx);
+      known.assign(known.size(), false);
+      bool aborted = false;
+
+      // Validation phase.
+      for (;;) {
+        ReqResult r = cep_->Begin(tx);
+        Drain();
+        if (r == ReqResult::kGranted) break;
+        if (r == ReqResult::kAborted || AwaitSignal(tx, &outcome) ||
+            Expired()) {
+          aborted = true;
+          break;
+        }
+      }
+
+      // Execution phase.
+      if (!aborted) {
+        for (const SimStep& step : script.steps) {
+          if (ForcedPending(tx) || Expired()) {
+            aborted = true;
+            break;
+          }
+          if (step.kind == SimStep::Kind::kThink) {
+            SleepTicks(step.duration);
+            continue;
+          }
+          if (step.kind == SimStep::Kind::kRead) {
+            for (;;) {
+              Value value = 0;
+              ReqResult r = cep_->Read(tx, step.entity, &value);
+              Drain();
+              if (r == ReqResult::kGranted) {
+                local[step.entity] = value;
+                known[step.entity] = true;
+                break;
+              }
+              if (r == ReqResult::kAborted || AwaitSignal(tx, &outcome) ||
+                  Expired()) {
+                aborted = true;
+                break;
+              }
+            }
+            if (aborted) break;
+            SleepTicks(config_.read_duration + script.think_between_ops);
+            continue;
+          }
+          // Write: never blocks (Figure 3). The W hold spans the simulated
+          // write duration; a forced abort arriving meanwhile skips
+          // WriteDone — Abort's ReleaseAll drops the hold.
+          std::set<EntityId> operands;
+          step.write_expr.CollectReads(&operands);
+          for (EntityId operand : operands) {
+            NONSERIAL_CHECK(known[operand])
+                << "transaction '" << script.name << "' writes entity "
+                << step.entity << " from entity " << operand
+                << " it has not read";
+          }
+          Value value = step.write_expr.Eval(local);
+          ReqResult r = cep_->Write(tx, step.entity, value);
+          Drain();
+          if (r == ReqResult::kAborted) {
+            aborted = true;
+            break;
+          }
+          local[step.entity] = value;
+          known[step.entity] = true;
+          SleepTicks(config_.write_duration);
+          if (ForcedPending(tx)) {
+            aborted = true;
+            break;
+          }
+          cep_->WriteDone(tx, step.entity);
+          Drain();
+          SleepTicks(script.think_between_ops);
+        }
+      }
+
+      // Termination phase.
+      if (!aborted) {
+        for (;;) {
+          ReqResult r = cep_->Commit(tx);
+          Drain();
+          if (r == ReqResult::kGranted) {
+            outcome.committed = true;
+            break;
+          }
+          if (r == ReqResult::kAborted || AwaitSignal(tx, &outcome) ||
+              Expired()) {
+            aborted = true;
+            break;
+          }
+        }
+      }
+
+      if (outcome.committed) break;
+      cep_->Abort(tx);
+      Drain();
+      ++outcome.aborts;
+      ++restarts;
+      if (restarts > config_.max_restarts) {
+        outcome.gave_up = true;
+        break;
+      }
+      // Same deterministic desynchronizing backoff as the simulator.
+      int64_t jitter = 1 + ((tx * 7 + restarts * 13) % 8);
+      int64_t growth = std::min<int64_t>(1 + restarts, 64);
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(config_.backoff_us * jitter * growth));
+    }
+
+    std::lock_guard<std::mutex> lock(result_mu_);
+    result_.tx[tx] = outcome;
+  }
+
+  const SimWorkload& workload_;
+  const ParallelDriverConfig& config_;
+  VersionStore* store_;
+  CorrectExecutionProtocol* cep_;
+
+  SignalHub hub_;
+  std::atomic<int> next_tx_{0};
+  Clock::time_point deadline_;
+  std::mutex result_mu_;
+  ParallelRunResult result_;
+};
+
+}  // namespace
+
+ParallelRunResult ParallelDriver::Run(
+    const SimWorkload& workload,
+    std::shared_ptr<VersionStore>* store_out,
+    std::shared_ptr<CorrectExecutionProtocol>* cep_out) const {
+  auto store = std::make_shared<VersionStore>(workload.initial);
+  auto cep =
+      std::make_shared<CorrectExecutionProtocol>(store.get(), config_.protocol);
+  Driver driver(workload, config_, store.get(), cep.get());
+  ParallelRunResult result = driver.Run();
+  if (store_out != nullptr) *store_out = store;
+  if (cep_out != nullptr) *cep_out = cep;
+  return result;
+}
+
+}  // namespace nonserial

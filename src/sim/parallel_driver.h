@@ -1,0 +1,97 @@
+#ifndef NONSERIAL_SIM_PARALLEL_DRIVER_H_
+#define NONSERIAL_SIM_PARALLEL_DRIVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/metrics.h"
+#include "protocol/cep.h"
+#include "sim/simulator.h"
+#include "storage/version_store.h"
+
+namespace nonserial {
+
+/// Configuration of the multi-worker driver. Simulated think/operation
+/// ticks become *real* sleeps of `us_per_tick` microseconds each — the
+/// paper's environment is human-paced CAD clients, so concurrency pays off
+/// by overlapping client latency, and the driver reproduces exactly that
+/// (it is not a CPU-parallelism benchmark).
+struct ParallelDriverConfig {
+  int num_threads = 4;
+  /// Real microseconds per simulated tick (think times, op durations).
+  int64_t us_per_tick = 1;
+  /// Ticks charged per granted read / per write before WriteDone.
+  SimTime read_duration = 0;
+  SimTime write_duration = 0;
+  /// Give-up threshold per transaction.
+  int max_restarts = 1000;
+  /// Base backoff before an aborted attempt retries (real microseconds).
+  int64_t backoff_us = 100;
+  /// Blocked transactions re-poll the controller after this long even
+  /// without a wakeup signal (guards against lost wakeups).
+  int64_t poll_us = 500;
+  /// Watchdog: the run gives up after this much wall time.
+  int64_t max_wall_ms = 60'000;
+  /// Options forwarded to the protocol engine (search mode, metrics sink).
+  CorrectExecutionProtocol::Options protocol;
+};
+
+struct ParallelTxOutcome {
+  int aborts = 0;
+  int64_t blocked_micros = 0;  ///< Wall time spent parked on kBlocked.
+  bool committed = false;
+  bool gave_up = false;  ///< Restart budget or watchdog exhausted.
+};
+
+struct ParallelRunResult {
+  std::vector<ParallelTxOutcome> tx;
+  int committed_count = 0;
+  int64_t total_aborts = 0;
+  bool all_committed = false;
+  bool watchdog_expired = false;
+  int64_t wall_micros = 0;
+
+  double CommitsPerSecond() const {
+    return wall_micros == 0 ? 0.0
+                            : 1e6 * static_cast<double>(committed_count) /
+                                  static_cast<double>(wall_micros);
+  }
+};
+
+/// Multi-worker driver: `num_threads` client threads drive the workload's
+/// transactions through ONE CorrectExecutionProtocol instance over one
+/// VersionStore — the concurrent counterpart of the single-threaded
+/// discrete-event Simulator (which remains the deterministic fallback).
+///
+/// Threads claim transactions from a shared queue in index order and run
+/// each claimed transaction to commit (or its restart budget). Blocking
+/// outcomes park the owning thread on a condition variable; protocol
+/// signals (wakeups, forced aborts) are drained after every controller
+/// call, by whichever thread made it, and routed to per-transaction flags.
+/// A parked thread also re-polls every `poll_us` so a lost wakeup can only
+/// cost latency, never liveness.
+///
+/// Requirement: a transaction's P-predecessors must have smaller indices
+/// (the generators guarantee this), so commit-rule-1 waits always point at
+/// transactions some thread has already claimed.
+class ParallelDriver {
+ public:
+  explicit ParallelDriver(ParallelDriverConfig config = ParallelDriverConfig())
+      : config_(config) {}
+
+  /// Runs the workload and returns outcome metrics. The store and engine
+  /// survive the call through `store_out` / `cep_out` (e.g. for
+  /// VerifyCepHistory over the records).
+  ParallelRunResult Run(
+      const SimWorkload& workload,
+      std::shared_ptr<VersionStore>* store_out = nullptr,
+      std::shared_ptr<CorrectExecutionProtocol>* cep_out = nullptr) const;
+
+ private:
+  ParallelDriverConfig config_;
+};
+
+}  // namespace nonserial
+
+#endif  // NONSERIAL_SIM_PARALLEL_DRIVER_H_

@@ -1,25 +1,51 @@
 #include "storage/version_store.h"
 
+#include <mutex>
+
 #include "common/logging.h"
 
 namespace nonserial {
 
-VersionStore::VersionStore(ValueVector initial_values) {
+VersionStore::VersionStore(ValueVector initial_values)
+    : shards_(new Shard[kNumShards]) {
   chains_.resize(initial_values.size());
   for (size_t e = 0; e < initial_values.size(); ++e) {
     Version v;
     v.value = initial_values[e];
     v.writer = kInitialWriter;
-    v.seq = next_seq_++;
+    v.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
     v.committed = true;
     chains_[e].push_back(v);
   }
 }
 
-const std::vector<Version>& VersionStore::Chain(EntityId e) const {
+Version VersionStore::At(VersionRef ref) const {
+  return VersionAt(ref.entity, ref.index);
+}
+
+Version VersionStore::VersionAt(EntityId e, int index) const {
   NONSERIAL_CHECK_GE(e, 0);
   NONSERIAL_CHECK_LT(e, num_entities());
-  return chains_[e];
+  std::shared_lock<std::shared_mutex> lock(ShardOf(e));
+  NONSERIAL_CHECK_GE(index, 0);
+  NONSERIAL_CHECK_LT(index, static_cast<int>(chains_[e].size()));
+  return chains_[e][index];
+}
+
+Value VersionStore::Read(VersionRef ref) const { return At(ref).value; }
+
+int VersionStore::ChainSize(EntityId e) const {
+  NONSERIAL_CHECK_GE(e, 0);
+  NONSERIAL_CHECK_LT(e, num_entities());
+  std::shared_lock<std::shared_mutex> lock(ShardOf(e));
+  return static_cast<int>(chains_[e].size());
+}
+
+std::vector<Version> VersionStore::ChainSnapshot(EntityId e) const {
+  NONSERIAL_CHECK_GE(e, 0);
+  NONSERIAL_CHECK_LT(e, num_entities());
+  std::shared_lock<std::shared_mutex> lock(ShardOf(e));
+  return std::vector<Version>(chains_[e].begin(), chains_[e].end());
 }
 
 int VersionStore::Append(EntityId e, Value value, int writer) {
@@ -28,22 +54,14 @@ int VersionStore::Append(EntityId e, Value value, int writer) {
   Version v;
   v.value = value;
   v.writer = writer;
-  v.seq = next_seq_++;
+  v.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::shared_mutex> lock(ShardOf(e));
   chains_[e].push_back(v);
   return static_cast<int>(chains_[e].size()) - 1;
 }
 
-const Version& VersionStore::At(VersionRef ref) const {
-  const std::vector<Version>& chain = Chain(ref.entity);
-  NONSERIAL_CHECK_GE(ref.index, 0);
-  NONSERIAL_CHECK_LT(ref.index, static_cast<int>(chain.size()));
-  return chain[ref.index];
-}
-
-Value VersionStore::Read(VersionRef ref) const { return At(ref).value; }
-
-int VersionStore::LatestLiveIndex(EntityId e) const {
-  const std::vector<Version>& chain = Chain(e);
+int VersionStore::LatestLiveIndexLocked(EntityId e) const {
+  const std::deque<Version>& chain = chains_[e];
   for (int i = static_cast<int>(chain.size()) - 1; i >= 0; --i) {
     if (!chain[i].dead) return i;
   }
@@ -51,8 +69,15 @@ int VersionStore::LatestLiveIndex(EntityId e) const {
   return -1;
 }
 
-int VersionStore::LatestCommittedIndex(EntityId e) const {
-  const std::vector<Version>& chain = Chain(e);
+int VersionStore::LatestLiveIndex(EntityId e) const {
+  NONSERIAL_CHECK_GE(e, 0);
+  NONSERIAL_CHECK_LT(e, num_entities());
+  std::shared_lock<std::shared_mutex> lock(ShardOf(e));
+  return LatestLiveIndexLocked(e);
+}
+
+int VersionStore::LatestCommittedIndexLocked(EntityId e) const {
+  const std::deque<Version>& chain = chains_[e];
   for (int i = static_cast<int>(chain.size()) - 1; i >= 0; --i) {
     if (!chain[i].dead && chain[i].committed) return i;
   }
@@ -60,8 +85,18 @@ int VersionStore::LatestCommittedIndex(EntityId e) const {
   return -1;
 }
 
+int VersionStore::LatestCommittedIndex(EntityId e) const {
+  NONSERIAL_CHECK_GE(e, 0);
+  NONSERIAL_CHECK_LT(e, num_entities());
+  std::shared_lock<std::shared_mutex> lock(ShardOf(e));
+  return LatestCommittedIndexLocked(e);
+}
+
 std::optional<int> VersionStore::LatestIndexBy(EntityId e, int writer) const {
-  const std::vector<Version>& chain = Chain(e);
+  NONSERIAL_CHECK_GE(e, 0);
+  NONSERIAL_CHECK_LT(e, num_entities());
+  std::shared_lock<std::shared_mutex> lock(ShardOf(e));
+  const std::deque<Version>& chain = chains_[e];
   for (int i = static_cast<int>(chain.size()) - 1; i >= 0; --i) {
     if (!chain[i].dead && chain[i].writer == writer) return i;
   }
@@ -69,16 +104,18 @@ std::optional<int> VersionStore::LatestIndexBy(EntityId e, int writer) const {
 }
 
 void VersionStore::CommitWriter(int writer) {
-  for (std::vector<Version>& chain : chains_) {
-    for (Version& v : chain) {
+  for (EntityId e = 0; e < num_entities(); ++e) {
+    std::unique_lock<std::shared_mutex> lock(ShardOf(e));
+    for (Version& v : chains_[e]) {
       if (v.writer == writer && !v.dead) v.committed = true;
     }
   }
 }
 
 void VersionStore::RollbackWriter(int writer) {
-  for (std::vector<Version>& chain : chains_) {
-    for (Version& v : chain) {
+  for (EntityId e = 0; e < num_entities(); ++e) {
+    std::unique_lock<std::shared_mutex> lock(ShardOf(e));
+    for (Version& v : chains_[e]) {
       if (v.writer == writer && !v.committed) v.dead = true;
     }
   }
@@ -87,7 +124,8 @@ void VersionStore::RollbackWriter(int writer) {
 ValueVector VersionStore::LatestCommittedSnapshot() const {
   ValueVector out(num_entities());
   for (EntityId e = 0; e < num_entities(); ++e) {
-    out[e] = chains_[e][LatestCommittedIndex(e)].value;
+    std::shared_lock<std::shared_mutex> lock(ShardOf(e));
+    out[e] = chains_[e][LatestCommittedIndexLocked(e)].value;
   }
   return out;
 }
@@ -101,7 +139,7 @@ DatabaseState VersionStore::AsDatabaseState() const {
   ValueVector latest = LatestCommittedSnapshot();
   db.Add(latest);
   for (EntityId e = 0; e < num_entities(); ++e) {
-    for (const Version& v : chains_[e]) {
+    for (const Version& v : ChainSnapshot(e)) {
       if (v.dead || !v.committed) continue;
       if (v.value == latest[e]) continue;
       ValueVector s = latest;
@@ -115,21 +153,25 @@ DatabaseState VersionStore::AsDatabaseState() const {
 int64_t VersionStore::CollectObsolete(
     const std::vector<VersionRef>& pinned) {
   std::vector<std::vector<bool>> is_pinned(chains_.size());
-  for (EntityId e = 0; e < num_entities(); ++e) {
-    is_pinned[e].assign(chains_[e].size(), false);
-  }
   for (const VersionRef& ref : pinned) {
-    if (ref.entity >= 0 && ref.entity < num_entities() && ref.index >= 0 &&
-        ref.index < static_cast<int>(chains_[ref.entity].size())) {
-      is_pinned[ref.entity][ref.index] = true;
+    if (ref.entity < 0 || ref.entity >= num_entities() || ref.index < 0) {
+      continue;
     }
+    std::vector<bool>& flags = is_pinned[ref.entity];
+    if (ref.index >= static_cast<int>(flags.size())) {
+      flags.resize(ref.index + 1, false);
+    }
+    flags[ref.index] = true;
   }
   int64_t collected = 0;
   for (EntityId e = 0; e < num_entities(); ++e) {
-    int latest = LatestCommittedIndex(e);
+    std::unique_lock<std::shared_mutex> lock(ShardOf(e));
+    int latest = LatestCommittedIndexLocked(e);
+    const std::vector<bool>& flags = is_pinned[e];
     for (int i = 0; i < static_cast<int>(chains_[e].size()); ++i) {
       Version& v = chains_[e][i];
-      if (v.dead || !v.committed || i == latest || is_pinned[e][i]) continue;
+      bool pinned_here = i < static_cast<int>(flags.size()) && flags[i];
+      if (v.dead || !v.committed || i == latest || pinned_here) continue;
       v.dead = true;
       ++collected;
     }
@@ -139,8 +181,9 @@ int64_t VersionStore::CollectObsolete(
 
 int64_t VersionStore::TotalLiveVersions() const {
   int64_t total = 0;
-  for (const std::vector<Version>& chain : chains_) {
-    for (const Version& v : chain) {
+  for (EntityId e = 0; e < num_entities(); ++e) {
+    std::shared_lock<std::shared_mutex> lock(ShardOf(e));
+    for (const Version& v : chains_[e]) {
       if (!v.dead) ++total;
     }
   }

@@ -1,8 +1,12 @@
 #ifndef NONSERIAL_STORAGE_VERSION_STORE_H_
 #define NONSERIAL_STORAGE_VERSION_STORE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
+#include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -41,6 +45,17 @@ struct VersionRef {
 /// unique states): every prefix of committed versions corresponds to the
 /// unique state a serial history would have produced, and mix-and-match
 /// reads across chains realize version states.
+///
+/// Thread safety: every method is safe to call concurrently. Chains live in
+/// deques (appends never move existing versions) behind one reader-writer
+/// lock per shard of entities; the global creation sequence is a single
+/// atomic. Append/Commit/Rollback take the exclusive side, reads take the
+/// shared side, so readers of different shards — and concurrent readers of
+/// the same shard — never contend on storage. Multi-entity operations
+/// (CommitWriter, snapshots, GC) lock shard-by-shard: each entity's chain is
+/// observed atomically, the cross-entity combination is not — callers that
+/// need a cross-entity atomic cut (the protocol engine) serialize those
+/// calls themselves.
 class VersionStore {
  public:
   /// Creates the store with one committed initial version per entity,
@@ -49,13 +64,21 @@ class VersionStore {
 
   int num_entities() const { return static_cast<int>(chains_.size()); }
 
-  const std::vector<Version>& Chain(EntityId e) const;
+  /// Copy of one version (copy, not reference: the slot's committed/dead
+  /// flags may change concurrently; the copy is an atomic observation).
+  Version At(VersionRef ref) const;
+  Version VersionAt(EntityId e, int index) const;
+  Value Read(VersionRef ref) const;
+
+  /// Number of versions ever appended to `e` (live or dead). Monotonic;
+  /// used by the protocol's optimistic validation as a cheap change stamp.
+  int ChainSize(EntityId e) const;
+
+  /// Consistent copy of the whole chain of `e` (tests and diagnostics).
+  std::vector<Version> ChainSnapshot(EntityId e) const;
 
   /// Appends a new (uncommitted, live) version; returns its index.
   int Append(EntityId e, Value value, int writer);
-
-  const Version& At(VersionRef ref) const;
-  Value Read(VersionRef ref) const;
 
   /// Index of the latest live version of `e` (committed or not).
   int LatestLiveIndex(EntityId e) const;
@@ -94,8 +117,26 @@ class VersionStore {
   int64_t CollectObsolete(const std::vector<VersionRef>& pinned);
 
  private:
-  std::vector<std::vector<Version>> chains_;
-  int64_t next_seq_ = 0;
+  // 16 shards cover the repo's workloads (tens of entities) without making
+  // the all-shard operations crawl; entity e maps to shard e & kShardMask.
+  static constexpr int kNumShards = 16;
+  static constexpr int kShardMask = kNumShards - 1;
+
+  std::shared_mutex& ShardOf(EntityId e) const {
+    return shards_[e & kShardMask].mu;
+  }
+
+  // Callers must hold ShardOf(e) (either side for reads).
+  int LatestLiveIndexLocked(EntityId e) const;
+  int LatestCommittedIndexLocked(EntityId e) const;
+
+  struct Shard {
+    mutable std::shared_mutex mu;
+  };
+
+  std::vector<std::deque<Version>> chains_;
+  std::unique_ptr<Shard[]> shards_;
+  std::atomic<int64_t> next_seq_{0};
 };
 
 }  // namespace nonserial

@@ -66,7 +66,7 @@ TEST_F(CepTest, WritersNeverBlock) {
   // Both write x concurrently; each creates its own version.
   EXPECT_EQ(cep_.Write(0, 0, 60), ReqResult::kGranted);
   EXPECT_EQ(cep_.Write(1, 0, 70), ReqResult::kGranted);
-  EXPECT_EQ(store_.Chain(0).size(), 3u);
+  EXPECT_EQ(store_.ChainSize(0), 3);
 }
 
 TEST_F(CepTest, ReaderBlocksOnActiveWriteOnly) {
@@ -241,6 +241,56 @@ TEST_F(CepTest, AbortReassignsUnreadDependant) {
   Value v = 0;
   ASSERT_EQ(cep_.Read(1, 0, &v), ReqResult::kGranted);
   EXPECT_EQ(v, 50);  // Back on a live version.
+  EXPECT_EQ(cep_.Commit(1), ReqResult::kGranted);
+}
+
+// Regression: t2 is assigned t1's versions of BOTH x and y but has only
+// read y when t1 aborts. The cascade scan must consider the whole
+// assignment — bailing out at the first (unread) entity and re-solving
+// with the consumed y still pinned would smuggle t1's rolled-back value
+// into t2's input state.
+TEST_F(CepTest, AbortCascadesWhenAnyReadEntityHoldsDeadVersion) {
+  Predicate both = Predicate::And(Range(0, 90, 100), Range(1, 90, 100));
+  cep_.Register(0, Profile("t1", Predicate::True()));
+  cep_.Register(1, Profile("t2", both));
+  ASSERT_EQ(cep_.Begin(0), ReqResult::kGranted);
+  ASSERT_EQ(cep_.Write(0, 0, 95), ReqResult::kGranted);
+  cep_.WriteDone(0, 0);
+  ASSERT_EQ(cep_.Write(0, 1, 95), ReqResult::kGranted);
+  cep_.WriteDone(0, 1);
+  ASSERT_EQ(cep_.Begin(1), ReqResult::kGranted);  // Assigned t1's x and y.
+  Value v = 0;
+  ASSERT_EQ(cep_.Read(1, 1, &v), ReqResult::kGranted);  // Reads y only.
+  EXPECT_EQ(v, 95);
+  cep_.Abort(0);
+  EXPECT_EQ(cep_.stats().cascade_aborts, 1);
+  EXPECT_EQ(cep_.TakeForcedAborts(), (std::vector<int>{1}));
+  // And the doomed attempt cannot commit even if the driver races to it.
+  EXPECT_EQ(cep_.Commit(1), ReqResult::kAborted);
+}
+
+// Regression (Theorem 2 under concurrent drivers): once Figure 4 condemns
+// an attempt, a Commit racing the abort signal must lose — the partial-
+// order invalidation would otherwise be published.
+TEST_F(CepTest, ForcedAbortBeatsRacingCommit) {
+  cep_.Register(0, Profile("t1", Predicate::True()));
+  cep_.Register(1, Profile("t2", Range(0, 0, 100), Predicate::True(), {0}));
+  ASSERT_EQ(cep_.Begin(1), ReqResult::kGranted);
+  Value v = 0;
+  ASSERT_EQ(cep_.Read(1, 0, &v), ReqResult::kGranted);  // Reads stale x.
+  ASSERT_EQ(cep_.Begin(0), ReqResult::kGranted);
+  ASSERT_EQ(cep_.Write(0, 0, 77), ReqResult::kGranted);  // PO invalidation.
+  cep_.WriteDone(0, 0);
+  // Signals drained (as a concurrent driver thread would have done) —
+  // the engine must still remember the condemnation.
+  EXPECT_EQ(cep_.TakeForcedAborts(), (std::vector<int>{1}));
+  EXPECT_EQ(cep_.Commit(1), ReqResult::kAborted);
+  cep_.Abort(1);
+  // A fresh attempt is clean.
+  ASSERT_EQ(cep_.Begin(1), ReqResult::kGranted);
+  ASSERT_EQ(cep_.Read(1, 0, &v), ReqResult::kGranted);
+  EXPECT_EQ(v, 77);
+  EXPECT_EQ(cep_.Commit(0), ReqResult::kGranted);
   EXPECT_EQ(cep_.Commit(1), ReqResult::kGranted);
 }
 

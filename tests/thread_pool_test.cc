@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace nonserial {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(3);
+  constexpr int kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](int i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForWorksWithZeroWorkers) {
+  // The caller participates, so a threadless pool degrades to a plain loop.
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0);
+  std::atomic<int> sum{0};
+  pool.ParallelFor(100, [&](int i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 99 * 100 / 2);
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEmptyAndNested) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](int) { FAIL() << "no indices to run"; });
+  // Nested ParallelFor must not deadlock even when outer work occupies
+  // every worker (caller participation guarantees progress).
+  std::atomic<int> total{0};
+  pool.ParallelFor(4, [&](int) {
+    pool.ParallelFor(4, [&](int) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 16);
+}
+
+TEST(ThreadPoolTest, SubmitRunsBeforeDestruction) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // Destructor drains the queue.
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPoolTest, SharedPoolIsSingleton) {
+  ThreadPool& a = ThreadPool::Shared();
+  ThreadPool& b = ThreadPool::Shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.size(), 1);
+}
+
+}  // namespace
+}  // namespace nonserial

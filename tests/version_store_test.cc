@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "storage/version_store.h"
 
 namespace nonserial {
@@ -8,9 +11,9 @@ namespace {
 TEST(VersionStoreTest, InitialVersionsCommitted) {
   VersionStore store({10, 20});
   EXPECT_EQ(store.num_entities(), 2);
-  ASSERT_EQ(store.Chain(0).size(), 1u);
-  EXPECT_TRUE(store.Chain(0)[0].committed);
-  EXPECT_EQ(store.Chain(0)[0].writer, kInitialWriter);
+  ASSERT_EQ(store.ChainSize(0), 1);
+  EXPECT_TRUE(store.VersionAt(0, 0).committed);
+  EXPECT_EQ(store.VersionAt(0, 0).writer, kInitialWriter);
   EXPECT_EQ(store.Read(VersionRef{0, 0}), 10);
   EXPECT_EQ(store.Read(VersionRef{1, 0}), 20);
 }
@@ -19,7 +22,7 @@ TEST(VersionStoreTest, AppendCreatesUncommittedVersion) {
   VersionStore store({10});
   int idx = store.Append(0, 11, /*writer=*/3);
   EXPECT_EQ(idx, 1);
-  EXPECT_FALSE(store.Chain(0)[1].committed);
+  EXPECT_FALSE(store.VersionAt(0, 1).committed);
   EXPECT_EQ(store.LatestLiveIndex(0), 1);
   EXPECT_EQ(store.LatestCommittedIndex(0), 0);
 }
@@ -30,9 +33,9 @@ TEST(VersionStoreTest, CommitWriterFlipsAllItsVersions) {
   store.Append(1, 21, 3);
   store.Append(0, 12, 4);
   store.CommitWriter(3);
-  EXPECT_TRUE(store.Chain(0)[1].committed);
-  EXPECT_TRUE(store.Chain(1)[1].committed);
-  EXPECT_FALSE(store.Chain(0)[2].committed);
+  EXPECT_TRUE(store.VersionAt(0, 1).committed);
+  EXPECT_TRUE(store.VersionAt(1, 1).committed);
+  EXPECT_FALSE(store.VersionAt(0, 2).committed);
   EXPECT_EQ(store.LatestCommittedIndex(0), 1);
 }
 
@@ -41,8 +44,8 @@ TEST(VersionStoreTest, RollbackMarksDeadAndPreservesIndices) {
   int a = store.Append(0, 11, 3);
   int b = store.Append(0, 12, 4);
   store.RollbackWriter(3);
-  EXPECT_TRUE(store.Chain(0)[a].dead);
-  EXPECT_FALSE(store.Chain(0)[b].dead);
+  EXPECT_TRUE(store.VersionAt(0, a).dead);
+  EXPECT_FALSE(store.VersionAt(0, b).dead);
   EXPECT_EQ(store.LatestLiveIndex(0), b);
   // References to the dead version still resolve (never dangles).
   EXPECT_EQ(store.Read(VersionRef{0, a}), 11);
@@ -53,7 +56,43 @@ TEST(VersionStoreTest, RollbackDoesNotKillCommittedVersions) {
   store.Append(0, 11, 3);
   store.CommitWriter(3);
   store.RollbackWriter(3);
-  EXPECT_FALSE(store.Chain(0)[1].dead);
+  EXPECT_FALSE(store.VersionAt(0, 1).dead);
+}
+
+// Regression: when every version except the initial one is dead, the
+// latest-live and latest-committed walks must fall back to version 0 — the
+// initial version is committed and never rolled back, so the chain can
+// never be liveness-empty.
+TEST(VersionStoreTest, AllVersionsDeadExceptInitial) {
+  VersionStore store({10});
+  store.Append(0, 11, 3);
+  store.Append(0, 12, 3);
+  store.Append(0, 13, 4);
+  store.RollbackWriter(3);
+  store.RollbackWriter(4);
+  EXPECT_EQ(store.LatestLiveIndex(0), 0);
+  EXPECT_EQ(store.LatestCommittedIndex(0), 0);
+  EXPECT_EQ(store.LatestCommittedSnapshot(), (ValueVector{10}));
+  EXPECT_FALSE(store.LatestIndexBy(0, 3).has_value());
+  EXPECT_EQ(store.TotalLiveVersions(), 1);
+}
+
+// Regression: CommitWriter after a partial rollback (same runtime id
+// restarted) must commit only the surviving attempt's versions, never
+// resurrect the dead ones.
+TEST(VersionStoreTest, CommitWriterSkipsRolledBackVersions) {
+  VersionStore store({10});
+  store.Append(0, 11, 3);   // First attempt.
+  store.RollbackWriter(3);  // Aborted.
+  int retry = store.Append(0, 12, 3);  // Second attempt.
+  store.CommitWriter(3);
+  EXPECT_TRUE(store.VersionAt(0, 1).dead);
+  EXPECT_FALSE(store.VersionAt(0, 1).committed);
+  EXPECT_TRUE(store.VersionAt(0, retry).committed);
+  EXPECT_EQ(store.LatestCommittedIndex(0), retry);
+  auto latest = store.LatestIndexBy(0, 3);
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(*latest, retry);
 }
 
 TEST(VersionStoreTest, LatestIndexByWriter) {
@@ -80,6 +119,19 @@ TEST(VersionStoreTest, LatestCommittedSnapshot) {
   EXPECT_EQ(store.LatestCommittedSnapshot(), (ValueVector{11, 21}));
 }
 
+TEST(VersionStoreTest, ChainSnapshotCopiesTheChain) {
+  VersionStore store({10});
+  store.Append(0, 11, 3);
+  std::vector<Version> snapshot = store.ChainSnapshot(0);
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0].value, 10);
+  EXPECT_EQ(snapshot[1].value, 11);
+  // A later append does not grow the copy.
+  store.Append(0, 12, 4);
+  EXPECT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(store.ChainSize(0), 3);
+}
+
 TEST(VersionStoreTest, AsDatabaseStateContainsAllCommittedValues) {
   VersionStore store({10});
   store.Append(0, 11, 3);
@@ -98,9 +150,9 @@ TEST(VersionStoreGcTest, CollectsObsoleteCommittedVersions) {
   store.CommitWriter(4);
   // Initial (10) and 11 are obsolete; 12 is the latest committed.
   EXPECT_EQ(store.CollectObsolete({}), 2);
-  EXPECT_TRUE(store.Chain(0)[0].dead);
-  EXPECT_TRUE(store.Chain(0)[1].dead);
-  EXPECT_FALSE(store.Chain(0)[2].dead);
+  EXPECT_TRUE(store.VersionAt(0, 0).dead);
+  EXPECT_TRUE(store.VersionAt(0, 1).dead);
+  EXPECT_FALSE(store.VersionAt(0, 2).dead);
   EXPECT_EQ(store.LatestCommittedIndex(0), 2);
   // Idempotent.
   EXPECT_EQ(store.CollectObsolete({}), 0);
@@ -113,14 +165,14 @@ TEST(VersionStoreGcTest, PinnedVersionsSurvive) {
   store.CommitWriter(3);
   store.CommitWriter(4);
   EXPECT_EQ(store.CollectObsolete({VersionRef{0, 1}}), 1);  // Only initial.
-  EXPECT_FALSE(store.Chain(0)[1].dead);
+  EXPECT_FALSE(store.VersionAt(0, 1).dead);
 }
 
 TEST(VersionStoreGcTest, UncommittedVersionsNeverCollected) {
   VersionStore store({10});
   store.Append(0, 11, 3);  // Uncommitted.
   EXPECT_EQ(store.CollectObsolete({}), 0);
-  EXPECT_FALSE(store.Chain(0)[1].dead);
+  EXPECT_FALSE(store.VersionAt(0, 1).dead);
 }
 
 TEST(VersionStoreGcTest, CollectedReferencesStillResolve) {
@@ -138,6 +190,40 @@ TEST(VersionStoreTest, TotalLiveVersions) {
   EXPECT_EQ(store.TotalLiveVersions(), 3);
   store.RollbackWriter(3);
   EXPECT_EQ(store.TotalLiveVersions(), 2);
+}
+
+// Concurrency smoke: writers appending to disjoint-and-shared entities
+// while readers snapshot — every version must land exactly once and stay
+// addressable. (Run under TSan via scripts/ci.sh.)
+TEST(VersionStoreConcurrencyTest, ConcurrentAppendsAndReads) {
+  constexpr int kEntities = 8;
+  constexpr int kWriters = 4;
+  constexpr int kAppendsPerWriter = 200;
+  VersionStore store(ValueVector(kEntities, 0));
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&store, w] {
+      for (int i = 0; i < kAppendsPerWriter; ++i) {
+        EntityId e = (w + i) % kEntities;
+        int idx = store.Append(e, w * 1000 + i, /*writer=*/w);
+        EXPECT_EQ(store.VersionAt(e, idx).value, w * 1000 + i);
+      }
+      store.CommitWriter(w);
+    });
+  }
+  threads.emplace_back([&store] {
+    for (int i = 0; i < 200; ++i) {
+      for (EntityId e = 0; e < kEntities; ++e) {
+        std::vector<Version> chain = store.ChainSnapshot(e);
+        EXPECT_GE(static_cast<int>(chain.size()), 1);
+        EXPECT_EQ(chain[0].writer, kInitialWriter);
+      }
+    }
+  });
+  for (std::thread& t : threads) t.join();
+  int64_t total = 0;
+  for (EntityId e = 0; e < kEntities; ++e) total += store.ChainSize(e);
+  EXPECT_EQ(total, kEntities + kWriters * kAppendsPerWriter);
 }
 
 }  // namespace
