@@ -5,8 +5,13 @@
 // driver serializes every think, a 4-thread driver overlaps them. The run
 // fails unless 4 workers deliver at least 2x the single-worker throughput
 // and the emitted history passes the Section 3 checker.
+//
+// --json: emit one machine-readable line per configuration
+// ({"name":...,"threads":...,"ops_per_sec":...}) instead of the report;
+// scripts/ci.sh collects these into BENCH_parallel.json.
 
 #include <cstdio>
+#include <cstring>
 
 #include "core/verify.h"
 #include "sim/parallel_driver.h"
@@ -55,11 +60,13 @@ Outcome RunWith(const SimWorkload& workload, int threads,
   return outcome;
 }
 
-int Run() {
-  std::printf("Parallel protocol engine: 16 long transactions "
-              "(think=10ms real) on 24 entities, CEP.\n\n");
-  std::printf("%8s | %9s %8s %7s %9s | %s\n", "threads", "commits/s",
-              "commits", "aborts", "wall-ms", "verified");
+int Run(bool json) {
+  if (!json) {
+    std::printf("Parallel protocol engine: 16 long transactions "
+                "(think=10ms real) on 24 entities, CEP.\n\n");
+    std::printf("%8s | %9s %8s %7s %9s | %s\n", "threads", "commits/s",
+                "commits", "aborts", "wall-ms", "verified");
+  }
 
   SimWorkload workload = ContentionWorkload();
   bool ok = true;
@@ -72,6 +79,13 @@ int Run() {
     ok &= outcome.result.committed_count > 0;
     if (threads == 1) single = outcome.commits_per_sec;
     if (threads == 4) quad = outcome.commits_per_sec;
+    if (json) {
+      std::printf(
+          "{\"name\": \"parallel_protocol\", \"threads\": %d, "
+          "\"ops_per_sec\": %.2f}\n",
+          threads, outcome.commits_per_sec);
+      continue;
+    }
     std::printf("%8d | %9.1f %8d %7lld %9lld | %s\n", threads,
                 outcome.commits_per_sec, outcome.result.committed_count,
                 static_cast<long long>(outcome.result.total_aborts),
@@ -84,14 +98,22 @@ int Run() {
   }
 
   double speedup = single > 0 ? quad / single : 0;
-  std::printf("4-thread speedup over single-threaded driver: %.2fx "
-              "(required: >= 2x)\n", speedup);
   ok &= speedup >= 2.0;
-  std::printf("\n%s\n", ok ? "OK" : "FAILED");
+  if (!json) {
+    std::printf("4-thread speedup over single-threaded driver: %.2fx "
+                "(required: >= 2x)\n", speedup);
+    std::printf("\n%s\n", ok ? "OK" : "FAILED");
+  }
   return ok ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace nonserial
 
-int main() { return nonserial::Run(); }
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+  return nonserial::Run(json);
+}

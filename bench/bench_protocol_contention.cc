@@ -2,8 +2,15 @@
 // database (and optional hot-spot skew) to raise the conflict rate. The
 // baselines degrade (waits for 2PL, aborted work for MVTO) much faster than
 // CEP, whose multiversion reads tolerate concurrent writers.
+//
+// --json: emit one machine-readable line per (point, protocol)
+// configuration ({"name":...,"threads":...,"ops_per_sec":...}) instead of
+// the report. ops_per_sec is committed transactions per wall-clock second
+// of simulation (the tick simulator is single-threaded, so threads is 1).
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 
 #include "core/database.h"
 #include "workload/generators.h"
@@ -11,12 +18,14 @@
 namespace nonserial {
 namespace {
 
-int Run() {
-  std::printf("Contention sweep: 16 long transactions (think=400) over a "
-              "shrinking database.\n\n");
-  std::printf("%9s %6s %-8s | %9s %10s %8s %10s | %s\n", "entities", "zipf",
-              "proto", "makespan", "blocked", "aborts", "wasted-ops",
-              "verified");
+int Run(bool json) {
+  if (!json) {
+    std::printf("Contention sweep: 16 long transactions (think=400) over a "
+                "shrinking database.\n\n");
+    std::printf("%9s %6s %-8s | %9s %10s %8s %10s | %s\n", "entities", "zipf",
+                "proto", "makespan", "blocked", "aborts", "wasted-ops",
+                "verified");
+  }
 
   bool ok = true;
   struct Point {
@@ -43,7 +52,11 @@ int Run() {
     for (ProtocolKind kind :
          {ProtocolKind::kCep, ProtocolKind::kStrict2pl,
           ProtocolKind::kPredicatewise2pl, ProtocolKind::kMvto}) {
+      auto wall_start = std::chrono::steady_clock::now();
       RunReport report = RunWorkload(workload, kind, constraint);
+      double wall_sec = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
       const SimResult& r = report.result;
       const char* verified = "-";
       if (kind == ProtocolKind::kCep) {
@@ -52,32 +65,52 @@ int Run() {
         cep_blocked = r.total_blocked;
       }
       if (kind == ProtocolKind::kStrict2pl) s2pl_blocked = r.total_blocked;
-      std::printf("%9d %6.1f %-8s | %9lld %10lld %8lld %10lld | %s\n",
-                  point.entities, point.theta, report.protocol.c_str(),
-                  static_cast<long long>(r.makespan),
-                  static_cast<long long>(r.total_blocked),
-                  static_cast<long long>(r.total_aborts),
-                  static_cast<long long>(r.total_wasted_ops), verified);
+      if (json) {
+        std::printf(
+            "{\"name\": \"contention_e%d_z%.1f_%s\", \"threads\": 1, "
+            "\"ops_per_sec\": %.2f}\n",
+            point.entities, point.theta, report.protocol.c_str(),
+            wall_sec > 0 ? r.committed_count / wall_sec : 0.0);
+      } else {
+        std::printf("%9d %6.1f %-8s | %9lld %10lld %8lld %10lld | %s\n",
+                    point.entities, point.theta, report.protocol.c_str(),
+                    static_cast<long long>(r.makespan),
+                    static_cast<long long>(r.total_blocked),
+                    static_cast<long long>(r.total_aborts),
+                    static_cast<long long>(r.total_wasted_ops), verified);
+      }
       if (!r.all_committed) {
-        std::printf("    !! %s committed only %d/%zu\n",
-                    report.protocol.c_str(), r.committed_count, r.tx.size());
+        if (!json) {
+          std::printf("    !! %s committed only %d/%zu\n",
+                      report.protocol.c_str(), r.committed_count, r.tx.size());
+        }
         ok = false;
       }
     }
     if (cep_blocked > s2pl_blocked) {
-      std::printf("    !! CEP blocked more than S2PL under contention\n");
+      if (!json) {
+        std::printf("    !! CEP blocked more than S2PL under contention\n");
+      }
       ok = false;
     }
-    std::printf("\n");
+    if (!json) std::printf("\n");
   }
 
-  std::printf("RESULT: %s — CEP's waiting stays bounded by the short write "
-              "locks while 2PL's grows\nwith contention x duration.\n",
-              ok ? "shape reproduced" : "SHAPE NOT REPRODUCED");
+  if (!json) {
+    std::printf("RESULT: %s — CEP's waiting stays bounded by the short write "
+                "locks while 2PL's grows\nwith contention x duration.\n",
+                ok ? "shape reproduced" : "SHAPE NOT REPRODUCED");
+  }
   return ok ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace nonserial
 
-int main() { return nonserial::Run(); }
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+  return nonserial::Run(json);
+}

@@ -1,17 +1,25 @@
 #!/usr/bin/env bash
-# CI entry point: build + test twice — once plain, once under
-# ThreadSanitizer. The TSan pass is what keeps the concurrent protocol
-# engine honest: the multi-threaded driver, storage, and lock-manager
-# tests must come back data-race-free.
+# CI entry point: build + test three times — plain, under ThreadSanitizer,
+# and under AddressSanitizer+UndefinedBehaviorSanitizer. The TSan pass is
+# what keeps the concurrent protocol engine honest (the multi-threaded
+# driver, storage, and lock-manager tests must come back data-race-free);
+# the ASan/UBSan pass covers the fault-injection and crash-recovery paths,
+# where abandoned transactions and log-truncation replay make lifetime
+# bugs easiest to introduce. The plain leg also emits BENCH_parallel.json
+# with machine-readable throughput numbers.
 set -eu
 cd "$(dirname "$0")/.."
 
-echo "== [1/2] normal build =="
+echo "== [1/3] normal build =="
 cmake -B build -S . -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-echo "== [2/2] ThreadSanitizer build =="
+echo "== bench artifact: BENCH_parallel.json =="
+./build/bench/bench_parallel_protocol --json > BENCH_parallel.json
+cat BENCH_parallel.json
+
+echo "== [2/3] ThreadSanitizer build =="
 cmake -B build-tsan -S . -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
@@ -20,5 +28,13 @@ cmake --build build-tsan -j
 # race-free executions of every test, including the parallel driver.
 TSAN_OPTIONS="halt_on_error=1" \
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)"
+
+echo "== [3/3] ASan+UBSan build =="
+cmake -B build-asan -S . -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+cmake --build build-asan -j
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1" \
+  ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
 
 echo "CI OK"

@@ -1,0 +1,82 @@
+#include "common/failpoint.h"
+
+namespace nonserial {
+
+FailpointRegistry& FailpointRegistry::Global() {
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+void FailpointRegistry::Arm(const std::string& name, FailpointSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Point& point = points_[name];
+  if (!point.armed) armed_points_.fetch_add(1, std::memory_order_relaxed);
+  point.armed = true;
+  point.spec = spec;
+  point.evaluations = 0;
+  point.fires = 0;
+}
+
+void FailpointRegistry::Disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  if (it == points_.end() || !it->second.armed) return;
+  it->second.armed = false;
+  armed_points_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FailpointRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, point] : points_) {
+    if (point.armed) {
+      point.armed = false;
+      armed_points_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void FailpointRegistry::Seed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rng_state_ = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+}
+
+double FailpointRegistry::NextUniform() {
+  // xorshift64*: cheap, deterministic, good enough for firing decisions.
+  rng_state_ ^= rng_state_ >> 12;
+  rng_state_ ^= rng_state_ << 25;
+  rng_state_ ^= rng_state_ >> 27;
+  uint64_t bits = rng_state_ * 0x2545F4914F6CDD1DULL;
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+bool FailpointRegistry::ShouldFire(const char* name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  if (it == points_.end() || !it->second.armed) return false;
+  Point& point = it->second;
+  ++point.evaluations;
+  if (point.evaluations <= point.spec.skip_first) return false;
+  if (point.spec.max_fires >= 0 && point.fires >= point.spec.max_fires) {
+    return false;
+  }
+  if (point.spec.probability < 1.0 &&
+      NextUniform() >= point.spec.probability) {
+    return false;
+  }
+  ++point.fires;
+  return true;
+}
+
+int64_t FailpointRegistry::fires(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+int64_t FailpointRegistry::evaluations(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.evaluations;
+}
+
+}  // namespace nonserial

@@ -1,0 +1,105 @@
+#ifndef NONSERIAL_COMMON_FAILPOINT_H_
+#define NONSERIAL_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace nonserial {
+
+/// Trigger description of one armed failpoint. The point fires when all
+/// three gates pass, evaluated per NONSERIAL_FAILPOINT hit:
+///   1. `skip_first` evaluations have already happened,
+///   2. a Bernoulli(probability) draw succeeds,
+///   3. fewer than `max_fires` firings have happened (-1 = unlimited).
+struct FailpointSpec {
+  double probability = 1.0;
+  int64_t skip_first = 0;
+  int64_t max_fires = -1;
+};
+
+/// Registry of named failure-injection points. Call sites guard fault
+/// branches with NONSERIAL_FAILPOINT("component.point"); tests and the
+/// chaos driver arm points by name. Disabled cost is one relaxed atomic
+/// load (no map lookup, no lock), so the hooks can stay in hot protocol
+/// paths permanently.
+///
+/// Thread safety: Arm/Disarm/ShouldFire may be called from any thread; the
+/// slow path serializes on one mutex (only reached while at least one point
+/// is armed, i.e. in fault-injection runs). Firing decisions use a
+/// deterministic PCG stream seeded via Seed(), so a chaos schedule is
+/// reproducible from its seed.
+class FailpointRegistry {
+ public:
+  /// Process-wide registry. Failpoints are global by design: the fault is a
+  /// property of the run, not of one component instance.
+  static FailpointRegistry& Global();
+
+  void Arm(const std::string& name, FailpointSpec spec);
+  void Disarm(const std::string& name);
+  void DisarmAll();
+
+  /// Re-seeds the firing RNG (deterministic schedules).
+  void Seed(uint64_t seed);
+
+  /// Fast path: true iff any point is armed.
+  bool armed() const {
+    return armed_points_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Slow path: evaluates the named point's trigger. Unarmed names never
+  /// fire (but are not counted either).
+  bool ShouldFire(const char* name);
+
+  /// Lifetime firing / evaluation counts for the named point (0 if never
+  /// armed). Counts survive Disarm so tests can assert after tear-down.
+  int64_t fires(const std::string& name) const;
+  int64_t evaluations(const std::string& name) const;
+
+ private:
+  struct Point {
+    FailpointSpec spec;
+    bool armed = false;
+    int64_t evaluations = 0;
+    int64_t fires = 0;
+  };
+
+  FailpointRegistry() = default;
+
+  double NextUniform();  ///< Caller holds mu_.
+
+  mutable std::mutex mu_;
+  std::map<std::string, Point> points_;
+  std::atomic<int> armed_points_{0};
+  uint64_t rng_state_ = 0x853c49e6748fea9bULL;
+};
+
+/// Scoped arming: arms on construction, disarms (that point only) on
+/// destruction. Keeps test failpoints from leaking into later tests in the
+/// same process.
+class ScopedFailpoint {
+ public:
+  ScopedFailpoint(std::string name, FailpointSpec spec) : name_(std::move(name)) {
+    FailpointRegistry::Global().Arm(name_, spec);
+  }
+  ~ScopedFailpoint() { FailpointRegistry::Global().Disarm(name_); }
+
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace nonserial
+
+/// True iff the named failpoint fires at this evaluation. Zero-cost when no
+/// failpoint is armed anywhere in the process.
+#define NONSERIAL_FAILPOINT(name)                        \
+  (::nonserial::FailpointRegistry::Global().armed() &&   \
+   ::nonserial::FailpointRegistry::Global().ShouldFire(name))
+
+#endif  // NONSERIAL_COMMON_FAILPOINT_H_

@@ -73,10 +73,22 @@ std::string ProtocolMetrics::Summary() const {
      << " re-assigns=" << reassigns.value() << "\n";
   os << "aborts: partial-order=" << po_aborts.value()
      << " cascade=" << cascade_aborts.value()
-     << " output=" << output_aborts.value() << "\n";
+     << " output=" << output_aborts.value();
+  if (injected_aborts.value() > 0) {
+    os << " injected=" << injected_aborts.value();
+  }
+  if (deadline_aborts.value() > 0) {
+    os << " deadline=" << deadline_aborts.value();
+  }
+  os << "\n";
   os << "validation: ok=" << validations.value()
      << " fail=" << validation_fails.value()
-     << " rescans=" << validation_rescans.value() << "\n";
+     << " rescans=" << validation_rescans.value()
+     << " starved=" << validation_starved.value() << "\n";
+  if (crash_restarts.value() > 0) {
+    os << "recovery: crash-restarts=" << crash_restarts.value()
+       << " recovered-txs=" << recovered_txs.value() << "\n";
+  }
   if (search_nodes.count() > 0) {
     os << "search nodes: " << search_nodes.ToString() << "\n";
   }
@@ -96,12 +108,17 @@ void ProtocolMetrics::Reset() {
   po_aborts.Reset();
   cascade_aborts.Reset();
   output_aborts.Reset();
+  injected_aborts.Reset();
+  deadline_aborts.Reset();
   validations.Reset();
   validation_fails.Reset();
   validation_rescans.Reset();
+  validation_starved.Reset();
   search_nodes.Reset();
   commit_waits.Reset();
   wait_micros.Reset();
+  crash_restarts.Reset();
+  recovered_txs.Reset();
 }
 
 }  // namespace nonserial

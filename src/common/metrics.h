@@ -66,12 +66,16 @@ struct ProtocolMetrics {
   Counter po_aborts;        ///< Partial-order invalidation (read too early).
   Counter cascade_aborts;   ///< Readers of rolled-back versions.
   Counter output_aborts;    ///< Output condition failed at commit.
+  Counter injected_aborts;  ///< Fault-injection (chaos) forced aborts.
+  Counter deadline_aborts;  ///< Blocked-time budget exhausted (driver).
 
   // Validation phase.
   Counter validations;        ///< Successful version assignments.
   Counter validation_fails;   ///< Searches that found no assignment.
   Counter validation_rescans; ///< Optimistic searches retried because the
                               ///< store changed while searching unlocked.
+  Counter validation_starved; ///< Rescan cap exhausted; the search fell
+                              ///< back to running under the engine lock.
   Histogram search_nodes;     ///< Assignment-search nodes per validation.
 
   // Driver-level waiting.
@@ -79,6 +83,10 @@ struct ProtocolMetrics {
   Histogram wait_micros;    ///< Wall-clock µs per blocked episode (parallel
                             ///< driver only; the tick simulator has no wall
                             ///< clock).
+
+  // Fault-injection & recovery (chaos runs).
+  Counter crash_restarts;   ///< Simulated crash-kill + WAL recovery cycles.
+  Counter recovered_txs;    ///< Committed transactions restored from WAL.
 
   /// Multi-line human-readable dump (omits never-touched members).
   std::string Summary() const;

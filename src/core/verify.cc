@@ -13,9 +13,14 @@ Status VerifyCepHistory(const SimWorkload& workload,
                         const CorrectExecutionProtocol& cep,
                         const VersionStore& store,
                         const Predicate& constraint) {
-  const std::vector<CorrectExecutionProtocol::TxRecord>& records =
-      cep.records();
+  return VerifyCepHistory(workload, cep.records(),
+                          store.LatestCommittedSnapshot(), constraint);
+}
 
+Status VerifyCepHistory(
+    const SimWorkload& workload,
+    const std::vector<CorrectExecutionProtocol::TxRecord>& records,
+    const ValueVector& final_committed_snapshot, const Predicate& constraint) {
   // Committed transactions, in registration order; map tx id -> child
   // position within the root.
   std::vector<int> committed;
@@ -54,7 +59,8 @@ Status VerifyCepHistory(const SimWorkload& workload,
   // consistency constraint (the root's output condition, per Lemma 3's
   // standard-model encoding).
   LeafProgram tf_program;
-  for (EntityId e = 0; e < store.num_entities(); ++e) tf_program.AddRead(e);
+  int num_entities = static_cast<int>(final_committed_snapshot.size());
+  for (EntityId e = 0; e < num_entities; ++e) tf_program.AddRead(e);
   Specification tf_spec;
   tf_spec.input = constraint;
   int tf_node = tree.AddLeaf("t_f", std::move(tf_program), tf_spec);
@@ -111,7 +117,7 @@ Status VerifyCepHistory(const SimWorkload& workload,
       }
     }
     // t_f observes the final committed database; it may read from anyone.
-    ne.inputs[tf_position] = store.LatestCommittedSnapshot();
+    ne.inputs[tf_position] = final_committed_snapshot;
     for (int tx : committed) {
       ne.reads_from.push_back({position_of[tx], tf_position});
     }

@@ -28,6 +28,16 @@ Status VerifyCepHistory(const SimWorkload& workload,
                         const VersionStore& store,
                         const Predicate& constraint);
 
+/// Record-level variant: verifies a history from the committed-transaction
+/// records and the final committed snapshot alone, with no live engine or
+/// store. This is what crash recovery needs — after a simulated kill the
+/// engine is gone, and the records plus snapshot are exactly what the
+/// write-ahead log reconstructs.
+Status VerifyCepHistory(
+    const SimWorkload& workload,
+    const std::vector<CorrectExecutionProtocol::TxRecord>& records,
+    const ValueVector& final_committed_snapshot, const Predicate& constraint);
+
 }  // namespace nonserial
 
 #endif  // NONSERIAL_CORE_VERIFY_H_

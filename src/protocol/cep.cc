@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
+#include "storage/wal.h"
 
 namespace nonserial {
 
@@ -166,6 +168,9 @@ ReqResult CorrectExecutionProtocol::Begin(int tx) {
       << "Begin on transaction in phase "
       << static_cast<int>(txs_[tx].phase);
   txs_[tx].phase = Phase::kValidating;
+  // Failpoint: the definition/validation boundary. Firing simulates a
+  // transient validation-phase failure; the attempt aborts and retries.
+  if (NONSERIAL_FAILPOINT("cep.pre_validate")) return ReqResult::kAborted;
   // Validation, part 0: Rv locks protect the version assignment.
   for (EntityId e : txs_[tx].input_entities) {
     if (locks_.HoldsRv(tx, e)) continue;
@@ -181,13 +186,17 @@ ReqResult CorrectExecutionProtocol::Begin(int tx) {
   // lock, and the assignment only installs if the stamps still hold. The
   // Rv locks held across the window turn any concurrent write into a
   // Figure 4 re-evaluation, so nothing is admitted that the fully locked
-  // protocol would reject; a failed revalidation just rescans.
+  // protocol would reject; a failed revalidation rescans, but only
+  // max_validation_rescans times — a hot-entity write storm can otherwise
+  // invalidate every pass and starve the reader forever.
+  int rescans = 0;
   for (;;) {
     CandidateSnapshot snapshot = GatherCandidates(tx, {});
     // The profile is immutable while an attempt is in flight (Register
     // precedes driving; Abort runs on this transaction's own thread).
     const Predicate& input = txs_[tx].profile.input;
     lock.unlock();
+    if (options_.validation_interference) options_.validation_interference(tx);
     SearchStats search;
     std::optional<std::vector<int>> choice = FindSatisfyingAssignment(
         input, snapshot.values, options_.search_mode, &search);
@@ -209,15 +218,44 @@ ReqResult CorrectExecutionProtocol::Begin(int tx) {
       if (options_.metrics != nullptr) {
         options_.metrics->validation_rescans.Add();
       }
-      continue;
+      if (++rescans <= options_.max_validation_rescans) continue;
+      // Starved by concurrent writers: close the optimistic window and run
+      // the search inside the engine lock (the locked Figure 4 path). No
+      // write can interleave, so this pass is final.
+      ++stats_.validation_starved;
+      if (options_.metrics != nullptr) {
+        options_.metrics->validation_starved.Add();
+      }
+      if (!SolveAssignment(tx, {})) {
+        ++stats_.validation_retries;
+        if (options_.metrics != nullptr) {
+          options_.metrics->validation_fails.Add();
+        }
+        validation_waiters_[tx] = txs_[tx].input_entities;
+        Emit(CepEvent::Kind::kValidationWait, tx);
+        return ReqResult::kBlocked;
+      }
+      return GrantValidation(tx);
     }
     InstallAssignment(tx, snapshot, *choice);
-    ++stats_.validations;
-    if (options_.metrics != nullptr) options_.metrics->validations.Add();
-    txs_[tx].phase = Phase::kExecuting;
-    Emit(CepEvent::Kind::kValidated, tx);
-    return ReqResult::kGranted;
+    return GrantValidation(tx);
   }
+}
+
+ReqResult CorrectExecutionProtocol::GrantValidation(int tx) {
+  // Failpoint: the validation/execution boundary, after the assignment is
+  // installed. Firing tears the attempt down post-install, exercising the
+  // rollback of a fully assigned (but never executed) transaction.
+  if (NONSERIAL_FAILPOINT("cep.post_install")) return ReqResult::kAborted;
+  ++stats_.validations;
+  if (options_.metrics != nullptr) options_.metrics->validations.Add();
+  txs_[tx].phase = Phase::kExecuting;
+  // A previous blocked attempt may have parked this transaction in the
+  // waiter maps and a poll-driven retry (rather than a wakeup) got it
+  // here; drop the stale registrations so the maps stay tight.
+  DropWaiterEntries(tx);
+  Emit(CepEvent::Kind::kValidated, tx);
+  return ReqResult::kGranted;
 }
 
 ReqResult CorrectExecutionProtocol::Read(int tx, EntityId e, Value* out) {
@@ -231,6 +269,13 @@ ReqResult CorrectExecutionProtocol::Read(int tx, EntityId e, Value* out) {
   if (locks_.UpgradeToRead(tx, e) == KsLockOutcome::kBlocked) {
     read_waiters_[e].insert(tx);
     return ReqResult::kBlocked;
+  }
+  // A poll-driven retry may succeed without the waking WriteDone having
+  // cleared this entry; erase-and-prune keeps the map from leaking.
+  auto waiting = read_waiters_.find(e);
+  if (waiting != read_waiters_.end()) {
+    waiting->second.erase(tx);
+    if (waiting->second.empty()) read_waiters_.erase(waiting);
   }
   *out = state.local_view[e];
   state.reads_done.insert(e);
@@ -361,6 +406,23 @@ ReqResult CorrectExecutionProtocol::Commit(int tx) {
     if (options_.metrics != nullptr) options_.metrics->output_aborts.Add();
     return ReqResult::kAborted;
   }
+  // Failpoint: the execution/termination boundary, after every commit rule
+  // has passed but before anything durable happens. Firing simulates a
+  // last-instant termination failure.
+  if (NONSERIAL_FAILPOINT("cep.pre_commit")) return ReqResult::kAborted;
+  // Durability: the logical commit record (what the verifier needs to
+  // replay this transaction) goes to the WAL strictly before the commit
+  // marker CommitWriter logs. A crash between the two leaves the
+  // transaction in-flight — recovery discards it, never half-commits it.
+  if (store_->wal() != nullptr) {
+    std::vector<int> feeders;
+    for (const auto& [e, ref] : state.assigned) {
+      int author = store_->At(ref).writer;
+      if (author != kInitialWriter && author != tx) feeders.push_back(author);
+    }
+    store_->wal()->LogTxPayload(tx, state.profile.name, state.input_view,
+                                std::move(feeders), state.write_log);
+  }
   store_->CommitWriter(tx);
   locks_.ReleaseAll(tx);
   state.phase = Phase::kCommitted;
@@ -383,6 +445,9 @@ ReqResult CorrectExecutionProtocol::Commit(int tx) {
     for (int waiter : waiters->second) Wake(waiter);
     commit_waiters_.erase(waiters);
   }
+  // Earlier blocked attempts may have left this transaction registered as
+  // a waiter; it will never look at those signals again.
+  DropWaiterEntries(tx);
   Emit(CepEvent::Kind::kCommitted, tx);
   return ReqResult::kGranted;
 }
@@ -462,10 +527,9 @@ void CorrectExecutionProtocol::Abort(int tx) {
   state.input_entities = state.profile.input.Entities();
   state.phase = Phase::kIdle;
 
-  // Drop waiter registrations held by tx.
-  validation_waiters_.erase(tx);
-  for (auto& [e, waiters] : read_waiters_) waiters.erase(tx);
-  for (auto& [target, waiters] : commit_waiters_) waiters.erase(tx);
+  // Drop waiter registrations held by tx (pruning emptied entries — the
+  // maps must not grow with churn).
+  DropWaiterEntries(tx);
 
   // Transactions waiting on this commit must re-decide against the
   // (re-assigned) state rather than wait for a commit that won't come.
@@ -486,6 +550,44 @@ void CorrectExecutionProtocol::Abort(int tx) {
     }
     WakeValidationWaiters(e);
   }
+}
+
+void CorrectExecutionProtocol::DropWaiterEntries(int tx) {
+  validation_waiters_.erase(tx);
+  for (auto it = read_waiters_.begin(); it != read_waiters_.end();) {
+    it->second.erase(tx);
+    it = it->second.empty() ? read_waiters_.erase(it) : std::next(it);
+  }
+  for (auto it = commit_waiters_.begin(); it != commit_waiters_.end();) {
+    it->second.erase(tx);
+    it = it->second.empty() ? commit_waiters_.erase(it) : std::next(it);
+  }
+}
+
+size_t CorrectExecutionProtocol::WaiterFootprint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return validation_waiters_.size() + read_waiters_.size() +
+         commit_waiters_.size();
+}
+
+void CorrectExecutionProtocol::InjectAbort(int tx) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tx < 0 || tx >= static_cast<int>(txs_.size())) return;
+  ForceAbort(tx, &stats_.injected_aborts, CepEvent::Kind::kInjectedAbort);
+}
+
+void CorrectExecutionProtocol::RestoreCommitted(int tx, TxRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  NONSERIAL_CHECK_GE(tx, 0);
+  NONSERIAL_CHECK_LT(tx, static_cast<int>(txs_.size()))
+      << "RestoreCommitted before Register";
+  TxState& state = txs_[tx];
+  NONSERIAL_CHECK(state.phase == Phase::kIdle)
+      << "RestoreCommitted on an active transaction";
+  state.phase = Phase::kCommitted;
+  record.committed = true;
+  if (record.name.empty()) record.name = state.profile.name;
+  records_[tx] = std::move(record);
 }
 
 void CorrectExecutionProtocol::WakeValidationWaiters(EntityId e) {
@@ -544,9 +646,17 @@ void CorrectExecutionProtocol::ForceAbort(int tx, int64_t* counter,
   if (state.doomed) return;  // Already condemned (signal may be drained).
   ++*counter;
   if (options_.metrics != nullptr) {
-    (reason == CepEvent::Kind::kPoAbort ? options_.metrics->po_aborts
-                                        : options_.metrics->cascade_aborts)
-        .Add();
+    switch (reason) {
+      case CepEvent::Kind::kPoAbort:
+        options_.metrics->po_aborts.Add();
+        break;
+      case CepEvent::Kind::kInjectedAbort:
+        options_.metrics->injected_aborts.Add();
+        break;
+      default:
+        options_.metrics->cascade_aborts.Add();
+        break;
+    }
   }
   state.doomed = true;
   forced_aborts_.insert(tx);

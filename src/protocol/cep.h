@@ -1,6 +1,7 @@
 #ifndef NONSERIAL_PROTOCOL_CEP_H_
 #define NONSERIAL_PROTOCOL_CEP_H_
 
+#include <functional>
 #include <map>
 #include <mutex>
 #include <set>
@@ -63,6 +64,17 @@ class CorrectExecutionProtocol : public ConcurrencyController {
     SearchMode search_mode = SearchMode::kPruned;
     /// Sink for lock/validation/abort counters; not owned, may be null.
     ProtocolMetrics* metrics = nullptr;
+    /// Bound on optimistic out-of-lock validation rescans per Begin. Under
+    /// a write storm on a hot entity the unlocked search can be invalidated
+    /// every pass (livelock); after this many rescans the attempt falls
+    /// back to searching inside the engine lock (the locked Figure 4 path),
+    /// which cannot be invalidated. Counted as validation_starved.
+    int max_validation_rescans = 8;
+    /// Test seam: invoked in the unlocked search window of every optimistic
+    /// validation attempt (engine lock NOT held). Lets fault-injection
+    /// tests deterministically interleave writes mid-validation. Null in
+    /// production.
+    std::function<void(int tx)> validation_interference;
   };
 
   /// Per-transaction outcome record used to rebuild a model-layer
@@ -79,6 +91,8 @@ class CorrectExecutionProtocol : public ConcurrencyController {
     int64_t validations = 0;          ///< Successful version assignments.
     int64_t validation_retries = 0;   ///< Unsatisfiable or lock-blocked.
     int64_t validation_rescans = 0;   ///< Optimistic search invalidated.
+    int64_t validation_starved = 0;   ///< Rescan cap hit; in-lock fallback.
+    int64_t injected_aborts = 0;      ///< Fault-injection (chaos) aborts.
     int64_t reassigns = 0;            ///< Figure 4 re-assign invocations.
     int64_t reassign_failures = 0;    ///< Re-assign found no assignment.
     int64_t reevals = 0;              ///< Figure 4 routine invocations.
@@ -123,6 +137,23 @@ class CorrectExecutionProtocol : public ConcurrencyController {
 
   /// True iff the transaction has committed.
   bool IsCommitted(int tx) const;
+
+  /// Fault injection: dooms an in-flight attempt of `tx` exactly like a
+  /// Figure 4 invalidation would (no-op if tx is idle or committed). The
+  /// owning thread observes the forced-abort signal and processes the
+  /// Abort itself; counted as injected_aborts. Used by chaos mode.
+  void InjectAbort(int tx);
+
+  /// Crash recovery: marks a registered transaction committed and adopts
+  /// its durable commit record (from WAL recovery). The recovered store
+  /// must already contain the transaction's committed versions. Call after
+  /// Register and before driving threads start.
+  void RestoreCommitted(int tx, TxRecord record);
+
+  /// Total number of map entries across the waiter maps (validation, read,
+  /// commit). Must be zero once every transaction has committed or
+  /// aborted — leaked entries here are unbounded memory growth under churn.
+  size_t WaiterFootprint() const;
 
   /// Version references currently assigned to validating or executing
   /// transactions — the pin set for VersionStore::CollectObsolete.
@@ -197,6 +228,15 @@ class CorrectExecutionProtocol : public ConcurrencyController {
 
   void WakeValidationWaiters(EntityId e);
   void Wake(int tx);
+
+  /// Shared tail of a successful validation (either search path): counters,
+  /// phase transition, and removal of stale waiter registrations left by
+  /// earlier blocked attempts of `tx`. Caller holds the engine lock.
+  ReqResult GrantValidation(int tx);
+
+  /// Removes `tx` from every waiter map, pruning entries whose sets empty
+  /// out (leaked empty entries grow without bound under churn).
+  void DropWaiterEntries(int tx);
   void ForceAbort(int tx, int64_t* counter, CepEvent::Kind reason);
   void Emit(CepEvent::Kind kind, int tx, int other = -1,
             EntityId entity = kInvalidEntity, Value value = 0);

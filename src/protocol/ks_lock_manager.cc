@@ -1,5 +1,6 @@
 #include "protocol/ks_lock_manager.h"
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 
 namespace nonserial {
@@ -24,6 +25,15 @@ KsLockOutcome KsLockManager::Acquire(int tx, EntityId e, KsLockMode mode) {
   switch (mode) {
     case KsLockMode::kRv:
     case KsLockMode::kR: {
+      // Failpoint: spurious lock-acquire refusal. Only read-side modes may
+      // fire — the Figure 3 matrix has no blocking outcome for W, and the
+      // engine's Write path has no blocked branch to take. The caller
+      // registers as a waiter with no writer to wake it, so this also
+      // exercises the drivers' lost-wakeup poll guard.
+      if (NONSERIAL_FAILPOINT("ks.lock_acquire")) {
+        if (metrics_ != nullptr) metrics_->lock_blocks.Add();
+        return KsLockOutcome::kBlocked;
+      }
       if (HasActiveWriterLocked(e, /*other_than=*/tx)) {
         if (metrics_ != nullptr) metrics_->lock_blocks.Add();
         return KsLockOutcome::kBlocked;

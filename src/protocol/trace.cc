@@ -23,6 +23,8 @@ const char* KindName(CepEvent::Kind kind) {
       return "po-abort";
     case CepEvent::Kind::kCascadeAbort:
       return "cascade-abort";
+    case CepEvent::Kind::kInjectedAbort:
+      return "injected-abort";
     case CepEvent::Kind::kCommitWait:
       return "commit-wait";
     case CepEvent::Kind::kCommitted:

@@ -23,6 +23,7 @@ struct CepEvent {
     kReAssign,         ///< `tx` re-assigned because of `other`'s write.
     kPoAbort,          ///< `tx` aborted: partial-order invalidation.
     kCascadeAbort,     ///< `tx` aborted: read a rolled-back version.
+    kInjectedAbort,    ///< `tx` aborted: fault injection (chaos mode).
     kCommitWait,       ///< `tx` waiting for `other`'s commit.
     kCommitted,
     kAborted           ///< Abort processed (rollback done).

@@ -209,11 +209,24 @@ void TwoPhaseLockingController::Abort(int tx) {
   store_->RollbackWriter(tx);
   ReleaseAllLocks(tx);
   waits_for_.erase(tx);
-  for (auto& [key, waiters] : key_waiters_) waiters.erase(tx);
-  for (auto& [target, waiters] : commit_waiters_) waiters.erase(tx);
+  // Erase-and-prune: emptied waiter sets must not stay behind as map
+  // entries, or the maps grow without bound under abort/restart churn
+  // (every lock key a transaction ever blocked on would leave a tombstone).
+  for (auto it = key_waiters_.begin(); it != key_waiters_.end();) {
+    it->second.erase(tx);
+    it = it->second.empty() ? key_waiters_.erase(it) : std::next(it);
+  }
+  for (auto it = commit_waiters_.begin(); it != commit_waiters_.end();) {
+    it->second.erase(tx);
+    it = it->second.empty() ? commit_waiters_.erase(it) : std::next(it);
+  }
   state.running = false;
   state.own_writes.clear();
   state.reads.clear();
+}
+
+size_t TwoPhaseLockingController::WaiterFootprint() const {
+  return key_waiters_.size() + commit_waiters_.size() + waits_for_.size();
 }
 
 void TwoPhaseLockingController::ReleaseAllLocks(int tx) {

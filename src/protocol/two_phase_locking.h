@@ -71,6 +71,12 @@ class TwoPhaseLockingController : public ConcurrencyController {
 
   const Stats& stats() const { return stats_; }
 
+  /// Number of entries across the internal waiter/waits-for maps. Zero once
+  /// every transaction has committed or aborted; a regression test holds
+  /// this flat under long abort/restart churn (the maps once accumulated
+  /// one empty-set tombstone per contended lock key forever).
+  size_t WaiterFootprint() const;
+
  private:
   struct TxState {
     TxProfile profile;

@@ -1,5 +1,6 @@
 #include "sim/parallel_driver.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -8,6 +9,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "common/random.h"
 
 namespace nonserial {
 namespace {
@@ -30,12 +32,22 @@ struct SignalHub {
 
 class Driver {
  public:
+  /// `restored` (may be null): per-tx records recovered from a WAL; entries
+  /// with committed == true are re-adopted via RestoreCommitted instead of
+  /// re-run. `crash_after_us` >= 0 arms a crash-kill timer: once it fires,
+  /// workers abandon their transactions *without* aborting or rolling back
+  /// (kill semantics — only the write-ahead log survives).
   Driver(const SimWorkload& workload, const ParallelDriverConfig& config,
-         VersionStore* store, CorrectExecutionProtocol* cep)
+         VersionStore* store, CorrectExecutionProtocol* cep,
+         const std::vector<CorrectExecutionProtocol::TxRecord>* restored,
+         int64_t crash_after_us, uint64_t storm_seed)
       : workload_(workload),
         config_(config),
         store_(store),
         cep_(cep),
+        restored_(restored),
+        crash_after_us_(crash_after_us),
+        storm_rng_(storm_seed),
         hub_(static_cast<int>(workload.txs.size())) {
     result_.tx.resize(workload.txs.size());
   }
@@ -55,8 +67,19 @@ class Driver {
       profile.predecessors = tx.predecessors;
       cep_->Register(static_cast<int>(i), profile);
     }
+    if (restored_ != nullptr) {
+      for (size_t i = 0; i < restored_->size(); ++i) {
+        if ((*restored_)[i].committed) {
+          cep_->RestoreCommitted(static_cast<int>(i), (*restored_)[i]);
+        }
+      }
+    }
     Clock::time_point start = Clock::now();
     deadline_ = start + std::chrono::milliseconds(config_.max_wall_ms);
+    crash_armed_ = crash_after_us_ >= 0;
+    if (crash_armed_) {
+      crash_at_ = start + std::chrono::microseconds(crash_after_us_);
+    }
 
     int threads = std::max(1, config_.num_threads);
     std::vector<std::thread> workers;
@@ -64,7 +87,13 @@ class Driver {
     for (int i = 0; i < threads; ++i) {
       workers.emplace_back([this] { WorkerLoop(); });
     }
+    std::thread storm;
+    if (config_.chaos.enabled && config_.chaos.abort_storm_interval_us > 0) {
+      storm = std::thread([this] { StormLoop(); });
+    }
     for (std::thread& worker : workers) worker.join();
+    done_.store(true, std::memory_order_release);
+    if (storm.joinable()) storm.join();
 
     result_.wall_micros = std::chrono::duration_cast<std::chrono::microseconds>(
                               Clock::now() - start)
@@ -84,6 +113,9 @@ class Driver {
 
  private:
   bool Expired() const { return Clock::now() >= deadline_; }
+  bool Crashed() const { return crash_armed_ && Clock::now() >= crash_at_; }
+  /// Workers stop making progress on expiry (give up) or crash (abandon).
+  bool Halted() const { return Expired() || Crashed(); }
 
   void SleepTicks(SimTime ticks) const {
     int64_t us = ticks * config_.us_per_tick;
@@ -94,6 +126,12 @@ class Driver {
   void Drain() {
     std::vector<int> forced = cep_->TakeForcedAborts();
     std::vector<int> woken = cep_->TakeWakeups();
+    // Fault injection: drop this batch of wakeups. Forced aborts are never
+    // dropped — they are correctness signals; wakeups are liveness hints
+    // whose loss the parked owners' poll backoff must absorb.
+    if (!woken.empty() && NONSERIAL_FAILPOINT("driver.lost_wakeup")) {
+      woken.clear();
+    }
     if (forced.empty() && woken.empty()) return;
     {
       std::lock_guard<std::mutex> lock(hub_.mu);
@@ -114,15 +152,18 @@ class Driver {
     hub_.forced[tx] = 0;
   }
 
-  /// Parks until a wakeup or forced abort arrives for `tx` (or the poll
-  /// interval elapses — blocked requests are safe to re-issue). Returns
-  /// true iff a forced abort is pending.
-  bool AwaitSignal(int tx, ParallelTxOutcome* outcome) {
+  /// Parks until a wakeup or forced abort arrives for `tx` (or the current
+  /// poll interval elapses — blocked requests are safe to re-issue). Each
+  /// fruitless wait doubles `*poll_us` up to max_poll_us: exponential
+  /// backoff keeps spurious re-polls cheap while still bounding the damage
+  /// of a lost wakeup. Returns true iff a forced abort is pending.
+  bool AwaitSignal(int tx, ParallelTxOutcome* outcome, int64_t* poll_us,
+                   int64_t* attempt_blocked_us) {
     Clock::time_point parked = Clock::now();
     bool forced;
     {
       std::unique_lock<std::mutex> lock(hub_.mu);
-      hub_.cv.wait_for(lock, std::chrono::microseconds(config_.poll_us),
+      hub_.cv.wait_for(lock, std::chrono::microseconds(*poll_us),
                        [&] {
                          return hub_.woken[tx] != 0 || hub_.forced[tx] != 0 ||
                                 hub_.stop;
@@ -130,10 +171,13 @@ class Driver {
       hub_.woken[tx] = 0;
       forced = hub_.forced[tx] != 0;
     }
+    *poll_us = std::min(*poll_us * 2,
+                        std::max(config_.max_poll_us, config_.poll_us));
     int64_t blocked = std::chrono::duration_cast<std::chrono::microseconds>(
                           Clock::now() - parked)
                           .count();
     outcome->blocked_micros += blocked;
+    *attempt_blocked_us += blocked;
     if (config_.protocol.metrics != nullptr) {
       config_.protocol.metrics->wait_micros.Record(blocked);
     }
@@ -142,35 +186,81 @@ class Driver {
 
   void WorkerLoop() {
     for (;;) {
+      if (Crashed()) return;
       int tx = next_tx_.fetch_add(1, std::memory_order_relaxed);
       if (tx >= static_cast<int>(workload_.txs.size())) return;
       RunTx(tx);
     }
   }
 
+  /// Forced-abort storm: periodically dooms random in-flight transactions
+  /// through the engine's fault-injection entry point. The engine treats an
+  /// injected abort exactly like a Figure 4 invalidation, so the owning
+  /// workers recover through their ordinary abort/restart path.
+  void StormLoop() {
+    int num_txs = static_cast<int>(workload_.txs.size());
+    while (!done_.load(std::memory_order_acquire) && !Halted()) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(config_.chaos.abort_storm_interval_us));
+      for (int i = 0; i < config_.chaos.aborts_per_storm; ++i) {
+        cep_->InjectAbort(
+            static_cast<int>(storm_rng_.Uniform(num_txs)));
+      }
+      Drain();
+    }
+  }
+
   void RunTx(int tx) {
     const SimTx& script = workload_.txs[tx];
     ParallelTxOutcome outcome;
+    // Recovered from the write-ahead log in a previous crash cycle: the
+    // store already holds its committed versions and the engine adopted its
+    // record in RestoreCommitted — nothing to execute.
+    if (restored_ != nullptr && (*restored_)[tx].committed) {
+      outcome.committed = true;
+      std::lock_guard<std::mutex> lock(result_mu_);
+      result_.tx[tx] = outcome;
+      return;
+    }
     ValueVector local(workload_.initial.size(), 0);
     std::vector<bool> known(workload_.initial.size(), false);
     int restarts = 0;
 
     while (!outcome.committed && !outcome.gave_up) {
-      if (Expired()) {
+      if (Halted()) {
         outcome.gave_up = true;
         break;
       }
       ClearSignals(tx);
       known.assign(known.size(), false);
       bool aborted = false;
+      int64_t poll_us = std::max<int64_t>(1, config_.poll_us);
+      int64_t attempt_blocked_us = 0;
+
+      // Shared blocked-wait policy for the three blocking calls: park with
+      // backoff, then abort the attempt on forced abort, halt, or (bounded
+      // waiting) a blown per-attempt blocked-time budget.
+      auto wait_or_abort = [&]() -> bool {
+        if (AwaitSignal(tx, &outcome, &poll_us, &attempt_blocked_us)) {
+          return true;
+        }
+        if (Halted()) return true;
+        if (config_.max_blocked_us > 0 &&
+            attempt_blocked_us > config_.max_blocked_us) {
+          if (config_.protocol.metrics != nullptr) {
+            config_.protocol.metrics->deadline_aborts.Add();
+          }
+          return true;
+        }
+        return false;
+      };
 
       // Validation phase.
       for (;;) {
         ReqResult r = cep_->Begin(tx);
         Drain();
         if (r == ReqResult::kGranted) break;
-        if (r == ReqResult::kAborted || AwaitSignal(tx, &outcome) ||
-            Expired()) {
+        if (r == ReqResult::kAborted || wait_or_abort()) {
           aborted = true;
           break;
         }
@@ -179,7 +269,7 @@ class Driver {
       // Execution phase.
       if (!aborted) {
         for (const SimStep& step : script.steps) {
-          if (ForcedPending(tx) || Expired()) {
+          if (ForcedPending(tx) || Halted()) {
             aborted = true;
             break;
           }
@@ -197,8 +287,7 @@ class Driver {
                 known[step.entity] = true;
                 break;
               }
-              if (r == ReqResult::kAborted || AwaitSignal(tx, &outcome) ||
-                  Expired()) {
+              if (r == ReqResult::kAborted || wait_or_abort()) {
                 aborted = true;
                 break;
               }
@@ -247,8 +336,7 @@ class Driver {
             outcome.committed = true;
             break;
           }
-          if (r == ReqResult::kAborted || AwaitSignal(tx, &outcome) ||
-              Expired()) {
+          if (r == ReqResult::kAborted || wait_or_abort()) {
             aborted = true;
             break;
           }
@@ -256,6 +344,13 @@ class Driver {
       }
 
       if (outcome.committed) break;
+      // Crash-kill semantics: an abandoned attempt does NOT abort — no
+      // rollback records reach the log, exactly as if the process died.
+      // Recovery must discard the in-flight versions on its own.
+      if (Crashed()) {
+        outcome.gave_up = true;
+        break;
+      }
       cep_->Abort(tx);
       Drain();
       ++outcome.aborts;
@@ -279,10 +374,16 @@ class Driver {
   const ParallelDriverConfig& config_;
   VersionStore* store_;
   CorrectExecutionProtocol* cep_;
+  const std::vector<CorrectExecutionProtocol::TxRecord>* restored_;
+  int64_t crash_after_us_;
+  Rng storm_rng_;
 
   SignalHub hub_;
   std::atomic<int> next_tx_{0};
+  std::atomic<bool> done_{false};
   Clock::time_point deadline_;
+  Clock::time_point crash_at_;
+  bool crash_armed_ = false;
   std::mutex result_mu_;
   ParallelRunResult result_;
 };
@@ -294,13 +395,98 @@ ParallelRunResult ParallelDriver::Run(
     std::shared_ptr<VersionStore>* store_out,
     std::shared_ptr<CorrectExecutionProtocol>* cep_out) const {
   auto store = std::make_shared<VersionStore>(workload.initial);
+  if (config_.wal != nullptr) {
+    NONSERIAL_CHECK_EQ(config_.wal->initial().size(), workload.initial.size())
+        << "write-ahead log initial state does not match the workload";
+    store->SetWal(config_.wal);
+  }
   auto cep =
       std::make_shared<CorrectExecutionProtocol>(store.get(), config_.protocol);
-  Driver driver(workload, config_, store.get(), cep.get());
+  Driver driver(workload, config_, store.get(), cep.get(),
+                /*restored=*/nullptr, /*crash_after_us=*/-1,
+                /*storm_seed=*/config_.chaos.seed);
   ParallelRunResult result = driver.Run();
   if (store_out != nullptr) *store_out = store;
   if (cep_out != nullptr) *cep_out = cep;
   return result;
+}
+
+ChaosRunResult ParallelDriver::RunChaos(
+    const SimWorkload& workload,
+    std::shared_ptr<VersionStore>* store_out,
+    std::shared_ptr<CorrectExecutionProtocol>* cep_out) const {
+  const ChaosConfig& chaos = config_.chaos;
+  NONSERIAL_CHECK(chaos.enabled) << "RunChaos needs config.chaos.enabled";
+  FailpointRegistry& registry = FailpointRegistry::Global();
+  registry.Seed(chaos.seed);
+  for (const auto& [name, spec] : chaos.failpoints) registry.Arm(name, spec);
+
+  // The log is the only state that survives a crash. An external log
+  // (config.wal) lets tests inspect or truncate it; otherwise one is owned
+  // here for the duration of the run.
+  WriteAheadLog owned_wal(workload.initial);
+  WriteAheadLog* wal = config_.wal != nullptr ? config_.wal : &owned_wal;
+  NONSERIAL_CHECK_EQ(wal->initial().size(), workload.initial.size());
+  Rng rng(chaos.seed ^ 0x9e3779b97f4a7c15ULL);
+
+  ChaosRunResult out;
+  std::vector<CorrectExecutionProtocol::TxRecord> restored(
+      workload.txs.size());
+  auto store = std::make_shared<VersionStore>(workload.initial);
+  std::shared_ptr<CorrectExecutionProtocol> cep;
+  for (int cycle = 0; cycle <= chaos.crash_cycles; ++cycle) {
+    const bool final_cycle = cycle == chaos.crash_cycles;
+    store->SetWal(wal);
+    cep = std::make_shared<CorrectExecutionProtocol>(store.get(),
+                                                     config_.protocol);
+    int64_t crash_after_us =
+        final_cycle ? -1
+                    : rng.UniformInt(chaos.min_cycle_us, chaos.max_cycle_us);
+    Driver driver(workload, config_, store.get(), cep.get(), &restored,
+                  crash_after_us, chaos.seed + static_cast<uint64_t>(cycle));
+    ParallelRunResult result = driver.Run();
+    out.injected_aborts += cep->stats().injected_aborts;
+    if (final_cycle) {
+      out.final_result = std::move(result);
+      break;
+    }
+
+    // Crash: engine and store vanish mid-flight; rebuild from the log.
+    // The crash marker fences the log so writer ids re-run after restart
+    // cannot resurrect their pre-crash in-flight appends.
+    ChaosCycle c;
+    c.wal_records = static_cast<int64_t>(wal->size());
+    RecoveryResult rec = wal->Recover();
+    wal->LogCrashMarker();
+    c.recovered_committed = static_cast<int>(rec.committed.size());
+    c.replayed_appends = rec.replayed_appends;
+    c.discarded_appends = rec.discarded_appends;
+    int newly_recovered = 0;
+    for (const RecoveredTx& t : rec.committed) {
+      NONSERIAL_CHECK_LT(t.tx, static_cast<int>(restored.size()));
+      if (!restored[t.tx].committed) ++newly_recovered;
+      CorrectExecutionProtocol::TxRecord record;
+      record.name = t.name;
+      record.input_state = t.input_state;
+      record.feeder_txs.insert(t.feeders.begin(), t.feeders.end());
+      record.writes = t.writes;
+      record.committed = true;
+      restored[t.tx] = std::move(record);
+    }
+    if (config_.protocol.metrics != nullptr) {
+      config_.protocol.metrics->crash_restarts.Add();
+      config_.protocol.metrics->recovered_txs.Add(newly_recovered);
+    }
+    c.recovered_records = restored;
+    c.recovered_snapshot = rec.store->LatestCommittedSnapshot();
+    out.cycles.push_back(std::move(c));
+    store = std::move(rec.store);
+  }
+  out.leaked_waiters = cep->WaiterFootprint();
+  for (const auto& [name, spec] : chaos.failpoints) registry.Disarm(name);
+  if (store_out != nullptr) *store_out = store;
+  if (cep_out != nullptr) *cep_out = cep;
+  return out;
 }
 
 }  // namespace nonserial

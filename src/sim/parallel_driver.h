@@ -3,14 +3,40 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/metrics.h"
 #include "protocol/cep.h"
 #include "sim/simulator.h"
 #include "storage/version_store.h"
+#include "storage/wal.h"
 
 namespace nonserial {
+
+/// Chaos-mode knobs: crash-restart cycles, forced-abort storms, and the
+/// failpoint schedule armed for the run. A chaos run alternates "run the
+/// workload for a random window" with "crash-kill the engine and recover
+/// the store from the write-ahead log", finishing with one uninterrupted
+/// cycle; every recovered history is exposed for re-verification.
+struct ChaosConfig {
+  bool enabled = false;
+  uint64_t seed = 1;
+  /// Crash-kill + recover cycles before the final (uninterrupted) run.
+  int crash_cycles = 5;
+  /// The crash timer for each interrupted cycle is drawn uniformly from
+  /// [min_cycle_us, max_cycle_us] of wall time.
+  int64_t min_cycle_us = 2'000;
+  int64_t max_cycle_us = 20'000;
+  /// Forced-abort storm: every interval, `aborts_per_storm` random
+  /// transactions get InjectAbort'ed. 0 disables storms.
+  int64_t abort_storm_interval_us = 1'000;
+  int aborts_per_storm = 2;
+  /// Failpoints armed for the duration of the chaos run (disarmed after).
+  std::vector<std::pair<std::string, FailpointSpec>> failpoints;
+};
 
 /// Configuration of the multi-worker driver. Simulated think/operation
 /// ticks become *real* sleeps of `us_per_tick` microseconds each — the
@@ -29,12 +55,25 @@ struct ParallelDriverConfig {
   /// Base backoff before an aborted attempt retries (real microseconds).
   int64_t backoff_us = 100;
   /// Blocked transactions re-poll the controller after this long even
-  /// without a wakeup signal (guards against lost wakeups).
+  /// without a wakeup signal (guards against lost wakeups). The poll
+  /// interval doubles per fruitless wait up to max_poll_us, so a long wait
+  /// costs exponentially fewer spurious re-polls.
   int64_t poll_us = 500;
+  int64_t max_poll_us = 8'000;
+  /// Bounded waiting: a single attempt may spend at most this long parked
+  /// on kBlocked before the driver aborts it and retries from scratch
+  /// (deadline-based abort, counted in metrics as deadline_aborts).
+  /// 0 = unbounded (the watchdog still applies).
+  int64_t max_blocked_us = 0;
   /// Watchdog: the run gives up after this much wall time.
   int64_t max_wall_ms = 60'000;
+  /// Write-ahead log to attach to the run's store (crash-recovery tests).
+  /// Not owned; its initial() must match the workload's initial state.
+  WriteAheadLog* wal = nullptr;
   /// Options forwarded to the protocol engine (search mode, metrics sink).
   CorrectExecutionProtocol::Options protocol;
+  /// Fault-injection mode (RunChaos only; plain Run ignores it).
+  ChaosConfig chaos;
 };
 
 struct ParallelTxOutcome {
@@ -59,6 +98,27 @@ struct ParallelRunResult {
   }
 };
 
+/// One crash-recover cycle of a chaos run: what the write-ahead log
+/// reconstructed after the kill. `recovered_records` (indexed by tx id)
+/// plus `recovered_snapshot` feed the record-level VerifyCepHistory — the
+/// acceptance bar is that every cycle's surviving committed prefix is a
+/// correct execution.
+struct ChaosCycle {
+  int64_t wal_records = 0;          ///< Log length at the crash point.
+  int recovered_committed = 0;      ///< Transactions durably committed.
+  int64_t replayed_appends = 0;
+  int64_t discarded_appends = 0;    ///< In-flight versions lost to the kill.
+  std::vector<CorrectExecutionProtocol::TxRecord> recovered_records;
+  ValueVector recovered_snapshot;   ///< Latest committed state after redo.
+};
+
+struct ChaosRunResult {
+  std::vector<ChaosCycle> cycles;      ///< One per crash-restart.
+  ParallelRunResult final_result;      ///< The uninterrupted last cycle.
+  size_t leaked_waiters = 0;           ///< Engine waiter-map entries at end.
+  int64_t injected_aborts = 0;         ///< Storm + failpoint forced aborts.
+};
+
 /// Multi-worker driver: `num_threads` client threads drive the workload's
 /// transactions through ONE CorrectExecutionProtocol instance over one
 /// VersionStore — the concurrent counterpart of the single-threaded
@@ -69,8 +129,8 @@ struct ParallelRunResult {
 /// outcomes park the owning thread on a condition variable; protocol
 /// signals (wakeups, forced aborts) are drained after every controller
 /// call, by whichever thread made it, and routed to per-transaction flags.
-/// A parked thread also re-polls every `poll_us` so a lost wakeup can only
-/// cost latency, never liveness.
+/// A parked thread also re-polls with exponential backoff so a lost wakeup
+/// can only cost latency, never liveness.
 ///
 /// Requirement: a transaction's P-predecessors must have smaller indices
 /// (the generators guarantee this), so commit-rule-1 waits always point at
@@ -84,6 +144,17 @@ class ParallelDriver {
   /// survive the call through `store_out` / `cep_out` (e.g. for
   /// VerifyCepHistory over the records).
   ParallelRunResult Run(
+      const SimWorkload& workload,
+      std::shared_ptr<VersionStore>* store_out = nullptr,
+      std::shared_ptr<CorrectExecutionProtocol>* cep_out = nullptr) const;
+
+  /// Chaos mode: config.chaos.crash_cycles crash-kill/recover cycles (each
+  /// ended by discarding engine and store mid-flight and rebuilding the
+  /// store from the write-ahead log), then one uninterrupted cycle that
+  /// runs the remaining transactions to completion. Forced-abort storms
+  /// and the configured failpoints run throughout. The caller re-verifies
+  /// each ChaosCycle's recovered records and the final history.
+  ChaosRunResult RunChaos(
       const SimWorkload& workload,
       std::shared_ptr<VersionStore>* store_out = nullptr,
       std::shared_ptr<CorrectExecutionProtocol>* cep_out = nullptr) const;

@@ -3,6 +3,7 @@
 #include <mutex>
 
 #include "common/logging.h"
+#include "storage/wal.h"
 
 namespace nonserial {
 
@@ -56,6 +57,9 @@ int VersionStore::Append(EntityId e, Value value, int writer) {
   v.writer = writer;
   v.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
   std::unique_lock<std::shared_mutex> lock(ShardOf(e));
+  // Logged under the shard lock so the log's per-entity append order equals
+  // the chain order recovery will rebuild.
+  if (wal_ != nullptr) wal_->LogAppend(e, value, writer);
   chains_[e].push_back(v);
   return static_cast<int>(chains_[e].size()) - 1;
 }
@@ -104,6 +108,10 @@ std::optional<int> VersionStore::LatestIndexBy(EntityId e, int writer) const {
 }
 
 void VersionStore::CommitWriter(int writer) {
+  // Write-ahead: the commit record hits the log before any flag flips, so
+  // a crash either shows the writer fully committed (redo replays every
+  // already-logged append) or not at all.
+  if (wal_ != nullptr) wal_->LogCommit(writer);
   for (EntityId e = 0; e < num_entities(); ++e) {
     std::unique_lock<std::shared_mutex> lock(ShardOf(e));
     for (Version& v : chains_[e]) {
@@ -113,6 +121,7 @@ void VersionStore::CommitWriter(int writer) {
 }
 
 void VersionStore::RollbackWriter(int writer) {
+  if (wal_ != nullptr) wal_->LogRollback(writer);
   for (EntityId e = 0; e < num_entities(); ++e) {
     std::unique_lock<std::shared_mutex> lock(ShardOf(e));
     for (Version& v : chains_[e]) {

@@ -16,6 +16,8 @@
 
 namespace nonserial {
 
+class WriteAheadLog;
+
 /// Writer id for the initial version of every entity (the paper's pseudo-
 /// transaction t_0).
 constexpr int kInitialWriter = -1;
@@ -61,6 +63,15 @@ class VersionStore {
   /// Creates the store with one committed initial version per entity,
   /// authored by kInitialWriter.
   explicit VersionStore(ValueVector initial_values);
+
+  /// Attaches a write-ahead log: from now on every Append / CommitWriter /
+  /// RollbackWriter is logged before the mutation becomes visible, so a
+  /// crash image (any log prefix) replays to a consistent committed state.
+  /// Not owned; pass nullptr to detach. The initial versions are NOT
+  /// logged — the log's own initial() vector covers them (recovery replays
+  /// on top of it).
+  void SetWal(WriteAheadLog* wal) { wal_ = wal; }
+  WriteAheadLog* wal() const { return wal_; }
 
   int num_entities() const { return static_cast<int>(chains_.size()); }
 
@@ -137,6 +148,7 @@ class VersionStore {
   std::vector<std::deque<Version>> chains_;
   std::unique_ptr<Shard[]> shards_;
   std::atomic<int64_t> next_seq_{0};
+  WriteAheadLog* wal_ = nullptr;
 };
 
 }  // namespace nonserial

@@ -1,0 +1,112 @@
+#ifndef NONSERIAL_STORAGE_WAL_H_
+#define NONSERIAL_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "model/state.h"
+#include "predicate/value.h"
+
+namespace nonserial {
+
+class VersionStore;
+
+/// One redo-log record. The log is logical-redo: it captures version
+/// installs (appends), writer terminations (commit / rollback), the
+/// logical commit payload the verifier needs, and crash markers written by
+/// recovery itself (every append pending at a crash marker is a loser).
+struct WalRecord {
+  enum class Kind : uint8_t {
+    kAppend,     ///< Writer installed a new version of `entity`.
+    kCommit,     ///< Writer committed: its pending appends are durable.
+    kRollback,   ///< Writer rolled back: its pending appends are dead.
+    kTxPayload,  ///< Logical commit record (verification payload); always
+                 ///< logged immediately before the writer's kCommit.
+    kCrash       ///< Recovery marker: everything pending before it is lost.
+  };
+
+  Kind kind = Kind::kAppend;
+  int writer = -1;
+  EntityId entity = kInvalidEntity;  ///< kAppend only.
+  Value value = 0;                   ///< kAppend only.
+
+  // kTxPayload only — mirrors CorrectExecutionProtocol::TxRecord.
+  std::string name;
+  ValueVector input_state;
+  std::vector<int> feeders;
+  std::vector<std::pair<EntityId, Value>> writes;
+};
+
+/// A committed transaction reconstructed from the log (its kTxPayload).
+struct RecoveredTx {
+  int tx = -1;
+  std::string name;
+  ValueVector input_state;
+  std::vector<int> feeders;
+  std::vector<std::pair<EntityId, Value>> writes;
+};
+
+/// Outcome of a recovery pass.
+struct RecoveryResult {
+  std::shared_ptr<VersionStore> store;  ///< Committed installs only.
+  std::vector<RecoveredTx> committed;   ///< In log (= commit) order.
+  int64_t replayed_appends = 0;
+  int64_t discarded_appends = 0;  ///< In-flight at the crash point.
+};
+
+/// Write-ahead redo log for VersionStore. The store logs every Append /
+/// CommitWriter / RollbackWriter before the mutation becomes visible (see
+/// VersionStore::SetWal), and the protocol engine logs the logical commit
+/// payload just before the commit marker, so any prefix of the log is a
+/// consistent crash image: a transaction is durable iff its kCommit record
+/// made it into the prefix.
+///
+/// The log is held in memory (the simulated durable medium); a "crash"
+/// discards the store and engine and rebuilds both from the log. Append
+/// order per entity equals chain order (the store logs under its shard
+/// lock), so replay reproduces chain indices of committed versions.
+///
+/// Thread safety: all methods are safe to call concurrently; Recover
+/// snapshots the record vector under the same mutex.
+class WriteAheadLog {
+ public:
+  static constexpr size_t kWholeLog = std::numeric_limits<size_t>::max();
+
+  explicit WriteAheadLog(ValueVector initial) : initial_(std::move(initial)) {}
+
+  void LogAppend(EntityId entity, Value value, int writer);
+  void LogCommit(int writer);
+  void LogRollback(int writer);
+  void LogTxPayload(int writer, std::string name, ValueVector input_state,
+                    std::vector<int> feeders,
+                    std::vector<std::pair<EntityId, Value>> writes);
+  /// Appended by recovery before the restarted engine writes new records:
+  /// marks every earlier pending append as lost, so a writer id re-running
+  /// after the crash cannot resurrect its pre-crash in-flight versions.
+  void LogCrashMarker();
+
+  size_t size() const;
+  std::vector<WalRecord> Snapshot() const;
+  const ValueVector& initial() const { return initial_; }
+
+  /// Replays the first `prefix_len` records (default: whole log) into a
+  /// fresh store: committed installs are re-appended in log order and
+  /// committed; in-flight and rolled-back installs are discarded. The
+  /// returned store has no WAL attached (attach with SetWal to resume
+  /// logging into this same log).
+  RecoveryResult Recover(size_t prefix_len = kWholeLog) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<WalRecord> records_;
+  ValueVector initial_;
+};
+
+}  // namespace nonserial
+
+#endif  // NONSERIAL_STORAGE_WAL_H_

@@ -384,6 +384,65 @@ TEST_F(CepTest, PinnedVersionsProtectAssignmentsFromGc) {
   EXPECT_EQ(cep_.Commit(1), ReqResult::kGranted);
 }
 
+// Regression: the optimistic out-of-lock validation used to rescan without
+// bound — a write storm on a hot entity invalidated the snapshot on every
+// pass, livelocking Begin. The rescan cap must kick in and fall back to the
+// in-lock Figure 4 search, which cannot be invalidated.
+TEST(CepStarvationTest, HotEntityWriteStormCannotLivelockValidation) {
+  VersionStore store({50, 50});
+  ProtocolMetrics metrics;
+  CorrectExecutionProtocol::Options options;
+  options.metrics = &metrics;
+  options.max_validation_rescans = 4;
+  bool storm_on = false;
+  CorrectExecutionProtocol* engine = nullptr;
+  // Deterministic write storm: every unlocked search window of the victim's
+  // validation, the already-executing writer installs a fresh version of
+  // the hot entity, bumping its chain stamp and invalidating the snapshot.
+  options.validation_interference = [&](int tx) {
+    if (!storm_on || tx != 0) return;
+    ASSERT_EQ(engine->Write(1, 0, 50), ReqResult::kGranted);
+    engine->WriteDone(1, 0);
+  };
+  CorrectExecutionProtocol cep(&store, options);
+  engine = &cep;
+
+  TxProfile victim;
+  victim.name = "victim";
+  victim.input = Range(0, 0, 100);
+  cep.Register(0, victim);
+  TxProfile writer;
+  writer.name = "writer";
+  writer.input = Range(0, 0, 100);
+  cep.Register(1, writer);
+  ASSERT_EQ(cep.Begin(1), ReqResult::kGranted);
+
+  storm_on = true;
+  ReqResult r = cep.Begin(0);
+  storm_on = false;
+  // Begin terminated (no livelock) and the starvation fallback engaged.
+  EXPECT_EQ(r, ReqResult::kGranted);
+  EXPECT_GE(cep.stats().validation_rescans, 4);
+  EXPECT_GE(cep.stats().validation_starved, 1);
+  EXPECT_GE(metrics.validation_starved.value(), 1);
+
+  // The fallback assignment is a real one: the victim executes to commit.
+  // If it was (re-)assigned one of the storm writer's uncommitted versions,
+  // commit rule 2 parks it until the writer commits — that's correctness,
+  // not starvation.
+  Value v = 0;
+  ASSERT_EQ(cep.Read(0, 0, &v), ReqResult::kGranted);
+  EXPECT_EQ(v, 50);
+  ReqResult commit_victim = cep.Commit(0);
+  ASSERT_EQ(cep.Commit(1), ReqResult::kGranted);
+  if (commit_victim != ReqResult::kGranted) {
+    (void)cep.TakeWakeups();
+    commit_victim = cep.Commit(0);
+  }
+  EXPECT_EQ(commit_victim, ReqResult::kGranted);
+  EXPECT_EQ(cep.WaiterFootprint(), 0u);
+}
+
 using CepDeathTest = CepTest;
 
 TEST_F(CepDeathTest, ReadOutsideInputConstraintRejected) {

@@ -1,0 +1,130 @@
+#include "common/failpoint.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace nonserial {
+namespace {
+
+TEST(FailpointTest, UnarmedNeverFires) {
+  FailpointRegistry& registry = FailpointRegistry::Global();
+  registry.DisarmAll();
+  EXPECT_FALSE(registry.armed());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(NONSERIAL_FAILPOINT("test.unarmed"));
+  }
+}
+
+TEST(FailpointTest, AlwaysOnFiresEveryEvaluation) {
+  ScopedFailpoint fp("test.always", FailpointSpec{});
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(NONSERIAL_FAILPOINT("test.always"));
+  }
+  EXPECT_EQ(FailpointRegistry::Global().fires("test.always"), 10);
+  EXPECT_EQ(FailpointRegistry::Global().evaluations("test.always"), 10);
+}
+
+TEST(FailpointTest, OtherArmedPointDoesNotFireThisOne) {
+  ScopedFailpoint fp("test.other", FailpointSpec{});
+  EXPECT_TRUE(FailpointRegistry::Global().armed());
+  EXPECT_FALSE(NONSERIAL_FAILPOINT("test.this"));
+}
+
+TEST(FailpointTest, SkipFirstDelaysFiring) {
+  FailpointSpec spec;
+  spec.skip_first = 3;
+  ScopedFailpoint fp("test.skip", spec);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(NONSERIAL_FAILPOINT("test.skip")) << "evaluation " << i;
+  }
+  EXPECT_TRUE(NONSERIAL_FAILPOINT("test.skip"));
+  EXPECT_EQ(FailpointRegistry::Global().fires("test.skip"), 1);
+}
+
+TEST(FailpointTest, MaxFiresCapsFiring) {
+  FailpointSpec spec;
+  spec.max_fires = 2;
+  ScopedFailpoint fp("test.cap", spec);
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (NONSERIAL_FAILPOINT("test.cap")) ++fired;
+  }
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(FailpointTest, ProbabilityIsDeterministicUnderSeed) {
+  FailpointSpec spec;
+  spec.probability = 0.5;
+  auto run = [&] {
+    FailpointRegistry::Global().Seed(42);
+    ScopedFailpoint fp("test.prob", spec);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) fired.push_back(NONSERIAL_FAILPOINT("test.prob"));
+    return fired;
+  };
+  std::vector<bool> first = run();
+  std::vector<bool> second = run();
+  EXPECT_EQ(first, second);
+  int count = 0;
+  for (bool b : first) count += b ? 1 : 0;
+  // Bernoulli(0.5) over 64 draws: far from all-or-nothing.
+  EXPECT_GT(count, 8);
+  EXPECT_LT(count, 56);
+}
+
+TEST(FailpointTest, CountsSurviveDisarm) {
+  {
+    ScopedFailpoint fp("test.survive", FailpointSpec{});
+    EXPECT_TRUE(NONSERIAL_FAILPOINT("test.survive"));
+  }
+  EXPECT_FALSE(NONSERIAL_FAILPOINT("test.survive"));
+  EXPECT_EQ(FailpointRegistry::Global().fires("test.survive"), 1);
+}
+
+TEST(FailpointTest, RearmResetsTriggerState) {
+  FailpointSpec spec;
+  spec.max_fires = 1;
+  {
+    ScopedFailpoint fp("test.rearm", spec);
+    EXPECT_TRUE(NONSERIAL_FAILPOINT("test.rearm"));
+    EXPECT_FALSE(NONSERIAL_FAILPOINT("test.rearm"));  // Cap reached.
+  }
+  {
+    // Arming again starts a fresh schedule: counts and caps reset.
+    ScopedFailpoint fp("test.rearm", spec);
+    EXPECT_TRUE(NONSERIAL_FAILPOINT("test.rearm"));
+  }
+  EXPECT_EQ(FailpointRegistry::Global().fires("test.rearm"), 1);
+  EXPECT_EQ(FailpointRegistry::Global().evaluations("test.rearm"), 1);
+}
+
+TEST(FailpointTest, ConcurrentEvaluationIsSafeAndCounted) {
+  FailpointSpec spec;
+  spec.probability = 0.5;
+  ScopedFailpoint fp("test.mt", spec);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::atomic<int64_t> fired{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      int64_t local = 0;
+      for (int j = 0; j < kPerThread; ++j) {
+        if (NONSERIAL_FAILPOINT("test.mt")) ++local;
+      }
+      fired.fetch_add(local);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(FailpointRegistry::Global().evaluations("test.mt"),
+            kThreads * kPerThread);
+  EXPECT_EQ(FailpointRegistry::Global().fires("test.mt"), fired.load());
+  EXPECT_GT(fired.load(), 0);
+  EXPECT_LT(fired.load(), kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace nonserial

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "protocol/two_phase_locking.h"
 
 namespace nonserial {
@@ -166,6 +168,46 @@ TEST_F(Pw2plTest, NameReflectsMode) {
   TwoPhaseLockingController strict(&other,
                                    TwoPhaseLockingController::Options());
   EXPECT_EQ(strict.name(), "S2PL");
+}
+
+// Regression: Abort used to leave the aborter's emptied waiter sets behind
+// as map entries, so key_waiters_ / commit_waiters_ grew one tombstone per
+// contended key (or awaited commit) forever under abort/restart churn.
+TEST_F(S2plTest, AbortPrunesEmptyWaiterEntries) {
+  ctrl_.Register(0, Profile("holder"));
+  ctrl_.Register(1, Profile("waiter", /*preds=*/{0}));
+  ASSERT_EQ(ctrl_.Begin(0), ReqResult::kGranted);
+  ASSERT_EQ(ctrl_.Write(0, 0, 60), ReqResult::kGranted);
+  // t1 waits on t0's commit (precedence) — a commit_waiters_ entry.
+  ASSERT_EQ(ctrl_.Begin(1), ReqResult::kBlocked);
+  EXPECT_GT(ctrl_.WaiterFootprint(), 0u);
+  ctrl_.Abort(1);
+  // t1 was the only waiter anywhere; its abort must leave no residue.
+  EXPECT_EQ(ctrl_.WaiterFootprint(), 0u);
+  ctrl_.Abort(0);
+  EXPECT_EQ(ctrl_.WaiterFootprint(), 0u);
+}
+
+TEST_F(S2plTest, WaiterFootprintStaysFlatUnderAbortChurn) {
+  ctrl_.Register(0, Profile("holder"));
+  ctrl_.Register(1, Profile("churner"));
+  ASSERT_EQ(ctrl_.Begin(0), ReqResult::kGranted);
+  ASSERT_EQ(ctrl_.Write(0, 0, 60), ReqResult::kGranted);
+  // Long abort/restart churn against a held lock: the churner blocks on
+  // the same key each round and aborts. Before the fix every round's
+  // emptied waiter set survived as a tombstone; the footprint must stay
+  // bounded by the single live blocking relationship instead.
+  size_t high_water = 0;
+  for (int round = 0; round < 1000; ++round) {
+    ASSERT_EQ(ctrl_.Begin(1), ReqResult::kGranted);
+    Value v = 0;
+    ASSERT_EQ(ctrl_.Read(1, 0, &v), ReqResult::kBlocked);
+    ctrl_.Abort(1);
+    high_water = std::max(high_water, ctrl_.WaiterFootprint());
+  }
+  EXPECT_EQ(high_water, 0u);
+  EXPECT_EQ(ctrl_.Commit(0), ReqResult::kGranted);
+  EXPECT_EQ(ctrl_.WaiterFootprint(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,163 @@
+#include "storage/wal.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/version_store.h"
+
+namespace nonserial {
+namespace {
+
+/// A store with an attached log, pre-loaded with a tiny two-writer history:
+/// writer 0 commits {e0=10, e1=11}, writer 1 appends e0=20 but has not
+/// terminated when the helper returns.
+struct LoggedStore {
+  LoggedStore() : wal({0, 0, 0}), store(wal.initial()) {
+    store.SetWal(&wal);
+    store.Append(0, 10, /*writer=*/0);
+    store.Append(1, 11, /*writer=*/0);
+    wal.LogTxPayload(0, "t0", {0, 0, 0}, {}, {{0, 10}, {1, 11}});
+    store.CommitWriter(0);
+    store.Append(0, 20, /*writer=*/1);
+  }
+
+  WriteAheadLog wal;
+  VersionStore store;
+};
+
+TEST(WalTest, StoreLogsEveryMutation) {
+  LoggedStore s;
+  // 3 appends + payload + commit.
+  EXPECT_EQ(s.wal.size(), 5u);
+  std::vector<WalRecord> records = s.wal.Snapshot();
+  EXPECT_EQ(records[0].kind, WalRecord::Kind::kAppend);
+  EXPECT_EQ(records[0].entity, 0);
+  EXPECT_EQ(records[0].value, 10);
+  EXPECT_EQ(records[2].kind, WalRecord::Kind::kTxPayload);
+  EXPECT_EQ(records[3].kind, WalRecord::Kind::kCommit);
+  EXPECT_EQ(records[4].kind, WalRecord::Kind::kAppend);
+  EXPECT_EQ(records[4].writer, 1);
+}
+
+TEST(WalTest, RecoverReplaysCommittedAndDiscardsInFlight) {
+  LoggedStore s;
+  RecoveryResult rec = s.wal.Recover();
+  ASSERT_NE(rec.store, nullptr);
+  // Writer 0 is durable; writer 1's e0=20 was in flight at the "crash".
+  EXPECT_EQ(rec.replayed_appends, 2);
+  EXPECT_EQ(rec.discarded_appends, 1);
+  ASSERT_EQ(rec.committed.size(), 1u);
+  EXPECT_EQ(rec.committed[0].tx, 0);
+  EXPECT_EQ(rec.committed[0].name, "t0");
+  ValueVector snapshot = rec.store->LatestCommittedSnapshot();
+  EXPECT_EQ(snapshot, (ValueVector{10, 11, 0}));
+}
+
+TEST(WalTest, RecoverDiscardsRolledBackWriters) {
+  WriteAheadLog wal({0});
+  VersionStore store(wal.initial());
+  store.SetWal(&wal);
+  store.Append(0, 7, /*writer=*/0);
+  store.RollbackWriter(0);
+  RecoveryResult rec = wal.Recover();
+  EXPECT_EQ(rec.replayed_appends, 0);
+  EXPECT_EQ(rec.discarded_appends, 1);
+  EXPECT_TRUE(rec.committed.empty());
+  EXPECT_EQ(rec.store->LatestCommittedSnapshot(), (ValueVector{0}));
+}
+
+TEST(WalTest, EveryPrefixIsAConsistentCrashImage) {
+  LoggedStore s;
+  // Extend the history: writer 1 commits too.
+  s.wal.LogTxPayload(1, "t1", {10, 11, 0}, {0}, {{0, 20}});
+  s.store.CommitWriter(1);
+  size_t n = s.wal.size();
+  for (size_t prefix = 0; prefix <= n; ++prefix) {
+    RecoveryResult rec = s.wal.Recover(prefix);
+    // A writer is durable iff its commit record is inside the prefix; its
+    // effects are all-or-nothing.
+    ValueVector snapshot = rec.store->LatestCommittedSnapshot();
+    if (rec.committed.size() == 0) {
+      EXPECT_EQ(snapshot, (ValueVector{0, 0, 0})) << "prefix " << prefix;
+    } else if (rec.committed.size() == 1) {
+      EXPECT_EQ(snapshot, (ValueVector{10, 11, 0})) << "prefix " << prefix;
+    } else {
+      EXPECT_EQ(snapshot, (ValueVector{20, 11, 0})) << "prefix " << prefix;
+    }
+  }
+  // The full log recovers both writers, in commit order.
+  RecoveryResult full = s.wal.Recover();
+  ASSERT_EQ(full.committed.size(), 2u);
+  EXPECT_EQ(full.committed[0].tx, 0);
+  EXPECT_EQ(full.committed[1].tx, 1);
+  EXPECT_EQ(full.committed[1].feeders, (std::vector<int>{0}));
+}
+
+TEST(WalTest, CrashMarkerKillsPendingAppendsOfReusedWriterIds) {
+  WriteAheadLog wal({0});
+  {
+    VersionStore store(wal.initial());
+    store.SetWal(&wal);
+    store.Append(0, 5, /*writer=*/0);  // In flight at the crash.
+  }
+  wal.LogCrashMarker();
+  // The same writer id re-runs after restart and commits value 6.
+  RecoveryResult rec = wal.Recover();
+  rec.store->SetWal(&wal);
+  rec.store->Append(0, 6, /*writer=*/0);
+  wal.LogTxPayload(0, "t0", {0}, {}, {{0, 6}});
+  rec.store->CommitWriter(0);
+  // Recovery must not resurrect the pre-crash append: only value 6 is
+  // durable, and the chain holds exactly initial + one committed version.
+  RecoveryResult after = wal.Recover();
+  EXPECT_EQ(after.replayed_appends, 1);
+  EXPECT_EQ(after.discarded_appends, 1);
+  EXPECT_EQ(after.store->LatestCommittedSnapshot(), (ValueVector{6}));
+  EXPECT_EQ(after.store->ChainSize(0), 2);
+}
+
+TEST(WalTest, RecoveredChainOrderMatchesLogOrder) {
+  WriteAheadLog wal({0});
+  VersionStore store(wal.initial());
+  store.SetWal(&wal);
+  store.Append(0, 1, /*writer=*/0);
+  wal.LogTxPayload(0, "a", {0}, {}, {{0, 1}});
+  store.CommitWriter(0);
+  store.Append(0, 2, /*writer=*/1);
+  wal.LogTxPayload(1, "b", {1}, {0}, {{0, 2}});
+  store.CommitWriter(1);
+  RecoveryResult rec = wal.Recover();
+  ASSERT_EQ(rec.store->ChainSize(0), 3);
+  EXPECT_EQ(rec.store->VersionAt(0, 1).value, 1);
+  EXPECT_EQ(rec.store->VersionAt(0, 1).writer, 0);
+  EXPECT_EQ(rec.store->VersionAt(0, 2).value, 2);
+  EXPECT_EQ(rec.store->VersionAt(0, 2).writer, 1);
+}
+
+TEST(WalTest, CommitWithoutPayloadSynthesizesStoreOnlyRecord) {
+  // Store-only users (no protocol engine) never log payloads; recovery
+  // still restores their committed versions.
+  WriteAheadLog wal({0, 0});
+  VersionStore store(wal.initial());
+  store.SetWal(&wal);
+  store.Append(1, 9, /*writer=*/3);
+  store.CommitWriter(3);
+  RecoveryResult rec = wal.Recover();
+  ASSERT_EQ(rec.committed.size(), 1u);
+  EXPECT_EQ(rec.committed[0].tx, 3);
+  EXPECT_EQ(rec.committed[0].writes, (std::vector<std::pair<EntityId, Value>>{
+                                         {1, 9}}));
+  EXPECT_EQ(rec.store->LatestCommittedSnapshot(), (ValueVector{0, 9}));
+}
+
+TEST(WalTest, DetachedStoreDoesNotLog) {
+  WriteAheadLog wal({0});
+  VersionStore store(wal.initial());
+  store.SetWal(&wal);
+  store.Append(0, 1, /*writer=*/0);
+  store.SetWal(nullptr);
+  store.Append(0, 2, /*writer=*/0);
+  EXPECT_EQ(wal.size(), 1u);
+}
+
+}  // namespace
+}  // namespace nonserial
