@@ -16,6 +16,8 @@
 #include "workload/generators.h"
 #include "workload/schedule_gen.h"
 
+#include "bench_util.h"
+
 namespace nonserial {
 namespace {
 
@@ -108,4 +110,10 @@ int Run() {
 }  // namespace
 }  // namespace nonserial
 
-int main() { return nonserial::Run(); }
+int main(int argc, char** argv) {
+  return nonserial::BenchMain(argc, argv, "conjuncts_ablation",
+                              [](const nonserial::BenchOptions&,
+                                 nonserial::BenchReport*) {
+                                return nonserial::Run() == 0;
+                              });
+}

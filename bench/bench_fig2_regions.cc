@@ -19,6 +19,8 @@
 #include "classes/recognizers.h"
 #include "schedule/schedule.h"
 
+#include "bench_util.h"
+
 namespace nonserial {
 namespace {
 
@@ -143,4 +145,10 @@ int RunAll() {
 }  // namespace
 }  // namespace nonserial
 
-int main() { return nonserial::RunAll(); }
+int main(int argc, char** argv) {
+  return nonserial::BenchMain(argc, argv, "fig2_regions",
+                              [](const nonserial::BenchOptions&,
+                                 nonserial::BenchReport*) {
+                                return nonserial::RunAll() == 0;
+                              });
+}

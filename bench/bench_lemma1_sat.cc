@@ -16,6 +16,8 @@
 #include "model/version_search.h"
 #include "predicate/sat.h"
 
+#include "bench_util.h"
+
 namespace nonserial {
 namespace {
 
@@ -79,4 +81,10 @@ int Run() {
 }  // namespace
 }  // namespace nonserial
 
-int main() { return nonserial::Run(); }
+int main(int argc, char** argv) {
+  return nonserial::BenchMain(argc, argv, "lemma1_sat",
+                              [](const nonserial::BenchOptions&,
+                                 nonserial::BenchReport*) {
+                                return nonserial::Run() == 0;
+                              });
+}

@@ -20,6 +20,8 @@
 #include "workload/generators.h"
 #include "workload/nested_gen.h"
 
+#include "bench_util.h"
+
 namespace nonserial {
 namespace {
 
@@ -247,14 +249,18 @@ bool PartC() {
 }  // namespace
 }  // namespace nonserial
 
-int main() {
-  bool a = nonserial::PartA();
-  bool b = nonserial::PartB();
-  bool c = nonserial::PartC();
-  std::printf("\nRESULT: %s — sibling subtransactions run in parallel; the "
-              "critical path follows tree depth, not size;\nthe "
-              "hierarchical protocol commits every project with scope "
-              "isolation intact.\n",
-              (a && b && c) ? "reproduced" : "NOT REPRODUCED");
-  return (a && b && c) ? 0 : 1;
+int main(int argc, char** argv) {
+  return nonserial::BenchMain(
+      argc, argv, "nested_concurrency",
+      [](const nonserial::BenchOptions&, nonserial::BenchReport*) {
+        bool a = nonserial::PartA();
+        bool b = nonserial::PartB();
+        bool c = nonserial::PartC();
+        std::printf("\nRESULT: %s — sibling subtransactions run in parallel; "
+                    "the critical path follows tree depth, not size;\nthe "
+                    "hierarchical protocol commits every project with scope "
+                    "isolation intact.\n",
+                    (a && b && c) ? "reproduced" : "NOT REPRODUCED");
+        return a && b && c;
+      });
 }

@@ -12,6 +12,8 @@
 #include "common/random.h"
 #include "workload/schedule_gen.h"
 
+#include "bench_util.h"
+
 namespace nonserial {
 namespace {
 
@@ -92,4 +94,10 @@ int Run() {
 }  // namespace
 }  // namespace nonserial
 
-int main() { return nonserial::Run(); }
+int main(int argc, char** argv) {
+  return nonserial::BenchMain(argc, argv, "np_scaling",
+                              [](const nonserial::BenchOptions&,
+                                 nonserial::BenchReport*) {
+                                return nonserial::Run() == 0;
+                              });
+}

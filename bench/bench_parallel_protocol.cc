@@ -6,13 +6,20 @@
 // fails unless 4 workers deliver at least 2x the single-worker throughput
 // and the emitted history passes the Section 3 checker.
 //
-// --json: emit one machine-readable line per configuration
-// ({"name":...,"threads":...,"ops_per_sec":...}) instead of the report;
-// scripts/ci.sh collects these into BENCH_parallel.json.
+// --json: print the shared run-report document (schema in common/report.h)
+// with one throughput row per thread count, the 4-thread engine metrics,
+// and the per-protocol trace-event tallies; scripts/ci.sh saves it as
+// REPORT_parallel.json.
+//
+// --trace FILE: additionally run the workload in chaos mode (crash-kill +
+// WAL-recovery cycles, abort storms) with span recording and write the
+// phase timeline to FILE in Chrome trace_event format — load it in
+// about:tracing to see validate/execute/terminate spans per transaction,
+// including the attempts that died to injected faults.
 
 #include <cstdio>
-#include <cstring>
 
+#include "bench_util.h"
 #include "core/verify.h"
 #include "sim/parallel_driver.h"
 #include "workload/generators.h"
@@ -34,6 +41,16 @@ SimWorkload ContentionWorkload() {
   return MakeDesignWorkload(params);
 }
 
+ParallelDriverConfig BaseConfig(int threads, ProtocolMetrics* metrics) {
+  ParallelDriverConfig config;
+  config.num_threads = threads;
+  config.us_per_tick = 100;  // 100-tick thinks become 10ms client latency.
+  config.max_restarts = 200;
+  config.max_wall_ms = 120'000;
+  config.protocol.metrics = metrics;
+  return config;
+}
+
 struct Outcome {
   double commits_per_sec = 0;
   ParallelRunResult result;
@@ -41,13 +58,9 @@ struct Outcome {
 };
 
 Outcome RunWith(const SimWorkload& workload, int threads,
-                ProtocolMetrics* metrics) {
-  ParallelDriverConfig config;
-  config.num_threads = threads;
-  config.us_per_tick = 100;  // 100-tick thinks become 10ms client latency.
-  config.max_restarts = 200;
-  config.max_wall_ms = 120'000;
-  config.protocol.metrics = metrics;
+                ProtocolMetrics* metrics, TraceSink* observer) {
+  ParallelDriverConfig config = BaseConfig(threads, metrics);
+  config.observer = observer;
   ParallelDriver driver(config);
   std::shared_ptr<VersionStore> store;
   std::shared_ptr<CorrectExecutionProtocol> cep;
@@ -60,32 +73,67 @@ Outcome RunWith(const SimWorkload& workload, int threads,
   return outcome;
 }
 
-int Run(bool json) {
-  if (!json) {
-    std::printf("Parallel protocol engine: 16 long transactions "
-                "(think=10ms real) on 24 entities, CEP.\n\n");
-    std::printf("%8s | %9s %8s %7s %9s | %s\n", "threads", "commits/s",
-                "commits", "aborts", "wall-ms", "verified");
+/// The README's about:tracing story: a chaos run (crash-kill cycles plus
+/// abort storms) with every phase span on one shared timeline.
+bool RunChaosTrace(const SimWorkload& workload, const std::string& path) {
+  ProtocolMetrics metrics;
+  SpanTimeline timeline;
+  ParallelDriverConfig config = BaseConfig(4, &metrics);
+  config.timeline = &timeline;
+  // Faster clock than the throughput runs: 1ms thinks make a whole attempt
+  // ~5ms, so the 2-20ms crash windows leave durable work behind and the
+  // final cycle finishes against the storm (at 10ms thinks the default
+  // storm of 2 aborts/ms kills every attempt before it can commit).
+  config.us_per_tick = 10;
+  config.chaos.enabled = true;
+  config.chaos.crash_cycles = 3;
+  config.chaos.abort_storm_interval_us = 5'000;
+  config.chaos.aborts_per_storm = 1;
+  ParallelDriver driver(config);
+  ChaosRunResult chaos = driver.RunChaos(workload);
+  if (!WriteTraceFile(path, timeline)) {
+    std::fprintf(stderr, "cannot write trace file %s\n", path.c_str());
+    return false;
   }
+  std::printf("\nchaos trace: %zu spans over %zu crash cycles, %d/%zu "
+              "committed -> %s\n",
+              timeline.size(), chaos.cycles.size(),
+              chaos.final_result.committed_count, workload.txs.size(),
+              path.c_str());
+  // The final uninterrupted cycle must finish the workload; transactions
+  // recovered durable from the WAL in earlier cycles count as committed.
+  return chaos.final_result.all_committed &&
+         !chaos.final_result.watchdog_expired;
+}
+
+bool Run(const BenchOptions& options, BenchReport* report) {
+  std::printf("Parallel protocol engine: 16 long transactions "
+              "(think=10ms real) on 24 entities, CEP.\n\n");
+  std::printf("%8s | %9s %8s %7s %9s | %s\n", "threads", "commits/s",
+              "commits", "aborts", "wall-ms", "verified");
 
   SimWorkload workload = ContentionWorkload();
+  report->config()["txs"] = static_cast<int64_t>(workload.txs.size());
+  report->config()["entities"] =
+      static_cast<int64_t>(workload.initial.size());
+  report->config()["protocol"] = "CEP";
+
+  TraceRecorder trace;
   bool ok = true;
   double single = 0, quad = 0;
   for (int threads : {1, 2, 4}) {
     ProtocolMetrics metrics;
-    Outcome outcome = RunWith(workload, threads, &metrics);
+    // Record trace events only for the 4-thread run so the tallies
+    // describe one configuration, not a mixture.
+    Outcome outcome =
+        RunWith(workload, threads, &metrics, threads == 4 ? &trace : nullptr);
     ok &= outcome.verified;
     ok &= !outcome.result.watchdog_expired;
     ok &= outcome.result.committed_count > 0;
     if (threads == 1) single = outcome.commits_per_sec;
     if (threads == 4) quad = outcome.commits_per_sec;
-    if (json) {
-      std::printf(
-          "{\"name\": \"parallel_protocol\", \"threads\": %d, "
-          "\"ops_per_sec\": %.2f}\n",
-          threads, outcome.commits_per_sec);
-      continue;
-    }
+    report->AddThroughput("parallel_protocol", threads,
+                          outcome.commits_per_sec);
     std::printf("%8d | %9.1f %8d %7lld %9lld | %s\n", threads,
                 outcome.commits_per_sec, outcome.result.committed_count,
                 static_cast<long long>(outcome.result.total_aborts),
@@ -94,26 +142,28 @@ int Run(bool json) {
     if (threads == 4) {
       std::printf("\nEngine metrics at 4 threads:\n%s\n",
                   metrics.Summary().c_str());
+      report->AttachMetrics(metrics);
+      report->AttachEvents(trace);
     }
   }
 
   double speedup = single > 0 ? quad / single : 0;
   ok &= speedup >= 2.0;
-  if (!json) {
-    std::printf("4-thread speedup over single-threaded driver: %.2fx "
-                "(required: >= 2x)\n", speedup);
-    std::printf("\n%s\n", ok ? "OK" : "FAILED");
+  report->config()["speedup_4t"] = speedup;
+  std::printf("4-thread speedup over single-threaded driver: %.2fx "
+              "(required: >= 2x)\n", speedup);
+
+  if (!options.trace_path.empty()) {
+    ok &= RunChaosTrace(workload, options.trace_path);
   }
-  return ok ? 0 : 1;
+
+  std::printf("\n%s\n", ok ? "OK" : "FAILED");
+  return ok;
 }
 
 }  // namespace
 }  // namespace nonserial
 
 int main(int argc, char** argv) {
-  bool json = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) json = true;
-  }
-  return nonserial::Run(json);
+  return nonserial::BenchMain(argc, argv, "parallel_protocol", nonserial::Run);
 }

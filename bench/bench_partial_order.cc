@@ -15,6 +15,8 @@
 #include "classes/recognizers.h"
 #include "schedule/po_program.h"
 
+#include "bench_util.h"
+
 namespace nonserial {
 namespace {
 
@@ -93,4 +95,10 @@ int Run() {
 }  // namespace
 }  // namespace nonserial
 
-int main() { return nonserial::Run(); }
+int main(int argc, char** argv) {
+  return nonserial::BenchMain(argc, argv, "partial_order",
+                              [](const nonserial::BenchOptions&,
+                                 nonserial::BenchReport*) {
+                                return nonserial::Run() == 0;
+                              });
+}

@@ -3,29 +3,28 @@
 // baselines degrade (waits for 2PL, aborted work for MVTO) much faster than
 // CEP, whose multiversion reads tolerate concurrent writers.
 //
-// --json: emit one machine-readable line per (point, protocol)
-// configuration ({"name":...,"threads":...,"ops_per_sec":...}) instead of
-// the report. ops_per_sec is committed transactions per wall-clock second
-// of simulation (the tick simulator is single-threaded, so threads is 1).
+// --json: print the shared run-report document (common/report.h) with one
+// row per (point, protocol). ops_per_sec is committed transactions per
+// wall-clock second of simulation (the tick simulator is single-threaded,
+// so threads is 1); makespan/blocked/aborts are simulated ticks.
 
 #include <chrono>
 #include <cstdio>
-#include <cstring>
 
+#include "bench_util.h"
+#include "common/strings.h"
 #include "core/database.h"
 #include "workload/generators.h"
 
 namespace nonserial {
 namespace {
 
-int Run(bool json) {
-  if (!json) {
-    std::printf("Contention sweep: 16 long transactions (think=400) over a "
-                "shrinking database.\n\n");
-    std::printf("%9s %6s %-8s | %9s %10s %8s %10s | %s\n", "entities", "zipf",
-                "proto", "makespan", "blocked", "aborts", "wasted-ops",
-                "verified");
-  }
+bool Run(const BenchOptions&, BenchReport* out) {
+  std::printf("Contention sweep: 16 long transactions (think=400) over a "
+              "shrinking database.\n\n");
+  std::printf("%9s %6s %-8s | %9s %10s %8s %10s | %s\n", "entities", "zipf",
+              "proto", "makespan", "blocked", "aborts", "wasted-ops",
+              "verified");
 
   bool ok = true;
   struct Point {
@@ -65,52 +64,50 @@ int Run(bool json) {
         cep_blocked = r.total_blocked;
       }
       if (kind == ProtocolKind::kStrict2pl) s2pl_blocked = r.total_blocked;
-      if (json) {
-        std::printf(
-            "{\"name\": \"contention_e%d_z%.1f_%s\", \"threads\": 1, "
-            "\"ops_per_sec\": %.2f}\n",
-            point.entities, point.theta, report.protocol.c_str(),
-            wall_sec > 0 ? r.committed_count / wall_sec : 0.0);
-      } else {
-        std::printf("%9d %6.1f %-8s | %9lld %10lld %8lld %10lld | %s\n",
-                    point.entities, point.theta, report.protocol.c_str(),
-                    static_cast<long long>(r.makespan),
-                    static_cast<long long>(r.total_blocked),
-                    static_cast<long long>(r.total_aborts),
-                    static_cast<long long>(r.total_wasted_ops), verified);
+      {
+        Json row = Json::Object();
+        row["name"] = StrCat("contention_e", point.entities, "_z",
+                             point.theta, "_", report.protocol);
+        row["threads"] = 1;
+        row["ops_per_sec"] = wall_sec > 0 ? r.committed_count / wall_sec : 0.0;
+        row["protocol"] = report.protocol;
+        row["entities"] = point.entities;
+        row["zipf_theta"] = point.theta;
+        row["makespan"] = r.makespan;
+        row["blocked"] = r.total_blocked;
+        row["aborts"] = r.total_aborts;
+        row["wasted_ops"] = r.total_wasted_ops;
+        out->AddResult(std::move(row));
       }
+      std::printf("%9d %6.1f %-8s | %9lld %10lld %8lld %10lld | %s\n",
+                  point.entities, point.theta, report.protocol.c_str(),
+                  static_cast<long long>(r.makespan),
+                  static_cast<long long>(r.total_blocked),
+                  static_cast<long long>(r.total_aborts),
+                  static_cast<long long>(r.total_wasted_ops), verified);
       if (!r.all_committed) {
-        if (!json) {
-          std::printf("    !! %s committed only %d/%zu\n",
-                      report.protocol.c_str(), r.committed_count, r.tx.size());
-        }
+        std::printf("    !! %s committed only %d/%zu\n",
+                    report.protocol.c_str(), r.committed_count, r.tx.size());
         ok = false;
       }
     }
     if (cep_blocked > s2pl_blocked) {
-      if (!json) {
-        std::printf("    !! CEP blocked more than S2PL under contention\n");
-      }
+      std::printf("    !! CEP blocked more than S2PL under contention\n");
       ok = false;
     }
-    if (!json) std::printf("\n");
+    std::printf("\n");
   }
 
-  if (!json) {
-    std::printf("RESULT: %s — CEP's waiting stays bounded by the short write "
-                "locks while 2PL's grows\nwith contention x duration.\n",
-                ok ? "shape reproduced" : "SHAPE NOT REPRODUCED");
-  }
-  return ok ? 0 : 1;
+  std::printf("RESULT: %s — CEP's waiting stays bounded by the short write "
+              "locks while 2PL's grows\nwith contention x duration.\n",
+              ok ? "shape reproduced" : "SHAPE NOT REPRODUCED");
+  return ok;
 }
 
 }  // namespace
 }  // namespace nonserial
 
 int main(int argc, char** argv) {
-  bool json = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) json = true;
-  }
-  return nonserial::Run(json);
+  return nonserial::BenchMain(argc, argv, "protocol_contention",
+                              nonserial::Run);
 }

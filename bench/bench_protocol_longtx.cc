@@ -14,6 +14,8 @@
 #include "core/database.h"
 #include "workload/generators.h"
 
+#include "bench_util.h"
+
 namespace nonserial {
 namespace {
 
@@ -91,4 +93,10 @@ int Run() {
 }  // namespace
 }  // namespace nonserial
 
-int main() { return nonserial::Run(); }
+int main(int argc, char** argv) {
+  return nonserial::BenchMain(argc, argv, "protocol_longtx",
+                              [](const nonserial::BenchOptions&,
+                                 nonserial::BenchReport*) {
+                                return nonserial::Run() == 0;
+                              });
+}

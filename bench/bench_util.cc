@@ -1,0 +1,74 @@
+#include "bench_util.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+namespace nonserial {
+
+void BenchReport::AddThroughput(const std::string& name, int threads,
+                                double ops_per_sec) {
+  Json row = Json::Object();
+  row["name"] = name;
+  row["threads"] = threads;
+  row["ops_per_sec"] = ops_per_sec;
+  builder_.AddResult(std::move(row));
+}
+
+bool WriteTraceFile(const std::string& path, const SpanTimeline& timeline) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::string doc = ChromeTraceJson(timeline).Dump(1);
+  size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fputc('\n', f);
+  return std::fclose(f) == 0 && written == doc.size();
+}
+
+int BenchMain(int argc, char** argv, const char* name,
+              const std::function<bool(const BenchOptions&, BenchReport*)>&
+                  body) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      options.json = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      options.trace_path = argv[++i];
+    }
+  }
+
+  // In json mode the benches' human report (printf to stdout) is muted by
+  // pointing fd 1 at /dev/null for the duration of the body; the saved fd
+  // is restored to print the report document. This keeps the 12 bench
+  // bodies free of "if (json)" guards around every line they print.
+  int saved_stdout = -1;
+  if (options.json) {
+    std::fflush(stdout);
+    saved_stdout = dup(STDOUT_FILENO);
+    int devnull = open("/dev/null", O_WRONLY);
+    if (devnull >= 0) {
+      dup2(devnull, STDOUT_FILENO);
+      close(devnull);
+    }
+  }
+
+  BenchReport report(name);
+  bool ok = body(options, &report);
+
+  if (options.json) {
+    std::fflush(stdout);
+    if (saved_stdout >= 0) {
+      dup2(saved_stdout, STDOUT_FILENO);
+      close(saved_stdout);
+    }
+    report.builder().SetOk(ok);
+    std::string doc = report.builder().Dump(2);
+    std::fwrite(doc.data(), 1, doc.size(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace nonserial

@@ -1,0 +1,74 @@
+#ifndef NONSERIAL_BENCH_BENCH_UTIL_H_
+#define NONSERIAL_BENCH_BENCH_UTIL_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/report.h"
+#include "common/span.h"
+#include "protocol/trace.h"
+
+namespace nonserial {
+
+/// Flags every bench binary understands (parsed by BenchMain).
+struct BenchOptions {
+  /// --json: print one run-report document (common/report.h schema) on
+  /// stdout and nothing else.
+  bool json = false;
+  /// --trace FILE: benches that record a span timeline write it to FILE in
+  /// Chrome trace_event format. Ignored by benches without a timeline.
+  std::string trace_path;
+};
+
+/// The report a bench fills while it runs. A thin veneer over
+/// ReportBuilder that adds the conventional row shapes and the
+/// protocol-layer attachments the common library cannot see.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : builder_(std::move(name)) {}
+
+  Json& config() { return builder_.config(); }
+
+  /// The conventional throughput row: {"name", "threads", "ops_per_sec"}.
+  void AddThroughput(const std::string& name, int threads,
+                     double ops_per_sec);
+
+  /// A free-form result row.
+  void AddResult(Json row) { builder_.AddResult(std::move(row)); }
+
+  void AttachMetrics(const ProtocolMetrics& metrics) {
+    builder_.AttachMetrics(metrics);
+  }
+
+  /// Per-protocol event tallies from a recorder that observed the run.
+  void AttachEvents(const TraceRecorder& recorder) {
+    builder_.AttachEventTallies(recorder.Tally());
+  }
+
+  ReportBuilder& builder() { return builder_; }
+
+ private:
+  ReportBuilder builder_;
+};
+
+/// Writes the timeline to `path` as a Chrome trace_event JSON file (open
+/// in about:tracing or ui.perfetto.dev). Returns false on I/O failure.
+bool WriteTraceFile(const std::string& path, const SpanTimeline& timeline);
+
+/// Shared entry point for every bench binary: parses the common flags,
+/// runs `body`, and exits non-zero if it returned false.
+///
+/// In --json mode the bench's human-readable printf output is silenced
+/// (stdout is redirected to /dev/null around the body) and the single
+/// report document is printed instead — so stdout is exactly one JSON
+/// document, gated in CI by `python3 -m json.tool`. `body` reports
+/// success as its return value and fills `report` as it goes.
+int BenchMain(int argc, char** argv, const char* name,
+              const std::function<bool(const BenchOptions&, BenchReport*)>&
+                  body);
+
+}  // namespace nonserial
+
+#endif  // NONSERIAL_BENCH_BENCH_UTIL_H_

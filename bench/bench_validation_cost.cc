@@ -14,6 +14,8 @@
 #include "common/random.h"
 #include "predicate/assignment_search.h"
 
+#include "bench_util.h"
+
 namespace nonserial {
 namespace {
 
@@ -116,4 +118,10 @@ int Run() {
 }  // namespace
 }  // namespace nonserial
 
-int main() { return nonserial::Run(); }
+int main(int argc, char** argv) {
+  return nonserial::BenchMain(argc, argv, "validation_cost",
+                              [](const nonserial::BenchOptions&,
+                                 nonserial::BenchReport*) {
+                                return nonserial::Run() == 0;
+                              });
+}

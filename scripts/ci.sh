@@ -5,8 +5,9 @@
 # driver, storage, and lock-manager tests must come back data-race-free);
 # the ASan/UBSan pass covers the fault-injection and crash-recovery paths,
 # where abandoned transactions and log-truncation replay make lifetime
-# bugs easiest to introduce. The plain leg also emits BENCH_parallel.json
-# with machine-readable throughput numbers.
+# bugs easiest to introduce. The plain leg also emits the machine-readable
+# run-report artifacts (REPORT_parallel.json + a Chrome trace of a chaos
+# run) and gates every bench's --json output through json.tool.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -15,9 +16,22 @@ cmake -B build -S . -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-echo "== bench artifact: BENCH_parallel.json =="
-./build/bench/bench_parallel_protocol --json > BENCH_parallel.json
-cat BENCH_parallel.json
+echo "== report artifacts: REPORT_parallel.json + TRACE_chaos.json =="
+./build/bench/bench_parallel_protocol --json --trace TRACE_chaos.json \
+  > REPORT_parallel.json
+python3 -m json.tool REPORT_parallel.json > /dev/null
+python3 -m json.tool TRACE_chaos.json > /dev/null
+cat REPORT_parallel.json
+
+echo "== json gate: every bench must emit one valid --json document =="
+# The quick benches run in full; the expensive sweeps are already covered
+# by the parallel report above, so this gate sticks to the cheap ones plus
+# the google-benchmark binary (whose --json maps to its own reporter).
+for bench in bench_fig2_regions bench_class_containment bench_lemma1_sat \
+             bench_validation_cost bench_partial_order bench_lock_manager; do
+  echo "-- ${bench} --json"
+  ./build/bench/"${bench}" --json | python3 -m json.tool > /dev/null
+done
 
 echo "== [2/3] ThreadSanitizer build =="
 cmake -B build-tsan -S . -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \

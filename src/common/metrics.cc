@@ -96,6 +96,18 @@ std::string ProtocolMetrics::Summary() const {
   if (wait_micros.count() > 0) {
     os << "blocked episodes (us): " << wait_micros.ToString() << "\n";
   }
+  if (span_validate.count() > 0) {
+    os << "span validate: " << span_validate.ToString() << "\n";
+  }
+  if (span_execute.count() > 0) {
+    os << "span execute: " << span_execute.ToString() << "\n";
+  }
+  if (span_commit_wait.count() > 0) {
+    os << "span commit-wait: " << span_commit_wait.ToString() << "\n";
+  }
+  if (span_terminate.count() > 0) {
+    os << "span terminate: " << span_terminate.ToString() << "\n";
+  }
   return os.str();
 }
 
@@ -117,6 +129,10 @@ void ProtocolMetrics::Reset() {
   search_nodes.Reset();
   commit_waits.Reset();
   wait_micros.Reset();
+  span_validate.Reset();
+  span_execute.Reset();
+  span_commit_wait.Reset();
+  span_terminate.Reset();
   crash_restarts.Reset();
   recovered_txs.Reset();
 }

@@ -84,12 +84,24 @@ struct ProtocolMetrics {
                             ///< driver only; the tick simulator has no wall
                             ///< clock).
 
+  // Per-transaction phase spans. Units depend on the driver: wall-clock µs
+  // under the parallel driver, simulated ticks under the tick simulator.
+  Histogram span_validate;     ///< Begin until the attempt is admitted.
+  Histogram span_execute;      ///< Admission until the last read/write.
+  Histogram span_commit_wait;  ///< Blocked portion of termination.
+  Histogram span_terminate;    ///< First Commit call until resolution.
+
   // Fault-injection & recovery (chaos runs).
   Counter crash_restarts;   ///< Simulated crash-kill + WAL recovery cycles.
   Counter recovered_txs;    ///< Committed transactions restored from WAL.
 
   /// Multi-line human-readable dump (omits never-touched members).
   std::string Summary() const;
+
+  /// The full structure as a pretty-printed JSON object — the `metrics`
+  /// section of the run-report schema (see common/report.h, which also
+  /// provides the DOM-level MetricsJson()).
+  std::string ToJson() const;
 
   void Reset();
 };

@@ -1,0 +1,135 @@
+#ifndef NONSERIAL_COMMON_REPORT_H_
+#define NONSERIAL_COMMON_REPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/span.h"
+
+namespace nonserial {
+
+/// Version of the machine-readable run-report schema. Bump on any change a
+/// consumer could observe (renamed key, moved field, changed meaning);
+/// adding new optional keys is compatible and needs no bump.
+inline constexpr int kReportSchemaVersion = 1;
+
+/// A minimal JSON document: null, bool, int64, double, string, array, or
+/// object. Objects preserve insertion order, so reports serialize with a
+/// stable key layout (the golden-file test depends on it). Built for
+/// *writing* reports — there is deliberately no parser.
+class Json {
+ public:
+  Json() = default;
+  Json(bool value) : type_(Type::kBool), bool_(value) {}
+  Json(int value) : type_(Type::kInt), int_(value) {}
+  Json(int64_t value) : type_(Type::kInt), int_(value) {}
+  Json(double value) : type_(Type::kDouble), double_(value) {}
+  Json(const char* value) : type_(Type::kString), string_(value) {}
+  Json(std::string value) : type_(Type::kString), string_(std::move(value)) {}
+
+  static Json Array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json Object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  bool is_null() const { return type_ == Type::kNull; }
+
+  /// Object access: returns the value at `key`, inserting a null member at
+  /// the end if absent. A null Json silently becomes an object.
+  Json& operator[](const std::string& key);
+
+  /// Array append. A null Json silently becomes an array.
+  void Push(Json value);
+
+  size_t size() const { return members_.size(); }
+
+  /// Serializes the document. `indent` = 0 renders one line; otherwise
+  /// pretty-prints with that many spaces per level.
+  std::string Dump(int indent = 0) const;
+
+ private:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  /// Array elements (keys empty) or object members, in insertion order.
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+/// All counters and histograms of a ProtocolMetrics as a JSON object.
+/// Histograms render as {count, mean, p50, p99, max}.
+Json MetricsJson(const ProtocolMetrics& metrics);
+
+/// Builds the run report every bench and driver emits under `--json`:
+///
+///   {
+///     "schema_version": 1,
+///     "bench": "<name>",
+///     "ok": true,
+///     "config": {...},        // free-form run parameters
+///     "results": [...],       // one row per measured point
+///     "metrics": {...},       // MetricsJson, when attached
+///     "events": {"CEP": {"committed": 16, ...}, ...}  // when attached
+///   }
+///
+/// Keys appear in exactly that order; absent sections are omitted, not
+/// null. The whole report is a single JSON document — CI pipes it through
+/// `python3 -m json.tool` as a gate.
+class ReportBuilder {
+ public:
+  explicit ReportBuilder(std::string bench);
+
+  void SetOk(bool ok) { ok_ = ok; }
+  bool ok() const { return ok_; }
+
+  /// The free-form config object (insert keys directly).
+  Json& config() { return config_; }
+
+  /// Appends one measurement row to `results`.
+  void AddResult(Json row) { results_.Push(std::move(row)); }
+
+  void AttachMetrics(const ProtocolMetrics& metrics) {
+    metrics_ = MetricsJson(metrics);
+  }
+
+  /// Event tallies as produced by TraceRecorder::Tally() — protocol name
+  /// to kind-name to count. Taken as plain maps so this layer stays
+  /// independent of the protocol library.
+  void AttachEventTallies(
+      const std::map<std::string, std::map<std::string, int64_t>>& tallies);
+
+  Json Build() const;
+  std::string Dump(int indent = 2) const { return Build().Dump(indent); }
+
+ private:
+  std::string bench_;
+  bool ok_ = true;
+  Json config_ = Json::Object();
+  Json results_ = Json::Array();
+  Json metrics_;
+  Json events_;
+};
+
+/// A span timeline in the Chrome trace_event JSON format — load the file in
+/// about:tracing or https://ui.perfetto.dev. Lanes map to `tid`, phases to
+/// complete ("ph":"X") events; lane names emit thread_name metadata.
+Json ChromeTraceJson(const SpanTimeline& timeline);
+
+}  // namespace nonserial
+
+#endif  // NONSERIAL_COMMON_REPORT_H_

@@ -1,0 +1,78 @@
+#ifndef NONSERIAL_COMMON_SPAN_H_
+#define NONSERIAL_COMMON_SPAN_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace nonserial {
+
+/// One timed phase of one transaction attempt, on the timeline's shared
+/// clock. Phases partition an attempt's lifetime: "validate" (Begin until
+/// admission), "execute" (reads/writes), "terminate" (first Commit call
+/// until the attempt resolves); "commit-wait" overlays the blocked portion
+/// of termination. `lane` groups spans per display row (transaction id) and
+/// becomes `tid` in the Chrome trace export.
+struct PhaseSpan {
+  int lane = 0;
+  int attempt = 0;
+  const char* phase = "";  ///< Static string; not owned.
+  int64_t start_us = 0;    ///< Offset from the timeline epoch.
+  int64_t dur_us = 0;
+  bool ok = true;  ///< False when the phase ended in an abort.
+};
+
+/// A shared wall-clock timeline of phase spans. The epoch is fixed at
+/// construction (steady clock), so spans recorded across crash-recovery
+/// cycles of a chaos run stay on one coherent time axis. Thread-safe:
+/// parallel-driver workers append concurrently.
+class SpanTimeline {
+ public:
+  SpanTimeline() : epoch_(std::chrono::steady_clock::now()) {}
+
+  /// Microseconds since the timeline was created.
+  int64_t ElapsedUs() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  void Add(const PhaseSpan& span) {
+    std::lock_guard<std::mutex> lock(mu_);
+    spans_.push_back(span);
+  }
+
+  /// Labels a lane ("T3 transfer", "group 1") in the exported trace.
+  void SetLaneName(int lane, std::string name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    lane_names_[lane] = std::move(name);
+  }
+
+  std::vector<PhaseSpan> spans() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return spans_;
+  }
+
+  std::map<int, std::string> lane_names() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lane_names_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return spans_.size();
+  }
+
+ private:
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<PhaseSpan> spans_;
+  std::map<int, std::string> lane_names_;
+};
+
+}  // namespace nonserial
+
+#endif  // NONSERIAL_COMMON_SPAN_H_

@@ -663,18 +663,6 @@ void CorrectExecutionProtocol::ForceAbort(int tx, int64_t* counter,
   Emit(reason, tx);
 }
 
-void CorrectExecutionProtocol::Emit(CepEvent::Kind kind, int tx, int other,
-                                    EntityId entity, Value value) {
-  if (observer_ == nullptr) return;
-  CepEvent event;
-  event.kind = kind;
-  event.tx = tx;
-  event.other = other;
-  event.entity = entity;
-  event.value = value;
-  observer_->OnEvent(event);
-}
-
 std::vector<int> CorrectExecutionProtocol::TakeWakeups() {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<int> out(wakeups_.begin(), wakeups_.end());

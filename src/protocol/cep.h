@@ -123,11 +123,8 @@ class CorrectExecutionProtocol : public ConcurrencyController {
   /// have quiesced — the verifier runs after the drivers join.
   const std::vector<TxRecord>& records() const { return records_; }
 
-  /// Attaches an observer receiving every protocol decision (see trace.h).
-  /// Not owned; must outlive the protocol or be detached with nullptr.
-  /// Call before driving threads start; events are emitted under the engine
-  /// lock, so the observer needs no synchronization of its own.
-  void SetObserver(CepObserver* observer) { observer_ = observer; }
+  // Trace emission uses the base-interface SetObserver (controller.h);
+  // events are emitted under the engine lock, in decision order.
 
   /// The input version state X(t) currently assigned to an executing
   /// transaction (nullptr before validation or after termination). Used by
@@ -238,8 +235,6 @@ class CorrectExecutionProtocol : public ConcurrencyController {
   /// out (leaked empty entries grow without bound under churn).
   void DropWaiterEntries(int tx);
   void ForceAbort(int tx, int64_t* counter, CepEvent::Kind reason);
-  void Emit(CepEvent::Kind kind, int tx, int other = -1,
-            EntityId entity = kInvalidEntity, Value value = 0);
 
   /// True iff making `tx` wait for `target`'s commit closes a wait cycle.
   bool WouldDeadlock(int tx, int target) const;
@@ -268,7 +263,6 @@ class CorrectExecutionProtocol : public ConcurrencyController {
   std::set<int> wakeups_;
   std::set<int> forced_aborts_;
   Stats stats_;
-  CepObserver* observer_ = nullptr;
 };
 
 }  // namespace nonserial

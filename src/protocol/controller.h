@@ -6,6 +6,7 @@
 
 #include "predicate/predicate.h"
 #include "predicate/value.h"
+#include "protocol/trace.h"
 
 namespace nonserial {
 
@@ -75,6 +76,35 @@ class ConcurrencyController {
 
   /// Drains transaction ids the controller requires the simulator to abort.
   virtual std::vector<int> TakeForcedAborts() = 0;
+
+  /// Attaches a trace sink receiving every protocol decision (see trace.h
+  /// for the event taxonomy and the locking contract). Not owned; must
+  /// outlive the controller or be detached with nullptr. Attach before
+  /// driving threads start. Virtual so composite controllers (Nested-CEP)
+  /// can propagate the sink into their inner scope engines.
+  virtual void SetObserver(TraceSink* sink) { sink_ = sink; }
+
+  TraceSink* observer() const { return sink_; }
+
+ protected:
+  /// Emits through the attached sink (no-op when detached), stamping the
+  /// event with this controller's protocol tag. Engines with an internal
+  /// lock call this while holding it; the sink must not call back in.
+  void Emit(TraceEvent::Kind kind, int tx, int other = -1,
+            EntityId entity = kInvalidEntity, Value value = 0) {
+    if (sink_ == nullptr) return;
+    TraceEvent event;
+    event.kind = kind;
+    event.tx = tx;
+    event.other = other;
+    event.entity = entity;
+    event.value = value;
+    event.protocol = name();
+    sink_->OnEvent(event);
+  }
+
+ private:
+  TraceSink* sink_ = nullptr;
 };
 
 }  // namespace nonserial

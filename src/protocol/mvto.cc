@@ -25,12 +25,14 @@ ReqResult MvtoController::Begin(int tx) {
   for (int pred : state.profile.predecessors) {
     if (!txs_[pred].committed) {
       commit_waiters_[pred].insert(tx);
+      Emit(TraceEvent::Kind::kCommitWait, tx, pred);
       return ReqResult::kBlocked;
     }
   }
   state.ts = ++clock_;
   state.own_writes.clear();
   state.reads.clear();
+  Emit(TraceEvent::Kind::kValidated, tx, -1, kInvalidEntity, state.ts);
   return ReqResult::kGranted;
 }
 
@@ -50,11 +52,13 @@ ReqResult MvtoController::Read(int tx, EntityId e, Value* out) {
     // Wait for the writer to resolve rather than reading dirty data.
     ++stats_.commit_waits;
     commit_waiters_[meta.writer].insert(tx);
+    Emit(TraceEvent::Kind::kCommitWait, tx, meta.writer, e);
     return ReqResult::kBlocked;
   }
   meta.max_read_ts = std::max(meta.max_read_ts, state.ts);
   *out = store_->Read(VersionRef{e, meta.store_index});
   state.reads[e] = *out;
+  Emit(TraceEvent::Kind::kRead, tx, -1, e, *out);
   return ReqResult::kGranted;
 }
 
@@ -66,6 +70,7 @@ ReqResult MvtoController::Write(int tx, EntityId e, Value value) {
     // A younger reader already observed the predecessor version: this write
     // arrives too late in timestamp order.
     ++stats_.late_write_aborts;
+    Emit(TraceEvent::Kind::kTsAbort, tx, -1, e);
     return ReqResult::kAborted;
   }
   int index = store_->Append(e, value, tx);
@@ -74,6 +79,7 @@ ReqResult MvtoController::Write(int tx, EntityId e, Value value) {
   meta.writer = tx;
   versions_[e][state.ts] = meta;  // A rewrite by the same tx supersedes.
   state.own_writes[e] = value;
+  Emit(TraceEvent::Kind::kWrite, tx, -1, e, value);
   return ReqResult::kGranted;
 }
 
@@ -111,6 +117,7 @@ ReqResult MvtoController::Commit(int tx) {
     for (int waiter : waiters->second) Wake(waiter);
     commit_waiters_.erase(waiters);
   }
+  Emit(TraceEvent::Kind::kCommitted, tx);
   return ReqResult::kGranted;
 }
 
@@ -136,6 +143,7 @@ void MvtoController::Abort(int tx) {
     for (int waiter : waiters->second) Wake(waiter);
     commit_waiters_.erase(waiters);
   }
+  Emit(TraceEvent::Kind::kAborted, tx);
 }
 
 void MvtoController::Wake(int tx) { wakeups_.insert(tx); }

@@ -22,6 +22,14 @@ NestedCepController::NestedCepController(VersionStore* top_store,
   }
 }
 
+void NestedCepController::SetObserver(TraceSink* sink) {
+  ConcurrencyController::SetObserver(sink);
+  top_cep_.SetObserver(sink);
+  for (GroupState& group : groups_) {
+    if (group.cep != nullptr) group.cep->SetObserver(sink);
+  }
+}
+
 int NestedCepController::GroupOf(int tx) const {
   NONSERIAL_CHECK_LT(tx, static_cast<int>(options_.group_of_tx.size()))
       << "transaction " << tx << " has no group mapping";
@@ -88,6 +96,7 @@ ReqResult NestedCepController::EnsureGroupStarted(int g, int tx) {
   // Open the scope: a private store seeded with X(G) and a private CEP.
   group.store = std::make_unique<VersionStore>(group.seed);
   group.cep = std::make_unique<CorrectExecutionProtocol>(group.store.get());
+  group.cep->SetObserver(observer());
   for (int member : group.members) {
     group.cep->Register(member, profiles_[member]);
   }
@@ -95,6 +104,7 @@ ReqResult NestedCepController::EnsureGroupStarted(int g, int tx) {
   group.published = false;
   group.phase = GroupPhase::kActive;
   ++stats_.group_starts;
+  Emit(TraceEvent::Kind::kGroupStart, g);
   for (int waiter : group.begin_waiters) wakeups_.insert(waiter);
   group.begin_waiters.clear();
   return ReqResult::kGranted;
@@ -179,6 +189,7 @@ ReqResult NestedCepController::TryGroupCommit(int g) {
     case ReqResult::kGranted: {
       group.phase = GroupPhase::kCommitted;
       ++stats_.group_commits;
+      Emit(TraceEvent::Kind::kGroupCommit, g);
       for (int member : group.members) wakeups_.insert(member);
       return ReqResult::kGranted;
     }
@@ -206,6 +217,7 @@ void NestedCepController::ResetGroup(int g) {
   group.published = false;
   group.phase = GroupPhase::kIdle;
   ++stats_.group_resets;
+  Emit(TraceEvent::Kind::kGroupReset, g);
   for (int member : group.members) forced_aborts_.insert(member);
 }
 

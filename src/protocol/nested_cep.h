@@ -75,6 +75,12 @@ class NestedCepController : public ConcurrencyController {
   std::vector<int> TakeWakeups() override;
   std::vector<int> TakeForcedAborts() override;
 
+  /// Propagates the sink into the top scope engine and every scope engine,
+  /// including scopes opened later. Scope engines tag their events "CEP";
+  /// this controller's own group-lifecycle events (kGroupStart /
+  /// kGroupCommit / kGroupReset, with tx = group id) carry "Nested-CEP".
+  void SetObserver(TraceSink* sink) override;
+
   const Stats& stats() const { return stats_; }
 
   /// Testing hooks.

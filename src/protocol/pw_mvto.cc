@@ -36,12 +36,14 @@ ReqResult PwMvtoController::Begin(int tx) {
   for (int pred : state.profile.predecessors) {
     if (!txs_[pred].committed) {
       commit_waiters_[pred].insert(tx);
+      Emit(TraceEvent::Kind::kCommitWait, tx, pred);
       return ReqResult::kBlocked;
     }
   }
   state.running = true;
   state.group_ts.clear();
   state.own_writes.clear();
+  Emit(TraceEvent::Kind::kValidated, tx);
   return ReqResult::kGranted;
 }
 
@@ -52,6 +54,7 @@ int64_t PwMvtoController::EnsureTimestamp(int tx, int group) {
   int64_t ts = ++clocks_[group];
   state.group_ts.emplace(group, ts);
   ++stats_.timestamps_drawn;
+  Emit(TraceEvent::Kind::kTsDraw, tx, group, kInvalidEntity, ts);
   return ts;
 }
 
@@ -76,10 +79,12 @@ ReqResult PwMvtoController::Read(int tx, EntityId e, Value* out) {
   if (!meta.committed && meta.writer != tx) {
     ++stats_.commit_waits;
     commit_waiters_[meta.writer].insert(tx);
+    Emit(TraceEvent::Kind::kCommitWait, tx, meta.writer, e);
     return ReqResult::kBlocked;
   }
   meta.max_read_ts = std::max(meta.max_read_ts, ts);
   *out = store_->Read(VersionRef{e, meta.store_index});
+  Emit(TraceEvent::Kind::kRead, tx, -1, e, *out);
   return ReqResult::kGranted;
 }
 
@@ -90,6 +95,7 @@ ReqResult PwMvtoController::Write(int tx, EntityId e, Value value) {
   auto it = VisibleVersion(e, ts);
   if (it->first != ts && it->second.max_read_ts > ts) {
     ++stats_.late_write_aborts;  // Late within this object's order only.
+    Emit(TraceEvent::Kind::kTsAbort, tx, -1, e);
     return ReqResult::kAborted;
   }
   int index = store_->Append(e, value, tx);
@@ -98,6 +104,7 @@ ReqResult PwMvtoController::Write(int tx, EntityId e, Value value) {
   meta.writer = tx;
   versions_[e][ts] = meta;
   state.own_writes[e] = value;
+  Emit(TraceEvent::Kind::kWrite, tx, -1, e, value);
   return ReqResult::kGranted;
 }
 
@@ -137,6 +144,7 @@ ReqResult PwMvtoController::Commit(int tx) {
     for (int waiter : waiters->second) Wake(waiter);
     commit_waiters_.erase(waiters);
   }
+  Emit(TraceEvent::Kind::kCommitted, tx);
   return ReqResult::kGranted;
 }
 
@@ -161,6 +169,7 @@ void PwMvtoController::Abort(int tx) {
     for (int waiter : waiters->second) Wake(waiter);
     commit_waiters_.erase(waiters);
   }
+  Emit(TraceEvent::Kind::kAborted, tx);
 }
 
 void PwMvtoController::Wake(int tx) { wakeups_.insert(tx); }

@@ -3,54 +3,83 @@
 #include "common/strings.h"
 
 namespace nonserial {
-namespace {
 
-const char* KindName(CepEvent::Kind kind) {
+const char* TraceEvent::KindName(Kind kind) {
   switch (kind) {
-    case CepEvent::Kind::kValidated:
+    case Kind::kValidated:
       return "validated";
-    case CepEvent::Kind::kValidationWait:
+    case Kind::kValidationWait:
       return "validation-wait";
-    case CepEvent::Kind::kRead:
+    case Kind::kRead:
       return "read";
-    case CepEvent::Kind::kWrite:
+    case Kind::kWrite:
       return "write";
-    case CepEvent::Kind::kReEval:
+    case Kind::kReEval:
       return "re-eval";
-    case CepEvent::Kind::kReAssign:
+    case Kind::kReAssign:
       return "re-assign";
-    case CepEvent::Kind::kPoAbort:
+    case Kind::kPoAbort:
       return "po-abort";
-    case CepEvent::Kind::kCascadeAbort:
+    case Kind::kCascadeAbort:
       return "cascade-abort";
-    case CepEvent::Kind::kInjectedAbort:
+    case Kind::kInjectedAbort:
       return "injected-abort";
-    case CepEvent::Kind::kCommitWait:
+    case Kind::kCommitWait:
       return "commit-wait";
-    case CepEvent::Kind::kCommitted:
+    case Kind::kCommitted:
       return "committed";
-    case CepEvent::Kind::kAborted:
+    case Kind::kAborted:
       return "aborted";
+    case Kind::kLockGrant:
+      return "lock-grant";
+    case Kind::kLockBlock:
+      return "lock-block";
+    case Kind::kDeadlockVictim:
+      return "deadlock-victim";
+    case Kind::kGroupRelease:
+      return "group-release";
+    case Kind::kTsDraw:
+      return "ts-draw";
+    case Kind::kTsAbort:
+      return "ts-abort";
+    case Kind::kGroupStart:
+      return "group-start";
+    case Kind::kGroupCommit:
+      return "group-commit";
+    case Kind::kGroupReset:
+      return "group-reset";
   }
   return "?";
 }
 
-}  // namespace
-
-std::string CepEvent::ToString() const {
-  std::string out = StrCat(KindName(kind), " tx=", tx);
+std::string TraceEvent::ToString() const {
+  std::string out;
+  if (!protocol.empty()) out += StrCat("[", protocol, "] ");
+  out += StrCat(KindName(kind), " tx=", tx);
   if (other >= 0) out += StrCat(" peer=", other);
   if (entity != kInvalidEntity) out += StrCat(" entity=", entity);
-  if (kind == Kind::kRead || kind == Kind::kWrite) {
+  if (kind == Kind::kRead || kind == Kind::kWrite ||
+      kind == Kind::kValidated || kind == Kind::kTsDraw) {
     out += StrCat(" value=", value);
   }
   return out;
 }
 
-std::vector<CepEvent> CepTraceRecorder::OfKind(CepEvent::Kind kind) const {
-  std::vector<CepEvent> out;
-  for (const CepEvent& event : events_) {
+std::vector<TraceEvent> TraceRecorder::OfKind(TraceEvent::Kind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& event : events_) {
     if (event.kind == kind) out.push_back(event);
+  }
+  return out;
+}
+
+std::map<std::string, std::map<std::string, int64_t>> TraceRecorder::Tally()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, std::map<std::string, int64_t>> out;
+  for (const TraceEvent& event : events_) {
+    ++out[event.protocol][TraceEvent::KindName(event.kind)];
   }
   return out;
 }

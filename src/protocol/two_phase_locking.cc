@@ -55,6 +55,7 @@ ReqResult TwoPhaseLockingController::Begin(int tx) {
   for (int pred : state.profile.predecessors) {
     if (!txs_[pred].committed) {
       commit_waiters_[pred].insert(tx);
+      Emit(TraceEvent::Kind::kCommitWait, tx, pred);
       return ReqResult::kBlocked;
     }
   }
@@ -117,13 +118,18 @@ ReqResult TwoPhaseLockingController::AcquireKeys(int tx, EntityId e,
       key_waiters_[key].insert(tx);
     }
   }
-  if (all_conflicts.empty()) return ReqResult::kGranted;
+  if (all_conflicts.empty()) {
+    Emit(TraceEvent::Kind::kLockGrant, tx, -1, e);
+    return ReqResult::kGranted;
+  }
   if (WaitCycles(tx, all_conflicts)) {
     ++stats_.deadlock_aborts;
+    Emit(TraceEvent::Kind::kDeadlockVictim, tx, all_conflicts.front(), e);
     return ReqResult::kAborted;
   }
   ++stats_.lock_waits;
   waits_for_[tx].insert(all_conflicts.begin(), all_conflicts.end());
+  Emit(TraceEvent::Kind::kLockBlock, tx, all_conflicts.front(), e);
   return ReqResult::kBlocked;
 }
 
@@ -144,6 +150,7 @@ void TwoPhaseLockingController::MarkOpDone(int tx, EntityId e) {
             key_waiters_.erase(waiters);
           }
           ++stats_.group_releases;
+          Emit(TraceEvent::Kind::kGroupRelease, tx, g, e);
         }
       }
     }
@@ -164,6 +171,7 @@ ReqResult TwoPhaseLockingController::Read(int tx, EntityId e, Value* out) {
              ? own->second
              : store_->Read(VersionRef{e, store_->LatestCommittedIndex(e)});
   state.reads[e] = *out;
+  Emit(TraceEvent::Kind::kRead, tx, -1, e, *out);
   MarkOpDone(tx, e);
   return ReqResult::kGranted;
 }
@@ -176,6 +184,7 @@ ReqResult TwoPhaseLockingController::Write(int tx, EntityId e, Value value) {
   waits_for_.erase(tx);
   store_->Append(e, value, tx);
   state.own_writes[e] = value;
+  Emit(TraceEvent::Kind::kWrite, tx, -1, e, value);
   return ReqResult::kGranted;
 }
 
@@ -201,6 +210,7 @@ ReqResult TwoPhaseLockingController::Commit(int tx) {
     for (int waiter : waiters->second) Wake(waiter);
     commit_waiters_.erase(waiters);
   }
+  Emit(TraceEvent::Kind::kCommitted, tx);
   return ReqResult::kGranted;
 }
 
@@ -223,6 +233,7 @@ void TwoPhaseLockingController::Abort(int tx) {
   state.running = false;
   state.own_writes.clear();
   state.reads.clear();
+  Emit(TraceEvent::Kind::kAborted, tx);
 }
 
 size_t TwoPhaseLockingController::WaiterFootprint() const {

@@ -10,6 +10,7 @@
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "common/strings.h"
 
 namespace nonserial {
 namespace {
@@ -213,6 +214,12 @@ class Driver {
   void RunTx(int tx) {
     const SimTx& script = workload_.txs[tx];
     ParallelTxOutcome outcome;
+    SpanTimeline* timeline = config_.timeline;
+    ProtocolMetrics* metrics = config_.protocol.metrics;
+    if (timeline != nullptr) {
+      timeline->SetLaneName(
+          tx, script.name.empty() ? StrCat("tx", tx) : script.name);
+    }
     // Recovered from the write-ahead log in a previous crash cycle: the
     // store already holds its committed versions and the engine adopted its
     // record in RestoreCommitted — nothing to execute.
@@ -236,6 +243,26 @@ class Driver {
       bool aborted = false;
       int64_t poll_us = std::max<int64_t>(1, config_.poll_us);
       int64_t attempt_blocked_us = 0;
+
+      // Phase-span bookkeeping: close_phase stamps the span ending now and
+      // re-arms the mark for the next phase. Completed phases additionally
+      // feed the metrics span histograms; failed ones only appear on the
+      // timeline (ok=false), where aborted work is the interesting part.
+      Clock::time_point phase_mark = Clock::now();
+      int64_t phase_offset_us =
+          timeline == nullptr ? 0 : timeline->ElapsedUs();
+      auto close_phase = [&](const char* phase, bool ok, Histogram* hist) {
+        int64_t dur_us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - phase_mark)
+                .count();
+        if (ok && hist != nullptr) hist->Record(dur_us);
+        if (timeline != nullptr) {
+          timeline->Add({tx, restarts, phase, phase_offset_us, dur_us, ok});
+        }
+        phase_mark = Clock::now();
+        phase_offset_us = timeline == nullptr ? 0 : timeline->ElapsedUs();
+      };
 
       // Shared blocked-wait policy for the three blocking calls: park with
       // backoff, then abort the attempt on forced abort, halt, or (bounded
@@ -265,6 +292,8 @@ class Driver {
           break;
         }
       }
+      close_phase("validate", !aborted,
+                  metrics == nullptr ? nullptr : &metrics->span_validate);
 
       // Execution phase.
       if (!aborted) {
@@ -325,10 +354,13 @@ class Driver {
           Drain();
           SleepTicks(script.think_between_ops);
         }
+        close_phase("execute", !aborted,
+                    metrics == nullptr ? nullptr : &metrics->span_execute);
       }
 
       // Termination phase.
       if (!aborted) {
+        int64_t blocked_before_commit_us = attempt_blocked_us;
         for (;;) {
           ReqResult r = cep_->Commit(tx);
           Drain();
@@ -340,6 +372,12 @@ class Driver {
             aborted = true;
             break;
           }
+        }
+        close_phase("terminate", outcome.committed,
+                    metrics == nullptr ? nullptr : &metrics->span_terminate);
+        if (outcome.committed && metrics != nullptr) {
+          metrics->span_commit_wait.Record(attempt_blocked_us -
+                                           blocked_before_commit_us);
         }
       }
 
@@ -402,6 +440,7 @@ ParallelRunResult ParallelDriver::Run(
   }
   auto cep =
       std::make_shared<CorrectExecutionProtocol>(store.get(), config_.protocol);
+  if (config_.observer != nullptr) cep->SetObserver(config_.observer);
   Driver driver(workload, config_, store.get(), cep.get(),
                 /*restored=*/nullptr, /*crash_after_us=*/-1,
                 /*storm_seed=*/config_.chaos.seed);
@@ -439,6 +478,7 @@ ChaosRunResult ParallelDriver::RunChaos(
     store->SetWal(wal);
     cep = std::make_shared<CorrectExecutionProtocol>(store.get(),
                                                      config_.protocol);
+    if (config_.observer != nullptr) cep->SetObserver(config_.observer);
     int64_t crash_after_us =
         final_cycle ? -1
                     : rng.UniformInt(chaos.min_cycle_us, chaos.max_cycle_us);

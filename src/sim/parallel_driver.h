@@ -9,6 +9,7 @@
 
 #include "common/failpoint.h"
 #include "common/metrics.h"
+#include "common/span.h"
 #include "protocol/cep.h"
 #include "sim/simulator.h"
 #include "storage/version_store.h"
@@ -72,6 +73,15 @@ struct ParallelDriverConfig {
   WriteAheadLog* wal = nullptr;
   /// Options forwarded to the protocol engine (search mode, metrics sink).
   CorrectExecutionProtocol::Options protocol;
+  /// Per-transaction phase spans in wall-clock µs on a shared timeline
+  /// (Chrome trace export, see common/report.h). The timeline's epoch is
+  /// its construction time, so one timeline can span all cycles of a chaos
+  /// run. Not owned; null disables span recording. With protocol.metrics
+  /// set, completed phases also feed its span_* histograms.
+  SpanTimeline* timeline = nullptr;
+  /// Trace sink attached (SetObserver) to the engine of every cycle before
+  /// workers start. Not owned; must be thread-safe (see protocol/trace.h).
+  TraceSink* observer = nullptr;
   /// Fault-injection mode (RunChaos only; plain Run ignores it).
   ChaosConfig chaos;
 };

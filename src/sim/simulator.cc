@@ -179,6 +179,12 @@ class Runner {
     int restarts = 0;
     int ops_this_attempt = 0;
     SimTime blocked_since = -1;
+    // Phase boundaries of the current attempt, in simulated ticks (-1 =
+    // phase not entered yet). Feed the SimConfig::metrics span histograms.
+    SimTime attempt_start = -1;
+    SimTime exec_start = -1;
+    SimTime commit_start = -1;
+    SimTime commit_blocked = 0;
     ValueVector local;
     std::vector<bool> known;
   };
@@ -192,10 +198,15 @@ class Runner {
     // Only one Begin per attempt: stale events (superseded by an abort) and
     // duplicate wakeups are dropped.
     if (rt.attempt != gen || rt.st != St::kPending) return;
+    if (rt.attempt_start < 0) rt.attempt_start = now_;
     switch (controller_->Begin(tx)) {
       case ReqResult::kGranted: {
         rt.st = St::kRunning;
         if (result_.tx[tx].begin_time < 0) result_.tx[tx].begin_time = now_;
+        if (config_.metrics != nullptr) {
+          config_.metrics->span_validate.Record(now_ - rt.attempt_start);
+        }
+        rt.exec_start = now_;
         int gen = rt.attempt;
         Schedule(now_, [this, tx, gen] { Advance(tx, gen); });
         break;
@@ -290,11 +301,21 @@ class Runner {
 
   void TryCommit(int tx) {
     TxRuntime& rt = runtimes_[tx];
+    if (rt.commit_start < 0) {
+      rt.commit_start = now_;
+      if (config_.metrics != nullptr && rt.exec_start >= 0) {
+        config_.metrics->span_execute.Record(now_ - rt.exec_start);
+      }
+    }
     switch (controller_->Commit(tx)) {
       case ReqResult::kGranted: {
         rt.st = St::kCommitted;
         result_.tx[tx].committed = true;
         result_.tx[tx].commit_time = now_;
+        if (config_.metrics != nullptr) {
+          config_.metrics->span_terminate.Record(now_ - rt.commit_start);
+          config_.metrics->span_commit_wait.Record(rt.commit_blocked);
+        }
         history_log_.push_back(
             {true, tx, OpKind::kRead, kInvalidEntity, rt.attempt});
         break;
@@ -318,6 +339,9 @@ class Runner {
   void OnWake(int tx) {
     TxRuntime& rt = runtimes_[tx];
     if (rt.st != St::kBlocked) return;
+    if (rt.retry == Retry::kCommit) {
+      rt.commit_blocked += now_ - rt.blocked_since;
+    }
     result_.tx[tx].blocked_time += now_ - rt.blocked_since;
     rt.st = St::kRunning;
     int gen = rt.attempt;
@@ -353,6 +377,10 @@ class Runner {
     ++rt.restarts;
     rt.next_step = 0;
     rt.ops_this_attempt = 0;
+    rt.attempt_start = -1;
+    rt.exec_start = -1;
+    rt.commit_start = -1;
+    rt.commit_blocked = 0;
     rt.known.assign(rt.known.size(), false);
     if (rt.restarts > config_.max_restarts) {
       rt.st = St::kGivenUp;

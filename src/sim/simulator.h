@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "classes/recoverability.h"
+#include "common/metrics.h"
 #include "model/transaction.h"
 #include "predicate/predicate.h"
 #include "protocol/controller.h"
@@ -62,6 +63,10 @@ struct SimConfig {
   SimTime restart_backoff = 25;   ///< Delay before an aborted attempt retries.
   int max_restarts = 10000;       ///< Give-up threshold per transaction.
   SimTime max_time = 500'000'000; ///< Watchdog against livelock.
+  /// Optional sink for per-phase spans (span_validate / span_execute /
+  /// span_commit_wait / span_terminate), in simulated ticks. Only phases of
+  /// committed attempts are recorded. Not owned.
+  ProtocolMetrics* metrics = nullptr;
 };
 
 /// Per-transaction outcome metrics.

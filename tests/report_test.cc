@@ -1,0 +1,193 @@
+// Tests for the run-report subsystem: the Json writer, the report schema
+// (pinned by a golden string — changing the layout must bump
+// kReportSchemaVersion), metrics serialization, and the Chrome trace_event
+// export of span timelines.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "common/metrics.h"
+#include "common/report.h"
+#include "common/span.h"
+
+namespace nonserial {
+namespace {
+
+// --- Json writer ---------------------------------------------------------
+
+TEST(JsonTest, ScalarsRender) {
+  EXPECT_EQ(Json().Dump(), "null");
+  EXPECT_EQ(Json(true).Dump(), "true");
+  EXPECT_EQ(Json(false).Dump(), "false");
+  EXPECT_EQ(Json(42).Dump(), "42");
+  EXPECT_EQ(Json(int64_t{-7}).Dump(), "-7");
+  EXPECT_EQ(Json(2.5).Dump(), "2.5");
+  EXPECT_EQ(Json("hi").Dump(), "\"hi\"");
+}
+
+TEST(JsonTest, NonFiniteDoublesRenderAsNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).Dump(), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).Dump(), "null");
+}
+
+TEST(JsonTest, StringsEscape) {
+  EXPECT_EQ(Json("a\"b\\c").Dump(), "\"a\\\"b\\\\c\"");
+  EXPECT_EQ(Json("line\nbreak\ttab").Dump(), "\"line\\nbreak\\ttab\"");
+  EXPECT_EQ(Json(std::string("\x01")).Dump(), "\"\\u0001\"");
+}
+
+TEST(JsonTest, EmptyContainersRenderCompact) {
+  EXPECT_EQ(Json::Array().Dump(), "[]");
+  EXPECT_EQ(Json::Object().Dump(), "{}");
+  EXPECT_EQ(Json::Array().Dump(2), "[]");
+  EXPECT_EQ(Json::Object().Dump(2), "{}");
+}
+
+TEST(JsonTest, ObjectsPreserveInsertionOrder) {
+  Json o = Json::Object();
+  o["zulu"] = 1;
+  o["alpha"] = 2;
+  o["mike"] = 3;
+  EXPECT_EQ(o.Dump(), "{\"zulu\":1,\"alpha\":2,\"mike\":3}");
+  // Re-assigning an existing key updates in place, not re-appends.
+  o["alpha"] = 9;
+  EXPECT_EQ(o.Dump(), "{\"zulu\":1,\"alpha\":9,\"mike\":3}");
+  EXPECT_EQ(o.size(), 3u);
+}
+
+TEST(JsonTest, NestedPrettyPrint) {
+  Json o = Json::Object();
+  o["a"] = 1;
+  Json arr = Json::Array();
+  arr.Push(true);
+  arr.Push("x");
+  o["b"] = std::move(arr);
+  EXPECT_EQ(o.Dump(2),
+            "{\n"
+            "  \"a\": 1,\n"
+            "  \"b\": [\n"
+            "    true,\n"
+            "    \"x\"\n"
+            "  ]\n"
+            "}");
+}
+
+// --- Report schema (golden) ----------------------------------------------
+
+TEST(ReportTest, SchemaVersionIsOne) {
+  // Bump this expectation together with kReportSchemaVersion whenever the
+  // report layout changes incompatibly.
+  EXPECT_EQ(kReportSchemaVersion, 1);
+}
+
+TEST(ReportTest, MinimalReportGolden) {
+  ReportBuilder report("unit");
+  // Key order is part of the schema; this golden string pins it.
+  EXPECT_EQ(report.Dump(0),
+            "{\"schema_version\":1,\"bench\":\"unit\",\"ok\":true,"
+            "\"config\":{},\"results\":[]}");
+}
+
+TEST(ReportTest, FullReportGolden) {
+  ReportBuilder report("unit");
+  report.SetOk(false);
+  report.config()["threads"] = 4;
+  Json row = Json::Object();
+  row["name"] = "point0";
+  row["ops_per_sec"] = 10.5;
+  report.AddResult(std::move(row));
+  report.AttachEventTallies({{"CEP", {{"committed", 16}, {"read", 3}}}});
+
+  EXPECT_EQ(report.Dump(0),
+            "{\"schema_version\":1,\"bench\":\"unit\",\"ok\":false,"
+            "\"config\":{\"threads\":4},"
+            "\"results\":[{\"name\":\"point0\",\"ops_per_sec\":10.5}],"
+            "\"events\":{\"CEP\":{\"committed\":16,\"read\":3}}}");
+}
+
+TEST(ReportTest, MetricsSectionAppearsWhenAttached) {
+  ReportBuilder report("unit");
+  ProtocolMetrics metrics;
+  metrics.lock_grants.Add(3);
+  metrics.span_validate.Record(10);
+  report.AttachMetrics(metrics);
+
+  std::string dump = report.Dump(0);
+  EXPECT_NE(dump.find("\"metrics\":{"), std::string::npos);
+  EXPECT_NE(dump.find("\"locks\":{\"grants\":3"), std::string::npos);
+  EXPECT_NE(dump.find("\"spans\":{\"validate\":{\"count\":1"),
+            std::string::npos);
+  // Attached metrics come before events in the key order.
+  report.AttachEventTallies({{"CEP", {{"committed", 1}}}});
+  dump = report.Dump(0);
+  EXPECT_LT(dump.find("\"metrics\""), dump.find("\"events\""));
+}
+
+TEST(ReportTest, MetricsToJsonIsSelfContained) {
+  ProtocolMetrics metrics;
+  metrics.po_aborts.Add(2);
+  std::string json = metrics.ToJson();
+  EXPECT_NE(json.find("\"aborts\""), std::string::npos);
+  EXPECT_NE(json.find("\"partial_order\": 2"), std::string::npos);
+}
+
+TEST(ReportTest, HistogramJsonShape) {
+  ProtocolMetrics metrics;
+  for (int i = 1; i <= 100; ++i) metrics.span_execute.Record(i);
+  Json j = MetricsJson(metrics);
+  std::string dump = j.Dump(0);
+  EXPECT_NE(dump.find("\"execute\":{\"count\":100,\"mean\":50.5,"),
+            std::string::npos);
+  EXPECT_NE(dump.find("\"max\":100"), std::string::npos);
+}
+
+// --- Chrome trace export -------------------------------------------------
+
+TEST(ChromeTraceTest, TimelineRendersCompleteEventsAndLaneNames) {
+  SpanTimeline timeline;
+  timeline.SetLaneName(0, "tx0");
+  timeline.Add({/*lane=*/0, /*attempt=*/0, "validate", /*start_us=*/5,
+                /*dur_us=*/10, /*ok=*/true});
+  timeline.Add({/*lane=*/0, /*attempt=*/1, "execute", /*start_us=*/20,
+                /*dur_us=*/7, /*ok=*/false});
+
+  Json doc = ChromeTraceJson(timeline);
+  std::string dump = doc.Dump(0);
+  // Metadata names the lane's pseudo-thread.
+  EXPECT_NE(dump.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(dump.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(dump.find("\"tx0\""), std::string::npos);
+  // Phase spans are complete events with timestamps and duration.
+  EXPECT_NE(
+      dump.find("{\"name\":\"validate\",\"ph\":\"X\",\"ts\":5,\"dur\":10"),
+      std::string::npos);
+  EXPECT_NE(dump.find("\"args\":{\"attempt\":1,\"ok\":false}"),
+            std::string::npos);
+  EXPECT_NE(dump.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+}
+
+TEST(ChromeTraceTest, EmptyTimelineStillAValidDocument) {
+  SpanTimeline timeline;
+  Json doc = ChromeTraceJson(timeline);
+  EXPECT_EQ(doc.Dump(0),
+            "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}");
+}
+
+// --- SpanTimeline --------------------------------------------------------
+
+TEST(SpanTimelineTest, RecordsSpansInArrivalOrder) {
+  SpanTimeline timeline;
+  EXPECT_GE(timeline.ElapsedUs(), 0);
+  timeline.Add({1, 0, "validate", 0, 3, true});
+  timeline.Add({2, 0, "validate", 1, 4, true});
+  ASSERT_EQ(timeline.size(), 2u);
+  EXPECT_EQ(timeline.spans()[0].lane, 1);
+  EXPECT_EQ(timeline.spans()[1].lane, 2);
+  timeline.SetLaneName(1, "alpha");
+  EXPECT_EQ(timeline.lane_names().at(1), "alpha");
+}
+
+}  // namespace
+}  // namespace nonserial

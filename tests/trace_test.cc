@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "protocol/cep.h"
 #include "protocol/trace.h"
 
@@ -106,6 +109,31 @@ TEST_F(TraceTest, DetachStopsEvents) {
   cep_.SetObserver(nullptr);
   ASSERT_EQ(cep_.Begin(0), ReqResult::kGranted);
   EXPECT_TRUE(trace_.events().empty());
+}
+
+TEST_F(TraceTest, RecorderIsThreadSafe) {
+  // The locking contract on TraceSink: OnEvent may be called from many
+  // engine threads at once. Hammer the recorder directly and check nothing
+  // is lost or torn.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([this, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        TraceEvent event;
+        event.kind = TraceEvent::Kind::kRead;
+        event.protocol = "CEP";
+        event.tx = t;
+        event.value = i;
+        trace_.OnEvent(event);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(trace_.size(), static_cast<size_t>(kThreads * kPerThread));
+  auto tally = trace_.Tally();
+  EXPECT_EQ(tally["CEP"]["read"], kThreads * kPerThread);
 }
 
 TEST_F(TraceTest, RecorderClearAndToString) {
