@@ -21,6 +21,7 @@
 
 #include "bench_util.h"
 #include "core/verify.h"
+#include "predicate/eval_cache.h"
 #include "sim/parallel_driver.h"
 #include "workload/generators.h"
 
@@ -58,17 +59,22 @@ struct Outcome {
 };
 
 Outcome RunWith(const SimWorkload& workload, int threads,
-                ProtocolMetrics* metrics, TraceSink* observer) {
+                ProtocolMetrics* metrics, TraceSink* observer,
+                EvalCache* cache) {
   ParallelDriverConfig config = BaseConfig(threads, metrics);
   config.observer = observer;
+  config.protocol.eval_cache = cache;
   ParallelDriver driver(config);
   std::shared_ptr<VersionStore> store;
   std::shared_ptr<CorrectExecutionProtocol> cep;
   Outcome outcome;
   outcome.result = driver.Run(workload, &store, &cep);
   outcome.commits_per_sec = outcome.result.CommitsPerSecond();
+  // The verifier shares the engine's cache: the post-hoc correctness check
+  // re-probes evaluations validation already paid for.
   outcome.verified =
-      VerifyCepHistory(workload, *cep, *store, WorkloadConstraint(workload))
+      VerifyCepHistory(workload, *cep, *store, WorkloadConstraint(workload),
+                       cache)
           .ok();
   return outcome;
 }
@@ -123,10 +129,12 @@ bool Run(const BenchOptions& options, BenchReport* report) {
   double single = 0, quad = 0;
   for (int threads : {1, 2, 4}) {
     ProtocolMetrics metrics;
+    // Fresh per configuration so the attached counters describe one run.
+    EvalCache cache(static_cast<int>(workload.initial.size()));
     // Record trace events only for the 4-thread run so the tallies
     // describe one configuration, not a mixture.
-    Outcome outcome =
-        RunWith(workload, threads, &metrics, threads == 4 ? &trace : nullptr);
+    Outcome outcome = RunWith(workload, threads, &metrics,
+                              threads == 4 ? &trace : nullptr, &cache);
     ok &= outcome.verified;
     ok &= !outcome.result.watchdog_expired;
     ok &= outcome.result.committed_count > 0;
@@ -142,6 +150,14 @@ bool Run(const BenchOptions& options, BenchReport* report) {
     if (threads == 4) {
       std::printf("\nEngine metrics at 4 threads:\n%s\n",
                   metrics.Summary().c_str());
+      EvalCache::Stats cache_stats = cache.stats();
+      std::printf("eval cache at 4 threads: %.1f%% hit rate (%lld hits, "
+                  "%lld misses, %lld invalidations)\n",
+                  100.0 * cache.HitRate(),
+                  static_cast<long long>(cache_stats.hits),
+                  static_cast<long long>(cache_stats.misses),
+                  static_cast<long long>(cache_stats.invalidations));
+      report->config()["cache_hit_rate"] = cache.HitRate();
       report->AttachMetrics(metrics);
       report->AttachEvents(trace);
     }

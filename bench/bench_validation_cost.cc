@@ -8,11 +8,22 @@
 // the exhaustive cartesian search with the pruned (MRV + clause-pruning)
 // search, reporting visited nodes and wall time.
 
+// A second section measures the *repeated*-validation pattern of the CEP
+// rescan loop: one entity's candidate list changes per round and the
+// assignment is re-solved. The incremental path (delta-revalidation with
+// memoized conjunct evaluation, predicate/eval_cache.h) is compared with
+// the from-scratch search; `--cache=off` disables the incremental machinery
+// for an apples-to-apples baseline run.
+
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <optional>
+#include <set>
 
 #include "common/random.h"
 #include "predicate/assignment_search.h"
+#include "predicate/eval_cache.h"
 
 #include "bench_util.h"
 
@@ -115,13 +126,131 @@ int Run() {
   return ok ? 0 : 1;
 }
 
+// The CEP rescan pattern: the same constraint is re-validated after a
+// concurrent write changed one entity's allowable versions. From-scratch
+// re-runs the full search every round; the incremental path pins the
+// unchanged entities to the previous choice (DeltaRevalidate) and memoizes
+// conjunct evaluations (EvalCache). Both must agree on satisfiability every
+// round — and, when the cache is on, the incremental side must win by >= 2x
+// (the PR's acceptance bar for this workload).
+bool RunRepeatedValidation(bool cache_on, BenchReport* report) {
+  std::printf("\nRepeated validation (CEP rescan pattern): one entity's "
+              "candidates change per round.\nincremental = delta-"
+              "revalidation with memoized conjuncts (%s); baseline = "
+              "from-scratch.\n\n",
+              cache_on ? "cache ON" : "cache OFF via --cache=off");
+  std::printf("%9s %9s %7s | %11s %11s | %8s %9s %10s | %7s\n", "entities",
+              "versions", "rounds", "scratch-us", "incr-us", "hit-rate",
+              "fallbacks", "agreement", "speedup");
+
+  Rng rng(123);
+  bool ok = true;
+  for (int entities : {12, 16}) {
+    // Long version chains (high-churn entities) and a tight linking
+    // constraint: the regime where re-validation is actually expensive.
+    const int versions = 24;
+    const int rounds = 400;
+    Predicate predicate = ChainPredicate(entities, 20);
+    std::vector<std::vector<Value>> candidates(entities);
+    for (int e = 0; e < entities; ++e) {
+      for (int v = 0; v < versions; ++v) {
+        candidates[e].push_back(rng.UniformInt(0, 120));
+      }
+    }
+
+    EvalCache cache(entities);
+    CachedPredicate cached_predicate(predicate, &cache);
+    const CachedPredicate* cached = cache_on ? &cached_predicate : nullptr;
+
+    int64_t scratch_us = 0, incremental_us = 0;
+    int agree = 0;
+    DeltaStats delta;
+    SearchStats scratch_stats, incremental_stats;
+    std::optional<std::vector<int>> prev;
+    for (int round = 0; round < rounds; ++round) {
+      // A concurrent writer installed a new version of one entity.
+      int e = rng.UniformInt(0, entities - 1);
+      candidates[e][rng.UniformInt(0, versions - 1)] = rng.UniformInt(0, 120);
+      if (cache_on) cache.BumpEntity(e);
+
+      int64_t t0 = NowUs();
+      std::optional<std::vector<int>> scratch = FindSatisfyingAssignment(
+          predicate, candidates, SearchMode::kPruned, &scratch_stats);
+      int64_t t1 = NowUs();
+      std::optional<std::vector<int>> incremental;
+      if (cache_on && prev.has_value()) {
+        incremental =
+            DeltaRevalidate(predicate, candidates, *prev, {e},
+                            SearchMode::kPruned, &incremental_stats, cached,
+                            &delta);
+      } else {
+        incremental = FindSatisfyingAssignment(
+            predicate, candidates, SearchMode::kPruned, &incremental_stats,
+            cached);
+      }
+      int64_t t2 = NowUs();
+      scratch_us += t1 - t0;
+      incremental_us += t2 - t1;
+      agree += scratch.has_value() == incremental.has_value();
+      prev = std::move(incremental);
+    }
+
+    double speedup = incremental_us > 0 ? static_cast<double>(scratch_us) /
+                                              static_cast<double>(incremental_us)
+                                        : 0.0;
+    double hit_rate = cache.HitRate();
+    bool row_ok = agree == rounds && (!cache_on || speedup >= 2.0);
+    ok &= row_ok;
+    std::printf("%9d %9d %7d | %11lld %11lld | %7.1f%% %9lld %7d/%-3d | "
+                "%6.1fx%s\n",
+                entities, versions, rounds,
+                static_cast<long long>(scratch_us),
+                static_cast<long long>(incremental_us), 100.0 * hit_rate,
+                static_cast<long long>(delta.delta_fallbacks), agree, rounds,
+                speedup, row_ok ? "" : "  FAIL");
+
+    if (report != nullptr) {
+      Json row = Json::Object();
+      row["name"] = "repeated_validation";
+      row["entities"] = entities;
+      row["versions"] = versions;
+      row["rounds"] = rounds;
+      row["cache"] = cache_on ? "on" : "off";
+      row["scratch_us"] = scratch_us;
+      row["incremental_us"] = incremental_us;
+      row["cache_speedup"] = speedup;
+      row["cache_hit_rate"] = hit_rate;
+      row["delta_rescans"] = delta.delta_solves;
+      row["delta_fallbacks"] = delta.delta_fallbacks;
+      row["scratch_nodes"] = scratch_stats.nodes_visited;
+      row["incremental_nodes"] = incremental_stats.nodes_visited;
+      row["agreement"] = agree == rounds;
+      report->AddResult(std::move(row));
+    }
+  }
+
+  std::printf("\nRESULT: %s — incremental and from-scratch validation agree "
+              "on every round%s.\n",
+              ok ? "reproduced" : "FAILED",
+              cache_on ? "; the incremental path clears the 2x bar" : "");
+  return ok;
+}
+
 }  // namespace
 }  // namespace nonserial
 
 int main(int argc, char** argv) {
-  return nonserial::BenchMain(argc, argv, "validation_cost",
-                              [](const nonserial::BenchOptions&,
-                                 nonserial::BenchReport*) {
-                                return nonserial::Run() == 0;
-                              });
+  bool cache_on = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--cache=off") == 0) cache_on = false;
+  }
+  return nonserial::BenchMain(
+      argc, argv, "validation_cost",
+      [cache_on](const nonserial::BenchOptions&,
+                 nonserial::BenchReport* report) {
+        report->config()["cache"] = cache_on ? "on" : "off";
+        bool ok = nonserial::Run() == 0;
+        ok &= nonserial::RunRepeatedValidation(cache_on, report);
+        return ok;
+      });
 }

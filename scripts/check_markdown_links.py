@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Checks that relative links in the repo's markdown files resolve.
+
+Scans every tracked *.md file for inline links/images `[text](target)` and
+reference definitions `[label]: target`, and fails if a relative target
+does not exist on disk (anchors-only, external, and mailto links are
+skipped). Used by the docs leg of scripts/ci.sh.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+# Inline [text](target) — target ends at the first unescaped ')' or space
+# (titles like [t](file "title") carry a space before the quote).
+INLINE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^()\s]+)(?:\s+\"[^\"]*\")?\)")
+IMAGE = re.compile(r"\!\[[^\]]*\]\(([^()\s]+)(?:\s+\"[^\"]*\")?\)")
+REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files(root: str) -> list[str]:
+    try:
+        out = subprocess.run(
+            ["git", "ls-files", "*.md", "**/*.md"],
+            cwd=root, capture_output=True, text=True, check=True)
+        files = [f for f in out.stdout.splitlines() if f]
+        if files:
+            return files
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        pass
+    found = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames
+                       if not d.startswith((".", "build")) and d != "related"]
+        found.extend(os.path.relpath(os.path.join(dirpath, f), root)
+                     for f in filenames if f.endswith(".md"))
+    return found
+
+
+def check_file(root: str, path: str) -> list[str]:
+    with open(os.path.join(root, path), encoding="utf-8") as f:
+        text = f.read()
+    # Don't flag link-shaped text inside fenced code blocks.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    errors = []
+    targets = (INLINE.findall(text) + IMAGE.findall(text)
+               + REFDEF.findall(text))
+    for target in targets:
+        if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        rel = target.split("#", 1)[0]  # Strip any anchor.
+        if not rel:
+            continue
+        base = root if rel.startswith("/") else os.path.dirname(
+            os.path.join(root, path))
+        resolved = os.path.normpath(os.path.join(base, rel.lstrip("/")))
+        if not os.path.exists(resolved):
+            errors.append(f"{path}: broken link -> {target}")
+    return errors
+
+
+def main() -> int:
+    root = os.path.abspath(
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), ".."))
+    errors = []
+    files = markdown_files(root)
+    for path in files:
+        errors.extend(check_file(root, path))
+    for err in errors:
+        print(err, file=sys.stderr)
+    print(f"checked {len(files)} markdown files: "
+          f"{'OK' if not errors else f'{len(errors)} broken links'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

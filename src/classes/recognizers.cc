@@ -212,6 +212,67 @@ bool IsPredicateCorrect(const Schedule& schedule,
       [](const Schedule& s) { return IsMVViewSerializable(s); });
 }
 
+IncrementalCpcChecker::IncrementalCpcChecker(const ObjectSetList& objects) {
+  std::set<std::set<EntityId>> unique(objects.begin(), objects.end());
+  unique_objects_.assign(unique.begin(), unique.end());
+  graphs_.resize(unique_objects_.size());
+  int max_entity = -1;
+  for (const std::set<EntityId>& object : unique_objects_) {
+    if (!object.empty()) max_entity = std::max(max_entity, *object.rbegin());
+  }
+  objects_of_.resize(max_entity + 1);
+  for (size_t i = 0; i < unique_objects_.size(); ++i) {
+    for (EntityId e : unique_objects_[i]) {
+      objects_of_[e].push_back(static_cast<int>(i));
+    }
+  }
+  readers_.resize(max_entity + 1);
+}
+
+void IncrementalCpcChecker::AddOp(TxId tx, OpKind kind, EntityId entity) {
+  ++num_ops_;
+  if (entity < 0) return;
+  if (entity >= static_cast<int>(readers_.size())) {
+    // Entities outside every object never contribute edges; track readers
+    // lazily so projections with spare entities still work.
+    readers_.resize(entity + 1);
+  }
+  if (kind == OpKind::kRead) {
+    readers_[entity].insert(tx);
+    return;
+  }
+  // A write completes a read-before-write edge from every earlier reader
+  // of the entity, in each object graph that contains the entity.
+  if (entity >= static_cast<int>(objects_of_.size())) return;
+  for (int graph_index : objects_of_[entity]) {
+    IncrementalDigraph& graph = graphs_[graph_index];
+    for (TxId reader : readers_[entity]) {
+      if (reader == tx) continue;
+      if (!graph.AddEdge(reader, tx)) cpc_ = false;
+    }
+  }
+}
+
+IncrementalDigraph::Stats IncrementalCpcChecker::GraphStats() const {
+  IncrementalDigraph::Stats total;
+  for (const IncrementalDigraph& graph : graphs_) {
+    total.edges_added += graph.stats().edges_added;
+    total.reorders += graph.stats().reorders;
+    total.region_nodes += graph.stats().region_nodes;
+    total.cheap_inserts += graph.stats().cheap_inserts;
+  }
+  return total;
+}
+
+void IncrementalCpcChecker::Reset() {
+  for (size_t i = 0; i < graphs_.size(); ++i) {
+    graphs_[i] = IncrementalDigraph();
+  }
+  for (std::set<TxId>& readers : readers_) readers.clear();
+  num_ops_ = 0;
+  cpc_ = true;
+}
+
 std::string ClassMembership::ToString() const {
   std::ostringstream os;
   os << (csr ? "CSR" : "-") << " " << (vsr ? "SR" : "-") << " "

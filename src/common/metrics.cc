@@ -85,6 +85,18 @@ std::string ProtocolMetrics::Summary() const {
      << " fail=" << validation_fails.value()
      << " rescans=" << validation_rescans.value()
      << " starved=" << validation_starved.value() << "\n";
+  if (cache_hits.value() + cache_misses.value() > 0 ||
+      delta_rescans.value() > 0) {
+    int64_t probes = cache_hits.value() + cache_misses.value();
+    os << "eval cache: hits=" << cache_hits.value()
+       << " misses=" << cache_misses.value()
+       << " invalidations=" << cache_invalidations.value() << " hit-rate="
+       << (probes == 0 ? 0.0
+                       : static_cast<double>(cache_hits.value()) /
+                             static_cast<double>(probes))
+       << " delta-rescans=" << delta_rescans.value()
+       << " delta-fallbacks=" << delta_fallbacks.value() << "\n";
+  }
   if (crash_restarts.value() > 0) {
     os << "recovery: crash-restarts=" << crash_restarts.value()
        << " recovered-txs=" << recovered_txs.value() << "\n";
@@ -127,6 +139,11 @@ void ProtocolMetrics::Reset() {
   validation_rescans.Reset();
   validation_starved.Reset();
   search_nodes.Reset();
+  cache_hits.Reset();
+  cache_misses.Reset();
+  cache_invalidations.Reset();
+  delta_rescans.Reset();
+  delta_fallbacks.Reset();
   commit_waits.Reset();
   wait_micros.Reset();
   span_validate.Reset();

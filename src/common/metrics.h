@@ -78,6 +78,16 @@ struct ProtocolMetrics {
                               ///< back to running under the engine lock.
   Histogram search_nodes;     ///< Assignment-search nodes per validation.
 
+  // Incremental verification (eval cache + delta revalidation).
+  Counter cache_hits;           ///< Conjunct evaluations answered from cache.
+  Counter cache_misses;         ///< Conjunct evaluations computed + inserted.
+  Counter cache_invalidations;  ///< Stale cache entries replaced/dropped.
+  Counter delta_rescans;        ///< Rescans solved as delta-revalidations
+                                ///< (unchanged entities pinned to their
+                                ///< previous versions).
+  Counter delta_fallbacks;      ///< Delta-revalidations that found nothing
+                                ///< under the pins and re-ran from scratch.
+
   // Driver-level waiting.
   Counter commit_waits;     ///< Commit attempts parked on a predecessor.
   Histogram wait_micros;    ///< Wall-clock µs per blocked episode (parallel

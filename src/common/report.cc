@@ -165,6 +165,17 @@ Json MetricsJson(const ProtocolMetrics& m) {
   validation["rescans"] = m.validation_rescans.value();
   validation["starved"] = m.validation_starved.value();
   validation["search_nodes"] = HistogramJson(m.search_nodes);
+  Json& cache = out["eval_cache"];
+  cache["hits"] = m.cache_hits.value();
+  cache["misses"] = m.cache_misses.value();
+  cache["invalidations"] = m.cache_invalidations.value();
+  int64_t cache_probes = m.cache_hits.value() + m.cache_misses.value();
+  cache["hit_rate"] =
+      cache_probes == 0 ? 0.0
+                        : static_cast<double>(m.cache_hits.value()) /
+                              static_cast<double>(cache_probes);
+  cache["delta_rescans"] = m.delta_rescans.value();
+  cache["delta_fallbacks"] = m.delta_fallbacks.value();
   out["commit_waits"] = m.commit_waits.value();
   out["wait_micros"] = HistogramJson(m.wait_micros);
   Json& spans = out["spans"];

@@ -11,16 +11,17 @@ namespace nonserial {
 
 Status VerifyCepHistory(const SimWorkload& workload,
                         const CorrectExecutionProtocol& cep,
-                        const VersionStore& store,
-                        const Predicate& constraint) {
+                        const VersionStore& store, const Predicate& constraint,
+                        EvalCache* cache) {
   return VerifyCepHistory(workload, cep.records(),
-                          store.LatestCommittedSnapshot(), constraint);
+                          store.LatestCommittedSnapshot(), constraint, cache);
 }
 
 Status VerifyCepHistory(
     const SimWorkload& workload,
     const std::vector<CorrectExecutionProtocol::TxRecord>& records,
-    const ValueVector& final_committed_snapshot, const Predicate& constraint) {
+    const ValueVector& final_committed_snapshot, const Predicate& constraint,
+    EvalCache* cache) {
   // Committed transactions, in registration order; map tx id -> child
   // position within the root.
   std::vector<int> committed;
@@ -126,7 +127,7 @@ Status VerifyCepHistory(
   NONSERIAL_RETURN_IF_ERROR(validate_status);
   NONSERIAL_RETURN_IF_ERROR(exec_status);
 
-  return CheckCorrectExecution(tree, exec);
+  return CheckCorrectExecution(tree, exec, cache);
 }
 
 }  // namespace nonserial

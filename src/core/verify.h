@@ -23,20 +23,27 @@ namespace nonserial {
 /// database consistency constraint.
 ///
 /// Returns OK iff the emitted history is a correct, parent-based execution.
+///
+/// `cache`, when non-null, memoizes the predicate-conjunct evaluations of
+/// the correctness check (see predicate/eval_cache.h). Sharing the engine's
+/// cache makes post-hoc verification re-use evaluations the protocol
+/// already performed during validation; repeated verification of the same
+/// history (crash-recovery replay cycles) hits almost entirely.
 Status VerifyCepHistory(const SimWorkload& workload,
                         const CorrectExecutionProtocol& cep,
-                        const VersionStore& store,
-                        const Predicate& constraint);
+                        const VersionStore& store, const Predicate& constraint,
+                        EvalCache* cache = nullptr);
 
 /// Record-level variant: verifies a history from the committed-transaction
 /// records and the final committed snapshot alone, with no live engine or
 /// store. This is what crash recovery needs — after a simulated kill the
 /// engine is gone, and the records plus snapshot are exactly what the
-/// write-ahead log reconstructs.
+/// write-ahead log reconstructs. `cache` as above.
 Status VerifyCepHistory(
     const SimWorkload& workload,
     const std::vector<CorrectExecutionProtocol::TxRecord>& records,
-    const ValueVector& final_committed_snapshot, const Predicate& constraint);
+    const ValueVector& final_committed_snapshot, const Predicate& constraint,
+    EvalCache* cache = nullptr);
 
 }  // namespace nonserial
 

@@ -1,0 +1,114 @@
+#include "graph/incremental_digraph.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace nonserial {
+
+void IncrementalDigraph::EnsureNodes(int n) {
+  for (int node = num_nodes(); node < n; ++node) {
+    out_.emplace_back();
+    in_.emplace_back();
+    order_.push_back(node);  // New nodes go last in the order.
+    marked_.push_back(0);
+  }
+}
+
+bool IncrementalDigraph::HasEdge(int from, int to) const {
+  if (from < 0 || from >= num_nodes()) return false;
+  const std::vector<int>& out = out_[from];
+  return std::find(out.begin(), out.end(), to) != out.end();
+}
+
+bool IncrementalDigraph::AddEdge(int from, int to) {
+  NONSERIAL_CHECK_GE(from, 0);
+  NONSERIAL_CHECK_GE(to, 0);
+  EnsureNodes(std::max(from, to) + 1);
+  if (HasEdge(from, to)) return !cyclic_;
+  out_[from].push_back(to);
+  in_[to].push_back(from);
+  ++num_edges_;
+  ++stats_.edges_added;
+  if (cyclic_) return false;  // Latched; order no longer maintained.
+  if (from == to) {
+    cyclic_ = true;
+    return false;
+  }
+  return Insert(from, to);
+}
+
+bool IncrementalDigraph::Insert(int from, int to) {
+  // Pearce–Kelly: if the new edge respects the order, nothing to do.
+  if (order_[from] < order_[to]) {
+    ++stats_.cheap_inserts;
+    return true;
+  }
+  ++stats_.reorders;
+  // Affected region: nodes with order index in [order_[to], order_[from]].
+  // Forward-reachable-from-`to` within the region must move after
+  // backward-reaching-`from` within the region; finding `from` forward from
+  // `to` means the new edge closes a cycle.
+  std::vector<int> forward, backward;
+  bool acyclic = ForwardSearch(to, order_[from], from, &forward);
+  if (!acyclic) {
+    for (int node : forward) marked_[node] = 0;
+    cyclic_ = true;
+    return false;
+  }
+  BackwardSearch(from, order_[to], &backward);
+  Reorder(&forward, &backward);
+  return true;
+}
+
+bool IncrementalDigraph::ForwardSearch(int node, int ceiling, int target,
+                                       std::vector<int>* visited) {
+  marked_[node] = 1;
+  visited->push_back(node);
+  ++stats_.region_nodes;
+  for (int next : out_[node]) {
+    if (next == target) return false;  // Cycle closed.
+    if (marked_[next] || order_[next] > ceiling) continue;
+    if (!ForwardSearch(next, ceiling, target, visited)) return false;
+  }
+  return true;
+}
+
+void IncrementalDigraph::BackwardSearch(int node, int floor,
+                                        std::vector<int>* visited) {
+  marked_[node] = 1;
+  visited->push_back(node);
+  ++stats_.region_nodes;
+  for (int prev : in_[node]) {
+    if (marked_[prev] || order_[prev] < floor) continue;
+    BackwardSearch(prev, floor, visited);
+  }
+}
+
+void IncrementalDigraph::Reorder(std::vector<int>* forward,
+                                 std::vector<int>* backward) {
+  // Sort both regions by current order, pool their order indices, and
+  // reassign: backward-region nodes first, then forward-region nodes. Only
+  // indices inside the region move; the rest of the order is untouched.
+  auto by_order = [this](int a, int b) { return order_[a] < order_[b]; };
+  std::sort(forward->begin(), forward->end(), by_order);
+  std::sort(backward->begin(), backward->end(), by_order);
+
+  std::vector<int> pool;
+  pool.reserve(forward->size() + backward->size());
+  for (int node : *backward) pool.push_back(order_[node]);
+  for (int node : *forward) pool.push_back(order_[node]);
+  std::sort(pool.begin(), pool.end());
+
+  size_t slot = 0;
+  for (int node : *backward) {
+    order_[node] = pool[slot++];
+    marked_[node] = 0;
+  }
+  for (int node : *forward) {
+    order_[node] = pool[slot++];
+    marked_[node] = 0;
+  }
+}
+
+}  // namespace nonserial

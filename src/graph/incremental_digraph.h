@@ -1,0 +1,93 @@
+#ifndef NONSERIAL_GRAPH_INCREMENTAL_DIGRAPH_H_
+#define NONSERIAL_GRAPH_INCREMENTAL_DIGRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace nonserial {
+
+/// A directed graph over dense node ids that maintains acyclicity
+/// *incrementally* as edges are added (Pearce–Kelly dynamic topological
+/// ordering).
+///
+/// The from-scratch recognizers rebuild a Digraph and run a full DFS per
+/// check — O(V + E) every time, even when one edge arrived since the last
+/// check. This class instead keeps a topological order of the nodes and
+/// repairs it on each insertion by visiting only the **affected region**:
+/// the nodes whose order index lies between the edge's endpoints. Edges
+/// that respect the current order (the common case for read-before-write
+/// graphs, where readers precede later writers) cost O(1); a cycle is
+/// discovered the moment the closing edge arrives, while scanning only that
+/// region rather than the whole graph.
+///
+/// Once a cycle has been introduced the graph latches into the cyclic
+/// state: edges are still recorded, but order maintenance stops (the
+/// recognizers only need the boolean, and edges are never removed, so
+/// cyclicity is monotone).
+///
+/// Not thread-safe; callers serialize access (the CPC checker feeds it from
+/// one thread, or under the engine lock).
+class IncrementalDigraph {
+ public:
+  /// Region-size accounting for the incremental maintenance, used by tests
+  /// and benches to show the affected region stays small.
+  struct Stats {
+    int64_t edges_added = 0;     ///< Distinct edges recorded.
+    int64_t reorders = 0;        ///< Insertions that repaired the order.
+    int64_t region_nodes = 0;    ///< Nodes visited across all repairs.
+    int64_t cheap_inserts = 0;   ///< Insertions that kept the order as-is.
+  };
+
+  IncrementalDigraph() = default;
+  explicit IncrementalDigraph(int num_nodes) { EnsureNodes(num_nodes); }
+
+  /// Number of nodes currently tracked.
+  int num_nodes() const { return static_cast<int>(out_.size()); }
+
+  /// Number of distinct edges recorded.
+  int num_edges() const { return num_edges_; }
+
+  /// Grows the node set to at least `n` nodes (new nodes append to the
+  /// topological order).
+  void EnsureNodes(int n);
+
+  /// Adds edge from -> to (idempotent; nodes grow on demand). Returns true
+  /// iff the graph is still acyclic afterwards. Once false, every later
+  /// call returns false (cyclicity is monotone — edges are never removed).
+  bool AddEdge(int from, int to);
+
+  /// True iff the edge has been recorded.
+  bool HasEdge(int from, int to) const;
+
+  /// True iff some inserted edge closed a directed cycle (self-loops
+  /// included).
+  bool HasCycle() const { return cyclic_; }
+
+  /// The current topological order index of `node` (meaningful only while
+  /// acyclic). Every edge u -> v satisfies OrderIndex(u) < OrderIndex(v).
+  int OrderIndex(int node) const { return order_[node]; }
+
+  /// Counters for the incremental maintenance so far.
+  const Stats& stats() const { return stats_; }
+
+ private:
+  bool Insert(int from, int to);
+  /// DFS forward from `node` over nodes with order index <= `ceiling`;
+  /// returns false when `target` is reached (a cycle closed).
+  bool ForwardSearch(int node, int ceiling, int target,
+                     std::vector<int>* visited);
+  void BackwardSearch(int node, int floor, std::vector<int>* visited);
+  void Reorder(std::vector<int>* forward, std::vector<int>* backward);
+
+  std::vector<std::vector<int>> out_;
+  std::vector<std::vector<int>> in_;
+  std::vector<int> order_;     ///< node -> topological index.
+  std::vector<char> marked_;   ///< Scratch for the region searches.
+  int num_edges_ = 0;
+  bool cyclic_ = false;
+  Stats stats_;
+};
+
+}  // namespace nonserial
+
+#endif  // NONSERIAL_GRAPH_INCREMENTAL_DIGRAPH_H_

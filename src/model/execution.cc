@@ -187,14 +187,22 @@ Status CheckParentBased(const TransactionTree& tree,
   return Status::OK();
 }
 
-Status CheckCorrectness(const TransactionTree& tree,
-                        const TreeExecution& exec) {
+Status CheckCorrectness(const TransactionTree& tree, const TreeExecution& exec,
+                        EvalCache* cache) {
   ExecutionEvaluator eval(tree, exec);
+  // Memoized evaluation path: a predicate evaluates through its
+  // CachedPredicate companion, so identical (conjunct, values) pairs —
+  // common when a history is re-verified or transactions share specs — are
+  // hash probes. The plain path is kept for cache == nullptr.
+  auto holds = [cache](const Predicate& p, const ValueVector& v) {
+    if (cache == nullptr) return p.Eval(v);
+    return CachedPredicate(p, cache).Eval(p, v);
+  };
   for (int id = 0; id < tree.size(); ++id) {
     const TransactionNode& node = tree.node(id);
     // Input condition: I_t(X(t)).
     NONSERIAL_ASSIGN_OR_RETURN(ValueVector input, eval.InputOf(id));
-    if (!node.spec.input.Eval(input)) {
+    if (!holds(node.spec.input, input)) {
       return Status::FailedPrecondition(
           StrCat("input predicate of node ", id, " ('", node.name,
                  "') does not hold on its assigned version state"));
@@ -203,7 +211,7 @@ Status CheckCorrectness(const TransactionTree& tree,
     // checked on the produced unique state t(X(t)).
     if (node.spec.output.IsTrue()) continue;
     NONSERIAL_ASSIGN_OR_RETURN(UniqueState output, eval.OutputOf(id));
-    if (!node.spec.output.Eval(output)) {
+    if (!holds(node.spec.output, output)) {
       return Status::FailedPrecondition(
           StrCat("output predicate of node ", id, " ('", node.name,
                  "') does not hold on its final state"));
@@ -213,10 +221,10 @@ Status CheckCorrectness(const TransactionTree& tree,
 }
 
 Status CheckCorrectExecution(const TransactionTree& tree,
-                             const TreeExecution& exec) {
+                             const TreeExecution& exec, EvalCache* cache) {
   NONSERIAL_RETURN_IF_ERROR(ValidateExecutionStructure(tree, exec));
   NONSERIAL_RETURN_IF_ERROR(CheckParentBased(tree, exec));
-  return CheckCorrectness(tree, exec);
+  return CheckCorrectness(tree, exec, cache);
 }
 
 namespace {

@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "model/state.h"
 #include "model/transaction.h"
+#include "predicate/eval_cache.h"
 
 namespace nonserial {
 
@@ -68,13 +69,19 @@ Status CheckParentBased(const TransactionTree& tree,
 /// assigned input state, and every internal node's output predicate O_t
 /// holds on X(t_f) of its execution. Nodes without a designated final child
 /// must have O_t = true.
-Status CheckCorrectness(const TransactionTree& tree,
-                        const TreeExecution& exec);
+///
+/// `cache`, when non-null, memoizes the conjunct evaluations — re-verifying
+/// the same history (e.g. across crash-recovery replay cycles, or a
+/// workload whose transactions share specification predicates) then mostly
+/// probes the cache instead of re-walking atoms.
+Status CheckCorrectness(const TransactionTree& tree, const TreeExecution& exec,
+                        EvalCache* cache = nullptr);
 
 /// All three checks; OK iff the execution is a correct, parent-based
-/// execution in the sense of the paper.
+/// execution in the sense of the paper. `cache` as in CheckCorrectness.
 Status CheckCorrectExecution(const TransactionTree& tree,
-                             const TreeExecution& exec);
+                             const TreeExecution& exec,
+                             EvalCache* cache = nullptr);
 
 /// Builds the canonical serial execution: every internal node's children
 /// run one after another in a given (or default position) order that must be

@@ -13,6 +13,7 @@ struct SearchContext {
   const Predicate* predicate;
   const std::vector<std::vector<Value>>* candidates;
   SearchStats* stats;
+  const CachedPredicate* cached = nullptr;  // Optional conjunct memoization.
 
   std::vector<EntityId> constrained;        // Search variable order.
   std::vector<int> position_of;             // entity -> index in constrained.
@@ -21,6 +22,9 @@ struct SearchContext {
   ValueVector values;                       // entity -> current value.
   // clauses_of[e]: indices of clauses mentioning entity e.
   std::vector<std::vector<int>> clauses_of;
+  // clause_entities[c]: entities mentioned by clause c (for detecting fully
+  // assigned clauses, which the eval cache can memoize).
+  std::vector<std::vector<EntityId>> clause_entities;
 
   bool AtomDefinitelyFalse(const Atom& atom) const {
     if (atom.lhs.is_entity && !assigned[atom.lhs.entity]) return false;
@@ -29,9 +33,25 @@ struct SearchContext {
   }
 
   /// True iff the clause can still be satisfied given the partial
-  /// assignment (some atom true or undetermined).
-  bool ClauseViable(const Clause& clause) {
+  /// assignment (some atom true or undetermined). Fully assigned clauses
+  /// route through the eval cache when one is attached: their value is a
+  /// pure function of the clause and the assigned entity values, which is
+  /// exactly what the cache keys on.
+  bool ClauseViable(int clause_index) {
     ++stats->evaluations;
+    const Clause& clause = predicate->clauses()[clause_index];
+    if (cached != nullptr) {
+      bool all_assigned = true;
+      for (EntityId e : clause_entities[clause_index]) {
+        if (!assigned[e]) {
+          all_assigned = false;
+          break;
+        }
+      }
+      if (all_assigned) {
+        return cached->EvalClause(*predicate, clause_index, values);
+      }
+    }
     for (const Atom& atom : clause.atoms()) {
       if (!AtomDefinitelyFalse(atom)) return true;
     }
@@ -50,7 +70,7 @@ bool PrunedSearch(SearchContext* ctx, size_t depth) {
     ctx->assigned[entity] = true;
     bool viable = true;
     for (int clause_index : ctx->clauses_of[entity]) {
-      if (!ctx->ClauseViable(ctx->predicate->clauses()[clause_index])) {
+      if (!ctx->ClauseViable(clause_index)) {
         viable = false;
         break;
       }
@@ -65,6 +85,9 @@ bool ExhaustiveSearch(SearchContext* ctx, size_t depth) {
   if (depth == ctx->constrained.size()) {
     ++ctx->stats->nodes_visited;
     ++ctx->stats->evaluations;
+    if (ctx->cached != nullptr) {
+      return ctx->cached->Eval(*ctx->predicate, ctx->values);
+    }
     return ctx->predicate->Eval(ctx->values);
   }
   EntityId entity = ctx->constrained[depth];
@@ -131,7 +154,7 @@ std::optional<std::vector<std::vector<int>>> IndexFilter(
 std::optional<std::vector<int>> FindSatisfyingAssignment(
     const Predicate& predicate,
     const std::vector<std::vector<Value>>& candidates, SearchMode mode,
-    SearchStats* stats) {
+    SearchStats* stats, const CachedPredicate* cached) {
   if (mode == SearchMode::kIndexed) {
     // Filter candidate lists through the unit-clause "indices", run the
     // pruned search on the reduced lists, then map choices back.
@@ -145,7 +168,7 @@ std::optional<std::vector<int>> FindSatisfyingAssignment(
       }
     }
     std::optional<std::vector<int>> choice = FindSatisfyingAssignment(
-        predicate, reduced, SearchMode::kPruned, stats);
+        predicate, reduced, SearchMode::kPruned, stats, cached);
     if (!choice.has_value()) return std::nullopt;
     for (size_t e = 0; e < candidates.size(); ++e) {
       (*choice)[e] = (*surviving)[e][(*choice)[e]];
@@ -158,6 +181,7 @@ std::optional<std::vector<int>> FindSatisfyingAssignment(
   ctx.predicate = &predicate;
   ctx.candidates = &candidates;
   ctx.stats = stats != nullptr ? stats : &local_stats;
+  ctx.cached = cached;
 
   int num_entities = static_cast<int>(candidates.size());
   ctx.choice.assign(num_entities, 0);
@@ -188,8 +212,11 @@ std::optional<std::vector<int>> FindSatisfyingAssignment(
 
   ctx.clauses_of.assign(num_entities, {});
   const std::vector<Clause>& clauses = predicate.clauses();
+  ctx.clause_entities.resize(clauses.size());
   for (size_t c = 0; c < clauses.size(); ++c) {
-    for (EntityId e : clauses[c].Object()) {
+    std::set<EntityId> object = clauses[c].Object();
+    ctx.clause_entities[c].assign(object.begin(), object.end());
+    for (EntityId e : object) {
       ctx.clauses_of[e].push_back(static_cast<int>(c));
     }
   }
@@ -203,6 +230,57 @@ std::optional<std::vector<int>> FindSatisfyingAssignment(
   }
   NONSERIAL_CHECK(predicate.Eval(ctx.values));
   return ctx.choice;
+}
+
+std::optional<std::vector<int>> DeltaRevalidate(
+    const Predicate& predicate,
+    const std::vector<std::vector<Value>>& candidates,
+    const std::vector<int>& prev_choice, const std::set<EntityId>& changed,
+    SearchMode mode, SearchStats* stats, const CachedPredicate* cached,
+    DeltaStats* delta_stats) {
+  DeltaStats local_delta;
+  if (delta_stats == nullptr) delta_stats = &local_delta;
+
+  int num_entities = static_cast<int>(candidates.size());
+  bool pins_usable = prev_choice.size() == candidates.size();
+  std::vector<bool> pinned;
+  std::vector<std::vector<Value>> reduced;
+  if (pins_usable) {
+    pinned.assign(num_entities, false);
+    reduced.resize(num_entities);
+    for (int e = 0; e < num_entities; ++e) {
+      int prev = prev_choice[e];
+      bool pin = !changed.contains(e) && prev >= 0 &&
+                 prev < static_cast<int>(candidates[e].size());
+      if (pin) {
+        // Unchanged entity: its candidate list is as it was when
+        // prev_choice was found, so the single previously chosen value is
+        // enough — the search space collapses to the changed entities.
+        pinned[e] = true;
+        reduced[e].push_back(candidates[e][prev]);
+      } else {
+        reduced[e] = candidates[e];
+      }
+    }
+  }
+
+  if (pins_usable) {
+    std::optional<std::vector<int>> choice =
+        FindSatisfyingAssignment(predicate, reduced, mode, stats, cached);
+    if (choice.has_value()) {
+      ++delta_stats->delta_solves;
+      for (int e = 0; e < num_entities; ++e) {
+        if (pinned[e]) (*choice)[e] = prev_choice[e];
+      }
+      return choice;
+    }
+  }
+
+  // The pinned problem was unsatisfiable (or the pins were unusable):
+  // re-solve from scratch so the overall answer matches the from-scratch
+  // search — pinning only ever narrows the space, never the answer.
+  ++delta_stats->delta_fallbacks;
+  return FindSatisfyingAssignment(predicate, candidates, mode, stats, cached);
 }
 
 }  // namespace nonserial

@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <optional>
+#include <set>
 #include <vector>
 
+#include "predicate/eval_cache.h"
 #include "predicate/predicate.h"
 #include "predicate/value.h"
 
@@ -44,7 +46,36 @@ struct SearchStats {
 std::optional<std::vector<int>> FindSatisfyingAssignment(
     const Predicate& predicate,
     const std::vector<std::vector<Value>>& candidates,
-    SearchMode mode = SearchMode::kPruned, SearchStats* stats = nullptr);
+    SearchMode mode = SearchMode::kPruned, SearchStats* stats = nullptr,
+    const CachedPredicate* cached = nullptr);
+
+/// Counters reported by DeltaRevalidate.
+struct DeltaStats {
+  int64_t delta_solves = 0;     ///< Rounds solved under the pins.
+  int64_t delta_fallbacks = 0;  ///< Rounds that re-ran the full search.
+};
+
+/// Delta-revalidation: re-solves `predicate` over `candidates` given the
+/// previous satisfying choice `prev_choice` and the set of entities whose
+/// candidate lists `changed` since that choice was found.
+///
+/// Unchanged entities are pinned to their previously chosen value, which
+/// collapses the search space to the changed entities' candidates — the
+/// incremental counterpart of a CEP validation rescan, where a concurrent
+/// write typically touches one entity of the input constraint. If the
+/// pinned problem is unsatisfiable the full search runs from scratch
+/// (counted in `delta_stats->delta_fallbacks`), so the result is found/
+/// not-found equivalent to FindSatisfyingAssignment over `candidates`.
+///
+/// `prev_choice` entries of changed entities are ignored; an out-of-range
+/// previous index demotes its entity to changed. `cached` (optional)
+/// memoizes conjunct evaluations across rounds via its EvalCache.
+std::optional<std::vector<int>> DeltaRevalidate(
+    const Predicate& predicate,
+    const std::vector<std::vector<Value>>& candidates,
+    const std::vector<int>& prev_choice, const std::set<EntityId>& changed,
+    SearchMode mode = SearchMode::kPruned, SearchStats* stats = nullptr,
+    const CachedPredicate* cached = nullptr, DeltaStats* delta_stats = nullptr);
 
 }  // namespace nonserial
 

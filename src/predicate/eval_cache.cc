@@ -1,0 +1,217 @@
+#include "predicate/eval_cache.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace nonserial {
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t FnvMix(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t HashTerm(uint64_t h, const Term& term) {
+  h = FnvMix(h, term.is_entity ? 1 : 0);
+  h = FnvMix(h, term.is_entity ? static_cast<uint64_t>(term.entity)
+                               : static_cast<uint64_t>(term.constant));
+  return h;
+}
+
+/// Final avalanche (splitmix64) so shard selection uses well-mixed bits.
+uint64_t Avalanche(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+uint64_t CachedPredicate::HashClause(const Clause& clause) {
+  uint64_t h = kFnvOffset;
+  for (const Atom& atom : clause.atoms()) {
+    h = HashTerm(h, atom.lhs);
+    h = FnvMix(h, static_cast<uint64_t>(atom.op));
+    h = HashTerm(h, atom.rhs);
+  }
+  return h;
+}
+
+EvalCache::EvalCache(int num_entities) : shards_(new Shard[kNumShards]) {
+  EnsureEntities(num_entities);
+}
+
+EvalCache::~EvalCache() = default;
+
+void EvalCache::EnsureEntities(int n) {
+  if (n <= num_entities_) return;
+  std::unique_ptr<std::atomic<uint64_t>[]> grown(
+      new std::atomic<uint64_t>[n]);
+  for (int e = 0; e < n; ++e) {
+    grown[e].store(e < num_entities_
+                       ? entity_epochs_[e].load(std::memory_order_relaxed)
+                       : 0,
+                   std::memory_order_relaxed);
+  }
+  entity_epochs_ = std::move(grown);
+  num_entities_ = n;
+}
+
+uint64_t EvalCache::EpochSum(const std::vector<EntityId>& entities) const {
+  uint64_t sum = global_epoch_.load(std::memory_order_relaxed);
+  for (EntityId e : entities) {
+    if (e >= 0 && e < num_entities_) {
+      sum += entity_epochs_[e].load(std::memory_order_relaxed);
+    }
+  }
+  return sum;
+}
+
+bool EvalCache::EvalClause(uint64_t clause_hash, const Clause& clause,
+                           const std::vector<EntityId>& entities,
+                           const ValueVector& values) {
+  uint64_t fingerprint = kFnvOffset;
+  for (EntityId e : entities) {
+    fingerprint = FnvMix(fingerprint, static_cast<uint64_t>(values[e]));
+  }
+  uint64_t epoch_sum = EpochSum(entities);
+  uint64_t key = Avalanche(clause_hash ^ (fingerprint * kFnvPrime));
+  Shard& shard = shards_[key % kNumShards];
+
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.table.find(key);
+    if (it != shard.table.end()) {
+      const Entry& entry = it->second;
+      if (entry.clause_hash == clause_hash &&
+          entry.fingerprint == fingerprint) {
+        if (entry.epoch_sum == epoch_sum) {
+          hits_.fetch_add(1, std::memory_order_relaxed);
+          if (metrics_ != nullptr) metrics_->cache_hits.Add();
+          return entry.result;
+        }
+        invalidations_.fetch_add(1, std::memory_order_relaxed);
+        if (metrics_ != nullptr) metrics_->cache_invalidations.Add();
+      }
+    }
+  }
+
+  bool result = clause.Eval(values);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_ != nullptr) metrics_->cache_misses.Add();
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.table.size() >= kMaxShardEntries) {
+      invalidations_.fetch_add(
+          static_cast<int64_t>(shard.table.size()),
+          std::memory_order_relaxed);
+      if (metrics_ != nullptr) {
+        metrics_->cache_invalidations.Add(
+            static_cast<int64_t>(shard.table.size()));
+      }
+      shard.table.clear();
+    }
+    shard.table[key] = Entry{clause_hash, fingerprint, epoch_sum, result};
+  }
+  return result;
+}
+
+void EvalCache::BumpEntity(EntityId e) {
+  epoch_bumps_.fetch_add(1, std::memory_order_relaxed);
+  if (e >= 0 && e < num_entities_) {
+    entity_epochs_[e].fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // Unknown id: be conservative and age out everything.
+    global_epoch_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void EvalCache::InvalidateAll() {
+  epoch_bumps_.fetch_add(1, std::memory_order_relaxed);
+  global_epoch_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void EvalCache::Clear() {
+  for (int s = 0; s < kNumShards; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    shards_[s].table.clear();
+  }
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  invalidations_.store(0, std::memory_order_relaxed);
+  epoch_bumps_.store(0, std::memory_order_relaxed);
+}
+
+EvalCache::Stats EvalCache::stats() const {
+  Stats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.invalidations = invalidations_.load(std::memory_order_relaxed);
+  out.epoch_bumps = epoch_bumps_.load(std::memory_order_relaxed);
+  return out;
+}
+
+double EvalCache::HitRate() const {
+  Stats s = stats();
+  int64_t probes = s.hits + s.misses;
+  return probes == 0 ? 0.0
+                     : static_cast<double>(s.hits) /
+                           static_cast<double>(probes);
+}
+
+size_t EvalCache::size() const {
+  size_t total = 0;
+  for (int s = 0; s < kNumShards; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    total += shards_[s].table.size();
+  }
+  return total;
+}
+
+CachedPredicate::CachedPredicate(const Predicate& predicate, EvalCache* cache)
+    : cache_(cache) {
+  NONSERIAL_CHECK(cache != nullptr);
+  const std::vector<Clause>& clauses = predicate.clauses();
+  clause_hashes_.reserve(clauses.size());
+  clause_entities_.reserve(clauses.size());
+  int max_entity = -1;
+  for (const Clause& clause : clauses) {
+    clause_hashes_.push_back(HashClause(clause));
+    std::set<EntityId> object = clause.Object();
+    clause_entities_.emplace_back(object.begin(), object.end());
+    if (!object.empty()) max_entity = std::max(max_entity, *object.rbegin());
+  }
+  cache_->EnsureEntities(max_entity + 1);
+}
+
+bool CachedPredicate::EvalClause(const Predicate& predicate, int index,
+                                 const ValueVector& values) const {
+  NONSERIAL_CHECK_GE(index, 0);
+  NONSERIAL_CHECK_LT(index, num_clauses());
+  return cache_->EvalClause(clause_hashes_[index],
+                            predicate.clauses()[index],
+                            clause_entities_[index], values);
+}
+
+bool CachedPredicate::Eval(const Predicate& predicate,
+                           const ValueVector& values) const {
+  NONSERIAL_CHECK_EQ(static_cast<int>(predicate.clauses().size()),
+                     num_clauses())
+      << "CachedPredicate bound to a structurally different predicate";
+  for (int c = 0; c < num_clauses(); ++c) {
+    if (!EvalClause(predicate, c, values)) return false;
+  }
+  return true;
+}
+
+}  // namespace nonserial

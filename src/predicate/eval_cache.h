@@ -1,0 +1,187 @@
+#ifndef NONSERIAL_PREDICATE_EVAL_CACHE_H_
+#define NONSERIAL_PREDICATE_EVAL_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "predicate/predicate.h"
+
+namespace nonserial {
+
+/// \file
+/// Memoized conjunct evaluation — the incremental half of the validation
+/// fast path (see docs/ARCHITECTURE.md, "incremental verification").
+///
+/// A CNF predicate is an AND of conjuncts (clauses); each conjunct mentions
+/// a small entity set (its *object*, in the paper's terminology). During a
+/// validation rescan, the assignment search re-evaluates the same conjuncts
+/// over mostly unchanged version values, and the formal verifier re-checks
+/// the same input/output specifications after every crash-recovery cycle.
+/// EvalCache memoizes those evaluations so repeated validation is a hash
+/// probe instead of an atom walk.
+
+/// Thread-safe memo of conjunct (clause) evaluations.
+///
+/// **Key.** An entry is keyed by the pair
+/// (structural hash of the clause, fingerprint of the values of the
+/// clause's entities). Because a clause's truth value is a pure function of
+/// those values, a fingerprint match makes the cached result sound no
+/// matter how the version store evolved in between — epochs (below) are a
+/// freshness discipline, not a correctness requirement. The differential
+/// fuzzer (tests/incremental_verify_fuzz_test.cc) re-checks this claim
+/// against from-scratch evaluation on every run.
+///
+/// **Epoch invalidation.** Each entity carries an epoch counter; installing
+/// or rolling back a version of entity `e` bumps `e`'s epoch (the protocol
+/// engine calls BumpEntity from Write and Abort). An entry records the sum
+/// of its entities' epochs at insertion time; a later probe whose current
+/// epoch sum differs treats the entry as stale, recomputes, and counts an
+/// invalidation. This keeps the cache from serving results across store
+/// generations (e.g. across a crash-recovery replay) and gives the metrics
+/// layer a precise invalidation signal.
+///
+/// **Concurrency.** The table is sharded; each shard owns a mutex and a
+/// bounded hash map (overflowing shards are dropped wholesale and counted
+/// as invalidations). Entity epochs are relaxed atomics. Any number of
+/// threads may evaluate concurrently — the CEP engine probes the cache from
+/// its *unlocked* optimistic-search window, and the verifier probes it from
+/// the shared thread pool.
+class EvalCache {
+ public:
+  /// Counter snapshot; see stats().
+  struct Stats {
+    int64_t hits = 0;           ///< Probes answered from the table.
+    int64_t misses = 0;         ///< Probes that evaluated and inserted.
+    int64_t invalidations = 0;  ///< Stale entries replaced (epoch mismatch)
+                                ///< plus entries dropped by shard overflow.
+    int64_t epoch_bumps = 0;    ///< BumpEntity / InvalidateAll calls.
+  };
+
+  /// Constructs a cache sized for `num_entities` dense entity ids (the
+  /// epoch table grows on demand via EnsureEntities, which is not safe
+  /// under concurrent evaluation — size up front when possible).
+  explicit EvalCache(int num_entities = 0);
+  ~EvalCache();
+
+  EvalCache(const EvalCache&) = delete;
+  EvalCache& operator=(const EvalCache&) = delete;
+
+  /// Grows the epoch table to cover entity ids [0, n). Call before
+  /// concurrent use; concurrent callers of Eval* must not race with this.
+  void EnsureEntities(int n);
+
+  /// Evaluates one clause over `values`, memoized.
+  ///
+  /// `clause_hash` must be the structural hash of `clause` (see
+  /// CachedPredicate, which precomputes it) and `entities` the clause's
+  /// entity set in ascending order; `values` must cover every id in
+  /// `entities`.
+  bool EvalClause(uint64_t clause_hash, const Clause& clause,
+                  const std::vector<EntityId>& entities,
+                  const ValueVector& values);
+
+  /// Epoch invalidation hook: a version of `e` was installed or rolled
+  /// back. Entries over `e` become stale (they are replaced on their next
+  /// probe). Ids beyond the epoch table invalidate the whole cache instead.
+  void BumpEntity(EntityId e);
+
+  /// Invalidates every entry at once (bumps the global epoch). Used when a
+  /// whole store generation is discarded, e.g. on crash recovery.
+  void InvalidateAll();
+
+  /// Drops all entries and counters (test hygiene; not thread-safe).
+  void Clear();
+
+  /// Snapshot of the hit/miss/invalidation counters.
+  Stats stats() const;
+
+  /// The fraction of probes answered from the table, in [0, 1].
+  double HitRate() const;
+
+  /// Number of live entries across all shards (approximate under
+  /// concurrent use).
+  size_t size() const;
+
+  /// Mirrors future hits/misses/invalidations into `metrics`
+  /// (cache_hits / cache_misses / cache_invalidations). Not owned; pass
+  /// nullptr to detach. Set before concurrent use.
+  void SetMetrics(ProtocolMetrics* metrics) { metrics_ = metrics; }
+
+ private:
+  struct Entry {
+    uint64_t clause_hash = 0;
+    uint64_t fingerprint = 0;
+    uint64_t epoch_sum = 0;
+    bool result = false;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<uint64_t, Entry> table;
+  };
+
+  static constexpr int kNumShards = 16;
+  /// Per-shard entry bound; an overflowing shard is cleared wholesale.
+  static constexpr size_t kMaxShardEntries = 1 << 16;
+
+  uint64_t EpochSum(const std::vector<EntityId>& entities) const;
+
+  std::unique_ptr<Shard[]> shards_;
+  std::unique_ptr<std::atomic<uint64_t>[]> entity_epochs_;
+  int num_entities_ = 0;
+  std::atomic<uint64_t> global_epoch_{0};
+
+  mutable std::atomic<int64_t> hits_{0};
+  mutable std::atomic<int64_t> misses_{0};
+  mutable std::atomic<int64_t> invalidations_{0};
+  mutable std::atomic<int64_t> epoch_bumps_{0};
+
+  ProtocolMetrics* metrics_ = nullptr;
+};
+
+/// Immutable per-predicate companion for EvalCache: the precomputed
+/// structural hash and sorted entity list of every clause.
+///
+/// Construction walks the predicate once; evaluation then binds the *live*
+/// predicate (which must be structurally identical to the one given at
+/// construction — same clauses in the same order) so callers that move
+/// their predicates around, as the protocol engine's per-transaction state
+/// does, never hold a dangling pointer.
+class CachedPredicate {
+ public:
+  /// Precomputes clause hashes/entity lists for `predicate` and binds the
+  /// cache. `cache` is not owned and must outlive this object.
+  CachedPredicate(const Predicate& predicate, EvalCache* cache);
+
+  /// Memoized evaluation of clause `index` of `predicate` (which must be
+  /// structurally identical to the construction-time predicate).
+  bool EvalClause(const Predicate& predicate, int index,
+                  const ValueVector& values) const;
+
+  /// Memoized evaluation of the whole predicate (AND of its clauses).
+  bool Eval(const Predicate& predicate, const ValueVector& values) const;
+
+  /// The bound cache (never null).
+  EvalCache* cache() const { return cache_; }
+
+  /// Number of clauses captured at construction.
+  int num_clauses() const { return static_cast<int>(clause_hashes_.size()); }
+
+  /// Structural 64-bit hash of one clause — stable across copies and moves
+  /// of the predicate, so cache entries survive engine restarts.
+  static uint64_t HashClause(const Clause& clause);
+
+ private:
+  EvalCache* cache_;
+  std::vector<uint64_t> clause_hashes_;
+  std::vector<std::vector<EntityId>> clause_entities_;
+};
+
+}  // namespace nonserial
+
+#endif  // NONSERIAL_PREDICATE_EVAL_CACHE_H_

@@ -35,6 +35,12 @@ void CorrectExecutionProtocol::Register(int tx, TxProfile profile) {
   TxState& state = txs_[tx];
   state.profile = std::move(profile);
   state.input_entities = state.profile.input.Entities();
+  if (options_.eval_cache != nullptr) {
+    state.cached_input = std::make_shared<const CachedPredicate>(
+        state.profile.input, options_.eval_cache);
+    state.cached_output = std::make_shared<const CachedPredicate>(
+        state.profile.output, options_.eval_cache);
+  }
   records_[tx].name = state.profile.name;
 }
 
@@ -155,7 +161,7 @@ bool CorrectExecutionProtocol::SolveAssignment(
   CandidateSnapshot snapshot = GatherCandidates(tx, pinned);
   std::optional<std::vector<int>> choice = FindSatisfyingAssignment(
       txs_[tx].profile.input, snapshot.values, options_.search_mode,
-      &stats_.search);
+      &stats_.search, txs_[tx].cached_input.get());
   if (!choice.has_value()) return false;
   InstallAssignment(tx, snapshot, *choice);
   return true;
@@ -190,21 +196,58 @@ ReqResult CorrectExecutionProtocol::Begin(int tx) {
   // max_validation_rescans times — a hot-entity write storm can otherwise
   // invalidate every pass and starve the reader forever.
   int rescans = 0;
+  // The previously invalidated pass, if any: its snapshot and the choice it
+  // found. A rescan whose candidate lists mostly match that snapshot can be
+  // solved as a *delta* — unchanged entities pinned to the prior choice,
+  // only changed entities re-searched (see DeltaRevalidate).
+  bool have_prev = false;
+  CandidateSnapshot prev_snapshot;
+  std::vector<int> prev_choice;
   for (;;) {
     CandidateSnapshot snapshot = GatherCandidates(tx, {});
     // The profile is immutable while an attempt is in flight (Register
     // precedes driving; Abort runs on this transaction's own thread).
     const Predicate& input = txs_[tx].profile.input;
+    const CachedPredicate* cached = txs_[tx].cached_input.get();
+    bool delta = options_.delta_revalidate && have_prev;
+    std::set<EntityId> changed;
+    if (delta) {
+      // Only the input entities can change between passes: every other
+      // entity's candidate list is the pinned initial version.
+      for (EntityId e : txs_[tx].input_entities) {
+        if (snapshot.refs[e] != prev_snapshot.refs[e] ||
+            snapshot.values[e] != prev_snapshot.values[e]) {
+          changed.insert(e);
+        }
+      }
+    }
     lock.unlock();
     if (options_.validation_interference) options_.validation_interference(tx);
     SearchStats search;
-    std::optional<std::vector<int>> choice = FindSatisfyingAssignment(
-        input, snapshot.values, options_.search_mode, &search);
+    DeltaStats delta_search;
+    std::optional<std::vector<int>> choice =
+        delta ? DeltaRevalidate(input, snapshot.values, prev_choice, changed,
+                                options_.search_mode, &search, cached,
+                                &delta_search)
+              : FindSatisfyingAssignment(input, snapshot.values,
+                                         options_.search_mode, &search,
+                                         cached);
     lock.lock();
     stats_.search.nodes_visited += search.nodes_visited;
     stats_.search.evaluations += search.evaluations;
     if (options_.metrics != nullptr) {
       options_.metrics->search_nodes.Record(search.nodes_visited);
+    }
+    if (delta) {
+      stats_.delta_rescans += delta_search.delta_solves;
+      stats_.delta_fallbacks += delta_search.delta_fallbacks;
+      if (options_.metrics != nullptr) {
+        options_.metrics->delta_rescans.Add(delta_search.delta_solves);
+        options_.metrics->delta_fallbacks.Add(delta_search.delta_fallbacks);
+      }
+      if (delta_search.delta_solves > 0) {
+        Emit(CepEvent::Kind::kDeltaRevalidate, tx);
+      }
     }
     if (!choice.has_value()) {
       ++stats_.validation_retries;
@@ -218,7 +261,12 @@ ReqResult CorrectExecutionProtocol::Begin(int tx) {
       if (options_.metrics != nullptr) {
         options_.metrics->validation_rescans.Add();
       }
-      if (++rescans <= options_.max_validation_rescans) continue;
+      if (++rescans <= options_.max_validation_rescans) {
+        prev_snapshot = std::move(snapshot);
+        prev_choice = std::move(*choice);
+        have_prev = true;
+        continue;
+      }
       // Starved by concurrent writers: close the optimistic window and run
       // the search inside the engine lock (the locked Figure 4 path). No
       // write can interleave, so this pass is final.
@@ -289,6 +337,10 @@ ReqResult CorrectExecutionProtocol::Write(int tx, EntityId e, Value value) {
   NONSERIAL_CHECK(state.phase == Phase::kExecuting);
   KsLockOutcome outcome = locks_.Acquire(tx, e, KsLockMode::kW);
   int index = store_->Append(e, value, tx);
+  // Epoch discipline: a version install makes memoized evaluations over
+  // this entity stale (value-keyed entries stay sound; epochs keep the
+  // cache from serving across store generations — see eval_cache.h).
+  if (options_.eval_cache != nullptr) options_.eval_cache->BumpEntity(e);
   state.own_latest[e] = index;
   state.write_log.push_back({e, value});
   state.local_view[e] = value;
@@ -402,7 +454,11 @@ ReqResult CorrectExecutionProtocol::Commit(int tx) {
     return ReqResult::kBlocked;
   }
   // Termination rule 3: the output condition holds on the final state.
-  if (!state.profile.output.Eval(state.local_view)) {
+  bool output_holds =
+      state.cached_output != nullptr
+          ? state.cached_output->Eval(state.profile.output, state.local_view)
+          : state.profile.output.Eval(state.local_view);
+  if (!output_holds) {
     if (options_.metrics != nullptr) options_.metrics->output_aborts.Add();
     return ReqResult::kAborted;
   }
@@ -484,6 +540,13 @@ void CorrectExecutionProtocol::Abort(int tx) {
   store_->RollbackWriter(tx);
   locks_.ReleaseAll(tx);
 
+  // The rolled-back versions are gone; bump their entities' epochs so the
+  // eval cache stops treating evaluations over them as fresh.
+  if (options_.eval_cache != nullptr && !written.empty()) {
+    for (EntityId e : written) options_.eval_cache->BumpEntity(e);
+    Emit(CepEvent::Kind::kCacheInvalidate, tx);
+  }
+
   // Readers assigned one of this transaction's (now dead) versions must be
   // re-assigned, or cascade-aborted if they already consumed a dead value.
   // The whole assignment is scanned before deciding: a reader that consumed
@@ -520,11 +583,18 @@ void CorrectExecutionProtocol::Abort(int tx) {
     }
   }
 
-  // Reset the attempt, keeping the registered profile.
+  // Reset the attempt, keeping the registered profile (and the cached
+  // clause hashes — they depend only on the profile's structure).
   TxProfile profile = std::move(state.profile);
+  std::shared_ptr<const CachedPredicate> cached_input =
+      std::move(state.cached_input);
+  std::shared_ptr<const CachedPredicate> cached_output =
+      std::move(state.cached_output);
   state = TxState();
   state.profile = std::move(profile);
   state.input_entities = state.profile.input.Entities();
+  state.cached_input = std::move(cached_input);
+  state.cached_output = std::move(cached_output);
   state.phase = Phase::kIdle;
 
   // Drop waiter registrations held by tx (pruning emptied entries — the

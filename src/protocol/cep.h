@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <string>
@@ -11,6 +12,7 @@
 #include "common/metrics.h"
 #include "graph/digraph.h"
 #include "predicate/assignment_search.h"
+#include "predicate/eval_cache.h"
 #include "protocol/controller.h"
 #include "protocol/ks_lock_manager.h"
 #include "protocol/trace.h"
@@ -60,7 +62,9 @@ namespace nonserial {
 /// transaction's phase transitions; the engine protects everything else.
 class CorrectExecutionProtocol : public ConcurrencyController {
  public:
+  /// Engine knobs; all optional (the defaults run the plain protocol).
   struct Options {
+    /// Strategy for the satisfying-assignment search (assignment_search.h).
     SearchMode search_mode = SearchMode::kPruned;
     /// Sink for lock/validation/abort counters; not owned, may be null.
     ProtocolMetrics* metrics = nullptr;
@@ -75,18 +79,30 @@ class CorrectExecutionProtocol : public ConcurrencyController {
     /// tests deterministically interleave writes mid-validation. Null in
     /// production.
     std::function<void(int tx)> validation_interference;
+    /// Memoized conjunct-evaluation cache shared across validation rescans
+    /// and post-hoc verification (predicate/eval_cache.h). Not owned; may
+    /// be null (caching disabled). The engine bumps entity epochs on
+    /// version installs (Write) and rollbacks (Abort).
+    EvalCache* eval_cache = nullptr;
+    /// Re-solve invalidated optimistic validation passes as deltas: pin the
+    /// entities whose candidate lists did not change to the previously
+    /// found choice and search only the changed entities (falling back to a
+    /// full search when the pinned problem is unsatisfiable, so admission
+    /// is unchanged). Counted as delta_rescans / delta_fallbacks.
+    bool delta_revalidate = true;
   };
 
   /// Per-transaction outcome record used to rebuild a model-layer
   /// TreeExecution for formal verification.
   struct TxRecord {
-    std::string name;
+    std::string name;          ///< Profile name (diagnostics only).
     ValueVector input_state;   ///< X(t): parent input overlaid with assigned versions.
     std::set<int> feeder_txs;  ///< Authors of assigned versions (excluding t_0).
     std::vector<std::pair<EntityId, Value>> writes;  ///< In program order.
-    bool committed = false;
+    bool committed = false;    ///< True once the commit record was cut.
   };
 
+  /// Decision counters, accumulated over the engine's lifetime.
   struct Stats {
     int64_t validations = 0;          ///< Successful version assignments.
     int64_t validation_retries = 0;   ///< Unsatisfiable or lock-blocked.
@@ -98,10 +114,15 @@ class CorrectExecutionProtocol : public ConcurrencyController {
     int64_t reevals = 0;              ///< Figure 4 routine invocations.
     int64_t po_aborts = 0;            ///< Partial-order invalidation aborts.
     int64_t cascade_aborts = 0;       ///< Aborts of readers of dead versions.
+    int64_t delta_rescans = 0;        ///< Rescans solved as deltas.
+    int64_t delta_fallbacks = 0;      ///< Delta passes that re-ran in full.
     SearchStats search;               ///< Aggregate search effort.
   };
 
+  /// Binds the engine to a store with default options. Not owned; the
+  /// store must outlive the engine.
   explicit CorrectExecutionProtocol(VersionStore* store);
+  /// As above with explicit options (metrics/cache pointers not owned).
   CorrectExecutionProtocol(VersionStore* store, Options options);
 
   std::string name() const override { return "CEP"; }
@@ -180,6 +201,12 @@ class CorrectExecutionProtocol : public ConcurrencyController {
     std::vector<std::pair<EntityId, Value>> write_log;
     ValueVector input_view;  ///< X(t) as a full vector.
     ValueVector local_view;  ///< input_view overlaid with own writes.
+    /// Precomputed clause hashes of the profile's predicates, bound to
+    /// Options::eval_cache (null when caching is off). Shared_ptr so the
+    /// abort-time state reset can carry them over without rehashing; they
+    /// depend only on predicate *structure*, which Register fixed.
+    std::shared_ptr<const CachedPredicate> cached_input;
+    std::shared_ptr<const CachedPredicate> cached_output;
   };
 
   /// Candidate snapshot for one optimistic validation attempt: per-entity

@@ -18,6 +18,10 @@ const char* TraceEvent::KindName(Kind kind) {
       return "re-eval";
     case Kind::kReAssign:
       return "re-assign";
+    case Kind::kDeltaRevalidate:
+      return "delta-revalidate";
+    case Kind::kCacheInvalidate:
+      return "cache-invalidate";
     case Kind::kPoAbort:
       return "po-abort";
     case Kind::kCascadeAbort:

@@ -32,6 +32,12 @@ struct TraceEvent {
     // CEP's Figure 4 re-evaluation routine.
     kReEval,           ///< Figure 4 entered for (writer=tx, entity).
     kReAssign,         ///< `tx` re-assigned because of `other`'s write.
+    // CEP incremental verification (eval cache + delta revalidation).
+    kDeltaRevalidate,  ///< Invalidated optimistic pass re-solved as a
+                       ///< delta: unchanged entities pinned to the prior
+                       ///< choice, only changed entities re-searched.
+    kCacheInvalidate,  ///< Eval-cache epochs bumped for `tx`'s rolled-back
+                       ///< writes (Abort) or a whole store generation.
     kPoAbort,          ///< `tx` aborted: partial-order invalidation.
     kCascadeAbort,     ///< `tx` aborted: read a rolled-back version.
     kInjectedAbort,    ///< `tx` aborted: fault injection (chaos mode).

@@ -438,6 +438,13 @@ ParallelRunResult ParallelDriver::Run(
         << "write-ahead log initial state does not match the workload";
     store->SetWal(config_.wal);
   }
+  if (config_.protocol.eval_cache != nullptr) {
+    // Size the epoch table and mirror the counters before any worker can
+    // probe (EnsureEntities/SetMetrics are not safe under concurrent use).
+    config_.protocol.eval_cache->EnsureEntities(
+        static_cast<int>(workload.initial.size()));
+    config_.protocol.eval_cache->SetMetrics(config_.protocol.metrics);
+  }
   auto cep =
       std::make_shared<CorrectExecutionProtocol>(store.get(), config_.protocol);
   if (config_.observer != nullptr) cep->SetObserver(config_.observer);
@@ -469,6 +476,11 @@ ChaosRunResult ParallelDriver::RunChaos(
   Rng rng(chaos.seed ^ 0x9e3779b97f4a7c15ULL);
 
   ChaosRunResult out;
+  if (config_.protocol.eval_cache != nullptr) {
+    config_.protocol.eval_cache->EnsureEntities(
+        static_cast<int>(workload.initial.size()));
+    config_.protocol.eval_cache->SetMetrics(config_.protocol.metrics);
+  }
   std::vector<CorrectExecutionProtocol::TxRecord> restored(
       workload.txs.size());
   auto store = std::make_shared<VersionStore>(workload.initial);
@@ -521,6 +533,11 @@ ChaosRunResult ParallelDriver::RunChaos(
     c.recovered_snapshot = rec.store->LatestCommittedSnapshot();
     out.cycles.push_back(std::move(c));
     store = std::move(rec.store);
+    // The pre-crash store generation is gone; memoized evaluations over it
+    // must not survive into the rebuilt one.
+    if (config_.protocol.eval_cache != nullptr) {
+      config_.protocol.eval_cache->InvalidateAll();
+    }
   }
   out.leaked_waiters = cep->WaiterFootprint();
   for (const auto& [name, spec] : chaos.failpoints) registry.Disarm(name);

@@ -443,6 +443,68 @@ TEST(CepStarvationTest, HotEntityWriteStormCannotLivelockValidation) {
   EXPECT_EQ(cep.WaiterFootprint(), 0u);
 }
 
+// A bounded version of the same storm, with the incremental machinery on:
+// after the first invalidated pass the rescans must run as *delta*
+// revalidations — the untouched entity stays pinned to the previous
+// choice and only the stormed entity is re-searched.
+TEST(CepDeltaRevalidationTest, RescansAfterInterferenceAreDeltaSolves) {
+  VersionStore store({50, 50});
+  ProtocolMetrics metrics;
+  EvalCache cache(2);
+  CorrectExecutionProtocol::Options options;
+  options.metrics = &metrics;
+  options.eval_cache = &cache;
+  options.delta_revalidate = true;
+  int storm_left = 0;
+  CorrectExecutionProtocol* engine = nullptr;
+  options.validation_interference = [&](int tx) {
+    if (storm_left <= 0 || tx != 0) return;
+    --storm_left;
+    ASSERT_EQ(engine->Write(1, 0, 40), ReqResult::kGranted);
+    engine->WriteDone(1, 0);
+  };
+  CorrectExecutionProtocol cep(&store, options);
+  engine = &cep;
+
+  TxProfile victim;
+  victim.name = "victim";
+  victim.input = Predicate::And(Range(0, 0, 100), Range(1, 0, 100));
+  victim.input.AddClause(Clause({EntityVsEntity(0, CompareOp::kLe, 1)}));
+  cep.Register(0, victim);
+  TxProfile writer;
+  writer.name = "writer";
+  writer.input = Range(0, 0, 100);
+  cep.Register(1, writer);
+  ASSERT_EQ(cep.Begin(1), ReqResult::kGranted);
+
+  storm_left = 2;
+  ReqResult r = cep.Begin(0);
+  EXPECT_EQ(r, ReqResult::kGranted);
+  EXPECT_EQ(storm_left, 0);
+  // Both invalidated passes rescanned, and the rescans were delta solves —
+  // never the in-lock starvation fallback.
+  EXPECT_GE(cep.stats().validation_rescans, 2);
+  EXPECT_GE(cep.stats().delta_rescans, 1);
+  EXPECT_EQ(cep.stats().delta_fallbacks, 0);
+  EXPECT_EQ(cep.stats().validation_starved, 0);
+  EXPECT_GE(metrics.delta_rescans.value(), 1);
+
+  // The delta-found assignment is a real one: the victim reads a version of
+  // x that satisfies x <= y and commits (waiting on the writer if it was
+  // assigned an uncommitted storm version — commit rule 2).
+  Value x = -1, y = -1;
+  ASSERT_EQ(cep.Read(0, 0, &x), ReqResult::kGranted);
+  ASSERT_EQ(cep.Read(0, 1, &y), ReqResult::kGranted);
+  EXPECT_LE(x, y);
+  ReqResult commit_victim = cep.Commit(0);
+  ASSERT_EQ(cep.Commit(1), ReqResult::kGranted);
+  if (commit_victim != ReqResult::kGranted) {
+    (void)cep.TakeWakeups();
+    commit_victim = cep.Commit(0);
+  }
+  EXPECT_EQ(commit_victim, ReqResult::kGranted);
+}
+
 using CepDeathTest = CepTest;
 
 TEST_F(CepDeathTest, ReadOutsideInputConstraintRejected) {

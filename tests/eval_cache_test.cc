@@ -1,0 +1,165 @@
+#include "predicate/eval_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/random.h"
+#include "predicate/predicate.h"
+
+namespace nonserial {
+namespace {
+
+// x=0, y=1, z=2 with a range clause per entity plus linking clauses —
+// the shape the protocol's input constraints take.
+Predicate TestPredicate() {
+  Predicate p;
+  p.AddClause(Clause({EntityVsConst(0, CompareOp::kGe, 0)}));
+  p.AddClause(Clause({EntityVsConst(1, CompareOp::kLe, 100)}));
+  p.AddClause(Clause({EntityVsEntity(0, CompareOp::kLe, 1),
+                      EntityVsConst(0, CompareOp::kLe, 50)}));
+  p.AddClause(Clause({EntityVsEntity(1, CompareOp::kLt, 2)}));
+  return p;
+}
+
+TEST(EvalCacheTest, MemoizedAgreesWithPlainEvalOnRandomValues) {
+  EvalCache cache(3);
+  Predicate predicate = TestPredicate();
+  CachedPredicate cached(predicate, &cache);
+  Rng rng(7);
+  for (int trial = 0; trial < 500; ++trial) {
+    ValueVector values = {rng.UniformInt(-20, 120), rng.UniformInt(-20, 120),
+                          rng.UniformInt(-20, 120)};
+    EXPECT_EQ(cached.Eval(predicate, values), predicate.Eval(values));
+    for (int c = 0; c < cached.num_clauses(); ++c) {
+      EXPECT_EQ(cached.EvalClause(predicate, c, values),
+                predicate.clauses()[c].Eval(values));
+    }
+  }
+}
+
+TEST(EvalCacheTest, SecondProbeWithSameValuesHits) {
+  EvalCache cache(3);
+  Predicate predicate = TestPredicate();
+  CachedPredicate cached(predicate, &cache);
+  ValueVector values = {10, 20, 30};
+  EXPECT_TRUE(cached.EvalClause(predicate, 0, values));
+  EXPECT_EQ(cache.stats().hits, 0);
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_TRUE(cached.EvalClause(predicate, 0, values));
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_DOUBLE_EQ(cache.HitRate(), 0.5);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(EvalCacheTest, EpochBumpInvalidatesEntriesOverThatEntity) {
+  EvalCache cache(3);
+  Predicate predicate = TestPredicate();
+  CachedPredicate cached(predicate, &cache);
+  ValueVector values = {10, 20, 30};
+  // Clause 3 is y < z (entities 1, 2); prime the cache.
+  EXPECT_TRUE(cached.EvalClause(predicate, 3, values));
+  // A version install on y ages the entry; the next probe replaces it and
+  // counts an invalidation (the recomputed result is still correct).
+  cache.BumpEntity(1);
+  EXPECT_TRUE(cached.EvalClause(predicate, 3, values));
+  EvalCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0);
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_EQ(stats.invalidations, 1);
+  EXPECT_EQ(stats.epoch_bumps, 1);
+  // The refreshed entry carries the new epoch: hits again.
+  EXPECT_TRUE(cached.EvalClause(predicate, 3, values));
+  EXPECT_EQ(cache.stats().hits, 1);
+}
+
+TEST(EvalCacheTest, BumpOfUnrelatedEntityKeepsEntriesFresh) {
+  EvalCache cache(3);
+  Predicate predicate = TestPredicate();
+  CachedPredicate cached(predicate, &cache);
+  ValueVector values = {10, 20, 30};
+  EXPECT_TRUE(cached.EvalClause(predicate, 3, values));  // Over y, z.
+  cache.BumpEntity(0);  // x is not in clause 3's object.
+  EXPECT_TRUE(cached.EvalClause(predicate, 3, values));
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_EQ(cache.stats().invalidations, 0);
+}
+
+TEST(EvalCacheTest, InvalidateAllAgesEveryEntry) {
+  EvalCache cache(3);
+  Predicate predicate = TestPredicate();
+  CachedPredicate cached(predicate, &cache);
+  ValueVector values = {10, 20, 30};
+  for (int c = 0; c < cached.num_clauses(); ++c) {
+    cached.EvalClause(predicate, c, values);
+  }
+  cache.InvalidateAll();
+  for (int c = 0; c < cached.num_clauses(); ++c) {
+    EXPECT_EQ(cached.EvalClause(predicate, c, values),
+              predicate.clauses()[c].Eval(values));
+  }
+  EvalCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0);
+  EXPECT_EQ(stats.invalidations, cached.num_clauses());
+}
+
+TEST(EvalCacheTest, OutOfRangeEntityBumpInvalidatesConservatively) {
+  EvalCache cache(3);
+  Predicate predicate = TestPredicate();
+  CachedPredicate cached(predicate, &cache);
+  ValueVector values = {10, 20, 30};
+  cached.EvalClause(predicate, 0, values);
+  cache.BumpEntity(999);  // Beyond the epoch table: global bump.
+  cached.EvalClause(predicate, 0, values);
+  EXPECT_EQ(cache.stats().hits, 0);
+  EXPECT_EQ(cache.stats().invalidations, 1);
+}
+
+TEST(EvalCacheTest, MirrorsCountersIntoProtocolMetrics) {
+  EvalCache cache(3);
+  ProtocolMetrics metrics;
+  cache.SetMetrics(&metrics);
+  Predicate predicate = TestPredicate();
+  CachedPredicate cached(predicate, &cache);
+  ValueVector values = {10, 20, 30};
+  cached.EvalClause(predicate, 0, values);
+  cached.EvalClause(predicate, 0, values);
+  cache.BumpEntity(0);
+  cached.EvalClause(predicate, 0, values);
+  EXPECT_EQ(metrics.cache_hits.value(), 1);
+  EXPECT_EQ(metrics.cache_misses.value(), 2);
+  EXPECT_EQ(metrics.cache_invalidations.value(), 1);
+}
+
+TEST(EvalCacheTest, ClearDropsEntriesAndCounters) {
+  EvalCache cache(3);
+  Predicate predicate = TestPredicate();
+  CachedPredicate cached(predicate, &cache);
+  ValueVector values = {10, 20, 30};
+  cached.EvalClause(predicate, 0, values);
+  cached.EvalClause(predicate, 0, values);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().hits, 0);
+  EXPECT_EQ(cache.stats().misses, 0);
+}
+
+TEST(EvalCacheTest, StructurallyIdenticalPredicatesShareEntries) {
+  // Two transactions with the same specification predicate: the second's
+  // evaluations hit the entries the first's populated (keying is by clause
+  // structure + values, not by object identity).
+  EvalCache cache(3);
+  Predicate a = TestPredicate();
+  Predicate b = TestPredicate();
+  CachedPredicate cached_a(a, &cache);
+  CachedPredicate cached_b(b, &cache);
+  ValueVector values = {10, 20, 30};
+  cached_a.Eval(a, values);
+  int64_t misses_after_a = cache.stats().misses;
+  cached_b.Eval(b, values);
+  EXPECT_EQ(cache.stats().misses, misses_after_a);
+  EXPECT_GT(cache.stats().hits, 0);
+}
+
+}  // namespace
+}  // namespace nonserial
