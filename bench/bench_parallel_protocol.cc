@@ -81,7 +81,8 @@ Outcome RunWith(const SimWorkload& workload, int threads,
 
 /// The README's about:tracing story: a chaos run (crash-kill cycles plus
 /// abort storms) with every phase span on one shared timeline.
-bool RunChaosTrace(const SimWorkload& workload, const std::string& path) {
+bool RunChaosTrace(const SimWorkload& workload, const std::string& path,
+                   BenchReport* report) {
   ProtocolMetrics metrics;
   SpanTimeline timeline;
   ParallelDriverConfig config = BaseConfig(4, &metrics);
@@ -106,6 +107,18 @@ bool RunChaosTrace(const SimWorkload& workload, const std::string& path) {
               timeline.size(), chaos.cycles.size(),
               chaos.final_result.committed_count, workload.txs.size(),
               path.c_str());
+  // The throughput runs above never crash, so the `metrics` section's
+  // recovery counters are all zero there; this row carries the chaos
+  // run's actual recovery numbers into the report.
+  Json row = Json::Object();
+  row["name"] = "chaos_recovery";
+  row["crash_restarts"] = metrics.crash_restarts.value();
+  row["recovered_txs"] = metrics.recovered_txs.value();
+  row["frames_scanned"] = metrics.recovery_frames_scanned.value();
+  row["frames_truncated"] = metrics.recovery_frames_truncated.value();
+  row["frames_salvaged"] = metrics.recovery_frames_salvaged.value();
+  row["checkpoint_compactions"] = metrics.checkpoint_compactions.value();
+  report->AddResult(std::move(row));
   // The final uninterrupted cycle must finish the workload; transactions
   // recovered durable from the WAL in earlier cycles count as committed.
   return chaos.final_result.all_committed &&
@@ -170,7 +183,7 @@ bool Run(const BenchOptions& options, BenchReport* report) {
               "(required: >= 2x)\n", speedup);
 
   if (!options.trace_path.empty()) {
-    ok &= RunChaosTrace(workload, options.trace_path);
+    ok &= RunChaosTrace(workload, options.trace_path, report);
   }
 
   std::printf("\n%s\n", ok ? "OK" : "FAILED");

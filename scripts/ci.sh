@@ -6,8 +6,9 @@
 # the ASan/UBSan pass covers the fault-injection and crash-recovery paths,
 # where abandoned transactions and log-truncation replay make lifetime
 # bugs easiest to introduce. The plain leg also emits the machine-readable
-# run-report artifacts (REPORT_parallel.json + a Chrome trace of a chaos
-# run) and gates every bench's --json output through json.tool.
+# run-report artifacts (REPORT_parallel.json, REPORT_recovery.json + a
+# Chrome trace of a chaos run) and gates every bench's --json output
+# through json.tool.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -34,6 +35,14 @@ echo "== report artifacts: REPORT_parallel.json + TRACE_chaos.json =="
 python3 -m json.tool REPORT_parallel.json > /dev/null
 python3 -m json.tool TRACE_chaos.json > /dev/null
 cat REPORT_parallel.json
+
+echo "== report artifact: REPORT_recovery.json (corruption-recovery leg) =="
+# bench_recovery exits non-zero unless checkpointed recovery beats full
+# replay on long logs — the durability PR's perf gate. Its JSON lands next
+# to the parallel report as a first-class artifact.
+./build/bench/bench_recovery --json > REPORT_recovery.json
+python3 -m json.tool REPORT_recovery.json > /dev/null
+cat REPORT_recovery.json
 
 echo "== json gate: every bench must emit one valid --json document =="
 # The quick benches run in full; the expensive sweeps are already covered
@@ -65,6 +74,9 @@ cmake -B build-asan -S . -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 cmake --build build-asan -j
+# The corruption fuzzers (wal_corruption_fuzz_test, crash_recovery_fuzz_test)
+# run in every leg via ctest; under ASan they double as a memory-safety
+# audit of the damaged-image decode paths.
 ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1" \
   ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
 

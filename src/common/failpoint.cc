@@ -67,6 +67,14 @@ bool FailpointRegistry::ShouldFire(const char* name) {
   return true;
 }
 
+uint64_t FailpointRegistry::DrawBits() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rng_state_ ^= rng_state_ >> 12;
+  rng_state_ ^= rng_state_ << 25;
+  rng_state_ ^= rng_state_ >> 27;
+  return rng_state_ * 0x2545F4914F6CDD1DULL;
+}
+
 int64_t FailpointRegistry::fires(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = points_.find(name);

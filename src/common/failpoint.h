@@ -54,6 +54,12 @@ class FailpointRegistry {
   /// fire (but are not counted either).
   bool ShouldFire(const char* name);
 
+  /// Draws 64 bits from the same deterministic stream the firing decisions
+  /// use. Fault-effect parameters (which byte to tear at, which bit to
+  /// flip) come from here so a whole fault schedule — including the damage
+  /// itself — replays from one Seed() value.
+  uint64_t DrawBits();
+
   /// Lifetime firing / evaluation counts for the named point (0 if never
   /// armed). Counts survive Disarm so tests can assert after tear-down.
   int64_t fires(const std::string& name) const;

@@ -99,7 +99,14 @@ std::string ProtocolMetrics::Summary() const {
   }
   if (crash_restarts.value() > 0) {
     os << "recovery: crash-restarts=" << crash_restarts.value()
-       << " recovered-txs=" << recovered_txs.value() << "\n";
+       << " recovered-txs=" << recovered_txs.value()
+       << " frames-scanned=" << recovery_frames_scanned.value()
+       << " frames-truncated=" << recovery_frames_truncated.value()
+       << " frames-salvaged=" << recovery_frames_salvaged.value()
+       << " compactions=" << checkpoint_compactions.value() << "\n";
+    if (recovery_micros.count() > 0) {
+      os << "recovery time (us): " << recovery_micros.ToString() << "\n";
+    }
   }
   if (search_nodes.count() > 0) {
     os << "search nodes: " << search_nodes.ToString() << "\n";
@@ -152,6 +159,11 @@ void ProtocolMetrics::Reset() {
   span_terminate.Reset();
   crash_restarts.Reset();
   recovered_txs.Reset();
+  recovery_frames_scanned.Reset();
+  recovery_frames_truncated.Reset();
+  recovery_frames_salvaged.Reset();
+  checkpoint_compactions.Reset();
+  recovery_micros.Reset();
 }
 
 }  // namespace nonserial

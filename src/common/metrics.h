@@ -104,6 +104,13 @@ struct ProtocolMetrics {
   // Fault-injection & recovery (chaos runs).
   Counter crash_restarts;   ///< Simulated crash-kill + WAL recovery cycles.
   Counter recovered_txs;    ///< Committed transactions restored from WAL.
+  Counter recovery_frames_scanned;    ///< Valid log frames decoded.
+  Counter recovery_frames_truncated;  ///< Torn/bad-CRC tail frames dropped.
+  Counter recovery_frames_salvaged;   ///< Records replayed despite mid-log
+                                      ///< corruption (best-effort mode).
+  Counter checkpoint_compactions;     ///< Checkpoint installs that reclaimed
+                                      ///< earlier log segments.
+  Histogram recovery_micros;          ///< Wall-clock µs per recovery pass.
 
   /// Multi-line human-readable dump (omits never-touched members).
   std::string Summary() const;

@@ -186,6 +186,11 @@ Json MetricsJson(const ProtocolMetrics& m) {
   Json& recovery = out["recovery"];
   recovery["crash_restarts"] = m.crash_restarts.value();
   recovery["recovered_txs"] = m.recovered_txs.value();
+  recovery["frames_scanned"] = m.recovery_frames_scanned.value();
+  recovery["frames_truncated"] = m.recovery_frames_truncated.value();
+  recovery["frames_salvaged"] = m.recovery_frames_salvaged.value();
+  recovery["checkpoint_compactions"] = m.checkpoint_compactions.value();
+  recovery["recovery_micros"] = HistogramJson(m.recovery_micros);
   return out;
 }
 

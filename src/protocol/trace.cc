@@ -52,6 +52,12 @@ const char* TraceEvent::KindName(Kind kind) {
       return "group-commit";
     case Kind::kGroupReset:
       return "group-reset";
+    case Kind::kCheckpoint:
+      return "checkpoint";
+    case Kind::kCompaction:
+      return "compaction";
+    case Kind::kCorruptionDetected:
+      return "corruption-detected";
   }
   return "?";
 }

@@ -59,7 +59,12 @@ struct TraceEvent {
     // Hierarchical scopes (Nested-CEP; `tx` is the group id).
     kGroupStart,       ///< Scope opened: top-level validation succeeded.
     kGroupCommit,      ///< Scope published and durably committed.
-    kGroupReset        ///< Scope torn down; members redo.
+    kGroupReset,       ///< Scope torn down; members redo.
+    // Durable-log lifecycle (write-ahead log; `tx` = chaos cycle index).
+    kCheckpoint,          ///< Checkpoint installed; `value` = txs captured.
+    kCompaction,          ///< Segments reclaimed; `value` = segment count.
+    kCorruptionDetected   ///< Recovery found mid-log corruption / lost
+                          ///< segment; `value` = records salvaged.
   };
 
   Kind kind = Kind::kValidated;

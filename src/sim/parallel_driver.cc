@@ -507,12 +507,43 @@ ChaosRunResult ParallelDriver::RunChaos(
     // The crash marker fences the log so writer ids re-run after restart
     // cannot resurrect their pre-crash in-flight appends.
     ChaosCycle c;
-    c.wal_records = static_cast<int64_t>(wal->size());
-    RecoveryResult rec = wal->Recover();
+    WalStats pre_stats = wal->stats();
+    c.wal_records = pre_stats.records;
+    c.wal_bytes = pre_stats.bytes;
+    RecoveryOptions recovery_options;
+    recovery_options.best_effort = chaos.best_effort_recovery;
+    RecoveryResult rec = wal->Recover(recovery_options);
+    // Corruption is never silently absorbed: best-effort mode reports it
+    // (cycle flags + trace + metrics) and salvages; strict mode stops the
+    // run on the spot.
+    NONSERIAL_CHECK(rec.status.ok())
+        << "chaos cycle " << cycle
+        << " recovery failed: " << rec.status.ToString();
     wal->LogCrashMarker();
     c.recovered_committed = static_cast<int>(rec.committed.size());
     c.replayed_appends = rec.replayed_appends;
     c.discarded_appends = rec.discarded_appends;
+    c.frames_scanned = rec.frames_scanned;
+    c.frames_truncated = rec.frames_truncated;
+    c.frames_salvaged = rec.frames_salvaged;
+    c.truncated_tail = rec.truncated_tail;
+    c.corruption_detected = rec.corruption_detected;
+    c.salvaged = rec.salvaged;
+    c.recovery_micros = rec.recovery_micros;
+    if (config_.observer != nullptr && rec.corruption_detected) {
+      TraceEvent event;
+      event.kind = TraceEvent::Kind::kCorruptionDetected;
+      event.tx = cycle;
+      event.value = rec.frames_salvaged;
+      event.protocol = "wal";
+      config_.observer->OnEvent(event);
+    }
+    // Rebuild the restored set from scratch: with best-effort salvage the
+    // durable committed set is exactly what THIS recovery returned —
+    // accumulating across cycles could resurrect transactions whose records
+    // a later media fault destroyed.
+    std::vector<CorrectExecutionProtocol::TxRecord> next_restored(
+        workload.txs.size());
     int newly_recovered = 0;
     for (const RecoveredTx& t : rec.committed) {
       NONSERIAL_CHECK_LT(t.tx, static_cast<int>(restored.size()));
@@ -523,11 +554,40 @@ ChaosRunResult ParallelDriver::RunChaos(
       record.feeder_txs.insert(t.feeders.begin(), t.feeders.end());
       record.writes = t.writes;
       record.committed = true;
-      restored[t.tx] = std::move(record);
+      next_restored[t.tx] = std::move(record);
+    }
+    restored = std::move(next_restored);
+    // Checkpoint compaction: the recovered state becomes one checkpoint
+    // frame and every earlier segment is reclaimed — the log stays bounded
+    // no matter how many crash cycles the run sustains.
+    if (chaos.checkpoint_each_cycle) {
+      c.segments_reclaimed = wal->CompactTo(rec);
+      c.post_compaction_records = static_cast<int64_t>(wal->size());
+      if (config_.protocol.metrics != nullptr) {
+        config_.protocol.metrics->checkpoint_compactions.Add();
+      }
+      if (config_.observer != nullptr) {
+        TraceEvent event;
+        event.kind = TraceEvent::Kind::kCheckpoint;
+        event.tx = cycle;
+        event.value = static_cast<Value>(rec.committed.size());
+        event.protocol = "wal";
+        config_.observer->OnEvent(event);
+        event.kind = TraceEvent::Kind::kCompaction;
+        event.value = static_cast<Value>(c.segments_reclaimed);
+        config_.observer->OnEvent(event);
+      }
+    } else {
+      c.post_compaction_records = static_cast<int64_t>(wal->size());
     }
     if (config_.protocol.metrics != nullptr) {
-      config_.protocol.metrics->crash_restarts.Add();
-      config_.protocol.metrics->recovered_txs.Add(newly_recovered);
+      ProtocolMetrics* m = config_.protocol.metrics;
+      m->crash_restarts.Add();
+      m->recovered_txs.Add(newly_recovered);
+      m->recovery_frames_scanned.Add(rec.frames_scanned);
+      m->recovery_frames_truncated.Add(rec.frames_truncated);
+      m->recovery_frames_salvaged.Add(rec.frames_salvaged);
+      m->recovery_micros.Record(rec.recovery_micros);
     }
     c.recovered_records = restored;
     c.recovered_snapshot = rec.store->LatestCommittedSnapshot();

@@ -37,6 +37,14 @@ struct ChaosConfig {
   int aborts_per_storm = 2;
   /// Failpoints armed for the duration of the chaos run (disarmed after).
   std::vector<std::pair<std::string, FailpointSpec>> failpoints;
+  /// After each crash recovery, compact the log to a checkpoint of the
+  /// recovered state (CompactTo), so the live log stays bounded across
+  /// cycles. Off reproduces PR 2's ever-growing-log behavior.
+  bool checkpoint_each_cycle = true;
+  /// Recover with best-effort salvage: mid-log corruption (injected media
+  /// faults) keeps the longest verifiable committed prefix instead of
+  /// failing the run. With this off, a corrupt image CHECK-fails loudly.
+  bool best_effort_recovery = true;
 };
 
 /// Configuration of the multi-worker driver. Simulated think/operation
@@ -115,11 +123,23 @@ struct ParallelRunResult {
 /// correct execution.
 struct ChaosCycle {
   int64_t wal_records = 0;          ///< Log length at the crash point.
+  int64_t wal_bytes = 0;            ///< Durable image bytes at the crash.
   int recovered_committed = 0;      ///< Transactions durably committed.
   int64_t replayed_appends = 0;
   int64_t discarded_appends = 0;    ///< In-flight versions lost to the kill.
   std::vector<CorrectExecutionProtocol::TxRecord> recovered_records;
   ValueVector recovered_snapshot;   ///< Latest committed state after redo.
+  // Framed-log recovery diagnostics (see RecoveryResult).
+  int64_t frames_scanned = 0;
+  int64_t frames_truncated = 0;
+  int64_t frames_salvaged = 0;
+  bool truncated_tail = false;
+  bool corruption_detected = false;
+  bool salvaged = false;
+  int64_t recovery_micros = 0;
+  int64_t segments_reclaimed = 0;       ///< By this cycle's compaction.
+  int64_t post_compaction_records = 0;  ///< Log length after compaction
+                                        ///< (0 proves the log is bounded).
 };
 
 struct ChaosRunResult {

@@ -120,6 +120,18 @@ void VersionStore::CommitWriter(int writer) {
   }
 }
 
+void VersionStore::MarkAllCommitted() {
+  NONSERIAL_CHECK(wal_ == nullptr)
+      << "MarkAllCommitted is a recovery-replay shortcut; it must not be "
+         "used on a store that is logging";
+  for (EntityId e = 0; e < num_entities(); ++e) {
+    std::unique_lock<std::shared_mutex> lock(ShardOf(e));
+    for (Version& v : chains_[e]) {
+      if (!v.dead) v.committed = true;
+    }
+  }
+}
+
 void VersionStore::RollbackWriter(int writer) {
   if (wal_ != nullptr) wal_->LogRollback(writer);
   for (EntityId e = 0; e < num_entities(); ++e) {

@@ -103,6 +103,14 @@ class VersionStore {
   /// Marks all live versions authored by `writer` committed.
   void CommitWriter(int writer);
 
+  /// Recovery-only bulk commit: marks every live version committed without
+  /// logging. Replay appends only versions whose fate analysis already
+  /// proved them committed, so one O(versions) sweep replaces the
+  /// O(writers × entities × chain) per-writer CommitWriter loop that made
+  /// long-log recovery quadratic. Never call on a store with a WAL
+  /// attached.
+  void MarkAllCommitted();
+
   /// Marks all uncommitted versions authored by `writer` dead (rollback).
   void RollbackWriter(int writer);
 

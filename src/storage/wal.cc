@@ -1,79 +1,178 @@
 #include "storage/wal.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
+#include <set>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "storage/version_store.h"
+#include "storage/wal_format.h"
 
 namespace nonserial {
+namespace {
 
-void WriteAheadLog::LogAppend(EntityId entity, Value value, int writer) {
-  WalRecord record;
-  record.kind = WalRecord::Kind::kAppend;
-  record.writer = writer;
-  record.entity = entity;
-  record.value = value;
-  std::lock_guard<std::mutex> lock(mu_);
-  records_.push_back(std::move(record));
+using wal_format::DecodedFrame;
+using wal_format::DecodeFrame;
+using wal_format::FrameStatus;
+
+/// Non-owning view of one segment, so the scan can run over the live
+/// segments (Checkpoint, under the log mutex) or over a copied image
+/// (Recover, lock-free) with the same code.
+struct SegView {
+  uint64_t seq = 0;
+  const std::string* bytes = nullptr;
+  bool lost = false;
+};
+
+/// True iff any complete, CRC-valid frame starts at or after `from` — the
+/// probe that separates a torn tail (nothing valid follows the damage) from
+/// mid-log corruption (valid data survives past it). Resynchronizes on the
+/// frame magic, so a single flipped byte cannot hide a later valid frame.
+bool AnyValidFrameFrom(const std::string& bytes, size_t from) {
+  static const std::string kMagic = [] {
+    std::string m;
+    for (int i = 0; i < 4; ++i) {
+      m.push_back(static_cast<char>((wal_format::kFrameMagic >> (8 * i)) & 0xFF));
+    }
+    return m;
+  }();
+  for (size_t pos = bytes.find(kMagic, from); pos != std::string::npos;
+       pos = bytes.find(kMagic, pos + 1)) {
+    if (DecodeFrame(bytes.data() + pos, bytes.size() - pos).status ==
+        FrameStatus::kOk) {
+      return true;
+    }
+  }
+  return false;
 }
 
-void WriteAheadLog::LogCommit(int writer) {
-  WalRecord record;
-  record.kind = WalRecord::Kind::kCommit;
-  record.writer = writer;
-  std::lock_guard<std::mutex> lock(mu_);
-  records_.push_back(std::move(record));
+struct ScanResult {
+  std::vector<WalRecord> records;  ///< Decoded records before the damage.
+  bool has_checkpoint = false;
+  WalCheckpoint checkpoint;
+  bool bad = false;              ///< Some undecodable point exists.
+  bool valid_after_bad = false;  ///< Valid frames survive past the damage.
+  bool lost_segment = false;     ///< A whole segment is gone.
+  int64_t frames_scanned = 0;
+  std::vector<SegmentDiagnostic> diags;
+};
+
+/// Walks the segments in order, decoding frames defensively. Records stop
+/// accumulating at the first undecodable point; the rest of the image is
+/// still probed so the caller can classify the damage (torn tail vs mid-log
+/// corruption) and report per-segment diagnostics.
+ScanResult ScanSegments(const std::vector<SegView>& segs) {
+  ScanResult out;
+  bool first_frame = true;
+  // A log legitimately starts past seq 0 only after a checkpoint install
+  // (ResetSegmentsLocked), which always writes the checkpoint as the first
+  // frame. A first segment with a nonzero seq and no leading checkpoint
+  // means the log's head was lost — without this check, dropping the first
+  // segment(s) would replay a truncated history as if it were complete.
+  // (A first frame that is itself damaged needs no flag here: the per-
+  // segment scan below finds it at offset 0 and the torn-vs-corrupt
+  // classification applies as usual.)
+  if (!segs.empty() && segs[0].seq != 0 && !segs[0].lost &&
+      !segs[0].bytes->empty()) {
+    DecodedFrame f = DecodeFrame(segs[0].bytes->data(), segs[0].bytes->size());
+    if (f.status == FrameStatus::kOk && !f.is_checkpoint) {
+      SegmentDiagnostic gap;
+      gap.seq = 0;
+      gap.state = SegmentDiagnostic::State::kLost;
+      gap.detail = "log head missing (first surviving segment has seq " +
+                   std::to_string(segs[0].seq) + " and no checkpoint)";
+      out.diags.push_back(std::move(gap));
+      out.bad = true;
+      out.lost_segment = true;
+    }
+  }
+  for (size_t si = 0; si < segs.size(); ++si) {
+    const SegView& seg = segs[si];
+    if (si > 0 && seg.seq != segs[si - 1].seq + 1) {
+      SegmentDiagnostic gap;
+      gap.seq = segs[si - 1].seq + 1;
+      gap.state = SegmentDiagnostic::State::kLost;
+      gap.detail = "segment missing (sequence gap)";
+      out.diags.push_back(std::move(gap));
+      out.bad = true;
+      out.lost_segment = true;
+    }
+    SegmentDiagnostic d;
+    d.seq = seg.seq;
+    d.bytes = static_cast<int64_t>(seg.bytes->size());
+    if (seg.lost) {
+      d.state = SegmentDiagnostic::State::kLost;
+      d.detail = "segment lost (tombstone)";
+      out.diags.push_back(std::move(d));
+      out.bad = true;
+      out.lost_segment = true;
+      continue;
+    }
+    size_t pos = 0;
+    while (pos < seg.bytes->size()) {
+      DecodedFrame f = DecodeFrame(seg.bytes->data() + pos,
+                                   seg.bytes->size() - pos);
+      if (f.status != FrameStatus::kOk) {
+        if (out.bad) {
+          // Already past the first damage; just probe for survivors.
+          if (AnyValidFrameFrom(*seg.bytes, pos + 1)) out.valid_after_bad = true;
+        } else {
+          out.bad = true;
+          d.first_bad_offset = static_cast<int64_t>(pos);
+          d.state = f.status == FrameStatus::kTruncated
+                        ? SegmentDiagnostic::State::kTornTail
+                        : SegmentDiagnostic::State::kCorrupt;
+          d.detail = f.status == FrameStatus::kTruncated
+                         ? "incomplete frame (torn write)"
+                         : "undecodable frame (bad magic, CRC, or payload)";
+          if (AnyValidFrameFrom(*seg.bytes, pos + 1)) out.valid_after_bad = true;
+        }
+        break;
+      }
+      ++out.frames_scanned;
+      if (out.bad) {
+        // Valid frame past the damage: mid-log corruption, not a torn tail.
+        out.valid_after_bad = true;
+      } else if (f.is_checkpoint) {
+        if (first_frame) {
+          out.has_checkpoint = true;
+          out.checkpoint = std::move(f.checkpoint);
+        }
+        ++d.frames;
+      } else {
+        out.records.push_back(std::move(f.record));
+        ++d.frames;
+      }
+      first_frame = false;
+      pos += f.frame_bytes;
+    }
+    out.diags.push_back(std::move(d));
+  }
+  // A torn/bad tail with valid data after it is corruption in disguise —
+  // upgrade the diagnostic so the report names what recovery acted on.
+  if (out.valid_after_bad || out.lost_segment) {
+    for (SegmentDiagnostic& d : out.diags) {
+      if (d.state == SegmentDiagnostic::State::kTornTail) {
+        d.state = SegmentDiagnostic::State::kCorrupt;
+      }
+    }
+  } else {
+    for (SegmentDiagnostic& d : out.diags) {
+      if (d.state == SegmentDiagnostic::State::kCorrupt) {
+        d.state = SegmentDiagnostic::State::kTornTail;
+      }
+    }
+  }
+  return out;
 }
 
-void WriteAheadLog::LogRollback(int writer) {
-  WalRecord record;
-  record.kind = WalRecord::Kind::kRollback;
-  record.writer = writer;
-  std::lock_guard<std::mutex> lock(mu_);
-  records_.push_back(std::move(record));
-}
-
-void WriteAheadLog::LogTxPayload(int writer, std::string name,
-                                 ValueVector input_state,
-                                 std::vector<int> feeders,
-                                 std::vector<std::pair<EntityId, Value>> writes) {
-  WalRecord record;
-  record.kind = WalRecord::Kind::kTxPayload;
-  record.writer = writer;
-  record.name = std::move(name);
-  record.input_state = std::move(input_state);
-  record.feeders = std::move(feeders);
-  record.writes = std::move(writes);
-  std::lock_guard<std::mutex> lock(mu_);
-  records_.push_back(std::move(record));
-}
-
-void WriteAheadLog::LogCrashMarker() {
-  WalRecord record;
-  record.kind = WalRecord::Kind::kCrash;
-  std::lock_guard<std::mutex> lock(mu_);
-  records_.push_back(std::move(record));
-}
-
-size_t WriteAheadLog::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return records_.size();
-}
-
-std::vector<WalRecord> WriteAheadLog::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return records_;
-}
-
-RecoveryResult WriteAheadLog::Recover(size_t prefix_len) const {
-  std::vector<WalRecord> log = Snapshot();
-  if (prefix_len < log.size()) log.resize(prefix_len);
-
-  // Pass 1 — fate analysis. Each append is pending until its writer's next
-  // kCommit (winner) or kRollback (dead); a kCrash marker kills everything
-  // still pending at that point, and so does the end of the log (the crash
-  // being simulated).
+/// Fate analysis + redo over an already-decoded record prefix, on top of an
+/// optional checkpoint base. This is PR 2's recovery semantics verbatim; the
+/// framing layer above only decides which records reach this point.
+void ReplayRecords(const std::vector<WalRecord>& log, const ValueVector& initial,
+                   const WalCheckpoint* base, RecoveryResult* result) {
   enum class Fate : uint8_t { kPending, kCommitted, kLost };
   std::vector<Fate> fate(log.size(), Fate::kLost);
   std::map<int, std::vector<size_t>> pending;  ///< writer -> append indices.
@@ -125,21 +224,31 @@ RecoveryResult WriteAheadLog::Recover(size_t prefix_len) const {
     for (size_t idx : indices) fate[idx] = Fate::kLost;
   }
 
-  // Pass 2 — redo. Re-append committed installs in log order (per-entity
-  // log order equals original chain order), then flip their commit bits.
-  RecoveryResult result;
-  result.store = std::make_shared<VersionStore>(initial_);
+  // Redo: checkpoint base first (already committed state, in original chain
+  // order), then committed installs in log order, then one bulk commit —
+  // every replayed version is committed by construction, so the O(versions)
+  // sweep replaces per-writer CommitWriter scans.
+  result->store = std::make_shared<VersionStore>(initial);
+  if (base != nullptr) {
+    for (size_t e = 0; e < base->chains.size(); ++e) {
+      if (e >= initial.size()) break;
+      for (const auto& [writer, value] : base->chains[e]) {
+        result->store->Append(static_cast<EntityId>(e), value, writer);
+      }
+    }
+    result->committed = base->committed;
+  }
   for (size_t i = 0; i < log.size(); ++i) {
     if (log[i].kind != WalRecord::Kind::kAppend) continue;
     if (fate[i] == Fate::kCommitted) {
-      result.store->Append(log[i].entity, log[i].value, log[i].writer);
-      ++result.replayed_appends;
+      result->store->Append(log[i].entity, log[i].value, log[i].writer);
+      ++result->replayed_appends;
     } else {
-      ++result.discarded_appends;
+      ++result->discarded_appends;
     }
   }
+  result->store->MarkAllCommitted();
   for (int writer : committed_writers) {
-    result.store->CommitWriter(writer);
     auto it = payloads.find(writer);
     // The engine logs the payload strictly before the commit marker, so a
     // committed writer always has one; tolerate store-only users (tests
@@ -149,12 +258,463 @@ RecoveryResult WriteAheadLog::Recover(size_t prefix_len) const {
       tx = it->second;
     } else {
       tx.tx = writer;
-      tx.input_state = initial_;
+      tx.input_state = initial;
       tx.writes = committed_appends[writer];
     }
-    result.committed.push_back(std::move(tx));
+    result->committed.push_back(std::move(tx));
   }
+}
+
+WalRecord MakeRecord(WalRecord::Kind kind, int writer) {
+  WalRecord record;
+  record.kind = kind;
+  record.writer = writer;
+  return record;
+}
+
+}  // namespace
+
+void WriteAheadLog::LogAppend(EntityId entity, Value value, int writer) {
+  WalRecord record = MakeRecord(WalRecord::Kind::kAppend, writer);
+  record.entity = entity;
+  record.value = value;
+  std::lock_guard<std::mutex> lock(mu_);
+  AppendRecordLocked(record);
+}
+
+void WriteAheadLog::LogCommit(int writer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  AppendRecordLocked(MakeRecord(WalRecord::Kind::kCommit, writer));
+}
+
+void WriteAheadLog::LogRollback(int writer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  AppendRecordLocked(MakeRecord(WalRecord::Kind::kRollback, writer));
+}
+
+void WriteAheadLog::LogTxPayload(int writer, std::string name,
+                                 ValueVector input_state,
+                                 std::vector<int> feeders,
+                                 std::vector<std::pair<EntityId, Value>> writes) {
+  WalRecord record = MakeRecord(WalRecord::Kind::kTxPayload, writer);
+  record.name = std::move(name);
+  record.input_state = std::move(input_state);
+  record.feeders = std::move(feeders);
+  record.writes = std::move(writes);
+  std::lock_guard<std::mutex> lock(mu_);
+  AppendRecordLocked(record);
+}
+
+void WriteAheadLog::LogCrashMarker() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Restart replaces the medium: clear the sticky failure and physically
+  // drop a torn tail so the marker (and everything after it) extends a
+  // clean frame sequence.
+  media_failed_ = false;
+  RepairTailLocked();
+  AppendRecordLocked(MakeRecord(WalRecord::Kind::kCrash, -1));
+}
+
+void WriteAheadLog::AppendRecordLocked(const WalRecord& record) {
+  if (media_failed_) {
+    ++stats_.dropped_records;
+    return;
+  }
+  std::string frame;
+  wal_format::AppendRecordFrame(record, &frame);
+  if (AppendFrameLocked(frame, /*is_record=*/true)) {
+    ++stats_.records;
+    ++stats_.total_records;
+  }
+}
+
+bool WriteAheadLog::AppendFrameLocked(const std::string& frame, bool is_record) {
+  FailpointRegistry& registry = FailpointRegistry::Global();
+  if (NONSERIAL_FAILPOINT("wal.write_error")) {
+    ++stats_.write_errors;
+    media_failed_ = true;
+    return false;
+  }
+  if (segments_.empty() || segments_.back().lost ||
+      (!segments_.back().bytes.empty() &&
+       segments_.back().bytes.size() + frame.size() > segment_bytes_)) {
+    SealActiveSegmentLocked();
+    Segment fresh;
+    fresh.seq = next_segment_seq_++;
+    segments_.push_back(std::move(fresh));
+  }
+  Segment& seg = segments_.back();
+  if (NONSERIAL_FAILPOINT("wal.torn_tail")) {
+    // A strict nonzero prefix of the frame reaches the medium, then the
+    // device dies: the classic torn write.
+    size_t keep = 1 + static_cast<size_t>(registry.DrawBits() % (frame.size() - 1));
+    seg.bytes.append(frame.data(), keep);
+    stats_.bytes += static_cast<int64_t>(keep);
+    ++stats_.torn_writes;
+    media_failed_ = true;
+    return false;
+  }
+  size_t start = seg.bytes.size();
+  seg.bytes.append(frame);
+  stats_.bytes += static_cast<int64_t>(frame.size());
+  if (is_record) ++seg.frames;
+  if (NONSERIAL_FAILPOINT("wal.bit_flip")) {
+    // Silent corruption: the write "succeeds" (the writer counts it durable)
+    // but one byte of the frame lands wrong. Offset and bit come from the
+    // deterministic fault stream.
+    uint64_t bits = registry.DrawBits();
+    size_t offset = start + static_cast<size_t>(bits % frame.size());
+    seg.bytes[offset] ^= static_cast<char>(1u << ((bits >> 32) % 8));
+    ++stats_.bit_flips;
+  }
+  return true;
+}
+
+void WriteAheadLog::SealActiveSegmentLocked() {
+  if (segments_.empty()) return;
+  Segment& seg = segments_.back();
+  if (seg.lost || seg.bytes.empty()) return;
+  if (NONSERIAL_FAILPOINT("wal.segment_lost")) {
+    // The sealed segment's data vanishes; the tombstone (seq + lost flag)
+    // survives so recovery can tell "never written" from "written and lost".
+    stats_.bytes -= static_cast<int64_t>(seg.bytes.size());
+    seg.bytes.clear();
+    seg.bytes.shrink_to_fit();
+    seg.lost = true;
+    ++stats_.lost_segments;
+  }
+}
+
+void WriteAheadLog::RepairTailLocked() {
+  while (!segments_.empty()) {
+    Segment& seg = segments_.back();
+    if (seg.lost) return;  // Tombstones stay for recovery to report.
+    size_t pos = 0;
+    int64_t records = 0;
+    while (pos < seg.bytes.size()) {
+      DecodedFrame f = DecodeFrame(seg.bytes.data() + pos, seg.bytes.size() - pos);
+      if (f.status != FrameStatus::kOk) break;
+      if (!f.is_checkpoint) ++records;
+      pos += f.frame_bytes;
+    }
+    if (pos == seg.bytes.size()) return;  // Clean tail.
+    // Mid-segment corruption with valid frames after it is NOT repaired —
+    // silently truncating it would absorb corruption; recovery must see and
+    // report it.
+    if (AnyValidFrameFrom(seg.bytes, pos + 1)) return;
+    stats_.bytes -= static_cast<int64_t>(seg.bytes.size() - pos);
+    stats_.records -= seg.frames - records;
+    seg.bytes.resize(pos);
+    seg.frames = records;
+    if (seg.bytes.empty() && segments_.size() > 1) {
+      segments_.pop_back();
+      continue;
+    }
+    return;
+  }
+}
+
+size_t WriteAheadLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<size_t>(stats_.records);
+}
+
+WalStats WriteAheadLog::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WalStats s = stats_;
+  s.segments = static_cast<int64_t>(segments_.size());
+  s.media_failed = media_failed_;
+  return s;
+}
+
+std::vector<WalRecord> WriteAheadLog::Snapshot() const { return TailSince(0); }
+
+std::vector<WalRecord> WriteAheadLog::TailSince(size_t index) const {
+  // Copy only the segments that can contain records >= index; whole leading
+  // segments are skipped via their record counts without decoding a byte.
+  std::vector<std::string> bytes;
+  size_t skip_in_first = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t before = 0;
+    for (const Segment& seg : segments_) {
+      if (seg.lost) {
+        before += static_cast<size_t>(seg.frames);
+        continue;
+      }
+      if (bytes.empty() &&
+          before + static_cast<size_t>(seg.frames) <= index) {
+        before += static_cast<size_t>(seg.frames);
+        continue;
+      }
+      if (bytes.empty()) skip_in_first = index > before ? index - before : 0;
+      bytes.push_back(seg.bytes);
+    }
+  }
+  std::vector<WalRecord> out;
+  size_t to_skip = skip_in_first;
+  for (const std::string& segment : bytes) {
+    size_t pos = 0;
+    while (pos < segment.size()) {
+      DecodedFrame f = DecodeFrame(segment.data() + pos, segment.size() - pos);
+      if (f.status != FrameStatus::kOk) return out;  // Defensive stop.
+      pos += f.frame_bytes;
+      if (f.is_checkpoint) continue;
+      if (to_skip > 0) {
+        --to_skip;
+        continue;
+      }
+      out.push_back(std::move(f.record));
+    }
+  }
+  return out;
+}
+
+std::string WriteAheadLog::SerializedImage() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string image;
+  for (const Segment& seg : segments_) {
+    wal_format::AppendSegmentHeader(seg.seq, seg.lost, &image);
+    if (!seg.lost) image.append(seg.bytes);
+  }
+  return image;
+}
+
+std::unique_ptr<WriteAheadLog> WriteAheadLog::FromImage(
+    const std::string& image, ValueVector initial, size_t segment_bytes) {
+  auto wal = std::make_unique<WriteAheadLog>(std::move(initial), segment_bytes);
+  static const std::string kMagic = [] {
+    std::string m;
+    for (int i = 0; i < 8; ++i) {
+      m.push_back(
+          static_cast<char>((wal_format::kSegmentMagic >> (8 * i)) & 0xFF));
+    }
+    return m;
+  }();
+  std::vector<size_t> bounds;
+  for (size_t pos = image.find(kMagic); pos != std::string::npos;
+       pos = image.find(kMagic, pos + 1)) {
+    bounds.push_back(pos);
+  }
+  auto add_garbage = [&wal](std::string chunk) {
+    // Bytes outside any decodable segment structure (header cut mid-way, or
+    // a header destroyed by corruption): keep them as-is so recovery sees
+    // and classifies the damage instead of it disappearing in the parse.
+    if (!wal->segments_.empty()) {
+      wal->segments_.back().bytes.append(chunk);
+    } else if (!chunk.empty()) {
+      Segment seg;
+      seg.seq = 0;
+      seg.bytes = std::move(chunk);
+      wal->segments_.push_back(std::move(seg));
+    }
+  };
+  if (bounds.empty()) {
+    add_garbage(image);
+  } else {
+    if (bounds[0] > 0) add_garbage(image.substr(0, bounds[0]));
+    for (size_t i = 0; i < bounds.size(); ++i) {
+      size_t b = bounds[i];
+      wal_format::SegmentHeader header;
+      if (!wal_format::DecodeSegmentHeader(image.data() + b, image.size() - b,
+                                           &header)) {
+        add_garbage(image.substr(b));  // Truncated header at the tail.
+        break;
+      }
+      size_t end = i + 1 < bounds.size() ? bounds[i + 1] : image.size();
+      Segment seg;
+      seg.seq = header.seq;
+      seg.lost = header.lost;
+      if (!seg.lost) {
+        seg.bytes = image.substr(b + wal_format::kSegmentHeaderBytes,
+                                 end - b - wal_format::kSegmentHeaderBytes);
+      }
+      wal->segments_.push_back(std::move(seg));
+    }
+  }
+  // Rebuild counters from what actually decodes (the image may be damaged).
+  for (Segment& seg : wal->segments_) {
+    wal->next_segment_seq_ = std::max(wal->next_segment_seq_, seg.seq + 1);
+    wal->stats_.bytes += static_cast<int64_t>(seg.bytes.size());
+    size_t pos = 0;
+    while (pos < seg.bytes.size()) {
+      DecodedFrame f = DecodeFrame(seg.bytes.data() + pos, seg.bytes.size() - pos);
+      if (f.status != FrameStatus::kOk) break;
+      if (!f.is_checkpoint) ++seg.frames;
+      pos += f.frame_bytes;
+    }
+    wal->stats_.records += seg.frames;
+    wal->stats_.total_records += seg.frames;
+  }
+  return wal;
+}
+
+RecoveryResult WriteAheadLog::Recover(size_t prefix_len) const {
+  RecoveryOptions options;
+  options.prefix_records = prefix_len;
+  return Recover(options);
+}
+
+RecoveryResult WriteAheadLog::Recover(const RecoveryOptions& options) const {
+  auto start = std::chrono::steady_clock::now();
+  // Copy the image under the lock, scan and replay outside it.
+  std::vector<Segment> owned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    owned = segments_;
+  }
+  std::vector<SegView> views;
+  views.reserve(owned.size());
+  for (const Segment& seg : owned) {
+    views.push_back({seg.seq, &seg.bytes, seg.lost});
+  }
+  ScanResult scan = ScanSegments(views);
+
+  RecoveryResult result;
+  result.frames_scanned = scan.frames_scanned;
+  result.checkpoint_restored = scan.has_checkpoint;
+  result.corruption_detected = scan.valid_after_bad || scan.lost_segment;
+  if (scan.bad && !result.corruption_detected) {
+    result.truncated_tail = true;
+    result.frames_truncated = 1;  // The one incomplete/garbled tail frame.
+  }
+  result.segments = std::move(scan.diags);
+
+  std::vector<WalRecord> log = std::move(scan.records);
+  if (options.prefix_records < log.size()) log.resize(options.prefix_records);
+  ReplayRecords(log, initial_, scan.has_checkpoint ? &scan.checkpoint : nullptr,
+                &result);
+
+  if (result.corruption_detected) {
+    if (options.best_effort) {
+      result.salvaged = true;
+      result.frames_salvaged = static_cast<int64_t>(log.size());
+    } else {
+      result.status = Status::Internal(
+          "mid-log corruption: valid data exists past an undecodable point "
+          "(or a segment is lost); only the prefix before the damage was "
+          "replayed — see RecoveryResult::segments, or recover with "
+          "best_effort to salvage");
+    }
+  }
+  result.recovery_micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
   return result;
+}
+
+Status WriteAheadLog::Checkpoint() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (media_failed_) {
+    return Status::FailedPrecondition(
+        "checkpoint refused: the medium has a sticky write failure");
+  }
+  std::vector<SegView> views;
+  views.reserve(segments_.size());
+  for (const Segment& seg : segments_) {
+    views.push_back({seg.seq, &seg.bytes, seg.lost});
+  }
+  ScanResult scan = ScanSegments(views);
+  if (scan.bad || scan.lost_segment) {
+    // Checkpointing a damaged log would launder the corruption into a
+    // "clean" checkpoint; refuse and leave the image for Recover to report.
+    return Status::Internal("checkpoint refused: log image is damaged");
+  }
+
+  RecoveryResult replayed;
+  ReplayRecords(scan.records, initial_,
+                scan.has_checkpoint ? &scan.checkpoint : nullptr, &replayed);
+
+  WalCheckpoint checkpoint;
+  checkpoint.committed = std::move(replayed.committed);
+  checkpoint.chains.resize(initial_.size());
+  for (size_t e = 0; e < initial_.size(); ++e) {
+    for (const Version& v :
+         replayed.store->ChainSnapshot(static_cast<EntityId>(e))) {
+      if (v.writer == kInitialWriter || v.dead || !v.committed) continue;
+      checkpoint.chains[e].emplace_back(v.writer, v.value);
+    }
+  }
+
+  // Carry forward what the checkpoint cannot absorb: appends still pending
+  // at the end of the log, and the latest payload of each writer that has
+  // not yet resolved (its commit may land after the checkpoint). Commit /
+  // rollback / crash markers are consumed by the analysis above.
+  std::map<int, std::vector<size_t>> pending;
+  std::map<int, size_t> payload_at;
+  for (size_t i = 0; i < scan.records.size(); ++i) {
+    const WalRecord& r = scan.records[i];
+    switch (r.kind) {
+      case WalRecord::Kind::kAppend:
+        pending[r.writer].push_back(i);
+        break;
+      case WalRecord::Kind::kCommit:
+      case WalRecord::Kind::kRollback:
+        pending[r.writer].clear();
+        payload_at.erase(r.writer);
+        break;
+      case WalRecord::Kind::kTxPayload:
+        payload_at[r.writer] = i;
+        break;
+      case WalRecord::Kind::kCrash:
+        pending.clear();
+        payload_at.clear();
+        break;
+    }
+  }
+  std::set<size_t> carry;
+  for (const auto& [writer, indices] : pending) {
+    carry.insert(indices.begin(), indices.end());
+  }
+  for (const auto& [writer, index] : payload_at) carry.insert(index);
+
+  std::string frames;
+  wal_format::AppendCheckpointFrame(checkpoint, &frames);
+  for (size_t index : carry) {
+    wal_format::AppendRecordFrame(scan.records[index], &frames);
+  }
+  ResetSegmentsLocked(std::move(frames), static_cast<int64_t>(carry.size()));
+  return Status::OK();
+}
+
+int64_t WriteAheadLog::CompactTo(const RecoveryResult& recovered) {
+  WalCheckpoint checkpoint;
+  checkpoint.committed = recovered.committed;
+  checkpoint.chains.resize(initial_.size());
+  if (recovered.store != nullptr) {
+    for (size_t e = 0; e < initial_.size(); ++e) {
+      for (const Version& v :
+           recovered.store->ChainSnapshot(static_cast<EntityId>(e))) {
+        if (v.writer == kInitialWriter || v.dead || !v.committed) continue;
+        checkpoint.chains[e].emplace_back(v.writer, v.value);
+      }
+    }
+  }
+  std::string frames;
+  wal_format::AppendCheckpointFrame(checkpoint, &frames);
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t reclaimed = static_cast<int64_t>(segments_.size());
+  // The recovered state is the new durable truth; a crash-recovery compaction
+  // also stands in for the medium swap a restart performs.
+  media_failed_ = false;
+  ResetSegmentsLocked(std::move(frames), /*record_count=*/0);
+  return reclaimed;
+}
+
+void WriteAheadLog::ResetSegmentsLocked(std::string frames,
+                                        int64_t record_count) {
+  int64_t reclaimed = static_cast<int64_t>(segments_.size());
+  segments_.clear();
+  Segment seg;
+  seg.seq = next_segment_seq_++;
+  seg.frames = record_count;
+  seg.bytes = std::move(frames);
+  stats_.bytes = static_cast<int64_t>(seg.bytes.size());
+  stats_.records = record_count;
+  segments_.push_back(std::move(seg));
+  ++stats_.checkpoints;
+  ++stats_.compactions;
+  stats_.segments_reclaimed += reclaimed;
 }
 
 }  // namespace nonserial

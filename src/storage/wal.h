@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "model/state.h"
 #include "predicate/value.h"
 
@@ -51,12 +52,86 @@ struct RecoveredTx {
   std::vector<std::pair<EntityId, Value>> writes;
 };
 
+/// The state a checkpoint frame captures: the committed transactions (in
+/// commit order, payloads included so recovery can still hand the verifier
+/// the full history) plus the committed portion of every version chain (in
+/// chain order, initial versions excluded), so a store rebuilt from the
+/// checkpoint is indistinguishable from one rebuilt by full replay.
+struct WalCheckpoint {
+  std::vector<RecoveredTx> committed;
+  /// chains[e] = committed live versions of entity e beyond the initial
+  /// one, as (writer, value), in chain (= original log) order.
+  std::vector<std::vector<std::pair<int, Value>>> chains;
+};
+
+/// Health verdict for one scanned segment of the durable image.
+struct SegmentDiagnostic {
+  enum class State : uint8_t {
+    kOk,        ///< Every frame decoded.
+    kTornTail,  ///< Trailing frame incomplete/corrupt, nothing valid after
+                ///< it anywhere — truncated as a normal crash artifact.
+    kCorrupt,   ///< Undecodable frame with valid data after it (bit flip /
+                ///< destroyed boundary): mid-log corruption.
+    kLost       ///< Whole segment missing (tombstone or sequence gap).
+  };
+
+  uint64_t seq = 0;
+  int64_t frames = 0;  ///< Frames successfully decoded in this segment.
+  int64_t bytes = 0;
+  State state = State::kOk;
+  int64_t first_bad_offset = -1;  ///< Offset into the segment, when bad.
+  std::string detail;
+};
+
+/// Knobs for one recovery pass.
+struct RecoveryOptions {
+  /// Replay only the first `prefix_records` decodable records (crash-point
+  /// simulation). The checkpoint base, when present, is always applied.
+  size_t prefix_records = std::numeric_limits<size_t>::max();
+  /// Mid-log corruption policy: false (strict) reports an error Status and
+  /// replays nothing past the corruption; true salvages the longest
+  /// verifiable committed prefix and reports ok with `salvaged` set.
+  bool best_effort = false;
+};
+
 /// Outcome of a recovery pass.
 struct RecoveryResult {
   std::shared_ptr<VersionStore> store;  ///< Committed installs only.
   std::vector<RecoveredTx> committed;   ///< In log (= commit) order.
   int64_t replayed_appends = 0;
   int64_t discarded_appends = 0;  ///< In-flight at the crash point.
+
+  /// Not-ok iff mid-log corruption was found and best_effort was off. The
+  /// store/committed fields then still hold the salvageable prefix so the
+  /// caller can inspect what a best-effort pass would return.
+  Status status;
+  bool checkpoint_restored = false;  ///< A checkpoint frame seeded the store.
+  bool truncated_tail = false;       ///< Torn/bad-CRC tail dropped (normal).
+  bool corruption_detected = false;  ///< Mid-log corruption or lost segment.
+  bool salvaged = false;             ///< Best-effort kept the valid prefix.
+  int64_t frames_scanned = 0;
+  int64_t frames_truncated = 0;  ///< Frames dropped at the torn tail.
+  int64_t frames_salvaged = 0;   ///< Records replayed despite corruption.
+  int64_t recovery_micros = 0;   ///< Wall clock of the scan + redo.
+  std::vector<SegmentDiagnostic> segments;
+};
+
+/// Cheap point-in-time counters (no record copying — see Snapshot()).
+struct WalStats {
+  int64_t records = 0;     ///< Record frames since the last checkpoint.
+  int64_t bytes = 0;       ///< Live bytes across all segments.
+  int64_t segments = 0;    ///< Live segments (lost tombstones included).
+  int64_t checkpoints = 0;           ///< Lifetime checkpoint installs.
+  int64_t compactions = 0;           ///< Lifetime compaction events.
+  int64_t segments_reclaimed = 0;    ///< Lifetime segments dropped.
+  int64_t total_records = 0;         ///< Lifetime records appended.
+  // Media faults injected so far (see the wal.* failpoints).
+  int64_t write_errors = 0;
+  int64_t torn_writes = 0;
+  int64_t bit_flips = 0;
+  int64_t lost_segments = 0;
+  int64_t dropped_records = 0;  ///< Appends swallowed by a failed medium.
+  bool media_failed = false;    ///< Sticky write failure until restart.
 };
 
 /// Write-ahead redo log for VersionStore. The store logs every Append /
@@ -66,18 +141,48 @@ struct RecoveryResult {
 /// consistent crash image: a transaction is durable iff its kCommit record
 /// made it into the prefix.
 ///
-/// The log is held in memory (the simulated durable medium); a "crash"
-/// discards the store and engine and rebuilds both from the log. Append
-/// order per entity equals chain order (the store logs under its shard
-/// lock), so replay reproduces chain indices of committed versions.
+/// The durable medium is simulated in memory, but with the full framing a
+/// real device would need: records serialize into length-prefixed,
+/// CRC32-checked frames that accumulate into fixed-size segments (see
+/// storage/wal_format.h). A checkpoint captures the committed state in one
+/// frame and lets every earlier segment be reclaimed, so the log stays
+/// bounded under sustained crash/recovery churn. Storage-media faults are
+/// injectable through failpoints evaluated on the append path:
 ///
-/// Thread safety: all methods are safe to call concurrently; Recover
-/// snapshots the record vector under the same mutex.
+///   wal.torn_tail     frame written partially; medium fails sticky
+///   wal.bit_flip      one byte of the just-written frame flipped
+///   wal.segment_lost  sealed segment dropped (tombstone kept)
+///   wal.write_error   frame not written at all; medium fails sticky
+///
+/// A sticky failure swallows every later append until LogCrashMarker()
+/// (the restart point) repairs the tail and replaces the medium.
+///
+/// Recover() scans the image defensively: a torn or bad-CRC tail is
+/// truncated and recovery proceeds from the last valid record (normal
+/// crash semantics); mid-log corruption — a bad frame or lost segment with
+/// valid data after it — is reported via RecoveryResult::status with
+/// per-segment diagnostics, and optionally salvaged (best_effort) by
+/// keeping the longest verifiable committed prefix.
+///
+/// Thread safety: all methods are safe to call concurrently.
 class WriteAheadLog {
  public:
   static constexpr size_t kWholeLog = std::numeric_limits<size_t>::max();
+  /// Default segment size. Small enough that chaos-length runs roll over
+  /// several segments (exercising seal and segment-lost paths), large
+  /// enough that framing overhead stays negligible.
+  static constexpr size_t kDefaultSegmentBytes = 4096;
 
-  explicit WriteAheadLog(ValueVector initial) : initial_(std::move(initial)) {}
+  explicit WriteAheadLog(ValueVector initial,
+                         size_t segment_bytes = kDefaultSegmentBytes)
+      : initial_(std::move(initial)), segment_bytes_(segment_bytes) {}
+
+  /// Rebuilds a log object from a serialized image (crash-image fuzzing:
+  /// any byte-prefix or corruption of an image is a legal input; Recover()
+  /// classifies the damage). The image is split on segment headers.
+  static std::unique_ptr<WriteAheadLog> FromImage(
+      const std::string& image, ValueVector initial,
+      size_t segment_bytes = kDefaultSegmentBytes);
 
   void LogAppend(EntityId entity, Value value, int writer);
   void LogCommit(int writer);
@@ -88,23 +193,81 @@ class WriteAheadLog {
   /// Appended by recovery before the restarted engine writes new records:
   /// marks every earlier pending append as lost, so a writer id re-running
   /// after the crash cannot resurrect its pre-crash in-flight versions.
+  /// Restart also replaces the failed medium: a sticky write failure is
+  /// cleared and a torn tail is physically truncated before the marker is
+  /// written (real recovery repairs the tail before resuming logging).
   void LogCrashMarker();
 
+  /// Record count since the last checkpoint. O(1).
   size_t size() const;
+
+  /// Cheap counters — callers that only need sizes/health must use this
+  /// (or size()/TailSince) instead of paying Snapshot()'s full decode.
+  WalStats stats() const;
+
+  /// Decodes and returns all records (checkpoint frames excluded). Full
+  /// decode of the image — diagnostics and tests only; prefer stats() or
+  /// TailSince() in measured paths.
   std::vector<WalRecord> Snapshot() const;
+
+  /// Decodes and returns only the records from `index` on — the tail a
+  /// caller that already saw the first `index` records needs.
+  std::vector<WalRecord> TailSince(size_t index) const;
+
   const ValueVector& initial() const { return initial_; }
 
-  /// Replays the first `prefix_len` records (default: whole log) into a
-  /// fresh store: committed installs are re-appended in log order and
-  /// committed; in-flight and rolled-back installs are discarded. The
-  /// returned store has no WAL attached (attach with SetWal to resume
-  /// logging into this same log).
+  /// Serializes the durable image (segment headers + frames; a lost
+  /// segment contributes its tombstone header only).
+  std::string SerializedImage() const;
+
+  /// Replays the log into a fresh store: the checkpoint base (if any) is
+  /// applied, then the first `prefix_len` records (default: all) are
+  /// replayed — committed installs re-appended in log order and committed;
+  /// in-flight and rolled-back installs discarded. The returned store has
+  /// no WAL attached (attach with SetWal to resume logging into this same
+  /// log). Equivalent to Recover(RecoveryOptions{prefix_len, false}).
   RecoveryResult Recover(size_t prefix_len = kWholeLog) const;
+  RecoveryResult Recover(const RecoveryOptions& options) const;
+
+  /// Live checkpoint + compaction: captures the current committed state in
+  /// a checkpoint frame, carries the records of still-pending writers
+  /// forward, and reclaims everything else. Fails (and changes nothing) if
+  /// the image is corrupt — checkpointing must never launder corruption
+  /// into a "clean" log.
+  Status Checkpoint();
+
+  /// Post-recovery compaction: replaces the whole log with a checkpoint of
+  /// `recovered` (the state some Recover() call of THIS log returned).
+  /// Used by the chaos driver after each crash cycle: the recovered state
+  /// is the new durable truth, and any corrupt or unreplayed suffix is
+  /// discarded with the history. Returns the number of segments reclaimed.
+  int64_t CompactTo(const RecoveryResult& recovered);
 
  private:
+  struct Segment {
+    uint64_t seq = 0;
+    std::string bytes;   ///< Frames only (header lives in seq/lost).
+    int64_t frames = 0;  ///< Record frames fully written (checkpoint excluded).
+    bool lost = false;
+  };
+
+  void AppendRecordLocked(const WalRecord& record);
+  /// Appends `frame` bytes to the active segment, sealing and rolling over
+  /// as needed. Returns false if the medium swallowed the write.
+  bool AppendFrameLocked(const std::string& frame, bool is_record);
+  void SealActiveSegmentLocked();
+  /// Drops a torn/corrupt tail region that has no valid frames after it.
+  void RepairTailLocked();
+  /// Replaces all segments with one fresh segment holding `frames`.
+  void ResetSegmentsLocked(std::string frames, int64_t record_count);
+
   mutable std::mutex mu_;
-  std::vector<WalRecord> records_;
+  std::vector<Segment> segments_;
   ValueVector initial_;
+  size_t segment_bytes_;
+  uint64_t next_segment_seq_ = 0;
+  bool media_failed_ = false;
+  WalStats stats_;
 };
 
 }  // namespace nonserial

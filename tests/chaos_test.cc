@@ -100,6 +100,125 @@ TEST(ChaosTest, CrashRestartCyclesWithFailpointsStayCorrect) {
   EXPECT_FALSE(FailpointRegistry::Global().armed());
 }
 
+TEST(ChaosTest, CheckpointCompactionKeepsTheLogBoundedAcrossCycles) {
+  // Ten crash-recover cycles with per-cycle checkpoint compaction: the
+  // live log must hold at most one cycle's records (the checkpoint
+  // absorbs all history), and every recovered state must still verify.
+  SimWorkload workload = ChaosWorkload(55);
+  Predicate constraint = WorkloadConstraint(workload);
+  ProtocolMetrics metrics;
+  WriteAheadLog wal(workload.initial);
+
+  ParallelDriverConfig config;
+  config.num_threads = 4;
+  config.us_per_tick = 20;
+  config.max_restarts = 500;
+  config.backoff_us = 1;
+  config.poll_us = 100;
+  config.max_wall_ms = 60'000;
+  config.wal = &wal;
+  config.protocol.metrics = &metrics;
+  config.chaos.enabled = true;
+  config.chaos.seed = 91;
+  config.chaos.crash_cycles = 10;
+  config.chaos.min_cycle_us = 1'000;
+  config.chaos.max_cycle_us = 8'000;
+  config.chaos.abort_storm_interval_us = 0;  // This test is about the log.
+
+  ParallelDriver driver(config);
+  ChaosRunResult chaos = driver.RunChaos(workload);
+  EXPECT_FALSE(chaos.final_result.watchdog_expired);
+  EXPECT_TRUE(chaos.final_result.all_committed);
+
+  ASSERT_EQ(chaos.cycles.size(), 10u);
+  int64_t reclaimed = 0;
+  for (size_t i = 0; i < chaos.cycles.size(); ++i) {
+    const ChaosCycle& cycle = chaos.cycles[i];
+    // Compaction reset the log to a bare checkpoint after every cycle.
+    EXPECT_EQ(cycle.post_compaction_records, 0) << "cycle " << i;
+    EXPECT_GE(cycle.segments_reclaimed, 1) << "cycle " << i;
+    reclaimed += cycle.segments_reclaimed;
+    Status verdict = VerifyCepHistory(workload, cycle.recovered_records,
+                                      cycle.recovered_snapshot, constraint);
+    EXPECT_TRUE(verdict.ok()) << "cycle " << i << ": " << verdict.ToString();
+  }
+  WalStats stats = wal.stats();
+  EXPECT_EQ(stats.checkpoints, 10);
+  EXPECT_EQ(stats.compactions, 10);
+  EXPECT_EQ(stats.segments_reclaimed, reclaimed);
+  EXPECT_EQ(metrics.checkpoint_compactions.value(), 10);
+  // Bounded: the live log holds only the final cycle's records, a strict
+  // subset of everything ever appended across the eleven runs.
+  EXPECT_LT(stats.records, stats.total_records);
+  // The surviving image still recovers the full committed outcome.
+  RecoveryResult rec = wal.Recover();
+  ASSERT_TRUE(rec.status.ok()) << rec.status.ToString();
+  EXPECT_EQ(static_cast<int>(rec.committed.size()),
+            chaos.final_result.committed_count);
+}
+
+TEST(ChaosTest, MediaFaultsAreSalvagedNeverSilent) {
+  // Storage-media failpoints fire while the chaos run logs: a bit flip
+  // lands early, a sealed segment vanishes, and a torn write kills the
+  // medium mid-cycle. Best-effort recovery (the chaos default) must keep
+  // every cycle verifiable and report — never hide — the damage.
+  SimWorkload workload = ChaosWorkload(63);
+  Predicate constraint = WorkloadConstraint(workload);
+  ProtocolMetrics metrics;
+  WriteAheadLog wal(workload.initial, /*segment_bytes=*/512);
+
+  ParallelDriverConfig config;
+  config.num_threads = 4;
+  config.us_per_tick = 20;
+  config.max_restarts = 500;
+  config.backoff_us = 1;
+  config.poll_us = 100;
+  config.max_wall_ms = 60'000;
+  config.wal = &wal;
+  config.protocol.metrics = &metrics;
+  config.chaos.enabled = true;
+  config.chaos.seed = 17;
+  config.chaos.crash_cycles = 6;
+  config.chaos.min_cycle_us = 1'000;
+  config.chaos.max_cycle_us = 8'000;
+  config.chaos.abort_storm_interval_us = 0;
+  config.chaos.failpoints = {
+      {"wal.bit_flip", FailpointSpec{1.0, 5, 2}},
+      {"wal.segment_lost", FailpointSpec{1.0, 1, 1}},
+      {"wal.torn_tail", FailpointSpec{1.0, 60, 1}},
+  };
+
+  ParallelDriver driver(config);
+  std::shared_ptr<VersionStore> store;
+  std::shared_ptr<CorrectExecutionProtocol> cep;
+  ChaosRunResult chaos = driver.RunChaos(workload, &store, &cep);
+
+  // Liveness: media faults lose durability, never the engine. The final
+  // cycle re-runs whatever the damaged log could not prove committed.
+  EXPECT_FALSE(chaos.final_result.watchdog_expired);
+  EXPECT_TRUE(chaos.final_result.all_committed);
+
+  // The faults actually engaged...
+  WalStats stats = wal.stats();
+  EXPECT_GT(stats.bit_flips + stats.lost_segments + stats.torn_writes, 0);
+  // ...and recovery reported what it found: every cycle verifies, and the
+  // cycles that hit damage carry the salvage/truncation flags.
+  bool damage_reported = false;
+  for (size_t i = 0; i < chaos.cycles.size(); ++i) {
+    const ChaosCycle& cycle = chaos.cycles[i];
+    damage_reported |= cycle.corruption_detected || cycle.truncated_tail ||
+                       cycle.salvaged;
+    Status verdict = VerifyCepHistory(workload, cycle.recovered_records,
+                                      cycle.recovered_snapshot, constraint);
+    EXPECT_TRUE(verdict.ok()) << "cycle " << i << ": " << verdict.ToString();
+  }
+  EXPECT_TRUE(damage_reported);
+
+  Status verdict = VerifyCepHistory(workload, *cep, *store, constraint);
+  EXPECT_TRUE(verdict.ok()) << verdict.ToString();
+  EXPECT_FALSE(FailpointRegistry::Global().armed());
+}
+
 TEST(ChaosTest, BoundedWaitAbortsBlockedAttemptsAndStillCompletes) {
   // ks.lock_acquire refuses the first 30 Rv/R acquisitions, so validation
   // parks repeatedly; with a 200µs per-attempt blocked budget the driver

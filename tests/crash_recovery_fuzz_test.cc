@@ -15,6 +15,7 @@
 #include "common/failpoint.h"
 #include "common/random.h"
 #include "core/verify.h"
+#include "fuzz_support.h"
 #include "sim/parallel_driver.h"
 #include "storage/wal.h"
 #include "workload/generators.h"
@@ -60,12 +61,15 @@ void ExpectPrefixRecoversCorrectly(const SimWorkload& workload,
                                     rec.store->LatestCommittedSnapshot(),
                                     WorkloadConstraint(workload));
   EXPECT_TRUE(verdict.ok()) << "seed " << seed << " prefix " << prefix << "/"
-                            << wal.size() << ": " << verdict.ToString();
+                            << wal.size() << ": " << verdict.ToString() << "; "
+                            << fuzz::ReproduceHint(seed);
 }
 
 TEST(CrashRecoveryFuzzTest, RandomKillPointsAlwaysRecoverCorrectHistories) {
   constexpr int kSeeds = 200;
   for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    if (!fuzz::ShouldRunSeed(seed)) continue;
+    SCOPED_TRACE(fuzz::ReproduceHint(seed));
     SimWorkload workload = TinyWorkload(seed);
     WriteAheadLog wal(workload.initial);
     Rng rng(seed * 0x9e3779b9ULL);
@@ -126,6 +130,8 @@ TEST(CrashRecoveryFuzzTest, RecoveredCommittedSetsAreDownwardClosed) {
   // reads-from, so a crashed prefix can never keep a successor while
   // losing its predecessor or feeder.
   for (uint64_t seed = 1; seed <= 20; ++seed) {
+    if (!fuzz::ShouldRunSeed(seed)) continue;
+    SCOPED_TRACE(fuzz::ReproduceHint(seed));
     SimWorkload workload = TinyWorkload(seed + 1000);
     WriteAheadLog wal(workload.initial);
     ParallelDriverConfig config;

@@ -1,0 +1,35 @@
+#ifndef NONSERIAL_TESTS_FUZZ_SUPPORT_H_
+#define NONSERIAL_TESTS_FUZZ_SUPPORT_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace nonserial {
+namespace fuzz {
+
+/// Seed override for the fuzz tests: NONSERIAL_FUZZ_SEED=<n> re-runs only
+/// seed n, so a failure printed by ReproduceHint() replays in isolation.
+/// Returns 0 (no override) when the variable is unset or unparsable.
+inline uint64_t SeedOverride() {
+  const char* env = std::getenv("NONSERIAL_FUZZ_SEED");
+  if (env == nullptr || *env == '\0') return 0;
+  return std::strtoull(env, nullptr, 10);
+}
+
+/// True if `seed` should run under the current override (all seeds when no
+/// override is set, exactly the override otherwise).
+inline bool ShouldRunSeed(uint64_t seed) {
+  uint64_t only = SeedOverride();
+  return only == 0 || only == seed;
+}
+
+/// Attached to every fuzz assertion: how to replay just this seed.
+inline std::string ReproduceHint(uint64_t seed) {
+  return "reproduce with NONSERIAL_FUZZ_SEED=" + std::to_string(seed);
+}
+
+}  // namespace fuzz
+}  // namespace nonserial
+
+#endif  // NONSERIAL_TESTS_FUZZ_SUPPORT_H_

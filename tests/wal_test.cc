@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
 #include "storage/version_store.h"
 
 namespace nonserial {
@@ -147,6 +152,274 @@ TEST(WalTest, CommitWithoutPayloadSynthesizesStoreOnlyRecord) {
   EXPECT_EQ(rec.committed[0].writes, (std::vector<std::pair<EntityId, Value>>{
                                          {1, 9}}));
   EXPECT_EQ(rec.store->LatestCommittedSnapshot(), (ValueVector{0, 9}));
+}
+
+TEST(WalTest, CrashMarkersFenceBothPreCrashEpochsOfAReusedWriterId) {
+  // A writer id that was in flight at TWO successive crashes must not
+  // resurrect the pending appends of either pre-crash epoch when it
+  // finally commits in the third.
+  WriteAheadLog wal({0});
+  {
+    VersionStore store(wal.initial());
+    store.SetWal(&wal);
+    store.Append(0, 5, /*writer=*/0);  // Epoch 1, in flight at crash 1.
+  }
+  wal.LogCrashMarker();
+  {
+    RecoveryResult rec = wal.Recover();
+    ASSERT_TRUE(rec.status.ok());
+    rec.store->SetWal(&wal);
+    rec.store->Append(0, 6, /*writer=*/0);  // Epoch 2, in flight at crash 2.
+  }
+  wal.LogCrashMarker();
+  // Epoch 3: the same writer id commits value 7.
+  RecoveryResult rec = wal.Recover();
+  ASSERT_TRUE(rec.status.ok());
+  rec.store->SetWal(&wal);
+  rec.store->Append(0, 7, /*writer=*/0);
+  wal.LogTxPayload(0, "t0", {0}, {}, {{0, 7}});
+  rec.store->CommitWriter(0);
+
+  RecoveryResult after = wal.Recover();
+  EXPECT_EQ(after.replayed_appends, 1);
+  EXPECT_EQ(after.discarded_appends, 2);  // One loser per pre-crash epoch.
+  EXPECT_EQ(after.store->LatestCommittedSnapshot(), (ValueVector{7}));
+  EXPECT_EQ(after.store->ChainSize(0), 2);  // Initial + the one commit.
+  ASSERT_EQ(after.committed.size(), 1u);
+  EXPECT_EQ(after.committed[0].tx, 0);
+}
+
+TEST(WalTest, StatsCountsWithoutDecodingRecords) {
+  LoggedStore s;
+  WalStats stats = s.wal.stats();
+  EXPECT_EQ(stats.records, 5);
+  EXPECT_EQ(stats.total_records, 5);
+  EXPECT_GT(stats.bytes, 0);
+  EXPECT_GE(stats.segments, 1);
+  EXPECT_EQ(stats.checkpoints, 0);
+  EXPECT_FALSE(stats.media_failed);
+  EXPECT_EQ(s.wal.size(), 5u);
+}
+
+TEST(WalTest, TailSinceDecodesOnlyTheRequestedSuffix) {
+  // Small segments so the tail walk crosses several segment boundaries.
+  WriteAheadLog wal({0}, /*segment_bytes=*/64);
+  VersionStore store(wal.initial());
+  store.SetWal(&wal);
+  for (int w = 0; w < 12; ++w) {
+    store.Append(0, w + 1, w);
+    store.CommitWriter(w);
+  }
+  EXPECT_GT(wal.stats().segments, 1);
+  std::vector<WalRecord> all = wal.Snapshot();
+  ASSERT_EQ(all.size(), 24u);  // Append + commit per writer.
+  for (size_t from : {size_t{0}, size_t{5}, size_t{11}, size_t{23},
+                      size_t{24}}) {
+    std::vector<WalRecord> tail = wal.TailSince(from);
+    ASSERT_EQ(tail.size(), all.size() - from) << "from " << from;
+    for (size_t j = 0; j < tail.size(); ++j) {
+      EXPECT_EQ(tail[j].kind, all[from + j].kind) << from << "+" << j;
+      EXPECT_EQ(tail[j].writer, all[from + j].writer) << from << "+" << j;
+      EXPECT_EQ(tail[j].value, all[from + j].value) << from << "+" << j;
+    }
+  }
+}
+
+TEST(WalTest, SerializedImageRoundTripsThroughFromImage) {
+  LoggedStore s;
+  std::string image = s.wal.SerializedImage();
+  std::unique_ptr<WriteAheadLog> copy =
+      WriteAheadLog::FromImage(image, s.wal.initial());
+  EXPECT_EQ(copy->size(), s.wal.size());
+  RecoveryResult a = s.wal.Recover();
+  RecoveryResult b = copy->Recover();
+  ASSERT_TRUE(b.status.ok());
+  EXPECT_EQ(b.replayed_appends, a.replayed_appends);
+  EXPECT_EQ(b.discarded_appends, a.discarded_appends);
+  EXPECT_EQ(b.store->LatestCommittedSnapshot(),
+            a.store->LatestCommittedSnapshot());
+}
+
+TEST(WalTest, CheckpointCompactsCommittedStateAndCarriesPending) {
+  LoggedStore s;  // Writer 0 committed {e0=10, e1=11}; writer 1 in flight.
+  Status cp = s.wal.Checkpoint();
+  ASSERT_TRUE(cp.ok()) << cp.ToString();
+  WalStats stats = s.wal.stats();
+  EXPECT_EQ(stats.checkpoints, 1);
+  // Only writer 1's in-flight append is carried forward as a record.
+  EXPECT_EQ(s.wal.size(), 1u);
+
+  // Recovery through the checkpoint matches pre-checkpoint recovery.
+  RecoveryResult rec = s.wal.Recover();
+  ASSERT_TRUE(rec.status.ok());
+  EXPECT_TRUE(rec.checkpoint_restored);
+  ASSERT_EQ(rec.committed.size(), 1u);
+  EXPECT_EQ(rec.committed[0].tx, 0);
+  EXPECT_EQ(rec.committed[0].name, "t0");
+  EXPECT_EQ(rec.store->LatestCommittedSnapshot(), (ValueVector{10, 11, 0}));
+
+  // The carried writer can still commit after the checkpoint.
+  s.wal.LogTxPayload(1, "t1", {10, 11, 0}, {0}, {{0, 20}});
+  s.store.CommitWriter(1);
+  RecoveryResult after = s.wal.Recover();
+  ASSERT_EQ(after.committed.size(), 2u);
+  EXPECT_EQ(after.committed[1].tx, 1);
+  EXPECT_EQ(after.store->LatestCommittedSnapshot(), (ValueVector{20, 11, 0}));
+  EXPECT_EQ(after.store->ChainSize(0), 3);  // Initial, then w0, then w1.
+}
+
+TEST(WalTest, CompactToReplacesTheLogWithTheRecoveredState) {
+  LoggedStore s;
+  RecoveryResult rec = s.wal.Recover();
+  int64_t reclaimed = s.wal.CompactTo(rec);
+  EXPECT_GE(reclaimed, 1);
+  // Recovered state holds only committed work: the compacted log is a
+  // bare checkpoint, writer 1's in-flight append is gone with the history.
+  EXPECT_EQ(s.wal.size(), 0u);
+  EXPECT_EQ(s.wal.stats().compactions, 1);
+  RecoveryResult after = s.wal.Recover();
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_TRUE(after.checkpoint_restored);
+  ASSERT_EQ(after.committed.size(), 1u);
+  EXPECT_EQ(after.committed[0].tx, 0);
+  EXPECT_EQ(after.store->LatestCommittedSnapshot(), (ValueVector{10, 11, 0}));
+}
+
+TEST(WalTest, TornTailIsTruncatedAndTheMediumFailsSticky) {
+  FailpointRegistry::Global().Seed(7);
+  WriteAheadLog wal({0});
+  VersionStore store(wal.initial());
+  store.SetWal(&wal);
+  store.Append(0, 1, /*writer=*/0);
+  wal.LogTxPayload(0, "a", {0}, {}, {{0, 1}});
+  store.CommitWriter(0);
+  {
+    ScopedFailpoint fp("wal.torn_tail", FailpointSpec{1.0, 0, 1});
+    store.Append(0, 2, /*writer=*/1);  // Torn mid-frame; device dies.
+  }
+  WalStats stats = wal.stats();
+  EXPECT_EQ(stats.torn_writes, 1);
+  EXPECT_TRUE(stats.media_failed);
+  store.Append(0, 3, /*writer=*/1);  // Swallowed by the failed medium.
+  EXPECT_EQ(wal.stats().dropped_records, 1);
+
+  // Recovery truncates the torn frame and keeps the committed prefix —
+  // normal crash semantics, not corruption.
+  RecoveryResult rec = wal.Recover();
+  ASSERT_TRUE(rec.status.ok()) << rec.status.ToString();
+  EXPECT_TRUE(rec.truncated_tail);
+  EXPECT_FALSE(rec.corruption_detected);
+  EXPECT_EQ(rec.store->LatestCommittedSnapshot(), (ValueVector{1}));
+
+  // Restart replaces the medium and repairs the tail; logging resumes.
+  wal.LogCrashMarker();
+  EXPECT_FALSE(wal.stats().media_failed);
+  RecoveryResult clean = wal.Recover();
+  EXPECT_FALSE(clean.truncated_tail);
+  store.Append(0, 4, /*writer=*/2);
+  EXPECT_EQ(wal.Snapshot().back().value, 4);
+}
+
+TEST(WalTest, BitFlipMidLogIsDetectedNeverSilent) {
+  FailpointRegistry::Global().Seed(11);
+  WriteAheadLog wal({0});
+  VersionStore store(wal.initial());
+  store.SetWal(&wal);
+  {
+    ScopedFailpoint fp("wal.bit_flip", FailpointSpec{1.0, 0, 1});
+    store.Append(0, 1, /*writer=*/0);  // Lands with one byte wrong.
+  }
+  wal.LogTxPayload(0, "a", {0}, {}, {{0, 1}});
+  store.CommitWriter(0);  // Valid frames AFTER the damage: mid-log corruption.
+  EXPECT_EQ(wal.stats().bit_flips, 1);
+
+  RecoveryResult strict = wal.Recover();
+  EXPECT_FALSE(strict.status.ok());
+  EXPECT_TRUE(strict.corruption_detected);
+  bool corrupt_diag = false;
+  for (const SegmentDiagnostic& d : strict.segments) {
+    corrupt_diag |= d.state == SegmentDiagnostic::State::kCorrupt;
+  }
+  EXPECT_TRUE(corrupt_diag);
+
+  RecoveryOptions opts;
+  opts.best_effort = true;
+  RecoveryResult salvage = wal.Recover(opts);
+  ASSERT_TRUE(salvage.status.ok()) << salvage.status.ToString();
+  EXPECT_TRUE(salvage.corruption_detected);
+  EXPECT_TRUE(salvage.salvaged);
+  // Nothing decodable precedes the flipped frame: the salvageable
+  // committed prefix is empty.
+  EXPECT_TRUE(salvage.committed.empty());
+  EXPECT_EQ(salvage.store->LatestCommittedSnapshot(), (ValueVector{0}));
+}
+
+TEST(WalTest, LostSegmentIsReportedThroughItsTombstone) {
+  FailpointRegistry::Global().Seed(13);
+  WriteAheadLog wal({0}, /*segment_bytes=*/64);
+  VersionStore store(wal.initial());
+  store.SetWal(&wal);
+  ScopedFailpoint fp("wal.segment_lost", FailpointSpec{1.0, 0, 1});
+  for (int w = 0; w < 6; ++w) {
+    store.Append(0, w + 1, w);
+    store.CommitWriter(w);
+  }
+  ASSERT_EQ(wal.stats().lost_segments, 1);  // First seal dropped its data.
+
+  RecoveryResult strict = wal.Recover();
+  EXPECT_FALSE(strict.status.ok());
+  EXPECT_TRUE(strict.corruption_detected);
+  bool lost_diag = false;
+  for (const SegmentDiagnostic& d : strict.segments) {
+    lost_diag |= d.state == SegmentDiagnostic::State::kLost;
+  }
+  EXPECT_TRUE(lost_diag);
+
+  RecoveryOptions opts;
+  opts.best_effort = true;
+  RecoveryResult salvage = wal.Recover(opts);
+  ASSERT_TRUE(salvage.status.ok());
+  EXPECT_TRUE(salvage.salvaged);
+  // The lost segment was the log's head: nothing verifiable precedes it.
+  EXPECT_TRUE(salvage.committed.empty());
+  EXPECT_EQ(salvage.store->LatestCommittedSnapshot(), (ValueVector{0}));
+}
+
+TEST(WalTest, WriteErrorFailsTheMediumUntilRestart) {
+  WriteAheadLog wal({0});
+  VersionStore store(wal.initial());
+  store.SetWal(&wal);
+  {
+    ScopedFailpoint fp("wal.write_error", FailpointSpec{1.0, 0, 1});
+    store.Append(0, 1, /*writer=*/0);  // Never reaches the medium.
+  }
+  store.Append(0, 2, /*writer=*/0);  // Sticky failure swallows this too.
+  EXPECT_EQ(wal.size(), 0u);
+  WalStats stats = wal.stats();
+  EXPECT_EQ(stats.write_errors, 1);
+  EXPECT_EQ(stats.dropped_records, 1);
+  EXPECT_TRUE(stats.media_failed);
+
+  wal.LogCrashMarker();  // Restart replaces the medium.
+  EXPECT_FALSE(wal.stats().media_failed);
+  store.Append(0, 3, /*writer=*/0);
+  EXPECT_EQ(wal.size(), 2u);  // Crash marker + the new append.
+}
+
+TEST(WalTest, CheckpointRefusesToLaunderADamagedImage) {
+  FailpointRegistry::Global().Seed(17);
+  WriteAheadLog wal({0});
+  VersionStore store(wal.initial());
+  store.SetWal(&wal);
+  {
+    ScopedFailpoint fp("wal.bit_flip", FailpointSpec{1.0, 0, 1});
+    store.Append(0, 1, /*writer=*/0);
+  }
+  store.CommitWriter(0);  // Valid frame after the flip: corruption.
+  Status cp = wal.Checkpoint();
+  EXPECT_FALSE(cp.ok());
+  // The damage is still visible to recovery (nothing was compacted away).
+  EXPECT_TRUE(wal.Recover().corruption_detected);
 }
 
 TEST(WalTest, DetachedStoreDoesNotLog) {
