@@ -79,6 +79,118 @@ Outcome RunWith(const SimWorkload& workload, int threads,
   return outcome;
 }
 
+/// Write-heavy, zero-think workload for the durable-commit legs: with no
+/// client latency to overlap, throughput is limited by the commit path
+/// itself, so the comparison isolates what the WAL's durability mode costs.
+SimWorkload DurableWorkload() {
+  DesignWorkloadParams params;
+  params.num_txs = 192;
+  params.num_entities = 96;
+  params.num_conjuncts = 2;
+  params.reads_per_tx = 2;
+  params.think_time = 0;
+  params.arrival_spacing = 0;
+  params.precedence_prob = 0.05;
+  params.hot_theta = 0.3;
+  params.seed = 77;
+  return MakeDesignWorkload(params);
+}
+
+/// Simulated storage-barrier latency per device flush. Sync mode pays it
+/// per commit record inside the log mutex (the single-global-lock
+/// baseline); group commit pays it once per batch.
+constexpr int64_t kFlushUs = 200;
+
+struct DurableOutcome {
+  double commits_per_sec = 0;
+  bool ok = false;
+  ProtocolMetrics metrics;
+};
+
+void RunDurable(const SimWorkload& workload, int threads, bool group_commit,
+                DurableOutcome* out) {
+  WriteAheadLog wal(workload.initial);
+  ParallelDriverConfig config;
+  config.num_threads = threads;
+  config.us_per_tick = 0;
+  config.max_restarts = 400;
+  config.max_wall_ms = 120'000;
+  config.protocol.metrics = &out->metrics;
+  config.wal = &wal;
+  config.wal_group_commit = group_commit;
+  config.wal_flush_us = kFlushUs;
+  ParallelDriver driver(config);
+  std::shared_ptr<VersionStore> store;
+  std::shared_ptr<CorrectExecutionProtocol> cep;
+  ParallelRunResult result = driver.Run(workload, &store, &cep);
+  out->commits_per_sec = result.CommitsPerSecond();
+  // Durability bar: everything the run acked must be in the durable image.
+  RecoveryResult rec = wal.Recover();
+  out->ok = !result.watchdog_expired && result.committed_count > 0 &&
+            rec.status.ok() &&
+            static_cast<int>(rec.committed.size()) == result.committed_count &&
+            rec.store->LatestCommittedSnapshot() ==
+                store->LatestCommittedSnapshot() &&
+            VerifyCepHistory(workload, *cep, *store,
+                             WorkloadConstraint(workload))
+                .ok();
+}
+
+/// Durable-throughput legs: commit ops/sec with the WAL attached and a
+/// 200µs simulated flush per barrier. The gate (ISSUE 6): group commit at
+/// 8 threads must deliver >= 2x the sync (flush-per-commit) baseline.
+bool RunDurableLegs(const SimWorkload& workload, BenchReport* report) {
+  std::printf("\nDurable commits (WAL attached, %lldus device flush):\n",
+              static_cast<long long>(kFlushUs));
+  std::printf("%8s %6s | %9s %8s %8s %7s | %s\n", "mode", "thr", "commits/s",
+              "batches", "flushes", "stalls", "durable+verified");
+
+  bool ok = true;
+  double sync8 = 0, group8 = 0;
+  auto emit = [&](const char* mode, int threads, const DurableOutcome& o) {
+    std::printf("%8s %6d | %9.1f %8lld %8lld %7lld | %s\n", mode, threads,
+                o.commits_per_sec,
+                static_cast<long long>(o.metrics.group_commit_batches.value()),
+                static_cast<long long>(o.metrics.wal_device_flushes.value()),
+                static_cast<long long>(o.metrics.group_commit_stalls.value()),
+                o.ok ? "ok" : "FAILED");
+    Json row = Json::Object();
+    row["name"] = std::string("durable_") + mode;
+    row["threads"] = threads;
+    row["ops_per_sec"] = o.commits_per_sec;
+    Json& group = row["group_commit"];
+    group["batches"] = o.metrics.group_commit_batches.value();
+    group["frames"] = o.metrics.group_commit_frames.value();
+    group["commits"] = o.metrics.group_commit_commits.value();
+    group["stalls"] = o.metrics.group_commit_stalls.value();
+    group["failed_acks"] = o.metrics.group_commit_failed_acks.value();
+    group["device_flushes"] = o.metrics.wal_device_flushes.value();
+    report->AddResult(std::move(row));
+  };
+
+  {
+    DurableOutcome o;
+    RunDurable(workload, 8, /*group_commit=*/false, &o);
+    ok &= o.ok;
+    sync8 = o.commits_per_sec;
+    emit("sync", 8, o);
+  }
+  for (int threads : {8, 16, 32}) {
+    DurableOutcome o;
+    RunDurable(workload, threads, /*group_commit=*/true, &o);
+    ok &= o.ok;
+    if (threads == 8) group8 = o.commits_per_sec;
+    emit("group", threads, o);
+  }
+
+  double speedup = sync8 > 0 ? group8 / sync8 : 0;
+  report->config()["durable_speedup_8t"] = speedup;
+  std::printf("group-commit speedup over flush-per-commit at 8 threads: "
+              "%.2fx (required: >= 2x)\n", speedup);
+  ok &= speedup >= 2.0;
+  return ok;
+}
+
 /// The README's about:tracing story: a chaos run (crash-kill cycles plus
 /// abort storms) with every phase span on one shared timeline.
 bool RunChaosTrace(const SimWorkload& workload, const std::string& path,
@@ -181,6 +293,8 @@ bool Run(const BenchOptions& options, BenchReport* report) {
   report->config()["speedup_4t"] = speedup;
   std::printf("4-thread speedup over single-threaded driver: %.2fx "
               "(required: >= 2x)\n", speedup);
+
+  ok &= RunDurableLegs(DurableWorkload(), report);
 
   if (!options.trace_path.empty()) {
     ok &= RunChaosTrace(workload, options.trace_path, report);

@@ -36,6 +36,29 @@ python3 -m json.tool REPORT_parallel.json > /dev/null
 python3 -m json.tool TRACE_chaos.json > /dev/null
 cat REPORT_parallel.json
 
+echo "== durability gate: group commit >= 2x flush-per-commit at 8 threads =="
+# The bench already fails itself below 2x; this re-checks the published
+# artifact, so a report regression (missing rows, zeroed counters) fails CI
+# even if the bench's own gate is edited.
+python3 - <<'EOF'
+import json, sys
+report = json.load(open("REPORT_parallel.json"))
+rows = {(r.get("name"), r.get("threads")): r for r in report["results"]}
+sync8 = rows[("durable_sync", 8)]
+group8 = rows[("durable_group", 8)]
+speedup = group8["ops_per_sec"] / sync8["ops_per_sec"]
+assert speedup >= 2.0, f"group-commit speedup {speedup:.2f}x < 2x"
+assert group8["group_commit"]["batches"] > 0, "no batches recorded"
+assert group8["group_commit"]["commits"] > 0, "no batched commits recorded"
+assert group8["group_commit"]["device_flushes"] < sync8["group_commit"][
+    "device_flushes"], "group commit did not reduce device flushes"
+for threads in (16, 32):
+    assert ("durable_group", threads) in rows, f"missing {threads}-thread row"
+print(f"durability gate ok: {speedup:.2f}x, "
+      f"{group8['group_commit']['batches']} batches for "
+      f"{group8['group_commit']['commits']} commits")
+EOF
+
 echo "== report artifact: REPORT_recovery.json (corruption-recovery leg) =="
 # bench_recovery exits non-zero unless checkpointed recovery beats full
 # replay on long logs — the durability PR's perf gate. Its JSON lands next
@@ -65,7 +88,11 @@ cmake -B build-tsan -S . -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build build-tsan -j
 # TSan halts the process on the first race, so a green ctest run means
-# race-free executions of every test, including the parallel driver.
+# race-free executions of every test, including the parallel driver and
+# the batched-log fuzzers (wal_corruption_fuzz_test and
+# crash_recovery_fuzz_test run group-commit seeds, so the WAL's pipelined
+# writer thread is raced against workers, checkpoints, and crash markers
+# under TSan here).
 TSAN_OPTIONS="halt_on_error=1" \
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)"
 

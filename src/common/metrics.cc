@@ -108,6 +108,15 @@ std::string ProtocolMetrics::Summary() const {
       os << "recovery time (us): " << recovery_micros.ToString() << "\n";
     }
   }
+  if (group_commit_batches.value() > 0 || wal_device_flushes.value() > 0) {
+    os << "group commit: batches=" << group_commit_batches.value()
+       << " frames=" << group_commit_frames.value()
+       << " commits=" << group_commit_commits.value()
+       << " stalls=" << group_commit_stalls.value()
+       << " failed-acks=" << group_commit_failed_acks.value()
+       << " staged-dropped=" << group_staged_dropped.value()
+       << " device-flushes=" << wal_device_flushes.value() << "\n";
+  }
   if (search_nodes.count() > 0) {
     os << "search nodes: " << search_nodes.ToString() << "\n";
   }
@@ -164,6 +173,13 @@ void ProtocolMetrics::Reset() {
   recovery_frames_salvaged.Reset();
   checkpoint_compactions.Reset();
   recovery_micros.Reset();
+  group_commit_batches.Reset();
+  group_commit_frames.Reset();
+  group_commit_commits.Reset();
+  group_commit_stalls.Reset();
+  group_commit_failed_acks.Reset();
+  group_staged_dropped.Reset();
+  wal_device_flushes.Reset();
 }
 
 }  // namespace nonserial

@@ -112,6 +112,19 @@ struct ProtocolMetrics {
                                       ///< earlier log segments.
   Histogram recovery_micros;          ///< Wall-clock µs per recovery pass.
 
+  // Group-commit pipeline (durable runs; folded in from WalStats by the
+  // parallel driver after workers join).
+  Counter group_commit_batches;   ///< Staging batches flushed by the writer.
+  Counter group_commit_frames;    ///< Frames flushed via batches.
+  Counter group_commit_commits;   ///< Commit acks resolved by batch flushes.
+  Counter group_commit_stalls;    ///< Commit acks that blocked on a flush
+                                  ///< epoch (WaitDurable actually waited).
+  Counter group_commit_failed_acks;  ///< Acks failed by a mid-batch media
+                                     ///< fault or a crash discard.
+  Counter group_staged_dropped;   ///< Staged frames lost to crash restarts.
+  Counter wal_device_flushes;     ///< Simulated device flushes paid (per
+                                  ///< commit sync, per batch grouped).
+
   /// Multi-line human-readable dump (omits never-touched members).
   std::string Summary() const;
 

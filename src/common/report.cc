@@ -191,6 +191,14 @@ Json MetricsJson(const ProtocolMetrics& m) {
   recovery["frames_salvaged"] = m.recovery_frames_salvaged.value();
   recovery["checkpoint_compactions"] = m.checkpoint_compactions.value();
   recovery["recovery_micros"] = HistogramJson(m.recovery_micros);
+  Json& group = out["group_commit"];
+  group["batches"] = m.group_commit_batches.value();
+  group["frames"] = m.group_commit_frames.value();
+  group["commits"] = m.group_commit_commits.value();
+  group["stalls"] = m.group_commit_stalls.value();
+  group["failed_acks"] = m.group_commit_failed_acks.value();
+  group["staged_dropped"] = m.group_staged_dropped.value();
+  group["device_flushes"] = m.wal_device_flushes.value();
   return out;
 }
 

@@ -413,7 +413,28 @@ void CorrectExecutionProtocol::ReAssign(int reader, int writer, EntityId e) {
 }
 
 ReqResult CorrectExecutionProtocol::Commit(int tx) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WalCommitHandle durable;
+  ReqResult result;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    result = CommitLocked(tx, &durable);
+  }
+  // Durability wait OUTSIDE the engine lock (early lock release): the
+  // engine stays free to validate, execute, and stage other transactions'
+  // commits while this one waits for its group-commit flush epoch — this
+  // is what lets concurrent committers share one device flush. Safe
+  // because commit log order is FIFO: any dependent transaction's commit
+  // record lands after ours, so a crashed prefix can never keep the
+  // dependent while losing us. The handle's verdict is advisory (a failed
+  // medium already dropped the record; recovery semantics govern).
+  if (result == ReqResult::kGranted && store_->wal() != nullptr) {
+    store_->wal()->WaitDurable(durable);
+  }
+  return result;
+}
+
+ReqResult CorrectExecutionProtocol::CommitLocked(int tx,
+                                                 WalCommitHandle* durable) {
   TxState& state = txs_[tx];
   NONSERIAL_CHECK(state.phase == Phase::kExecuting);
   // A pending forced abort (Figure 4 partial-order invalidation or a
@@ -479,7 +500,7 @@ ReqResult CorrectExecutionProtocol::Commit(int tx) {
     store_->wal()->LogTxPayload(tx, state.profile.name, state.input_view,
                                 std::move(feeders), state.write_log);
   }
-  store_->CommitWriter(tx);
+  *durable = store_->CommitWriter(tx);
   locks_.ReleaseAll(tx);
   state.phase = Phase::kCommitted;
 

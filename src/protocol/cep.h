@@ -250,6 +250,11 @@ class CorrectExecutionProtocol : public ConcurrencyController {
   /// force-aborted.
   void ReAssign(int reader, int writer, EntityId e);
 
+  /// Commit body, under the engine lock. On kGranted, `*durable` holds the
+  /// WAL ack the caller redeems AFTER dropping the lock (so committers can
+  /// share a group-commit flush instead of serializing on the monitor).
+  ReqResult CommitLocked(int tx, WalCommitHandle* durable);
+
   void WakeValidationWaiters(EntityId e);
   void Wake(int tx);
 

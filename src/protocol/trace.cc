@@ -58,6 +58,8 @@ const char* TraceEvent::KindName(Kind kind) {
       return "compaction";
     case Kind::kCorruptionDetected:
       return "corruption-detected";
+    case Kind::kWalBatchFlush:
+      return "wal-batch-flush";
   }
   return "?";
 }

@@ -63,8 +63,12 @@ struct TraceEvent {
     // Durable-log lifecycle (write-ahead log; `tx` = chaos cycle index).
     kCheckpoint,          ///< Checkpoint installed; `value` = txs captured.
     kCompaction,          ///< Segments reclaimed; `value` = segment count.
-    kCorruptionDetected   ///< Recovery found mid-log corruption / lost
+    kCorruptionDetected,  ///< Recovery found mid-log corruption / lost
                           ///< segment; `value` = records salvaged.
+    kWalBatchFlush        ///< Group-commit batch flushed; `value` = frames
+                          ///< in the batch, `other` = commit acks resolved,
+                          ///< `tx` = 1 if the batch flushed clean, 0 if a
+                          ///< media fault failed its acks.
   };
 
   Kind kind = Kind::kValidated;

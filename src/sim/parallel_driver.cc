@@ -426,6 +426,61 @@ class Driver {
   ParallelRunResult result_;
 };
 
+/// Arms the WAL commit pipeline for the duration of a run (RAII): forwards
+/// the simulated device-flush cost, enables the group-commit writer thread
+/// (when configured) with the run's trace observer before any worker logs,
+/// and on destruction drains the pipeline, folds the WAL's group-commit
+/// counters into the metrics sink as deltas, and detaches the observer.
+class WalPipelineScope {
+ public:
+  WalPipelineScope(const ParallelDriverConfig& config, WriteAheadLog* wal)
+      : wal_(wal), metrics_(config.protocol.metrics) {
+    if (wal_ == nullptr) return;
+    before_ = wal_->stats();
+    wal_->set_flush_us(config.wal_flush_us);
+    if (config.wal_group_commit) {
+      wal_->SetObserver(config.observer);
+      wal_->EnableGroupCommit(config.wal_group_options);
+      enabled_ = true;
+    }
+  }
+
+  WalPipelineScope(const WalPipelineScope&) = delete;
+  WalPipelineScope& operator=(const WalPipelineScope&) = delete;
+
+  ~WalPipelineScope() {
+    if (wal_ == nullptr) return;
+    if (enabled_) {
+      wal_->Flush();
+      wal_->DisableGroupCommit();
+      wal_->SetObserver(nullptr);
+    }
+    if (metrics_ != nullptr) {
+      WalStats after = wal_->stats();
+      metrics_->group_commit_batches.Add(after.group_commit_batches -
+                                         before_.group_commit_batches);
+      metrics_->group_commit_frames.Add(after.group_commit_frames -
+                                        before_.group_commit_frames);
+      metrics_->group_commit_commits.Add(after.group_commit_commits -
+                                         before_.group_commit_commits);
+      metrics_->group_commit_stalls.Add(after.group_commit_stalls -
+                                        before_.group_commit_stalls);
+      metrics_->group_commit_failed_acks.Add(after.group_commit_failed_acks -
+                                             before_.group_commit_failed_acks);
+      metrics_->group_staged_dropped.Add(after.group_staged_dropped -
+                                         before_.group_staged_dropped);
+      metrics_->wal_device_flushes.Add(after.device_flushes -
+                                       before_.device_flushes);
+    }
+  }
+
+ private:
+  WriteAheadLog* wal_;
+  ProtocolMetrics* metrics_;
+  WalStats before_;
+  bool enabled_ = false;
+};
+
 }  // namespace
 
 ParallelRunResult ParallelDriver::Run(
@@ -438,6 +493,7 @@ ParallelRunResult ParallelDriver::Run(
         << "write-ahead log initial state does not match the workload";
     store->SetWal(config_.wal);
   }
+  WalPipelineScope wal_pipeline(config_, config_.wal);
   if (config_.protocol.eval_cache != nullptr) {
     // Size the epoch table and mirror the counters before any worker can
     // probe (EnsureEntities/SetMetrics are not safe under concurrent use).
@@ -473,6 +529,11 @@ ChaosRunResult ParallelDriver::RunChaos(
   WriteAheadLog owned_wal(workload.initial);
   WriteAheadLog* wal = config_.wal != nullptr ? config_.wal : &owned_wal;
   NONSERIAL_CHECK_EQ(wal->initial().size(), workload.initial.size());
+  // The pipeline spans every cycle: a crash kills the workers mid-flight,
+  // and the staged-but-unflushed frames they left behind model the volatile
+  // buffer the crash destroys — LogCrashMarker discards them (and fails
+  // their acks) before the next cycle starts.
+  WalPipelineScope wal_pipeline(config_, wal);
   Rng rng(chaos.seed ^ 0x9e3779b97f4a7c15ULL);
 
   ChaosRunResult out;

@@ -79,6 +79,19 @@ struct ParallelDriverConfig {
   /// Write-ahead log to attach to the run's store (crash-recovery tests).
   /// Not owned; its initial() must match the workload's initial state.
   WriteAheadLog* wal = nullptr;
+  /// Run the WAL in group-commit mode: workers stage frames for the log's
+  /// pipelined writer thread instead of serializing per record behind the
+  /// log mutex; commit acks resolve at batch flush epochs. The driver
+  /// enables the pipeline before workers start, drains it (Flush) after
+  /// they join, and folds the group_commit_* counters into the metrics
+  /// sink. Ignored when `wal` is null.
+  bool wal_group_commit = false;
+  GroupCommitOptions wal_group_options;
+  /// Simulated device-flush latency forwarded to the WAL (set_flush_us):
+  /// sync mode pays it per commit record, group mode once per batch. This
+  /// is the cost model that makes the durable-throughput comparison
+  /// honest; 0 keeps flushes free.
+  int64_t wal_flush_us = 0;
   /// Options forwarded to the protocol engine (search mode, metrics sink).
   CorrectExecutionProtocol::Options protocol;
   /// Per-transaction phase spans in wall-clock µs on a shared timeline

@@ -107,17 +107,25 @@ std::optional<int> VersionStore::LatestIndexBy(EntityId e, int writer) const {
   return std::nullopt;
 }
 
-void VersionStore::CommitWriter(int writer) {
+WalCommitHandle VersionStore::CommitWriter(int writer) {
   // Write-ahead: the commit record hits the log before any flag flips, so
   // a crash either shows the writer fully committed (redo replays every
-  // already-logged append) or not at all.
-  if (wal_ != nullptr) wal_->LogCommit(writer);
+  // already-logged append) or not at all. Under group commit the record is
+  // only STAGED here; the returned handle resolves at its batch's flush
+  // epoch, and the in-memory flags may flip before durability. That is
+  // safe for recovery because log order is FIFO: anything that reads this
+  // writer's versions and commits logs its own commit record later in the
+  // log, so no recovered prefix can keep a dependent while losing this
+  // writer (downward closure survives early lock release).
+  WalCommitHandle handle;
+  if (wal_ != nullptr) handle = wal_->LogCommit(writer);
   for (EntityId e = 0; e < num_entities(); ++e) {
     std::unique_lock<std::shared_mutex> lock(ShardOf(e));
     for (Version& v : chains_[e]) {
       if (v.writer == writer && !v.dead) v.committed = true;
     }
   }
+  return handle;
 }
 
 void VersionStore::MarkAllCommitted() {

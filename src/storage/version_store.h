@@ -13,10 +13,9 @@
 #include "common/status.h"
 #include "model/state.h"
 #include "predicate/value.h"
+#include "storage/wal.h"  // WalCommitHandle (returned by value).
 
 namespace nonserial {
-
-class WriteAheadLog;
 
 /// Writer id for the initial version of every entity (the paper's pseudo-
 /// transaction t_0).
@@ -100,8 +99,11 @@ class VersionStore {
   /// Latest live version of `e` authored by `writer`, if any.
   std::optional<int> LatestIndexBy(EntityId e, int writer) const;
 
-  /// Marks all live versions authored by `writer` committed.
-  void CommitWriter(int writer);
+  /// Marks all live versions authored by `writer` committed. Returns the
+  /// WAL's durability handle for the commit record (null when no WAL is
+  /// attached): the caller decides where to WaitDurable — outside any
+  /// engine lock, so concurrent commits can share one group-commit flush.
+  WalCommitHandle CommitWriter(int writer);
 
   /// Recovery-only bulk commit: marks every live version committed without
   /// logging. Replay appends only versions whose fate analysis already

@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <iterator>
 #include <map>
 #include <set>
 
 #include "common/failpoint.h"
 #include "common/logging.h"
+// Header-only use (TraceEvent construction + the virtual OnEvent call):
+// keeps the storage library free of link-time protocol dependencies.
+#include "protocol/trace.h"
 #include "storage/version_store.h"
 #include "storage/wal_format.h"
 
@@ -274,22 +278,32 @@ WalRecord MakeRecord(WalRecord::Kind kind, int writer) {
 
 }  // namespace
 
+WriteAheadLog::~WriteAheadLog() { StopWriterThread(); }
+
 void WriteAheadLog::LogAppend(EntityId entity, Value value, int writer) {
   WalRecord record = MakeRecord(WalRecord::Kind::kAppend, writer);
   record.entity = entity;
   record.value = value;
-  std::lock_guard<std::mutex> lock(mu_);
-  AppendRecordLocked(record);
+  std::string frame;
+  wal_format::AppendRecordFrame(record, &frame);
+  SubmitFrame(std::move(frame), /*is_record=*/true, /*is_commit=*/false);
 }
 
-void WriteAheadLog::LogCommit(int writer) {
-  std::lock_guard<std::mutex> lock(mu_);
-  AppendRecordLocked(MakeRecord(WalRecord::Kind::kCommit, writer));
+WalCommitHandle WriteAheadLog::LogCommit(int writer) {
+  std::string frame;
+  wal_format::AppendRecordFrame(MakeRecord(WalRecord::Kind::kCommit, writer),
+                                &frame);
+  WalCommitHandle handle;
+  handle.state_ =
+      SubmitFrame(std::move(frame), /*is_record=*/true, /*is_commit=*/true);
+  return handle;
 }
 
 void WriteAheadLog::LogRollback(int writer) {
-  std::lock_guard<std::mutex> lock(mu_);
-  AppendRecordLocked(MakeRecord(WalRecord::Kind::kRollback, writer));
+  std::string frame;
+  wal_format::AppendRecordFrame(MakeRecord(WalRecord::Kind::kRollback, writer),
+                                &frame);
+  SubmitFrame(std::move(frame), /*is_record=*/true, /*is_commit=*/false);
 }
 
 void WriteAheadLog::LogTxPayload(int writer, std::string name,
@@ -301,18 +315,267 @@ void WriteAheadLog::LogTxPayload(int writer, std::string name,
   record.input_state = std::move(input_state);
   record.feeders = std::move(feeders);
   record.writes = std::move(writes);
-  std::lock_guard<std::mutex> lock(mu_);
-  AppendRecordLocked(record);
+  std::string frame;
+  wal_format::AppendRecordFrame(record, &frame);
+  SubmitFrame(std::move(frame), /*is_record=*/true, /*is_commit=*/false);
 }
 
 void WriteAheadLog::LogCrashMarker() {
+  // Quiesce the pipeline first: wait out any in-flight batch, then discard
+  // the volatile staging buffer — staged-but-unflushed frames are exactly
+  // what a crash loses — failing their commit acks. stage_mu_ stays held
+  // across the mu_ section (the one place the two locks nest, and the
+  // order that defines the lock hierarchy: stage_mu_ before mu_) so no new
+  // frame can slip in between the discard and the marker.
+  std::unique_lock<std::mutex> stage_lock(stage_mu_);
+  retire_cv_.wait(stage_lock, [this] { return !writer_busy_; });
+  int64_t staged_dropped = 0;
+  int64_t failed_acks = 0;
+  if (!staging_.empty()) {
+    for (StagedFrame& frame : staging_) {
+      if (frame.ack != nullptr) {
+        frame.ack->done = true;
+        frame.ack->ok = false;
+        ++failed_acks;
+      }
+    }
+    staged_dropped = static_cast<int64_t>(staging_.size());
+    retired_seq_ += staging_.size();
+    staging_.clear();
+    retire_cv_.notify_all();
+  }
   std::lock_guard<std::mutex> lock(mu_);
+  stats_.group_staged_dropped += staged_dropped;
+  stats_.group_commit_failed_acks += failed_acks;
   // Restart replaces the medium: clear the sticky failure and physically
   // drop a torn tail so the marker (and everything after it) extends a
   // clean frame sequence.
   media_failed_ = false;
   RepairTailLocked();
   AppendRecordLocked(MakeRecord(WalRecord::Kind::kCrash, -1));
+}
+
+bool WriteAheadLog::WaitDurable(const WalCommitHandle& handle) const {
+  const std::shared_ptr<WalCommitHandle::AckState>& state = handle.state_;
+  if (state == nullptr) return true;
+  std::unique_lock<std::mutex> stage_lock(stage_mu_);
+  if (!state->done) {
+    ack_stalls_.fetch_add(1, std::memory_order_relaxed);
+    retire_cv_.wait(stage_lock, [&state] { return state->done; });
+  }
+  return state->ok;
+}
+
+std::shared_ptr<WalCommitHandle::AckState> WriteAheadLog::SubmitFrame(
+    std::string frame, bool is_record, bool is_commit) {
+  std::shared_ptr<WalCommitHandle::AckState> ack;
+  if (is_commit) ack = std::make_shared<WalCommitHandle::AckState>();
+  {
+    std::lock_guard<std::mutex> stage_lock(stage_mu_);
+    if (group_enabled_) {
+      StagedFrame staged;
+      staged.bytes = std::move(frame);
+      staged.is_record = is_record;
+      staged.ack = ack;
+      staging_.push_back(std::move(staged));
+      ++staged_seq_;
+      stage_cv_.notify_one();
+      return ack;
+    }
+  }
+  // Sync mode: write through under the log mutex, paying the device flush
+  // inline per commit record — the single-global-lock baseline that group
+  // commit exists to beat.
+  bool ok = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (media_failed_) {
+      if (is_record) ++stats_.dropped_records;
+    } else {
+      ok = AppendFrameLocked(frame, is_record);
+      if (ok && is_record) {
+        ++stats_.records;
+        ++stats_.total_records;
+      }
+      if (ok && is_commit) DeviceFlushLocked();
+    }
+  }
+  if (ack != nullptr) {
+    std::lock_guard<std::mutex> stage_lock(stage_mu_);
+    ack->done = true;
+    ack->ok = ok;
+    retire_cv_.notify_all();
+  }
+  return ack;
+}
+
+void WriteAheadLog::EnableGroupCommit(const GroupCommitOptions& options) {
+  std::lock_guard<std::mutex> stage_lock(stage_mu_);
+  group_options_ = options;
+  if (group_enabled_) return;
+  if (writer_.joinable()) writer_.join();  // A previously stopped writer.
+  group_enabled_ = true;
+  writer_stop_ = false;
+  writer_ = std::thread([this] { WriterLoop(); });
+}
+
+void WriteAheadLog::DisableGroupCommit() { StopWriterThread(); }
+
+void WriteAheadLog::StopWriterThread() {
+  // Enable/Disable are controller operations (driver setup/teardown, test
+  // scaffolding) — callers serialize them; loggers may race freely.
+  {
+    std::lock_guard<std::mutex> stage_lock(stage_mu_);
+    if (!group_enabled_) return;
+    writer_stop_ = true;
+    stage_cv_.notify_all();
+  }
+  if (writer_.joinable()) writer_.join();
+  std::lock_guard<std::mutex> stage_lock(stage_mu_);
+  writer_stop_ = false;
+  flush_hold_ = false;
+}
+
+void WriteAheadLog::Flush() {
+  std::unique_lock<std::mutex> stage_lock(stage_mu_);
+  if (!group_enabled_) return;
+  // Note: blocks forever under HoldFlushesForTest(true) — release the hold
+  // (or LogCrashMarker) first.
+  const uint64_t target = staged_seq_;
+  retire_cv_.wait(stage_lock, [this, target] { return retired_seq_ >= target; });
+}
+
+bool WriteAheadLog::group_commit_enabled() const {
+  std::lock_guard<std::mutex> stage_lock(stage_mu_);
+  return group_enabled_;
+}
+
+void WriteAheadLog::set_flush_us(int64_t us) {
+  flush_us_.store(us, std::memory_order_relaxed);
+}
+
+void WriteAheadLog::SetObserver(TraceSink* sink) {
+  observer_.store(sink, std::memory_order_release);
+}
+
+void WriteAheadLog::HoldFlushesForTest(bool hold) {
+  std::lock_guard<std::mutex> stage_lock(stage_mu_);
+  flush_hold_ = hold;
+  if (!hold) stage_cv_.notify_all();
+}
+
+void WriteAheadLog::WriterLoop() {
+  for (;;) {
+    std::vector<StagedFrame> batch;
+    {
+      std::unique_lock<std::mutex> stage_lock(stage_mu_);
+      stage_cv_.wait(stage_lock, [this] {
+        return writer_stop_ || (!staging_.empty() && !flush_hold_);
+      });
+      if (staging_.empty() && writer_stop_) {
+        // Flip the mode flag before exiting so no frame can be staged with
+        // nobody left to flush it: the next SubmitFrame goes sync.
+        group_enabled_ = false;
+        return;
+      }
+      const size_t take =
+          std::min(staging_.size(), group_options_.max_batch_frames);
+      batch.assign(std::make_move_iterator(staging_.begin()),
+                   std::make_move_iterator(staging_.begin() + take));
+      staging_.erase(staging_.begin(),
+                     staging_.begin() + static_cast<ptrdiff_t>(take));
+      writer_busy_ = true;
+    }
+    // Flushing happens with no lock held but mu_ inside FlushBatch: batch
+    // N+1 stages (stage_mu_) while batch N writes (mu_) — the pipeline.
+    FlushBatch(std::move(batch));
+  }
+}
+
+void WriteAheadLog::FlushBatch(std::vector<StagedFrame> batch) {
+  // Pack the batch's frames into chunks of at most one segment each, so
+  // the whole batch reaches the medium in as few writes as possible while
+  // keeping the per-write failpoint semantics (a fault hits a chunk — and
+  // may therefore tear or swallow many frames at once).
+  struct Chunk {
+    std::string bytes;
+    std::vector<size_t> record_ends;  ///< Offset just past each record frame.
+  };
+  std::vector<Chunk> chunks;
+  int64_t commits = 0;
+  std::vector<std::shared_ptr<WalCommitHandle::AckState>> acks;
+  for (StagedFrame& frame : batch) {
+    if (frame.ack != nullptr) {
+      acks.push_back(std::move(frame.ack));
+      ++commits;
+    }
+    if (chunks.empty() ||
+        (!chunks.back().bytes.empty() &&
+         chunks.back().bytes.size() + frame.bytes.size() > segment_bytes_)) {
+      chunks.emplace_back();
+    }
+    Chunk& chunk = chunks.back();
+    chunk.bytes.append(frame.bytes);
+    if (frame.is_record) chunk.record_ends.push_back(chunk.bytes.size());
+  }
+
+  // All-or-nothing acks: a media fault on ANY chunk fails every commit ack
+  // in the batch — no partial-batch success. Frames that reached the
+  // medium before the fault stay in the image (durable but unacked, the
+  // standard crash ambiguity); recovery treats them like any other record.
+  bool ok = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Chunk& chunk : chunks) {
+      if (media_failed_) {
+        stats_.dropped_records +=
+            static_cast<int64_t>(chunk.record_ends.size());
+        ok = false;
+        continue;
+      }
+      if (!AppendChunkLocked(chunk.bytes, chunk.record_ends)) ok = false;
+    }
+    if (ok) DeviceFlushLocked();
+    ++stats_.group_commit_batches;
+    stats_.group_commit_frames += static_cast<int64_t>(batch.size());
+    stats_.group_commit_commits += commits;
+    if (!ok) stats_.group_commit_failed_acks += commits;
+  }
+  if (TraceSink* sink = observer_.load(std::memory_order_acquire)) {
+    TraceEvent event;
+    event.kind = TraceEvent::Kind::kWalBatchFlush;
+    event.protocol = "wal";
+    event.tx = ok ? 1 : 0;
+    event.other = static_cast<int>(commits);
+    event.value = static_cast<Value>(batch.size());
+    sink->OnEvent(event);
+  }
+  RetireFrames(batch.size(), std::move(acks), ok);
+}
+
+void WriteAheadLog::RetireFrames(
+    size_t n, std::vector<std::shared_ptr<WalCommitHandle::AckState>> acks,
+    bool ok) {
+  std::lock_guard<std::mutex> stage_lock(stage_mu_);
+  for (const std::shared_ptr<WalCommitHandle::AckState>& ack : acks) {
+    ack->done = true;
+    ack->ok = ok;
+  }
+  retired_seq_ += n;
+  writer_busy_ = false;
+  retire_cv_.notify_all();
+}
+
+void WriteAheadLog::DeviceFlushLocked() {
+  ++stats_.device_flushes;
+  const int64_t us = flush_us_.load(std::memory_order_relaxed);
+  if (us <= 0) return;
+  // Busy-wait: models the storage barrier's latency deterministically —
+  // sleep_for would let the scheduler batch "independent" flushes.
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(us);
+  while (std::chrono::steady_clock::now() < until) {
+  }
 }
 
 void WriteAheadLog::AppendRecordLocked(const WalRecord& record) {
@@ -364,6 +627,63 @@ bool WriteAheadLog::AppendFrameLocked(const std::string& frame, bool is_record) 
     // deterministic fault stream.
     uint64_t bits = registry.DrawBits();
     size_t offset = start + static_cast<size_t>(bits % frame.size());
+    seg.bytes[offset] ^= static_cast<char>(1u << ((bits >> 32) % 8));
+    ++stats_.bit_flips;
+  }
+  return true;
+}
+
+bool WriteAheadLog::AppendChunkLocked(const std::string& chunk,
+                                      const std::vector<size_t>& record_ends) {
+  FailpointRegistry& registry = FailpointRegistry::Global();
+  const int64_t records = static_cast<int64_t>(record_ends.size());
+  if (NONSERIAL_FAILPOINT("wal.write_error")) {
+    ++stats_.write_errors;
+    stats_.dropped_records += records;
+    media_failed_ = true;
+    return false;
+  }
+  if (segments_.empty() || segments_.back().lost ||
+      (!segments_.back().bytes.empty() &&
+       segments_.back().bytes.size() + chunk.size() > segment_bytes_)) {
+    SealActiveSegmentLocked();
+    Segment fresh;
+    fresh.seq = next_segment_seq_++;
+    segments_.push_back(std::move(fresh));
+  }
+  Segment& seg = segments_.back();
+  if (NONSERIAL_FAILPOINT("wal.torn_tail")) {
+    // A strict nonzero prefix of the chunk reaches the medium, then the
+    // device dies — a torn write can now truncate most of a batch. Frames
+    // that landed whole in the prefix ARE durable; the partial one is the
+    // torn tail recovery truncates.
+    const size_t keep =
+        1 + static_cast<size_t>(registry.DrawBits() % (chunk.size() - 1));
+    seg.bytes.append(chunk.data(), keep);
+    stats_.bytes += static_cast<int64_t>(keep);
+    int64_t durable = 0;
+    for (size_t end : record_ends) {
+      if (end <= keep) ++durable;
+    }
+    seg.frames += durable;
+    stats_.records += durable;
+    stats_.total_records += durable;
+    stats_.dropped_records += records - durable;
+    ++stats_.torn_writes;
+    media_failed_ = true;
+    return false;
+  }
+  const size_t start = seg.bytes.size();
+  seg.bytes.append(chunk);
+  stats_.bytes += static_cast<int64_t>(chunk.size());
+  seg.frames += records;
+  stats_.records += records;
+  stats_.total_records += records;
+  if (NONSERIAL_FAILPOINT("wal.bit_flip")) {
+    // Silent corruption: the chunk "succeeds" (the batch still acks) but
+    // one byte lands wrong — recovery's scan is the only detector.
+    const uint64_t bits = registry.DrawBits();
+    const size_t offset = start + static_cast<size_t>(bits % chunk.size());
     seg.bytes[offset] ^= static_cast<char>(1u << ((bits >> 32) % 8));
     ++stats_.bit_flips;
   }
@@ -424,6 +744,7 @@ WalStats WriteAheadLog::stats() const {
   WalStats s = stats_;
   s.segments = static_cast<int64_t>(segments_.size());
   s.media_failed = media_failed_;
+  s.group_commit_stalls = ack_stalls_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -581,7 +902,9 @@ RecoveryResult WriteAheadLog::Recover(const RecoveryOptions& options) const {
   result.segments = std::move(scan.diags);
 
   std::vector<WalRecord> log = std::move(scan.records);
+  result.image_records = static_cast<int64_t>(log.size());
   if (options.prefix_records < log.size()) log.resize(options.prefix_records);
+  result.replayed_records = static_cast<int64_t>(log.size());
   ReplayRecords(log, initial_, scan.has_checkpoint ? &scan.checkpoint : nullptr,
                 &result);
 
@@ -694,10 +1017,145 @@ int64_t WriteAheadLog::CompactTo(const RecoveryResult& recovered) {
   wal_format::AppendCheckpointFrame(checkpoint, &frames);
   std::lock_guard<std::mutex> lock(mu_);
   int64_t reclaimed = static_cast<int64_t>(segments_.size());
+
+  // Consistent view: `recovered` describes the image as it was when the
+  // recovery pass scanned it, but commits may have landed since (a live
+  // committer racing the compaction). Re-scan the live image UNDER the
+  // lock and split it at the recovery's boundaries, so nothing the
+  // checkpoint doesn't absorb is compacted away.
+  std::vector<SegView> views;
+  views.reserve(segments_.size());
+  for (const Segment& seg : segments_) {
+    views.push_back({seg.seq, &seg.bytes, seg.lost});
+  }
+  ScanResult scan = ScanSegments(views);
+  const size_t replayed = std::min(
+      scan.records.size(),
+      static_cast<size_t>(std::max<int64_t>(recovered.replayed_records, 0)));
+  const size_t image = std::min(
+      scan.records.size(),
+      static_cast<size_t>(std::max<int64_t>(recovered.image_records,
+                                            recovered.replayed_records)));
+  const bool damaged = scan.bad || scan.lost_segment;
+
+  // Stage 1 — tentative carry. (a) The records the recovery pass never saw
+  // (they landed after its scan), verbatim. (b) For each writer with such
+  // a suffix record, its appends still pending and payload still
+  // unresolved at the end of the replayed prefix: a suffix kCommit must
+  // commit the writer's FULL write set, not just the appends that happened
+  // to land post-scan. Writers with no suffix record keep the PR 5
+  // contract — their in-flight work dies with the compacted history (the
+  // recovered state is the new durable truth). A damaged image drops the
+  // carry entirely: the suffix past the damage is discarded with the
+  // history, and its pending writers belong to an epoch the damage ended.
+  // Records in [replayed, image) were deliberately cut by the crash-point
+  // simulation and stay cut.
+  std::vector<WalRecord> tentative;
+  if (!damaged) {
+    std::set<int> suffix_writers;
+    for (size_t i = image; i < scan.records.size(); ++i) {
+      if (scan.records[i].kind != WalRecord::Kind::kCrash) {
+        suffix_writers.insert(scan.records[i].writer);
+      }
+    }
+    std::map<int, std::vector<size_t>> pending;
+    std::map<int, size_t> payload_at;
+    for (size_t i = 0; i < replayed; ++i) {
+      const WalRecord& r = scan.records[i];
+      switch (r.kind) {
+        case WalRecord::Kind::kAppend:
+          pending[r.writer].push_back(i);
+          break;
+        case WalRecord::Kind::kCommit:
+        case WalRecord::Kind::kRollback:
+          pending[r.writer].clear();
+          payload_at.erase(r.writer);
+          break;
+        case WalRecord::Kind::kTxPayload:
+          payload_at[r.writer] = i;
+          break;
+        case WalRecord::Kind::kCrash:
+          pending.clear();
+          payload_at.clear();
+          break;
+      }
+    }
+    std::set<size_t> carry;
+    for (const auto& [writer, indices] : pending) {
+      if (!suffix_writers.contains(writer)) continue;
+      carry.insert(indices.begin(), indices.end());
+    }
+    for (const auto& [writer, index] : payload_at) {
+      if (suffix_writers.contains(writer)) carry.insert(index);
+    }
+    for (size_t index : carry) tentative.push_back(scan.records[index]);
+    for (size_t i = image; i < scan.records.size(); ++i) {
+      tentative.push_back(scan.records[i]);
+    }
+  }
+
+  // Stage 2 — dead-record elimination. A suffix kCommit needs its writer's
+  // carried appends/payload; but appends killed by a rollback or crash
+  // marker within the carried sequence are dead forever, and once they are
+  // dropped the kRollback/kCrash records fence nothing and drop too (this
+  // is what keeps a post-crash compaction at zero records instead of
+  // carrying `pending appends + the crash marker that kills them`).
+  std::vector<bool> keep(tentative.size(), true);
+  {
+    std::map<int, std::vector<size_t>> pending;
+    std::map<int, size_t> payload_at;
+    for (size_t i = 0; i < tentative.size(); ++i) {
+      const WalRecord& r = tentative[i];
+      switch (r.kind) {
+        case WalRecord::Kind::kAppend:
+          pending[r.writer].push_back(i);
+          break;
+        case WalRecord::Kind::kCommit:
+          // Commits always stay: their effect is not in the checkpoint.
+          pending[r.writer].clear();
+          payload_at.erase(r.writer);
+          break;
+        case WalRecord::Kind::kRollback: {
+          for (size_t idx : pending[r.writer]) keep[idx] = false;
+          pending[r.writer].clear();
+          auto it = payload_at.find(r.writer);
+          if (it != payload_at.end()) {
+            keep[it->second] = false;
+            payload_at.erase(it);
+          }
+          keep[i] = false;
+          break;
+        }
+        case WalRecord::Kind::kTxPayload: {
+          auto it = payload_at.find(r.writer);
+          if (it != payload_at.end()) keep[it->second] = false;  // Superseded.
+          payload_at[r.writer] = i;
+          break;
+        }
+        case WalRecord::Kind::kCrash: {
+          for (auto& [writer, indices] : pending) {
+            for (size_t idx : indices) keep[idx] = false;
+            indices.clear();
+          }
+          for (auto& [writer, index] : payload_at) keep[index] = false;
+          payload_at.clear();
+          keep[i] = false;
+          break;
+        }
+      }
+    }
+  }
+  int64_t carried = 0;
+  for (size_t i = 0; i < tentative.size(); ++i) {
+    if (!keep[i]) continue;
+    wal_format::AppendRecordFrame(tentative[i], &frames);
+    ++carried;
+  }
+
   // The recovered state is the new durable truth; a crash-recovery compaction
   // also stands in for the medium swap a restart performs.
   media_failed_ = false;
-  ResetSegmentsLocked(std::move(frames), /*record_count=*/0);
+  ResetSegmentsLocked(std::move(frames), carried);
   return reclaimed;
 }
 

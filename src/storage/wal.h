@@ -1,11 +1,14 @@
 #ifndef NONSERIAL_STORAGE_WAL_H_
 #define NONSERIAL_STORAGE_WAL_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -15,6 +18,7 @@
 
 namespace nonserial {
 
+class TraceSink;
 class VersionStore;
 
 /// One redo-log record. The log is logical-redo: it captures version
@@ -101,6 +105,17 @@ struct RecoveryResult {
   int64_t replayed_appends = 0;
   int64_t discarded_appends = 0;  ///< In-flight at the crash point.
 
+  /// Record frames decodable in the image this pass scanned (before any
+  /// prefix_records truncation). CompactTo uses it as the consistent-view
+  /// boundary: records appended after this point were not part of the
+  /// recovered state and must be carried forward, not compacted away.
+  int64_t image_records = 0;
+  /// Records actually consumed by the replay (= image_records unless
+  /// prefix_records cut the log shorter). Records between this and
+  /// image_records were deliberately dropped by the crash-point simulation
+  /// and stay dropped on compaction.
+  int64_t replayed_records = 0;
+
   /// Not-ok iff mid-log corruption was found and best_effort was off. The
   /// store/committed fields then still hold the salvageable prefix so the
   /// caller can inspect what a best-effort pass would return.
@@ -132,6 +147,47 @@ struct WalStats {
   int64_t lost_segments = 0;
   int64_t dropped_records = 0;  ///< Appends swallowed by a failed medium.
   bool media_failed = false;    ///< Sticky write failure until restart.
+  // Commit-path pipeline (see EnableGroupCommit / set_flush_us).
+  int64_t device_flushes = 0;           ///< Simulated device-flush ops paid:
+                                        ///< one per commit (sync) or one per
+                                        ///< batch (group commit).
+  int64_t group_commit_batches = 0;     ///< Batches flushed by the writer.
+  int64_t group_commit_frames = 0;      ///< Frames flushed via batches.
+  int64_t group_commit_commits = 0;     ///< Commit records flushed via
+                                        ///< batches (acks resolved).
+  int64_t group_commit_stalls = 0;      ///< Commit acks that had to block
+                                        ///< on a flush epoch.
+  int64_t group_commit_failed_acks = 0; ///< Acks failed: media fault in the
+                                        ///< batch or a crash discarded it.
+  int64_t group_staged_dropped = 0;     ///< Staged frames lost to a crash
+                                        ///< restart (volatile buffer).
+};
+
+/// Durability acknowledgment for one commit record. Obtained from
+/// LogCommit (via VersionStore::CommitWriter); redeem it with
+/// WriteAheadLog::WaitDurable *after* releasing any engine-level lock, so
+/// concurrent committers can share one batch flush. A default-constructed
+/// handle is resolved-ok (no WAL / no durability to wait for).
+class WalCommitHandle {
+ public:
+  WalCommitHandle() = default;
+  explicit operator bool() const { return state_ != nullptr; }
+
+ private:
+  friend class WriteAheadLog;
+  struct AckState {
+    bool done = false;
+    bool ok = false;
+  };
+  std::shared_ptr<AckState> state_;
+};
+
+/// Knobs for the pipelined group-commit writer (EnableGroupCommit).
+struct GroupCommitOptions {
+  /// Upper bound on frames drained into one batch; a deeper backlog rolls
+  /// into the next batch (which begins flushing immediately — the
+  /// pipeline, not the cap, bounds latency).
+  size_t max_batch_frames = 256;
 };
 
 /// Write-ahead redo log for VersionStore. The store logs every Append /
@@ -157,6 +213,21 @@ struct WalStats {
 /// A sticky failure swallows every later append until LogCrashMarker()
 /// (the restart point) repairs the tail and replaces the medium.
 ///
+/// Commit durability has two modes. In the default sync mode every
+/// LogCommit writes its frame and pays one simulated device flush
+/// (set_flush_us) inline, under the log mutex — the single-global-lock
+/// baseline. EnableGroupCommit starts a dedicated writer thread: loggers
+/// stage frames into a volatile buffer and LogCommit returns a
+/// WalCommitHandle immediately; the writer drains the staging buffer in
+/// FIFO batches, appends each batch to the durable image as one write,
+/// pays ONE device flush for the whole batch, and then resolves every
+/// commit ack staged in it. Batch N+1 stages while batch N flushes (the
+/// pipeline). Acks are all-or-nothing per batch: a media fault anywhere
+/// in a batch fails every commit ack in it, and a crash (LogCrashMarker)
+/// discards the volatile staging buffer, failing its acks — frames that
+/// reached the medium but were never acked are the standard crash
+/// ambiguity and recovery treats them like any other durable record.
+///
 /// Recover() scans the image defensively: a torn or bad-CRC tail is
 /// truncated and recovery proceeds from the last valid record (normal
 /// crash semantics); mid-log corruption — a bad frame or lost segment with
@@ -177,6 +248,8 @@ class WriteAheadLog {
                          size_t segment_bytes = kDefaultSegmentBytes)
       : initial_(std::move(initial)), segment_bytes_(segment_bytes) {}
 
+  ~WriteAheadLog();
+
   /// Rebuilds a log object from a serialized image (crash-image fuzzing:
   /// any byte-prefix or corruption of an image is a legal input; Recover()
   /// classifies the damage). The image is split on segment headers.
@@ -185,7 +258,12 @@ class WriteAheadLog {
       size_t segment_bytes = kDefaultSegmentBytes);
 
   void LogAppend(EntityId entity, Value value, int writer);
-  void LogCommit(int writer);
+  /// Logs the writer's commit record. The returned handle resolves when
+  /// the record is durable: immediately in sync mode (the flush is paid
+  /// inline), or at the staging batch's flush epoch under group commit.
+  /// Callers that need durability must WaitDurable(handle) — after
+  /// dropping any engine lock, so other committers can join the batch.
+  WalCommitHandle LogCommit(int writer);
   void LogRollback(int writer);
   void LogTxPayload(int writer, std::string name, ValueVector input_state,
                     std::vector<int> feeders,
@@ -197,6 +275,37 @@ class WriteAheadLog {
   /// cleared and a torn tail is physically truncated before the marker is
   /// written (real recovery repairs the tail before resuming logging).
   void LogCrashMarker();
+
+  /// Blocks until `handle`'s commit record is durable. Returns false if
+  /// the ack failed (media fault in its batch, or a crash discarded the
+  /// staged frame). A null handle returns true.
+  bool WaitDurable(const WalCommitHandle& handle) const;
+
+  /// Starts the pipelined group-commit writer thread. Idempotent; safe to
+  /// call before workers start logging.
+  void EnableGroupCommit(const GroupCommitOptions& options = {});
+  /// Flushes outstanding staged frames and stops the writer thread;
+  /// subsequent commits are sync again. Idempotent.
+  void DisableGroupCommit();
+  /// Blocks until every frame staged before the call is flushed (or
+  /// failed). No-op in sync mode.
+  void Flush();
+  bool group_commit_enabled() const;
+
+  /// Simulated device-flush latency charged per durable commit: once per
+  /// commit record in sync mode, once per batch under group commit. The
+  /// busy-wait models a storage barrier; 0 (default) disables it.
+  void set_flush_us(int64_t us);
+
+  /// Attaches a trace sink; the writer emits a kWalBatchFlush event per
+  /// batch (frames, commits, stall count, flush epoch). Pass nullptr to
+  /// detach. The sink must outlive the log or the next SetObserver call.
+  void SetObserver(TraceSink* sink);
+
+  /// Test seam: while held, the writer thread stages batches but parks
+  /// before flushing them — a crash now lands between batch-stage and
+  /// batch-flush. Releasing resumes normal flushing.
+  void HoldFlushesForTest(bool hold);
 
   /// Record count since the last checkpoint. O(1).
   size_t size() const;
@@ -251,15 +360,46 @@ class WriteAheadLog {
     bool lost = false;
   };
 
+  /// One frame parked in the volatile staging buffer awaiting its batch.
+  struct StagedFrame {
+    std::string bytes;
+    bool is_record = false;
+    /// Set on commit frames: the ack the batch flush resolves.
+    std::shared_ptr<WalCommitHandle::AckState> ack;
+  };
+
   void AppendRecordLocked(const WalRecord& record);
   /// Appends `frame` bytes to the active segment, sealing and rolling over
   /// as needed. Returns false if the medium swallowed the write.
   bool AppendFrameLocked(const std::string& frame, bool is_record);
+  /// Batch variant: one media write for a chunk of concatenated frames
+  /// (`record_ends` marks the offset past each record frame, so a torn
+  /// write can count which frames landed whole). Returns false on a media
+  /// fault — the caller fails the whole batch's acks.
+  bool AppendChunkLocked(const std::string& chunk,
+                         const std::vector<size_t>& record_ends);
   void SealActiveSegmentLocked();
   /// Drops a torn/corrupt tail region that has no valid frames after it.
   void RepairTailLocked();
   /// Replaces all segments with one fresh segment holding `frames`.
   void ResetSegmentsLocked(std::string frames, int64_t record_count);
+  /// Busy-waits flush_us_ (the simulated storage barrier) and counts it.
+  void DeviceFlushLocked();
+  /// Routes an encoded frame to the staging buffer (group mode) or the
+  /// durable image (sync mode). Returns the ack for commit frames.
+  std::shared_ptr<WalCommitHandle::AckState> SubmitFrame(std::string frame,
+                                                         bool is_record,
+                                                         bool is_commit);
+  /// Dedicated writer: drains staging_ in FIFO batches and flushes each.
+  void WriterLoop();
+  /// Appends one batch to the image under mu_, pays one device flush, and
+  /// resolves (or fails, all-or-nothing) every ack in it.
+  void FlushBatch(std::vector<StagedFrame> batch);
+  /// Resolves `acks` with `ok` and publishes flushed_seq_ += n.
+  void RetireFrames(size_t n,
+                    std::vector<std::shared_ptr<WalCommitHandle::AckState>> acks,
+                    bool ok);
+  void StopWriterThread();
 
   mutable std::mutex mu_;
   std::vector<Segment> segments_;
@@ -268,6 +408,25 @@ class WriteAheadLog {
   uint64_t next_segment_seq_ = 0;
   bool media_failed_ = false;
   WalStats stats_;
+
+  // --- group-commit pipeline ---------------------------------------------
+  // Lock order: stage_mu_ before mu_ (only LogCrashMarker holds both; the
+  // writer thread takes them strictly one at a time).
+  mutable std::mutex stage_mu_;
+  std::condition_variable stage_cv_;          ///< Wakes the writer thread.
+  mutable std::condition_variable retire_cv_; ///< Wakes ack/Flush waiters.
+  std::vector<StagedFrame> staging_;
+  GroupCommitOptions group_options_;
+  bool group_enabled_ = false;
+  bool writer_stop_ = false;
+  bool writer_busy_ = false;  ///< A batch is out of staging_, not yet retired.
+  bool flush_hold_ = false;   ///< HoldFlushesForTest: park before flushing.
+  uint64_t staged_seq_ = 0;   ///< Frames ever staged.
+  uint64_t retired_seq_ = 0;  ///< Frames ever flushed or failed.
+  std::thread writer_;
+  std::atomic<int64_t> flush_us_{0};
+  std::atomic<TraceSink*> observer_{nullptr};
+  mutable std::atomic<int64_t> ack_stalls_{0};  ///< WaitDurable blocks seen.
 };
 
 }  // namespace nonserial

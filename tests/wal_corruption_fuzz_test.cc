@@ -48,9 +48,12 @@ SimWorkload TinyWorkload(uint64_t seed) {
 }
 
 /// Runs `workload` to completion with `wal` attached; the log afterwards
-/// holds the full durable history.
-void RunLogged(const SimWorkload& workload, WriteAheadLog* wal,
-               uint64_t seed) {
+/// holds the full durable history. With `group_commit` the workers stage
+/// frames through the pipelined writer, so the image is built from batched
+/// chunk writes instead of per-record appends — recovery must not be able
+/// to tell the difference.
+void RunLogged(const SimWorkload& workload, WriteAheadLog* wal, uint64_t seed,
+               bool group_commit = false) {
   ParallelDriverConfig config;
   config.num_threads = 2;
   config.us_per_tick = 0;
@@ -59,6 +62,7 @@ void RunLogged(const SimWorkload& workload, WriteAheadLog* wal,
   config.poll_us = 50;
   config.max_wall_ms = 20'000;
   config.wal = wal;
+  config.wal_group_commit = group_commit;
   ParallelDriver driver(config);
   ParallelRunResult result = driver.Run(workload);
   ASSERT_FALSE(result.watchdog_expired)
@@ -161,7 +165,9 @@ TEST(WalCorruptionFuzzTest, DamagedImagesRecoverTheVerifiablePrefix) {
     SimWorkload workload = TinyWorkload(seed);
     Predicate constraint = WorkloadConstraint(workload);
     WriteAheadLog wal(workload.initial, kSegmentBytes);
-    RunLogged(workload, &wal, seed);
+    // Every third seed builds the image through the group-commit pipeline,
+    // so faults also land on chunk-written (batched) logs.
+    RunLogged(workload, &wal, seed, /*group_commit=*/seed % 3 == 0);
     if (::testing::Test::HasFatalFailure()) return;
     // Every fifth seed checkpoints first, so faults also land on images
     // whose first frame is a checkpoint.
@@ -221,14 +227,18 @@ TEST(WalCorruptionFuzzTest, EveryBytePrefixMatchesRecordPrefixRecovery) {
   // PR 2 established record-granularity prefix recovery; the framed format
   // must refine it: every BYTE prefix of a clean image either recovers the
   // same state as the record prefix it fully contains (a clean torn-tail
-  // truncation of the partial record), never reporting corruption.
-  for (uint64_t seed : {3001ull, 3002ull, 3003ull}) {
+  // truncation of the partial record), never reporting corruption. Seeds
+  // 31xx build their image under group commit: a batch is one chunk write,
+  // but a byte prefix can still end anywhere inside it, so the same
+  // invariant must hold over batched logs (a torn batch truncates to the
+  // records that fully fit — possibly the whole batch).
+  for (uint64_t seed : {3001ull, 3002ull, 3003ull, 3101ull, 3102ull, 3103ull}) {
     if (!fuzz::ShouldRunSeed(seed)) continue;
     SCOPED_TRACE("seed " + std::to_string(seed) + "; " +
                  fuzz::ReproduceHint(seed));
     SimWorkload workload = TinyWorkload(seed);
     WriteAheadLog wal(workload.initial, kSegmentBytes);
-    RunLogged(workload, &wal, seed);
+    RunLogged(workload, &wal, seed, /*group_commit=*/seed >= 3100);
     if (::testing::Test::HasFatalFailure()) return;
     std::string image = wal.SerializedImage();
     std::vector<size_t> record_ends = wal_format::RecordEndOffsets(image);

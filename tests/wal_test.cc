@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/failpoint.h"
@@ -420,6 +422,228 @@ TEST(WalTest, CheckpointRefusesToLaunderADamagedImage) {
   EXPECT_FALSE(cp.ok());
   // The damage is still visible to recovery (nothing was compacted away).
   EXPECT_TRUE(wal.Recover().corruption_detected);
+}
+
+TEST(WalTest, GroupCommitFlushesBatchesAndAcksCommits) {
+  WriteAheadLog wal({0, 0, 0});
+  VersionStore store(wal.initial());
+  store.SetWal(&wal);
+  wal.EnableGroupCommit();
+  ASSERT_TRUE(wal.group_commit_enabled());
+
+  store.Append(0, 10, /*writer=*/0);
+  store.Append(1, 11, /*writer=*/0);
+  wal.LogTxPayload(0, "t0", {0, 0, 0}, {}, {{0, 10}, {1, 11}});
+  WalCommitHandle h0 = store.CommitWriter(0);
+  EXPECT_TRUE(wal.WaitDurable(h0));
+  store.Append(2, 12, /*writer=*/1);
+  wal.LogTxPayload(1, "t1", {10, 11, 0}, {0}, {{2, 12}});
+  WalCommitHandle h1 = store.CommitWriter(1);
+  EXPECT_TRUE(wal.WaitDurable(h1));
+  wal.Flush();
+
+  WalStats stats = wal.stats();
+  EXPECT_GE(stats.group_commit_batches, 1);
+  EXPECT_EQ(stats.group_commit_frames, 7);  // 3 appends + 2 payloads + 2 commits.
+  EXPECT_EQ(stats.group_commit_commits, 2);
+  EXPECT_EQ(stats.group_commit_failed_acks, 0);
+  // One flush per batch, never per commit.
+  EXPECT_LE(stats.device_flushes, stats.group_commit_batches);
+
+  // The durable image is indistinguishable from a sync-mode log: same
+  // records, same recovery.
+  RecoveryResult rec = wal.Recover();
+  ASSERT_TRUE(rec.status.ok());
+  ASSERT_EQ(rec.committed.size(), 2u);
+  EXPECT_EQ(rec.committed[0].tx, 0);
+  EXPECT_EQ(rec.committed[1].tx, 1);
+  EXPECT_EQ(rec.store->LatestCommittedSnapshot(), (ValueVector{10, 11, 12}));
+
+  wal.DisableGroupCommit();
+  EXPECT_FALSE(wal.group_commit_enabled());
+}
+
+TEST(WalTest, GroupCommitDefaultHandleIsResolvedOk) {
+  WriteAheadLog wal({0});
+  WalCommitHandle null_handle;
+  EXPECT_FALSE(static_cast<bool>(null_handle));
+  EXPECT_TRUE(wal.WaitDurable(null_handle));
+}
+
+// Satellite audit: torn-tail truncation must never salvage a writer's
+// kCommit while dropping one of its earlier kAppend frames. FIFO staging
+// plus prefix-only truncation make the bad state unrepresentable; this
+// pins the invariant over batched writes across many torn-prefix draws.
+TEST(WalTest, TornBatchNeverSalvagesACommitWithoutItsAppends) {
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    FailpointRegistry::Global().Seed(seed);
+    WriteAheadLog wal({0, 0});
+    VersionStore store(wal.initial());
+    store.SetWal(&wal);
+    wal.EnableGroupCommit();
+    wal.HoldFlushesForTest(true);
+    // Writer 0's whole life (2 appends + payload + commit) lands in ONE
+    // batch, so the torn write cuts inside the batch at a random byte.
+    store.Append(0, 1, /*writer=*/0);
+    store.Append(1, 2, /*writer=*/0);
+    wal.LogTxPayload(0, "a", {0, 0}, {}, {{0, 1}, {1, 2}});
+    WalCommitHandle h = store.CommitWriter(0);
+    // A second writer's in-flight append trails the commit in the same
+    // batch, so torn prefixes exist that keep the commit whole.
+    store.Append(0, 9, /*writer=*/1);
+    ScopedFailpoint fp("wal.torn_tail", FailpointSpec{1.0, 0, 1});
+    wal.HoldFlushesForTest(false);
+    bool acked = wal.WaitDurable(h);
+    wal.Flush();
+    EXPECT_FALSE(acked) << "torn batch must fail its acks (seed " << seed
+                        << ")";
+    EXPECT_TRUE(wal.stats().media_failed);
+
+    RecoveryResult rec = wal.Recover();
+    ASSERT_TRUE(rec.status.ok()) << rec.status.ToString();
+    EXPECT_FALSE(rec.corruption_detected) << "seed " << seed;
+    ValueVector snapshot = rec.store->LatestCommittedSnapshot();
+    if (rec.committed.empty()) {
+      EXPECT_EQ(snapshot, (ValueVector{0, 0})) << "seed " << seed;
+    } else {
+      // The commit survived the torn prefix: every one of the writer's
+      // appends preceded it in the batch, so its effects are complete.
+      ASSERT_EQ(rec.committed.size(), 1u);
+      EXPECT_EQ(rec.committed[0].tx, 0);
+      EXPECT_EQ(snapshot, (ValueVector{1, 2})) << "seed " << seed;
+    }
+  }
+}
+
+// Satellite bugfix: a media fault anywhere in a batch fails EVERY commit
+// ack in it — no partial-batch success — and the sticky failed medium
+// still clears on crash restart.
+TEST(WalTest, WriteErrorMidBatchFailsEveryAckInTheBatch) {
+  FailpointRegistry::Global().Seed(23);
+  WriteAheadLog wal({0, 0});
+  wal.EnableGroupCommit();
+  wal.HoldFlushesForTest(true);
+  // Two independent committers share the staged batch.
+  wal.LogAppend(0, 1, /*writer=*/0);
+  wal.LogTxPayload(0, "a", {0, 0}, {}, {{0, 1}});
+  WalCommitHandle ha = wal.LogCommit(0);
+  wal.LogAppend(1, 2, /*writer=*/1);
+  wal.LogTxPayload(1, "b", {0, 0}, {}, {{1, 2}});
+  WalCommitHandle hb = wal.LogCommit(1);
+  {
+    ScopedFailpoint fp("wal.write_error", FailpointSpec{1.0, 0, 1});
+    wal.HoldFlushesForTest(false);
+    EXPECT_FALSE(wal.WaitDurable(ha));
+    EXPECT_FALSE(wal.WaitDurable(hb));
+    wal.Flush();
+  }
+  WalStats stats = wal.stats();
+  EXPECT_TRUE(stats.media_failed);
+  EXPECT_EQ(stats.group_commit_failed_acks, 2);
+  EXPECT_EQ(wal.size(), 0u);  // Nothing reached the medium.
+
+  // Crash restart replaces the medium; the pipeline resumes cleanly.
+  wal.LogCrashMarker();
+  EXPECT_FALSE(wal.stats().media_failed);
+  wal.LogAppend(0, 3, /*writer=*/2);
+  wal.LogTxPayload(2, "c", {0, 0}, {}, {{0, 3}});
+  EXPECT_TRUE(wal.WaitDurable(wal.LogCommit(2)));
+  RecoveryResult rec = wal.Recover();
+  ASSERT_EQ(rec.committed.size(), 1u);
+  EXPECT_EQ(rec.committed[0].tx, 2);
+  wal.DisableGroupCommit();
+}
+
+TEST(WalTest, CrashDiscardsStagedFramesAndFailsTheirAcks) {
+  WriteAheadLog wal({0});
+  wal.EnableGroupCommit();
+  wal.HoldFlushesForTest(true);
+  wal.LogAppend(0, 1, /*writer=*/0);
+  wal.LogTxPayload(0, "a", {0}, {}, {{0, 1}});
+  WalCommitHandle h = wal.LogCommit(0);
+  // The crash lands between batch-stage and batch-flush: the staging
+  // buffer is volatile, so the frames are gone and the ack fails.
+  wal.LogCrashMarker();
+  EXPECT_FALSE(wal.WaitDurable(h));
+  WalStats stats = wal.stats();
+  EXPECT_EQ(stats.group_staged_dropped, 3);
+  EXPECT_EQ(stats.group_commit_failed_acks, 1);
+  RecoveryResult rec = wal.Recover();
+  EXPECT_TRUE(rec.committed.empty());
+  EXPECT_EQ(rec.store->LatestCommittedSnapshot(), (ValueVector{0}));
+  // The pipeline survives the restart: release the hold and new commits
+  // flush normally.
+  wal.HoldFlushesForTest(false);
+  wal.LogAppend(0, 2, /*writer=*/1);
+  wal.LogTxPayload(1, "b", {0}, {}, {{0, 2}});
+  EXPECT_TRUE(wal.WaitDurable(wal.LogCommit(1)));
+  wal.DisableGroupCommit();
+}
+
+// Satellite bugfix: Checkpoint() must capture one consistent view — a
+// commit racing the checkpoint is either fully inside the checkpoint
+// image or fully carried forward, never compacted away.
+TEST(WalTest, CheckpointRacingCommittersLosesNoAckedCommit) {
+  for (bool group : {false, true}) {
+    WriteAheadLog wal({0});
+    if (group) wal.EnableGroupCommit();
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 25;
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&wal, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          int w = t * kPerThread + i;
+          wal.LogAppend(0, w + 1, w);
+          wal.LogTxPayload(w, "t" + std::to_string(w), {0}, {}, {{0, w + 1}});
+          EXPECT_TRUE(wal.WaitDurable(wal.LogCommit(w)));
+        }
+      });
+    }
+    std::thread checkpointer([&wal] {
+      for (int i = 0; i < 50; ++i) {
+        EXPECT_TRUE(wal.Checkpoint().ok());
+        std::this_thread::yield();
+      }
+    });
+    for (std::thread& w : workers) w.join();
+    checkpointer.join();
+    if (group) {
+      wal.Flush();
+      wal.DisableGroupCommit();
+    }
+    RecoveryResult rec = wal.Recover();
+    ASSERT_TRUE(rec.status.ok()) << rec.status.ToString();
+    ASSERT_EQ(rec.committed.size(),
+              static_cast<size_t>(kThreads * kPerThread))
+        << (group ? "group" : "sync");
+    std::vector<bool> seen(kThreads * kPerThread, false);
+    for (const RecoveredTx& tx : rec.committed) {
+      ASSERT_GE(tx.tx, 0);
+      ASSERT_LT(tx.tx, kThreads * kPerThread);
+      EXPECT_FALSE(seen[tx.tx]);
+      seen[tx.tx] = true;
+    }
+  }
+}
+
+// Satellite bugfix: a commit that lands between the recovery scan and
+// CompactTo is part of the post-scan suffix and must survive compaction.
+TEST(WalTest, CompactToKeepsCommitsThatLandedAfterTheRecoveryScan) {
+  LoggedStore s;
+  RecoveryResult rec = s.wal.Recover();
+  ASSERT_EQ(rec.committed.size(), 1u);
+  // Writer 1 (in flight at the scan) commits before the compaction runs.
+  s.wal.LogTxPayload(1, "t1", {10, 11, 0}, {0}, {{0, 20}});
+  s.store.CommitWriter(1);
+  s.wal.CompactTo(rec);
+  RecoveryResult after = s.wal.Recover();
+  ASSERT_TRUE(after.status.ok());
+  ASSERT_EQ(after.committed.size(), 2u);
+  EXPECT_EQ(after.committed[0].tx, 0);
+  EXPECT_EQ(after.committed[1].tx, 1);
+  EXPECT_EQ(after.store->LatestCommittedSnapshot(), (ValueVector{20, 11, 0}));
 }
 
 TEST(WalTest, DetachedStoreDoesNotLog) {
