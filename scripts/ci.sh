@@ -67,6 +67,29 @@ echo "== report artifact: REPORT_recovery.json (corruption-recovery leg) =="
 python3 -m json.tool REPORT_recovery.json > /dev/null
 cat REPORT_recovery.json
 
+echo "== hot-path gate: BENCH_eval_hotpath.json (flat path >= 3x seed) =="
+# bench_eval_hotpath exits non-zero unless the cache-native pipeline (flat
+# version slabs -> columnar candidates -> striped batch eval) beats an
+# inline reimplementation of the seed pipeline by >= 3x on the miss path
+# with bit-identical verdicts. As with the durability gate, the published
+# artifact is re-checked here so a report regression fails CI even if the
+# bench's own gate is edited.
+./build/bench/bench_eval_hotpath --json > BENCH_eval_hotpath.json
+python3 - <<'EOF'
+import json
+report = json.load(open("BENCH_eval_hotpath.json"))
+rows = {r.get("name"): r for r in report["results"]}
+row = rows["eval_hotpath_miss"]
+assert row["agreement"] is True, "seed/flat truth bits diverged"
+assert row["speedup"] >= 3.0, f"hot-path speedup {row['speedup']:.2f}x < 3x"
+assert row["evaluations"] > 0, "no conjunct evaluations recorded"
+print(f"hot-path gate ok: {row['speedup']:.2f}x "
+      f"({row['seed_ns_per_conjunct']:.1f} -> "
+      f"{row['flat_ns_per_conjunct']:.1f} ns/conjunct over "
+      f"{row['evaluations']} evaluations)")
+EOF
+cat BENCH_eval_hotpath.json
+
 echo "== json gate: every bench must emit one valid --json document =="
 # The quick benches run in full; the expensive sweeps are already covered
 # by the parallel report above, so this gate sticks to the cheap ones plus

@@ -1,7 +1,7 @@
 #include "model/state.h"
 
-#include <algorithm>
 #include <sstream>
+#include <unordered_set>
 
 #include "common/logging.h"
 
@@ -14,8 +14,10 @@ void DatabaseState::Add(UniqueState state) {
 
 std::vector<Value> DatabaseState::CandidateValues(EntityId e) const {
   std::vector<Value> out;
+  std::unordered_set<Value> seen;
+  seen.reserve(states_.size());
   for (const UniqueState& s : states_) {
-    if (std::find(out.begin(), out.end(), s[e]) == out.end()) {
+    if (seen.insert(s[e]).second) {
       out.push_back(s[e]);
     }
   }
@@ -29,6 +31,22 @@ std::vector<std::vector<Value>> DatabaseState::AllCandidateValues() const {
     out.push_back(CandidateValues(e));
   }
   return out;
+}
+
+CandidateBuffer DatabaseState::ColumnarCandidates() const {
+  CandidateBuffer buffer;
+  std::unordered_set<Value> seen;
+  seen.reserve(states_.size());
+  for (EntityId e = 0; e < num_entities_; ++e) {
+    seen.clear();
+    for (const UniqueState& s : states_) {
+      if (seen.insert(s[e]).second) {
+        buffer.Push(s[e]);
+      }
+    }
+    buffer.FinishEntity();
+  }
+  return buffer;
 }
 
 bool DatabaseState::IsVersionState(const ValueVector& assignment) const {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "model/entity.h"
+#include "predicate/candidate_buffer.h"
 #include "predicate/value.h"
 
 namespace nonserial {
@@ -35,11 +36,19 @@ class DatabaseState {
   const std::vector<UniqueState>& states() const { return states_; }
 
   /// Distinct values available for entity `e` across all unique states,
-  /// in first-seen order.
+  /// in first-seen order. Single pass over the states (hash-set dedup) —
+  /// O(states), not the O(states²) scan-the-output dedup it replaces.
   std::vector<Value> CandidateValues(EntityId e) const;
 
-  /// Per-entity candidate lists for all entities (the search input).
+  /// Per-entity candidate lists for all entities (the legacy search
+  /// input shape; prefer ColumnarCandidates on hot paths).
   std::vector<std::vector<Value>> AllCandidateValues() const;
+
+  /// Per-entity candidates as one flat columnar arena — the assignment
+  /// search's native input (a single allocation instead of one vector per
+  /// entity). Candidate order per entity is first-seen order, identical to
+  /// CandidateValues.
+  CandidateBuffer ColumnarCandidates() const;
 
   /// True iff `assignment` is a member of the version state V_S: each value
   /// is drawn from some unique state in S.

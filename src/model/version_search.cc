@@ -11,7 +11,7 @@ StatusOr<VersionAssignment> AssignVersions(const DatabaseState& db,
   if (db.empty()) {
     return Status::FailedPrecondition("database state is empty");
   }
-  std::vector<std::vector<Value>> candidates = db.AllCandidateValues();
+  CandidateBuffer candidates = db.ColumnarCandidates();
   std::optional<std::vector<int>> choices =
       FindSatisfyingAssignment(input, candidates, mode, stats);
   if (!choices.has_value()) {
@@ -22,7 +22,7 @@ StatusOr<VersionAssignment> AssignVersions(const DatabaseState& db,
   out.choices = std::move(*choices);
   out.values.resize(db.num_entities());
   for (EntityId e = 0; e < db.num_entities(); ++e) {
-    out.values[e] = candidates[e][out.choices[e]];
+    out.values[e] = candidates.view(e)[out.choices[e]];
   }
   NONSERIAL_CHECK(db.IsVersionState(out.values));
   NONSERIAL_CHECK(input.Eval(out.values));

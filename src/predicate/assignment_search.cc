@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "predicate/batch_eval.h"
 
 namespace nonserial {
 namespace {
@@ -11,71 +12,72 @@ namespace {
 /// mentions ("constrained" entities); all others keep candidate 0.
 struct SearchContext {
   const Predicate* predicate;
-  const std::vector<std::vector<Value>>* candidates;
+  const std::vector<CandidateView>* candidates;
   SearchStats* stats;
   const CachedPredicate* cached = nullptr;  // Optional conjunct memoization.
 
   std::vector<EntityId> constrained;        // Search variable order.
-  std::vector<int> position_of;             // entity -> index in constrained.
   std::vector<int> choice;                  // entity -> candidate index.
   std::vector<bool> assigned;               // entity -> assigned?
   ValueVector values;                       // entity -> current value.
   // clauses_of[e]: indices of clauses mentioning entity e.
   std::vector<std::vector<int>> clauses_of;
-  // clause_entities[c]: entities mentioned by clause c (for detecting fully
-  // assigned clauses, which the eval cache can memoize).
+  // clause_entities[c]: entities mentioned by clause c (ascending), for
+  // detecting clauses decided by the entity being assigned.
   std::vector<std::vector<EntityId>> clause_entities;
-
-  bool AtomDefinitelyFalse(const Atom& atom) const {
-    if (atom.lhs.is_entity && !assigned[atom.lhs.entity]) return false;
-    if (atom.rhs.is_entity && !assigned[atom.rhs.entity]) return false;
-    return !atom.Eval(values);
-  }
-
-  /// True iff the clause can still be satisfied given the partial
-  /// assignment (some atom true or undetermined). Fully assigned clauses
-  /// route through the eval cache when one is attached: their value is a
-  /// pure function of the clause and the assigned entity values, which is
-  /// exactly what the cache keys on.
-  bool ClauseViable(int clause_index) {
-    ++stats->evaluations;
-    const Clause& clause = predicate->clauses()[clause_index];
-    if (cached != nullptr) {
-      bool all_assigned = true;
-      for (EntityId e : clause_entities[clause_index]) {
-        if (!assigned[e]) {
-          all_assigned = false;
-          break;
-        }
-      }
-      if (all_assigned) {
-        return cached->EvalClause(*predicate, clause_index, values);
-      }
-    }
-    for (const Atom& atom : clause.atoms()) {
-      if (!AtomDefinitelyFalse(atom)) return true;
-    }
-    return false;
-  }
+  // Per-depth scratch for the batched pruning masks (sized once, reused
+  // across the whole search — no per-node allocation).
+  std::vector<std::vector<uint8_t>> depth_mask;
+  std::vector<std::vector<uint8_t>> depth_scratch;
 };
 
+/// Batched pruning at one node of the search tree: every clause over
+/// `entity` whose OTHER entities are already assigned becomes fully
+/// determined the moment `entity` receives a value — so instead of
+/// re-walking its atoms once per candidate, it is evaluated over the whole
+/// contiguous candidate stripe in one pass (auto-vectorized compares; see
+/// predicate/batch_eval.h), through the eval cache when one is attached.
+/// Clauses with an unassigned other entity can never prune here (some atom
+/// is undetermined, so the disjunction stays viable) and are skipped
+/// entirely. The result is a per-candidate viability mask.
 bool PrunedSearch(SearchContext* ctx, size_t depth) {
   ++ctx->stats->nodes_visited;
   if (depth == ctx->constrained.size()) return true;
   EntityId entity = ctx->constrained[depth];
-  const std::vector<Value>& options = (*ctx->candidates)[entity];
-  for (size_t i = 0; i < options.size(); ++i) {
-    ctx->choice[entity] = static_cast<int>(i);
-    ctx->values[entity] = options[i];
-    ctx->assigned[entity] = true;
-    bool viable = true;
-    for (int clause_index : ctx->clauses_of[entity]) {
-      if (!ctx->ClauseViable(clause_index)) {
-        viable = false;
+  const CandidateView& options = (*ctx->candidates)[entity];
+  int32_t n = options.size();
+
+  std::vector<uint8_t>& mask = ctx->depth_mask[depth];
+  std::vector<uint8_t>& scratch = ctx->depth_scratch[depth];
+  mask.assign(n, 1);
+  for (int clause_index : ctx->clauses_of[entity]) {
+    bool decided = true;
+    for (EntityId e : ctx->clause_entities[clause_index]) {
+      if (e != entity && !ctx->assigned[e]) {
+        decided = false;
         break;
       }
     }
-    if (viable && PrunedSearch(ctx, depth + 1)) return true;
+    if (!decided) continue;
+    ctx->stats->evaluations += n;
+    const Clause& clause = ctx->predicate->clauses()[clause_index];
+    if (ctx->cached != nullptr) {
+      ctx->cached->EvalClauseStripe(*ctx->predicate, clause_index,
+                                    ctx->values, entity, options.data, n,
+                                    scratch.data());
+    } else {
+      EvalClauseOverStripe(clause, ctx->values, entity, options.data, n,
+                           scratch.data());
+    }
+    for (int32_t i = 0; i < n; ++i) mask[i] &= scratch[i];
+  }
+
+  ctx->assigned[entity] = true;
+  for (int32_t i = 0; i < n; ++i) {
+    if (!mask[i]) continue;
+    ctx->choice[entity] = i;
+    ctx->values[entity] = options[i];
+    if (PrunedSearch(ctx, depth + 1)) return true;
   }
   ctx->assigned[entity] = false;
   return false;
@@ -91,32 +93,27 @@ bool ExhaustiveSearch(SearchContext* ctx, size_t depth) {
     return ctx->predicate->Eval(ctx->values);
   }
   EntityId entity = ctx->constrained[depth];
-  const std::vector<Value>& options = (*ctx->candidates)[entity];
-  for (size_t i = 0; i < options.size(); ++i) {
-    ctx->choice[entity] = static_cast<int>(i);
+  const CandidateView& options = (*ctx->candidates)[entity];
+  for (int32_t i = 0; i < options.size(); ++i) {
+    ctx->choice[entity] = i;
     ctx->values[entity] = options[i];
     if (ExhaustiveSearch(ctx, depth + 1)) return true;
   }
   return false;
 }
 
-}  // namespace
-
-namespace {
-
 /// Index-style pre-filter: for every unit clause `e θ c`, drop candidates
 /// of `e` that fail the comparison. Returns per-entity surviving candidate
 /// *indices* into the original lists (nullopt when some constrained entity
 /// is left without candidates — the predicate is unsatisfiable).
 std::optional<std::vector<std::vector<int>>> IndexFilter(
-    const Predicate& predicate,
-    const std::vector<std::vector<Value>>& candidates) {
+    const Predicate& predicate, const std::vector<CandidateView>& candidates) {
   int n = static_cast<int>(candidates.size());
   std::vector<std::vector<int>> surviving(n);
   for (int e = 0; e < n; ++e) {
     surviving[e].resize(candidates[e].size());
-    for (size_t i = 0; i < candidates[e].size(); ++i) {
-      surviving[e][i] = static_cast<int>(i);
+    for (int32_t i = 0; i < candidates[e].size(); ++i) {
+      surviving[e][i] = i;
     }
   }
   for (const Clause& clause : predicate.clauses()) {
@@ -152,20 +149,22 @@ std::optional<std::vector<std::vector<int>>> IndexFilter(
 }  // namespace
 
 std::optional<std::vector<int>> FindSatisfyingAssignment(
-    const Predicate& predicate,
-    const std::vector<std::vector<Value>>& candidates, SearchMode mode,
-    SearchStats* stats, const CachedPredicate* cached) {
+    const Predicate& predicate, const std::vector<CandidateView>& candidates,
+    SearchMode mode, SearchStats* stats, const CachedPredicate* cached) {
   if (mode == SearchMode::kIndexed) {
     // Filter candidate lists through the unit-clause "indices", run the
-    // pruned search on the reduced lists, then map choices back.
+    // pruned search on the reduced lists, then map choices back. The
+    // reduced lists are rebuilt contiguous (a CandidateBuffer) so the
+    // batched pruning still sees dense stripes.
     std::optional<std::vector<std::vector<int>>> surviving =
         IndexFilter(predicate, candidates);
     if (!surviving.has_value()) return std::nullopt;
-    std::vector<std::vector<Value>> reduced(candidates.size());
+    CandidateBuffer reduced;
     for (size_t e = 0; e < candidates.size(); ++e) {
       for (int index : (*surviving)[e]) {
-        reduced[e].push_back(candidates[e][index]);
+        reduced.Push(candidates[e][index]);
       }
+      reduced.FinishEntity();
     }
     std::optional<std::vector<int>> choice = FindSatisfyingAssignment(
         predicate, reduced, SearchMode::kPruned, stats, cached);
@@ -205,7 +204,7 @@ std::optional<std::vector<int>> FindSatisfyingAssignment(
   // determinism).
   std::sort(ctx.constrained.begin(), ctx.constrained.end(),
             [&](EntityId a, EntityId b) {
-              size_t ca = candidates[a].size(), cb = candidates[b].size();
+              int32_t ca = candidates[a].size(), cb = candidates[b].size();
               if (ca != cb) return ca < cb;
               return a < b;
             });
@@ -221,6 +220,17 @@ std::optional<std::vector<int>> FindSatisfyingAssignment(
     }
   }
 
+  if (mode == SearchMode::kPruned) {
+    // Per-depth mask buffers, sized to each depth's stripe once up front.
+    ctx.depth_mask.resize(ctx.constrained.size());
+    ctx.depth_scratch.resize(ctx.constrained.size());
+    for (size_t d = 0; d < ctx.constrained.size(); ++d) {
+      size_t width = candidates[ctx.constrained[d]].size();
+      ctx.depth_mask[d].reserve(width);
+      ctx.depth_scratch[d].resize(width);
+    }
+  }
+
   bool found = mode == SearchMode::kPruned ? PrunedSearch(&ctx, 0)
                                            : ExhaustiveSearch(&ctx, 0);
   if (!found) return std::nullopt;
@@ -232,9 +242,23 @@ std::optional<std::vector<int>> FindSatisfyingAssignment(
   return ctx.choice;
 }
 
-std::optional<std::vector<int>> DeltaRevalidate(
+std::optional<std::vector<int>> FindSatisfyingAssignment(
     const Predicate& predicate,
-    const std::vector<std::vector<Value>>& candidates,
+    const std::vector<std::vector<Value>>& candidates, SearchMode mode,
+    SearchStats* stats, const CachedPredicate* cached) {
+  return FindSatisfyingAssignment(predicate, ViewsOfLists(candidates), mode,
+                                  stats, cached);
+}
+
+std::optional<std::vector<int>> FindSatisfyingAssignment(
+    const Predicate& predicate, const CandidateBuffer& candidates,
+    SearchMode mode, SearchStats* stats, const CachedPredicate* cached) {
+  return FindSatisfyingAssignment(predicate, candidates.Views(), mode, stats,
+                                  cached);
+}
+
+std::optional<std::vector<int>> DeltaRevalidate(
+    const Predicate& predicate, const std::vector<CandidateView>& candidates,
     const std::vector<int>& prev_choice, const std::set<EntityId>& changed,
     SearchMode mode, SearchStats* stats, const CachedPredicate* cached,
     DeltaStats* delta_stats) {
@@ -244,20 +268,21 @@ std::optional<std::vector<int>> DeltaRevalidate(
   int num_entities = static_cast<int>(candidates.size());
   bool pins_usable = prev_choice.size() == candidates.size();
   std::vector<bool> pinned;
-  std::vector<std::vector<Value>> reduced;
+  std::vector<CandidateView> reduced;
   if (pins_usable) {
     pinned.assign(num_entities, false);
     reduced.resize(num_entities);
     for (int e = 0; e < num_entities; ++e) {
       int prev = prev_choice[e];
       bool pin = !changed.contains(e) && prev >= 0 &&
-                 prev < static_cast<int>(candidates[e].size());
+                 prev < candidates[e].size();
       if (pin) {
         // Unchanged entity: its candidate list is as it was when
         // prev_choice was found, so the single previously chosen value is
-        // enough — the search space collapses to the changed entities.
+        // enough — a one-element view into the original storage; the
+        // search space collapses to the changed entities with zero copies.
         pinned[e] = true;
-        reduced[e].push_back(candidates[e][prev]);
+        reduced[e] = CandidateView{candidates[e].data + prev, 1};
       } else {
         reduced[e] = candidates[e];
       }
@@ -281,6 +306,25 @@ std::optional<std::vector<int>> DeltaRevalidate(
   // search — pinning only ever narrows the space, never the answer.
   ++delta_stats->delta_fallbacks;
   return FindSatisfyingAssignment(predicate, candidates, mode, stats, cached);
+}
+
+std::optional<std::vector<int>> DeltaRevalidate(
+    const Predicate& predicate,
+    const std::vector<std::vector<Value>>& candidates,
+    const std::vector<int>& prev_choice, const std::set<EntityId>& changed,
+    SearchMode mode, SearchStats* stats, const CachedPredicate* cached,
+    DeltaStats* delta_stats) {
+  return DeltaRevalidate(predicate, ViewsOfLists(candidates), prev_choice,
+                         changed, mode, stats, cached, delta_stats);
+}
+
+std::optional<std::vector<int>> DeltaRevalidate(
+    const Predicate& predicate, const CandidateBuffer& candidates,
+    const std::vector<int>& prev_choice, const std::set<EntityId>& changed,
+    SearchMode mode, SearchStats* stats, const CachedPredicate* cached,
+    DeltaStats* delta_stats) {
+  return DeltaRevalidate(predicate, candidates.Views(), prev_choice, changed,
+                         mode, stats, cached, delta_stats);
 }
 
 }  // namespace nonserial

@@ -1,0 +1,92 @@
+#ifndef NONSERIAL_PREDICATE_BATCH_EVAL_H_
+#define NONSERIAL_PREDICATE_BATCH_EVAL_H_
+
+#include <cstdint>
+
+#include "predicate/predicate.h"
+#include "predicate/value.h"
+
+namespace nonserial {
+
+/// \file
+/// Batch (stripe) predicate evaluation — the cache-native miss path.
+///
+/// The assignment search spends its time answering one question shape: "for
+/// which candidate values v of entity e does clause C hold, given the other
+/// entities' current values?" The scalar path answers it one candidate at a
+/// time through Atom::Eval (a Resolve + switch per atom per candidate). The
+/// batch path answers it for a whole contiguous candidate stripe at once:
+/// the comparison operator is hoisted OUT of the candidate loop, so each
+/// atom contributes one tight `out[i] |= (stripe[i] OP rhs)` loop over
+/// contiguous memory that the compiler auto-vectorizes (SIMD-width compare
+/// batches), and atoms not mentioning the striped entity collapse to one
+/// scalar evaluation for the entire stripe.
+///
+/// The same file hosts the batched FNV fingerprint used by EvalCache's
+/// stripe probes: mixing is sequential per candidate, but the prefix over
+/// entities ordered before the striped one is shared, and the per-candidate
+/// tail (stripe value + suffix values) is a fixed-trip-count loop the
+/// compiler unrolls. These helpers are the single source of truth for the
+/// cache's hash constants — EvalClause and EvalClauseStripe MUST produce
+/// identical keys for identical (clause, values), or stripe probes would
+/// miss entries the scalar path inserted.
+
+namespace fnv {
+
+constexpr uint64_t kOffset = 1469598103934665603ull;
+constexpr uint64_t kPrime = 1099511628211ull;
+
+/// Mixes the 8 bytes of `v` into `h`, little-end first (classic FNV-1a).
+inline uint64_t Mix(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= kPrime;
+  }
+  return h;
+}
+
+/// Final avalanche (splitmix64) so shard selection uses well-mixed bits.
+inline uint64_t Avalanche(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace fnv
+
+/// out[i] |= (lhs[i] op rhs) for i in [0, n). The op switch is outside the
+/// loop; each case is a branch-free compare loop over contiguous values.
+void OrCompareStripeScalar(const Value* lhs, CompareOp op, Value rhs,
+                           int32_t n, uint8_t* out);
+
+/// out[i] |= (lhs op rhs[i]) for i in [0, n).
+void OrCompareScalarStripe(Value lhs, CompareOp op, const Value* rhs,
+                           int32_t n, uint8_t* out);
+
+/// Evaluates `clause` once per candidate: out[i] = clause value with
+/// values[striped_entity] replaced by stripe[i] (all other entities read
+/// from `values`). `out` must hold n bytes; results are 0/1, overwritten.
+/// Atoms are classified once: atoms not mentioning the striped entity are
+/// evaluated once as scalars (a true one short-circuits the whole stripe);
+/// atoms mentioning it become vector compare loops.
+void EvalClauseOverStripe(const Clause& clause, const ValueVector& values,
+                          EntityId striped_entity, const Value* stripe,
+                          int32_t n, uint8_t* out);
+
+/// Batched clause fingerprints for the eval cache, one per candidate.
+///
+/// The scalar fingerprint is FNV over the clause's entity values in
+/// ascending entity order. Here `prefix` is the mix of all entity values
+/// ordered BEFORE the striped entity (precomputed once per stripe),
+/// `suffix_values[0..suffix_count)` the values ordered after it. Then
+///   out[i] = Mix(...Mix(Mix(prefix, stripe[i]), suffix_values[0])...).
+void FingerprintStripe(uint64_t prefix, const Value* stripe, int32_t n,
+                       const Value* suffix_values, int32_t suffix_count,
+                       uint64_t* out);
+
+}  // namespace nonserial
+
+#endif  // NONSERIAL_PREDICATE_BATCH_EVAL_H_

@@ -1,0 +1,120 @@
+#ifndef NONSERIAL_PREDICATE_CANDIDATE_BUFFER_H_
+#define NONSERIAL_PREDICATE_CANDIDATE_BUFFER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "predicate/value.h"
+
+namespace nonserial {
+
+/// Non-owning view of one entity's candidate stripe: a contiguous run of
+/// Values inside a CandidateBuffer arena (or any other contiguous storage,
+/// e.g. one inner vector of the legacy vector<vector<Value>> shape). The
+/// assignment search and the batch evaluator consume candidates exclusively
+/// through this view, so both candidate representations share one search
+/// core with zero copying.
+struct CandidateView {
+  const Value* data = nullptr;
+  int32_t count = 0;
+
+  int32_t size() const { return count; }
+  bool empty() const { return count == 0; }
+  const Value& operator[](int32_t i) const { return data[i]; }
+  const Value* begin() const { return data; }
+  const Value* end() const { return data + count; }
+
+  friend bool operator==(const CandidateView& a, const CandidateView& b) {
+    if (a.count != b.count) return false;
+    for (int32_t i = 0; i < a.count; ++i) {
+      if (a.data[i] != b.data[i]) return false;
+    }
+    return true;
+  }
+};
+
+/// Columnar candidate storage: all entities' candidate values live in ONE
+/// flat arena, addressed by per-entity offsets. This replaces the
+/// vector<vector<Value>> materialization on the validation hot path — one
+/// allocation amortized across rescans (Reset keeps capacity), and each
+/// entity's stripe is contiguous, which is what lets the predicate batch
+/// evaluator run an auto-vectorizable compare over it.
+///
+/// Build protocol: entities are appended strictly in ascending order —
+/// Push values for entity 0, FinishEntity(), Push for entity 1, ... The
+/// buffer is then indexed by entity id.
+class CandidateBuffer {
+ public:
+  CandidateBuffer() { offsets_.push_back(0); }
+
+  /// Clears the buffer for rebuilding; keeps the arena capacity.
+  void Reset() {
+    arena_.clear();
+    offsets_.clear();
+    offsets_.push_back(0);
+  }
+
+  /// Appends one candidate value to the entity currently being built.
+  void Push(Value v) { arena_.push_back(v); }
+
+  /// Seals the current entity's stripe; the next Push starts the next
+  /// entity.
+  void FinishEntity() { offsets_.push_back(static_cast<int32_t>(arena_.size())); }
+
+  int num_entities() const { return static_cast<int>(offsets_.size()) - 1; }
+
+  CandidateView view(EntityId e) const {
+    int32_t begin = offsets_[e];
+    return CandidateView{arena_.data() + begin, offsets_[e + 1] - begin};
+  }
+
+  /// All per-entity views, for handing to the search core.
+  std::vector<CandidateView> Views() const {
+    std::vector<CandidateView> out(num_entities());
+    for (int e = 0; e < num_entities(); ++e) out[e] = view(e);
+    return out;
+  }
+
+  /// Total candidates across all entities.
+  int32_t total() const { return static_cast<int32_t>(arena_.size()); }
+
+  /// Copies the legacy nested shape into a buffer (tests and adapters).
+  static CandidateBuffer FromLists(
+      const std::vector<std::vector<Value>>& lists) {
+    CandidateBuffer out;
+    out.arena_.reserve([&lists] {
+      size_t n = 0;
+      for (const std::vector<Value>& l : lists) n += l.size();
+      return n;
+    }());
+    for (const std::vector<Value>& l : lists) {
+      for (Value v : l) out.Push(v);
+      out.FinishEntity();
+    }
+    return out;
+  }
+
+  friend bool operator==(const CandidateBuffer& a, const CandidateBuffer& b) {
+    return a.offsets_ == b.offsets_ && a.arena_ == b.arena_;
+  }
+
+ private:
+  std::vector<Value> arena_;
+  std::vector<int32_t> offsets_;  // offsets_[e] .. offsets_[e+1] = stripe of e.
+};
+
+/// Zero-copy views over the legacy nested candidate shape: each inner
+/// vector is already contiguous, so a view can point straight at it.
+inline std::vector<CandidateView> ViewsOfLists(
+    const std::vector<std::vector<Value>>& lists) {
+  std::vector<CandidateView> out(lists.size());
+  for (size_t e = 0; e < lists.size(); ++e) {
+    out[e] = CandidateView{lists[e].data(),
+                           static_cast<int32_t>(lists[e].size())};
+  }
+  return out;
+}
+
+}  // namespace nonserial
+
+#endif  // NONSERIAL_PREDICATE_CANDIDATE_BUFFER_H_

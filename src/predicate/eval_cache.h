@@ -5,7 +5,6 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <unordered_map>
 #include <vector>
 
 #include "common/metrics.h"
@@ -45,11 +44,16 @@ namespace nonserial {
 /// generations (e.g. across a crash-recovery replay) and gives the metrics
 /// layer a precise invalidation signal.
 ///
-/// **Concurrency.** The table is sharded; each shard owns a mutex and a
-/// bounded hash map (overflowing shards are dropped wholesale and counted
-/// as invalidations). Entity epochs are relaxed atomics. Any number of
-/// threads may evaluate concurrently — the CEP engine probes the cache from
-/// its *unlocked* optimistic-search window, and the verifier probes it from
+/// **Concurrency.** The table is sharded *by clause* (well-mixed bits of
+/// the clause's structural hash); each shard owns a mutex and a bounded
+/// open-addressed slot array (overflowing shards are dropped wholesale and
+/// counted as invalidations). Clause sharding means a whole candidate
+/// stripe lives in one shard — EvalClauseStripe takes one lock per stripe
+/// and walks one contiguous table — at the cost of serializing concurrent
+/// evaluations of the *same* clause (different clauses still spread across
+/// shards). Entity epochs are relaxed atomics. Any number of threads may
+/// evaluate concurrently — the CEP engine probes the cache from its
+/// *unlocked* optimistic-search window, and the verifier probes it from
 /// the shared thread pool.
 class EvalCache {
  public:
@@ -63,16 +67,21 @@ class EvalCache {
   };
 
   /// Constructs a cache sized for `num_entities` dense entity ids (the
-  /// epoch table grows on demand via EnsureEntities, which is not safe
-  /// under concurrent evaluation — size up front when possible).
+  /// epoch table grows on demand via EnsureEntities).
   explicit EvalCache(int num_entities = 0);
   ~EvalCache();
 
   EvalCache(const EvalCache&) = delete;
   EvalCache& operator=(const EvalCache&) = delete;
 
-  /// Grows the epoch table to cover entity ids [0, n). Call before
-  /// concurrent use; concurrent callers of Eval* must not race with this.
+  /// Grows the epoch table to cover entity ids [0, n). Safe under
+  /// concurrent use: the table is published through an atomic pointer
+  /// (growth serializes on an internal mutex; retired tables stay alive
+  /// for the cache's lifetime, so concurrent EpochSum probes never read
+  /// freed memory). A BumpEntity racing the growth copy may land on the
+  /// outgoing table and be lost — benign, because cache keys are
+  /// value-fingerprint-sound; epochs are a freshness discipline, not a
+  /// correctness requirement (see the class comment).
   void EnsureEntities(int n);
 
   /// Evaluates one clause over `values`, memoized.
@@ -84,6 +93,22 @@ class EvalCache {
   bool EvalClause(uint64_t clause_hash, const Clause& clause,
                   const std::vector<EntityId>& entities,
                   const ValueVector& values);
+
+  /// Batch (stripe) variant of EvalClause: evaluates `clause` once per
+  /// candidate value of `striped_entity` — out[i] is the clause's value
+  /// with values[striped_entity] replaced by stripe[i], every other entity
+  /// read from `values`. Produces exactly the keys EvalClause would (so
+  /// stripe probes hit entries the scalar path inserted and vice versa),
+  /// but fingerprints are batched, the shard lock is taken ONCE for the
+  /// whole stripe (sharding is by clause), the miss evaluations collapse
+  /// into one auto-vectorized pass over the contiguous stripe
+  /// (predicate/batch_eval.h), and each candidate resolves — hit, stale,
+  /// or insert — in a single prefetched slot walk. No per-candidate
+  /// allocation.
+  void EvalClauseStripe(uint64_t clause_hash, const Clause& clause,
+                        const std::vector<EntityId>& entities,
+                        const ValueVector& values, EntityId striped_entity,
+                        const Value* stripe, int32_t n, uint8_t* out);
 
   /// Epoch invalidation hook: a version of `e` was installed or rolled
   /// back. Entries over `e` become stale (they are replaced on their next
@@ -113,27 +138,77 @@ class EvalCache {
   void SetMetrics(ProtocolMetrics* metrics) { metrics_ = metrics; }
 
  private:
+  /// One open-addressed slot. key == 0 means empty (probe keys are
+  /// avalanche-mixed and remapped away from 0, see SlotKey). clause_hash /
+  /// fingerprint guard against 64-bit key collisions.
   struct Entry {
+    uint64_t key = 0;
     uint64_t clause_hash = 0;
     uint64_t fingerprint = 0;
     uint64_t epoch_sum = 0;
     bool result = false;
   };
 
+  /// A cache shard: a flat, power-of-two, linear-probed slot array. Entries
+  /// are never individually deleted (staleness is detected by epoch_sum and
+  /// overwritten in place; overflow clears the shard wholesale), so probing
+  /// needs no tombstones — a run ends at the first empty slot. Flat slots
+  /// replace the former unordered_map: no per-insert allocation on the miss
+  /// path, and a probe touches one cache line instead of chasing buckets.
   struct Shard {
     std::mutex mu;
-    std::unordered_map<uint64_t, Entry> table;
+    std::vector<Entry> slots;  ///< Power-of-two size; grown by rehash.
+    size_t count = 0;          ///< Occupied slots.
   };
 
   static constexpr int kNumShards = 16;
   /// Per-shard entry bound; an overflowing shard is cleared wholesale.
   static constexpr size_t kMaxShardEntries = 1 << 16;
+  /// First slot-array size for a shard (on its first insert).
+  static constexpr size_t kInitialShardSlots = 256;
+
+  /// Immutable-size epoch array published through epoch_table_. Growth
+  /// installs a larger copy; outgoing tables are kept alive in tables_
+  /// (geometric growth bounds them to O(log entities)), so lock-free
+  /// EpochSum/BumpEntity probes racing a growth never touch freed memory.
+  struct EpochTable {
+    explicit EpochTable(int n) : size(n), epochs(new std::atomic<uint64_t>[n]) {
+      for (int i = 0; i < n; ++i) {
+        epochs[i].store(0, std::memory_order_relaxed);
+      }
+    }
+    const int size;
+    std::unique_ptr<std::atomic<uint64_t>[]> epochs;
+  };
 
   uint64_t EpochSum(const std::vector<EntityId>& entities) const;
 
+  /// The slot key for (clause_hash, fingerprint): avalanche-mixed, with 0
+  /// remapped so it never collides with the empty-slot sentinel.
+  static uint64_t SlotKey(uint64_t clause_hash, uint64_t fingerprint);
+
+  /// The shard holding every entry of the clause with this structural hash
+  /// (sharding is by clause; see the class comment).
+  static size_t ShardIndex(uint64_t clause_hash);
+
+  /// Finds the entry with `key`, or nullptr. Caller holds shard.mu.
+  const Entry* ProbeLocked(const Shard& shard, uint64_t key) const;
+
+  /// Grows the slot array until `n` more inserts stay under 70% load, so a
+  /// subsequent batch of walks never rehashes mid-stripe (and a walk ending
+  /// at an empty slot may insert right there). Caller holds shard.mu.
+  void ReserveLocked(Shard& shard, size_t n);
+
+  /// Inserts or overwrites (key -> entry), growing the slot array at 70%
+  /// load and clearing the shard wholesale at the entry bound (dropped
+  /// entries count as invalidations). Caller holds shard.mu.
+  void InsertLocked(Shard& shard, uint64_t key, const Entry& entry);
+
   std::unique_ptr<Shard[]> shards_;
-  std::unique_ptr<std::atomic<uint64_t>[]> entity_epochs_;
-  int num_entities_ = 0;
+  /// All epoch tables ever created (last = live); guarded by grow_mu_.
+  std::vector<std::unique_ptr<EpochTable>> tables_;
+  std::mutex grow_mu_;
+  std::atomic<EpochTable*> epoch_table_{nullptr};
   std::atomic<uint64_t> global_epoch_{0};
 
   mutable std::atomic<int64_t> hits_{0};
@@ -162,6 +237,17 @@ class CachedPredicate {
   /// structurally identical to the construction-time predicate).
   bool EvalClause(const Predicate& predicate, int index,
                   const ValueVector& values) const;
+
+  /// Batch variant: memoized evaluation of clause `index` for every
+  /// candidate in the contiguous stripe (see EvalCache::EvalClauseStripe).
+  void EvalClauseStripe(const Predicate& predicate, int index,
+                        const ValueVector& values, EntityId striped_entity,
+                        const Value* stripe, int32_t n, uint8_t* out) const;
+
+  /// Entity set of clause `index`, ascending (precomputed at construction).
+  const std::vector<EntityId>& ClauseEntities(int index) const {
+    return clause_entities_[index];
+  }
 
   /// Memoized evaluation of the whole predicate (AND of its clauses).
   bool Eval(const Predicate& predicate, const ValueVector& values) const;

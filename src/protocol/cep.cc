@@ -108,7 +108,6 @@ CorrectExecutionProtocol::GatherCandidates(
   int n = store_->num_entities();
   CandidateSnapshot snapshot;
   snapshot.refs.resize(n);
-  snapshot.values.resize(n);
   for (EntityId e = 0; e < n; ++e) {
     auto pin = pinned.find(e);
     if (pin != pinned.end()) {
@@ -118,10 +117,10 @@ CorrectExecutionProtocol::GatherCandidates(
     } else {
       snapshot.refs[e] = {VersionRef{e, 0}};
     }
-    snapshot.values[e].reserve(snapshot.refs[e].size());
     for (const VersionRef& ref : snapshot.refs[e]) {
-      snapshot.values[e].push_back(store_->Read(ref));
+      snapshot.values.Push(store_->Read(ref));
     }
+    snapshot.values.FinishEntity();
   }
   for (EntityId e : state.input_entities) {
     snapshot.stamps[e] = store_->ChainSize(e);
@@ -216,7 +215,7 @@ ReqResult CorrectExecutionProtocol::Begin(int tx) {
       // entity's candidate list is the pinned initial version.
       for (EntityId e : txs_[tx].input_entities) {
         if (snapshot.refs[e] != prev_snapshot.refs[e] ||
-            snapshot.values[e] != prev_snapshot.values[e]) {
+            snapshot.values.view(e) != prev_snapshot.values.view(e)) {
           changed.insert(e);
         }
       }

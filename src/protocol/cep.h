@@ -210,11 +210,13 @@ class CorrectExecutionProtocol : public ConcurrencyController {
   };
 
   /// Candidate snapshot for one optimistic validation attempt: per-entity
-  /// refs/values plus the chain-size stamps they were gathered under.
+  /// refs/values plus the chain-size stamps they were gathered under. The
+  /// values live in one columnar arena (candidate_buffer.h) — the search
+  /// consumes them as contiguous stripes without re-materialization.
   struct CandidateSnapshot {
-    std::vector<std::vector<VersionRef>> refs;    ///< Per entity.
-    std::vector<std::vector<Value>> values;       ///< Parallel to refs.
-    std::map<EntityId, int> stamps;               ///< ChainSize per N_t entity.
+    std::vector<std::vector<VersionRef>> refs;  ///< Per entity.
+    CandidateBuffer values;                     ///< Parallel to refs.
+    std::map<EntityId, int> stamps;             ///< ChainSize per N_t entity.
   };
 
   bool Reaches(int from, int to) const;  ///< P+ over registered txs.

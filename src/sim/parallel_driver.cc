@@ -495,8 +495,9 @@ ParallelRunResult ParallelDriver::Run(
   }
   WalPipelineScope wal_pipeline(config_, config_.wal);
   if (config_.protocol.eval_cache != nullptr) {
-    // Size the epoch table and mirror the counters before any worker can
-    // probe (EnsureEntities/SetMetrics are not safe under concurrent use).
+    // Size the epoch table and mirror the counters up front. EnsureEntities
+    // is safe under concurrent use (atomic-pointer table publication), but
+    // SetMetrics is a plain pointer store and must precede the workers.
     config_.protocol.eval_cache->EnsureEntities(
         static_cast<int>(workload.initial.size()));
     config_.protocol.eval_cache->SetMetrics(config_.protocol.metrics);

@@ -1,0 +1,96 @@
+#include "storage/epoch_reclaim.h"
+
+#include <functional>
+#include <thread>
+
+namespace nonserial {
+namespace {
+
+/// Home slot for the calling thread: a fixed per-thread hash, so repeated
+/// guards from one thread land on the same (warm) cell.
+int HomeSlot(int num_slots) {
+  static thread_local const size_t hashed =
+      std::hash<std::thread::id>()(std::this_thread::get_id());
+  return static_cast<int>(hashed % static_cast<size_t>(num_slots));
+}
+
+}  // namespace
+
+EpochReclaimer::ReadGuard::ReadGuard(EpochReclaimer* reclaimer)
+    : reclaimer_(reclaimer), slot_(HomeSlot(kSlots)) {
+  // Claim a free slot (linear probe past occupied ones — another thread
+  // hashed here, or a nested guard on this thread).
+  uint64_t epoch = reclaimer_->global_epoch_.load(std::memory_order_seq_cst);
+  for (;;) {
+    uint64_t expected = 0;
+    if (reclaimer_->slots_[slot_].pinned.compare_exchange_strong(
+            expected, epoch, std::memory_order_seq_cst)) {
+      break;
+    }
+    slot_ = (slot_ + 1) % kSlots;
+  }
+  // Re-validate until the announcement is provably visible under the
+  // current epoch: if the epoch moved between the load and the store, a
+  // concurrent Retire may have scanned the slots before this pin became
+  // visible and freed under an about-to-be-loaded pointer. Re-pinning the
+  // newest epoch closes the race (see class comment) — any Retire that
+  // advances past the re-pinned value scans the slots *after* its own
+  // epoch advance, and therefore observes this pin.
+  for (;;) {
+    uint64_t now = reclaimer_->global_epoch_.load(std::memory_order_seq_cst);
+    if (now == epoch) return;
+    epoch = now;
+    reclaimer_->slots_[slot_].pinned.store(epoch, std::memory_order_seq_cst);
+  }
+}
+
+EpochReclaimer::ReadGuard::~ReadGuard() {
+  reclaimer_->slots_[slot_].pinned.store(0, std::memory_order_seq_cst);
+}
+
+uint64_t EpochReclaimer::OldestPin() const {
+  uint64_t oldest = ~0ull;
+  for (const Slot& slot : slots_) {
+    uint64_t pinned = slot.pinned.load(std::memory_order_seq_cst);
+    if (pinned != 0 && pinned < oldest) oldest = pinned;
+  }
+  return oldest;
+}
+
+void EpochReclaimer::Retire(void* object, void (*deleter)(void*)) {
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  // Tag with the pre-advance epoch: every reader pinned at <= tag may still
+  // reach `object`; readers that pin after the advance below cannot (their
+  // pointer loads follow their announcement, which follows the unlink).
+  uint64_t tag = global_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  retired_.push_back({object, deleter, tag});
+
+  uint64_t oldest = OldestPin();
+  size_t kept = 0;
+  for (Retired& r : retired_) {
+    if (r.tag < oldest) {
+      r.deleter(r.object);
+      freed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      retired_[kept++] = r;
+    }
+  }
+  retired_.resize(kept);
+}
+
+size_t EpochReclaimer::PendingRetired() const {
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  return retired_.size();
+}
+
+int64_t EpochReclaimer::TotalFreed() const {
+  return freed_.load(std::memory_order_relaxed);
+}
+
+EpochReclaimer::~EpochReclaimer() {
+  // No readers may be active at destruction (the owning store is being
+  // destroyed); everything still retired is now free-able.
+  for (Retired& r : retired_) r.deleter(r.object);
+}
+
+}  // namespace nonserial

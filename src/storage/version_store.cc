@@ -1,23 +1,42 @@
 #include "storage/version_store.h"
 
 #include <mutex>
+#include <thread>
 
 #include "common/logging.h"
 #include "storage/wal.h"
 
 namespace nonserial {
 
+void VersionStore::DeleteSlabRaw(void* slab) {
+  delete static_cast<Slab*>(slab);
+}
+
 VersionStore::VersionStore(ValueVector initial_values)
-    : shards_(new Shard[kNumShards]) {
-  chains_.resize(initial_values.size());
-  for (size_t e = 0; e < initial_values.size(); ++e) {
-    Version v;
-    v.value = initial_values[e];
-    v.writer = kInitialWriter;
-    v.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
-    v.committed = true;
-    chains_[e].push_back(v);
+    : num_entities_(static_cast<int>(initial_values.size())),
+      chains_(new Chain[initial_values.size()]),
+      shards_(new Shard[kNumShards]) {
+  for (int e = 0; e < num_entities_; ++e) {
+    Slab* slab = new Slab(kInitialSlabCapacity);
+    Slot& slot = slab->slots[0];
+    slot.value = initial_values[e];
+    slot.writer = kInitialWriter;
+    slot.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+    slot.flags.store(Slot::kCommitted, std::memory_order_relaxed);
+    chains_[e].slab.store(slab, std::memory_order_release);
+    chains_[e].size.store(1, std::memory_order_release);
   }
+}
+
+VersionStore::~VersionStore() {
+  for (int e = 0; e < num_entities_; ++e) {
+    delete chains_[e].slab.load(std::memory_order_relaxed);
+  }
+}
+
+void VersionStore::BoundsCheck(EntityId e) const {
+  NONSERIAL_CHECK_GE(e, 0);
+  NONSERIAL_CHECK_LT(e, num_entities());
 }
 
 Version VersionStore::At(VersionRef ref) const {
@@ -25,84 +44,115 @@ Version VersionStore::At(VersionRef ref) const {
 }
 
 Version VersionStore::VersionAt(EntityId e, int index) const {
-  NONSERIAL_CHECK_GE(e, 0);
-  NONSERIAL_CHECK_LT(e, num_entities());
-  std::shared_lock<std::shared_mutex> lock(ShardOf(e));
+  BoundsCheck(e);
+  EpochReclaimer::ReadGuard guard(&reclaimer_);
+  int n = 0;
+  const Slab* slab = LoadChain(e, &n);
   NONSERIAL_CHECK_GE(index, 0);
-  NONSERIAL_CHECK_LT(index, static_cast<int>(chains_[e].size()));
-  return chains_[e][index];
+  NONSERIAL_CHECK_LT(index, n);
+  return slab->slots[index].Observe();
 }
 
 Value VersionStore::Read(VersionRef ref) const { return At(ref).value; }
 
 int VersionStore::ChainSize(EntityId e) const {
-  NONSERIAL_CHECK_GE(e, 0);
-  NONSERIAL_CHECK_LT(e, num_entities());
-  std::shared_lock<std::shared_mutex> lock(ShardOf(e));
-  return static_cast<int>(chains_[e].size());
+  BoundsCheck(e);
+  return chains_[e].size.load(std::memory_order_acquire);
 }
 
 std::vector<Version> VersionStore::ChainSnapshot(EntityId e) const {
-  NONSERIAL_CHECK_GE(e, 0);
-  NONSERIAL_CHECK_LT(e, num_entities());
-  std::shared_lock<std::shared_mutex> lock(ShardOf(e));
-  return std::vector<Version>(chains_[e].begin(), chains_[e].end());
+  std::vector<Version> out;
+  ForEachVersion(e, [&out](const Version& v, int) { out.push_back(v); });
+  return out;
+}
+
+int VersionStore::AppendSlot(EntityId e, Value value, int writer,
+                             bool committed) {
+  Chain& chain = chains_[e];
+  int n = chain.size.load(std::memory_order_relaxed);
+  Slab* slab = chain.slab.load(std::memory_order_relaxed);
+  if (n == slab->capacity) {
+    // Grow by copy-and-publish; the old slab may still be walked by pinned
+    // readers, so it is retired, not deleted.
+    Slab* bigger = new Slab(slab->capacity * 2);
+    for (int i = 0; i < n; ++i) {
+      Slot& src = slab->slots[i];
+      Slot& dst = bigger->slots[i];
+      dst.value = src.value;
+      dst.writer = src.writer;
+      dst.seq = src.seq;
+      dst.flags.store(src.flags.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    }
+    chain.slab.store(bigger, std::memory_order_release);
+    reclaimer_.Retire(slab, &DeleteSlabRaw);
+    slab = bigger;
+  }
+  Slot& slot = slab->slots[n];
+  slot.value = value;
+  slot.writer = writer;
+  slot.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  slot.flags.store(committed ? Slot::kCommitted : 0,
+                   std::memory_order_relaxed);
+  // Publishes the slot (and any slab swap above): readers acquire-load size
+  // before the slab pointer, so this release store fences every plain write
+  // above into their view.
+  chain.size.store(n + 1, std::memory_order_release);
+  return n;
 }
 
 int VersionStore::Append(EntityId e, Value value, int writer) {
-  NONSERIAL_CHECK_GE(e, 0);
-  NONSERIAL_CHECK_LT(e, num_entities());
-  Version v;
-  v.value = value;
-  v.writer = writer;
-  v.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
-  std::unique_lock<std::shared_mutex> lock(ShardOf(e));
+  BoundsCheck(e);
+  std::unique_lock<std::mutex> lock(ShardOf(e));
+  BeginMutation();
   // Logged under the shard lock so the log's per-entity append order equals
   // the chain order recovery will rebuild.
   if (wal_ != nullptr) wal_->LogAppend(e, value, writer);
-  chains_[e].push_back(v);
-  return static_cast<int>(chains_[e].size()) - 1;
+  int index = AppendSlot(e, value, writer, /*committed=*/false);
+  EndMutation();
+  return index;
 }
 
 int VersionStore::LatestLiveIndexLocked(EntityId e) const {
-  const std::deque<Version>& chain = chains_[e];
-  for (int i = static_cast<int>(chain.size()) - 1; i >= 0; --i) {
-    if (!chain[i].dead) return i;
+  int n = 0;
+  const Slab* slab = LoadChain(e, &n);
+  for (int i = n - 1; i >= 0; --i) {
+    if (!slab->slots[i].IsDead()) return i;
   }
   NONSERIAL_CHECK(false) << "entity " << e << " has no live version";
   return -1;
 }
 
 int VersionStore::LatestLiveIndex(EntityId e) const {
-  NONSERIAL_CHECK_GE(e, 0);
-  NONSERIAL_CHECK_LT(e, num_entities());
-  std::shared_lock<std::shared_mutex> lock(ShardOf(e));
+  BoundsCheck(e);
+  EpochReclaimer::ReadGuard guard(&reclaimer_);
   return LatestLiveIndexLocked(e);
 }
 
 int VersionStore::LatestCommittedIndexLocked(EntityId e) const {
-  const std::deque<Version>& chain = chains_[e];
-  for (int i = static_cast<int>(chain.size()) - 1; i >= 0; --i) {
-    if (!chain[i].dead && chain[i].committed) return i;
+  int n = 0;
+  const Slab* slab = LoadChain(e, &n);
+  for (int i = n - 1; i >= 0; --i) {
+    if (slab->slots[i].IsCommittedLive()) return i;
   }
   NONSERIAL_CHECK(false) << "entity " << e << " has no committed version";
   return -1;
 }
 
 int VersionStore::LatestCommittedIndex(EntityId e) const {
-  NONSERIAL_CHECK_GE(e, 0);
-  NONSERIAL_CHECK_LT(e, num_entities());
-  std::shared_lock<std::shared_mutex> lock(ShardOf(e));
+  BoundsCheck(e);
+  EpochReclaimer::ReadGuard guard(&reclaimer_);
   return LatestCommittedIndexLocked(e);
 }
 
 std::optional<int> VersionStore::LatestIndexBy(EntityId e, int writer) const {
-  NONSERIAL_CHECK_GE(e, 0);
-  NONSERIAL_CHECK_LT(e, num_entities());
-  std::shared_lock<std::shared_mutex> lock(ShardOf(e));
-  const std::deque<Version>& chain = chains_[e];
-  for (int i = static_cast<int>(chain.size()) - 1; i >= 0; --i) {
-    if (!chain[i].dead && chain[i].writer == writer) return i;
+  BoundsCheck(e);
+  EpochReclaimer::ReadGuard guard(&reclaimer_);
+  int n = 0;
+  const Slab* slab = LoadChain(e, &n);
+  for (int i = n - 1; i >= 0; --i) {
+    const Slot& slot = slab->slots[i];
+    if (!slot.IsDead() && slot.writer == writer) return i;
   }
   return std::nullopt;
 }
@@ -119,12 +169,22 @@ WalCommitHandle VersionStore::CommitWriter(int writer) {
   // writer (downward closure survives early lock release).
   WalCommitHandle handle;
   if (wal_ != nullptr) handle = wal_->LogCommit(writer);
+  // The whole multi-entity flip is ONE mutation bracket: AsDatabaseState
+  // observes either all of this writer's versions committed or none.
+  BeginMutation();
   for (EntityId e = 0; e < num_entities(); ++e) {
-    std::unique_lock<std::shared_mutex> lock(ShardOf(e));
-    for (Version& v : chains_[e]) {
-      if (v.writer == writer && !v.dead) v.committed = true;
+    std::unique_lock<std::mutex> lock(ShardOf(e));
+    int n = 0;
+    Slab* slab = LoadChainMut(e, &n);
+    for (int i = 0; i < n; ++i) {
+      Slot& slot = slab->slots[i];
+      if (slot.writer != writer) continue;
+      uint8_t f = slot.flags.load(std::memory_order_relaxed);
+      if (f & Slot::kDead) continue;
+      slot.flags.store(f | Slot::kCommitted, std::memory_order_release);
     }
   }
+  EndMutation();
   return handle;
 }
 
@@ -132,56 +192,128 @@ void VersionStore::MarkAllCommitted() {
   NONSERIAL_CHECK(wal_ == nullptr)
       << "MarkAllCommitted is a recovery-replay shortcut; it must not be "
          "used on a store that is logging";
+  BeginMutation();
   for (EntityId e = 0; e < num_entities(); ++e) {
-    std::unique_lock<std::shared_mutex> lock(ShardOf(e));
-    for (Version& v : chains_[e]) {
-      if (!v.dead) v.committed = true;
+    std::unique_lock<std::mutex> lock(ShardOf(e));
+    int n = 0;
+    Slab* slab = LoadChainMut(e, &n);
+    for (int i = 0; i < n; ++i) {
+      Slot& slot = slab->slots[i];
+      uint8_t f = slot.flags.load(std::memory_order_relaxed);
+      if (f & Slot::kDead) continue;
+      slot.flags.store(f | Slot::kCommitted, std::memory_order_release);
     }
   }
+  EndMutation();
 }
 
 void VersionStore::RollbackWriter(int writer) {
   if (wal_ != nullptr) wal_->LogRollback(writer);
+  BeginMutation();
   for (EntityId e = 0; e < num_entities(); ++e) {
-    std::unique_lock<std::shared_mutex> lock(ShardOf(e));
-    for (Version& v : chains_[e]) {
-      if (v.writer == writer && !v.committed) v.dead = true;
+    std::unique_lock<std::mutex> lock(ShardOf(e));
+    int n = 0;
+    Slab* slab = LoadChainMut(e, &n);
+    for (int i = 0; i < n; ++i) {
+      Slot& slot = slab->slots[i];
+      if (slot.writer != writer) continue;
+      uint8_t f = slot.flags.load(std::memory_order_relaxed);
+      if (f & Slot::kCommitted) continue;
+      slot.flags.store(f | Slot::kDead, std::memory_order_release);
     }
   }
+  EndMutation();
 }
 
 ValueVector VersionStore::LatestCommittedSnapshot() const {
   ValueVector out(num_entities());
+  EpochReclaimer::ReadGuard guard(&reclaimer_);
   for (EntityId e = 0; e < num_entities(); ++e) {
-    std::shared_lock<std::shared_mutex> lock(ShardOf(e));
-    out[e] = chains_[e][LatestCommittedIndexLocked(e)].value;
+    int n = 0;
+    const Slab* slab = LoadChain(e, &n);
+    out[e] = slab->slots[LatestCommittedIndexLocked(e)].value;
   }
   return out;
 }
 
 DatabaseState VersionStore::AsDatabaseState() const {
-  DatabaseState db(num_entities());
   // One unique state per committed version depth: the state formed by the
   // committed prefix values. For verification purposes a simpler encoding
   // suffices: the initial state plus, per committed version, the latest
   // snapshot overlaid with that version's value.
-  ValueVector latest = LatestCommittedSnapshot();
-  db.Add(latest);
-  for (EntityId e = 0; e < num_entities(); ++e) {
-    for (const Version& v : ChainSnapshot(e)) {
-      if (v.dead || !v.committed) continue;
-      if (v.value == latest[e]) continue;
-      ValueVector s = latest;
-      s[e] = v.value;
-      db.Add(std::move(s));
+  //
+  // The scan must be a *coherent cut*. Every mutator brackets its logical
+  // mutation (an Append, or a whole multi-entity commit/rollback/GC sweep)
+  // in BeginMutation/EndMutation. Optimistic protocol: observe the stamps
+  // quiescent (started == done), scan lock-free, then validate nothing
+  // started during the scan. A validated scan therefore never contains
+  // half of a CommitWriter — the mixed-state bug this replaces.
+  auto scan = [this](DatabaseState* db) {
+    ValueVector latest(num_entities());
+    for (EntityId e = 0; e < num_entities(); ++e) {
+      int n = 0;
+      const Slab* slab = LoadChain(e, &n);
+      latest[e] = slab->slots[LatestCommittedIndexLocked(e)].value;
+    }
+    db->Add(latest);
+    for (EntityId e = 0; e < num_entities(); ++e) {
+      int n = 0;
+      const Slab* slab = LoadChain(e, &n);
+      for (int i = 0; i < n; ++i) {
+        if (!slab->slots[i].IsCommittedLive()) continue;
+        Value v = slab->slots[i].value;
+        if (v == latest[e]) continue;
+        ValueVector s = latest;
+        s[e] = v;
+        db->Add(std::move(s));
+      }
+    }
+  };
+
+  EpochReclaimer::ReadGuard guard(&reclaimer_);
+  for (int attempt = 0; attempt < kAsDatabaseStateRetries; ++attempt) {
+    int64_t started = mutations_started_.load(std::memory_order_seq_cst);
+    int64_t done = mutations_done_.load(std::memory_order_seq_cst);
+    if (started != done) {  // A mutation is mid-flight; let it finish.
+      std::this_thread::yield();
+      continue;
+    }
+    DatabaseState db(num_entities());
+    scan(&db);
+    if (mutations_started_.load(std::memory_order_seq_cst) == started) {
+      return db;  // Nothing started during the scan: coherent.
     }
   }
-  return db;
+  // Fallback under sustained mutation pressure: stall the mutators by
+  // holding every shard mutex. All slab/flag writes happen under a shard
+  // mutex, so nothing can change mid-scan; the stamp re-check under the
+  // locks rules out a logical mutation caught between its BeginMutation
+  // and its first (or next) shard acquisition — if one is wedged there,
+  // release everything so it can land, and try again.
+  for (;;) {
+    while (mutations_started_.load(std::memory_order_seq_cst) !=
+           mutations_done_.load(std::memory_order_seq_cst)) {
+      std::this_thread::yield();
+    }
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(kNumShards);
+    for (int s = 0; s < kNumShards; ++s) {
+      locks.emplace_back(shards_[s].mu);
+    }
+    int64_t started = mutations_started_.load(std::memory_order_seq_cst);
+    int64_t done = mutations_done_.load(std::memory_order_seq_cst);
+    if (started == done) {
+      DatabaseState db(num_entities());
+      scan(&db);
+      return db;
+    }
+    locks.clear();
+    std::this_thread::yield();
+  }
 }
 
-int64_t VersionStore::CollectObsolete(
-    const std::vector<VersionRef>& pinned) {
-  std::vector<std::vector<bool>> is_pinned(chains_.size());
+int64_t VersionStore::CollectObsolete(const std::vector<VersionRef>& pinned) {
+  std::vector<std::vector<bool>> is_pinned(num_entities());
   for (const VersionRef& ref : pinned) {
     if (ref.entity < 0 || ref.entity >= num_entities() || ref.index < 0) {
       continue;
@@ -193,27 +325,34 @@ int64_t VersionStore::CollectObsolete(
     flags[ref.index] = true;
   }
   int64_t collected = 0;
+  BeginMutation();
   for (EntityId e = 0; e < num_entities(); ++e) {
-    std::unique_lock<std::shared_mutex> lock(ShardOf(e));
+    std::unique_lock<std::mutex> lock(ShardOf(e));
     int latest = LatestCommittedIndexLocked(e);
     const std::vector<bool>& flags = is_pinned[e];
-    for (int i = 0; i < static_cast<int>(chains_[e].size()); ++i) {
-      Version& v = chains_[e][i];
+    int n = 0;
+    Slab* slab = LoadChainMut(e, &n);
+    for (int i = 0; i < n; ++i) {
+      Slot& slot = slab->slots[i];
       bool pinned_here = i < static_cast<int>(flags.size()) && flags[i];
-      if (v.dead || !v.committed || i == latest || pinned_here) continue;
-      v.dead = true;
+      if (!slot.IsCommittedLive() || i == latest || pinned_here) continue;
+      slot.flags.store(Slot::kCommitted | Slot::kDead,
+                       std::memory_order_release);
       ++collected;
     }
   }
+  EndMutation();
   return collected;
 }
 
 int64_t VersionStore::TotalLiveVersions() const {
   int64_t total = 0;
+  EpochReclaimer::ReadGuard guard(&reclaimer_);
   for (EntityId e = 0; e < num_entities(); ++e) {
-    std::shared_lock<std::shared_mutex> lock(ShardOf(e));
-    for (const Version& v : chains_[e]) {
-      if (!v.dead) ++total;
+    int n = 0;
+    const Slab* slab = LoadChain(e, &n);
+    for (int i = 0; i < n; ++i) {
+      if (!slab->slots[i].IsDead()) ++total;
     }
   }
   return total;

@@ -3,16 +3,16 @@
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <memory>
+#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "model/state.h"
 #include "predicate/value.h"
+#include "storage/epoch_reclaim.h"
 #include "storage/wal.h"  // WalCommitHandle (returned by value).
 
 namespace nonserial {
@@ -21,9 +21,10 @@ namespace nonserial {
 /// transaction t_0).
 constexpr int kInitialWriter = -1;
 
-/// One retained version of an entity. Versions are never physically removed
-/// (the history of every data item is preserved — Section 2.4); rollback
-/// marks a version dead instead so outstanding references stay valid.
+/// One retained version of an entity, as observed at a point in time.
+/// Versions are never physically removed (the history of every data item is
+/// preserved — Section 2.4); rollback marks a version dead instead so
+/// outstanding references stay valid.
 struct Version {
   Value value = 0;
   int writer = kInitialWriter;  ///< Runtime transaction id that created it.
@@ -47,21 +48,33 @@ struct VersionRef {
 /// unique state a serial history would have produced, and mix-and-match
 /// reads across chains realize version states.
 ///
-/// Thread safety: every method is safe to call concurrently. Chains live in
-/// deques (appends never move existing versions) behind one reader-writer
-/// lock per shard of entities; the global creation sequence is a single
-/// atomic. Append/Commit/Rollback take the exclusive side, reads take the
-/// shared side, so readers of different shards — and concurrent readers of
-/// the same shard — never contend on storage. Multi-entity operations
-/// (CommitWriter, snapshots, GC) lock shard-by-shard: each entity's chain is
-/// observed atomically, the cross-entity combination is not — callers that
-/// need a cross-entity atomic cut (the protocol engine) serialize those
-/// calls themselves.
+/// **Memory layout (cache-native hot path).** Each chain is a contiguous
+/// slab of version slots — value/writer/seq are plain fields frozen at
+/// append time, the committed/dead flags are one atomic byte per slot. A
+/// full slab is replaced by a doubled copy published through an atomic
+/// pointer; the old slab is retired to an epoch-based reclaimer
+/// (storage/epoch_reclaim.h) and freed once no reader can still hold it.
+/// Version indices are stable across growth (slot i is slot i in every
+/// later slab), so VersionRefs stay valid forever, exactly as before.
+///
+/// Thread safety: every method is safe to call concurrently. *Reads are
+/// lock-free*: they pin a reclamation epoch, load the slab pointer and the
+/// published size with acquire ordering, and walk contiguous memory —
+/// no shared_mutex, no contention with other readers or with writers of
+/// other entities. Mutations (Append/Commit/Rollback/GC) serialize on one
+/// plain mutex per shard of entities. Per-version flag flips are atomic,
+/// so a reader's copy of a version is an atomic observation; the
+/// cross-entity combination of independent reads is not a consistent cut —
+/// except for AsDatabaseState, which validates a store-wide mutation stamp
+/// and retries, so the DatabaseState it hands to verification can never
+/// contain a half-applied commit (a "mixed state" no serial prefix
+/// produced).
 class VersionStore {
  public:
   /// Creates the store with one committed initial version per entity,
   /// authored by kInitialWriter.
   explicit VersionStore(ValueVector initial_values);
+  ~VersionStore();
 
   /// Attaches a write-ahead log: from now on every Append / CommitWriter /
   /// RollbackWriter is logged before the mutation becomes visible, so a
@@ -72,7 +85,7 @@ class VersionStore {
   void SetWal(WriteAheadLog* wal) { wal_ = wal; }
   WriteAheadLog* wal() const { return wal_; }
 
-  int num_entities() const { return static_cast<int>(chains_.size()); }
+  int num_entities() const { return num_entities_; }
 
   /// Copy of one version (copy, not reference: the slot's committed/dead
   /// flags may change concurrently; the copy is an atomic observation).
@@ -85,7 +98,25 @@ class VersionStore {
   int ChainSize(EntityId e) const;
 
   /// Consistent copy of the whole chain of `e` (tests and diagnostics).
+  /// Hot loops use ForEachVersion instead — it walks the slab in place.
   std::vector<Version> ChainSnapshot(EntityId e) const;
+
+  /// Allocation-free chain walk: invokes `fn(const Version&, int index)`
+  /// for every version of `e` present when the walk pinned the chain, in
+  /// index order. The Version reference is a stack copy (atomic per-slot
+  /// observation); the underlying slab is epoch-protected for the whole
+  /// walk, so the visit is safe against concurrent growth and GC.
+  template <typename Fn>
+  void ForEachVersion(EntityId e, Fn&& fn) const {
+    BoundsCheck(e);
+    EpochReclaimer::ReadGuard guard(&reclaimer_);
+    const Chain& chain = chains_[e];
+    int n = chain.size.load(std::memory_order_acquire);
+    const Slab* slab = chain.slab.load(std::memory_order_acquire);
+    for (int i = 0; i < n; ++i) {
+      fn(slab->slots[i].Observe(), i);
+    }
+  }
 
   /// Appends a new (uncommitted, live) version; returns its index.
   int Append(EntityId e, Value value, int writer);
@@ -117,12 +148,21 @@ class VersionStore {
   void RollbackWriter(int writer);
 
   /// Latest committed value per entity — the conventional notion of "the
-  /// current database".
+  /// current database". Per-entity reads are individually atomic; the
+  /// cross-entity combination is a racy cut (see AsDatabaseState for the
+  /// validated one).
   ValueVector LatestCommittedSnapshot() const;
 
   /// The model-layer database state: one unique state per global sequence
   /// point of committed versions. For verification we expose the simpler
   /// set: all committed values per entity (mix-and-match candidates).
+  ///
+  /// The returned state is a *coherent cut*: the scan validates the
+  /// store-wide mutation stamp (no mutation in flight, none landed during
+  /// the scan) and retries on interference, falling back to stalling the
+  /// mutators via the shard mutexes after kAsDatabaseStateRetries attempts.
+  /// A concurrent CommitWriter is therefore observed either fully or not
+  /// at all — never as a mixed state no serial prefix produced.
   DatabaseState AsDatabaseState() const;
 
   /// Total number of live versions across all chains.
@@ -137,27 +177,118 @@ class VersionStore {
   /// are just no longer handed out. Returns the number collected.
   int64_t CollectObsolete(const std::vector<VersionRef>& pinned);
 
+  /// Reclamation diagnostics: slabs retired by growth but not yet freed.
+  size_t PendingRetiredSlabs() const { return reclaimer_.PendingRetired(); }
+
  private:
+  /// One version slot inside a slab. The identity fields are frozen by the
+  /// publishing size store; the flags byte mutates atomically in place.
+  struct Slot {
+    Value value = 0;
+    int writer = kInitialWriter;
+    int64_t seq = 0;
+    std::atomic<uint8_t> flags{0};  ///< Bit 0: committed, bit 1: dead.
+
+    static constexpr uint8_t kCommitted = 1;
+    static constexpr uint8_t kDead = 2;
+
+    Version Observe() const {
+      uint8_t f = flags.load(std::memory_order_relaxed);
+      Version v;
+      v.value = value;
+      v.writer = writer;
+      v.seq = seq;
+      v.committed = (f & kCommitted) != 0;
+      v.dead = (f & kDead) != 0;
+      return v;
+    }
+    bool IsDead() const {
+      return (flags.load(std::memory_order_relaxed) & kDead) != 0;
+    }
+    bool IsCommittedLive() const {
+      return flags.load(std::memory_order_relaxed) == kCommitted;
+    }
+  };
+
+  /// A contiguous version slab. Grown by copy-and-publish; old slabs go to
+  /// the epoch reclaimer.
+  struct Slab {
+    explicit Slab(int cap) : capacity(cap), slots(new Slot[cap]) {}
+    int capacity;
+    std::unique_ptr<Slot[]> slots;
+  };
+
+  /// One per-entity chain: the published slab and the published length.
+  /// Readers load size before slab (both acquire) — the size publication
+  /// release-orders every earlier slot write and slab swap, so the loaded
+  /// slab always has capacity >= the loaded size.
+  struct Chain {
+    std::atomic<Slab*> slab{nullptr};
+    std::atomic<int> size{0};
+  };
+
   // 16 shards cover the repo's workloads (tens of entities) without making
   // the all-shard operations crawl; entity e maps to shard e & kShardMask.
   static constexpr int kNumShards = 16;
   static constexpr int kShardMask = kNumShards - 1;
+  static constexpr int kInitialSlabCapacity = 8;
+  /// Optimistic stamp-validated scans before AsDatabaseState falls back to
+  /// locking out the mutators.
+  static constexpr int kAsDatabaseStateRetries = 64;
 
-  std::shared_mutex& ShardOf(EntityId e) const {
-    return shards_[e & kShardMask].mu;
+  std::mutex& ShardOf(EntityId e) const { return shards_[e & kShardMask].mu; }
+
+  void BoundsCheck(EntityId e) const;
+
+  /// Loads the published (size, slab) pair for `e` in the safe order.
+  /// Caller must hold a ReadGuard (or a shard mutex for mutators).
+  const Slab* LoadChain(EntityId e, int* size) const {
+    const Chain& chain = chains_[e];
+    *size = chain.size.load(std::memory_order_acquire);
+    return chain.slab.load(std::memory_order_acquire);
   }
 
-  // Callers must hold ShardOf(e) (either side for reads).
+  /// Mutation-stamp bookkeeping for coherent cuts: every mutator brackets
+  /// its writes with Begin/EndMutation; AsDatabaseState treats the whole
+  /// bracket as atomic.
+  void BeginMutation() {
+    mutations_started_.fetch_add(1, std::memory_order_seq_cst);
+  }
+  void EndMutation() {
+    mutations_done_.fetch_add(1, std::memory_order_seq_cst);
+  }
+
+  // Callers must hold ShardOf(e) or a ReadGuard.
   int LatestLiveIndexLocked(EntityId e) const;
   int LatestCommittedIndexLocked(EntityId e) const;
 
+  /// Appends one slot under ShardOf(e), growing (and retiring) the slab if
+  /// full. Returns the new index.
+  int AppendSlot(EntityId e, Value value, int writer, bool committed);
+
+  /// Mutable chain access for flag flips; caller must hold ShardOf(e).
+  Slab* LoadChainMut(EntityId e, int* size) {
+    Chain& chain = chains_[e];
+    *size = chain.size.load(std::memory_order_relaxed);
+    return chain.slab.load(std::memory_order_relaxed);
+  }
+
+  /// Type-erased deleter handed to the epoch reclaimer (Slab is private).
+  static void DeleteSlabRaw(void* slab);
+
   struct Shard {
-    mutable std::shared_mutex mu;
+    mutable std::mutex mu;
   };
 
-  std::vector<std::deque<Version>> chains_;
+  int num_entities_ = 0;
+  std::unique_ptr<Chain[]> chains_;
   std::unique_ptr<Shard[]> shards_;
+  mutable EpochReclaimer reclaimer_;
   std::atomic<int64_t> next_seq_{0};
+  /// Coherent-cut stamps: a scan observed with started == done (and done
+  /// unchanged across it) saw no mutation partially applied.
+  std::atomic<int64_t> mutations_started_{0};
+  std::atomic<int64_t> mutations_done_{0};
   WriteAheadLog* wal_ = nullptr;
 };
 

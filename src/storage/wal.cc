@@ -952,11 +952,11 @@ Status WriteAheadLog::Checkpoint() {
   checkpoint.committed = std::move(replayed.committed);
   checkpoint.chains.resize(initial_.size());
   for (size_t e = 0; e < initial_.size(); ++e) {
-    for (const Version& v :
-         replayed.store->ChainSnapshot(static_cast<EntityId>(e))) {
-      if (v.writer == kInitialWriter || v.dead || !v.committed) continue;
-      checkpoint.chains[e].emplace_back(v.writer, v.value);
-    }
+    replayed.store->ForEachVersion(
+        static_cast<EntityId>(e), [&](const Version& v, int) {
+          if (v.writer == kInitialWriter || v.dead || !v.committed) return;
+          checkpoint.chains[e].emplace_back(v.writer, v.value);
+        });
   }
 
   // Carry forward what the checkpoint cannot absorb: appends still pending
@@ -1006,11 +1006,11 @@ int64_t WriteAheadLog::CompactTo(const RecoveryResult& recovered) {
   checkpoint.chains.resize(initial_.size());
   if (recovered.store != nullptr) {
     for (size_t e = 0; e < initial_.size(); ++e) {
-      for (const Version& v :
-           recovered.store->ChainSnapshot(static_cast<EntityId>(e))) {
-        if (v.writer == kInitialWriter || v.dead || !v.committed) continue;
-        checkpoint.chains[e].emplace_back(v.writer, v.value);
-      }
+      recovered.store->ForEachVersion(
+          static_cast<EntityId>(e), [&](const Version& v, int) {
+            if (v.writer == kInitialWriter || v.dead || !v.committed) return;
+            checkpoint.chains[e].emplace_back(v.writer, v.value);
+          });
     }
   }
   std::string frames;

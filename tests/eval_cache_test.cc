@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
 #include "common/metrics.h"
 #include "common/random.h"
 #include "predicate/predicate.h"
@@ -142,6 +147,107 @@ TEST(EvalCacheTest, ClearDropsEntriesAndCounters) {
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_EQ(cache.stats().hits, 0);
   EXPECT_EQ(cache.stats().misses, 0);
+}
+
+TEST(EvalCacheStripeTest, StripeAgreesWithScalarOnRandomValues) {
+  EvalCache cache(3);
+  Predicate predicate = TestPredicate();
+  CachedPredicate cached(predicate, &cache);
+  Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    ValueVector values = {rng.UniformInt(-20, 120), rng.UniformInt(-20, 120),
+                          rng.UniformInt(-20, 120)};
+    std::vector<Value> stripe;
+    for (int i = 0; i < 9; ++i) stripe.push_back(rng.UniformInt(-20, 120));
+    for (int c = 0; c < cached.num_clauses(); ++c) {
+      for (EntityId striped : cached.ClauseEntities(c)) {
+        std::vector<uint8_t> out(stripe.size());
+        cached.EvalClauseStripe(predicate, c, values, striped, stripe.data(),
+                                static_cast<int32_t>(stripe.size()),
+                                out.data());
+        ValueVector probe = values;
+        for (size_t i = 0; i < stripe.size(); ++i) {
+          probe[striped] = stripe[i];
+          EXPECT_EQ(out[i] != 0, predicate.clauses()[c].Eval(probe));
+        }
+      }
+    }
+  }
+}
+
+TEST(EvalCacheStripeTest, StripeAndScalarShareEntries) {
+  // The batch path must produce the exact keys of the scalar path: entries
+  // a scalar evaluation inserted answer stripe probes and vice versa.
+  EvalCache cache(3);
+  Predicate predicate = TestPredicate();
+  CachedPredicate cached(predicate, &cache);
+  ValueVector values = {10, 20, 30};
+  const std::vector<Value> stripe = {5, 10, 15};
+  // Scalar inserts for y = 5, 10, 15 on clause 3 (y < z).
+  for (Value y : stripe) {
+    ValueVector probe = values;
+    probe[1] = y;
+    cached.EvalClause(predicate, 3, probe);
+  }
+  EXPECT_EQ(cache.stats().misses, 3);
+  std::vector<uint8_t> out(stripe.size());
+  cached.EvalClauseStripe(predicate, 3, values, /*striped_entity=*/1,
+                          stripe.data(), 3, out.data());
+  EXPECT_EQ(cache.stats().misses, 3) << "stripe probe missed scalar entries";
+  EXPECT_EQ(cache.stats().hits, 3);
+  // And the reverse: a fresh stripe inserts entries the scalar path hits.
+  const std::vector<Value> fresh = {40, 45};
+  cached.EvalClauseStripe(predicate, 3, values, 1, fresh.data(), 2,
+                          out.data());
+  EXPECT_EQ(cache.stats().misses, 5);
+  ValueVector probe = values;
+  probe[1] = 40;
+  cached.EvalClause(predicate, 3, probe);
+  EXPECT_EQ(cache.stats().hits, 4);
+  EXPECT_EQ(cache.stats().misses, 5);
+}
+
+// Regression: EnsureEntities used to swap the epoch array non-atomically,
+// yet the parallel driver reaches it while verifier threads probe the
+// cache. The table is now published through an atomic pointer with retired
+// tables kept alive. Concurrent growers, bumpers, and evaluators must not
+// crash or corrupt results (the TSan leg of scripts/ci.sh checks the data
+// races this test provokes).
+TEST(EvalCacheConcurrencyTest, ConcurrentGrowthProbesAndBumps) {
+  EvalCache cache(1);
+  Predicate predicate = TestPredicate();
+  CachedPredicate cached(predicate, &cache);
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  // Growers: ratchet the epoch table upward while everything else runs.
+  for (int g = 0; g < 2; ++g) {
+    threads.emplace_back([&cache, g] {
+      for (int n = 1; n <= 2000; ++n) cache.EnsureEntities(n + g);
+    });
+  }
+  // Bumpers: invalidate entities, racing the growth copies.
+  threads.emplace_back([&cache, &done] {
+    int e = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      cache.BumpEntity(e++ % 3);
+    }
+  });
+  // Evaluators: memoized results must stay correct throughout.
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&cached, &predicate, t] {
+      Rng rng(100 + t);
+      for (int trial = 0; trial < 2000; ++trial) {
+        ValueVector values = {rng.UniformInt(-20, 120),
+                              rng.UniformInt(-20, 120),
+                              rng.UniformInt(-20, 120)};
+        ASSERT_EQ(cached.Eval(predicate, values), predicate.Eval(values));
+      }
+    });
+  }
+  threads[0].join();
+  threads[1].join();
+  done.store(true, std::memory_order_release);
+  for (size_t i = 2; i < threads.size(); ++i) threads[i].join();
 }
 
 TEST(EvalCacheTest, StructurallyIdenticalPredicatesShareEntries) {

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <set>
+#include <vector>
+
 #include "model/entity.h"
 #include "model/state.h"
 #include "model/transaction.h"
@@ -58,6 +61,47 @@ TEST(DatabaseStateTest, CandidatesAreDistinctValues) {
   EXPECT_EQ(db.CandidateValues(0), (std::vector<Value>{1, 2}));
   EXPECT_EQ(db.CandidateValues(1), (std::vector<Value>{10, 20}));
   EXPECT_EQ(db.size(), 3);
+}
+
+// Regression for the quadratic dedup: CandidateValues used to rescan its
+// output vector per state (O(states²) per entity). The fix builds with a
+// hash set in one pass — this test pins the first-seen-order contract the
+// rest of the system depends on (VersionAssignment choices index into it)
+// over a long history with heavy duplication, where the quadratic path was
+// both slow and easy to get subtly wrong.
+TEST(DatabaseStateTest, LongHistoryCandidatesKeepFirstSeenOrder) {
+  constexpr int kStates = 2000;
+  DatabaseState db(2);
+  for (int i = 0; i < kStates; ++i) {
+    // Entity 0 cycles a small value set; entity 1 grows a sparse one. Both
+    // see every value many times at staggered first occurrences.
+    db.Add({i % 7, (i % 13 == 0) ? i : (i % 13)});
+  }
+  std::vector<Value> c0 = db.CandidateValues(0);
+  EXPECT_EQ(c0, (std::vector<Value>{0, 1, 2, 3, 4, 5, 6}));
+  std::vector<Value> c1 = db.CandidateValues(1);
+  // First-seen order: 0 (i=0), then 1..12 (i=1..12) — with i=13 mapping to
+  // the new value 13, etc. Verify the prefix and that there are no dups.
+  ASSERT_GE(c1.size(), 13u);
+  for (int v = 0; v < 13; ++v) EXPECT_EQ(c1[v], v);
+  std::set<Value> distinct(c1.begin(), c1.end());
+  EXPECT_EQ(distinct.size(), c1.size());
+  // The columnar arena mirrors the per-entity lists exactly.
+  CandidateBuffer columnar = db.ColumnarCandidates();
+  ASSERT_EQ(columnar.num_entities(), 2);
+  EXPECT_TRUE(columnar.view(0) ==
+              (CandidateView{c0.data(), static_cast<int32_t>(c0.size())}));
+  EXPECT_TRUE(columnar.view(1) ==
+              (CandidateView{c1.data(), static_cast<int32_t>(c1.size())}));
+}
+
+TEST(DatabaseStateTest, ColumnarCandidatesMatchesAllCandidateValues) {
+  DatabaseState db(3);
+  db.Add({1, 10, 5});
+  db.Add({2, 10, 5});
+  db.Add({1, 20, 6});
+  EXPECT_TRUE(db.ColumnarCandidates() ==
+              CandidateBuffer::FromLists(db.AllCandidateValues()));
 }
 
 TEST(DatabaseStateTest, VersionStateMembership) {
