@@ -90,6 +90,42 @@ print(f"hot-path gate ok: {row['speedup']:.2f}x "
 EOF
 cat BENCH_eval_hotpath.json
 
+echo "== serving gate: BENCH_server.json (wire path >= 0.5x in-process) =="
+# bench_server exits non-zero unless the TCP wire path holds >= 0.5x of
+# in-process-session throughput at 8 think-paced closed-loop sessions
+# (EXPERIMENTS.md E17), with exact commit counts per leg and a shedding
+# leg whose client-observed retry-later count equals server.shed. The
+# published artifact is re-checked here so a report regression (missing
+# rows, zeroed shed counters, dropped queue-depth fields) fails CI even
+# if the bench's own gate is edited.
+./build/bench/bench_server --json > BENCH_server.json
+python3 - <<'EOF'
+import json
+report = json.load(open("BENCH_server.json"))
+rows = {r.get("name"): r for r in report["results"]}
+for name in ("inproc_think", "wire_think", "wire_shed"):
+    assert name in rows, f"missing {name} row"
+ratio = rows["wire_think"]["ops_per_sec"] / rows["inproc_think"]["ops_per_sec"]
+assert ratio >= 0.5, f"wire/in-process ratio {ratio:.2f}x < 0.5x"
+assert ratio == report["config"]["wire_vs_inproc_think"] or \
+    abs(ratio - report["config"]["wire_vs_inproc_think"]) < 1e-3, \
+    "reported ratio disagrees with rows"
+shed = rows["wire_shed"]["server"]
+assert shed["shed"] > 0, "shedding leg recorded no sheds"
+assert 0.0 < shed["shed_rate"] < 1.0, "shed_rate outside (0, 1)"
+for name, row in rows.items():
+    srv = row["server"]
+    for key in ("accepted", "shed", "queue_depth_p99", "queue_depth_max",
+                "inflight_p99", "wire_errors"):
+        assert key in srv, f"{name} row missing server.{key}"
+    assert srv["wire_errors"] == 0, f"{name} saw wire errors"
+assert report["config"]["ping_rtt_us"] > 0, "no ping RTT recorded"
+print(f"serving gate ok: wire {ratio:.2f}x in-process, "
+      f"ping {report['config']['ping_rtt_us']:.1f}us, "
+      f"shed leg {shed['shed']} sheds at rate {shed['shed_rate']:.2f}")
+EOF
+cat BENCH_server.json
+
 echo "== json gate: every bench must emit one valid --json document =="
 # The quick benches run in full; the expensive sweeps are already covered
 # by the parallel report above, so this gate sticks to the cheap ones plus
@@ -115,7 +151,10 @@ cmake --build build-tsan -j
 # the batched-log fuzzers (wal_corruption_fuzz_test and
 # crash_recovery_fuzz_test run group-commit seeds, so the WAL's pipelined
 # writer thread is raced against workers, checkpoints, and crash markers
-# under TSan here).
+# under TSan here). The serving layer is covered too: server_test and
+# wire_fuzz_test race the epoll event loop, the worker pool, and live
+# hostile connections, and engine_shutdown_test races engine teardown
+# against parked sessions and in-flight group-commit batches.
 TSAN_OPTIONS="halt_on_error=1" \
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)"
 

@@ -117,6 +117,20 @@ std::string ProtocolMetrics::Summary() const {
        << " staged-dropped=" << group_staged_dropped.value()
        << " device-flushes=" << wal_device_flushes.value() << "\n";
   }
+  if (server_sessions_opened.value() > 0 || server_shed.value() > 0) {
+    os << "server: accepted=" << server_accepted.value()
+       << " shed=" << server_shed.value()
+       << " requests=" << server_requests.value()
+       << " sessions-opened=" << server_sessions_opened.value()
+       << " sessions-closed=" << server_sessions_closed.value()
+       << " wire-errors=" << server_wire_errors.value() << "\n";
+    if (server_queue_depth.count() > 0) {
+      os << "server queue depth: " << server_queue_depth.ToString() << "\n";
+    }
+    if (server_inflight.count() > 0) {
+      os << "server in-flight: " << server_inflight.ToString() << "\n";
+    }
+  }
   if (search_nodes.count() > 0) {
     os << "search nodes: " << search_nodes.ToString() << "\n";
   }
@@ -180,6 +194,14 @@ void ProtocolMetrics::Reset() {
   group_commit_failed_acks.Reset();
   group_staged_dropped.Reset();
   wal_device_flushes.Reset();
+  server_accepted.Reset();
+  server_shed.Reset();
+  server_requests.Reset();
+  server_sessions_opened.Reset();
+  server_sessions_closed.Reset();
+  server_wire_errors.Reset();
+  server_queue_depth.Reset();
+  server_inflight.Reset();
 }
 
 }  // namespace nonserial

@@ -125,6 +125,25 @@ struct ProtocolMetrics {
   Counter wal_device_flushes;     ///< Simulated device flushes paid (per
                                   ///< commit sync, per batch grouped).
 
+  // Engine-as-a-service front end (src/server, src/engine sessions).
+  Counter server_accepted;        ///< Transactions admitted past the
+                                  ///< in-flight budget (session Begins that
+                                  ///< reached the protocol).
+  Counter server_shed;            ///< Requests answered retry-later: the
+                                  ///< in-flight budget, the WAL pipeline
+                                  ///< backlog bound, or a full per-session
+                                  ///< queue refused them.
+  Counter server_requests;        ///< Wire request frames processed.
+  Counter server_sessions_opened; ///< Sessions ever opened (engine-level).
+  Counter server_sessions_closed; ///< Sessions closed; opened - closed =
+                                  ///< active_sessions in reports.
+  Counter server_wire_errors;     ///< Malformed/corrupt frames answered
+                                  ///< with an error (connection dropped).
+  Histogram server_queue_depth;   ///< Per-session request-queue depth
+                                  ///< sampled at every enqueue.
+  Histogram server_inflight;      ///< Admitted in-flight transactions
+                                  ///< sampled at every admission.
+
   /// Multi-line human-readable dump (omits never-touched members).
   std::string Summary() const;
 

@@ -199,6 +199,17 @@ Json MetricsJson(const ProtocolMetrics& m) {
   group["failed_acks"] = m.group_commit_failed_acks.value();
   group["staged_dropped"] = m.group_staged_dropped.value();
   group["device_flushes"] = m.wal_device_flushes.value();
+  Json& server = out["server"];
+  server["accepted"] = m.server_accepted.value();
+  server["shed"] = m.server_shed.value();
+  server["requests"] = m.server_requests.value();
+  server["sessions_opened"] = m.server_sessions_opened.value();
+  server["sessions_closed"] = m.server_sessions_closed.value();
+  server["active_sessions"] =
+      m.server_sessions_opened.value() - m.server_sessions_closed.value();
+  server["wire_errors"] = m.server_wire_errors.value();
+  server["queue_depth"] = HistogramJson(m.server_queue_depth);
+  server["inflight"] = HistogramJson(m.server_inflight);
   return out;
 }
 

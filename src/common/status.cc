@@ -29,6 +29,8 @@ const char* StatusCodeName(StatusCode code) {
       return "deadlock";
     case StatusCode::kUnsatisfiable:
       return "unsatisfiable";
+    case StatusCode::kResourceExhausted:
+      return "resource-exhausted";
   }
   return "unknown";
 }

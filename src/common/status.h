@@ -23,7 +23,9 @@ enum class StatusCode : uint8_t {
   kInternal = 7,
   kAborted = 8,        ///< Transaction aborted by the concurrency control.
   kDeadlock = 9,       ///< Aborted specifically to break a deadlock.
-  kUnsatisfiable = 10  ///< No version assignment satisfies a predicate.
+  kUnsatisfiable = 10, ///< No version assignment satisfies a predicate.
+  kResourceExhausted = 11  ///< Admission control shed the request; retry
+                           ///< later (engine/server backpressure).
 };
 
 /// Returns the canonical lower-case name of a code ("ok", "aborted", ...).
@@ -74,6 +76,9 @@ class Status {
   }
   static Status Unsatisfiable(std::string msg) {
     return Status(StatusCode::kUnsatisfiable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

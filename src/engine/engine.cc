@@ -1,0 +1,412 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "common/logging.h"
+
+namespace nonserial {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+int64_t ElapsedUs(Clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               since)
+      .count();
+}
+}  // namespace
+
+Engine::Engine(EngineOptions options) : options_(std::move(options)) {
+  store_ = std::make_shared<VersionStore>(options_.initial);
+  if (options_.wal != nullptr) {
+    NONSERIAL_CHECK_EQ(options_.wal->initial().size(), options_.initial.size())
+        << "write-ahead log initial state does not match the engine's";
+    store_->SetWal(options_.wal);
+    wal_stats_before_ = options_.wal->stats();
+    options_.wal->set_flush_us(options_.wal_flush_us);
+    if (options_.wal_group_commit) {
+      options_.wal->SetObserver(options_.observer);
+      options_.wal->EnableGroupCommit(options_.wal_group_options);
+    }
+  }
+  if (options_.protocol.eval_cache != nullptr) {
+    // Size the epoch table and mirror the counters before any client runs.
+    // EnsureEntities is safe under concurrent use, but SetMetrics is a
+    // plain pointer store and must precede the workers.
+    options_.protocol.eval_cache->EnsureEntities(
+        static_cast<int>(options_.initial.size()));
+    options_.protocol.eval_cache->SetMetrics(options_.protocol.metrics);
+  }
+  cep_ = std::make_shared<CorrectExecutionProtocol>(store_.get(),
+                                                    options_.protocol);
+  if (options_.observer != nullptr) cep_->SetObserver(options_.observer);
+}
+
+Engine::~Engine() { Shutdown(); }
+
+void Engine::Shutdown() {
+  std::lock_guard<std::mutex> lifecycle_lock(lifecycle_mu_);
+  if (shutdown_done_) return;
+  stopping_.store(true, std::memory_order_release);
+  {
+    // Parked sessions re-check shutting_down() under hub_mu_; taking the
+    // lock before notifying closes the check-then-park race.
+    std::lock_guard<std::mutex> hub_lock(hub_mu_);
+    hub_cv_.notify_all();
+  }
+  if (options_.wal != nullptr) {
+    if (options_.wal_group_commit) {
+      // DisableGroupCommit (not Flush) on purpose: the stop request makes
+      // the writer drain every staged batch even under HoldFlushesForTest,
+      // whereas Flush would park forever behind the hold. Pending commit
+      // acks resolve as their batches reach the medium.
+      options_.wal->DisableGroupCommit();
+      options_.wal->SetObserver(nullptr);
+    }
+    if (ProtocolMetrics* m = metrics(); m != nullptr) {
+      WalStats after = options_.wal->stats();
+      const WalStats& before = wal_stats_before_;
+      m->group_commit_batches.Add(after.group_commit_batches -
+                                  before.group_commit_batches);
+      m->group_commit_frames.Add(after.group_commit_frames -
+                                 before.group_commit_frames);
+      m->group_commit_commits.Add(after.group_commit_commits -
+                                  before.group_commit_commits);
+      m->group_commit_stalls.Add(after.group_commit_stalls -
+                                 before.group_commit_stalls);
+      m->group_commit_failed_acks.Add(after.group_commit_failed_acks -
+                                      before.group_commit_failed_acks);
+      m->group_staged_dropped.Add(after.group_staged_dropped -
+                                  before.group_staged_dropped);
+      m->wal_device_flushes.Add(after.device_flushes - before.device_flushes);
+    }
+  }
+  shutdown_done_ = true;
+}
+
+RecoveryResult Engine::CrashRecover(const RecoveryOptions& recovery_options) {
+  std::lock_guard<std::mutex> lifecycle_lock(lifecycle_mu_);
+  NONSERIAL_CHECK(options_.wal != nullptr)
+      << "CrashRecover needs a write-ahead log";
+  RecoveryResult rec = options_.wal->Recover(recovery_options);
+  if (!rec.status.ok()) return rec;
+  // The crash marker fences the log so writer ids re-run after restart
+  // cannot resurrect their pre-crash in-flight appends. It also discards
+  // the volatile staging buffer (failing its acks) and repairs the medium.
+  options_.wal->LogCrashMarker();
+  store_ = rec.store;
+  store_->SetWal(options_.wal);
+  cep_ = std::make_shared<CorrectExecutionProtocol>(store_.get(),
+                                                    options_.protocol);
+  if (options_.observer != nullptr) cep_->SetObserver(options_.observer);
+  // The pre-crash store generation is gone; memoized evaluations over it
+  // must not survive into the rebuilt one.
+  if (options_.protocol.eval_cache != nullptr) {
+    options_.protocol.eval_cache->InvalidateAll();
+  }
+  // Pending signals referenced the dead controller generation.
+  std::lock_guard<std::mutex> hub_lock(hub_mu_);
+  std::fill(woken_.begin(), woken_.end(), 0);
+  std::fill(forced_.begin(), forced_.end(), 0);
+  return rec;
+}
+
+int Engine::AllocateTxId() {
+  return next_tx_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Engine::ReserveTxIdFloor(int n) {
+  int seen = next_tx_.load(std::memory_order_relaxed);
+  while (seen < n && !next_tx_.compare_exchange_weak(
+                         seen, n, std::memory_order_relaxed)) {
+  }
+}
+
+void Engine::EnsureTxSlots(int n) {
+  std::lock_guard<std::mutex> hub_lock(hub_mu_);
+  if (static_cast<int>(woken_.size()) < n) {
+    woken_.resize(static_cast<size_t>(n), 0);
+    forced_.resize(static_cast<size_t>(n), 0);
+  }
+}
+
+void Engine::DrainSignals() {
+  std::vector<int> forced = cep_->TakeForcedAborts();
+  std::vector<int> woken = cep_->TakeWakeups();
+  // Fault injection: drop this batch of wakeups. Forced aborts are never
+  // dropped — they are correctness signals; wakeups are liveness hints
+  // whose loss the parked owners' poll backoff must absorb.
+  if (!woken.empty() && NONSERIAL_FAILPOINT("driver.lost_wakeup")) {
+    woken.clear();
+  }
+  if (forced.empty() && woken.empty()) return;
+  {
+    std::lock_guard<std::mutex> hub_lock(hub_mu_);
+    int max_id = 0;
+    for (int tx : forced) max_id = std::max(max_id, tx);
+    for (int tx : woken) max_id = std::max(max_id, tx);
+    if (static_cast<int>(woken_.size()) <= max_id) {
+      woken_.resize(static_cast<size_t>(max_id) + 1, 0);
+      forced_.resize(static_cast<size_t>(max_id) + 1, 0);
+    }
+    for (int tx : forced) forced_[tx] = 1;
+    for (int tx : woken) woken_[tx] = 1;
+  }
+  hub_cv_.notify_all();
+}
+
+bool Engine::AwaitSignal(int tx, int64_t wait_us, int64_t* blocked_us) {
+  Clock::time_point parked = Clock::now();
+  bool forced;
+  {
+    std::unique_lock<std::mutex> hub_lock(hub_mu_);
+    if (static_cast<int>(woken_.size()) <= tx) {
+      woken_.resize(static_cast<size_t>(tx) + 1, 0);
+      forced_.resize(static_cast<size_t>(tx) + 1, 0);
+    }
+    hub_cv_.wait_for(hub_lock, std::chrono::microseconds(wait_us), [&] {
+      return woken_[tx] != 0 || forced_[tx] != 0 ||
+             stopping_.load(std::memory_order_relaxed);
+    });
+    woken_[tx] = 0;
+    forced = forced_[tx] != 0;
+  }
+  int64_t blocked = ElapsedUs(parked);
+  if (blocked_us != nullptr) *blocked_us += blocked;
+  if (ProtocolMetrics* m = metrics(); m != nullptr) {
+    m->wait_micros.Record(blocked);
+  }
+  return forced;
+}
+
+bool Engine::ForcedPending(int tx) {
+  std::lock_guard<std::mutex> hub_lock(hub_mu_);
+  return static_cast<int>(forced_.size()) > tx && forced_[tx] != 0;
+}
+
+void Engine::ClearSignals(int tx) {
+  std::lock_guard<std::mutex> hub_lock(hub_mu_);
+  if (static_cast<int>(woken_.size()) <= tx) {
+    woken_.resize(static_cast<size_t>(tx) + 1, 0);
+    forced_.resize(static_cast<size_t>(tx) + 1, 0);
+  }
+  woken_[tx] = 0;
+  forced_[tx] = 0;
+}
+
+std::unique_ptr<Session> Engine::OpenSession() {
+  if (ProtocolMetrics* m = metrics(); m != nullptr) {
+    m->server_sessions_opened.Add();
+  }
+  return std::unique_ptr<Session>(new Session(this));
+}
+
+bool Engine::TryAdmit() {
+  ProtocolMetrics* m = metrics();
+  auto shed = [m] {
+    if (m != nullptr) m->server_shed.Add();
+    return false;
+  };
+  if (stopping_.load(std::memory_order_acquire)) return shed();
+  if (options_.max_inflight_tx > 0) {
+    int cur = inflight_.load(std::memory_order_relaxed);
+    do {
+      if (cur >= options_.max_inflight_tx) return shed();
+    } while (!inflight_.compare_exchange_weak(cur, cur + 1,
+                                              std::memory_order_relaxed));
+  } else {
+    inflight_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (options_.max_wal_backlog_frames > 0 && options_.wal != nullptr &&
+      options_.wal->PipelineDepth() > options_.max_wal_backlog_frames) {
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    return shed();
+  }
+  if (m != nullptr) {
+    m->server_accepted.Add();
+    m->server_inflight.Record(inflight_.load(std::memory_order_relaxed));
+  }
+  return true;
+}
+
+void Engine::ReleaseAdmission() {
+  inflight_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Engine::OnSessionClosed() {
+  if (ProtocolMetrics* m = metrics(); m != nullptr) {
+    m->server_sessions_closed.Add();
+  }
+}
+
+namespace {
+
+/// Shared blocked-wait step for the session's three blocking calls (Begin /
+/// Read / Commit): park with exponential backoff, then report whether the
+/// attempt may retry. Returns false — the attempt must abort — on a forced
+/// abort signal, engine shutdown, or a blown per-attempt blocked budget.
+bool WaitForTurn(Engine* engine, int tx, int64_t* poll_us,
+                 int64_t* blocked_us) {
+  bool forced = engine->AwaitSignal(tx, *poll_us, blocked_us);
+  const EngineOptions& o = engine->options();
+  *poll_us = std::min(*poll_us * 2, std::max(o.max_poll_us, o.poll_us));
+  if (forced) return false;
+  if (engine->shutting_down()) return false;
+  if (o.max_blocked_us > 0 && *blocked_us > o.max_blocked_us) {
+    if (engine->metrics() != nullptr) engine->metrics()->deadline_aborts.Add();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Session::~Session() {
+  if (active_) AbortActive();
+  engine_->OnSessionClosed();
+}
+
+void Session::AbortActive() {
+  engine_->cep()->Abort(tx_);
+  engine_->DrainSignals();
+  active_ = false;
+  reuse_tx_id_ = true;
+  engine_->ReleaseAdmission();
+}
+
+Status Session::Begin(const engine::TxSpec& spec) {
+  if (active_) {
+    return Status::FailedPrecondition(
+        "begin: session already has an open transaction");
+  }
+  if (engine_->shutting_down()) {
+    return Status::Aborted("begin: engine shutting down");
+  }
+  if (!engine_->TryAdmit()) {
+    return Status::ResourceExhausted(
+        "begin: admission control shed the transaction; retry later");
+  }
+  // Reuse the aborted attempt's id rather than allocating a fresh one, so
+  // abort-retry churn cannot grow the controller's per-transaction state
+  // without bound. (Ids are single-use after Commit — the controller
+  // treats a committed id as terminal.)
+  if (!reuse_tx_id_) tx_ = engine_->AllocateTxId();
+  reuse_tx_id_ = true;
+  for (int pred : spec.predecessors) {
+    if (pred < 0 || pred >= tx_) {
+      engine_->ReleaseAdmission();
+      return Status::InvalidArgument(
+          "begin: predecessor ids must name earlier transactions");
+    }
+  }
+  engine_->EnsureTxSlots(tx_ + 1);
+  CorrectExecutionProtocol* cep = engine_->cep();
+  cep->Register(tx_, spec);
+  engine_->ClearSignals(tx_);
+
+  int64_t poll_us = std::max<int64_t>(1, engine_->options().poll_us);
+  int64_t blocked_us = 0;
+  for (;;) {
+    engine::RequestOutcome r = cep->Begin(tx_);
+    engine_->DrainSignals();
+    if (r == engine::RequestOutcome::kGranted) {
+      active_ = true;
+      return Status::OK();
+    }
+    if (r == engine::RequestOutcome::kAborted) break;
+    if (!WaitForTurn(engine_, tx_, &poll_us, &blocked_us)) break;
+  }
+  // The attempt died in validation: roll back (releases the Rv locks and
+  // any staged state) and hand the slot back.
+  cep->Abort(tx_);
+  engine_->DrainSignals();
+  engine_->ReleaseAdmission();
+  return Status::Aborted("begin: attempt aborted by the protocol");
+}
+
+StatusOr<Value> Session::Read(EntityId e) {
+  if (!active_) {
+    return Status::FailedPrecondition("read: no open transaction");
+  }
+  if (e < 0 || e >= engine_->store()->num_entities()) {
+    return Status::InvalidArgument("read: entity id out of range");
+  }
+  if (engine_->ForcedPending(tx_)) {
+    AbortActive();
+    return Status::Aborted("read: attempt aborted by the protocol");
+  }
+  CorrectExecutionProtocol* cep = engine_->cep();
+  int64_t poll_us = std::max<int64_t>(1, engine_->options().poll_us);
+  int64_t blocked_us = 0;
+  for (;;) {
+    Value value = 0;
+    engine::RequestOutcome r = cep->Read(tx_, e, &value);
+    engine_->DrainSignals();
+    if (r == engine::RequestOutcome::kGranted) return value;
+    if (r == engine::RequestOutcome::kAborted ||
+        !WaitForTurn(engine_, tx_, &poll_us, &blocked_us)) {
+      AbortActive();
+      return Status::Aborted("read: attempt aborted by the protocol");
+    }
+  }
+}
+
+Status Session::Write(EntityId e, Value value) {
+  if (!active_) {
+    return Status::FailedPrecondition("write: no open transaction");
+  }
+  if (e < 0 || e >= engine_->store()->num_entities()) {
+    return Status::InvalidArgument("write: entity id out of range");
+  }
+  CorrectExecutionProtocol* cep = engine_->cep();
+  engine::RequestOutcome r = cep->Write(tx_, e, value);
+  engine_->DrainSignals();
+  if (r == engine::RequestOutcome::kAborted) {
+    AbortActive();
+    return Status::Aborted("write: attempt aborted by the protocol");
+  }
+  // A forced abort that raced the write skips WriteDone — Abort's
+  // ReleaseAll drops the W hold (same contract as the parallel driver).
+  if (engine_->ForcedPending(tx_)) {
+    AbortActive();
+    return Status::Aborted("write: attempt aborted by the protocol");
+  }
+  cep->WriteDone(tx_, e);
+  engine_->DrainSignals();
+  return Status::OK();
+}
+
+Status Session::Commit() {
+  if (!active_) {
+    return Status::FailedPrecondition("commit: no open transaction");
+  }
+  CorrectExecutionProtocol* cep = engine_->cep();
+  int64_t poll_us = std::max<int64_t>(1, engine_->options().poll_us);
+  int64_t blocked_us = 0;
+  for (;;) {
+    engine::RequestOutcome r = cep->Commit(tx_);
+    engine_->DrainSignals();
+    if (r == engine::RequestOutcome::kGranted) {
+      active_ = false;
+      reuse_tx_id_ = false;
+      engine_->ReleaseAdmission();
+      return Status::OK();
+    }
+    if (r == engine::RequestOutcome::kAborted ||
+        !WaitForTurn(engine_, tx_, &poll_us, &blocked_us)) {
+      AbortActive();
+      return Status::Aborted("commit: attempt aborted by the protocol");
+    }
+  }
+}
+
+Status Session::Abort() {
+  if (!active_) return Status::OK();
+  AbortActive();
+  return Status::OK();
+}
+
+}  // namespace nonserial

@@ -1,0 +1,257 @@
+#ifndef NONSERIAL_ENGINE_ENGINE_H_
+#define NONSERIAL_ENGINE_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "engine/api.h"
+#include "predicate/value.h"
+#include "protocol/cep.h"
+#include "storage/version_store.h"
+#include "storage/wal.h"
+
+namespace nonserial {
+
+class Session;
+
+/// Everything needed to assemble one protocol engine. This is the wiring
+/// that used to live ad hoc inside ParallelDriver::Run / RunChaos (store +
+/// WAL + controller + eval-cache + pipeline scope); promoting it into one
+/// options struct is what lets the driver, the simulator harnesses, and
+/// the network server all be *clients* of the same engine instead of each
+/// owning a private copy of the setup code.
+struct EngineOptions {
+  /// Initial database state (one value per entity).
+  ValueVector initial;
+  /// Options forwarded to the protocol engine (search mode, metrics sink,
+  /// eval cache). Pointers inside are not owned.
+  CorrectExecutionProtocol::Options protocol;
+  /// Write-ahead log attached to the store. Not owned; its initial() must
+  /// match `initial`. Null runs without durability.
+  WriteAheadLog* wal = nullptr;
+  /// Run the WAL in group-commit mode for the engine's lifetime: enabled at
+  /// construction, drained and disabled by Shutdown(). Ignored without wal.
+  bool wal_group_commit = false;
+  GroupCommitOptions wal_group_options;
+  /// Simulated device-flush latency forwarded to the WAL (set_flush_us).
+  int64_t wal_flush_us = 0;
+  /// Trace sink attached to the controller (and the WAL writer in group
+  /// mode). Not owned; must be thread-safe and outlive the engine.
+  TraceSink* observer = nullptr;
+
+  // --- admission control / backpressure ----------------------------------
+  /// Bound on concurrently admitted (begun, not yet terminated)
+  /// transactions across all sessions. A Session::Begin over budget is
+  /// shed with kResourceExhausted (the wire protocol's RETRY_LATER).
+  /// 0 = unbounded. Driver-owned transactions do not count against it.
+  int max_inflight_tx = 0;
+  /// Shed new transactions while the WAL group-commit pipeline backlog
+  /// (staged, unflushed frames) exceeds this bound — the "group-commit
+  /// acks falling behind" slow path. 0 = unbounded.
+  uint64_t max_wal_backlog_frames = 0;
+
+  // --- session blocked-wait policy (mirrors ParallelDriverConfig) --------
+  /// Initial re-poll interval for a session parked on a blocked request;
+  /// doubles per fruitless wait up to max_poll_us.
+  int64_t poll_us = 500;
+  int64_t max_poll_us = 8'000;
+  /// Bounded waiting: one session attempt may spend at most this long
+  /// parked on blocked requests before the engine aborts it (counted as
+  /// deadline_aborts). 0 = unbounded.
+  int64_t max_blocked_us = 0;
+};
+
+/// The engine facade: one store + controller (+ WAL pipeline + eval cache)
+/// assembly with an explicit session API. Construction wires everything;
+/// Shutdown() (or the destructor) tears it down in the one safe order —
+/// wake parked sessions, drain the WAL group-commit pipeline, fold the
+/// WAL's pipeline counters into the metrics sink, detach observers.
+///
+/// Two client styles share one engine:
+///  - *Sessions* (OpenSession): independent lifecycles that arrive, issue
+///    Begin/Read/Write/Commit/Abort over time, and depart — the network
+///    server's per-connection handle, admission-controlled.
+///  - *Drivers* (ParallelDriver, tests): register a whole workload against
+///    cep() directly and drive it with their own threads, using the
+///    engine's shared signal hub for wakeup routing.
+///
+/// Thread safety: all methods are safe to call concurrently; per-Session
+/// calls must stay on one thread at a time (the session owns its
+/// transaction's phase transitions, same contract as the controller).
+class Engine {
+ public:
+  explicit Engine(EngineOptions options);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Orderly teardown; idempotent, safe to call while sessions are parked
+  /// (they are woken and their attempts abort with kAborted). After
+  /// Shutdown the components remain readable (records, stats, store) but
+  /// new Begins are refused.
+  void Shutdown();
+  bool shutting_down() const {
+    return stopping_.load(std::memory_order_acquire);
+  }
+
+  // --- component access ---------------------------------------------------
+  VersionStore* store() const { return store_.get(); }
+  CorrectExecutionProtocol* cep() const { return cep_.get(); }
+  WriteAheadLog* wal() const { return options_.wal; }
+  ProtocolMetrics* metrics() const { return options_.protocol.metrics; }
+  const EngineOptions& options() const { return options_; }
+  /// Shared ownership handles (verification outlives the engine).
+  std::shared_ptr<VersionStore> store_ref() const { return store_; }
+  std::shared_ptr<CorrectExecutionProtocol> cep_ref() const { return cep_; }
+
+  // --- crash / recovery (chaos harness) -----------------------------------
+  /// Simulated crash-kill + restart: recovers the store from the WAL,
+  /// fences the log with a crash marker, swaps in the recovered store,
+  /// rebuilds the controller, and invalidates the eval cache (memoized
+  /// evaluations must not survive a store generation). On a non-ok
+  /// recovery status nothing is swapped (the result still carries the
+  /// salvageable prefix for inspection). Requires quiesced clients.
+  RecoveryResult CrashRecover(const RecoveryOptions& recovery_options);
+
+  // --- transaction-id space ----------------------------------------------
+  /// Allocates one fresh runtime transaction id (sessions).
+  int AllocateTxId();
+  /// Raises the allocation floor so ids [0, n) are never handed to
+  /// sessions — drivers that register a workload by index call this first.
+  void ReserveTxIdFloor(int n);
+
+  // --- shared signal hub ---------------------------------------------------
+  /// Routes protocol signals (wakeups, forced aborts) to per-transaction
+  /// flags. Whichever thread makes a controller call drains afterwards;
+  /// parked owners wait on the hub's condition variable. This is the one
+  /// router both sessions and driver threads use — a signal drained by any
+  /// client reaches the right owner.
+  void EnsureTxSlots(int n);
+  void DrainSignals();
+  /// Parks until a wakeup or forced abort arrives for `tx` or `wait_us`
+  /// elapses. Clears the wakeup flag; records the blocked time in
+  /// wait_micros and adds it to *blocked_us. Returns true iff a forced
+  /// abort is pending (flag left set; ClearSignals resets it).
+  bool AwaitSignal(int tx, int64_t wait_us, int64_t* blocked_us);
+  bool ForcedPending(int tx);
+  void ClearSignals(int tx);
+
+  // --- sessions ------------------------------------------------------------
+  /// Opens an independent session. The handle owns its transaction
+  /// lifecycle: at most one in-flight transaction, aborted on destruction.
+  /// Must not outlive the engine.
+  std::unique_ptr<Session> OpenSession();
+
+  /// Admitted session transactions currently in flight.
+  int inflight() const { return inflight_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class Session;
+
+  /// Admission check for one new session transaction: in-flight budget and
+  /// WAL pipeline backlog. Counts server_accepted / server_shed.
+  bool TryAdmit();
+  void ReleaseAdmission();
+  void OnSessionClosed();
+
+  EngineOptions options_;
+  std::shared_ptr<VersionStore> store_;
+  std::shared_ptr<CorrectExecutionProtocol> cep_;
+  WalStats wal_stats_before_{};
+
+  std::atomic<int> next_tx_{0};
+  std::atomic<int> inflight_{0};
+  std::atomic<bool> stopping_{false};
+
+  std::mutex lifecycle_mu_;  ///< Serializes Shutdown / CrashRecover.
+  bool shutdown_done_ = false;
+
+  std::mutex hub_mu_;
+  std::condition_variable hub_cv_;
+  std::vector<char> woken_;
+  std::vector<char> forced_;
+};
+
+/// An independent client lifecycle against the engine: Begin opens a
+/// transaction (admission-controlled), Read/Write/Commit/Abort drive it,
+/// and any kAborted return means the engine has already rolled the attempt
+/// back — the caller just Begins again. Blocking protocol outcomes are
+/// absorbed internally (park + retry with backoff), so every method
+/// returns a terminal Status:
+///
+///   OK                  — performed
+///   kAborted            — attempt rolled back; Begin again to retry
+///   kResourceExhausted  — shed by admission control; retry later
+///   kFailedPrecondition — call sequence error (no/duplicate transaction)
+///   kInvalidArgument    — malformed spec (bad predecessor / entity id)
+///
+/// One thread at a time per session; different sessions are free to run
+/// concurrently (the server's per-session queues enforce exactly this).
+class Session {
+ public:
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Starts a transaction from `spec`. Predecessor ids must name already
+  /// allocated transactions (smaller than this transaction's id).
+  Status Begin(const engine::TxSpec& spec);
+  /// Reads an entity within the open transaction.
+  StatusOr<Value> Read(EntityId e);
+  /// Writes an entity within the open transaction. Never blocks (writes
+  /// are never delayed in the protocol, Figure 3).
+  Status Write(EntityId e, Value value);
+  /// Attempts to commit; OK means durably committed (under a WAL, the
+  /// commit record's flush epoch has been waited out).
+  Status Commit();
+  /// Voluntarily rolls back the open transaction. OK when idle (no-op).
+  Status Abort();
+
+  /// Runtime id of the current (or most recent) transaction; -1 before the
+  /// first Begin.
+  int tx() const { return tx_; }
+  bool in_transaction() const { return active_; }
+
+ private:
+  friend class Engine;
+  explicit Session(Engine* engine) : engine_(engine) {}
+
+  /// Rolls back the active attempt and releases its admission slot.
+  void AbortActive();
+
+  Engine* engine_;
+  int tx_ = -1;
+  bool active_ = false;
+  /// The last transaction aborted: its id is reusable for the next Begin
+  /// (abort-retry churn must not grow the controller's id space).
+  bool reuse_tx_id_ = false;
+};
+
+/// RAII teardown guard: guarantees Engine::Shutdown() on scope exit, so a
+/// server (or test) that dies mid-batch still drains the WAL pipeline and
+/// joins the writer thread exactly once.
+class ScopedEngineShutdown {
+ public:
+  explicit ScopedEngineShutdown(Engine* engine) : engine_(engine) {}
+  ~ScopedEngineShutdown() {
+    if (engine_ != nullptr) engine_->Shutdown();
+  }
+
+  ScopedEngineShutdown(const ScopedEngineShutdown&) = delete;
+  ScopedEngineShutdown& operator=(const ScopedEngineShutdown&) = delete;
+
+ private:
+  Engine* engine_;
+};
+
+}  // namespace nonserial
+
+#endif  // NONSERIAL_ENGINE_ENGINE_H_

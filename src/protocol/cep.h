@@ -1,6 +1,7 @@
 #ifndef NONSERIAL_PROTOCOL_CEP_H_
 #define NONSERIAL_PROTOCOL_CEP_H_
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -282,7 +283,12 @@ class CorrectExecutionProtocol : public ConcurrencyController {
   /// other way around (neither component calls back into the engine).
   mutable std::mutex mu_;
 
-  std::vector<TxState> txs_;
+  /// Deque, not vector, on purpose: sessions Register new transactions
+  /// while other transactions' validation searches run outside the engine
+  /// lock holding references into their own TxState (Begin's out-of-lock
+  /// window). Deque growth never relocates existing elements, so those
+  /// references stay valid; a vector's resize would dangle them.
+  std::deque<TxState> txs_;
   std::vector<TxRecord> records_;
   Digraph precedence_;  ///< P over transaction ids.
   ValueVector initial_snapshot_;

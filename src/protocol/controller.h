@@ -4,30 +4,19 @@
 #include <string>
 #include <vector>
 
+#include "engine/api.h"
 #include "predicate/predicate.h"
 #include "predicate/value.h"
 #include "protocol/trace.h"
 
 namespace nonserial {
 
-/// Static description of a transaction handed to a concurrency controller
-/// at registration: its specification (I_t, O_t) and its position in the
-/// parent's partial order P (predecessor transaction ids).
-struct TxProfile {
-  std::string name;
-  Predicate input;   ///< I_t; every entity the transaction reads appears here.
-  Predicate output;  ///< O_t; checked at commit.
-  std::vector<int> predecessors;  ///< Direct P-edges into this transaction.
-};
-
-/// Result of a concurrency-control request.
-enum class ReqResult {
-  kGranted,  ///< The operation was performed.
-  kBlocked,  ///< Not performed; the caller will be woken (TakeWakeups) and
-             ///< must retry the same request.
-  kAborted   ///< The controller aborted this transaction; the caller must
-             ///< call Abort() and restart the attempt.
-};
+/// The transaction description and per-request result types were promoted
+/// into the engine facade (engine/api.h) so the session API, the server,
+/// and the controllers share one definition; these aliases keep the
+/// controller layer's historical names compiling unchanged.
+using TxProfile = engine::TxSpec;
+using ReqResult = engine::RequestOutcome;
 
 /// A pluggable concurrency-control protocol driven by the discrete-event
 /// simulator. Implementations: the paper's Correct Execution Protocol,

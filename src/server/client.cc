@@ -1,0 +1,218 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace nonserial {
+
+namespace {
+
+Status SocketError(const char* what) {
+  return Status::Internal(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Client::~Client() { Disconnect(); }
+
+Status Client::Connect(const std::string& host, int port) {
+  if (fd_ >= 0) return Status::FailedPrecondition("already connected");
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return SocketError("socket");
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = SocketError("connect");
+    ::close(fd);
+    return s;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  inbuf_.clear();
+  return Status::OK();
+}
+
+void Client::Disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  inbuf_.clear();
+}
+
+Status Client::SendAll(const std::string& bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return SocketError("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Client::SendRaw(const std::string& bytes) { return SendAll(bytes); }
+
+StatusOr<wire::Response> Client::ReadResponse() {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  char buf[4096];
+  for (;;) {
+    wire::DecodedFrame frame = wire::DecodeFrame(inbuf_.data(), inbuf_.size());
+    if (frame.status == wire::FrameStatus::kCorrupt) {
+      // A server never emits corrupt frames; treat it as a broken stream.
+      Disconnect();
+      return Status::Internal("corrupt response frame: " + frame.error);
+    }
+    if (frame.status == wire::FrameStatus::kOk) {
+      inbuf_.erase(0, frame.frame_bytes);
+      if (frame.type != wire::MsgType::kResponse) {
+        Disconnect();
+        return Status::Internal("unexpected non-response frame from server");
+      }
+      wire::Response response;
+      Status s = wire::DecodeResponse(frame.payload, &response);
+      if (!s.ok()) {
+        Disconnect();
+        return s;
+      }
+      return response;
+    }
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return SocketError("recv");
+    }
+    if (n == 0) {
+      // The server hard-closes the connection on corrupt frames; surface
+      // that distinctly so fuzz callers can assert on it.
+      Disconnect();
+      return Status::Aborted("connection closed by server");
+    }
+    inbuf_.append(buf, static_cast<size_t>(n));
+  }
+}
+
+StatusOr<wire::Response> Client::Call(const wire::Request& request) {
+  Status s = SendAll(wire::EncodeRequest(request));
+  if (!s.ok()) return s;
+  return ReadResponse();
+}
+
+namespace {
+
+/// Folds a response into the session Status vocabulary.
+Status ToStatus(const wire::Response& response) {
+  if (response.code == StatusCode::kOk) return Status::OK();
+  return Status(response.code, response.message);
+}
+
+}  // namespace
+
+Status Client::StagePredicates(const Predicate& input,
+                               const Predicate& output) {
+  wire::Request request;
+  request.type = wire::MsgType::kPredicate;
+  request.input = input;
+  request.output = output;
+  StatusOr<wire::Response> response = Call(request);
+  if (!response.ok()) return response.status();
+  return ToStatus(*response);
+}
+
+StatusOr<int> Client::Begin(const std::string& name,
+                            const std::vector<int>& predecessors,
+                            const Predicate& input, const Predicate& output) {
+  wire::Request request;
+  request.type = wire::MsgType::kBegin;
+  request.name = name;
+  request.predecessors = predecessors;
+  request.use_staged = false;
+  request.input = input;
+  request.output = output;
+  StatusOr<wire::Response> response = Call(request);
+  if (!response.ok()) return response.status();
+  Status s = ToStatus(*response);
+  if (!s.ok()) return s;
+  return static_cast<int>(response->value);
+}
+
+StatusOr<int> Client::BeginStaged(const std::string& name,
+                                  const std::vector<int>& predecessors) {
+  wire::Request request;
+  request.type = wire::MsgType::kBegin;
+  request.name = name;
+  request.predecessors = predecessors;
+  request.use_staged = true;
+  StatusOr<wire::Response> response = Call(request);
+  if (!response.ok()) return response.status();
+  Status s = ToStatus(*response);
+  if (!s.ok()) return s;
+  return static_cast<int>(response->value);
+}
+
+StatusOr<Value> Client::Read(EntityId entity) {
+  wire::Request request;
+  request.type = wire::MsgType::kRead;
+  request.entity = entity;
+  StatusOr<wire::Response> response = Call(request);
+  if (!response.ok()) return response.status();
+  Status s = ToStatus(*response);
+  if (!s.ok()) return s;
+  return response->value;
+}
+
+Status Client::Write(EntityId entity, Value value) {
+  wire::Request request;
+  request.type = wire::MsgType::kWrite;
+  request.entity = entity;
+  request.value = value;
+  StatusOr<wire::Response> response = Call(request);
+  if (!response.ok()) return response.status();
+  return ToStatus(*response);
+}
+
+Status Client::Commit() {
+  wire::Request request;
+  request.type = wire::MsgType::kCommit;
+  StatusOr<wire::Response> response = Call(request);
+  if (!response.ok()) return response.status();
+  return ToStatus(*response);
+}
+
+Status Client::Abort() {
+  wire::Request request;
+  request.type = wire::MsgType::kAbort;
+  StatusOr<wire::Response> response = Call(request);
+  if (!response.ok()) return response.status();
+  return ToStatus(*response);
+}
+
+StatusOr<Value> Client::Ping(Value token) {
+  wire::Request request;
+  request.type = wire::MsgType::kPing;
+  request.value = token;
+  StatusOr<wire::Response> response = Call(request);
+  if (!response.ok()) return response.status();
+  Status s = ToStatus(*response);
+  if (!s.ok()) return s;
+  return response->value;
+}
+
+}  // namespace nonserial

@@ -1,0 +1,75 @@
+#ifndef NONSERIAL_SERVER_CLIENT_H_
+#define NONSERIAL_SERVER_CLIENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "predicate/predicate.h"
+#include "predicate/value.h"
+#include "server/wire.h"
+
+namespace nonserial {
+
+/// Blocking C++ client for the session wire protocol (server/wire.h): one
+/// TCP connection == one server-side Session. Calls mirror the Session API
+/// — Begin/Read/Write/Commit/Abort returning the same Status vocabulary
+/// (kAborted: retry the transaction; kResourceExhausted: shed, retry
+/// later) — so a workload loop written against Session ports to the wire
+/// by swapping the handle type.
+///
+/// Not thread-safe: one thread per client (matching the per-session
+/// single-thread contract on the server side).
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  Status Connect(const std::string& host, int port);
+  void Disconnect();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Stages I_t/O_t server-side for subsequent BeginStaged calls
+  /// (prepared-statement style — a retry loop ships its predicates once).
+  Status StagePredicates(const Predicate& input, const Predicate& output);
+
+  /// Starts a transaction with inline predicates. Returns the server-side
+  /// transaction id.
+  StatusOr<int> Begin(const std::string& name,
+                      const std::vector<int>& predecessors,
+                      const Predicate& input, const Predicate& output);
+
+  /// Starts a transaction using the staged predicates.
+  StatusOr<int> BeginStaged(const std::string& name,
+                            const std::vector<int>& predecessors);
+
+  StatusOr<Value> Read(EntityId entity);
+  Status Write(EntityId entity, Value value);
+  Status Commit();
+  Status Abort();
+
+  /// Liveness probe; returns the echoed token.
+  StatusOr<Value> Ping(Value token);
+
+  /// One framed round trip (escape hatch for tests and the bench).
+  StatusOr<wire::Response> Call(const wire::Request& request);
+
+  /// Sends raw bytes as-is — the fuzz tests' hostile-client entry point.
+  Status SendRaw(const std::string& bytes);
+
+  /// Reads one response frame (pairs with SendRaw).
+  StatusOr<wire::Response> ReadResponse();
+
+ private:
+  Status SendAll(const std::string& bytes);
+
+  int fd_ = -1;
+  std::string inbuf_;
+};
+
+}  // namespace nonserial
+
+#endif  // NONSERIAL_SERVER_CLIENT_H_

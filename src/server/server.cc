@@ -1,0 +1,362 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace nonserial {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(StrCat(what, ": ", std::strerror(errno)));
+}
+
+void SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+SessionServer::Connection::~Connection() {
+  if (fd >= 0) ::close(fd);
+}
+
+SessionServer::SessionServer(Engine* engine, ServerOptions options)
+    : engine_(engine),
+      options_(std::move(options)),
+      metrics_(engine->metrics()) {}
+
+SessionServer::~SessionServer() { Stop(); }
+
+Status SessionServer::Start() {
+  NONSERIAL_CHECK(!started_) << "SessionServer::Start called twice";
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument(StrCat("bad listen host: ", options_.host));
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Errno("bind");
+  }
+  if (::listen(listen_fd_, 128) < 0) return Errno("listen");
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) < 0) {
+    return Errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  SetNonBlocking(listen_fd_);
+
+  if (::pipe2(wake_pipe_, O_CLOEXEC | O_NONBLOCK) < 0) return Errno("pipe2");
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return Errno("epoll_create1");
+  epoll_event event{};
+  event.events = EPOLLIN;
+  event.data.fd = listen_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &event) < 0) {
+    return Errno("epoll_ctl(listen)");
+  }
+  event.data.fd = wake_pipe_[0];
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_pipe_[0], &event) < 0) {
+    return Errno("epoll_ctl(wakeup)");
+  }
+
+  workers_ =
+      std::make_unique<ThreadPool>(std::max(1, options_.num_workers));
+  event_thread_ = std::thread([this] { EventLoop(); });
+  started_ = true;
+  return Status::OK();
+}
+
+void SessionServer::Stop() {
+  if (!started_) return;
+  if (!stopping_.exchange(true)) {
+    // One byte on the self-pipe pops the event loop out of epoll_wait.
+    char byte = 0;
+    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+  if (event_thread_.joinable()) event_thread_.join();
+  // Drain in-flight request handlers (the pool destructor runs the queue
+  // dry and joins). Connections die with their last worker reference.
+  workers_.reset();
+  connections_.clear();
+  active_connections_.store(0, std::memory_order_relaxed);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+  epoll_fd_ = listen_fd_ = wake_pipe_[0] = wake_pipe_[1] = -1;
+  started_ = false;
+  stopping_.store(false);
+}
+
+void SessionServer::EventLoop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, /*timeout_ms=*/250);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      if (fd == wake_pipe_[0]) continue;  // Stop() — outer loop exits.
+      if (fd == listen_fd_) {
+        AcceptPending();
+        continue;
+      }
+      auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        CloseConnection(fd);
+        continue;
+      }
+      // Copy the shared_ptr: HandleReadable may CloseConnection, which
+      // erases the map entry a bare reference would dangle into.
+      std::shared_ptr<Connection> conn = it->second;
+      HandleReadable(conn);
+    }
+  }
+  // Half-close every connection so blocked client reads fail fast; the
+  // Connection objects (and their sessions) are released in Stop() once
+  // the workers drain.
+  for (auto& [fd, conn] : connections_) {
+    conn->closed.store(true, std::memory_order_release);
+    ::shutdown(fd, SHUT_RDWR);
+  }
+}
+
+void SessionServer::AcceptPending() {
+  for (;;) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN — drained.
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Connection>(fd);
+    conn->session = engine_->OpenSession();
+    epoll_event event{};
+    event.events = EPOLLIN;
+    event.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) < 0) {
+      continue;  // conn closes via destructor.
+    }
+    connections_.emplace(fd, std::move(conn));
+    active_connections_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void SessionServer::HandleReadable(const std::shared_ptr<Connection>& conn) {
+  char buf[16 * 1024];
+  for (;;) {
+    ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn->inbuf.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // Peer closed (or hard error): tear the connection down.
+    CloseConnection(conn->fd);
+    return;
+  }
+
+  // Parse every complete frame in the buffer.
+  size_t consumed = 0;
+  bool fatal = false;
+  while (consumed < conn->inbuf.size()) {
+    wire::DecodedFrame frame = wire::DecodeFrame(
+        conn->inbuf.data() + consumed, conn->inbuf.size() - consumed);
+    if (frame.status == wire::FrameStatus::kNeedMore) break;
+    if (frame.status == wire::FrameStatus::kCorrupt) {
+      // A corrupt frame poisons the stream (framing is lost): report once,
+      // then drop exactly this connection. Other sessions are untouched.
+      if (metrics_ != nullptr) metrics_->server_wire_errors.Add();
+      wire::Response response;
+      response.code = StatusCode::kInvalidArgument;
+      response.message = StrCat("wire: ", frame.error);
+      SendFrame(conn.get(), wire::EncodeResponse(response));
+      fatal = true;
+      break;
+    }
+    consumed += frame.frame_bytes;
+
+    wire::Request request;
+    Status decoded = wire::DecodeRequest(frame.type, frame.payload, &request);
+    if (!decoded.ok()) {
+      // CRC-valid but semantically malformed: the framing survives, so the
+      // error is answerable per request without closing the stream.
+      if (metrics_ != nullptr) metrics_->server_wire_errors.Add();
+      wire::Response response;
+      response.code = decoded.code();
+      response.message = decoded.message();
+      SendFrame(conn.get(), wire::EncodeResponse(response));
+      continue;
+    }
+
+    bool spawn = false;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (conn->queue.size() >= options_.max_queue_depth) {
+        // Queue overflow: shed rather than buffer without bound. The
+        // client retries later; counted with the admission sheds.
+        if (metrics_ != nullptr) metrics_->server_shed.Add();
+        wire::Response response;
+        response.code = StatusCode::kResourceExhausted;
+        response.message = "server: request queue full; retry later";
+        SendFrame(conn.get(), wire::EncodeResponse(response));
+        continue;
+      }
+      conn->queue.push_back(std::move(request));
+      if (metrics_ != nullptr) {
+        metrics_->server_queue_depth.Record(
+            static_cast<int64_t>(conn->queue.size()));
+      }
+      if (!conn->running) {
+        conn->running = true;
+        spawn = true;
+      }
+    }
+    if (spawn) {
+      std::shared_ptr<Connection> owned = conn;
+      workers_->Submit([this, owned] { PumpQueue(owned); });
+    }
+  }
+  conn->inbuf.erase(0, consumed);
+  if (fatal) CloseConnection(conn->fd);
+}
+
+void SessionServer::PumpQueue(std::shared_ptr<Connection> conn) {
+  for (;;) {
+    wire::Request request;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (conn->queue.empty()) {
+        conn->running = false;
+        return;
+      }
+      request = std::move(conn->queue.front());
+      conn->queue.pop_front();
+    }
+    if (metrics_ != nullptr) metrics_->server_requests.Add();
+    wire::Response response = Execute(conn.get(), request);
+    if (!conn->closed.load(std::memory_order_acquire)) {
+      SendFrame(conn.get(), wire::EncodeResponse(response));
+    }
+  }
+}
+
+wire::Response SessionServer::Execute(Connection* conn,
+                                      const wire::Request& request) {
+  Session* session = conn->session.get();
+  wire::Response response;
+  auto fill = [&response](const Status& status) {
+    response.code = status.code();
+    if (!status.ok()) response.message = status.message();
+  };
+  switch (request.type) {
+    case wire::MsgType::kPredicate:
+      conn->staged_input = request.input;
+      conn->staged_output = request.output;
+      conn->has_staged = true;
+      break;
+    case wire::MsgType::kBegin: {
+      engine::TxSpec spec;
+      spec.name = request.name;
+      spec.predecessors = request.predecessors;
+      if (request.use_staged) {
+        if (!conn->has_staged) {
+          fill(Status::FailedPrecondition(
+              "begin: no staged predicates on this session"));
+          break;
+        }
+        spec.input = conn->staged_input;
+        spec.output = conn->staged_output;
+      } else {
+        spec.input = request.input;
+        spec.output = request.output;
+      }
+      fill(session->Begin(spec));
+      response.value = session->tx();
+      break;
+    }
+    case wire::MsgType::kRead: {
+      StatusOr<Value> value = session->Read(request.entity);
+      fill(value.status());
+      if (value.ok()) response.value = *value;
+      break;
+    }
+    case wire::MsgType::kWrite:
+      fill(session->Write(request.entity, request.value));
+      break;
+    case wire::MsgType::kCommit:
+      fill(session->Commit());
+      break;
+    case wire::MsgType::kAbort:
+      fill(session->Abort());
+      break;
+    case wire::MsgType::kPing:
+      response.value = request.value;
+      break;
+    case wire::MsgType::kResponse:
+      fill(Status::InvalidArgument("response frame sent as a request"));
+      break;
+  }
+  return response;
+}
+
+void SessionServer::SendFrame(Connection* conn, const std::string& frame) {
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    ssize_t n = ::send(conn->fd, frame.data() + sent, frame.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{conn->fd, POLLOUT, 0};
+      ::poll(&pfd, 1, /*timeout_ms=*/1000);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return;  // Peer gone; the reader side will reap the connection.
+  }
+}
+
+void SessionServer::CloseConnection(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  it->second->closed.store(true, std::memory_order_release);
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  // Half-close now (wakes any peer), full close when the last reference —
+  // possibly a worker mid-request — drops the Connection. The session
+  // aborts any open transaction in its destructor.
+  ::shutdown(fd, SHUT_RDWR);
+  connections_.erase(it);
+  active_connections_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+}  // namespace nonserial

@@ -1,0 +1,348 @@
+#include "server/wire.h"
+
+#include <cstring>
+
+#include "storage/wal_format.h"
+
+namespace nonserial {
+namespace wire {
+
+namespace {
+
+// --- primitive little-endian writers/readers -----------------------------
+
+void PutU8(std::string* out, uint8_t v) { out->push_back(static_cast<char>(v)); }
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutI32(std::string* out, int32_t v) { PutU32(out, static_cast<uint32_t>(v)); }
+
+void PutI64(std::string* out, int64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+/// Bounds-checked cursor over a payload. Every accessor reports failure
+/// instead of reading past the end — the decoder's defensiveness lives
+/// here, in one place.
+class Reader {
+ public:
+  Reader(const char* data, size_t len) : data_(data), len_(len) {}
+
+  bool U8(uint8_t* v) {
+    if (pos_ + 1 > len_) return Fail();
+    *v = static_cast<uint8_t>(data_[pos_]);
+    pos_ += 1;
+    return true;
+  }
+
+  bool U32(uint32_t* v) {
+    if (pos_ + 4 > len_) return Fail();
+    uint32_t out = 0;
+    for (int i = 0; i < 4; ++i) {
+      out |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+             << (8 * i);
+    }
+    *v = out;
+    pos_ += 4;
+    return true;
+  }
+
+  bool I32(int32_t* v) {
+    uint32_t raw = 0;
+    if (!U32(&raw)) return false;
+    *v = static_cast<int32_t>(raw);
+    return true;
+  }
+
+  bool I64(int64_t* v) {
+    if (pos_ + 8 > len_) return Fail();
+    uint64_t out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+             << (8 * i);
+    }
+    *v = static_cast<int64_t>(out);
+    pos_ += 8;
+    return true;
+  }
+
+  bool String(std::string* v) {
+    uint32_t n = 0;
+    if (!U32(&n)) return false;
+    if (n > len_ - pos_) return Fail();  // pos_ <= len_ always holds.
+    v->assign(data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool failed() const { return failed_; }
+  bool exhausted() const { return pos_ == len_; }
+
+ private:
+  bool Fail() {
+    failed_ = true;
+    return false;
+  }
+
+  const char* data_;
+  size_t len_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+// --- predicate encoding ---------------------------------------------------
+
+void PutTerm(std::string* out, const Term& term) {
+  PutU8(out, term.is_entity ? 1 : 0);
+  PutI32(out, term.entity);
+  PutI64(out, term.constant);
+}
+
+bool GetTerm(Reader* r, Term* term) {
+  uint8_t is_entity = 0;
+  int32_t entity = 0;
+  int64_t constant = 0;
+  if (!r->U8(&is_entity) || !r->I32(&entity) || !r->I64(&constant)) {
+    return false;
+  }
+  if (is_entity > 1) return false;
+  term->is_entity = is_entity != 0;
+  term->entity = entity;
+  term->constant = constant;
+  return true;
+}
+
+void PutPredicate(std::string* out, const Predicate& predicate) {
+  PutU32(out, static_cast<uint32_t>(predicate.clauses().size()));
+  for (const Clause& clause : predicate.clauses()) {
+    PutU32(out, static_cast<uint32_t>(clause.atoms().size()));
+    for (const Atom& atom : clause.atoms()) {
+      PutTerm(out, atom.lhs);
+      PutU8(out, static_cast<uint8_t>(atom.op));
+      PutTerm(out, atom.rhs);
+    }
+  }
+}
+
+bool GetPredicate(Reader* r, Predicate* predicate) {
+  uint32_t num_clauses = 0;
+  if (!r->U32(&num_clauses)) return false;
+  // An atom costs >= 27 encoded bytes; a clause count larger than the
+  // payload could carry is corruption, not a big predicate.
+  if (num_clauses > kMaxPayloadBytes) return false;
+  std::vector<Clause> clauses;
+  clauses.reserve(num_clauses);
+  for (uint32_t c = 0; c < num_clauses; ++c) {
+    uint32_t num_atoms = 0;
+    if (!r->U32(&num_atoms)) return false;
+    if (num_atoms > kMaxPayloadBytes) return false;
+    std::vector<Atom> atoms;
+    atoms.reserve(num_atoms);
+    for (uint32_t a = 0; a < num_atoms; ++a) {
+      Atom atom;
+      uint8_t op = 0;
+      if (!GetTerm(r, &atom.lhs) || !r->U8(&op) || !GetTerm(r, &atom.rhs)) {
+        return false;
+      }
+      if (op > static_cast<uint8_t>(CompareOp::kGe)) return false;
+      atom.op = static_cast<CompareOp>(op);
+      atoms.push_back(std::move(atom));
+    }
+    clauses.emplace_back(std::move(atoms));
+  }
+  *predicate = Predicate(std::move(clauses));
+  return true;
+}
+
+uint32_t FrameCrc(uint8_t type, const std::string& payload) {
+  // Mirror wal_format's frame CRC discipline: cover the type byte, the
+  // length field, and the payload.
+  uint8_t prefix[5];
+  prefix[0] = type;
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  std::memcpy(prefix + 1, &len, 4);
+  uint32_t crc = wal_format::Crc32(prefix, sizeof(prefix));
+  return wal_format::Crc32(
+      reinterpret_cast<const uint8_t*>(payload.data()), payload.size(), crc);
+}
+
+}  // namespace
+
+std::string EncodeFrame(MsgType type, const std::string& payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  PutU32(&out, kFrameMagic);
+  PutU8(&out, static_cast<uint8_t>(type));
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  PutU32(&out, FrameCrc(static_cast<uint8_t>(type), payload));
+  out.append(payload);
+  return out;
+}
+
+std::string EncodeRequest(const Request& request) {
+  std::string payload;
+  switch (request.type) {
+    case MsgType::kBegin:
+      PutString(&payload, request.name);
+      PutU8(&payload, request.use_staged ? 1 : 0);
+      PutU32(&payload, static_cast<uint32_t>(request.predecessors.size()));
+      for (int pred : request.predecessors) PutI32(&payload, pred);
+      if (!request.use_staged) {
+        PutPredicate(&payload, request.input);
+        PutPredicate(&payload, request.output);
+      }
+      break;
+    case MsgType::kRead:
+      PutI32(&payload, request.entity);
+      break;
+    case MsgType::kWrite:
+      PutI32(&payload, request.entity);
+      PutI64(&payload, request.value);
+      break;
+    case MsgType::kPredicate:
+      PutPredicate(&payload, request.input);
+      PutPredicate(&payload, request.output);
+      break;
+    case MsgType::kPing:
+      PutI64(&payload, request.value);
+      break;
+    case MsgType::kCommit:
+    case MsgType::kAbort:
+    case MsgType::kResponse:
+      break;
+  }
+  return EncodeFrame(request.type, payload);
+}
+
+std::string EncodeResponse(const Response& response) {
+  std::string payload;
+  PutU8(&payload, static_cast<uint8_t>(response.code));
+  PutI64(&payload, response.value);
+  PutString(&payload, response.message);
+  return EncodeFrame(MsgType::kResponse, payload);
+}
+
+DecodedFrame DecodeFrame(const char* data, size_t len) {
+  DecodedFrame out;
+  if (len < kFrameHeaderBytes) {
+    out.status = FrameStatus::kNeedMore;
+    return out;
+  }
+  Reader header(data, kFrameHeaderBytes);
+  uint32_t magic = 0, frame_len = 0, crc = 0;
+  uint8_t type = 0;
+  header.U32(&magic);
+  header.U8(&type);
+  header.U32(&frame_len);
+  header.U32(&crc);
+  if (magic != kFrameMagic) {
+    out.status = FrameStatus::kCorrupt;
+    out.error = "bad frame magic";
+    return out;
+  }
+  if (frame_len > kMaxPayloadBytes) {
+    out.status = FrameStatus::kCorrupt;
+    out.error = "oversized frame";
+    return out;
+  }
+  if (len < kFrameHeaderBytes + frame_len) {
+    out.status = FrameStatus::kNeedMore;
+    return out;
+  }
+  std::string payload(data + kFrameHeaderBytes, frame_len);
+  if (FrameCrc(type, payload) != crc) {
+    out.status = FrameStatus::kCorrupt;
+    out.error = "frame CRC mismatch";
+    return out;
+  }
+  out.frame_bytes = kFrameHeaderBytes + frame_len;
+  out.type = static_cast<MsgType>(type);
+  out.payload = std::move(payload);
+  return out;
+}
+
+Status DecodeRequest(MsgType type, const std::string& payload, Request* out) {
+  *out = Request();
+  out->type = type;
+  Reader r(payload.data(), payload.size());
+  switch (type) {
+    case MsgType::kBegin: {
+      uint8_t use_staged = 0;
+      uint32_t num_preds = 0;
+      if (!r.String(&out->name) || !r.U8(&use_staged) || !r.U32(&num_preds) ||
+          use_staged > 1 || num_preds > kMaxPayloadBytes / 4) {
+        return Status::InvalidArgument("begin: malformed payload");
+      }
+      out->use_staged = use_staged != 0;
+      out->predecessors.reserve(num_preds);
+      for (uint32_t i = 0; i < num_preds; ++i) {
+        int32_t pred = 0;
+        if (!r.I32(&pred)) {
+          return Status::InvalidArgument("begin: malformed predecessors");
+        }
+        out->predecessors.push_back(pred);
+      }
+      if (!out->use_staged &&
+          (!GetPredicate(&r, &out->input) || !GetPredicate(&r, &out->output))) {
+        return Status::InvalidArgument("begin: malformed predicates");
+      }
+      break;
+    }
+    case MsgType::kRead:
+      if (!r.I32(&out->entity)) {
+        return Status::InvalidArgument("read: malformed payload");
+      }
+      break;
+    case MsgType::kWrite:
+      if (!r.I32(&out->entity) || !r.I64(&out->value)) {
+        return Status::InvalidArgument("write: malformed payload");
+      }
+      break;
+    case MsgType::kPredicate:
+      if (!GetPredicate(&r, &out->input) || !GetPredicate(&r, &out->output)) {
+        return Status::InvalidArgument("predicate: malformed payload");
+      }
+      break;
+    case MsgType::kPing:
+      if (!r.I64(&out->value)) {
+        return Status::InvalidArgument("ping: malformed payload");
+      }
+      break;
+    case MsgType::kCommit:
+    case MsgType::kAbort:
+      break;
+    case MsgType::kResponse:
+      return Status::InvalidArgument("response frame sent as a request");
+    default:
+      return Status::InvalidArgument("unknown request type");
+  }
+  if (!r.exhausted()) {
+    return Status::InvalidArgument("trailing bytes after request payload");
+  }
+  return Status::OK();
+}
+
+Status DecodeResponse(const std::string& payload, Response* out) {
+  *out = Response();
+  Reader r(payload.data(), payload.size());
+  uint8_t code = 0;
+  if (!r.U8(&code) || !r.I64(&out->value) || !r.String(&out->message) ||
+      !r.exhausted()) {
+    return Status::InvalidArgument("malformed response payload");
+  }
+  if (code > static_cast<uint8_t>(StatusCode::kResourceExhausted)) {
+    return Status::InvalidArgument("unknown response status code");
+  }
+  out->code = static_cast<StatusCode>(code);
+  return Status::OK();
+}
+
+}  // namespace wire
+}  // namespace nonserial

@@ -1,0 +1,109 @@
+#ifndef NONSERIAL_SERVER_WIRE_H_
+#define NONSERIAL_SERVER_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "engine/api.h"
+#include "predicate/predicate.h"
+#include "predicate/value.h"
+
+namespace nonserial {
+namespace wire {
+
+/// On-wire layout of the session protocol. A connection carries a sequence
+/// of length-prefixed, CRC-protected frames (the same framing discipline as
+/// the write-ahead log's media format, storage/wal_format.h — one codec
+/// idiom across the process boundary and the storage boundary):
+///
+///   frame: magic u32 | type u8 | len u32 | crc u32 | payload
+///
+/// The CRC32 (IEEE 802.3, reused from wal_format) covers type, len, and the
+/// payload, so any corrupted byte outside the magic fails the check; a
+/// corrupted magic fails the magic check instead. All integers are
+/// little-endian. Requests and responses use the same frame shape; the
+/// type byte's high bit marks responses.
+///
+/// The decoder is defensive by construction: every read is bounds-checked,
+/// a length field is capped before any allocation, and no input byte
+/// sequence may do anything worse than yield kCorrupt — a malformed client
+/// costs one connection, never the server.
+
+inline constexpr uint32_t kFrameMagic = 0x5652534Eu;  // "NSRV"
+inline constexpr size_t kFrameHeaderBytes = 4 + 1 + 4 + 4;
+/// Upper bound on a sane payload (guards length-field corruption from
+/// driving allocations; predicates over the repo's workloads are tiny).
+inline constexpr uint32_t kMaxPayloadBytes = 1u << 20;
+
+/// Request frame types (client -> server).
+enum class MsgType : uint8_t {
+  kBegin = 0x01,      ///< Start a transaction (inline or staged predicates).
+  kRead = 0x02,       ///< Read one entity.
+  kWrite = 0x03,      ///< Write one entity.
+  kPredicate = 0x04,  ///< Stage input/output predicates for the next BEGIN
+                      ///< (prepared-statement style; survives aborts, so a
+                      ///< retry loop sends the spec once).
+  kCommit = 0x05,
+  kAbort = 0x06,
+  kPing = 0x07,       ///< Liveness probe; echoes its value.
+  kResponse = 0x80,   ///< Server -> client (high bit set).
+};
+
+/// One decoded client request.
+struct Request {
+  MsgType type = MsgType::kPing;
+  // kBegin.
+  std::string name;
+  std::vector<int> predecessors;
+  bool use_staged = false;  ///< Take I_t/O_t from the staged kPredicate.
+  Predicate input;          ///< kBegin (inline) and kPredicate.
+  Predicate output;
+  // kRead / kWrite.
+  EntityId entity = kInvalidEntity;
+  Value value = 0;  ///< kWrite payload; kPing echo token.
+};
+
+/// One server response. `code` is the engine's Status vocabulary;
+/// kResourceExhausted is the wire-level RETRY_LATER (admission shed).
+struct Response {
+  StatusCode code = StatusCode::kOk;
+  Value value = 0;  ///< kRead result; kBegin transaction id; kPing echo.
+  std::string message;
+};
+
+/// Serializes one frame (header + payload).
+std::string EncodeFrame(MsgType type, const std::string& payload);
+
+std::string EncodeRequest(const Request& request);
+std::string EncodeResponse(const Response& response);
+
+enum class FrameStatus : uint8_t {
+  kOk,         ///< Frame decoded; `frame_bytes` consumed.
+  kNeedMore,   ///< The bytes end mid-frame; read more and retry.
+  kCorrupt     ///< Bad magic, CRC mismatch, or oversized length field.
+};
+
+struct DecodedFrame {
+  FrameStatus status = FrameStatus::kOk;
+  size_t frame_bytes = 0;  ///< Total encoded size (header + payload).
+  MsgType type = MsgType::kPing;
+  std::string payload;
+  std::string error;  ///< When kCorrupt: what failed (diagnostics).
+};
+
+/// Decodes the frame starting at data[0]; `len` bytes are available.
+DecodedFrame DecodeFrame(const char* data, size_t len);
+
+/// Decodes a request payload for `type`. InvalidArgument on any malformed
+/// or trailing bytes — a CRC-valid frame can still carry a hostile body.
+Status DecodeRequest(MsgType type, const std::string& payload, Request* out);
+
+/// Decodes a response payload.
+Status DecodeResponse(const std::string& payload, Response* out);
+
+}  // namespace wire
+}  // namespace nonserial
+
+#endif  // NONSERIAL_SERVER_WIRE_H_

@@ -17,20 +17,6 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/// Routes protocol signals to per-transaction flags. Whichever thread
-/// makes a controller call drains the engine's signal sets afterwards and
-/// publishes them here; parked owners wait on the condition variable.
-struct SignalHub {
-  explicit SignalHub(int num_txs)
-      : woken(num_txs, 0), forced(num_txs, 0) {}
-
-  std::mutex mu;
-  std::condition_variable cv;
-  std::vector<char> woken;
-  std::vector<char> forced;
-  bool stop = false;
-};
-
 class Driver {
  public:
   /// `restored` (may be null): per-tx records recovered from a WAL; entries
@@ -39,21 +25,25 @@ class Driver {
   /// workers abandon their transactions *without* aborting or rolling back
   /// (kill semantics — only the write-ahead log survives).
   Driver(const SimWorkload& workload, const ParallelDriverConfig& config,
-         VersionStore* store, CorrectExecutionProtocol* cep,
+         Engine* engine,
          const std::vector<CorrectExecutionProtocol::TxRecord>* restored,
          int64_t crash_after_us, uint64_t storm_seed)
       : workload_(workload),
         config_(config),
-        store_(store),
-        cep_(cep),
+        engine_(engine),
+        cep_(engine->cep()),
         restored_(restored),
         crash_after_us_(crash_after_us),
-        storm_rng_(storm_seed),
-        hub_(static_cast<int>(workload.txs.size())) {
+        storm_rng_(storm_seed) {
     result_.tx.resize(workload.txs.size());
   }
 
   ParallelRunResult Run() {
+    int num_txs = static_cast<int>(workload_.txs.size());
+    // Workload transactions are addressed by index; fence the engine's
+    // session id allocator past them and size the shared signal hub.
+    engine_->ReserveTxIdFloor(num_txs);
+    engine_->EnsureTxSlots(num_txs);
     for (size_t i = 0; i < workload_.txs.size(); ++i) {
       const SimTx& tx = workload_.txs[i];
       for (int pred : tx.predecessors) {
@@ -123,65 +113,20 @@ class Driver {
     if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
   }
 
-  /// Publishes pending engine signals. Called after every controller call.
-  void Drain() {
-    std::vector<int> forced = cep_->TakeForcedAborts();
-    std::vector<int> woken = cep_->TakeWakeups();
-    // Fault injection: drop this batch of wakeups. Forced aborts are never
-    // dropped — they are correctness signals; wakeups are liveness hints
-    // whose loss the parked owners' poll backoff must absorb.
-    if (!woken.empty() && NONSERIAL_FAILPOINT("driver.lost_wakeup")) {
-      woken.clear();
-    }
-    if (forced.empty() && woken.empty()) return;
-    {
-      std::lock_guard<std::mutex> lock(hub_.mu);
-      for (int tx : forced) hub_.forced[tx] = 1;
-      for (int tx : woken) hub_.woken[tx] = 1;
-    }
-    hub_.cv.notify_all();
-  }
-
-  bool ForcedPending(int tx) {
-    std::lock_guard<std::mutex> lock(hub_.mu);
-    return hub_.forced[tx] != 0;
-  }
-
-  void ClearSignals(int tx) {
-    std::lock_guard<std::mutex> lock(hub_.mu);
-    hub_.woken[tx] = 0;
-    hub_.forced[tx] = 0;
-  }
-
-  /// Parks until a wakeup or forced abort arrives for `tx` (or the current
-  /// poll interval elapses — blocked requests are safe to re-issue). Each
-  /// fruitless wait doubles `*poll_us` up to max_poll_us: exponential
-  /// backoff keeps spurious re-polls cheap while still bounding the damage
-  /// of a lost wakeup. Returns true iff a forced abort is pending.
+  /// Parks on the engine's shared signal hub until a wakeup or forced
+  /// abort arrives for `tx` (or the current poll interval elapses —
+  /// blocked requests are safe to re-issue). Each fruitless wait doubles
+  /// `*poll_us` up to max_poll_us: exponential backoff keeps spurious
+  /// re-polls cheap while still bounding the damage of a lost wakeup.
+  /// Returns true iff a forced abort is pending.
   bool AwaitSignal(int tx, ParallelTxOutcome* outcome, int64_t* poll_us,
                    int64_t* attempt_blocked_us) {
-    Clock::time_point parked = Clock::now();
-    bool forced;
-    {
-      std::unique_lock<std::mutex> lock(hub_.mu);
-      hub_.cv.wait_for(lock, std::chrono::microseconds(*poll_us),
-                       [&] {
-                         return hub_.woken[tx] != 0 || hub_.forced[tx] != 0 ||
-                                hub_.stop;
-                       });
-      hub_.woken[tx] = 0;
-      forced = hub_.forced[tx] != 0;
-    }
+    int64_t blocked = 0;
+    bool forced = engine_->AwaitSignal(tx, *poll_us, &blocked);
     *poll_us = std::min(*poll_us * 2,
                         std::max(config_.max_poll_us, config_.poll_us));
-    int64_t blocked = std::chrono::duration_cast<std::chrono::microseconds>(
-                          Clock::now() - parked)
-                          .count();
     outcome->blocked_micros += blocked;
     *attempt_blocked_us += blocked;
-    if (config_.protocol.metrics != nullptr) {
-      config_.protocol.metrics->wait_micros.Record(blocked);
-    }
     return forced;
   }
 
@@ -207,7 +152,7 @@ class Driver {
         cep_->InjectAbort(
             static_cast<int>(storm_rng_.Uniform(num_txs)));
       }
-      Drain();
+      engine_->DrainSignals();
     }
   }
 
@@ -238,7 +183,7 @@ class Driver {
         outcome.gave_up = true;
         break;
       }
-      ClearSignals(tx);
+      engine_->ClearSignals(tx);
       known.assign(known.size(), false);
       bool aborted = false;
       int64_t poll_us = std::max<int64_t>(1, config_.poll_us);
@@ -285,7 +230,7 @@ class Driver {
       // Validation phase.
       for (;;) {
         ReqResult r = cep_->Begin(tx);
-        Drain();
+        engine_->DrainSignals();
         if (r == ReqResult::kGranted) break;
         if (r == ReqResult::kAborted || wait_or_abort()) {
           aborted = true;
@@ -298,7 +243,7 @@ class Driver {
       // Execution phase.
       if (!aborted) {
         for (const SimStep& step : script.steps) {
-          if (ForcedPending(tx) || Halted()) {
+          if (engine_->ForcedPending(tx) || Halted()) {
             aborted = true;
             break;
           }
@@ -310,7 +255,7 @@ class Driver {
             for (;;) {
               Value value = 0;
               ReqResult r = cep_->Read(tx, step.entity, &value);
-              Drain();
+              engine_->DrainSignals();
               if (r == ReqResult::kGranted) {
                 local[step.entity] = value;
                 known[step.entity] = true;
@@ -338,7 +283,7 @@ class Driver {
           }
           Value value = step.write_expr.Eval(local);
           ReqResult r = cep_->Write(tx, step.entity, value);
-          Drain();
+          engine_->DrainSignals();
           if (r == ReqResult::kAborted) {
             aborted = true;
             break;
@@ -346,12 +291,12 @@ class Driver {
           local[step.entity] = value;
           known[step.entity] = true;
           SleepTicks(config_.write_duration);
-          if (ForcedPending(tx)) {
+          if (engine_->ForcedPending(tx)) {
             aborted = true;
             break;
           }
           cep_->WriteDone(tx, step.entity);
-          Drain();
+          engine_->DrainSignals();
           SleepTicks(script.think_between_ops);
         }
         close_phase("execute", !aborted,
@@ -363,7 +308,7 @@ class Driver {
         int64_t blocked_before_commit_us = attempt_blocked_us;
         for (;;) {
           ReqResult r = cep_->Commit(tx);
-          Drain();
+          engine_->DrainSignals();
           if (r == ReqResult::kGranted) {
             outcome.committed = true;
             break;
@@ -390,7 +335,7 @@ class Driver {
         break;
       }
       cep_->Abort(tx);
-      Drain();
+      engine_->DrainSignals();
       ++outcome.aborts;
       ++restarts;
       if (restarts > config_.max_restarts) {
@@ -410,13 +355,12 @@ class Driver {
 
   const SimWorkload& workload_;
   const ParallelDriverConfig& config_;
-  VersionStore* store_;
-  CorrectExecutionProtocol* cep_;
+  Engine* engine_;
+  CorrectExecutionProtocol* cep_;  ///< engine_->cep(), stable for this cycle.
   const std::vector<CorrectExecutionProtocol::TxRecord>* restored_;
   int64_t crash_after_us_;
   Rng storm_rng_;
 
-  SignalHub hub_;
   std::atomic<int> next_tx_{0};
   std::atomic<bool> done_{false};
   Clock::time_point deadline_;
@@ -426,162 +370,93 @@ class Driver {
   ParallelRunResult result_;
 };
 
-/// Arms the WAL commit pipeline for the duration of a run (RAII): forwards
-/// the simulated device-flush cost, enables the group-commit writer thread
-/// (when configured) with the run's trace observer before any worker logs,
-/// and on destruction drains the pipeline, folds the WAL's group-commit
-/// counters into the metrics sink as deltas, and detaches the observer.
-class WalPipelineScope {
- public:
-  WalPipelineScope(const ParallelDriverConfig& config, WriteAheadLog* wal)
-      : wal_(wal), metrics_(config.protocol.metrics) {
-    if (wal_ == nullptr) return;
-    before_ = wal_->stats();
-    wal_->set_flush_us(config.wal_flush_us);
-    if (config.wal_group_commit) {
-      wal_->SetObserver(config.observer);
-      wal_->EnableGroupCommit(config.wal_group_options);
-      enabled_ = true;
-    }
-  }
-
-  WalPipelineScope(const WalPipelineScope&) = delete;
-  WalPipelineScope& operator=(const WalPipelineScope&) = delete;
-
-  ~WalPipelineScope() {
-    if (wal_ == nullptr) return;
-    if (enabled_) {
-      wal_->Flush();
-      wal_->DisableGroupCommit();
-      wal_->SetObserver(nullptr);
-    }
-    if (metrics_ != nullptr) {
-      WalStats after = wal_->stats();
-      metrics_->group_commit_batches.Add(after.group_commit_batches -
-                                         before_.group_commit_batches);
-      metrics_->group_commit_frames.Add(after.group_commit_frames -
-                                        before_.group_commit_frames);
-      metrics_->group_commit_commits.Add(after.group_commit_commits -
-                                         before_.group_commit_commits);
-      metrics_->group_commit_stalls.Add(after.group_commit_stalls -
-                                        before_.group_commit_stalls);
-      metrics_->group_commit_failed_acks.Add(after.group_commit_failed_acks -
-                                             before_.group_commit_failed_acks);
-      metrics_->group_staged_dropped.Add(after.group_staged_dropped -
-                                         before_.group_staged_dropped);
-      metrics_->wal_device_flushes.Add(after.device_flushes -
-                                       before_.device_flushes);
-    }
-  }
-
- private:
-  WriteAheadLog* wal_;
-  ProtocolMetrics* metrics_;
-  WalStats before_;
-  bool enabled_ = false;
-};
-
 }  // namespace
+
+EngineOptions ParallelDriver::MakeEngineOptions(const SimWorkload& workload,
+                                                WriteAheadLog* wal) const {
+  EngineOptions options;
+  options.initial = workload.initial;
+  options.protocol = config_.protocol;
+  options.wal = wal;
+  options.wal_group_commit = config_.wal_group_commit;
+  options.wal_group_options = config_.wal_group_options;
+  options.wal_flush_us = config_.wal_flush_us;
+  options.observer = config_.observer;
+  options.poll_us = config_.poll_us;
+  options.max_poll_us = config_.max_poll_us;
+  options.max_blocked_us = config_.max_blocked_us;
+  return options;
+}
+
+ParallelRunResult ParallelDriver::Run(const SimWorkload& workload,
+                                      Engine* engine) const {
+  NONSERIAL_CHECK_EQ(engine->store()->num_entities(),
+                     static_cast<int>(workload.initial.size()))
+      << "engine store does not match the workload's entity count";
+  Driver driver(workload, config_, engine,
+                /*restored=*/nullptr, /*crash_after_us=*/-1,
+                /*storm_seed=*/config_.chaos.seed);
+  return driver.Run();
+}
 
 ParallelRunResult ParallelDriver::Run(
     const SimWorkload& workload,
     std::shared_ptr<VersionStore>* store_out,
     std::shared_ptr<CorrectExecutionProtocol>* cep_out) const {
-  auto store = std::make_shared<VersionStore>(workload.initial);
-  if (config_.wal != nullptr) {
-    NONSERIAL_CHECK_EQ(config_.wal->initial().size(), workload.initial.size())
-        << "write-ahead log initial state does not match the workload";
-    store->SetWal(config_.wal);
-  }
-  WalPipelineScope wal_pipeline(config_, config_.wal);
-  if (config_.protocol.eval_cache != nullptr) {
-    // Size the epoch table and mirror the counters up front. EnsureEntities
-    // is safe under concurrent use (atomic-pointer table publication), but
-    // SetMetrics is a plain pointer store and must precede the workers.
-    config_.protocol.eval_cache->EnsureEntities(
-        static_cast<int>(workload.initial.size()));
-    config_.protocol.eval_cache->SetMetrics(config_.protocol.metrics);
-  }
-  auto cep =
-      std::make_shared<CorrectExecutionProtocol>(store.get(), config_.protocol);
-  if (config_.observer != nullptr) cep->SetObserver(config_.observer);
-  Driver driver(workload, config_, store.get(), cep.get(),
-                /*restored=*/nullptr, /*crash_after_us=*/-1,
-                /*storm_seed=*/config_.chaos.seed);
-  ParallelRunResult result = driver.Run();
-  if (store_out != nullptr) *store_out = store;
-  if (cep_out != nullptr) *cep_out = cep;
+  Engine engine(MakeEngineOptions(workload, config_.wal));
+  ParallelRunResult result = Run(workload, &engine);
+  engine.Shutdown();
+  if (store_out != nullptr) *store_out = engine.store_ref();
+  if (cep_out != nullptr) *cep_out = engine.cep_ref();
   return result;
 }
 
-ChaosRunResult ParallelDriver::RunChaos(
-    const SimWorkload& workload,
-    std::shared_ptr<VersionStore>* store_out,
-    std::shared_ptr<CorrectExecutionProtocol>* cep_out) const {
+ChaosRunResult ParallelDriver::RunChaos(const SimWorkload& workload,
+                                        Engine* engine) const {
   const ChaosConfig& chaos = config_.chaos;
   NONSERIAL_CHECK(chaos.enabled) << "RunChaos needs config.chaos.enabled";
+  NONSERIAL_CHECK(engine->wal() != nullptr)
+      << "chaos mode needs an engine with a write-ahead log (the log is the "
+         "only state that survives a crash)";
+  WriteAheadLog* wal = engine->wal();
   FailpointRegistry& registry = FailpointRegistry::Global();
   registry.Seed(chaos.seed);
   for (const auto& [name, spec] : chaos.failpoints) registry.Arm(name, spec);
-
-  // The log is the only state that survives a crash. An external log
-  // (config.wal) lets tests inspect or truncate it; otherwise one is owned
-  // here for the duration of the run.
-  WriteAheadLog owned_wal(workload.initial);
-  WriteAheadLog* wal = config_.wal != nullptr ? config_.wal : &owned_wal;
-  NONSERIAL_CHECK_EQ(wal->initial().size(), workload.initial.size());
-  // The pipeline spans every cycle: a crash kills the workers mid-flight,
-  // and the staged-but-unflushed frames they left behind model the volatile
-  // buffer the crash destroys — LogCrashMarker discards them (and fails
-  // their acks) before the next cycle starts.
-  WalPipelineScope wal_pipeline(config_, wal);
   Rng rng(chaos.seed ^ 0x9e3779b97f4a7c15ULL);
 
   ChaosRunResult out;
-  if (config_.protocol.eval_cache != nullptr) {
-    config_.protocol.eval_cache->EnsureEntities(
-        static_cast<int>(workload.initial.size()));
-    config_.protocol.eval_cache->SetMetrics(config_.protocol.metrics);
-  }
   std::vector<CorrectExecutionProtocol::TxRecord> restored(
       workload.txs.size());
-  auto store = std::make_shared<VersionStore>(workload.initial);
-  std::shared_ptr<CorrectExecutionProtocol> cep;
   for (int cycle = 0; cycle <= chaos.crash_cycles; ++cycle) {
     const bool final_cycle = cycle == chaos.crash_cycles;
-    store->SetWal(wal);
-    cep = std::make_shared<CorrectExecutionProtocol>(store.get(),
-                                                     config_.protocol);
-    if (config_.observer != nullptr) cep->SetObserver(config_.observer);
     int64_t crash_after_us =
         final_cycle ? -1
                     : rng.UniformInt(chaos.min_cycle_us, chaos.max_cycle_us);
-    Driver driver(workload, config_, store.get(), cep.get(), &restored,
-                  crash_after_us, chaos.seed + static_cast<uint64_t>(cycle));
+    Driver driver(workload, config_, engine, &restored, crash_after_us,
+                  chaos.seed + static_cast<uint64_t>(cycle));
     ParallelRunResult result = driver.Run();
-    out.injected_aborts += cep->stats().injected_aborts;
+    out.injected_aborts += engine->cep()->stats().injected_aborts;
     if (final_cycle) {
       out.final_result = std::move(result);
       break;
     }
 
-    // Crash: engine and store vanish mid-flight; rebuild from the log.
-    // The crash marker fences the log so writer ids re-run after restart
-    // cannot resurrect their pre-crash in-flight appends.
+    // Crash: engine internals vanish mid-flight; Engine::CrashRecover
+    // rebuilds store + controller from the log (and fences it with the
+    // crash marker so pre-crash in-flight appends cannot resurrect).
     ChaosCycle c;
     WalStats pre_stats = wal->stats();
     c.wal_records = pre_stats.records;
     c.wal_bytes = pre_stats.bytes;
     RecoveryOptions recovery_options;
     recovery_options.best_effort = chaos.best_effort_recovery;
-    RecoveryResult rec = wal->Recover(recovery_options);
+    RecoveryResult rec = engine->CrashRecover(recovery_options);
     // Corruption is never silently absorbed: best-effort mode reports it
     // (cycle flags + trace + metrics) and salvages; strict mode stops the
     // run on the spot.
     NONSERIAL_CHECK(rec.status.ok())
         << "chaos cycle " << cycle
         << " recovery failed: " << rec.status.ToString();
-    wal->LogCrashMarker();
     c.recovered_committed = static_cast<int>(rec.committed.size());
     c.replayed_appends = rec.replayed_appends;
     c.discarded_appends = rec.discarded_appends;
@@ -654,17 +529,26 @@ ChaosRunResult ParallelDriver::RunChaos(
     c.recovered_records = restored;
     c.recovered_snapshot = rec.store->LatestCommittedSnapshot();
     out.cycles.push_back(std::move(c));
-    store = std::move(rec.store);
-    // The pre-crash store generation is gone; memoized evaluations over it
-    // must not survive into the rebuilt one.
-    if (config_.protocol.eval_cache != nullptr) {
-      config_.protocol.eval_cache->InvalidateAll();
-    }
   }
-  out.leaked_waiters = cep->WaiterFootprint();
+  out.leaked_waiters = engine->cep()->WaiterFootprint();
   for (const auto& [name, spec] : chaos.failpoints) registry.Disarm(name);
-  if (store_out != nullptr) *store_out = store;
-  if (cep_out != nullptr) *cep_out = cep;
+  return out;
+}
+
+ChaosRunResult ParallelDriver::RunChaos(
+    const SimWorkload& workload,
+    std::shared_ptr<VersionStore>* store_out,
+    std::shared_ptr<CorrectExecutionProtocol>* cep_out) const {
+  // The log is the only state that survives a crash. An external log
+  // (config.wal) lets tests inspect or truncate it; otherwise one is owned
+  // here for the duration of the run.
+  WriteAheadLog owned_wal(workload.initial);
+  WriteAheadLog* wal = config_.wal != nullptr ? config_.wal : &owned_wal;
+  Engine engine(MakeEngineOptions(workload, wal));
+  ChaosRunResult out = RunChaos(workload, &engine);
+  engine.Shutdown();
+  if (store_out != nullptr) *store_out = engine.store_ref();
+  if (cep_out != nullptr) *cep_out = engine.cep_ref();
   return out;
 }
 

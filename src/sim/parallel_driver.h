@@ -10,6 +10,7 @@
 #include "common/failpoint.h"
 #include "common/metrics.h"
 #include "common/span.h"
+#include "engine/engine.h"
 #include "protocol/cep.h"
 #include "sim/simulator.h"
 #include "storage/version_store.h"
@@ -183,26 +184,48 @@ class ParallelDriver {
   explicit ParallelDriver(ParallelDriverConfig config = ParallelDriverConfig())
       : config_(config) {}
 
-  /// Runs the workload and returns outcome metrics. The store and engine
-  /// survive the call through `store_out` / `cep_out` (e.g. for
-  /// VerifyCepHistory over the records).
+  /// Runs the workload against a caller-owned Engine — the driver is one
+  /// client of the engine facade, sharing its controller, store, WAL
+  /// pipeline, and signal hub with any concurrently open sessions (the
+  /// engine's transaction-id floor is raised past the workload so session
+  /// ids cannot collide with workload indices). The engine's store must
+  /// have been built from the same initial state as the workload. The
+  /// engine is NOT shut down; the caller owns its lifecycle.
+  ParallelRunResult Run(const SimWorkload& workload, Engine* engine) const;
+
+  /// Convenience form: assembles a private Engine from this config (store,
+  /// WAL wiring, eval cache), runs the workload, shuts the engine down, and
+  /// hands the store/controller out through `store_out` / `cep_out` (e.g.
+  /// for VerifyCepHistory over the records).
   ParallelRunResult Run(
       const SimWorkload& workload,
       std::shared_ptr<VersionStore>* store_out = nullptr,
       std::shared_ptr<CorrectExecutionProtocol>* cep_out = nullptr) const;
 
-  /// Chaos mode: config.chaos.crash_cycles crash-kill/recover cycles (each
-  /// ended by discarding engine and store mid-flight and rebuilding the
-  /// store from the write-ahead log), then one uninterrupted cycle that
-  /// runs the remaining transactions to completion. Forced-abort storms
-  /// and the configured failpoints run throughout. The caller re-verifies
-  /// each ChaosCycle's recovered records and the final history.
+  /// Chaos mode against a caller-owned Engine (which must have a WAL):
+  /// config.chaos.crash_cycles crash-kill/recover cycles (each ended by
+  /// abandoning the workers mid-flight and rebuilding store + controller
+  /// from the write-ahead log via Engine::CrashRecover), then one
+  /// uninterrupted cycle that runs the remaining transactions to
+  /// completion. Forced-abort storms and the configured failpoints run
+  /// throughout. The caller re-verifies each ChaosCycle's recovered
+  /// records and the final history.
+  ChaosRunResult RunChaos(const SimWorkload& workload, Engine* engine) const;
+
+  /// Convenience form: assembles a private Engine (owning a WAL when the
+  /// config does not provide one), runs chaos mode, and shuts it down.
   ChaosRunResult RunChaos(
       const SimWorkload& workload,
       std::shared_ptr<VersionStore>* store_out = nullptr,
       std::shared_ptr<CorrectExecutionProtocol>* cep_out = nullptr) const;
 
  private:
+  /// Engine assembly shared by the convenience overloads: the one mapping
+  /// from driver config to EngineOptions (this used to be duplicated setup
+  /// code inside Run / RunChaos / the chaos tests).
+  EngineOptions MakeEngineOptions(const SimWorkload& workload,
+                                  WriteAheadLog* wal) const;
+
   ParallelDriverConfig config_;
 };
 

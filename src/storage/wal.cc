@@ -410,10 +410,18 @@ std::shared_ptr<WalCommitHandle::AckState> WriteAheadLog::SubmitFrame(
 }
 
 void WriteAheadLog::EnableGroupCommit(const GroupCommitOptions& options) {
-  std::lock_guard<std::mutex> stage_lock(stage_mu_);
+  std::lock_guard<std::mutex> lifecycle_lock(writer_lifecycle_mu_);
+  std::unique_lock<std::mutex> stage_lock(stage_mu_);
   group_options_ = options;
   if (group_enabled_) return;
-  if (writer_.joinable()) writer_.join();  // A previously stopped writer.
+  if (writer_.joinable()) {
+    // A previously stopped writer: it has already cleared group_enabled_
+    // on its way out (or is about to), so the join is immediate. Joined
+    // outside stage_mu_ — the exiting thread takes that lock last.
+    stage_lock.unlock();
+    writer_.join();
+    stage_lock.lock();
+  }
   group_enabled_ = true;
   writer_stop_ = false;
   writer_ = std::thread([this] { WriterLoop(); });
@@ -422,8 +430,14 @@ void WriteAheadLog::EnableGroupCommit(const GroupCommitOptions& options) {
 void WriteAheadLog::DisableGroupCommit() { StopWriterThread(); }
 
 void WriteAheadLog::StopWriterThread() {
-  // Enable/Disable are controller operations (driver setup/teardown, test
-  // scaffolding) — callers serialize them; loggers may race freely.
+  // Teardown paths converge here from several owners (driver scope exit,
+  // engine shutdown, server-initiated teardown, the destructor), and they
+  // are NOT guaranteed to serialize with each other — the lifecycle mutex
+  // makes concurrent or repeated stops safe (a bare double join would be
+  // UB). Loggers may race freely. When EnableGroupCommit was never called
+  // (sync-mode runs, driver error paths) there is no thread to join and
+  // this is a guarded no-op.
+  std::lock_guard<std::mutex> lifecycle_lock(writer_lifecycle_mu_);
   {
     std::lock_guard<std::mutex> stage_lock(stage_mu_);
     if (!group_enabled_) return;
@@ -448,6 +462,11 @@ void WriteAheadLog::Flush() {
 bool WriteAheadLog::group_commit_enabled() const {
   std::lock_guard<std::mutex> stage_lock(stage_mu_);
   return group_enabled_;
+}
+
+uint64_t WriteAheadLog::PipelineDepth() const {
+  std::lock_guard<std::mutex> stage_lock(stage_mu_);
+  return staged_seq_ - retired_seq_;
 }
 
 void WriteAheadLog::set_flush_us(int64_t us) {

@@ -292,6 +292,12 @@ class WriteAheadLog {
   void Flush();
   bool group_commit_enabled() const;
 
+  /// Frames staged for the group-commit writer but not yet flushed (or
+  /// failed) — the pipeline backlog. Admission control sheds new
+  /// transactions when this falls behind (see engine/engine.h). Always 0
+  /// in sync mode.
+  uint64_t PipelineDepth() const;
+
   /// Simulated device-flush latency charged per durable commit: once per
   /// commit record in sync mode, once per batch under group commit. The
   /// busy-wait models a storage barrier; 0 (default) disables it.
@@ -412,6 +418,11 @@ class WriteAheadLog {
   // --- group-commit pipeline ---------------------------------------------
   // Lock order: stage_mu_ before mu_ (only LogCrashMarker holds both; the
   // writer thread takes them strictly one at a time).
+  /// Serializes writer-thread lifecycle transitions (enable / disable /
+  /// destructor) so concurrent teardown owners cannot double-join the
+  /// writer. Ordering: writer_lifecycle_mu_ before stage_mu_; never held
+  /// while flushing.
+  std::mutex writer_lifecycle_mu_;
   mutable std::mutex stage_mu_;
   std::condition_variable stage_cv_;          ///< Wakes the writer thread.
   mutable std::condition_variable retire_cv_; ///< Wakes ack/Flush waiters.

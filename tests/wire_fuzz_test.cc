@@ -1,0 +1,346 @@
+// Hostile-input fuzz for the session wire protocol: the decoder and the
+// live server must treat every byte sequence as untrusted. Invariants:
+//  - the codec never crashes, loops, or over-reads on any input;
+//  - a truncated frame is kNeedMore, a damaged frame is kCorrupt, and a
+//    single flipped bit can never pass as a valid frame;
+//  - on a live server, a corrupt frame costs exactly the connection that
+//    sent it; a CRC-valid-but-malformed body costs one error response; a
+//    concurrent well-behaved session is never disturbed either way.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "engine/engine.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/wire.h"
+
+namespace nonserial {
+namespace {
+
+// --- deterministic request generator ---------------------------------------
+
+Predicate RandomPredicate(std::mt19937* rng) {
+  std::uniform_int_distribution<int> small(0, 3);
+  std::vector<Clause> clauses;
+  int num_clauses = small(*rng);
+  for (int c = 0; c < num_clauses; ++c) {
+    std::vector<Atom> atoms;
+    int num_atoms = 1 + small(*rng);
+    for (int a = 0; a < num_atoms; ++a) {
+      Atom atom;
+      atom.lhs = (*rng)() % 2 == 0 ? Term::Entity(small(*rng))
+                                   : Term::Constant(small(*rng));
+      atom.op = static_cast<CompareOp>((*rng)() % 6);
+      atom.rhs = (*rng)() % 2 == 0 ? Term::Entity(small(*rng))
+                                   : Term::Constant((*rng)() % 100);
+      atoms.push_back(atom);
+    }
+    clauses.emplace_back(std::move(atoms));
+  }
+  return Predicate(std::move(clauses));
+}
+
+wire::Request RandomRequest(std::mt19937* rng) {
+  static const wire::MsgType kTypes[] = {
+      wire::MsgType::kBegin,  wire::MsgType::kRead,
+      wire::MsgType::kWrite,  wire::MsgType::kPredicate,
+      wire::MsgType::kCommit, wire::MsgType::kAbort,
+      wire::MsgType::kPing,
+  };
+  wire::Request request;
+  request.type = kTypes[(*rng)() % 7];
+  switch (request.type) {
+    case wire::MsgType::kBegin: {
+      request.name = "tx" + std::to_string((*rng)() % 1000);
+      request.use_staged = (*rng)() % 2 == 0;
+      int num_preds = static_cast<int>((*rng)() % 4);
+      for (int i = 0; i < num_preds; ++i) {
+        request.predecessors.push_back(static_cast<int>((*rng)() % 64));
+      }
+      if (!request.use_staged) {
+        request.input = RandomPredicate(rng);
+        request.output = RandomPredicate(rng);
+      }
+      break;
+    }
+    case wire::MsgType::kRead:
+      request.entity = static_cast<EntityId>((*rng)() % 64);
+      break;
+    case wire::MsgType::kWrite:
+      request.entity = static_cast<EntityId>((*rng)() % 64);
+      request.value = static_cast<Value>((*rng)()) - (1 << 30);
+      break;
+    case wire::MsgType::kPredicate:
+      request.input = RandomPredicate(rng);
+      request.output = RandomPredicate(rng);
+      break;
+    case wire::MsgType::kPing:
+      request.value = static_cast<Value>((*rng)());
+      break;
+    default:
+      break;
+  }
+  return request;
+}
+
+// --- codec properties -------------------------------------------------------
+
+TEST(WireCodecFuzzTest, RandomRequestsRoundTrip) {
+  std::mt19937 rng(20260808);
+  for (int iter = 0; iter < 2000; ++iter) {
+    wire::Request request = RandomRequest(&rng);
+    std::string frame = wire::EncodeRequest(request);
+    wire::DecodedFrame decoded = wire::DecodeFrame(frame.data(), frame.size());
+    ASSERT_EQ(decoded.status, wire::FrameStatus::kOk) << decoded.error;
+    ASSERT_EQ(decoded.frame_bytes, frame.size());
+    ASSERT_EQ(decoded.type, request.type);
+    wire::Request round;
+    Status s = wire::DecodeRequest(decoded.type, decoded.payload, &round);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    // Re-encoding the decoded request must reproduce the frame bit-exactly
+    // (a stronger check than field equality, and it needs no operator==).
+    EXPECT_EQ(wire::EncodeRequest(round), frame);
+  }
+}
+
+TEST(WireCodecFuzzTest, ResponsesRoundTrip) {
+  std::mt19937 rng(7);
+  for (int iter = 0; iter < 500; ++iter) {
+    wire::Response response;
+    response.code = static_cast<StatusCode>(
+        rng() % (static_cast<int>(StatusCode::kResourceExhausted) + 1));
+    response.value = static_cast<Value>(rng()) - (1 << 30);
+    if (rng() % 2 == 0) response.message = "error detail " + std::to_string(rng() % 100);
+    std::string frame = wire::EncodeResponse(response);
+    wire::DecodedFrame decoded = wire::DecodeFrame(frame.data(), frame.size());
+    ASSERT_EQ(decoded.status, wire::FrameStatus::kOk);
+    ASSERT_EQ(decoded.type, wire::MsgType::kResponse);
+    wire::Response round;
+    ASSERT_TRUE(wire::DecodeResponse(decoded.payload, &round).ok());
+    EXPECT_EQ(round.code, response.code);
+    EXPECT_EQ(round.value, response.value);
+    EXPECT_EQ(round.message, response.message);
+  }
+}
+
+TEST(WireCodecFuzzTest, EveryTruncationNeedsMore) {
+  std::mt19937 rng(11);
+  for (int iter = 0; iter < 50; ++iter) {
+    std::string frame = wire::EncodeRequest(RandomRequest(&rng));
+    for (size_t len = 0; len < frame.size(); ++len) {
+      wire::DecodedFrame decoded = wire::DecodeFrame(frame.data(), len);
+      ASSERT_EQ(decoded.status, wire::FrameStatus::kNeedMore)
+          << "prefix of " << len << "/" << frame.size()
+          << " bytes decoded as something other than kNeedMore";
+    }
+  }
+}
+
+TEST(WireCodecFuzzTest, EverySingleBitFlipIsRejected) {
+  std::mt19937 rng(13);
+  for (int iter = 0; iter < 20; ++iter) {
+    std::string frame = wire::EncodeRequest(RandomRequest(&rng));
+    for (size_t bit = 0; bit < frame.size() * 8; ++bit) {
+      std::string damaged = frame;
+      damaged[bit / 8] = static_cast<char>(
+          static_cast<uint8_t>(damaged[bit / 8]) ^ (1u << (bit % 8)));
+      wire::DecodedFrame decoded =
+          wire::DecodeFrame(damaged.data(), damaged.size());
+      // A flip in the length field may leave the frame looking longer than
+      // the buffer (kNeedMore); every other flip must fail the magic or
+      // CRC check. Passing as kOk would be a codec hole.
+      ASSERT_NE(decoded.status, wire::FrameStatus::kOk)
+          << "bit " << bit << " flip went undetected";
+    }
+  }
+}
+
+TEST(WireCodecFuzzTest, OversizedLengthFieldIsCorrupt) {
+  std::string frame = wire::EncodeRequest(wire::Request{});  // Any valid frame.
+  uint32_t huge = wire::kMaxPayloadBytes + 1;
+  for (int i = 0; i < 4; ++i) frame[5 + i] = static_cast<char>(huge >> (8 * i));
+  wire::DecodedFrame decoded = wire::DecodeFrame(frame.data(), frame.size());
+  EXPECT_EQ(decoded.status, wire::FrameStatus::kCorrupt);
+}
+
+TEST(WireCodecFuzzTest, RandomGarbageNeverDecodesAsValid) {
+  std::mt19937 rng(17);
+  for (int iter = 0; iter < 2000; ++iter) {
+    size_t len = rng() % 256;
+    std::string garbage(len, '\0');
+    for (char& c : garbage) c = static_cast<char>(rng());
+    wire::DecodedFrame decoded = wire::DecodeFrame(garbage.data(), len);
+    // Random bytes essentially never carry the magic AND a matching CRC;
+    // with a fixed seed this is deterministic. Mostly this asserts "no
+    // crash, no over-read" under ASan.
+    EXPECT_NE(decoded.status, wire::FrameStatus::kOk);
+  }
+}
+
+TEST(WireCodecFuzzTest, RandomPayloadsNeverCrashRequestDecoding) {
+  std::mt19937 rng(19);
+  static const wire::MsgType kTypes[] = {
+      wire::MsgType::kBegin,  wire::MsgType::kRead,
+      wire::MsgType::kWrite,  wire::MsgType::kPredicate,
+      wire::MsgType::kCommit, wire::MsgType::kAbort,
+      wire::MsgType::kPing,   wire::MsgType::kResponse,
+  };
+  for (int iter = 0; iter < 5000; ++iter) {
+    size_t len = rng() % 128;
+    std::string payload(len, '\0');
+    for (char& c : payload) c = static_cast<char>(rng());
+    wire::Request request;
+    // Must return a Status for every input, valid or not.
+    wire::DecodeRequest(kTypes[rng() % 8], payload, &request).ok();
+    wire::Response response;
+    wire::DecodeResponse(payload, &response).ok();
+  }
+}
+
+// --- live-server hostility ---------------------------------------------------
+
+class ServerFuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    EngineOptions options;
+    options.initial = {50, 50};
+    options.protocol.metrics = &metrics_;
+    options.poll_us = 100;
+    options.max_poll_us = 1'000;
+    engine_ = std::make_unique<Engine>(options);
+    ServerOptions server_options;
+    server_options.num_workers = 2;
+    server_ = std::make_unique<SessionServer>(engine_.get(), server_options);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override {
+    engine_->Shutdown();
+    server_->Stop();
+  }
+
+  Status Connect(Client* client) {
+    return client->Connect("127.0.0.1", server_->port());
+  }
+
+  ProtocolMetrics metrics_;
+  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<SessionServer> server_;
+};
+
+TEST_F(ServerFuzzTest, CorruptFrameCostsOnlyItsOwnConnection) {
+  Client hostile;
+  ASSERT_TRUE(Connect(&hostile).ok());
+  // A well-behaved session opens a transaction first.
+  Client good;
+  ASSERT_TRUE(Connect(&good).ok());
+  StatusOr<int> begun = good.Begin("good", {}, Predicate::True(),
+                                   Predicate::True());
+  ASSERT_TRUE(begun.ok()) << begun.status().ToString();
+  ASSERT_TRUE(good.Write(0, 61).ok());
+
+  // Valid frame with one corrupted payload byte: CRC mismatch.
+  std::string frame = wire::EncodeRequest([] {
+    wire::Request r;
+    r.type = wire::MsgType::kPing;
+    r.value = 42;
+    return r;
+  }());
+  frame.back() = static_cast<char>(frame.back() ^ 0x01);
+  ASSERT_TRUE(hostile.SendRaw(frame).ok());
+  // The server answers with an error and/or hard-closes; it never hangs
+  // and never crashes.
+  StatusOr<wire::Response> response = hostile.ReadResponse();
+  if (response.ok()) {
+    EXPECT_EQ(response->code, StatusCode::kInvalidArgument);
+    // After the error response the connection is torn down.
+    EXPECT_EQ(hostile.ReadResponse().status().code(), StatusCode::kAborted);
+  } else {
+    EXPECT_EQ(response.status().code(), StatusCode::kAborted);
+  }
+
+  // The other session never noticed.
+  ASSERT_TRUE(good.Commit().ok());
+  EXPECT_EQ(engine_->store()->LatestCommittedSnapshot(),
+            (ValueVector{61, 50}));
+  EXPECT_GE(metrics_.server_wire_errors.value(), 1);
+}
+
+TEST_F(ServerFuzzTest, MalformedBodySurvivesTheStream) {
+  Client client;
+  ASSERT_TRUE(Connect(&client).ok());
+  // CRC-valid frame whose body is garbage for its type: kRead wants 4
+  // bytes, this carries none. One error response; the stream lives on.
+  ASSERT_TRUE(
+      client.SendRaw(wire::EncodeFrame(wire::MsgType::kRead, "")).ok());
+  StatusOr<wire::Response> response = client.ReadResponse();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->code, StatusCode::kInvalidArgument);
+  // Same connection, valid request: still served.
+  StatusOr<Value> pong = client.Ping(1234);
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_EQ(*pong, 1234);
+  EXPECT_GE(metrics_.server_wire_errors.value(), 1);
+}
+
+TEST_F(ServerFuzzTest, RandomGarbageStreamsNeverCrashTheServer) {
+  std::mt19937 rng(20260808);
+  for (int conn = 0; conn < 16; ++conn) {
+    Client hostile;
+    ASSERT_TRUE(Connect(&hostile).ok());
+    size_t len = 1 + rng() % 512;
+    std::string garbage(len, '\0');
+    for (char& c : garbage) c = static_cast<char>(rng());
+    if (!hostile.SendRaw(garbage).ok()) continue;
+    // Whatever comes back (error response, close, or nothing parseable),
+    // the client call returns and the server stays up.
+    hostile.ReadResponse();
+  }
+  // Proof of life after the onslaught, on a fresh connection.
+  Client good;
+  ASSERT_TRUE(Connect(&good).ok());
+  StatusOr<Value> pong = good.Ping(7);
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_EQ(*pong, 7);
+}
+
+TEST_F(ServerFuzzTest, TruncatedFrameThenCompletionIsServed) {
+  Client client;
+  ASSERT_TRUE(Connect(&client).ok());
+  wire::Request ping;
+  ping.type = wire::MsgType::kPing;
+  ping.value = 99;
+  std::string frame = wire::EncodeRequest(ping);
+  // Drip the frame in two halves: the server must buffer, not reject.
+  ASSERT_TRUE(client.SendRaw(frame.substr(0, frame.size() / 2)).ok());
+  ASSERT_TRUE(client.SendRaw(frame.substr(frame.size() / 2)).ok());
+  StatusOr<wire::Response> response = client.ReadResponse();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->code, StatusCode::kOk);
+  EXPECT_EQ(response->value, 99);
+}
+
+TEST_F(ServerFuzzTest, PipelinedRequestsAnswerInOrder) {
+  Client client;
+  ASSERT_TRUE(Connect(&client).ok());
+  // Several pings in one write: per-connection FIFO must answer in order.
+  std::string burst;
+  for (Value v = 0; v < 8; ++v) {
+    wire::Request ping;
+    ping.type = wire::MsgType::kPing;
+    ping.value = 100 + v;
+    burst += wire::EncodeRequest(ping);
+  }
+  ASSERT_TRUE(client.SendRaw(burst).ok());
+  for (Value v = 0; v < 8; ++v) {
+    StatusOr<wire::Response> response = client.ReadResponse();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->value, 100 + v);
+  }
+}
+
+}  // namespace
+}  // namespace nonserial
