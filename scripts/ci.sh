@@ -126,6 +126,42 @@ print(f"serving gate ok: wire {ratio:.2f}x in-process, "
 EOF
 cat BENCH_server.json
 
+echo "== scenario gate: REPORT_scenarios.json (anomaly zoo, all protocols) =="
+# run_scenarios replays every checked-in spec against all six protocols
+# (plus a crash/recover chaos sweep) and exits non-zero on any verdict,
+# class, or final-state mismatch. The published artifact is re-checked
+# here — including the paper's CPC-admits/SR-forbids split — so a report
+# regression fails CI even if the tool's own gate is edited.
+./build/tools/run_scenarios --chaos --json scenarios > REPORT_scenarios.json
+python3 -m json.tool REPORT_scenarios.json > /dev/null
+python3 - <<'EOF'
+import json
+report = json.load(open("REPORT_scenarios.json"))
+assert report["ok"] is True, "scenario suite reported failures"
+config = report["config"]
+assert config["specs"] >= 10, f"anomaly zoo shrank to {config['specs']} specs"
+assert len(config["protocols"]) == 6, "expected all six protocols"
+assert config["chaos"] is True, "chaos replay was not exercised"
+rows = {r["name"]: r for r in report["results"]}
+split = False
+crash_points = 0
+for name, row in rows.items():
+    assert row["ok"], f"{name} failed: {row['failures'][:1]}"
+    crash_points += row["chaos_crash_points"]
+    for perm in row["permutations"]:
+        for proto, run in perm["protocols"].items():
+            assert run["constraint_ok"], f"{name} [{proto}] broke its constraint"
+            if run["classes_exact"] and run["cpc"] and not run["sr"]:
+                split = True
+assert split, "no run landed in CPC \\ SR -- the paper's split went untested"
+assert crash_points > 0, "no chaos crash points exercised"
+sweep = rows["write_skew_sweep"]
+assert sweep["sweep_runs"] > 0, "all-permutations sweep ran nothing"
+print(f"scenario gate ok: {config['specs']} specs, "
+      f"{config['total_runs']} runs, {crash_points} crash points, "
+      f"sweep {sweep['sweep_runs']} runs")
+EOF
+
 echo "== json gate: every bench must emit one valid --json document =="
 # The quick benches run in full; the expensive sweeps are already covered
 # by the parallel report above, so this gate sticks to the cheap ones plus
@@ -157,6 +193,11 @@ cmake --build build-tsan -j
 # against parked sessions and in-flight group-commit batches.
 TSAN_OPTIONS="halt_on_error=1" \
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)"
+# The scenario suite re-runs under TSan too: the concurrent Session-API
+# transport and the chaos crash/recover cycles race the engine's group-
+# commit and recovery machinery in ways the unit tests do not.
+TSAN_OPTIONS="halt_on_error=1" \
+  ./build-tsan/tools/run_scenarios --chaos scenarios
 
 echo "== [3/3] ASan+UBSan build =="
 cmake -B build-asan -S . -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -40,9 +40,22 @@ Engine::Engine(EngineOptions options) : options_(std::move(options)) {
         static_cast<int>(options_.initial.size()));
     options_.protocol.eval_cache->SetMetrics(options_.protocol.metrics);
   }
-  cep_ = std::make_shared<CorrectExecutionProtocol>(store_.get(),
-                                                    options_.protocol);
-  if (options_.observer != nullptr) cep_->SetObserver(options_.observer);
+  BuildController(store_.get());
+}
+
+void Engine::BuildController(VersionStore* store) {
+  cep_.reset();
+  if (options_.controller_factory) {
+    controller_ = options_.controller_factory(store);
+    NONSERIAL_CHECK(controller_ != nullptr)
+        << "controller_factory returned null";
+    // If the factory happens to build a CEP, keep cep() working too.
+    cep_ = std::dynamic_pointer_cast<CorrectExecutionProtocol>(controller_);
+  } else {
+    cep_ = std::make_shared<CorrectExecutionProtocol>(store, options_.protocol);
+    controller_ = cep_;
+  }
+  if (options_.observer != nullptr) controller_->SetObserver(options_.observer);
 }
 
 Engine::~Engine() { Shutdown(); }
@@ -99,9 +112,7 @@ RecoveryResult Engine::CrashRecover(const RecoveryOptions& recovery_options) {
   options_.wal->LogCrashMarker();
   store_ = rec.store;
   store_->SetWal(options_.wal);
-  cep_ = std::make_shared<CorrectExecutionProtocol>(store_.get(),
-                                                    options_.protocol);
-  if (options_.observer != nullptr) cep_->SetObserver(options_.observer);
+  BuildController(store_.get());
   // The pre-crash store generation is gone; memoized evaluations over it
   // must not survive into the rebuilt one.
   if (options_.protocol.eval_cache != nullptr) {
@@ -134,8 +145,8 @@ void Engine::EnsureTxSlots(int n) {
 }
 
 void Engine::DrainSignals() {
-  std::vector<int> forced = cep_->TakeForcedAborts();
-  std::vector<int> woken = cep_->TakeWakeups();
+  std::vector<int> forced = controller_->TakeForcedAborts();
+  std::vector<int> woken = controller_->TakeWakeups();
   // Fault injection: drop this batch of wakeups. Forced aborts are never
   // dropped — they are correctness signals; wakeups are liveness hints
   // whose loss the parked owners' poll backoff must absorb.
@@ -270,7 +281,7 @@ Session::~Session() {
 }
 
 void Session::AbortActive() {
-  engine_->cep()->Abort(tx_);
+  engine_->controller()->Abort(tx_);
   engine_->DrainSignals();
   active_ = false;
   reuse_tx_id_ = true;
@@ -303,14 +314,14 @@ Status Session::Begin(const engine::TxSpec& spec) {
     }
   }
   engine_->EnsureTxSlots(tx_ + 1);
-  CorrectExecutionProtocol* cep = engine_->cep();
-  cep->Register(tx_, spec);
+  ConcurrencyController* cc = engine_->controller();
+  cc->Register(tx_, spec);
   engine_->ClearSignals(tx_);
 
   int64_t poll_us = std::max<int64_t>(1, engine_->options().poll_us);
   int64_t blocked_us = 0;
   for (;;) {
-    engine::RequestOutcome r = cep->Begin(tx_);
+    engine::RequestOutcome r = cc->Begin(tx_);
     engine_->DrainSignals();
     if (r == engine::RequestOutcome::kGranted) {
       active_ = true;
@@ -321,7 +332,7 @@ Status Session::Begin(const engine::TxSpec& spec) {
   }
   // The attempt died in validation: roll back (releases the Rv locks and
   // any staged state) and hand the slot back.
-  cep->Abort(tx_);
+  cc->Abort(tx_);
   engine_->DrainSignals();
   engine_->ReleaseAdmission();
   return Status::Aborted("begin: attempt aborted by the protocol");
@@ -338,12 +349,12 @@ StatusOr<Value> Session::Read(EntityId e) {
     AbortActive();
     return Status::Aborted("read: attempt aborted by the protocol");
   }
-  CorrectExecutionProtocol* cep = engine_->cep();
+  ConcurrencyController* cc = engine_->controller();
   int64_t poll_us = std::max<int64_t>(1, engine_->options().poll_us);
   int64_t blocked_us = 0;
   for (;;) {
     Value value = 0;
-    engine::RequestOutcome r = cep->Read(tx_, e, &value);
+    engine::RequestOutcome r = cc->Read(tx_, e, &value);
     engine_->DrainSignals();
     if (r == engine::RequestOutcome::kGranted) return value;
     if (r == engine::RequestOutcome::kAborted ||
@@ -361,8 +372,8 @@ Status Session::Write(EntityId e, Value value) {
   if (e < 0 || e >= engine_->store()->num_entities()) {
     return Status::InvalidArgument("write: entity id out of range");
   }
-  CorrectExecutionProtocol* cep = engine_->cep();
-  engine::RequestOutcome r = cep->Write(tx_, e, value);
+  ConcurrencyController* cc = engine_->controller();
+  engine::RequestOutcome r = cc->Write(tx_, e, value);
   engine_->DrainSignals();
   if (r == engine::RequestOutcome::kAborted) {
     AbortActive();
@@ -374,7 +385,7 @@ Status Session::Write(EntityId e, Value value) {
     AbortActive();
     return Status::Aborted("write: attempt aborted by the protocol");
   }
-  cep->WriteDone(tx_, e);
+  cc->WriteDone(tx_, e);
   engine_->DrainSignals();
   return Status::OK();
 }
@@ -383,11 +394,11 @@ Status Session::Commit() {
   if (!active_) {
     return Status::FailedPrecondition("commit: no open transaction");
   }
-  CorrectExecutionProtocol* cep = engine_->cep();
+  ConcurrencyController* cc = engine_->controller();
   int64_t poll_us = std::max<int64_t>(1, engine_->options().poll_us);
   int64_t blocked_us = 0;
   for (;;) {
-    engine::RequestOutcome r = cep->Commit(tx_);
+    engine::RequestOutcome r = cc->Commit(tx_);
     engine_->DrainSignals();
     if (r == engine::RequestOutcome::kGranted) {
       active_ = false;

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -32,6 +33,15 @@ struct EngineOptions {
   /// Options forwarded to the protocol engine (search mode, metrics sink,
   /// eval cache). Pointers inside are not owned.
   CorrectExecutionProtocol::Options protocol;
+  /// Builds the concurrency controller the engine hosts. Null (the default)
+  /// builds a CorrectExecutionProtocol from `protocol`, which keeps cep()
+  /// valid for the drivers and the server. A non-null factory may return
+  /// any ConcurrencyController (2PL, MVTO, PW variants, Nested-CEP) — the
+  /// Session API only speaks the base interface, so every protocol is
+  /// hostable behind the same facade. Called once at construction and once
+  /// per CrashRecover (against the recovered store).
+  std::function<std::unique_ptr<ConcurrencyController>(VersionStore*)>
+      controller_factory;
   /// Write-ahead log attached to the store. Not owned; its initial() must
   /// match `initial`. Null runs without durability.
   WriteAheadLog* wal = nullptr;
@@ -103,6 +113,13 @@ class Engine {
 
   // --- component access ---------------------------------------------------
   VersionStore* store() const { return store_.get(); }
+  /// The hosted controller, as the base interface every protocol speaks.
+  /// Sessions route through this; so may single-threaded drivers that
+  /// inject steps directly (the scenario runner).
+  ConcurrencyController* controller() const { return controller_.get(); }
+  /// The default-path controller. Null when a custom controller_factory
+  /// produced something other than a CorrectExecutionProtocol; CEP-specific
+  /// clients (ParallelDriver, the server's validation staging) must check.
   CorrectExecutionProtocol* cep() const { return cep_.get(); }
   WriteAheadLog* wal() const { return options_.wal; }
   ProtocolMetrics* metrics() const { return options_.protocol.metrics; }
@@ -110,6 +127,9 @@ class Engine {
   /// Shared ownership handles (verification outlives the engine).
   std::shared_ptr<VersionStore> store_ref() const { return store_; }
   std::shared_ptr<CorrectExecutionProtocol> cep_ref() const { return cep_; }
+  std::shared_ptr<ConcurrencyController> controller_ref() const {
+    return controller_;
+  }
 
   // --- crash / recovery (chaos harness) -----------------------------------
   /// Simulated crash-kill + restart: recovers the store from the WAL,
@@ -161,8 +181,13 @@ class Engine {
   void ReleaseAdmission();
   void OnSessionClosed();
 
+  /// Builds the hosted controller against `store` (factory or default CEP)
+  /// and attaches the observer; fills cep_ iff the default path ran.
+  void BuildController(VersionStore* store);
+
   EngineOptions options_;
   std::shared_ptr<VersionStore> store_;
+  std::shared_ptr<ConcurrencyController> controller_;
   std::shared_ptr<CorrectExecutionProtocol> cep_;
   WalStats wal_stats_before_{};
 

@@ -1,0 +1,702 @@
+#include "scenario/parser.h"
+
+#include <cctype>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/strings.h"
+#include "predicate/formula.h"
+
+namespace nonserial {
+namespace scenario {
+namespace {
+
+struct Token {
+  enum class Kind : uint8_t { kIdent, kString, kInt, kPunct, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;   ///< Identifier / string contents / punct character.
+  int64_t value = 0;  ///< kInt.
+  int line = 1;
+};
+
+Status ErrorAt(int line, const std::string& message) {
+  return Status::InvalidArgument(StrCat("line ", line, ": ", message));
+}
+
+StatusOr<std::vector<Token>> Tokenize(const std::string& text) {
+  std::vector<Token> tokens;
+  int line = 1;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '"') {
+      Token t;
+      t.kind = Token::Kind::kString;
+      t.line = line;
+      ++i;
+      while (i < n && text[i] != '"' && text[i] != '\n') {
+        t.text.push_back(text[i]);
+        ++i;
+      }
+      if (i >= n || text[i] != '"') {
+        return ErrorAt(line, "unterminated string (is the file truncated?)");
+      }
+      ++i;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      Token t;
+      t.kind = Token::Kind::kInt;
+      t.line = line;
+      size_t start = i;
+      while (i < n && std::isdigit(static_cast<unsigned char>(text[i]))) ++i;
+      t.text = text.substr(start, i - start);
+      int64_t value = 0;
+      if (!ParseInt64(t.text, &value)) {
+        return ErrorAt(line, StrCat("bad integer '", t.text, "'"));
+      }
+      t.value = value;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      Token t;
+      t.kind = Token::Kind::kIdent;
+      t.line = line;
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(text[i])) ||
+                       text[i] == '_')) {
+        ++i;
+      }
+      t.text = text.substr(start, i - start);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '{' || c == '}' || c == '=' || c == '+' || c == '-' ||
+        c == '*' || c == '(' || c == ')' || c == ',') {
+      Token t;
+      t.kind = Token::Kind::kPunct;
+      t.line = line;
+      t.text.push_back(c);
+      tokens.push_back(std::move(t));
+      ++i;
+      continue;
+    }
+    return ErrorAt(line, StrCat("unexpected character '", std::string(1, c),
+                                "'"));
+  }
+  Token end;
+  end.kind = Token::Kind::kEnd;
+  end.line = line;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+/// Keywords that start a top-level declaration; step names in permutation
+/// lines may not collide with them (they terminate the name list).
+bool IsTopLevelKeyword(const std::string& word) {
+  return word == "scenario" || word == "description" || word == "class" ||
+         word == "setup" || word == "session" || word == "permutation" ||
+         word == "all";
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<ScenarioSpec> Parse() {
+    while (!AtEnd()) {
+      const Token& t = Peek();
+      if (t.kind != Token::Kind::kIdent) {
+        return ErrorAt(t.line, "expected a top-level declaration");
+      }
+      Status status = Status::OK();
+      if (t.text == "scenario") {
+        Next();
+        status = ParseName(&spec_.name);
+      } else if (t.text == "description") {
+        Next();
+        status = ExpectString(&spec_.description);
+      } else if (t.text == "class") {
+        Next();
+        status = ParseName(&spec_.figure2_class);
+      } else if (t.text == "setup") {
+        Next();
+        status = ParseSetup();
+      } else if (t.text == "session") {
+        Next();
+        status = ParseSession();
+      } else if (t.text == "permutation") {
+        Next();
+        status = ParsePermutation();
+      } else if (t.text == "all") {
+        status = ParseAllPermutations();
+      } else {
+        return ErrorAt(t.line,
+                       StrCat("unknown top-level keyword '", t.text, "'"));
+      }
+      if (!status.ok()) return status;
+    }
+    Status valid = ValidateSpec(spec_);
+    if (!valid.ok()) return valid;
+    return std::move(spec_);
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    size_t i = pos_ + static_cast<size_t>(ahead);
+    if (i >= tokens_.size()) i = tokens_.size() - 1;  // the kEnd sentinel
+    return tokens_[i];
+  }
+  const Token& Next() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool AtEnd() const { return Peek().kind == Token::Kind::kEnd; }
+  int Line() const { return Peek().line; }
+
+  bool PeekPunct(const char* p, int ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.kind == Token::Kind::kPunct && t.text == p;
+  }
+
+  Status ExpectPunct(const char* p) {
+    if (!PeekPunct(p)) {
+      if (AtEnd()) {
+        return ErrorAt(Line(), StrCat("expected '", p,
+                                      "' but the file ended (truncated?)"));
+      }
+      return ErrorAt(Line(), StrCat("expected '", p, "', found '",
+                                    Peek().text, "'"));
+    }
+    Next();
+    return Status::OK();
+  }
+
+  Status ExpectIdent(const char* what, std::string* out) {
+    const Token& t = Peek();
+    if (t.kind != Token::Kind::kIdent) {
+      if (AtEnd()) {
+        return ErrorAt(t.line, StrCat("expected ", what,
+                                      " but the file ended (truncated?)"));
+      }
+      return ErrorAt(t.line, StrCat("expected ", what));
+    }
+    *out = t.text;
+    Next();
+    return Status::OK();
+  }
+
+  Status ExpectString(std::string* out) {
+    const Token& t = Peek();
+    if (t.kind != Token::Kind::kString) {
+      return ErrorAt(t.line, "expected a quoted string");
+    }
+    *out = t.text;
+    Next();
+    return Status::OK();
+  }
+
+  /// A name: bare identifier or quoted string.
+  Status ParseName(std::string* out) {
+    const Token& t = Peek();
+    if (t.kind == Token::Kind::kIdent || t.kind == Token::Kind::kString) {
+      *out = t.text;
+      Next();
+      return Status::OK();
+    }
+    if (AtEnd()) {
+      return ErrorAt(t.line, "expected a name but the file ended (truncated?)");
+    }
+    return ErrorAt(t.line, "expected a name (identifier or quoted string)");
+  }
+
+  Status ParseSignedInt(Value* out) {
+    bool negative = false;
+    if (PeekPunct("-")) {
+      negative = true;
+      Next();
+    }
+    const Token& t = Peek();
+    if (t.kind != Token::Kind::kInt) {
+      return ErrorAt(t.line, "expected an integer");
+    }
+    *out = negative ? -t.value : t.value;
+    Next();
+    return Status::OK();
+  }
+
+  StatusOr<EntityId> ResolveEntity(int line, const std::string& name) {
+    int e = spec_.EntityIndex(name);
+    if (e < 0) {
+      return ErrorAt(line, StrCat("unknown entity '", name, "'"));
+    }
+    return static_cast<EntityId>(e);
+  }
+
+  /// Parses a quoted predicate string with the general boolean-formula
+  /// grammar and converts it to CNF.
+  Status ParsePredicateString(Predicate* out) {
+    const Token& t = Peek();
+    std::string text;
+    Status s = ExpectString(&text);
+    if (!s.ok()) return s;
+    auto resolve = [this, &t](const std::string& name) {
+      return ResolveEntity(t.line, name);
+    };
+    StatusOr<Formula> formula = ParseFormula(text, resolve);
+    if (!formula.ok()) {
+      return ErrorAt(t.line, StrCat("bad predicate \"", text,
+                                    "\": ", formula.status().message()));
+    }
+    *out = formula->ToCnf();
+    return Status::OK();
+  }
+
+  Status ParseSetup() {
+    Status s = ExpectPunct("{");
+    if (!s.ok()) return s;
+    while (!PeekPunct("}")) {
+      const Token& t = Peek();
+      if (t.kind != Token::Kind::kIdent) {
+        if (AtEnd()) {
+          return ErrorAt(t.line, "setup block not closed (truncated file?)");
+        }
+        return ErrorAt(t.line, "expected 'entity' or 'constraint'");
+      }
+      if (t.text == "entity") {
+        Next();
+        std::string name;
+        s = ExpectIdent("an entity name", &name);
+        if (!s.ok()) return s;
+        if (name == "min" || name == "max") {
+          return ErrorAt(t.line, StrCat("entity name '", name,
+                                        "' collides with a builtin function"));
+        }
+        if (spec_.EntityIndex(name) >= 0) {
+          return ErrorAt(t.line, StrCat("duplicate entity '", name, "'"));
+        }
+        s = ExpectPunct("=");
+        if (!s.ok()) return s;
+        Value v = 0;
+        s = ParseSignedInt(&v);
+        if (!s.ok()) return s;
+        spec_.entity_names.push_back(name);
+        spec_.initial.push_back(v);
+      } else if (t.text == "constraint") {
+        Next();
+        s = ParsePredicateString(&spec_.constraint);
+        if (!s.ok()) return s;
+      } else {
+        return ErrorAt(t.line, StrCat("unknown setup keyword '", t.text, "'"));
+      }
+    }
+    return ExpectPunct("}");
+  }
+
+  // --- write expressions ---------------------------------------------------
+  // expr   := term (('+'|'-') term)*
+  // term   := factor ('*' factor)*
+  // factor := INT | '-' factor | '(' expr ')'
+  //         | 'min' '(' expr ',' expr ')' | 'max' '(' expr ',' expr ')'
+  //         | entity
+  Status ParseExpr(Expr* out) {
+    Status s = ParseTerm(out);
+    if (!s.ok()) return s;
+    while (PeekPunct("+") || PeekPunct("-")) {
+      bool add = Peek().text == "+";
+      Next();
+      Expr rhs;
+      s = ParseTerm(&rhs);
+      if (!s.ok()) return s;
+      *out = add ? Expr::Add(*out, rhs) : Expr::Sub(*out, rhs);
+    }
+    return Status::OK();
+  }
+
+  Status ParseTerm(Expr* out) {
+    Status s = ParseFactor(out);
+    if (!s.ok()) return s;
+    while (PeekPunct("*")) {
+      Next();
+      Expr rhs;
+      s = ParseFactor(&rhs);
+      if (!s.ok()) return s;
+      *out = Expr::Mul(*out, rhs);
+    }
+    return Status::OK();
+  }
+
+  Status ParseFactor(Expr* out) {
+    const Token& t = Peek();
+    if (t.kind == Token::Kind::kInt) {
+      *out = Expr::Const(t.value);
+      Next();
+      return Status::OK();
+    }
+    if (PeekPunct("-")) {
+      Next();
+      Expr inner;
+      Status s = ParseFactor(&inner);
+      if (!s.ok()) return s;
+      *out = Expr::Sub(Expr::Const(0), inner);
+      return Status::OK();
+    }
+    if (PeekPunct("(")) {
+      Next();
+      Status s = ParseExpr(out);
+      if (!s.ok()) return s;
+      return ExpectPunct(")");
+    }
+    if (t.kind == Token::Kind::kIdent) {
+      if (t.text == "min" || t.text == "max") {
+        bool is_min = t.text == "min";
+        Next();
+        Status s = ExpectPunct("(");
+        if (!s.ok()) return s;
+        Expr a, b;
+        s = ParseExpr(&a);
+        if (!s.ok()) return s;
+        s = ExpectPunct(",");
+        if (!s.ok()) return s;
+        s = ParseExpr(&b);
+        if (!s.ok()) return s;
+        s = ExpectPunct(")");
+        if (!s.ok()) return s;
+        *out = is_min ? Expr::Min(a, b) : Expr::Max(a, b);
+        return Status::OK();
+      }
+      StatusOr<EntityId> e = ResolveEntity(t.line, t.text);
+      if (!e.ok()) return e.status();
+      *out = Expr::Var(*e);
+      Next();
+      return Status::OK();
+    }
+    if (AtEnd()) {
+      return ErrorAt(t.line,
+                     "expression ended with the file (truncated file?)");
+    }
+    return ErrorAt(t.line, StrCat("expected an expression, found '", t.text,
+                                  "'"));
+  }
+
+  Status ParseStepBody(Step* step) {
+    const Token& t = Peek();
+    std::string op;
+    Status s = ExpectIdent("a step operation", &op);
+    if (!s.ok()) return s;
+    if (op == "begin") {
+      step->kind = Step::Kind::kBegin;
+    } else if (op == "commit") {
+      step->kind = Step::Kind::kCommit;
+    } else if (op == "abort") {
+      step->kind = Step::Kind::kAbort;
+    } else if (op == "read") {
+      step->kind = Step::Kind::kRead;
+      std::string entity;
+      s = ExpectIdent("an entity name", &entity);
+      if (!s.ok()) return s;
+      StatusOr<EntityId> e = ResolveEntity(t.line, entity);
+      if (!e.ok()) return e.status();
+      step->entity = *e;
+    } else if (op == "write") {
+      step->kind = Step::Kind::kWrite;
+      std::string entity;
+      s = ExpectIdent("an entity name", &entity);
+      if (!s.ok()) return s;
+      StatusOr<EntityId> e = ResolveEntity(t.line, entity);
+      if (!e.ok()) return e.status();
+      step->entity = *e;
+      s = ExpectPunct("=");
+      if (!s.ok()) return s;
+      s = ParseExpr(&step->write_expr);
+      if (!s.ok()) return s;
+    } else {
+      return ErrorAt(t.line,
+                     StrCat("unknown step operation '", op,
+                            "' (begin, read, write, commit, abort)"));
+    }
+    return Status::OK();
+  }
+
+  Status ParseSession() {
+    SessionSpec session;
+    session.line = Line();
+    Status s = ParseName(&session.name);
+    if (!s.ok()) return s;
+    if (IsTopLevelKeyword(session.name) || session.name == "classes" ||
+        session.name == "final") {
+      return ErrorAt(session.line, StrCat("session name '", session.name,
+                                          "' collides with a keyword"));
+    }
+    if (spec_.SessionIndex(session.name) >= 0) {
+      return ErrorAt(session.line,
+                     StrCat("duplicate session '", session.name, "'"));
+    }
+    s = ExpectPunct("{");
+    if (!s.ok()) return s;
+    while (!PeekPunct("}")) {
+      const Token& t = Peek();
+      if (t.kind != Token::Kind::kIdent) {
+        if (AtEnd()) {
+          return ErrorAt(t.line, "session block not closed (truncated file?)");
+        }
+        return ErrorAt(t.line, "expected 'after', 'input', 'output' or 'step'");
+      }
+      if (t.text == "after") {
+        Next();
+        std::string pred;
+        s = ParseName(&pred);
+        if (!s.ok()) return s;
+        int idx = spec_.SessionIndex(pred);
+        if (idx < 0) {
+          return ErrorAt(t.line, StrCat("unknown session '", pred,
+                                        "' ('after' must name an "
+                                        "earlier-declared session)"));
+        }
+        session.predecessors.push_back(idx);
+      } else if (t.text == "input") {
+        Next();
+        s = ParsePredicateString(&session.input);
+        if (!s.ok()) return s;
+      } else if (t.text == "output") {
+        Next();
+        s = ParsePredicateString(&session.output);
+        if (!s.ok()) return s;
+      } else if (t.text == "step") {
+        Next();
+        Step step;
+        step.line = t.line;
+        s = ParseName(&step.name);
+        if (!s.ok()) return s;
+        if (IsTopLevelKeyword(step.name)) {
+          return ErrorAt(t.line, StrCat("step name '", step.name,
+                                        "' collides with a keyword"));
+        }
+        s = ExpectPunct("{");
+        if (!s.ok()) return s;
+        s = ParseStepBody(&step);
+        if (!s.ok()) return s;
+        s = ExpectPunct("}");
+        if (!s.ok()) return s;
+        session.steps.push_back(std::move(step));
+      } else {
+        return ErrorAt(t.line,
+                       StrCat("unknown session keyword '", t.text, "'"));
+      }
+    }
+    s = ExpectPunct("}");
+    if (!s.ok()) return s;
+    spec_.sessions.push_back(std::move(session));
+    return Status::OK();
+  }
+
+  Status ParsePermutation() {
+    Permutation perm;
+    perm.line = Line();
+    std::vector<int> cursor(spec_.sessions.size(), 0);
+    for (;;) {
+      const Token& t = Peek();
+      bool is_name = t.kind == Token::Kind::kString ||
+                     (t.kind == Token::Kind::kIdent &&
+                      !IsTopLevelKeyword(t.text));
+      if (!is_name) break;
+      StepRef ref;
+      if (!spec_.FindStep(t.text, &ref)) {
+        return ErrorAt(t.line, StrCat("unknown step '", t.text,
+                                      "' in permutation"));
+      }
+      perm.order.push_back(ref);
+      Next();
+    }
+    if (perm.order.empty()) {
+      return ErrorAt(perm.line, "permutation lists no steps");
+    }
+    if (PeekPunct("{")) {
+      Next();
+      while (!PeekPunct("}")) {
+        const Token& t = Peek();
+        if (t.kind != Token::Kind::kIdent || t.text != "expect") {
+          if (AtEnd()) {
+            return ErrorAt(t.line,
+                           "permutation block not closed (truncated file?)");
+          }
+          return ErrorAt(t.line, "expected 'expect'");
+        }
+        Next();
+        Expectation expect;
+        expect.line = t.line;
+        Status s = ParseName(&expect.protocol);
+        if (!s.ok()) return s;
+        s = ParseExpectBody(&expect);
+        if (!s.ok()) return s;
+        perm.expectations.push_back(std::move(expect));
+      }
+      Status s = ExpectPunct("}");
+      if (!s.ok()) return s;
+    }
+    spec_.permutations.push_back(std::move(perm));
+    return Status::OK();
+  }
+
+  Status ParseExpectBody(Expectation* expect) {
+    Status s = ExpectPunct("{");
+    if (!s.ok()) return s;
+    // Verdicts accumulate per session; default slots are filled with
+    // kCommit but every session must be listed (ValidateSpec checks count).
+    std::vector<bool> seen(spec_.sessions.size(), false);
+    expect->verdicts.assign(spec_.sessions.size(), Verdict::kCommit);
+    int listed = 0;
+    while (!PeekPunct("}")) {
+      const Token& t = Peek();
+      if (t.kind == Token::Kind::kIdent && t.text == "classes") {
+        Next();
+        bool any = false;
+        while (PeekPunct("+") || PeekPunct("-")) {
+          bool expected = Peek().text == "+";
+          Next();
+          std::string cls;
+          s = ExpectIdent("a class name (csr, sr, cpc, pc)", &cls);
+          if (!s.ok()) return s;
+          ClassAssertion assertion;
+          assertion.expected = expected;
+          if (cls == "csr") {
+            assertion.cls = ClassAssertion::Cls::kCsr;
+          } else if (cls == "sr") {
+            assertion.cls = ClassAssertion::Cls::kSr;
+          } else if (cls == "cpc") {
+            assertion.cls = ClassAssertion::Cls::kCpc;
+          } else if (cls == "pc") {
+            assertion.cls = ClassAssertion::Cls::kPc;
+          } else {
+            return ErrorAt(t.line, StrCat("unknown class '", cls,
+                                          "' (csr, sr, cpc, pc)"));
+          }
+          expect->classes.push_back(assertion);
+          any = true;
+        }
+        if (!any) {
+          return ErrorAt(t.line, "'classes' lists no +class/-class items");
+        }
+        continue;
+      }
+      if (t.kind == Token::Kind::kIdent && t.text == "final") {
+        Next();
+        bool any = false;
+        while (Peek().kind == Token::Kind::kIdent && PeekPunct("=", 1)) {
+          const Token& et = Peek();
+          StatusOr<EntityId> e = ResolveEntity(et.line, et.text);
+          if (!e.ok()) return e.status();
+          Next();
+          Next();  // '='
+          Value v = 0;
+          s = ParseSignedInt(&v);
+          if (!s.ok()) return s;
+          expect->final_state.emplace_back(*e, v);
+          any = true;
+        }
+        if (!any) {
+          return ErrorAt(t.line, "'final' lists no entity = value pairs");
+        }
+        continue;
+      }
+      if (t.kind == Token::Kind::kIdent || t.kind == Token::Kind::kString) {
+        int idx = spec_.SessionIndex(t.text);
+        if (idx < 0) {
+          return ErrorAt(t.line, StrCat("unknown session '", t.text,
+                                        "' in expect block"));
+        }
+        Next();
+        std::string verdict;
+        s = ExpectIdent("a verdict (commit, abort, blocked)", &verdict);
+        if (!s.ok()) return s;
+        if (verdict == "commit") {
+          expect->verdicts[idx] = Verdict::kCommit;
+        } else if (verdict == "abort") {
+          expect->verdicts[idx] = Verdict::kAbort;
+        } else if (verdict == "blocked") {
+          expect->verdicts[idx] = Verdict::kBlocked;
+        } else {
+          return ErrorAt(t.line, StrCat("unknown verdict '", verdict,
+                                        "' (commit, abort, blocked)"));
+        }
+        if (!seen[idx]) {
+          seen[idx] = true;
+          ++listed;
+        }
+        continue;
+      }
+      if (AtEnd()) {
+        return ErrorAt(t.line, "expect block not closed (truncated file?)");
+      }
+      return ErrorAt(t.line, "expected a session verdict, 'classes' or "
+                             "'final'");
+    }
+    if (listed != static_cast<int>(spec_.sessions.size())) {
+      return ErrorAt(expect->line,
+                     StrCat("expect block for '", expect->protocol,
+                            "' must list a verdict for every session"));
+    }
+    return ExpectPunct("}");
+  }
+
+  Status ParseAllPermutations() {
+    // Tokens: 'all' '-' 'permutations' [ 'max' '-' 'runs' INT ]
+    int line = Line();
+    Next();  // all
+    std::string word;
+    Status s = ExpectPunct("-");
+    if (!s.ok()) return s;
+    s = ExpectIdent("'permutations'", &word);
+    if (!s.ok()) return s;
+    if (word != "permutations") {
+      return ErrorAt(line, "expected 'all-permutations'");
+    }
+    spec_.all_permutations.enabled = true;
+    if (Peek().kind == Token::Kind::kIdent && Peek().text == "max") {
+      Next();
+      s = ExpectPunct("-");
+      if (!s.ok()) return s;
+      s = ExpectIdent("'runs'", &word);
+      if (!s.ok()) return s;
+      if (word != "runs") return ErrorAt(line, "expected 'max-runs'");
+      const Token& t = Peek();
+      if (t.kind != Token::Kind::kInt) {
+        return ErrorAt(t.line, "max-runs needs an integer");
+      }
+      spec_.all_permutations.max_runs = static_cast<int>(t.value);
+      Next();
+    }
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  ScenarioSpec spec_;
+};
+
+}  // namespace
+
+StatusOr<ScenarioSpec> ParseScenario(const std::string& text) {
+  StatusOr<std::vector<Token>> tokens = Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(*std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace scenario
+}  // namespace nonserial

@@ -1,0 +1,48 @@
+#ifndef NONSERIAL_SCENARIO_PARSER_H_
+#define NONSERIAL_SCENARIO_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "scenario/scenario.h"
+
+namespace nonserial {
+namespace scenario {
+
+/// Parses one scenario file (grammar in docs/SCENARIOS.md) and validates
+/// it structurally (ValidateSpec). Errors are InvalidArgument with a
+/// source line number, e.g. "line 12: unknown session 's3'".
+///
+/// The language, in brief:
+///
+///   scenario "write-skew"
+///   class cpc
+///   description "..."
+///   setup {
+///     entity x = 20
+///     entity y = 20
+///     constraint "(x >= -100) & (y >= -100)"
+///   }
+///   session "s1" {
+///     input "x >= -100 & y >= -100"
+///     output "y >= -100"
+///     step r1x { read x }
+///     step w1y { write y = x + y }
+///     step c1  { commit }
+///   }
+///   permutation r1x w1y c1 {
+///     expect "CEP" { s1 commit  classes +cpc  final y = 40 }
+///   }
+///   all-permutations max-runs 500
+///
+/// `#` starts a comment. Names may be bare identifiers or quoted strings;
+/// protocol names containing '-' (PW-2PL, Nested-CEP, PW-MVTO) must be
+/// quoted. Predicates are quoted strings in the boolean-formula grammar of
+/// predicate/formula.h (converted to CNF); write expressions use + - *
+/// min(a,b) max(a,b) over integers and previously read entities.
+StatusOr<ScenarioSpec> ParseScenario(const std::string& text);
+
+}  // namespace scenario
+}  // namespace nonserial
+
+#endif  // NONSERIAL_SCENARIO_PARSER_H_

@@ -1,0 +1,170 @@
+#include "scenario/protocols.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "common/strings.h"
+#include "protocol/cep.h"
+#include "protocol/mvto.h"
+#include "protocol/nested_cep.h"
+#include "protocol/pw_mvto.h"
+#include "protocol/two_phase_locking.h"
+
+namespace nonserial {
+namespace scenario {
+
+const std::vector<std::string>& ProtocolNames() {
+  static const std::vector<std::string> kNames = {
+      "S2PL", "PW-2PL", "MVTO", "PW-MVTO", "CEP", "Nested-CEP"};
+  return kNames;
+}
+
+bool IsProtocolName(const std::string& name) {
+  for (const std::string& n : ProtocolNames()) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// Planned operations per session (by transaction id == session index),
+/// straight from the step programs — what the 2PL variants need for the
+/// update-lock discipline and predicate-wise group release.
+std::map<int, std::vector<PlannedOp>> PlannedOps(const ScenarioSpec& spec) {
+  std::map<int, std::vector<PlannedOp>> planned;
+  for (size_t s = 0; s < spec.sessions.size(); ++s) {
+    std::vector<PlannedOp>& ops = planned[static_cast<int>(s)];
+    for (const Step& step : spec.sessions[s].steps) {
+      if (step.kind == Step::Kind::kRead) {
+        ops.push_back(PlannedOp{false, step.entity});
+      } else if (step.kind == Step::Kind::kWrite) {
+        ops.push_back(PlannedOp{true, step.entity});
+      }
+    }
+  }
+  return planned;
+}
+
+/// The baseline controllers (2PL/MVTO families, Nested-CEP's outer maps)
+/// are single-threaded state machines — the tick simulator drove them
+/// from one logical thread, per the ConcurrencyController contract. Only
+/// CEP is an internal monitor. The concurrent Session transport drives
+/// controllers from one thread per session, so every non-monitor
+/// protocol is wrapped in this serializing decorator before the engine
+/// sees it. No controller call blocks internally (kBlocked is returned,
+/// never waited on), so one mutex around each entry point cannot
+/// deadlock; it only serializes the state-machine transitions.
+class SerializedController : public ConcurrencyController {
+ public:
+  explicit SerializedController(std::unique_ptr<ConcurrencyController> inner)
+      : inner_(std::move(inner)) {}
+
+  std::string name() const override { return inner_->name(); }
+  void Register(int tx, TxProfile profile) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    inner_->Register(tx, std::move(profile));
+  }
+  ReqResult Begin(int tx) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inner_->Begin(tx);
+  }
+  ReqResult Read(int tx, EntityId e, Value* out) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inner_->Read(tx, e, out);
+  }
+  ReqResult Write(int tx, EntityId e, Value value) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inner_->Write(tx, e, value);
+  }
+  void WriteDone(int tx, EntityId e) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    inner_->WriteDone(tx, e);
+  }
+  ReqResult Commit(int tx) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inner_->Commit(tx);
+  }
+  void Abort(int tx) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    inner_->Abort(tx);
+  }
+  std::vector<int> TakeWakeups() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inner_->TakeWakeups();
+  }
+  std::vector<int> TakeForcedAborts() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inner_->TakeForcedAborts();
+  }
+  void SetObserver(TraceSink* sink) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    inner_->SetObserver(sink);
+  }
+
+ private:
+  std::unique_ptr<ConcurrencyController> inner_;
+  std::mutex mu_;
+};
+
+std::unique_ptr<ConcurrencyController> Serialized(
+    std::unique_ptr<ConcurrencyController> inner) {
+  return std::make_unique<SerializedController>(std::move(inner));
+}
+
+}  // namespace
+
+StatusOr<ControllerFactory> MakeControllerFactory(const std::string& protocol,
+                                                  const ScenarioSpec& spec) {
+  if (protocol == "S2PL" || protocol == "PW-2PL") {
+    TwoPhaseLockingController::Options options;
+    options.predicatewise = protocol == "PW-2PL";
+    options.objects = spec.Objects();
+    options.planned_ops = PlannedOps(spec);
+    return ControllerFactory([options](VersionStore* store) {
+      return Serialized(
+          std::make_unique<TwoPhaseLockingController>(store, options));
+    });
+  }
+  if (protocol == "MVTO") {
+    return ControllerFactory([](VersionStore* store) {
+      return Serialized(std::make_unique<MvtoController>(store));
+    });
+  }
+  if (protocol == "PW-MVTO") {
+    ObjectSetList objects = spec.Objects();
+    return ControllerFactory([objects](VersionStore* store) {
+      return Serialized(std::make_unique<PwMvtoController>(store, objects));
+    });
+  }
+  if (protocol == "CEP") {
+    return ControllerFactory([](VersionStore* store) {
+      return std::make_unique<CorrectExecutionProtocol>(
+          store, CorrectExecutionProtocol::Options{});
+    });
+  }
+  if (protocol == "Nested-CEP") {
+    NestedCepController::Options options;
+    for (size_t s = 0; s < spec.sessions.size(); ++s) {
+      const SessionSpec& session = spec.sessions[s];
+      NestedGroup group;
+      group.name = session.name;
+      group.input = session.input;
+      group.output = session.output;
+      group.predecessors = session.predecessors;
+      options.groups.push_back(std::move(group));
+      options.group_of_tx.push_back(static_cast<int>(s));
+    }
+    return ControllerFactory([options](VersionStore* store) {
+      return Serialized(std::make_unique<NestedCepController>(store, options));
+    });
+  }
+  return Status::InvalidArgument(
+      StrCat("unknown protocol '", protocol, "' (registered: ",
+             Join(ProtocolNames(), ", "), ")"));
+}
+
+}  // namespace scenario
+}  // namespace nonserial

@@ -1,0 +1,43 @@
+#ifndef NONSERIAL_SCENARIO_PROTOCOLS_H_
+#define NONSERIAL_SCENARIO_PROTOCOLS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "protocol/controller.h"
+#include "scenario/scenario.h"
+#include "storage/version_store.h"
+
+namespace nonserial {
+namespace scenario {
+
+/// A controller factory in the engine's shape (EngineOptions::
+/// controller_factory): builds a fresh protocol instance over a store.
+using ControllerFactory =
+    std::function<std::unique_ptr<ConcurrencyController>(VersionStore*)>;
+
+/// Every protocol a scenario runs against, in canonical order:
+/// S2PL, PW-2PL, MVTO, PW-MVTO, CEP, Nested-CEP.
+const std::vector<std::string>& ProtocolNames();
+
+bool IsProtocolName(const std::string& name);
+
+/// Builds the factory hosting `protocol` configured for `spec`:
+///  - S2PL / PW-2PL derive per-transaction planned operations from the
+///    session step programs (update-lock discipline, predicate-wise
+///    groups from the constraint objects);
+///  - PW-MVTO takes the constraint objects (per-object virtual clocks);
+///  - Nested-CEP runs one group per session (I_G/O_G = the session's
+///    predicates, group predecessors = the session's `after` edges);
+///  - MVTO and CEP need no scenario-derived configuration.
+/// Unknown names are InvalidArgument.
+StatusOr<ControllerFactory> MakeControllerFactory(const std::string& protocol,
+                                                  const ScenarioSpec& spec);
+
+}  // namespace scenario
+}  // namespace nonserial
+
+#endif  // NONSERIAL_SCENARIO_PROTOCOLS_H_

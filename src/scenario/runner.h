@@ -1,0 +1,113 @@
+#ifndef NONSERIAL_SCENARIO_RUNNER_H_
+#define NONSERIAL_SCENARIO_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "classes/recognizers.h"
+#include "common/report.h"
+#include "common/status.h"
+#include "predicate/value.h"
+#include "scenario/scenario.h"
+#include "schedule/schedule.h"
+
+namespace nonserial {
+namespace scenario {
+
+/// Outcome of driving one interleaving of a scenario under one protocol.
+struct ScenarioRunResult {
+  std::string protocol;
+  std::vector<Verdict> verdicts;  ///< One per session.
+  ValueVector final_state;        ///< Latest committed snapshot.
+  bool constraint_ok = true;      ///< Constraint holds over final_state.
+  /// Committed-attempts history (TxId == session index), classified
+  /// against the constraint objects.
+  Schedule committed;
+  ClassMembership classes;
+  bool classes_exact = true;
+  /// The PR 4 incremental CPC checker's verdict over the same history —
+  /// must equal classes.cpc (the runner's built-in differential check).
+  bool incremental_cpc = true;
+  std::vector<std::string> log;  ///< Step trace (RunnerOptions::verbose).
+};
+
+struct RunnerOptions {
+  bool verbose = false;
+};
+
+/// Runs one interleaving of `spec` under `protocol` (registry name) on a
+/// fresh Engine hosting that protocol via EngineOptions::controller_factory.
+/// Deterministic and single-threaded, in the documented driver-client
+/// style: permutation entries are injected in order; each injection
+/// authorizes one more step of its session, and a progress loop then runs
+/// every session as far as its authorized, unblocked steps allow (so a
+/// session whose step blocked executes it as soon as the protocol wakes
+/// it, exactly like a real client would). Sessions whose programs cannot
+/// finish get the kBlocked verdict and are rolled back at the end.
+StatusOr<ScenarioRunResult> RunPermutation(const ScenarioSpec& spec,
+                                           const std::vector<StepRef>& order,
+                                           const std::string& protocol,
+                                           const RunnerOptions& options = {});
+
+/// Transport-independence check: runs the sessions concurrently through
+/// the real Engine::OpenSession / Session API (one thread per session, no
+/// permutation control — the OS schedules). Blocked steps are bounded by
+/// max_blocked_us so the run always terminates. Classification runs over
+/// the observed committed order.
+StatusOr<ScenarioRunResult> RunConcurrentViaSessions(
+    const ScenarioSpec& spec, const std::string& protocol,
+    int64_t max_blocked_us = 2'000'000);
+
+/// Checks `result` against one expect block; appends human-readable
+/// mismatch lines to *failures. Returns true when every assertion holds.
+bool CheckExpectation(const ScenarioSpec& spec, const Expectation& expect,
+                      const ScenarioRunResult& result,
+                      std::vector<std::string>* failures);
+
+/// Renders the observed outcome as an authorable expect block
+/// (`expect "CEP" { s1 commit ... }`) — the --print-expect authoring aid.
+std::string FormatExpectation(const ScenarioSpec& spec,
+                              const ScenarioRunResult& result);
+
+/// Chaos replay of one interleaving under CEP + WAL: for every crash point
+/// k (after k injections), run a fresh engine over a fresh log, inject k
+/// steps, crash-kill, recover, and assert the recovered snapshot and
+/// committed-transaction set match the pre-crash engine. Returns mismatch
+/// lines (empty == pass).
+StatusOr<std::vector<std::string>> RunChaosSweep(
+    const ScenarioSpec& spec, const std::vector<StepRef>& order);
+
+/// Suite orchestration shared by run_scenarios and the ctest suite.
+struct SuiteOptions {
+  /// Protocols to run (registry names); empty = all registered.
+  std::vector<std::string> protocols;
+  /// Replay every explicit permutation across crash/recover cycles.
+  bool chaos = false;
+  bool verbose = false;
+  /// Collect observed expect blocks into SpecResult::printed.
+  bool print_expect = false;
+};
+
+struct SpecResult {
+  std::string name;
+  int explicit_runs = 0;   ///< permutation x protocol runs driven.
+  int sweep_runs = 0;      ///< all-permutations runs driven.
+  int chaos_crash_points = 0;
+  bool sweep_truncated = false;
+  std::vector<std::string> failures;  ///< Empty == the spec passed.
+  std::vector<std::string> printed;   ///< --print-expect output.
+  Json row = Json::Object();          ///< REPORT_scenarios.json row.
+  bool ok() const { return failures.empty(); }
+};
+
+/// Runs one spec end to end: every explicit permutation against every
+/// selected protocol with its expect blocks asserted, the all-permutations
+/// sweep (when enabled) with per-run invariants (terminating runs,
+/// incremental == batch CPC), and the chaos sweep when requested.
+StatusOr<SpecResult> RunSpec(const ScenarioSpec& spec,
+                             const SuiteOptions& options = {});
+
+}  // namespace scenario
+}  // namespace nonserial
+
+#endif  // NONSERIAL_SCENARIO_RUNNER_H_

@@ -1,0 +1,327 @@
+#include "scenario/scenario.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace nonserial {
+namespace scenario {
+
+std::string VerdictName(Verdict v) {
+  switch (v) {
+    case Verdict::kCommit:
+      return "commit";
+    case Verdict::kAbort:
+      return "abort";
+    case Verdict::kBlocked:
+      return "blocked";
+  }
+  return "?";
+}
+
+std::string ClassAssertionName(ClassAssertion::Cls cls) {
+  switch (cls) {
+    case ClassAssertion::Cls::kCsr:
+      return "csr";
+    case ClassAssertion::Cls::kSr:
+      return "sr";
+    case ClassAssertion::Cls::kCpc:
+      return "cpc";
+    case ClassAssertion::Cls::kPc:
+      return "pc";
+  }
+  return "?";
+}
+
+int ScenarioSpec::EntityIndex(const std::string& entity_name) const {
+  for (size_t i = 0; i < entity_names.size(); ++i) {
+    if (entity_names[i] == entity_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int ScenarioSpec::SessionIndex(const std::string& session_name) const {
+  for (size_t i = 0; i < sessions.size(); ++i) {
+    if (sessions[i].name == session_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const Step& ScenarioSpec::StepAt(const StepRef& ref) const {
+  return sessions[ref.session].steps[ref.step];
+}
+
+bool ScenarioSpec::FindStep(const std::string& step_name, StepRef* out) const {
+  for (size_t s = 0; s < sessions.size(); ++s) {
+    for (size_t i = 0; i < sessions[s].steps.size(); ++i) {
+      if (sessions[s].steps[i].name == step_name) {
+        *out = StepRef{static_cast<int>(s), static_cast<int>(i)};
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+int ScenarioSpec::TotalSteps() const {
+  int n = 0;
+  for (const SessionSpec& s : sessions) n += static_cast<int>(s.steps.size());
+  return n;
+}
+
+namespace {
+
+Status SpecError(int line, const std::string& message) {
+  if (line > 0) {
+    return Status::InvalidArgument(StrCat("line ", line, ": ", message));
+  }
+  return Status::InvalidArgument(message);
+}
+
+}  // namespace
+
+Status ValidateSpec(const ScenarioSpec& spec) {
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("scenario has no name");
+  }
+  if (spec.entity_names.empty()) {
+    return Status::InvalidArgument(
+        StrCat("scenario '", spec.name, "': setup declares no entities"));
+  }
+  if (spec.sessions.empty()) {
+    return Status::InvalidArgument(
+        StrCat("scenario '", spec.name, "': no sessions declared"));
+  }
+  if (!spec.figure2_class.empty() && spec.figure2_class != "sr" &&
+      spec.figure2_class != "pc" && spec.figure2_class != "cpc" &&
+      spec.figure2_class != "incorrect") {
+    return Status::InvalidArgument(
+        StrCat("scenario '", spec.name, "': class '", spec.figure2_class,
+               "' is not one of sr, pc, cpc, incorrect"));
+  }
+  // Step programs: shape, entity discipline, globally unique step names.
+  std::set<std::string> step_names;
+  for (size_t si = 0; si < spec.sessions.size(); ++si) {
+    const SessionSpec& session = spec.sessions[si];
+    if (session.steps.empty()) {
+      return SpecError(session.line, StrCat("session '", session.name,
+                                            "' has no steps"));
+    }
+    for (int pred : session.predecessors) {
+      if (pred < 0 || pred >= static_cast<int>(si)) {
+        return SpecError(
+            session.line,
+            StrCat("session '", session.name,
+                   "': 'after' must name an earlier-declared session "
+                   "(transaction ids follow declaration order)"));
+      }
+    }
+    std::set<EntityId> input_entities = session.input.Entities();
+    std::set<EntityId> read_so_far;
+    for (size_t i = 0; i < session.steps.size(); ++i) {
+      const Step& step = session.steps[i];
+      if (!step_names.insert(step.name).second) {
+        return SpecError(step.line, StrCat("duplicate step name '", step.name,
+                                           "' (step names are global: "
+                                           "permutation lines reference them)"));
+      }
+      if (step.kind == Step::Kind::kBegin && i != 0) {
+        return SpecError(step.line,
+                         StrCat("step '", step.name,
+                                "': begin must be the session's first step"));
+      }
+      bool terminal = step.kind == Step::Kind::kCommit ||
+                      step.kind == Step::Kind::kAbort;
+      if (terminal && i + 1 != session.steps.size()) {
+        return SpecError(step.line,
+                         StrCat("step '", step.name,
+                                "': commit/abort must be the last step"));
+      }
+      if (i + 1 == session.steps.size() && !terminal) {
+        return SpecError(step.line,
+                         StrCat("session '", session.name,
+                                "' must end in a commit or abort step"));
+      }
+      if (step.kind == Step::Kind::kRead) {
+        if (input_entities.count(step.entity) == 0) {
+          return SpecError(
+              step.line,
+              StrCat("step '", step.name, "': session '", session.name,
+                     "' reads '", spec.entity_names[step.entity],
+                     "' but its input predicate does not mention it "
+                     "(the model requires reads within I_t)"));
+        }
+        read_so_far.insert(step.entity);
+      }
+      if (step.kind == Step::Kind::kWrite) {
+        std::set<EntityId> operands;
+        step.write_expr.CollectReads(&operands);
+        for (EntityId e : operands) {
+          if (read_so_far.count(e) == 0) {
+            return SpecError(
+                step.line,
+                StrCat("step '", step.name, "': write expression uses '",
+                       spec.entity_names[e],
+                       "' before the session has read it"));
+          }
+        }
+      }
+    }
+  }
+  // Interleavings: every permutation covers every step exactly once,
+  // respecting per-session program order.
+  if (spec.permutations.empty() && !spec.all_permutations.enabled) {
+    return Status::InvalidArgument(
+        StrCat("scenario '", spec.name,
+               "': no permutation lines and no all-permutations mode — "
+               "nothing to run"));
+  }
+  for (const Permutation& perm : spec.permutations) {
+    std::vector<int> cursor(spec.sessions.size(), 0);
+    for (const StepRef& ref : perm.order) {
+      if (ref.session < 0 ||
+          ref.session >= static_cast<int>(spec.sessions.size()) ||
+          ref.step < 0 ||
+          ref.step >=
+              static_cast<int>(spec.sessions[ref.session].steps.size())) {
+        return SpecError(perm.line, "permutation references an unknown step");
+      }
+      if (ref.step != cursor[ref.session]) {
+        return SpecError(
+            perm.line,
+            StrCat("permutation lists step '", spec.StepAt(ref).name,
+                   "' out of its session's program order"));
+      }
+      ++cursor[ref.session];
+    }
+    for (size_t s = 0; s < spec.sessions.size(); ++s) {
+      if (cursor[s] != static_cast<int>(spec.sessions[s].steps.size())) {
+        return SpecError(perm.line,
+                         StrCat("permutation is missing steps of session '",
+                                spec.sessions[s].name, "'"));
+      }
+    }
+    for (const Expectation& expect : perm.expectations) {
+      if (expect.verdicts.size() != spec.sessions.size()) {
+        return SpecError(expect.line,
+                         StrCat("expect block for '", expect.protocol,
+                                "' must list a verdict for every session"));
+      }
+      for (const auto& [entity, value] : expect.final_state) {
+        (void)value;
+        if (entity < 0 ||
+            entity >= static_cast<EntityId>(spec.entity_names.size())) {
+          return SpecError(expect.line, "final-state entity out of range");
+        }
+      }
+    }
+  }
+  if (spec.all_permutations.enabled && spec.all_permutations.max_runs <= 0) {
+    return Status::InvalidArgument(
+        StrCat("scenario '", spec.name, "': max-runs must be positive"));
+  }
+  return Status::OK();
+}
+
+std::vector<StepRef> SerialOrder(const ScenarioSpec& spec) {
+  std::vector<StepRef> order;
+  for (size_t s = 0; s < spec.sessions.size(); ++s) {
+    for (size_t i = 0; i < spec.sessions[s].steps.size(); ++i) {
+      order.push_back(StepRef{static_cast<int>(s), static_cast<int>(i)});
+    }
+  }
+  return order;
+}
+
+namespace {
+
+/// Conservative commutation test used by the symmetry pruning: only data
+/// operations on distinct entities that share no constraint object commute
+/// under every registered protocol (per-object timestamp clocks and lock
+/// groups make same-object accesses order-sensitive even across entities).
+bool StepsCommute(const ScenarioSpec& spec,
+                  const std::vector<std::vector<int>>& objects_of,
+                  const Step& a, const Step& b) {
+  auto is_data = [](const Step& s) {
+    return s.kind == Step::Kind::kRead || s.kind == Step::Kind::kWrite;
+  };
+  if (!is_data(a) || !is_data(b)) return false;
+  if (a.entity == b.entity) return false;
+  for (int oa : objects_of[a.entity]) {
+    for (int ob : objects_of[b.entity]) {
+      if (oa == ob) return false;
+    }
+  }
+  (void)spec;
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::vector<StepRef>> EnumerateInterleavings(
+    const ScenarioSpec& spec, int max_runs, bool* truncated) {
+  if (truncated != nullptr) *truncated = false;
+  // objects_of[e]: indices of constraint objects containing entity e.
+  ObjectSetList objects = spec.Objects();
+  std::vector<std::vector<int>> objects_of(spec.entity_names.size());
+  for (size_t o = 0; o < objects.size(); ++o) {
+    for (EntityId e : objects[o]) {
+      if (e >= 0 && e < static_cast<EntityId>(objects_of.size())) {
+        objects_of[e].push_back(static_cast<int>(o));
+      }
+    }
+  }
+
+  std::vector<std::vector<StepRef>> out;
+  std::vector<int> cursor(spec.sessions.size(), 0);
+  std::vector<StepRef> current;
+  const int total = spec.TotalSteps();
+  bool stopped = false;
+
+  // DFS over session frontiers. Canonical-form pruning: never place a step
+  // immediately after a commuting step of a higher-numbered session — the
+  // swapped order is equivalent and is (or was) emitted elsewhere.
+  // Enumerate one past the cap: a (max_runs+1)-th interleaving proves the
+  // cap actually dropped something (a cap landing exactly on the last
+  // interleaving is not a truncation).
+  auto dfs = [&](auto&& self) -> void {
+    if (stopped) return;
+    if (static_cast<int>(current.size()) == total) {
+      if (static_cast<int>(out.size()) >= max_runs) {
+        stopped = true;
+        if (truncated != nullptr) *truncated = true;
+        return;
+      }
+      out.push_back(current);
+      return;
+    }
+    for (size_t s = 0; s < spec.sessions.size(); ++s) {
+      if (cursor[s] >= static_cast<int>(spec.sessions[s].steps.size())) {
+        continue;
+      }
+      StepRef ref{static_cast<int>(s), cursor[s]};
+      if (!current.empty()) {
+        const StepRef& prev = current.back();
+        if (prev.session > ref.session &&
+            StepsCommute(spec, objects_of, spec.StepAt(prev),
+                         spec.StepAt(ref))) {
+          continue;  // non-canonical: the swap was emitted under prev first
+        }
+      }
+      current.push_back(ref);
+      ++cursor[s];
+      self(self);
+      --cursor[s];
+      current.pop_back();
+      if (stopped) return;
+    }
+  };
+  dfs(dfs);
+  return out;
+}
+
+}  // namespace scenario
+}  // namespace nonserial

@@ -1,0 +1,142 @@
+#ifndef NONSERIAL_SCENARIO_SCENARIO_H_
+#define NONSERIAL_SCENARIO_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "model/transaction.h"
+#include "predicate/predicate.h"
+#include "predicate/value.h"
+
+namespace nonserial {
+namespace scenario {
+
+/// One operation of a session's step program. Steps are the DSL's unit of
+/// interleaving: permutation lines name steps and the runner injects them
+/// in exactly that order (docs/SCENARIOS.md has the full grammar).
+struct Step {
+  enum class Kind : uint8_t { kBegin, kRead, kWrite, kCommit, kAbort };
+  std::string name;
+  Kind kind = Kind::kBegin;
+  EntityId entity = kInvalidEntity;  ///< kRead / kWrite.
+  Expr write_expr;                   ///< kWrite; over previously read entities.
+  int line = 0;                      ///< Source line (diagnostics).
+};
+
+/// One named client session == one transaction of the scenario. Sessions
+/// map to controller transaction ids by declaration order, so `after`
+/// edges (the partial order P) may only point at earlier sessions.
+struct SessionSpec {
+  std::string name;
+  Predicate input;   ///< I_t; must mention every entity the program reads.
+  Predicate output;  ///< O_t; checked by the predicate protocols at commit.
+  std::vector<int> predecessors;  ///< Session indices (partial order P).
+  std::vector<Step> steps;
+  int line = 0;
+};
+
+/// Terminal fate of one session in one run.
+enum class Verdict : uint8_t { kCommit, kAbort, kBlocked };
+
+std::string VerdictName(Verdict v);
+
+/// One correctness-class assertion inside an expect block: "+cpc", "-sr".
+/// kSr is view serializability (the paper's SR); kCsr the conflict variant.
+struct ClassAssertion {
+  enum class Cls : uint8_t { kCsr, kSr, kCpc, kPc };
+  Cls cls = Cls::kCpc;
+  bool expected = false;
+};
+
+std::string ClassAssertionName(ClassAssertion::Cls cls);
+
+/// Expected outcome of one permutation under one protocol.
+struct Expectation {
+  std::string protocol;           ///< Registry name ("CEP", "S2PL", ...).
+  std::vector<Verdict> verdicts;  ///< One per session, by session index.
+  std::vector<ClassAssertion> classes;
+  /// Asserted subset of the final committed state.
+  std::vector<std::pair<EntityId, Value>> final_state;
+  int line = 0;
+};
+
+/// A reference to one step: (session index, step index within the session).
+struct StepRef {
+  int session = 0;
+  int step = 0;
+  bool operator==(const StepRef&) const = default;
+};
+
+struct Permutation {
+  std::vector<StepRef> order;  ///< Injection order; every step exactly once.
+  std::vector<Expectation> expectations;
+  int line = 0;
+};
+
+/// The all-permutations sweep: run every canonical interleaving (symmetry
+/// pruned, see EnumerateInterleavings) up to max_runs, asserting run
+/// invariants instead of per-permutation verdicts.
+struct AllPermutations {
+  bool enabled = false;
+  int max_runs = 2000;
+};
+
+/// A parsed scenario file: entities + constraint, session step programs,
+/// and the interleavings to drive with their expected per-protocol
+/// outcomes.
+struct ScenarioSpec {
+  std::string name;
+  std::string description;
+  /// Figure 2 containment annotation for the anomaly catalog: the smallest
+  /// class admitting the scenario's headline interleaving — "sr", "pc",
+  /// "cpc", or "incorrect" (admitted by none).
+  std::string figure2_class;
+  std::vector<std::string> entity_names;
+  ValueVector initial;
+  Predicate constraint;  ///< Database consistency constraint (the objects).
+  std::vector<SessionSpec> sessions;
+  std::vector<Permutation> permutations;
+  AllPermutations all_permutations;
+
+  /// Entity index by name; -1 when unknown.
+  int EntityIndex(const std::string& entity_name) const;
+  /// Session index by name; -1 when unknown.
+  int SessionIndex(const std::string& session_name) const;
+  const Step& StepAt(const StepRef& ref) const;
+  /// Locates a step by its (globally unique) name; false when unknown.
+  bool FindStep(const std::string& step_name, StepRef* out) const;
+  int TotalSteps() const;
+  /// Conjunct objects of the constraint (classification, PW protocols).
+  ObjectSetList Objects() const { return constraint.Objects(); }
+};
+
+/// Structural validation beyond what parsing alone can check: non-empty
+/// terminal programs, begin only as a first step, writes over previously
+/// read entities, reads covered by the input predicate, permutations
+/// covering every step exactly once in per-session program order, `after`
+/// edges pointing at earlier sessions, expectations covering every session.
+Status ValidateSpec(const ScenarioSpec& spec);
+
+/// The program-order interleaving (sessions back to back, in declaration
+/// order) — the canonical serial run.
+std::vector<StepRef> SerialOrder(const ScenarioSpec& spec);
+
+/// Enumerates interleavings of the sessions' step programs with symmetry
+/// pruning: adjacent steps that commute for every registered protocol —
+/// two data operations on distinct entities sharing no constraint object —
+/// are only emitted in ascending session order, so each commutation class
+/// contributes one canonical representative. begin/commit/abort steps
+/// touch protocol-global state (timestamp clocks, lock releases,
+/// validation) and never commute. Enumeration stops after max_runs
+/// interleavings; *truncated (may be null) reports whether anything was
+/// dropped.
+std::vector<std::vector<StepRef>> EnumerateInterleavings(
+    const ScenarioSpec& spec, int max_runs, bool* truncated);
+
+}  // namespace scenario
+}  // namespace nonserial
+
+#endif  // NONSERIAL_SCENARIO_SCENARIO_H_

@@ -1,0 +1,260 @@
+// Parser coverage for the scenario DSL: the happy path, every documented
+// validation rule, and the error-path matrix (unknown names, duplicate
+// steps, malformed permutations, truncated files).
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "scenario/parser.h"
+#include "scenario/scenario.h"
+
+namespace nonserial {
+namespace scenario {
+namespace {
+
+// A minimal two-session scenario used as the editing base.
+constexpr char kBase[] = R"spec(
+scenario base
+class cpc
+description "two sessions"
+setup {
+  entity x = 20
+  entity y = 20
+  constraint "(x >= 0) & (y >= 0)"
+}
+session s1 {
+  input  "(x >= 0) & (y >= 0)"
+  output "(x >= 0) & (y >= 0)"
+  step r1x { read x }
+  step w1y { write y = x + 1 }
+  step c1 { commit }
+}
+session s2 {
+  input  "x >= 0"
+  output "x >= 0"
+  step r2x { read x }
+  step c2 { commit }
+}
+permutation r1x r2x w1y c1 c2
+)spec";
+
+TEST(ScenarioParser, ParsesTheBaseScenario) {
+  StatusOr<ScenarioSpec> spec = ParseScenario(kBase);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->name, "base");
+  EXPECT_EQ(spec->figure2_class, "cpc");
+  ASSERT_EQ(spec->entity_names.size(), 2u);
+  EXPECT_EQ(spec->initial, (ValueVector{20, 20}));
+  ASSERT_EQ(spec->sessions.size(), 2u);
+  EXPECT_EQ(spec->sessions[0].steps.size(), 3u);
+  EXPECT_EQ(spec->sessions[0].steps[1].kind, Step::Kind::kWrite);
+  ASSERT_EQ(spec->permutations.size(), 1u);
+  EXPECT_EQ(spec->permutations[0].order.size(), 5u);
+  // The constraint objects come out one set per conjunct.
+  EXPECT_EQ(spec->Objects().size(), 2u);
+}
+
+TEST(ScenarioParser, WriteExpressionEvaluates) {
+  StatusOr<ScenarioSpec> spec = ParseScenario(kBase);
+  ASSERT_TRUE(spec.ok());
+  const Step& w1y = spec->sessions[0].steps[1];
+  // y = x + 1 over (x=3, y=4).
+  EXPECT_EQ(w1y.write_expr.Eval(ValueVector{3, 4}), 4);
+}
+
+TEST(ScenarioParser, ExpectBlocksParse) {
+  std::string text = kBase;
+  text.replace(text.find("permutation r1x r2x w1y c1 c2"),
+               std::string("permutation r1x r2x w1y c1 c2").size(),
+               R"spec(permutation r1x r2x w1y c1 c2 {
+                    expect "CEP" { s1 commit s2 commit
+                                   classes +cpc -sr final y = 40 }
+                  })spec");
+  StatusOr<ScenarioSpec> spec = ParseScenario(text);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  ASSERT_EQ(spec->permutations[0].expectations.size(), 1u);
+  const Expectation& e = spec->permutations[0].expectations[0];
+  EXPECT_EQ(e.protocol, "CEP");
+  EXPECT_EQ(e.verdicts[0], Verdict::kCommit);
+  ASSERT_EQ(e.classes.size(), 2u);
+  EXPECT_EQ(e.classes[0].cls, ClassAssertion::Cls::kCpc);
+  EXPECT_TRUE(e.classes[0].expected);
+  EXPECT_EQ(e.classes[1].cls, ClassAssertion::Cls::kSr);
+  EXPECT_FALSE(e.classes[1].expected);
+  ASSERT_EQ(e.final_state.size(), 1u);
+  EXPECT_EQ(e.final_state[0].second, 40);
+}
+
+TEST(ScenarioParser, AllPermutationsParses) {
+  std::string text = kBase;
+  text += "\nall-permutations max-runs 64\n";
+  StatusOr<ScenarioSpec> spec = ParseScenario(text);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_TRUE(spec->all_permutations.enabled);
+  EXPECT_EQ(spec->all_permutations.max_runs, 64);
+}
+
+// --- error paths ----------------------------------------------------------
+
+// Expects ParseScenario(text) to fail with `needle` in the message.
+void ExpectError(const std::string& text, const std::string& needle) {
+  StatusOr<ScenarioSpec> spec = ParseScenario(text);
+  ASSERT_FALSE(spec.ok()) << "expected a parse error mentioning '" << needle
+                          << "'";
+  EXPECT_NE(spec.status().message().find(needle), std::string::npos)
+      << "actual error: " << spec.status().message();
+}
+
+TEST(ScenarioParserErrors, UnknownSessionInAfter) {
+  std::string text = kBase;
+  text.replace(text.find("input  \"x >= 0\""), 0, "after ghost\n  ");
+  ExpectError(text, "unknown session 'ghost'");
+}
+
+TEST(ScenarioParserErrors, UnknownSessionInExpect) {
+  std::string text = kBase;
+  text.replace(text.find("permutation r1x r2x w1y c1 c2"),
+               std::string("permutation r1x r2x w1y c1 c2").size(),
+               "permutation r1x r2x w1y c1 c2 {\n"
+               "  expect \"CEP\" { nosuch commit }\n}");
+  ExpectError(text, "unknown session 'nosuch'");
+}
+
+TEST(ScenarioParserErrors, DuplicateStepNamesAreGlobal) {
+  // r1x is declared in s1; reusing the name in a third session must fail
+  // even across session boundaries (permutations reference steps by bare
+  // name).
+  std::string text = kBase;
+  text +=
+      "session s3 {\n"
+      "  input  \"x >= 0\"\n"
+      "  output \"x >= 0\"\n"
+      "  step r1x { read x }\n"
+      "  step c3 { commit }\n"
+      "}\n";
+  ExpectError(text, "duplicate step name");
+}
+
+TEST(ScenarioParserErrors, DuplicateSessionName) {
+  std::string text = kBase;
+  size_t pos = text.find("session s2");
+  text.replace(pos, std::string("session s2").size(), "session s1");
+  ExpectError(text, "duplicate session 's1'");
+}
+
+TEST(ScenarioParserErrors, MalformedPermutationUnknownStep) {
+  std::string text = kBase;
+  text.replace(text.find("permutation r1x r2x w1y c1 c2"),
+               std::string("permutation r1x r2x w1y c1 c2").size(),
+               "permutation r1x r2x nope c1 c2");
+  ExpectError(text, "unknown step 'nope'");
+}
+
+TEST(ScenarioParserErrors, PermutationOutOfProgramOrder) {
+  // w1y injected before r1x violates s1's program order.
+  std::string text = kBase;
+  text.replace(text.find("permutation r1x r2x w1y c1 c2"),
+               std::string("permutation r1x r2x w1y c1 c2").size(),
+               "permutation w1y r1x r2x c1 c2");
+  ExpectError(text, "program order");
+}
+
+TEST(ScenarioParserErrors, PermutationMissingSteps) {
+  std::string text = kBase;
+  text.replace(text.find("permutation r1x r2x w1y c1 c2"),
+               std::string("permutation r1x r2x w1y c1 c2").size(),
+               "permutation r1x r2x w1y c1");
+  ExpectError(text, "missing steps");
+}
+
+TEST(ScenarioParserErrors, TruncatedFileInsideSession) {
+  std::string text = kBase;
+  text = text.substr(0, text.find("step w1y"));
+  ExpectError(text, "truncated");
+}
+
+TEST(ScenarioParserErrors, TruncatedString) {
+  std::string text = kBase;
+  size_t pos = text.find("\"x >= 0\"\n  output");
+  text = text.substr(0, pos + 3);  // cut inside the quoted predicate
+  ExpectError(text, "unterminated string");
+}
+
+TEST(ScenarioParserErrors, ReadOutsideInputPredicate) {
+  // s2's input only covers x; reading y must be rejected (I_t rule).
+  std::string text = kBase;
+  text.replace(text.find("step r2x { read x }"),
+               std::string("step r2x { read x }").size(),
+               "step r2x { read y }");
+  ExpectError(text, "input");
+}
+
+TEST(ScenarioParserErrors, WriteUsesUnreadEntity) {
+  std::string text = kBase;
+  text.replace(text.find("step w1y { write y = x + 1 }"),
+               std::string("step w1y { write y = x + 1 }").size(),
+               "step w1y { write y = y + 1 }");
+  ExpectError(text, "before the session has read it");
+}
+
+TEST(ScenarioParserErrors, UnknownEntity) {
+  std::string text = kBase;
+  text.replace(text.find("step r1x { read x }"),
+               std::string("step r1x { read x }").size(),
+               "step r1x { read q }");
+  ExpectError(text, "unknown entity 'q'");
+}
+
+TEST(ScenarioParserErrors, CommitNotLast) {
+  // Swap s2's steps so its commit precedes the read.
+  std::string text = kBase;
+  text.replace(text.find("step r2x { read x }\n  step c2 { commit }"),
+               std::string("step r2x { read x }\n  step c2 { commit }").size(),
+               "step c2 { commit }\n  step r2x { read x }");
+  ExpectError(text, "last");
+}
+
+TEST(ScenarioParserErrors, MissingPermutation) {
+  std::string text = kBase;
+  text = text.substr(0, text.find("permutation"));
+  ExpectError(text, "permutation");
+}
+
+TEST(ScenarioParserErrors, UnknownVerdict) {
+  std::string text = kBase;
+  text.replace(text.find("permutation r1x r2x w1y c1 c2"),
+               std::string("permutation r1x r2x w1y c1 c2").size(),
+               "permutation r1x r2x w1y c1 c2 {\n"
+               "  expect \"CEP\" { s1 exploded s2 commit }\n}");
+  ExpectError(text, "unknown verdict");
+}
+
+TEST(ScenarioParserErrors, ExpectMustListEverySession) {
+  std::string text = kBase;
+  text.replace(text.find("permutation r1x r2x w1y c1 c2"),
+               std::string("permutation r1x r2x w1y c1 c2").size(),
+               "permutation r1x r2x w1y c1 c2 {\n"
+               "  expect \"CEP\" { s1 commit }\n}");
+  ExpectError(text, "every session");
+}
+
+TEST(ScenarioParserErrors, BadPredicate) {
+  std::string text = kBase;
+  text.replace(text.find("\"(x >= 0) & (y >= 0)\"\n  output"),
+               std::string("\"(x >= 0) & (y >= 0)\"").size(),
+               "\"(x >>> 0)\"");
+  ExpectError(text, "bad predicate");
+}
+
+TEST(ScenarioParserErrors, EmptyInput) {
+  ExpectError("", "name");
+}
+
+TEST(ScenarioParserErrors, GarbageToken) {
+  ExpectError("scenario s @", "unexpected character");
+}
+
+}  // namespace
+}  // namespace scenario
+}  // namespace nonserial

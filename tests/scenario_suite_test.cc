@@ -1,0 +1,102 @@
+// Runs every checked-in scenario in scenarios/ — the anomaly zoo — against
+// all six protocols, asserting the expect blocks embedded in each spec.
+// This is the same sweep tools/run_scenarios performs; here it gates ctest.
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "scenario/parser.h"
+#include "scenario/runner.h"
+#include "scenario/scenario.h"
+
+#ifndef NONSERIAL_SCENARIO_DIR
+#error "NONSERIAL_SCENARIO_DIR must point at the checked-in scenarios/"
+#endif
+
+namespace nonserial {
+namespace scenario {
+namespace {
+
+std::vector<std::filesystem::path> SpecFiles() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(NONSERIAL_SCENARIO_DIR)) {
+    if (entry.path().extension() == ".spec") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string Slurp(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(ScenarioSuite, ZooIsSeededAndParses) {
+  std::vector<std::filesystem::path> files = SpecFiles();
+  // The acceptance floor: at least ten scenarios in the zoo.
+  EXPECT_GE(files.size(), 10u);
+  bool saw_cpc_not_sr = false;
+  for (const auto& path : files) {
+    StatusOr<ScenarioSpec> spec = ParseScenario(Slurp(path));
+    ASSERT_TRUE(spec.ok()) << path << ": " << spec.status().ToString();
+    EXPECT_EQ(path.stem().string(), spec->name) << path;
+    // Scan for the required CPC-admits / SR-forbids split somewhere in
+    // the zoo's expectations.
+    for (const Permutation& perm : spec->permutations) {
+      for (const Expectation& e : perm.expectations) {
+        bool plus_cpc = false;
+        bool minus_sr = false;
+        for (const ClassAssertion& a : e.classes) {
+          if (a.cls == ClassAssertion::Cls::kCpc && a.expected)
+            plus_cpc = true;
+          if (a.cls == ClassAssertion::Cls::kSr && !a.expected)
+            minus_sr = true;
+        }
+        saw_cpc_not_sr |= plus_cpc && minus_sr;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_cpc_not_sr)
+      << "no scenario asserts a +cpc -sr split anywhere in the zoo";
+}
+
+TEST(ScenarioSuite, EverySpecPassesItsExpectations) {
+  for (const auto& path : SpecFiles()) {
+    StatusOr<ScenarioSpec> spec = ParseScenario(Slurp(path));
+    ASSERT_TRUE(spec.ok()) << path;
+    StatusOr<SpecResult> result = RunSpec(*spec, SuiteOptions{});
+    ASSERT_TRUE(result.ok()) << path << ": " << result.status().ToString();
+    EXPECT_TRUE(result->ok())
+        << path << " first failure: "
+        << (result->failures.empty() ? "" : result->failures[0]);
+  }
+}
+
+TEST(ScenarioSuite, ChaosReplayHoldsAcrossTheZoo) {
+  SuiteOptions options;
+  options.chaos = true;
+  int crash_points = 0;
+  for (const auto& path : SpecFiles()) {
+    StatusOr<ScenarioSpec> spec = ParseScenario(Slurp(path));
+    ASSERT_TRUE(spec.ok()) << path;
+    StatusOr<SpecResult> result = RunSpec(*spec, options);
+    ASSERT_TRUE(result.ok()) << path;
+    EXPECT_TRUE(result->ok())
+        << path << " first failure: "
+        << (result->failures.empty() ? "" : result->failures[0]);
+    crash_points += result->chaos_crash_points;
+  }
+  EXPECT_GT(crash_points, 0);
+}
+
+}  // namespace
+}  // namespace scenario
+}  // namespace nonserial
