@@ -308,6 +308,75 @@ bool RunBench(const BenchOptions&, BenchReport* report) {
     emit("wire_shed", o, metrics);
   }
 
+  // --- long-haul leg: retirement keeps the registered-tx scan flat ---------
+  // One session drives 10^4 sequential transactions through the server with
+  // transaction retirement on. Every committed id retires immediately
+  // (independent transactions), so candidate gathering scans an O(1) live
+  // set no matter how many ids the server has ever allocated — the
+  // controller-id scaling wall the zero-think legs deliberately stay below.
+  // Gate: the last-decile per-transaction cost stays within 2.5x of the
+  // first decile, and every committed transaction actually retired.
+  {
+    constexpr int kLongHaulTx = 10'000;
+    constexpr int kDecile = kLongHaulTx / 10;
+    ProtocolMetrics metrics;
+    EngineOptions options = BaseEngineOptions(&metrics);
+    options.retire_terminated_tx = true;
+    Engine engine(options);
+    ServerOptions server_options;
+    server_options.num_workers = 2;
+    SessionServer server(&engine, server_options);
+    if (!server.Start().ok()) return false;
+    Client client;
+    if (!client.Connect("127.0.0.1", server.port()).ok()) return false;
+    if (!client.StagePredicates(SessionInput(0), Predicate::True()).ok()) {
+      return false;
+    }
+    int committed = 0;
+    std::vector<double> decile_secs;
+    Clock::time_point decile_start = Clock::now();
+    for (int i = 0; i < kLongHaulTx; ++i) {
+      if (!client.BeginStaged("long_haul", {}).ok()) break;
+      EntityId e = static_cast<EntityId>(i % kEntitiesPerSession);
+      if (!client.Write(e, i + 1).ok()) break;
+      if (!client.Commit().ok()) break;
+      ++committed;
+      if ((i + 1) % kDecile == 0) {
+        Clock::time_point now = Clock::now();
+        decile_secs.push_back(
+            std::chrono::duration<double>(now - decile_start).count());
+        decile_start = now;
+      }
+    }
+    engine.Shutdown();
+    server.Stop();
+    double first_us = decile_secs.empty()
+                          ? 0
+                          : decile_secs.front() * 1e6 / kDecile;
+    double last_us = decile_secs.empty()
+                         ? 0
+                         : decile_secs.back() * 1e6 / kDecile;
+    double scan_ratio = first_us > 0 ? last_us / first_us : 0;
+    int64_t retired = metrics.engine_retired_tx.value();
+    Json row = Json::Object();
+    row["name"] = "wire_long_haul";
+    row["threads"] = 1;
+    row["committed"] = committed;
+    row["retired_tx"] = retired;
+    row["first_decile_us_per_tx"] = first_us;
+    row["last_decile_us_per_tx"] = last_us;
+    row["scan_cost_ratio"] = scan_ratio;
+    report->AddResult(std::move(row));
+    std::printf("%16s %6d | %9d tx  %8lld retired  %6.1f -> %6.1f us/tx "
+                "(%.2fx, required <= 2.5x)\n",
+                "wire_long_haul", 1, committed,
+                static_cast<long long>(retired), first_us, last_us,
+                scan_ratio);
+    ok &= committed == kLongHaulTx;
+    ok &= retired == committed;
+    ok &= scan_ratio > 0 && scan_ratio <= 2.5;
+  }
+
   // --- the gate ------------------------------------------------------------
   double ratio = inproc_think > 0 ? wire_think / inproc_think : 0;
   report->config()["wire_vs_inproc_think"] = ratio;

@@ -113,7 +113,16 @@ assert ratio == report["config"]["wire_vs_inproc_think"] or \
 shed = rows["wire_shed"]["server"]
 assert shed["shed"] > 0, "shedding leg recorded no sheds"
 assert 0.0 < shed["shed_rate"] < 1.0, "shed_rate outside (0, 1)"
+haul = rows["wire_long_haul"]
+assert haul["committed"] >= 10_000, \
+    f"long-haul leg shrank to {haul['committed']} transactions"
+assert haul["retired_tx"] == haul["committed"], \
+    f"{haul['committed'] - haul['retired_tx']} committed tx never retired"
+assert 0.0 < haul["scan_cost_ratio"] <= 2.5, \
+    f"long-haul scan cost grew {haul['scan_cost_ratio']:.2f}x (limit 2.5x)"
 for name, row in rows.items():
+    if name == "wire_long_haul":
+        continue  # single-session leg; carries its own fields, no server row
     srv = row["server"]
     for key in ("accepted", "shed", "queue_depth_p99", "queue_depth_max",
                 "inflight_p99", "wire_errors"):
@@ -122,7 +131,8 @@ for name, row in rows.items():
 assert report["config"]["ping_rtt_us"] > 0, "no ping RTT recorded"
 print(f"serving gate ok: wire {ratio:.2f}x in-process, "
       f"ping {report['config']['ping_rtt_us']:.1f}us, "
-      f"shed leg {shed['shed']} sheds at rate {shed['shed_rate']:.2f}")
+      f"shed leg {shed['shed']} sheds at rate {shed['shed_rate']:.2f}, "
+      f"long haul {haul['committed']} tx at {haul['scan_cost_ratio']:.2f}x")
 EOF
 cat BENCH_server.json
 
@@ -162,6 +172,44 @@ print(f"scenario gate ok: {config['specs']} specs, "
       f"sweep {sweep['sweep_runs']} runs")
 EOF
 
+echo "== wire-chaos gate: REPORT_wire_chaos.json (faults x crash/recover) =="
+# wire_chaos drives a retrying client through every net.* failpoint while
+# the server is crash-killed, recovered, and restarted mid-run, and exits
+# non-zero on any lost acked commit, duplicate apply, false abort, or
+# CPC-unclean recovered history. The artifact is re-checked here so a
+# report regression fails CI even if the tool's own gate is edited.
+./build/tools/wire_chaos --json > REPORT_wire_chaos.json
+python3 -m json.tool REPORT_wire_chaos.json > /dev/null
+python3 - <<'EOF'
+import json
+report = json.load(open("REPORT_wire_chaos.json"))
+assert report["ok"] is True, "wire-chaos sweep reported failures"
+config = report["config"]
+assert config["total_runs"] >= 200, \
+    f"sweep shrank to {config['total_runs']} runs (need >= 200)"
+assert len(config["points"]) >= 7, "net.* failpoint catalog shrank"
+rows = {r["name"]: r for r in report["results"]}
+replays = 0
+for name in config["points"]:
+    row = rows[name]
+    assert row["ok"], f"{name} failed: {row.get('failures', [])[:1]}"
+    assert row["lost_acked_commits"] == 0, f"{name} lost an acked commit"
+    assert row["unresolved"] == 0, f"{name} left commits unclassified"
+    assert row["acked_commits"] > 0, f"{name} committed nothing"
+    replays += row["client"]["commit_replays"]
+assert replays > 0, "no lost commit ack was ever answered from the token table"
+assert rows["lease_reclaim"]["ok"], "lease reclaim leg failed"
+server = report["metrics"]["server"]
+assert server["retries"] > 0, "no tokenized commit resend reached the server"
+assert server["lease_expired"] > 0, "no lease ever expired"
+assert server["retired_tx"] > 0, "no transaction was retired"
+print(f"wire-chaos gate ok: {config['total_runs']} runs over "
+      f"{len(config['points'])} fault points, {replays} token-table replays, "
+      f"{server['lease_expired']} leases reclaimed, "
+      f"{server['retired_tx']} tx retired")
+EOF
+cat REPORT_wire_chaos.json
+
 echo "== json gate: every bench must emit one valid --json document =="
 # The quick benches run in full; the expensive sweeps are already covered
 # by the parallel report above, so this gate sticks to the cheap ones plus
@@ -189,8 +237,11 @@ cmake --build build-tsan -j
 # writer thread is raced against workers, checkpoints, and crash markers
 # under TSan here). The serving layer is covered too: server_test and
 # wire_fuzz_test race the epoll event loop, the worker pool, and live
-# hostile connections, and engine_shutdown_test races engine teardown
-# against parked sessions and in-flight group-commit batches.
+# hostile connections; wire_resilience_test races the retrying client's
+# reconnect/resend machinery against injected wire faults and lease
+# reclaim; and engine_shutdown_test races engine teardown (including
+# session-destructor rollback) against parked sessions and in-flight
+# group-commit batches.
 TSAN_OPTIONS="halt_on_error=1" \
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)"
 # The scenario suite re-runs under TSan too: the concurrent Session-API

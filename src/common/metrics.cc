@@ -123,7 +123,10 @@ std::string ProtocolMetrics::Summary() const {
        << " requests=" << server_requests.value()
        << " sessions-opened=" << server_sessions_opened.value()
        << " sessions-closed=" << server_sessions_closed.value()
-       << " wire-errors=" << server_wire_errors.value() << "\n";
+       << " wire-errors=" << server_wire_errors.value()
+       << " retries=" << server_retries.value()
+       << " lease-expired=" << server_lease_expired.value()
+       << " retired-tx=" << engine_retired_tx.value() << "\n";
     if (server_queue_depth.count() > 0) {
       os << "server queue depth: " << server_queue_depth.ToString() << "\n";
     }
@@ -202,6 +205,9 @@ void ProtocolMetrics::Reset() {
   server_wire_errors.Reset();
   server_queue_depth.Reset();
   server_inflight.Reset();
+  server_retries.Reset();
+  server_lease_expired.Reset();
+  engine_retired_tx.Reset();
 }
 
 }  // namespace nonserial

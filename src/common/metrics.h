@@ -143,6 +143,14 @@ struct ProtocolMetrics {
                                   ///< sampled at every enqueue.
   Histogram server_inflight;      ///< Admitted in-flight transactions
                                   ///< sampled at every admission.
+  Counter server_retries;         ///< COMMIT resends answered from the
+                                  ///< idempotency-token table (exactly-once
+                                  ///< replays, not re-executions).
+  Counter server_lease_expired;   ///< Idle sessions reclaimed by the
+                                  ///< server's lease timer (in-flight
+                                  ///< transaction rolled back, slot freed).
+  Counter engine_retired_tx;      ///< Terminated transactions retired from
+                                  ///< the controller's live scan set.
 
   /// Multi-line human-readable dump (omits never-touched members).
   std::string Summary() const;

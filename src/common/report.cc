@@ -210,6 +210,9 @@ Json MetricsJson(const ProtocolMetrics& m) {
   server["wire_errors"] = m.server_wire_errors.value();
   server["queue_depth"] = HistogramJson(m.server_queue_depth);
   server["inflight"] = HistogramJson(m.server_inflight);
+  server["retries"] = m.server_retries.value();
+  server["lease_expired"] = m.server_lease_expired.value();
+  server["retired_tx"] = m.engine_retired_tx.value();
   return out;
 }
 

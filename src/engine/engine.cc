@@ -20,6 +20,9 @@ int64_t ElapsedUs(Clock::time_point since) {
 }  // namespace
 
 Engine::Engine(EngineOptions options) : options_(std::move(options)) {
+  // Engine-level retirement implies the protocol-level scan-set support
+  // (must be set before BuildController copies the protocol options).
+  if (options_.retire_terminated_tx) options_.protocol.retirement = true;
   store_ = std::make_shared<VersionStore>(options_.initial);
   if (options_.wal != nullptr) {
     NONSERIAL_CHECK_EQ(options_.wal->initial().size(), options_.initial.size())
@@ -117,6 +120,22 @@ RecoveryResult Engine::CrashRecover(const RecoveryOptions& recovery_options) {
   // must not survive into the rebuilt one.
   if (options_.protocol.eval_cache != nullptr) {
     options_.protocol.eval_cache->InvalidateAll();
+  }
+  // The token table is the in-memory view of the durable kCommitToken
+  // records: rebuild it from what actually survived. A token whose commit
+  // record was lost with the crash vanishes here too — its resend
+  // re-executes, which is exactly right (the commit never happened).
+  {
+    std::lock_guard<std::mutex> token_lock(token_mu_);
+    tokens_.clear();
+    for (const RecoveredTx& tx : rec.committed) {
+      if (tx.commit_token != 0) tokens_[tx.commit_token] = {tx.tx, true};
+    }
+  }
+  {
+    // Pending retirements referenced the dead controller generation.
+    std::lock_guard<std::mutex> retire_lock(retire_mu_);
+    retire_pending_.clear();
   }
   // Pending signals referenced the dead controller generation.
   std::lock_guard<std::mutex> hub_lock(hub_mu_);
@@ -253,6 +272,40 @@ void Engine::OnSessionClosed() {
   }
 }
 
+void Engine::RetireTx(int tx) {
+  if (!options_.retire_terminated_tx || tx < 0) return;
+  std::lock_guard<std::mutex> retire_lock(retire_mu_);
+  retire_pending_.push_back(tx);
+  // Commit order respects P (rule 1), so a predecessor usually terminates
+  // while its successors are still live and parks here; the successor's own
+  // retirement then unblocks it. Drain to a fixpoint — one retirement can
+  // cascade through a whole chain of parked predecessors.
+  ProtocolMetrics* m = metrics();
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = retire_pending_.begin(); it != retire_pending_.end();) {
+      if (controller_->Retire(*it)) {
+        if (m != nullptr) m->engine_retired_tx.Add();
+        it = retire_pending_.erase(it);
+        progress = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+Engine::TokenState Engine::LookupCommitToken(uint64_t token, int* tx) const {
+  if (token == 0) return TokenState::kAbsent;
+  std::lock_guard<std::mutex> token_lock(token_mu_);
+  auto it = tokens_.find(token);
+  if (it == tokens_.end()) return TokenState::kAbsent;
+  if (!it->second.committed) return TokenState::kPending;
+  if (tx != nullptr) *tx = it->second.tx;
+  return TokenState::kCommitted;
+}
+
 namespace {
 
 /// Shared blocked-wait step for the session's three blocking calls (Begin /
@@ -277,6 +330,10 @@ bool WaitForTurn(Engine* engine, int tx, int64_t* poll_us,
 
 Session::~Session() {
   if (active_) AbortActive();
+  // An aborted id parked for reuse is abandoned now; retire it so churned
+  // sessions do not inflate the controller's live scan set. (A committed id
+  // was already retired by Commit; reuse_tx_id_ is false then.)
+  if (reuse_tx_id_ && tx_ >= 0) engine_->RetireTx(tx_);
   engine_->OnSessionClosed();
 }
 
@@ -311,6 +368,13 @@ Status Session::Begin(const engine::TxSpec& spec) {
       engine_->ReleaseAdmission();
       return Status::InvalidArgument(
           "begin: predecessor ids must name earlier transactions");
+    }
+    if (engine_->controller()->IsRetired(pred)) {
+      // Naming a retired id would re-attach a live successor to it and
+      // break the retirement invariant the protocol's live scans rely on.
+      engine_->ReleaseAdmission();
+      return Status::InvalidArgument(
+          "begin: predecessor was retired (terminated long ago)");
     }
   }
   engine_->EnsureTxSlots(tx_ + 1);
@@ -390,9 +454,19 @@ Status Session::Write(EntityId e, Value value) {
   return Status::OK();
 }
 
-Status Session::Commit() {
+Status Session::Commit(uint64_t token) {
   if (!active_) {
     return Status::FailedPrecondition("commit: no open transaction");
+  }
+  if (token != 0) {
+    // Stage the token: pending in the table (a concurrent lookup must see
+    // the commit as in flight, not absent) and attached to the transaction
+    // so the protocol logs it durably next to the commit record.
+    {
+      std::lock_guard<std::mutex> token_lock(engine_->token_mu_);
+      engine_->tokens_[token] = {tx_, false};
+    }
+    if (engine_->cep() != nullptr) engine_->cep()->SetCommitToken(tx_, token);
   }
   ConcurrencyController* cc = engine_->controller();
   int64_t poll_us = std::max<int64_t>(1, engine_->options().poll_us);
@@ -401,13 +475,24 @@ Status Session::Commit() {
     engine::RequestOutcome r = cc->Commit(tx_);
     engine_->DrainSignals();
     if (r == engine::RequestOutcome::kGranted) {
+      if (token != 0) {
+        std::lock_guard<std::mutex> token_lock(engine_->token_mu_);
+        engine_->tokens_[token] = {tx_, true};
+      }
       active_ = false;
       reuse_tx_id_ = false;
       engine_->ReleaseAdmission();
+      engine_->RetireTx(tx_);
       return Status::OK();
     }
     if (r == engine::RequestOutcome::kAborted ||
         !WaitForTurn(engine_, tx_, &poll_us, &blocked_us)) {
+      if (token != 0) {
+        // The commit never happened; a resend of this token must
+        // re-execute, so the pending entry must not linger.
+        std::lock_guard<std::mutex> token_lock(engine_->token_mu_);
+        engine_->tokens_.erase(token);
+      }
       AbortActive();
       return Status::Aborted("commit: attempt aborted by the protocol");
     }

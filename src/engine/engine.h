@@ -7,6 +7,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "common/metrics.h"
@@ -75,6 +76,18 @@ struct EngineOptions {
   /// parked on blocked requests before the engine aborts it (counted as
   /// deadline_aborts). 0 = unbounded.
   int64_t max_blocked_us = 0;
+
+  // --- transaction retirement ---------------------------------------------
+  /// Retire terminated session transactions — after a successful Commit,
+  /// and on session close for an aborted-and-abandoned id — so the
+  /// controller's live scan set stays bounded for long-lived servers
+  /// (AllowableVersions cost stops growing with total transaction count).
+  /// Implies CorrectExecutionProtocol::Options::retirement for the default
+  /// controller. Ids not yet eligible (a live successor remains) park on a
+  /// pending list retried at every later retirement. Off by default — the
+  /// baseline-candidate summarization restricts the optimistic candidate
+  /// sets (see cep.h), which simulation workloads may observe.
+  bool retire_terminated_tx = false;
 };
 
 /// The engine facade: one store + controller (+ WAL pipeline + eval cache)
@@ -172,6 +185,24 @@ class Engine {
   /// Admitted session transactions currently in flight.
   int inflight() const { return inflight_.load(std::memory_order_relaxed); }
 
+  // --- transaction retirement ---------------------------------------------
+  /// Offers `tx` (terminal: committed, or idle-after-abort with no future
+  /// reuse) for retirement and drains the pending list to a fixpoint —
+  /// retiring a successor can make its predecessors eligible. No-op unless
+  /// EngineOptions::retire_terminated_tx. Counted as engine_retired_tx.
+  void RetireTx(int tx);
+
+  // --- idempotent commit tokens -------------------------------------------
+  /// Fate of a client-generated commit token. kPending means a commit
+  /// carrying it is in flight right now; kCommitted means a transaction
+  /// carrying it durably committed (resends must be answered with the
+  /// original verdict, not re-executed).
+  enum class TokenState : uint8_t { kAbsent, kPending, kCommitted };
+  /// Looks a token up; on kCommitted, *tx (when non-null) receives the
+  /// committed transaction's id. Rebuilt from the WAL by CrashRecover, so
+  /// the table survives crash/restart exactly as far as durability does.
+  TokenState LookupCommitToken(uint64_t token, int* tx = nullptr) const;
+
  private:
   friend class Session;
 
@@ -202,6 +233,20 @@ class Engine {
   std::condition_variable hub_cv_;
   std::vector<char> woken_;
   std::vector<char> forced_;
+
+  /// Terminal ids whose retirement was refused (live successor); retried
+  /// whenever another id retires.
+  std::mutex retire_mu_;
+  std::vector<int> retire_pending_;
+
+  /// Commit-token table (exactly-once across reconnects). In-memory view
+  /// of the durable kCommitToken records; CrashRecover rebuilds it.
+  struct TokenEntry {
+    int tx = -1;
+    bool committed = false;
+  };
+  mutable std::mutex token_mu_;
+  std::unordered_map<uint64_t, TokenEntry> tokens_;
 };
 
 /// An independent client lifecycle against the engine: Begin opens a
@@ -235,8 +280,13 @@ class Session {
   /// are never delayed in the protocol, Figure 3).
   Status Write(EntityId e, Value value);
   /// Attempts to commit; OK means durably committed (under a WAL, the
-  /// commit record's flush epoch has been waited out).
-  Status Commit();
+  /// commit record's flush epoch has been waited out). A nonzero `token`
+  /// (client-generated idempotency token) is registered pending in the
+  /// engine's token table and logged durably with the commit record, so a
+  /// resend of the same token after a lost ack can be answered with the
+  /// original verdict (see Engine::LookupCommitToken). On commit the entry
+  /// flips to committed; on abort it is erased.
+  Status Commit(uint64_t token = 0);
   /// Voluntarily rolls back the open transaction. OK when idle (no-op).
   Status Abort();
 

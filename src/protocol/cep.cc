@@ -27,9 +27,20 @@ void CorrectExecutionProtocol::Register(int tx, TxProfile profile) {
   if (tx >= static_cast<int>(txs_.size())) {
     txs_.resize(tx + 1);
     records_.resize(tx + 1);
+    retired_.resize(tx + 1, 0);
   }
+  NONSERIAL_CHECK(!retired_[tx])
+      << "Register on retired transaction " << tx;
+  live_.insert(tx);
   precedence_.EnsureNodes(tx + 1);
   for (int pred : profile.predecessors) {
+    // A retired predecessor would break the retirement invariant (no live
+    // successor of a retired transaction) and with it the completeness of
+    // the live-set scans; the session layer rejects such registrations
+    // before they reach the protocol.
+    NONSERIAL_CHECK(pred >= static_cast<int>(retired_.size()) ||
+                    !retired_[pred])
+        << "transaction " << tx << " names retired predecessor " << pred;
     precedence_.AddEdge(pred, tx);
   }
   TxState& state = txs_[tx];
@@ -54,8 +65,15 @@ std::vector<VersionRef> CorrectExecutionProtocol::AllowableVersions(
   // The set D of Section 5.1: a sibling t_j contributes its latest version
   // of e unless (1) it is a successor of tx, (2) it has not written e, or
   // (3) another writer of e lies between t_j and tx in P+.
+  //
+  // The scan covers the *live* (unretired) set only. Retirement eligibility
+  // guarantees a retired transaction has no live successor, so: no retired
+  // writer can shadow a live one (rule 3 needs Reaches(k, tx) with tx
+  // live), and no retired writer can dominate as a predecessor
+  // (Reaches(s, tx) likewise). Retired committed writers' versions are
+  // summarized by the baseline candidate pushed below.
   std::vector<int> writers;
-  for (int s = 0; s < static_cast<int>(txs_.size()); ++s) {
+  for (int s : live_) {
     if (s == tx) continue;
     if (Reaches(tx, s)) continue;  // Rule 1: successor.
     if (!store_->LatestIndexBy(e, s).has_value()) continue;  // Rule 2.
@@ -89,6 +107,24 @@ std::vector<VersionRef> CorrectExecutionProtocol::AllowableVersions(
     }
   }
   if (preds.empty()) {
+    if (options_.retirement) {
+      // Baseline candidate standing in for retired committed writers: the
+      // store's latest committed version of e. Always in D for a root-scope
+      // reader — its author cannot be a successor of tx (commit rule 1
+      // would then have required tx committed), and shadowing it would need
+      // a surviving predecessor writer, contradicting preds.empty().
+      int latest = store_->LatestCommittedIndex(e);
+      if (latest != 0) {
+        bool already = false;
+        for (const VersionRef& ref : out) {
+          if (ref.index == latest) {
+            already = true;
+            break;
+          }
+        }
+        if (!already) out.push_back(VersionRef{e, latest});
+      }
+    }
     // The version assigned to the parent: at the root scope, the initial
     // database (version 0).
     out.push_back(VersionRef{e, 0});
@@ -491,6 +527,13 @@ ReqResult CorrectExecutionProtocol::CommitLocked(int tx,
   // marker CommitWriter logs. A crash between the two leaves the
   // transaction in-flight — recovery discards it, never half-commits it.
   if (store_->wal() != nullptr) {
+    // The client idempotency token rides immediately before the payload:
+    // both land before the commit marker, so the token is durable exactly
+    // when the commit is — a resend after recovery finds it iff the commit
+    // survived.
+    if (state.commit_token != 0) {
+      store_->wal()->LogCommitToken(tx, state.commit_token);
+    }
     std::vector<int> feeders;
     for (const auto& [e, ref] : state.assigned) {
       int author = store_->At(ref).writer;
@@ -573,7 +616,7 @@ void CorrectExecutionProtocol::Abort(int tx) {
   // *any* dead version is doomed even when a different entity's dead
   // version is still unread (re-solving with the consumed version pinned
   // would smuggle the rolled-back value into a committed history).
-  for (int other = 0; other < static_cast<int>(txs_.size()); ++other) {
+  for (int other : live_) {
     if (other == tx) continue;
     TxState& o = txs_[other];
     if (o.phase != Phase::kExecuting) continue;
@@ -680,6 +723,50 @@ void CorrectExecutionProtocol::RestoreCommitted(int tx, TxRecord record) {
   records_[tx] = std::move(record);
 }
 
+bool CorrectExecutionProtocol::Retire(int tx) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!options_.retirement) return false;
+  if (tx < 0 || tx >= static_cast<int>(txs_.size())) return false;
+  if (retired_[tx]) return true;
+  TxState& state = txs_[tx];
+  if (state.phase != Phase::kCommitted && state.phase != Phase::kIdle) {
+    return false;  // Still in flight; not terminal.
+  }
+  // Eligibility: every direct P-successor already retired. Inductively, a
+  // retired transaction then has no live transitive successor — the
+  // invariant AllowableVersions' live-set scan depends on.
+  for (int succ : precedence_.OutEdges(tx)) {
+    if (succ >= static_cast<int>(retired_.size()) || !retired_[succ]) {
+      return false;
+    }
+  }
+  retired_[tx] = 1;
+  live_.erase(tx);
+  // Reclaim the attempt state (assignment, views, write log, profile); the
+  // phase survives — commit rule 2 still consults the writer's phase when a
+  // live reader adopted the baseline version — and records_[tx] keeps the
+  // committed outcome for the verifier.
+  Phase phase = state.phase;
+  state = TxState();
+  state.phase = phase;
+  ++stats_.retired;
+  Emit(CepEvent::Kind::kRetired, tx);
+  return true;
+}
+
+bool CorrectExecutionProtocol::IsRetired(int tx) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tx >= 0 && tx < static_cast<int>(retired_.size()) &&
+         retired_[tx] != 0;
+}
+
+void CorrectExecutionProtocol::SetCommitToken(int tx, uint64_t token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  NONSERIAL_CHECK(tx >= 0 && tx < static_cast<int>(txs_.size()))
+      << "SetCommitToken before Register";
+  txs_[tx].commit_token = token;
+}
+
 void CorrectExecutionProtocol::WakeValidationWaiters(EntityId e) {
   for (auto it = validation_waiters_.begin();
        it != validation_waiters_.end();) {
@@ -695,7 +782,8 @@ void CorrectExecutionProtocol::WakeValidationWaiters(EntityId e) {
 std::vector<VersionRef> CorrectExecutionProtocol::PinnedVersions() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<VersionRef> out;
-  for (const TxState& state : txs_) {
+  for (int tx : live_) {
+    const TxState& state = txs_[tx];
     if (state.phase != Phase::kValidating &&
         state.phase != Phase::kExecuting) {
       continue;

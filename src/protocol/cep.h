@@ -91,6 +91,17 @@ class CorrectExecutionProtocol : public ConcurrencyController {
     /// full search when the pinned problem is unsatisfiable, so admission
     /// is unchanged). Counted as delta_rescans / delta_fallbacks.
     bool delta_revalidate = true;
+    /// Transaction retirement: terminated transactions whose successors
+    /// have all terminated may be dropped from the live scan set (Retire),
+    /// bounding AllowableVersions / cascade-scan cost for long-lived
+    /// engines. Retired committed writers' versions are summarized by one
+    /// baseline candidate per entity — the store's latest committed
+    /// version — which is always in the paper's set D for a root-scope
+    /// reader (see AllowableVersions). This *restricts* D (fewer optimistic
+    /// candidates from the retired past), so admitted histories stay a
+    /// subset of the unretired protocol's: CPC-sound, but verdicts for
+    /// workloads that read deep version history can differ. Off by default.
+    bool retirement = false;
   };
 
   /// Per-transaction outcome record used to rebuild a model-layer
@@ -117,6 +128,7 @@ class CorrectExecutionProtocol : public ConcurrencyController {
     int64_t cascade_aborts = 0;       ///< Aborts of readers of dead versions.
     int64_t delta_rescans = 0;        ///< Rescans solved as deltas.
     int64_t delta_fallbacks = 0;      ///< Delta passes that re-ran in full.
+    int64_t retired = 0;              ///< Transactions retired (Options::retirement).
     SearchStats search;               ///< Aggregate search effort.
   };
 
@@ -136,6 +148,23 @@ class CorrectExecutionProtocol : public ConcurrencyController {
   void Abort(int tx) override;
   std::vector<int> TakeWakeups() override;
   std::vector<int> TakeForcedAborts() override;
+
+  /// Retires `tx` (Options::retirement must be on): drops it from the live
+  /// scan set and reclaims its heavy per-attempt state (assignment, views,
+  /// write log) — the committed TxRecord in records() survives for the
+  /// verifier. Eligible only when the transaction is terminal (committed,
+  /// or idle after an abort) and every direct P-successor is already
+  /// retired; by induction no *live* transaction is then a successor of a
+  /// retired one, which is what keeps the predecessor-domination and
+  /// shadowing scans complete over the live set alone. Returns false when
+  /// ineligible (caller retries after the successors terminate).
+  bool Retire(int tx) override;
+  bool IsRetired(int tx) const override;
+
+  /// Attaches a client idempotency token to `tx`'s next commit: CommitLocked
+  /// logs it as a kCommitToken WAL record immediately before the tx payload,
+  /// so the token is durable iff the commit is. 0 clears (no token).
+  void SetCommitToken(int tx, uint64_t token);
 
   /// Snapshot of the counters (copies under the engine lock).
   Stats stats() const;
@@ -202,6 +231,10 @@ class CorrectExecutionProtocol : public ConcurrencyController {
     std::vector<std::pair<EntityId, Value>> write_log;
     ValueVector input_view;  ///< X(t) as a full vector.
     ValueVector local_view;  ///< input_view overlaid with own writes.
+    /// Client idempotency token for the next commit (0 = none). Cleared
+    /// with the rest of the attempt state on abort — a retried attempt must
+    /// re-announce its token.
+    uint64_t commit_token = 0;
     /// Precomputed clause hashes of the profile's predicates, bound to
     /// Options::eval_cache (null when caching is off). Shared_ptr so the
     /// abort-time state reset can carry them over without rehashing; they
@@ -290,6 +323,11 @@ class CorrectExecutionProtocol : public ConcurrencyController {
   /// references stay valid; a vector's resize would dangle them.
   std::deque<TxState> txs_;
   std::vector<TxRecord> records_;
+  /// Registered, unretired transaction ids — the scan set for
+  /// AllowableVersions, the abort cascade, and PinnedVersions when
+  /// Options::retirement is on (always maintained; cheap either way).
+  std::set<int> live_;
+  std::vector<char> retired_;  ///< Parallel to txs_; sticky once set.
   Digraph precedence_;  ///< P over transaction ids.
   ValueVector initial_snapshot_;
 

@@ -66,6 +66,24 @@ class ConcurrencyController {
   /// Drains transaction ids the controller requires the simulator to abort.
   virtual std::vector<int> TakeForcedAborts() = 0;
 
+  /// Retires a terminated transaction: the controller may drop `tx` from
+  /// its live scans and reclaim its per-transaction state. Only legal once
+  /// `tx` is committed or idle-after-abort AND no live transaction still
+  /// depends on it. Returns true if the transaction was retired (or already
+  /// was); false if it is not yet eligible (the caller may retry later) or
+  /// the controller does not support retirement (the default).
+  virtual bool Retire(int tx) {
+    (void)tx;
+    return false;
+  }
+
+  /// True iff `tx` was retired. Retired ids must not be named as
+  /// predecessors of new registrations.
+  virtual bool IsRetired(int tx) const {
+    (void)tx;
+    return false;
+  }
+
   /// Attaches a trace sink receiving every protocol decision (see trace.h
   /// for the event taxonomy and the locking contract). Not owned; must
   /// outlive the controller or be detached with nullptr. Attach before

@@ -34,6 +34,8 @@ const char* TraceEvent::KindName(Kind kind) {
       return "committed";
     case Kind::kAborted:
       return "aborted";
+    case Kind::kRetired:
+      return "retired";
     case Kind::kLockGrant:
       return "lock-grant";
     case Kind::kLockBlock:

@@ -45,6 +45,8 @@ struct TraceEvent {
     kCommitWait,       ///< `tx` waiting for `other`'s commit.
     kCommitted,
     kAborted,          ///< Abort processed (rollback done).
+    kRetired,          ///< `tx` left the live scan set; attempt state
+                       ///< reclaimed (CEP transaction retirement).
     // Lock-based protocols (2PL / PW-2PL).
     kLockGrant,        ///< Lock acquired on `entity`.
     kLockBlock,        ///< Lock refused; `tx` waits on the holders.

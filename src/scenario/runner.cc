@@ -9,6 +9,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/strings.h"
 #include "engine/engine.h"
 #include "scenario/protocols.h"
@@ -462,11 +463,21 @@ std::string FormatExpectation(const ScenarioSpec& spec,
 }
 
 StatusOr<std::vector<std::string>> RunChaosSweep(
-    const ScenarioSpec& spec, const std::vector<StepRef>& order) {
+    const ScenarioSpec& spec, const std::vector<StepRef>& order,
+    uint64_t seed, int crash_point) {
   std::vector<std::string> failures;
+  if (crash_point > static_cast<int>(order.size())) {
+    return Status::InvalidArgument(
+        StrCat("crash point ", crash_point, " out of range; interleaving has ",
+               order.size(), " steps (valid: 0..", order.size(), ")"));
+  }
   // CEP is the WAL-wired protocol (commit cuts a durable record through the
   // store); chaos replays it at every crash point of the interleaving.
   for (size_t k = 0; k <= order.size(); ++k) {
+    if (crash_point >= 0 && k != static_cast<size_t>(crash_point)) continue;
+    // Deterministic firing decisions for any armed failpoints, re-seeded
+    // per crash point so each replays standalone.
+    FailpointRegistry::Global().Seed(seed + k);
     WriteAheadLog wal(spec.initial);
     StepDriver driver(spec, "CEP", /*verbose=*/false, &wal);
     if (!driver.init_status().ok()) return driver.init_status();
@@ -669,11 +680,16 @@ StatusOr<SpecResult> RunSpec(const ScenarioSpec& spec,
 
   if (options.chaos && selected("CEP")) {
     for (size_t pi = 0; pi < spec.permutations.size(); ++pi) {
+      int steps = static_cast<int>(spec.permutations[pi].order.size());
+      // A pinned --crash-point past this permutation's last step is not an
+      // error at suite level; the permutation simply has no such point.
+      if (options.chaos_crash_point > steps) continue;
       StatusOr<std::vector<std::string>> chaos =
-          RunChaosSweep(spec, spec.permutations[pi].order);
+          RunChaosSweep(spec, spec.permutations[pi].order, options.chaos_seed,
+                        options.chaos_crash_point);
       if (!chaos.ok()) return chaos.status();
       out.chaos_crash_points +=
-          static_cast<int>(spec.permutations[pi].order.size()) + 1;
+          options.chaos_crash_point >= 0 ? 1 : steps + 1;
       for (const std::string& line : *chaos) {
         out.failures.push_back(
             StrCat(spec.name, " permutation #", pi, " [chaos] ", line));

@@ -74,8 +74,15 @@ std::string FormatExpectation(const ScenarioSpec& spec,
 /// steps, crash-kill, recover, and assert the recovered snapshot and
 /// committed-transaction set match the pre-crash engine. Returns mismatch
 /// lines (empty == pass).
+///
+/// `seed` seeds the failpoint registry before each crash point, so runs
+/// with armed failpoints (media faults, net.* wire faults) replay
+/// deterministically. `crash_point` >= 0 restricts the sweep to that one
+/// point — the reproduce-a-single-failure knob behind run_scenarios
+/// --crash-point.
 StatusOr<std::vector<std::string>> RunChaosSweep(
-    const ScenarioSpec& spec, const std::vector<StepRef>& order);
+    const ScenarioSpec& spec, const std::vector<StepRef>& order,
+    uint64_t seed = 1, int crash_point = -1);
 
 /// Suite orchestration shared by run_scenarios and the ctest suite.
 struct SuiteOptions {
@@ -86,6 +93,11 @@ struct SuiteOptions {
   bool verbose = false;
   /// Collect observed expect blocks into SpecResult::printed.
   bool print_expect = false;
+  /// Failpoint-registry seed for chaos runs (run_scenarios --seed).
+  uint64_t chaos_seed = 1;
+  /// Restrict the chaos sweep to one crash point; -1 = all of them
+  /// (run_scenarios --crash-point).
+  int chaos_crash_point = -1;
 };
 
 struct SpecResult {

@@ -6,8 +6,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <sys/time.h>
+
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace nonserial {
 
@@ -42,6 +47,17 @@ Status Client::Connect(const std::string& host, int port) {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   fd_ = fd;
   inbuf_.clear();
+  return Status::OK();
+}
+
+Status Client::SetRecvTimeoutMs(int64_t ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return SocketError("setsockopt(SO_RCVTIMEO)");
+  }
   return Status::OK();
 }
 
@@ -188,9 +204,10 @@ Status Client::Write(EntityId entity, Value value) {
   return ToStatus(*response);
 }
 
-Status Client::Commit() {
+Status Client::Commit(uint64_t token) {
   wire::Request request;
   request.type = wire::MsgType::kCommit;
+  request.token = token;
   StatusOr<wire::Response> response = Call(request);
   if (!response.ok()) return response.status();
   return ToStatus(*response);
@@ -213,6 +230,247 @@ StatusOr<Value> Client::Ping(Value token) {
   Status s = ToStatus(*response);
   if (!s.ok()) return s;
   return response->value;
+}
+
+// --- RetryingClient ---------------------------------------------------------
+
+uint64_t RetryingClient::NextBits() {
+  // splitmix64: one deterministic stream drives backoff jitter and commit
+  // tokens, so a whole client schedule replays from options_.seed.
+  rng_ += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = rng_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+void RetryingClient::Backoff(int attempt) {
+  ++stats_.backoffs;
+  int64_t bound = options_.backoff_base_us;
+  for (int i = 0; i < attempt && bound < options_.backoff_max_us; ++i) {
+    bound *= 2;
+  }
+  bound = std::min(bound, options_.backoff_max_us);
+  // Full jitter: uniform in [0, bound] — decorrelates herds of retrying
+  // clients without giving up the exponential envelope.
+  int64_t sleep_us = bound > 0 ? static_cast<int64_t>(NextBits() %
+                                                      (bound + 1))
+                               : 0;
+  std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+}
+
+Status RetryingClient::EnsureConnected() {
+  if (client_.connected()) return Status::OK();
+  Status s = client_.Connect(options_.host, options_.port);
+  if (!s.ok()) return s;
+  ++stats_.reconnects;
+  if (options_.op_deadline_ms > 0) {
+    s = client_.SetRecvTimeoutMs(options_.op_deadline_ms);
+    if (!s.ok()) {
+      client_.Disconnect();
+      return s;
+    }
+  }
+  // A fresh connection is a fresh server session: the prepared-statement
+  // predicates must be re-staged before the next Begin can use them.
+  if (has_staged_) {
+    wire::Request request;
+    request.type = wire::MsgType::kPredicate;
+    request.input = staged_input_;
+    request.output = staged_output_;
+    StatusOr<wire::Response> response = client_.Call(request);
+    if (!response.ok() || response->code != StatusCode::kOk) {
+      client_.Disconnect();
+      return !response.ok()
+                 ? response.status()
+                 : Status(response->code, response->message);
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<wire::Response> RetryingClient::RoundTrip(
+    const wire::Request& request, bool* transport_failed) {
+  *transport_failed = false;
+  Status s = EnsureConnected();
+  if (!s.ok()) {
+    ++stats_.transport_errors;
+    *transport_failed = true;
+    return s;
+  }
+  StatusOr<wire::Response> response = client_.Call(request);
+  if (!response.ok()) {
+    // Send failure, receive deadline, torn/corrupt frame, or server-side
+    // close: the stream position is unknown — only a reconnect recovers.
+    ++stats_.transport_errors;
+    client_.Disconnect();
+    *transport_failed = true;
+  }
+  return response;
+}
+
+Status RetryingClient::StagePredicates(const Predicate& input,
+                                       const Predicate& output) {
+  staged_input_ = input;
+  staged_output_ = output;
+  has_staged_ = true;
+  // Ship them now if connected (EnsureConnected re-ships after drops).
+  if (!client_.connected()) return Status::OK();
+  wire::Request request;
+  request.type = wire::MsgType::kPredicate;
+  request.input = input;
+  request.output = output;
+  bool transport_failed = false;
+  StatusOr<wire::Response> response = RoundTrip(request, &transport_failed);
+  if (transport_failed) return Status::OK();  // Re-staged on reconnect.
+  if (!response.ok()) return response.status();
+  return response->code == StatusCode::kOk
+             ? Status::OK()
+             : Status(response->code, response->message);
+}
+
+StatusOr<int> RetryingClient::Begin(const std::string& name,
+                                    const std::vector<int>& predecessors) {
+  if (!has_staged_) {
+    return Status::FailedPrecondition("begin: StagePredicates first");
+  }
+  if (in_tx_) {
+    return Status::FailedPrecondition("begin: transaction already open");
+  }
+  wire::Request request;
+  request.type = wire::MsgType::kBegin;
+  request.name = name;
+  request.predecessors = predecessors;
+  request.use_staged = true;
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    bool transport_failed = false;
+    StatusOr<wire::Response> response = RoundTrip(request, &transport_failed);
+    if (transport_failed) {
+      Backoff(attempt);
+      continue;
+    }
+    if (!response.ok()) return response.status();
+    if (response->code == StatusCode::kResourceExhausted) {
+      // Admission shed — the server asked for exactly this: retry later.
+      Backoff(attempt);
+      continue;
+    }
+    if (response->code != StatusCode::kOk) {
+      return Status(response->code, response->message);
+    }
+    in_tx_ = true;
+    tx_ = static_cast<int>(response->value);
+    return tx_;
+  }
+  return Status::ResourceExhausted("begin: retry budget exhausted");
+}
+
+StatusOr<Value> RetryingClient::Read(EntityId entity) {
+  if (!in_tx_) return Status::FailedPrecondition("read: no open transaction");
+  wire::Request request;
+  request.type = wire::MsgType::kRead;
+  request.entity = entity;
+  bool transport_failed = false;
+  StatusOr<wire::Response> response = RoundTrip(request, &transport_failed);
+  if (transport_failed) {
+    // The server session died with the connection and rolled the
+    // transaction back; to the caller that is an abort — restart.
+    in_tx_ = false;
+    return Status::Aborted("read: connection lost; transaction rolled back");
+  }
+  if (!response.ok()) return response.status();
+  if (response->code != StatusCode::kOk) {
+    in_tx_ = false;
+    return Status(response->code, response->message);
+  }
+  return response->value;
+}
+
+Status RetryingClient::Write(EntityId entity, Value value) {
+  if (!in_tx_) return Status::FailedPrecondition("write: no open transaction");
+  wire::Request request;
+  request.type = wire::MsgType::kWrite;
+  request.entity = entity;
+  request.value = value;
+  bool transport_failed = false;
+  StatusOr<wire::Response> response = RoundTrip(request, &transport_failed);
+  if (transport_failed) {
+    in_tx_ = false;
+    return Status::Aborted("write: connection lost; transaction rolled back");
+  }
+  if (!response.ok()) return response.status();
+  if (response->code != StatusCode::kOk) in_tx_ = false;
+  return response->code == StatusCode::kOk
+             ? Status::OK()
+             : Status(response->code, response->message);
+}
+
+Status RetryingClient::Commit() {
+  if (!in_tx_) return Status::FailedPrecondition("commit: no open transaction");
+  uint64_t token = NextBits();
+  if (token == 0) token = 1;  // 0 means "no token" on the wire.
+  last_token_ = token;
+  ++token_counter_;
+  wire::Request request;
+  request.type = wire::MsgType::kCommit;
+  request.token = token;
+  // Unlike Begin, a transport failure here does NOT mean the transaction is
+  // gone — the commit may have executed with only the ack lost. Resend the
+  // same token until the verdict is known; the server's token table makes
+  // the resend a replay, never a second apply.
+  bool sent_once = false;
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    bool was_resend = sent_once;
+    if (was_resend) ++stats_.commit_resends;
+    bool transport_failed = false;
+    StatusOr<wire::Response> response = RoundTrip(request, &transport_failed);
+    sent_once = true;
+    if (transport_failed) {
+      Backoff(attempt);
+      continue;
+    }
+    if (!response.ok()) return response.status();
+    switch (response->code) {
+      case StatusCode::kOk:
+        // Committed exactly once. When the OK answers a resend it came from
+        // the server's token table (the value echoes the original tx id).
+        if (was_resend) ++stats_.commit_replays;
+        in_tx_ = false;
+        return Status::OK();
+      case StatusCode::kResourceExhausted:
+        // Our earlier send is still executing server-side (token pending),
+        // or admission pushed back — either way: ask again shortly.
+        Backoff(attempt);
+        continue;
+      case StatusCode::kFailedPrecondition:
+        // A reconnected session with no open transaction and no committed
+        // token: the commit never happened (had it committed, the token
+        // table would have answered OK; had it still been running, we'd
+        // have seen kResourceExhausted).
+        in_tx_ = false;
+        return Status::Aborted("commit: transaction lost; not committed");
+      default:
+        in_tx_ = false;
+        return Status(response->code, response->message);
+    }
+  }
+  in_tx_ = false;
+  return Status::ResourceExhausted(
+      "commit: verdict unresolved; retry budget spent");
+}
+
+Status RetryingClient::Abort() {
+  if (!in_tx_) return Status::OK();
+  wire::Request request;
+  request.type = wire::MsgType::kAbort;
+  bool transport_failed = false;
+  StatusOr<wire::Response> response = RoundTrip(request, &transport_failed);
+  in_tx_ = false;
+  if (transport_failed) return Status::OK();  // Connection loss aborts too.
+  if (!response.ok()) return response.status();
+  return response->code == StatusCode::kOk
+             ? Status::OK()
+             : Status(response->code, response->message);
 }
 
 }  // namespace nonserial

@@ -32,6 +32,12 @@ class Client {
   void Disconnect();
   bool connected() const { return fd_ >= 0; }
 
+  /// Bounds every subsequent receive: a response not arriving within the
+  /// deadline fails the call with a transport error (the stream position is
+  /// then unknown — disconnect and reconnect). 0 restores blocking reads.
+  /// Call after Connect; the setting does not survive reconnects.
+  Status SetRecvTimeoutMs(int64_t ms);
+
   /// Stages I_t/O_t server-side for subsequent BeginStaged calls
   /// (prepared-statement style — a retry loop ships its predicates once).
   Status StagePredicates(const Predicate& input, const Predicate& output);
@@ -48,7 +54,11 @@ class Client {
 
   StatusOr<Value> Read(EntityId entity);
   Status Write(EntityId entity, Value value);
-  Status Commit();
+  /// A nonzero `token` (client-generated idempotency token) makes the
+  /// commit exactly-once across reconnects: the server persists it with the
+  /// commit record, and a resend of the same token after a lost ack is
+  /// answered with the original verdict instead of re-executing.
+  Status Commit(uint64_t token = 0);
   Status Abort();
 
   /// Liveness probe; returns the echoed token.
@@ -68,6 +78,114 @@ class Client {
 
   int fd_ = -1;
   std::string inbuf_;
+};
+
+/// Knobs for the fault-tolerant session below.
+struct RetryingClientOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// Per-round-trip receive deadline: a response not arriving in time is a
+  /// transport failure (reconnect + retry or abort). Guards against dropped
+  /// response frames parking the client forever.
+  int64_t op_deadline_ms = 2'000;
+  /// Exponential backoff between retry attempts, with deterministic jitter
+  /// drawn from `seed` (full jitter: each sleep is uniform in [0, bound],
+  /// bound doubling from base to max).
+  int64_t backoff_base_us = 200;
+  int64_t backoff_max_us = 50'000;
+  /// Bound on connect/shed/in-flight retries per operation before giving
+  /// up with kResourceExhausted ("verdict unresolved; retry later"). A
+  /// tokenized COMMIT that gives up this way is safe to resend: the token
+  /// table still answers with the original verdict.
+  int max_attempts = 10;
+  /// Seeds both the backoff jitter and the commit-token stream, so a chaos
+  /// schedule involving this client replays deterministically.
+  uint64_t seed = 1;
+};
+
+/// A fault-tolerant session over the wire protocol: wraps Client with
+/// transparent reconnect, deadline + jittered exponential backoff, staged
+/// predicates re-shipped after every reconnect, and exactly-once COMMIT via
+/// client-generated idempotency tokens.
+///
+/// Transaction semantics under faults: any transport failure while a
+/// transaction is open (except during COMMIT) loses the server session and
+/// with it the transaction — the call returns kAborted and the caller
+/// restarts the transaction, exactly as after a protocol abort. COMMIT is
+/// the special case: once sent, it may have executed even if the ack was
+/// lost, so the client resends the *same token* across reconnects until it
+/// learns the original verdict (OK from the server's token table = the one
+/// durable commit; kFailedPrecondition with no open transaction = the
+/// commit never happened → kAborted).
+///
+/// Not thread-safe (same one-thread contract as Client / Session).
+class RetryingClient {
+ public:
+  explicit RetryingClient(RetryingClientOptions options)
+      : options_(std::move(options)), rng_(options_.seed) {}
+
+  /// Fault counters (diagnostics; the wire-chaos harness asserts on them).
+  struct Stats {
+    int64_t reconnects = 0;      ///< Successful re-establishments.
+    int64_t transport_errors = 0;///< Failed round trips (any cause).
+    int64_t backoffs = 0;        ///< Sleeps taken between attempts.
+    int64_t commit_resends = 0;  ///< COMMIT retransmissions (same token).
+    int64_t commit_replays = 0;  ///< Verdicts answered from the server's
+                                 ///< token table (value echoed the tx id of
+                                 ///< the original commit).
+  };
+
+  /// Declares the predicates used by every subsequent Begin (re-staged
+  /// automatically after reconnects). Connects lazily.
+  Status StagePredicates(const Predicate& input, const Predicate& output);
+
+  /// Starts a transaction with the staged predicates. Retries transport
+  /// failures and admission sheds with backoff. Returns the server tx id.
+  StatusOr<int> Begin(const std::string& name,
+                      const std::vector<int>& predecessors);
+
+  StatusOr<Value> Read(EntityId entity);
+  Status Write(EntityId entity, Value value);
+
+  /// Exactly-once commit: generates a fresh token for this transaction and
+  /// resends it across reconnects until the verdict is known. OK means the
+  /// transaction committed exactly once (possibly answered from the token
+  /// table); kAborted means it did not commit.
+  Status Commit();
+
+  Status Abort();
+
+  /// Server-side id of the open (or most recently begun) transaction.
+  int tx() const { return tx_; }
+  bool in_transaction() const { return in_tx_; }
+  /// Token used by the most recent Commit (diagnostics).
+  uint64_t last_commit_token() const { return last_token_; }
+  const Stats& stats() const { return stats_; }
+
+  void Disconnect() { client_.Disconnect(); }
+
+ private:
+  /// Connects (if needed) and re-stages predicates. Counts reconnects.
+  Status EnsureConnected();
+  /// One round trip with transport-failure handling: on failure the
+  /// connection is dropped and `*transport_failed` set.
+  StatusOr<wire::Response> RoundTrip(const wire::Request& request,
+                                     bool* transport_failed);
+  /// Jittered exponential backoff for attempt number `attempt` (0-based).
+  void Backoff(int attempt);
+  uint64_t NextBits();
+
+  RetryingClientOptions options_;
+  Client client_;
+  uint64_t rng_;
+  Predicate staged_input_;
+  Predicate staged_output_;
+  bool has_staged_ = false;
+  bool in_tx_ = false;
+  int tx_ = -1;
+  uint64_t last_token_ = 0;
+  uint64_t token_counter_ = 0;
+  Stats stats_;
 };
 
 }  // namespace nonserial

@@ -6,13 +6,19 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
+#include <vector>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/strings.h"
 
@@ -27,6 +33,12 @@ Status Errno(const char* what) {
 void SetNonBlocking(int fd) {
   int flags = fcntl(fd, F_GETFL, 0);
   if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 }  // namespace
@@ -68,7 +80,8 @@ Status SessionServer::Start() {
   port_ = ntohs(addr.sin_port);
   SetNonBlocking(listen_fd_);
 
-  if (::pipe2(wake_pipe_, O_CLOEXEC | O_NONBLOCK) < 0) return Errno("pipe2");
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) return Errno("eventfd");
   epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
   if (epoll_fd_ < 0) return Errno("epoll_create1");
   epoll_event event{};
@@ -77,8 +90,8 @@ Status SessionServer::Start() {
   if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &event) < 0) {
     return Errno("epoll_ctl(listen)");
   }
-  event.data.fd = wake_pipe_[0];
-  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_pipe_[0], &event) < 0) {
+  event.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &event) < 0) {
     return Errno("epoll_ctl(wakeup)");
   }
 
@@ -92,9 +105,11 @@ Status SessionServer::Start() {
 void SessionServer::Stop() {
   if (!started_) return;
   if (!stopping_.exchange(true)) {
-    // One byte on the self-pipe pops the event loop out of epoll_wait.
-    char byte = 0;
-    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+    // One eventfd tick pops the event loop out of epoll_wait immediately —
+    // and stays readable for every worker poll()ing a blocked send, so
+    // teardown latency is bounded by work in flight, not by any timer.
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
   }
   if (event_thread_.joinable()) event_thread_.join();
   // Drain in-flight request handlers (the pool destructor runs the queue
@@ -104,9 +119,8 @@ void SessionServer::Stop() {
   active_connections_.store(0, std::memory_order_relaxed);
   if (epoll_fd_ >= 0) ::close(epoll_fd_);
   if (listen_fd_ >= 0) ::close(listen_fd_);
-  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
-  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
-  epoll_fd_ = listen_fd_ = wake_pipe_[0] = wake_pipe_[1] = -1;
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  epoll_fd_ = listen_fd_ = wake_fd_ = -1;
   started_ = false;
   stopping_.store(false);
 }
@@ -115,14 +129,17 @@ void SessionServer::EventLoop() {
   constexpr int kMaxEvents = 64;
   epoll_event events[kMaxEvents];
   while (!stopping_.load(std::memory_order_acquire)) {
-    int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, /*timeout_ms=*/250);
+    // No fixed tick: the eventfd wake makes Stop() latency work-bound, so
+    // the loop may sleep until the next readable fd — or, under leases,
+    // until the nearest lease deadline.
+    int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, LeaseTimeoutMs());
     if (n < 0) {
       if (errno == EINTR) continue;
       break;
     }
     for (int i = 0; i < n; ++i) {
       int fd = events[i].data.fd;
-      if (fd == wake_pipe_[0]) continue;  // Stop() — outer loop exits.
+      if (fd == wake_fd_) continue;  // Stop() — outer loop exits.
       if (fd == listen_fd_) {
         AcceptPending();
         continue;
@@ -138,6 +155,7 @@ void SessionServer::EventLoop() {
       std::shared_ptr<Connection> conn = it->second;
       HandleReadable(conn);
     }
+    ReclaimExpiredLeases();
   }
   // Half-close every connection so blocked client reads fail fast; the
   // Connection objects (and their sessions) are released in Stop() once
@@ -157,6 +175,7 @@ void SessionServer::AcceptPending() {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     auto conn = std::make_shared<Connection>(fd);
     conn->session = engine_->OpenSession();
+    conn->last_activity_us.store(NowUs(), std::memory_order_relaxed);
     epoll_event event{};
     event.events = EPOLLIN;
     event.data.fd = fd;
@@ -169,6 +188,7 @@ void SessionServer::AcceptPending() {
 }
 
 void SessionServer::HandleReadable(const std::shared_ptr<Connection>& conn) {
+  conn->last_activity_us.store(NowUs(), std::memory_order_relaxed);
   char buf[16 * 1024];
   for (;;) {
     ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
@@ -254,6 +274,9 @@ void SessionServer::PumpQueue(std::shared_ptr<Connection> conn) {
       std::lock_guard<std::mutex> lock(conn->mu);
       if (conn->queue.empty()) {
         conn->running = false;
+        // The lease clock restarts when the last queued request finishes,
+        // not when it arrived — a long-running request is activity.
+        conn->last_activity_us.store(NowUs(), std::memory_order_relaxed);
         return;
       }
       request = std::move(conn->queue.front());
@@ -261,8 +284,22 @@ void SessionServer::PumpQueue(std::shared_ptr<Connection> conn) {
     }
     if (metrics_ != nullptr) metrics_->server_requests.Add();
     wire::Response response = Execute(conn.get(), request);
+    bool is_commit = request.type == wire::MsgType::kCommit;
+    // The lost-ack fault the idempotency token exists for: the commit
+    // applied (and is durable), but the connection dies before the client
+    // sees the verdict. The client's resend of the same token must be
+    // answered from the token table, not re-executed.
+    if (is_commit && NONSERIAL_FAILPOINT("net.disconnect_before_commit_ack")) {
+      AbandonConnection(conn.get());
+      continue;
+    }
     if (!conn->closed.load(std::memory_order_acquire)) {
       SendFrame(conn.get(), wire::EncodeResponse(response));
+    }
+    // Ack delivered, then the connection dies: the client reconnects but
+    // must not re-apply (its commit already answered).
+    if (is_commit && NONSERIAL_FAILPOINT("net.disconnect_after_commit_ack")) {
+      AbandonConnection(conn.get());
     }
   }
 }
@@ -310,9 +347,34 @@ wire::Response SessionServer::Execute(Connection* conn,
     case wire::MsgType::kWrite:
       fill(session->Write(request.entity, request.value));
       break;
-    case wire::MsgType::kCommit:
-      fill(session->Commit());
+    case wire::MsgType::kCommit: {
+      if (request.token != 0) {
+        int committed_tx = -1;
+        Engine::TokenState state =
+            engine_->LookupCommitToken(request.token, &committed_tx);
+        if (state == Engine::TokenState::kCommitted) {
+          // Replay of a commit that already happened (a resend after a lost
+          // ack): answer the original verdict. If the reconnecting client
+          // re-ran the transaction body first, that open attempt must not
+          // double-apply — roll it back before answering.
+          session->Abort();
+          if (metrics_ != nullptr) metrics_->server_retries.Add();
+          response.code = StatusCode::kOk;
+          response.value = committed_tx;
+          break;
+        }
+        if (state == Engine::TokenState::kPending &&
+            !session->in_transaction()) {
+          // Another connection's commit with this token is mid-flight;
+          // its verdict isn't known yet. Retry later.
+          fill(Status::ResourceExhausted(
+              "commit: token already in flight; retry later"));
+          break;
+        }
+      }
+      fill(session->Commit(request.token));
       break;
+    }
     case wire::MsgType::kAbort:
       fill(session->Abort());
       break;
@@ -327,22 +389,107 @@ wire::Response SessionServer::Execute(Connection* conn,
 }
 
 void SessionServer::SendFrame(Connection* conn, const std::string& frame) {
+  // The net.* fault catalog, deterministic via the registry's seeded
+  // DrawBits stream (same discipline as the wal.* media faults): each
+  // armed point damages this outbound frame the way a faulty network
+  // would, and every damage parameter replays from the schedule seed.
+  FailpointRegistry& fp = FailpointRegistry::Global();
+  if (NONSERIAL_FAILPOINT("net.drop_frame")) return;  // Swallowed in flight.
+  if (NONSERIAL_FAILPOINT("net.delay")) {
+    // Bounded stall (0..2ms): reorders this response against other
+    // connections' traffic and widens client-timeout races.
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(fp.DrawBits() % 2000));
+  }
+  const std::string* out = &frame;
+  std::string corrupted;
+  if (!frame.empty() && NONSERIAL_FAILPOINT("net.corrupt_frame")) {
+    // One bit flips in flight; the client's CRC check must reject the
+    // frame (and the client treats the stream as poisoned).
+    corrupted = frame;
+    uint64_t bits = fp.DrawBits();
+    corrupted[bits % corrupted.size()] ^=
+        static_cast<char>(1u << ((bits >> 32) % 8));
+    out = &corrupted;
+  }
+  size_t limit = out->size();
+  bool tear_after = false;
+  if (out->size() > 1 && NONSERIAL_FAILPOINT("net.partial_write")) {
+    // The connection dies mid-frame: a strict prefix lands, then the
+    // socket closes. The client sees a torn frame + EOF.
+    limit = 1 + fp.DrawBits() % (out->size() - 1);
+    tear_after = true;
+  }
   std::lock_guard<std::mutex> lock(conn->write_mu);
   size_t sent = 0;
-  while (sent < frame.size()) {
-    ssize_t n = ::send(conn->fd, frame.data() + sent, frame.size() - sent,
-                       MSG_NOSIGNAL);
+  while (sent < limit) {
+    ssize_t n =
+        ::send(conn->fd, out->data() + sent, limit - sent, MSG_NOSIGNAL);
     if (n > 0) {
       sent += static_cast<size_t>(n);
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      pollfd pfd{conn->fd, POLLOUT, 0};
-      ::poll(&pfd, 1, /*timeout_ms=*/1000);
+      // Wait for writability OR the shutdown wake (the eventfd stays
+      // readable once Stop() posts it), so a worker blocked on a stalled
+      // peer cannot delay teardown by a timeout tick.
+      pollfd pfds[2] = {{conn->fd, POLLOUT, 0}, {wake_fd_, POLLIN, 0}};
+      ::poll(pfds, 2, /*timeout_ms=*/1000);
+      if (stopping_.load(std::memory_order_acquire)) return;
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
     return;  // Peer gone; the reader side will reap the connection.
+  }
+  if (tear_after) AbandonConnection(conn);
+}
+
+void SessionServer::AbandonConnection(Connection* conn) {
+  // Worker-side: no access to connections_ (event-loop owned). Marking
+  // closed + half-closing makes the event loop reap the entry on the HUP.
+  conn->closed.store(true, std::memory_order_release);
+  ::shutdown(conn->fd, SHUT_RDWR);
+}
+
+int SessionServer::LeaseTimeoutMs() const {
+  if (options_.lease_ms <= 0) return -1;
+  if (connections_.empty()) return -1;  // Accepts wake epoll anyway.
+  int64_t now = NowUs();
+  int64_t lease_us = options_.lease_ms * 1000;
+  int64_t nearest_us = lease_us;
+  for (const auto& [fd, conn] : connections_) {
+    int64_t expires =
+        conn->last_activity_us.load(std::memory_order_relaxed) + lease_us -
+        now;
+    nearest_us = std::min(nearest_us, expires);
+  }
+  // Round up so the wake lands at-or-after the deadline; floor at 1ms.
+  return static_cast<int>(std::max<int64_t>(1, (nearest_us + 999) / 1000));
+}
+
+void SessionServer::ReclaimExpiredLeases() {
+  if (options_.lease_ms <= 0) return;
+  int64_t now = NowUs();
+  int64_t lease_us = options_.lease_ms * 1000;
+  std::vector<int> expired;
+  for (const auto& [fd, conn] : connections_) {
+    {
+      // A queued or running request is activity in progress; only sessions
+      // idle at the protocol level are reclaimable.
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (conn->running || !conn->queue.empty()) continue;
+    }
+    if (now - conn->last_activity_us.load(std::memory_order_relaxed) >=
+        lease_us) {
+      expired.push_back(fd);
+    }
+  }
+  for (int fd : expired) {
+    if (metrics_ != nullptr) metrics_->server_lease_expired.Add();
+    // The map entry goes now; the Connection object — and with it the
+    // session, whose destructor rolls back any in-flight transaction and
+    // releases the admission slot — dies with its last reference.
+    CloseConnection(fd);
   }
 }
 

@@ -32,6 +32,13 @@ struct ServerOptions {
   /// shed with kResourceExhausted (retry later) instead of queued — a slow
   /// session back-pressures its own client, never the whole server.
   size_t max_queue_depth = 64;
+  /// Session lease: a connection idle (no frame arrival, no queued or
+  /// running request) for this long is reclaimed — the connection closes,
+  /// its session's in-flight transaction rolls back, and the admission slot
+  /// frees. Protects a long-lived server from abandoned clients (half-open
+  /// TCP peers, crashed processes) pinning transactions forever. Counted as
+  /// server_lease_expired. 0 disables leases.
+  int64_t lease_ms = 0;
 };
 
 /// TCP front end for one Engine: accepts connections, speaks the framed
@@ -107,6 +114,11 @@ class SessionServer {
 
     std::mutex write_mu;
     std::atomic<bool> closed{false};
+
+    /// Lease clock: microseconds (steady) of the last frame arrival or
+    /// request completion. Written by the event loop and workers, read by
+    /// the event loop's lease sweep — hence atomic.
+    std::atomic<int64_t> last_activity_us{0};
   };
 
   void EventLoop();
@@ -115,11 +127,24 @@ class SessionServer {
   /// Worker entry: drains the connection's queue one request at a time.
   void PumpQueue(std::shared_ptr<Connection> conn);
   wire::Response Execute(Connection* conn, const wire::Request& request);
-  /// Sends one encoded frame (handles short writes; EAGAIN polls out).
+  /// Sends one encoded frame (handles short writes; EAGAIN polls out). The
+  /// net.* failpoint catalog lives here: drop/delay/corrupt/partial-write
+  /// faults apply to any outbound frame, deterministically parameterized by
+  /// the failpoint registry's DrawBits stream.
   void SendFrame(Connection* conn, const std::string& frame);
   /// Half-closes the socket and drops the map entry; the Connection object
-  /// (and its session) dies when the last worker reference does.
+  /// (and its session) dies when the last worker reference does. Event-loop
+  /// thread only.
   void CloseConnection(int fd);
+  /// Worker-side teardown: marks the connection dead and half-closes the
+  /// socket; the event loop reaps the map entry on the resulting HUP.
+  void AbandonConnection(Connection* conn);
+  /// Closes every idle connection whose lease expired (lease_ms > 0).
+  /// Event-loop thread only.
+  void ReclaimExpiredLeases();
+  /// epoll timeout until the nearest lease deadline (-1 when leases are
+  /// off or no connection is expirable).
+  int LeaseTimeoutMs() const;
 
   Engine* engine_;
   ServerOptions options_;
@@ -127,7 +152,10 @@ class SessionServer {
 
   int listen_fd_ = -1;
   int epoll_fd_ = -1;
-  int wake_pipe_[2] = {-1, -1};
+  /// Stop()/teardown wake-up: an eventfd in the epoll set. One write pops
+  /// the event loop out of epoll_wait immediately (no fixed tick) and lets
+  /// a blocked SendFrame's poll() observe shutdown instead of timing out.
+  int wake_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> stopping_{false};
   std::atomic<int> active_connections_{0};

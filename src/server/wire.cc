@@ -23,6 +23,10 @@ void PutI64(std::string* out, int64_t v) {
   for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
 }
 
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
 void PutString(std::string* out, const std::string& s) {
   PutU32(out, static_cast<uint32_t>(s.size()));
   out->append(s);
@@ -214,6 +218,11 @@ std::string EncodeRequest(const Request& request) {
       PutI64(&payload, request.value);
       break;
     case MsgType::kCommit:
+      // Empty payload = legacy at-most-once commit; 8 bytes = idempotency
+      // token (nonzero). Zero tokens encode as empty so re-encoding a
+      // decoded legacy frame stays bit-exact.
+      if (request.token != 0) PutU64(&payload, request.token);
+      break;
     case MsgType::kAbort:
     case MsgType::kResponse:
       break;
@@ -316,6 +325,22 @@ Status DecodeRequest(MsgType type, const std::string& payload, Request* out) {
       }
       break;
     case MsgType::kCommit:
+      if (!payload.empty()) {
+        uint64_t lo = 0, hi = 0;
+        uint32_t lo32 = 0, hi32 = 0;
+        if (!r.U32(&lo32) || !r.U32(&hi32)) {
+          return Status::InvalidArgument("commit: malformed token");
+        }
+        lo = lo32;
+        hi = hi32;
+        out->token = lo | (hi << 32);
+        if (out->token == 0) {
+          // A zero token must be encoded as an empty payload; eight zero
+          // bytes would re-encode differently than they decoded.
+          return Status::InvalidArgument("commit: zero token");
+        }
+      }
+      break;
     case MsgType::kAbort:
       break;
     case MsgType::kResponse:

@@ -63,6 +63,11 @@ struct Request {
   // kRead / kWrite.
   EntityId entity = kInvalidEntity;
   Value value = 0;  ///< kWrite payload; kPing echo token.
+  // kCommit: client-generated idempotency token (0 = none, legacy clients).
+  // With a nonzero token the engine persists it through the WAL, so a
+  // resent COMMIT after a lost ack returns the original verdict instead of
+  // double-applying (exactly-once across reconnects).
+  uint64_t token = 0;
 };
 
 /// One server response. `code` is the engine's Status vocabulary;

@@ -184,6 +184,9 @@ void ReplayRecords(const std::vector<WalRecord>& log, const ValueVector& initial
   std::map<int, RecoveredTx> payloads;
   /// Durable installs per writer (fallback writes for payload-less users).
   std::map<int, std::vector<std::pair<EntityId, Value>>> committed_appends;
+  /// Idempotency tokens staged per writer; bound at the writer's kCommit.
+  std::map<int, uint64_t> staged_tokens;
+  std::map<int, uint64_t> committed_tokens;
   for (size_t i = 0; i < log.size(); ++i) {
     const WalRecord& record = log[i];
     switch (record.kind) {
@@ -199,11 +202,17 @@ void ReplayRecords(const std::vector<WalRecord>& log, const ValueVector& initial
         }
         pending[record.writer].clear();
         committed_writers.push_back(record.writer);
+        auto tok = staged_tokens.find(record.writer);
+        if (tok != staged_tokens.end()) {
+          committed_tokens[record.writer] = tok->second;
+          staged_tokens.erase(tok);
+        }
         break;
       }
       case WalRecord::Kind::kRollback: {
         for (size_t idx : pending[record.writer]) fate[idx] = Fate::kLost;
         pending[record.writer].clear();
+        staged_tokens.erase(record.writer);
         break;
       }
       case WalRecord::Kind::kTxPayload: {
@@ -215,11 +224,17 @@ void ReplayRecords(const std::vector<WalRecord>& log, const ValueVector& initial
         tx.writes = record.writes;
         break;
       }
+      case WalRecord::Kind::kCommitToken:
+        staged_tokens[record.writer] = record.token;
+        break;
       case WalRecord::Kind::kCrash: {
         for (auto& [writer, indices] : pending) {
           for (size_t idx : indices) fate[idx] = Fate::kLost;
           indices.clear();
         }
+        // A token staged by a writer that never committed dies with the
+        // crash, exactly like its pending appends.
+        staged_tokens.clear();
         break;
       }
     }
@@ -265,6 +280,8 @@ void ReplayRecords(const std::vector<WalRecord>& log, const ValueVector& initial
       tx.input_state = initial;
       tx.writes = committed_appends[writer];
     }
+    auto tok = committed_tokens.find(writer);
+    if (tok != committed_tokens.end()) tx.commit_token = tok->second;
     result->committed.push_back(std::move(tx));
   }
 }
@@ -303,6 +320,14 @@ void WriteAheadLog::LogRollback(int writer) {
   std::string frame;
   wal_format::AppendRecordFrame(MakeRecord(WalRecord::Kind::kRollback, writer),
                                 &frame);
+  SubmitFrame(std::move(frame), /*is_record=*/true, /*is_commit=*/false);
+}
+
+void WriteAheadLog::LogCommitToken(int writer, uint64_t token) {
+  WalRecord record = MakeRecord(WalRecord::Kind::kCommitToken, writer);
+  record.token = token;
+  std::string frame;
+  wal_format::AppendRecordFrame(record, &frame);
   SubmitFrame(std::move(frame), /*is_record=*/true, /*is_commit=*/false);
 }
 
@@ -984,6 +1009,7 @@ Status WriteAheadLog::Checkpoint() {
   // rollback / crash markers are consumed by the analysis above.
   std::map<int, std::vector<size_t>> pending;
   std::map<int, size_t> payload_at;
+  std::map<int, size_t> token_at;
   for (size_t i = 0; i < scan.records.size(); ++i) {
     const WalRecord& r = scan.records[i];
     switch (r.kind) {
@@ -994,13 +1020,18 @@ Status WriteAheadLog::Checkpoint() {
       case WalRecord::Kind::kRollback:
         pending[r.writer].clear();
         payload_at.erase(r.writer);
+        token_at.erase(r.writer);
         break;
       case WalRecord::Kind::kTxPayload:
         payload_at[r.writer] = i;
         break;
+      case WalRecord::Kind::kCommitToken:
+        token_at[r.writer] = i;
+        break;
       case WalRecord::Kind::kCrash:
         pending.clear();
         payload_at.clear();
+        token_at.clear();
         break;
     }
   }
@@ -1009,6 +1040,7 @@ Status WriteAheadLog::Checkpoint() {
     carry.insert(indices.begin(), indices.end());
   }
   for (const auto& [writer, index] : payload_at) carry.insert(index);
+  for (const auto& [writer, index] : token_at) carry.insert(index);
 
   std::string frames;
   wal_format::AppendCheckpointFrame(checkpoint, &frames);
@@ -1079,6 +1111,7 @@ int64_t WriteAheadLog::CompactTo(const RecoveryResult& recovered) {
     }
     std::map<int, std::vector<size_t>> pending;
     std::map<int, size_t> payload_at;
+    std::map<int, size_t> token_at;
     for (size_t i = 0; i < replayed; ++i) {
       const WalRecord& r = scan.records[i];
       switch (r.kind) {
@@ -1089,13 +1122,18 @@ int64_t WriteAheadLog::CompactTo(const RecoveryResult& recovered) {
         case WalRecord::Kind::kRollback:
           pending[r.writer].clear();
           payload_at.erase(r.writer);
+          token_at.erase(r.writer);
           break;
         case WalRecord::Kind::kTxPayload:
           payload_at[r.writer] = i;
           break;
+        case WalRecord::Kind::kCommitToken:
+          token_at[r.writer] = i;
+          break;
         case WalRecord::Kind::kCrash:
           pending.clear();
           payload_at.clear();
+          token_at.clear();
           break;
       }
     }
@@ -1105,6 +1143,9 @@ int64_t WriteAheadLog::CompactTo(const RecoveryResult& recovered) {
       carry.insert(indices.begin(), indices.end());
     }
     for (const auto& [writer, index] : payload_at) {
+      if (suffix_writers.contains(writer)) carry.insert(index);
+    }
+    for (const auto& [writer, index] : token_at) {
       if (suffix_writers.contains(writer)) carry.insert(index);
     }
     for (size_t index : carry) tentative.push_back(scan.records[index]);
@@ -1123,6 +1164,7 @@ int64_t WriteAheadLog::CompactTo(const RecoveryResult& recovered) {
   {
     std::map<int, std::vector<size_t>> pending;
     std::map<int, size_t> payload_at;
+    std::map<int, size_t> token_at;
     for (size_t i = 0; i < tentative.size(); ++i) {
       const WalRecord& r = tentative[i];
       switch (r.kind) {
@@ -1133,6 +1175,7 @@ int64_t WriteAheadLog::CompactTo(const RecoveryResult& recovered) {
           // Commits always stay: their effect is not in the checkpoint.
           pending[r.writer].clear();
           payload_at.erase(r.writer);
+          token_at.erase(r.writer);
           break;
         case WalRecord::Kind::kRollback: {
           for (size_t idx : pending[r.writer]) keep[idx] = false;
@@ -1141,6 +1184,11 @@ int64_t WriteAheadLog::CompactTo(const RecoveryResult& recovered) {
           if (it != payload_at.end()) {
             keep[it->second] = false;
             payload_at.erase(it);
+          }
+          auto tok = token_at.find(r.writer);
+          if (tok != token_at.end()) {
+            keep[tok->second] = false;
+            token_at.erase(tok);
           }
           keep[i] = false;
           break;
@@ -1151,6 +1199,12 @@ int64_t WriteAheadLog::CompactTo(const RecoveryResult& recovered) {
           payload_at[r.writer] = i;
           break;
         }
+        case WalRecord::Kind::kCommitToken: {
+          auto it = token_at.find(r.writer);
+          if (it != token_at.end()) keep[it->second] = false;  // Superseded.
+          token_at[r.writer] = i;
+          break;
+        }
         case WalRecord::Kind::kCrash: {
           for (auto& [writer, indices] : pending) {
             for (size_t idx : indices) keep[idx] = false;
@@ -1158,6 +1212,8 @@ int64_t WriteAheadLog::CompactTo(const RecoveryResult& recovered) {
           }
           for (auto& [writer, index] : payload_at) keep[index] = false;
           payload_at.clear();
+          for (auto& [writer, index] : token_at) keep[index] = false;
+          token_at.clear();
           keep[i] = false;
           break;
         }

@@ -32,13 +32,17 @@ struct WalRecord {
     kRollback,   ///< Writer rolled back: its pending appends are dead.
     kTxPayload,  ///< Logical commit record (verification payload); always
                  ///< logged immediately before the writer's kCommit.
-    kCrash       ///< Recovery marker: everything pending before it is lost.
+    kCrash,      ///< Recovery marker: everything pending before it is lost.
+    kCommitToken ///< Client idempotency token for the writer's commit;
+                 ///< logged immediately before kTxPayload, durable iff the
+                 ///< commit itself is (exactly-once across reconnects).
   };
 
   Kind kind = Kind::kAppend;
   int writer = -1;
   EntityId entity = kInvalidEntity;  ///< kAppend only.
   Value value = 0;                   ///< kAppend only.
+  uint64_t token = 0;                ///< kCommitToken only.
 
   // kTxPayload only — mirrors CorrectExecutionProtocol::TxRecord.
   std::string name;
@@ -54,6 +58,8 @@ struct RecoveredTx {
   ValueVector input_state;
   std::vector<int> feeders;
   std::vector<std::pair<EntityId, Value>> writes;
+  /// Client idempotency token (kCommitToken record), 0 if none was logged.
+  uint64_t commit_token = 0;
 };
 
 /// The state a checkpoint frame captures: the committed transactions (in
@@ -265,6 +271,11 @@ class WriteAheadLog {
   /// dropping any engine lock, so other committers can join the batch.
   WalCommitHandle LogCommit(int writer);
   void LogRollback(int writer);
+  /// Logs the client idempotency token for the writer's upcoming commit.
+  /// Logged (by the engine) immediately before LogTxPayload, so the token
+  /// is durable exactly when the commit is: a crash before the kCommit
+  /// frame leaves the transaction uncommitted and the token unbound.
+  void LogCommitToken(int writer, uint64_t token);
   void LogTxPayload(int writer, std::string name, ValueVector input_state,
                     std::vector<int> feeders,
                     std::vector<std::pair<EntityId, Value>> writes);

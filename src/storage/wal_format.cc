@@ -185,6 +185,10 @@ std::string EncodeRecordPayload(const WalRecord& record) {
       break;
     case WalRecord::Kind::kCrash:
       break;
+    case WalRecord::Kind::kCommitToken:
+      PutI32(record.writer, &payload);
+      PutU64(record.token, &payload);
+      break;
   }
   return payload;
 }
@@ -193,7 +197,7 @@ std::string EncodeRecordPayload(const WalRecord& record) {
 /// bytes mean the frame lies about its contents).
 bool DecodeRecordPayload(uint8_t kind, const char* data, size_t len,
                          WalRecord* out) {
-  if (kind > static_cast<uint8_t>(WalRecord::Kind::kCrash)) return false;
+  if (kind > static_cast<uint8_t>(WalRecord::Kind::kCommitToken)) return false;
   out->kind = static_cast<WalRecord::Kind>(kind);
   Reader in(data, len);
   switch (out->kind) {
@@ -227,6 +231,14 @@ bool DecodeRecordPayload(uint8_t kind, const char* data, size_t len,
     }
     case WalRecord::Kind::kCrash:
       break;
+    case WalRecord::Kind::kCommitToken: {
+      int32_t writer;
+      uint64_t token;
+      if (!in.ReadI32(&writer) || !in.ReadU64(&token)) return false;
+      out->writer = writer;
+      out->token = token;
+      break;
+    }
   }
   return in.exhausted();
 }
@@ -236,6 +248,7 @@ std::string EncodeCheckpointPayload(const WalCheckpoint& checkpoint) {
   PutU32(static_cast<uint32_t>(checkpoint.committed.size()), &payload);
   for (const RecoveredTx& tx : checkpoint.committed) {
     PutI32(tx.tx, &payload);
+    PutU64(tx.commit_token, &payload);
     PutTxBody(tx.name, tx.input_state, tx.feeders, tx.writes, &payload);
   }
   PutU32(static_cast<uint32_t>(checkpoint.chains.size()), &payload);
@@ -260,6 +273,7 @@ bool DecodeCheckpointPayload(const char* data, size_t len, WalCheckpoint* out) {
     int32_t id;
     if (!in.ReadI32(&id)) return false;
     tx.tx = id;
+    if (!in.ReadU64(&tx.commit_token)) return false;
     if (!ReadTxBody(&in, &tx.name, &tx.input_state, &tx.feeders, &tx.writes)) {
       return false;
     }

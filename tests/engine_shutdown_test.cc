@@ -189,5 +189,38 @@ TEST(EngineShutdownTest, TeardownUnderCommitStormLosesNoDurableCommit) {
   }
 }
 
+TEST(EngineShutdownTest, SessionDestructorRollbackRacesShutdown) {
+  // The gap this closes: a Session destroyed with a transaction still open
+  // runs AbortActive (rollback, WAL kRollback record, admission release,
+  // retirement offer) on its own thread, and nothing stops the server
+  // from calling Engine::Shutdown at that exact moment. Neither side may
+  // race the other's state — TSan is the judge here; functionally, every
+  // iteration must leave zero in-flight admissions.
+  for (int round = 0; round < 8; ++round) {
+    ProtocolMetrics metrics;
+    WriteAheadLog wal({50, 50});
+    EngineOptions options = GroupCommitOptionsFor(&wal, &metrics);
+    options.retire_terminated_tx = true;  // Dtor path also offers RetireTx.
+    Engine engine(options);
+
+    constexpr int kSessions = 4;
+    std::atomic<int> begun{0};
+    std::vector<std::thread> workers;
+    for (int i = 0; i < kSessions; ++i) {
+      workers.emplace_back([&engine, &begun, i] {
+        std::unique_ptr<Session> session = engine.OpenSession();
+        Status s = session->Begin(Spec("racer"));
+        begun.fetch_add(1);
+        if (s.ok()) (void)session->Write(static_cast<EntityId>(i % 2), 40 + i);
+        // Destructor rollback fires here, concurrently with Shutdown.
+      });
+    }
+    while (begun.load() < kSessions) std::this_thread::yield();
+    engine.Shutdown();
+    for (std::thread& t : workers) t.join();
+    EXPECT_EQ(engine.inflight(), 0);
+  }
+}
+
 }  // namespace
 }  // namespace nonserial

@@ -10,6 +10,11 @@
 //                     REPORT_scenarios.json.
 //   --chaos           replay every explicit permutation across crash/
 //                     recover cycles (CEP + WAL, every crash point).
+//   --seed=N          failpoint-registry seed for the chaos runs (default
+//                     1) — pin it to replay a failing schedule exactly.
+//   --crash-point=K   restrict the chaos sweep to crash point K (after K
+//                     injections) instead of every point — the
+//                     reproduce-one-failure knob. Requires --chaos.
 //   --protocol=NAME   run only NAME (repeatable). Default: all six.
 //   --print-expect    print the observed outcome of every permutation as
 //                     an authorable expect block (spec-authoring aid).
@@ -18,7 +23,9 @@
 // Exit status: 0 iff every spec parsed and every assertion held.
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -42,14 +49,17 @@ struct Flags {
   bool chaos = false;
   bool print_expect = false;
   bool verbose = false;
+  uint64_t seed = 1;
+  int crash_point = -1;
   std::vector<std::string> protocols;
   std::vector<std::string> paths;
 };
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--json] [--chaos] [--protocol=NAME]... "
-               "[--print-expect] [--verbose] <file.spec | dir>...\n",
+               "usage: %s [--json] [--chaos] [--seed=N] [--crash-point=K] "
+               "[--protocol=NAME]... [--print-expect] [--verbose] "
+               "<file.spec | dir>...\n",
                argv0);
   return 2;
 }
@@ -119,6 +129,8 @@ int Run(const Flags& flags) {
   options.chaos = flags.chaos;
   options.verbose = flags.verbose;
   options.print_expect = flags.print_expect;
+  options.chaos_seed = flags.seed;
+  options.chaos_crash_point = flags.crash_point;
 
   int failed_specs = 0;
   int total_runs = 0;
@@ -197,6 +209,12 @@ int main(int argc, char** argv) {
       flags.verbose = true;
     } else if (arg.rfind("--protocol=", 0) == 0) {
       flags.protocols.push_back(arg.substr(std::strlen("--protocol=")));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      flags.seed = std::strtoull(arg.c_str() + std::strlen("--seed="),
+                                 nullptr, 10);
+    } else if (arg.rfind("--crash-point=", 0) == 0) {
+      flags.crash_point = std::atoi(arg.c_str() + std::strlen("--crash-point="));
+      if (flags.crash_point < 0) return nonserial::scenario::Usage(argv[0]);
     } else if (arg == "--help" || (!arg.empty() && arg[0] == '-')) {
       return nonserial::scenario::Usage(argv[0]);
     } else {
@@ -204,5 +222,9 @@ int main(int argc, char** argv) {
     }
   }
   if (flags.paths.empty()) return nonserial::scenario::Usage(argv[0]);
+  if (flags.crash_point >= 0 && !flags.chaos) {
+    std::fprintf(stderr, "run_scenarios: --crash-point requires --chaos\n");
+    return 2;
+  }
   return nonserial::scenario::Run(flags);
 }
