@@ -459,13 +459,23 @@ Status Session::Commit(uint64_t token) {
     return Status::FailedPrecondition("commit: no open transaction");
   }
   if (token != 0) {
-    // Stage the token: pending in the table (a concurrent lookup must see
-    // the commit as in flight, not absent) and attached to the transaction
-    // so the protocol logs it durably next to the commit record.
+    // Claim the token atomically: staged pending iff no *other* transaction
+    // holds it in any state (a concurrent lookup must see the commit as in
+    // flight, not absent). Two racing commits carrying the same token must
+    // not both execute — the loser sheds here, before any apply, so
+    // exactly-once holds server-side rather than by client discipline.
     {
       std::lock_guard<std::mutex> token_lock(engine_->token_mu_);
-      engine_->tokens_[token] = {tx_, false};
+      auto [it, claimed] =
+          engine_->tokens_.try_emplace(token, Engine::TokenEntry{tx_, false});
+      if (!claimed && it->second.tx != tx_) {
+        return Status::ResourceExhausted(
+            "commit: token already claimed by another transaction; retry "
+            "later");
+      }
     }
+    // Attach the token to the transaction so the protocol logs it durably
+    // next to the commit record.
     if (engine_->cep() != nullptr) engine_->cep()->SetCommitToken(tx_, token);
   }
   ConcurrencyController* cc = engine_->controller();

@@ -281,11 +281,13 @@ class Session {
   Status Write(EntityId e, Value value);
   /// Attempts to commit; OK means durably committed (under a WAL, the
   /// commit record's flush epoch has been waited out). A nonzero `token`
-  /// (client-generated idempotency token) is registered pending in the
-  /// engine's token table and logged durably with the commit record, so a
-  /// resend of the same token after a lost ack can be answered with the
-  /// original verdict (see Engine::LookupCommitToken). On commit the entry
-  /// flips to committed; on abort it is erased.
+  /// (client-generated idempotency token) is claimed atomically in the
+  /// engine's token table — pending iff no other transaction holds it in
+  /// any state; a commit racing for an already-claimed token sheds with
+  /// kResourceExhausted before executing — and logged durably with the
+  /// commit record, so a resend of the same token after a lost ack can be
+  /// answered with the original verdict (see Engine::LookupCommitToken).
+  /// On commit the entry flips to committed; on abort it is erased.
   Status Commit(uint64_t token = 0);
   /// Voluntarily rolls back the open transaction. OK when idle (no-op).
   Status Abort();

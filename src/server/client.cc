@@ -12,6 +12,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <random>
 #include <thread>
 
 namespace nonserial {
@@ -234,14 +235,63 @@ StatusOr<Value> Client::Ping(Value token) {
 
 // --- RetryingClient ---------------------------------------------------------
 
-uint64_t RetryingClient::NextBits() {
-  // splitmix64: one deterministic stream drives backoff jitter and commit
-  // tokens, so a whole client schedule replays from options_.seed.
-  rng_ += 0x9E3779B97F4A7C15ULL;
-  uint64_t z = rng_;
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  *state += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = *state;
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
   return z ^ (z >> 31);
+}
+
+/// Decorrelates the token streams of clients sharing a seed (the default
+/// RetryingClientOptions ships seed=1): the server's token table is keyed
+/// by token alone, so overlapping streams would answer one client's commit
+/// with another's verdict.
+uint64_t FreshTokenEntropy() {
+  std::random_device rd;
+  uint64_t entropy = (static_cast<uint64_t>(rd()) << 32) ^ rd();
+  entropy ^= static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  entropy ^= static_cast<uint64_t>(::getpid()) << 48;
+  return entropy;
+}
+
+/// Salt keeping the deterministic token stream distinct from the backoff
+/// jitter stream (both derive from options.seed).
+constexpr uint64_t kTokenStreamSalt = 0xA5F1'52C6'7D38'9B04ULL;
+
+/// Whether a response code means the server-side transaction is gone:
+/// kAborted (the protocol rolled it back) or kFailedPrecondition (the
+/// session has no open transaction). Every other error — e.g.
+/// kInvalidArgument for an out-of-range entity — leaves the transaction
+/// open server-side, so the client must keep considering it open too.
+bool TerminatesTransaction(StatusCode code) {
+  return code == StatusCode::kAborted ||
+         code == StatusCode::kFailedPrecondition;
+}
+
+}  // namespace
+
+RetryingClient::RetryingClient(RetryingClientOptions options)
+    : options_(std::move(options)),
+      rng_(options_.seed),
+      token_rng_(options_.deterministic_tokens
+                     ? options_.seed ^ kTokenStreamSalt
+                     : options_.seed ^ FreshTokenEntropy()) {}
+
+uint64_t RetryingClient::NextBits() {
+  // splitmix64 over the seed: the backoff-jitter stream replays from
+  // options_.seed, keeping a chaos schedule's timing deterministic.
+  return SplitMix64(&rng_);
+}
+
+uint64_t RetryingClient::NextToken() {
+  // Separate stream: commit tokens are exactly-once keys, not jitter.
+  // Unless deterministic_tokens opted in, the state mixed per-client
+  // entropy at construction so no two clients draw overlapping tokens.
+  return SplitMix64(&token_rng_);
 }
 
 void RetryingClient::Backoff(int attempt) {
@@ -337,6 +387,11 @@ StatusOr<int> RetryingClient::Begin(const std::string& name,
   if (in_tx_) {
     return Status::FailedPrecondition("begin: transaction already open");
   }
+  if (commit_pending_) {
+    return Status::FailedPrecondition(
+        "begin: previous commit verdict unresolved; Commit() to resolve "
+        "it or AbandonUnresolvedCommit() to drop it");
+  }
   wire::Request request;
   request.type = wire::MsgType::kBegin;
   request.name = name;
@@ -380,7 +435,7 @@ StatusOr<Value> RetryingClient::Read(EntityId entity) {
   }
   if (!response.ok()) return response.status();
   if (response->code != StatusCode::kOk) {
-    in_tx_ = false;
+    if (TerminatesTransaction(response->code)) in_tx_ = false;
     return Status(response->code, response->message);
   }
   return response->value;
@@ -399,18 +454,29 @@ Status RetryingClient::Write(EntityId entity, Value value) {
     return Status::Aborted("write: connection lost; transaction rolled back");
   }
   if (!response.ok()) return response.status();
-  if (response->code != StatusCode::kOk) in_tx_ = false;
+  if (TerminatesTransaction(response->code)) in_tx_ = false;
   return response->code == StatusCode::kOk
              ? Status::OK()
              : Status(response->code, response->message);
 }
 
 Status RetryingClient::Commit() {
-  if (!in_tx_) return Status::FailedPrecondition("commit: no open transaction");
-  uint64_t token = NextBits();
-  if (token == 0) token = 1;  // 0 means "no token" on the wire.
-  last_token_ = token;
-  ++token_counter_;
+  // A prior Commit that spent its budget left the verdict unknown; this
+  // call resumes resolving it — same token, never a fresh one (a fresh
+  // token could commit the transaction a second time).
+  const bool resolving = commit_pending_;
+  if (!in_tx_ && !resolving) {
+    return Status::FailedPrecondition("commit: no open transaction");
+  }
+  uint64_t token;
+  if (resolving) {
+    token = last_token_;
+  } else {
+    token = NextToken();
+    if (token == 0) token = 1;  // 0 means "no token" on the wire.
+    last_token_ = token;
+    ++token_counter_;
+  }
   wire::Request request;
   request.type = wire::MsgType::kCommit;
   request.token = token;
@@ -418,7 +484,7 @@ Status RetryingClient::Commit() {
   // gone — the commit may have executed with only the ack lost. Resend the
   // same token until the verdict is known; the server's token table makes
   // the resend a replay, never a second apply.
-  bool sent_once = false;
+  bool sent_once = resolving;
   for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
     bool was_resend = sent_once;
     if (was_resend) ++stats_.commit_resends;
@@ -436,6 +502,7 @@ Status RetryingClient::Commit() {
         // the server's token table (the value echoes the original tx id).
         if (was_resend) ++stats_.commit_replays;
         in_tx_ = false;
+        commit_pending_ = false;
         return Status::OK();
       case StatusCode::kResourceExhausted:
         // Our earlier send is still executing server-side (token pending),
@@ -448,18 +515,30 @@ Status RetryingClient::Commit() {
         // table would have answered OK; had it still been running, we'd
         // have seen kResourceExhausted).
         in_tx_ = false;
+        commit_pending_ = false;
         return Status::Aborted("commit: transaction lost; not committed");
       default:
         in_tx_ = false;
+        commit_pending_ = false;
         return Status(response->code, response->message);
     }
   }
+  // Verdict still unknown: park in the commit-pending state instead of
+  // discarding the token — the commit may or may not have applied, and
+  // only a resend of this token can tell. The next Commit() resumes.
   in_tx_ = false;
+  commit_pending_ = true;
   return Status::ResourceExhausted(
-      "commit: verdict unresolved; retry budget spent");
+      "commit: verdict unresolved; retry budget spent — call Commit() "
+      "again to resolve");
 }
 
 Status RetryingClient::Abort() {
+  if (commit_pending_) {
+    return Status::FailedPrecondition(
+        "abort: commit verdict unresolved; Commit() to resolve it or "
+        "AbandonUnresolvedCommit() to drop it");
+  }
   if (!in_tx_) return Status::OK();
   wire::Request request;
   request.type = wire::MsgType::kAbort;

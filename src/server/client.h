@@ -95,12 +95,23 @@ struct RetryingClientOptions {
   int64_t backoff_max_us = 50'000;
   /// Bound on connect/shed/in-flight retries per operation before giving
   /// up with kResourceExhausted ("verdict unresolved; retry later"). A
-  /// tokenized COMMIT that gives up this way is safe to resend: the token
-  /// table still answers with the original verdict.
+  /// tokenized COMMIT that gives up this way stays resolvable: the client
+  /// parks in a commit-pending state and the next Commit() resends the
+  /// same token, which the server's token table answers with the original
+  /// verdict.
   int max_attempts = 10;
-  /// Seeds both the backoff jitter and the commit-token stream, so a chaos
-  /// schedule involving this client replays deterministically.
+  /// Seeds the backoff jitter (and, with `deterministic_tokens`, the
+  /// commit-token stream), so a chaos schedule involving this client
+  /// replays deterministically.
   uint64_t seed = 1;
+  /// Draw commit tokens purely from `seed` instead of mixing in
+  /// per-process entropy. The server's token table is keyed by token
+  /// alone, so two clients drawing overlapping streams would answer one
+  /// client's commit with the other's verdict — silently losing writes.
+  /// Leave this off (the default mixes fresh entropy per client) unless a
+  /// replay harness owns the seed space and guarantees each concurrent
+  /// client a distinct seed.
+  bool deterministic_tokens = false;
 };
 
 /// A fault-tolerant session over the wire protocol: wraps Client with
@@ -121,8 +132,7 @@ struct RetryingClientOptions {
 /// Not thread-safe (same one-thread contract as Client / Session).
 class RetryingClient {
  public:
-  explicit RetryingClient(RetryingClientOptions options)
-      : options_(std::move(options)), rng_(options_.seed) {}
+  explicit RetryingClient(RetryingClientOptions options);
 
   /// Fault counters (diagnostics; the wire-chaos harness asserts on them).
   struct Stats {
@@ -150,10 +160,26 @@ class RetryingClient {
   /// Exactly-once commit: generates a fresh token for this transaction and
   /// resends it across reconnects until the verdict is known. OK means the
   /// transaction committed exactly once (possibly answered from the token
-  /// table); kAborted means it did not commit.
+  /// table); kAborted means it did not commit. kResourceExhausted means the
+  /// retry budget ran out with the verdict still unknown — the client parks
+  /// in a commit-pending state (commit_pending()) and the next Commit()
+  /// call resumes resolution by resending the *same* token.
   Status Commit();
 
+  /// While commit_pending(), refuses with kFailedPrecondition — the open
+  /// verdict must be resolved (Commit()) or explicitly abandoned first.
   Status Abort();
+
+  /// True after Commit() returned kResourceExhausted with the verdict
+  /// unknown. Read/Write/Begin/Abort are refused until Commit() resolves
+  /// it or AbandonUnresolvedCommit() drops it.
+  bool commit_pending() const { return commit_pending_; }
+
+  /// Gives up on learning the pending commit's verdict (it may or may not
+  /// have applied). last_commit_token() still identifies it, so a caller
+  /// that records tokens can classify the outcome later against the
+  /// durable token table (the wire-chaos harness does exactly this).
+  void AbandonUnresolvedCommit() { commit_pending_ = false; }
 
   /// Server-side id of the open (or most recently begun) transaction.
   int tx() const { return tx_; }
@@ -174,14 +200,17 @@ class RetryingClient {
   /// Jittered exponential backoff for attempt number `attempt` (0-based).
   void Backoff(int attempt);
   uint64_t NextBits();
+  uint64_t NextToken();
 
   RetryingClientOptions options_;
   Client client_;
   uint64_t rng_;
+  uint64_t token_rng_;
   Predicate staged_input_;
   Predicate staged_output_;
   bool has_staged_ = false;
   bool in_tx_ = false;
+  bool commit_pending_ = false;
   int tx_ = -1;
   uint64_t last_token_ = 0;
   uint64_t token_counter_ = 0;

@@ -366,7 +366,9 @@ wire::Response SessionServer::Execute(Connection* conn,
         if (state == Engine::TokenState::kPending &&
             !session->in_transaction()) {
           // Another connection's commit with this token is mid-flight;
-          // its verdict isn't known yet. Retry later.
+          // its verdict isn't known yet. Retry later. (Advisory only:
+          // Session::Commit claims the token atomically, so two commits
+          // racing past this check still cannot both execute.)
           fill(Status::ResourceExhausted(
               "commit: token already in flight; retry later"));
           break;

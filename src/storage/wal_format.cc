@@ -262,7 +262,11 @@ std::string EncodeCheckpointPayload(const WalCheckpoint& checkpoint) {
   return payload;
 }
 
-bool DecodeCheckpointPayload(const char* data, size_t len, WalCheckpoint* out) {
+/// `with_tokens` selects the layout by checkpoint version: v2 frames carry
+/// a u64 commit token per committed entry, legacy (v1) frames do not — a
+/// v1 entry decodes with commit_token == 0.
+bool DecodeCheckpointPayload(const char* data, size_t len, bool with_tokens,
+                             WalCheckpoint* out) {
   Reader in(data, len);
   uint32_t n;
   if (!in.ReadU32(&n)) return false;
@@ -273,7 +277,7 @@ bool DecodeCheckpointPayload(const char* data, size_t len, WalCheckpoint* out) {
     int32_t id;
     if (!in.ReadI32(&id)) return false;
     tx.tx = id;
-    if (!in.ReadU64(&tx.commit_token)) return false;
+    if (with_tokens && !in.ReadU64(&tx.commit_token)) return false;
     if (!ReadTxBody(&in, &tx.name, &tx.input_state, &tx.feeders, &tx.writes)) {
       return false;
     }
@@ -335,7 +339,8 @@ void AppendRecordFrame(const WalRecord& record, std::string* out) {
 }
 
 void AppendCheckpointFrame(const WalCheckpoint& checkpoint, std::string* out) {
-  AppendFrame(kCheckpointFrameKind, EncodeCheckpointPayload(checkpoint), out);
+  AppendFrame(kCheckpointFrameKindV2, EncodeCheckpointPayload(checkpoint),
+              out);
 }
 
 void AppendSegmentHeader(uint64_t seq, bool lost, std::string* out) {
@@ -377,13 +382,16 @@ DecodedFrame DecodeFrame(const char* data, size_t len) {
     return result;
   }
   result.frame_bytes = kFrameHeaderBytes + payload_len;
-  if (kind == kCheckpointFrameKind) {
+  if (kind == kCheckpointFrameKind || kind == kCheckpointFrameKindV2) {
     result.is_checkpoint = true;
-    if (!DecodeCheckpointPayload(payload, payload_len, &result.checkpoint)) {
+    if (!DecodeCheckpointPayload(payload, payload_len,
+                                 /*with_tokens=*/kind == kCheckpointFrameKindV2,
+                                 &result.checkpoint)) {
       result.status = FrameStatus::kCorrupt;
       return result;
     }
-  } else if (!DecodeRecordPayload(kind, payload, payload_len, &result.record)) {
+  } else if (!DecodeRecordPayload(kind, payload, payload_len,
+                                  &result.record)) {
     result.status = FrameStatus::kCorrupt;
     return result;
   }

@@ -30,8 +30,15 @@ inline constexpr uint32_t kFrameMagic = 0x4C41'574Eu;  // "NWAL"
 inline constexpr size_t kSegmentHeaderBytes = 8 + 8 + 1;
 inline constexpr size_t kFrameHeaderBytes = 4 + 1 + 4 + 4;
 inline constexpr uint8_t kSegmentFlagLost = 0x01;
-/// Frame kind byte for a checkpoint (record kinds use WalRecord::Kind).
+/// Frame kind byte for a legacy (v1) checkpoint (record kinds use
+/// WalRecord::Kind). V1 committed entries carry no commit token; decoding
+/// one yields commit_token == 0 for every transaction. Kept decodable so
+/// WALs checkpointed by pre-token builds still recover.
 inline constexpr uint8_t kCheckpointFrameKind = 0xC5;
+/// Frame kind byte for a v2 checkpoint: each committed entry carries its
+/// u64 commit token between the tx id and the tx body. The kind byte is
+/// the format version — writers emit v2, readers accept both.
+inline constexpr uint8_t kCheckpointFrameKindV2 = 0xC6;
 /// Upper bound on a sane payload (guards length-field corruption from
 /// driving allocations).
 inline constexpr uint32_t kMaxPayloadBytes = 1u << 28;

@@ -10,9 +10,51 @@
 
 #include "common/failpoint.h"
 #include "storage/version_store.h"
+#include "storage/wal_format.h"
 
 namespace nonserial {
 namespace {
+
+// ---- hand encoders for on-media format tests ------------------------------
+
+void PutU8(uint8_t v, std::string* out) { out->push_back(static_cast<char>(v)); }
+
+void PutU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutLenString(const std::string& s, std::string* out) {
+  PutU32(static_cast<uint32_t>(s.size()), out);
+  out->append(s);
+}
+
+/// Frames `payload` under `kind` exactly as the writer does (magic, kind,
+/// len, CRC over kind+len+payload) — lets a test fabricate frames in
+/// layouts the current writer no longer emits.
+std::string FrameBytes(uint8_t kind, const std::string& payload) {
+  std::string out;
+  PutU32(wal_format::kFrameMagic, &out);
+  PutU8(kind, &out);
+  PutU32(static_cast<uint32_t>(payload.size()), &out);
+  uint8_t prefix[5];
+  prefix[0] = kind;
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) prefix[1 + i] = (len >> (8 * i)) & 0xFF;
+  uint32_t crc = wal_format::Crc32(prefix, sizeof(prefix));
+  crc = wal_format::Crc32(reinterpret_cast<const uint8_t*>(payload.data()),
+                          payload.size(), crc);
+  PutU32(crc, &out);
+  out.append(payload);
+  return out;
+}
 
 /// A store with an attached log, pre-loaded with a tiny two-writer history:
 /// writer 0 commits {e0=10, e1=11}, writer 1 appends e0=20 but has not
@@ -268,6 +310,66 @@ TEST(WalTest, CheckpointCompactsCommittedStateAndCarriesPending) {
   EXPECT_EQ(after.committed[1].tx, 1);
   EXPECT_EQ(after.store->LatestCommittedSnapshot(), (ValueVector{20, 11, 0}));
   EXPECT_EQ(after.store->ChainSize(0), 3);  // Initial, then w0, then w1.
+}
+
+TEST(WalTest, LegacyCheckpointFrameWithoutTokensStillDecodes) {
+  // Hand-encode the pre-commit-token checkpoint layout under the legacy
+  // kind byte: committed entries go straight from tx id to tx body, no
+  // u64 token field. A WAL checkpointed by an older build must keep
+  // recovering — the kind byte is the format version.
+  std::string payload;
+  PutU32(1, &payload);  // One committed transaction.
+  PutU32(7, &payload);  // tx id (i32).
+  PutLenString("t7", &payload);
+  PutU32(2, &payload);  // input_state: {5, 6}.
+  PutU64(5, &payload);
+  PutU64(6, &payload);
+  PutU32(0, &payload);  // No feeders.
+  PutU32(1, &payload);  // One write: e0 = 9.
+  PutU32(0, &payload);
+  PutU64(9, &payload);
+  PutU32(1, &payload);  // One chain of one version: writer 7 wrote 9.
+  PutU32(1, &payload);
+  PutU32(7, &payload);
+  PutU64(9, &payload);
+  std::string frame = FrameBytes(wal_format::kCheckpointFrameKind, payload);
+
+  wal_format::DecodedFrame decoded =
+      wal_format::DecodeFrame(frame.data(), frame.size());
+  ASSERT_EQ(decoded.status, wal_format::FrameStatus::kOk);
+  ASSERT_TRUE(decoded.is_checkpoint);
+  ASSERT_EQ(decoded.checkpoint.committed.size(), 1u);
+  const RecoveredTx& tx = decoded.checkpoint.committed[0];
+  EXPECT_EQ(tx.tx, 7);
+  EXPECT_EQ(tx.commit_token, 0u);  // Legacy layout: no token was logged.
+  EXPECT_EQ(tx.name, "t7");
+  EXPECT_EQ(tx.input_state, (ValueVector{5, 6}));
+  ASSERT_EQ(tx.writes.size(), 1u);
+  EXPECT_EQ(tx.writes[0], (std::pair<EntityId, Value>{0, 9}));
+  ASSERT_EQ(decoded.checkpoint.chains.size(), 1u);
+}
+
+TEST(WalTest, CheckpointTokensRoundTripThroughV2Frames) {
+  WalCheckpoint checkpoint;
+  RecoveredTx tx;
+  tx.tx = 3;
+  tx.name = "tok";
+  tx.commit_token = 0xFEED'FACE'CAFE'BEEFull;
+  tx.input_state = {1};
+  tx.writes = {{0, 2}};
+  checkpoint.committed.push_back(tx);
+  std::string frame;
+  wal_format::AppendCheckpointFrame(checkpoint, &frame);
+  // The writer emits the v2 kind byte (offset 4, after the frame magic).
+  ASSERT_GT(frame.size(), 4u);
+  EXPECT_EQ(static_cast<uint8_t>(frame[4]), wal_format::kCheckpointFrameKindV2);
+  wal_format::DecodedFrame decoded =
+      wal_format::DecodeFrame(frame.data(), frame.size());
+  ASSERT_EQ(decoded.status, wal_format::FrameStatus::kOk);
+  ASSERT_TRUE(decoded.is_checkpoint);
+  ASSERT_EQ(decoded.checkpoint.committed.size(), 1u);
+  EXPECT_EQ(decoded.checkpoint.committed[0].commit_token,
+            0xFEED'FACE'CAFE'BEEFull);
 }
 
 TEST(WalTest, CompactToReplacesTheLogWithTheRecoveredState) {

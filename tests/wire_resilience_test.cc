@@ -269,6 +269,147 @@ TEST_F(WireResilienceTest, CommittedSessionTransactionsRetire) {
   ASSERT_TRUE(client.Commit().ok());
 }
 
+TEST_F(WireResilienceTest, IdenticallySeededClientsDrawDistinctTokens) {
+  StartServer();
+  // Two clients with byte-identical options (same seed, as two processes
+  // running the defaults would): their commit tokens must still differ.
+  // The server's token table is keyed by token alone, so a shared stream
+  // would answer one client's commit with the other's verdict — silently
+  // dropping its writes while reporting OK.
+  RetryingClient a(RetryOptions());
+  RetryingClient b(RetryOptions());
+  ASSERT_TRUE(a.StagePredicates(Wide(), Wide()).ok());
+  ASSERT_TRUE(b.StagePredicates(Wide(), Wide()).ok());
+  ASSERT_TRUE(a.Begin("a", {}).ok());
+  ASSERT_TRUE(a.Write(0, 61).ok());
+  ASSERT_TRUE(a.Commit().ok());
+  ASSERT_TRUE(b.Begin("b", {}).ok());
+  ASSERT_TRUE(b.Write(1, 62).ok());
+  ASSERT_TRUE(b.Commit().ok());
+  EXPECT_NE(a.last_commit_token(), b.last_commit_token());
+  // Both commits applied — neither was mistaken for a replay of the other.
+  EXPECT_EQ(engine_->store()->LatestCommittedSnapshot(), (ValueVector{61, 62}));
+}
+
+TEST_F(WireResilienceTest, DeterministicTokensAreAnExplicitOptIn) {
+  StartServer();
+  RetryingClientOptions options = RetryOptions();
+  options.deterministic_tokens = true;
+  RetryingClient a(options);
+  ASSERT_TRUE(a.StagePredicates(Wide(), Wide()).ok());
+  ASSERT_TRUE(a.Begin("a", {}).ok());
+  ASSERT_TRUE(a.Write(0, 64).ok());
+  ASSERT_TRUE(a.Commit().ok());
+  // Same seed, same stream: a replay harness reproduces the exact token
+  // sequence. This is also why live clients must not share a seed in this
+  // mode — b's identical first token is answered from the token table as
+  // a replay of a's commit, and b's write never applies.
+  RetryingClient b(options);
+  ASSERT_TRUE(b.StagePredicates(Wide(), Wide()).ok());
+  ASSERT_TRUE(b.Begin("b", {}).ok());
+  ASSERT_TRUE(b.Write(1, 65).ok());
+  ASSERT_TRUE(b.Commit().ok());
+  EXPECT_EQ(b.last_commit_token(), a.last_commit_token());
+  EXPECT_EQ(engine_->store()->LatestCommittedSnapshot(), (ValueVector{64, 50}));
+}
+
+TEST_F(WireResilienceTest, NonAbortingErrorKeepsTransactionOpen) {
+  StartServer();
+  RetryingClient client(RetryOptions());
+  ASSERT_TRUE(client.StagePredicates(Wide(), Wide()).ok());
+  ASSERT_TRUE(client.Begin("survivor", {}).ok());
+  // An out-of-range entity is a per-request error: the server answers
+  // kInvalidArgument and keeps the transaction open. The client must not
+  // declare the transaction dead, or the two ends desync (the server still
+  // holds the open transaction and its admission slot, and the client's
+  // next Begin would bounce off "session already has an open transaction").
+  StatusOr<Value> bad_read = client.Read(99);
+  EXPECT_EQ(bad_read.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(client.in_transaction());
+  Status bad_write = client.Write(99, 1);
+  EXPECT_EQ(bad_write.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(client.in_transaction());
+  // The same transaction carries on and commits.
+  ASSERT_TRUE(client.Write(0, 55).ok());
+  ASSERT_TRUE(client.Commit().ok());
+  EXPECT_EQ(engine_->store()->LatestCommittedSnapshot()[0], 55);
+}
+
+TEST_F(WireResilienceTest, UnresolvedCommitStaysResolvable) {
+  StartServer();
+  RetryingClient client(RetryOptions());
+  ASSERT_TRUE(client.StagePredicates(Wide(), Wide()).ok());
+  ASSERT_TRUE(client.Begin("unresolved", {}).ok());
+  ASSERT_TRUE(client.Write(0, 77).ok());
+  // Kill the server: every commit attempt dies in transport and the retry
+  // budget runs out with the verdict genuinely unknown.
+  int port = server_->port();
+  server_->Stop();
+  Status commit = client.Commit();
+  EXPECT_EQ(commit.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(client.commit_pending());
+  uint64_t token = client.last_commit_token();
+  EXPECT_NE(token, 0u);
+  // Until the verdict resolves, new work and aborts are refused — the
+  // commit may or may not have applied, and only its token can tell.
+  EXPECT_EQ(client.Begin("next", {}).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(client.Abort().code(), StatusCode::kFailedPrecondition);
+  // Restart on the same port; Commit() resumes with the *same* token and
+  // learns the truth: the transaction died with its server session, so it
+  // never committed.
+  ServerOptions server_options;
+  server_options.port = port;
+  Status start;
+  for (int i = 0; i < 100; ++i) {
+    server_ = std::make_unique<SessionServer>(engine_.get(), server_options);
+    start = server_->Start();
+    if (start.ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(start.ok()) << start.ToString();
+  commit = client.Commit();
+  EXPECT_EQ(commit.code(), StatusCode::kAborted);
+  EXPECT_FALSE(client.commit_pending());
+  EXPECT_EQ(client.last_commit_token(), token);
+  // The session is whole again: a fresh transaction commits normally.
+  ASSERT_TRUE(client.Begin("after", {}).ok());
+  ASSERT_TRUE(client.Write(0, 78).ok());
+  ASSERT_TRUE(client.Commit().ok());
+  EXPECT_EQ(engine_->store()->LatestCommittedSnapshot()[0], 78);
+}
+
+TEST_F(WireResilienceTest, CommitTokenClaimIsExclusive) {
+  StartServer();
+  // Engine-level exactly-once: the token claim in Session::Commit is
+  // atomic, so a second transaction presenting an already-used token is
+  // shed before it executes — the server does not depend on client
+  // discipline (or the wire pre-check) to prevent a double apply.
+  engine::TxSpec spec;
+  spec.name = "claimer";
+  spec.input = Wide();
+  spec.output = Wide();
+  std::unique_ptr<Session> s1 = engine_->OpenSession();
+  ASSERT_TRUE(s1->Begin(spec).ok());
+  ASSERT_TRUE(s1->Write(0, 71).ok());
+  ASSERT_TRUE(s1->Commit(/*token=*/1234).ok());
+  std::unique_ptr<Session> s2 = engine_->OpenSession();
+  spec.name = "loser";
+  ASSERT_TRUE(s2->Begin(spec).ok());
+  ASSERT_TRUE(s2->Write(1, 72).ok());
+  Status reuse = s2->Commit(/*token=*/1234);
+  EXPECT_EQ(reuse.code(), StatusCode::kResourceExhausted);
+  // The shed commit did not execute and did not kill the transaction: the
+  // same transaction commits under its own token.
+  EXPECT_TRUE(s2->in_transaction());
+  ASSERT_TRUE(s2->Commit(/*token=*/5678).ok());
+  EXPECT_EQ(engine_->store()->LatestCommittedSnapshot(), (ValueVector{71, 72}));
+  int committed_tx = -1;
+  ASSERT_EQ(engine_->LookupCommitToken(1234, &committed_tx),
+            Engine::TokenState::kCommitted);
+  EXPECT_EQ(committed_tx, s1->tx());
+}
+
 TEST_F(WireResilienceTest, RetirementOffByDefaultKeepsIdsLive) {
   StartServer(/*lease_ms=*/0, /*retire=*/false);
   RetryingClient client(RetryOptions());
